@@ -1,0 +1,305 @@
+package iosched
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/controller"
+	"repro/internal/device"
+	"repro/internal/experiment"
+	"repro/internal/gen"
+	"repro/internal/hwcost"
+	"repro/internal/noc"
+	"repro/internal/sched"
+	"repro/internal/sched/depgraph"
+	"repro/internal/sched/fps"
+	"repro/internal/sched/ga"
+	"repro/internal/sched/gpiocp"
+	"repro/internal/sched/staticsched"
+	"repro/internal/sim"
+	"repro/internal/taskmodel"
+	"repro/internal/timing"
+)
+
+// benchConfig is a reduced experiment configuration so a full -bench=. run
+// finishes in minutes; the CLI regenerates the figures at any scale.
+func benchConfig() experiment.Config {
+	cfg := experiment.Default()
+	cfg.Systems = 5
+	cfg.GA.Population = 20
+	cfg.GA.Generations = 15
+	return cfg
+}
+
+// BenchmarkFig5Schedulability regenerates Figure 5 (schedulable fraction
+// of FPS-offline / FPS-online / GPIOCP / static / GA across utilisations).
+func BenchmarkFig5Schedulability(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Fig5(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Psi and BenchmarkFig7Upsilon regenerate Figures 6 and 7
+// (the runner computes both metrics in one pass; each bench reports one).
+func BenchmarkFig6Psi(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		psi, _, err := experiment.Fig6And7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(psi.Points) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig7Upsilon(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		_, ups, err := experiment.Fig6And7(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ups.Points) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkTable1ResourceModel regenerates Table I from the structural
+// hardware-cost model.
+func BenchmarkTable1ResourceModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := hwcost.Table1()
+		if len(rows) != 7 {
+			b.Fatal("incomplete table")
+		}
+	}
+}
+
+// BenchmarkMotivationNoC regenerates the Section I experiment (remote
+// write jitter over the mesh vs the pre-loaded controller).
+func BenchmarkMotivationNoC(b *testing.B) {
+	cfg := experiment.DefaultMotivation()
+	cfg.Writes = 50
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Motivation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the core algorithms ---
+
+func benchJobs(b *testing.B, u float64) []taskmodel.Job {
+	b.Helper()
+	cfg := gen.PaperConfig()
+	ts, err := cfg.System(rand.New(rand.NewSource(1)), u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ts.Jobs()
+}
+
+func BenchmarkDepgraphBuildDecompose(b *testing.B) {
+	jobs := benchJobs(b, 0.7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := depgraph.Build(jobs)
+		d := g.Decompose()
+		if len(d.Exact)+len(d.Removed) != len(jobs) {
+			b.Fatal("bad decomposition")
+		}
+	}
+}
+
+func BenchmarkStaticScheduler(b *testing.B) {
+	jobs := benchJobs(b, 0.7)
+	s := staticsched.New(staticsched.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGASolve(b *testing.B) {
+	jobs := benchJobs(b, 0.5)
+	opts := ga.DefaultOptions()
+	opts.Population = 20
+	opts.Generations = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i)
+		if _, err := ga.Solve(jobs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFPSOfflineSimulation(b *testing.B) {
+	jobs := benchJobs(b, 0.7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (fps.Offline{}).Schedule(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFPSOnlineAnalysis(b *testing.B) {
+	cfg := gen.PaperConfig()
+	ts, err := cfg.System(rand.New(rand.NewSource(1)), 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fps.Analyze(ts.Tasks)
+	}
+}
+
+func BenchmarkGPIOCPBaseline(b *testing.B) {
+	jobs := benchJobs(b, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Feasibility varies by system; only hard errors abort.
+		_, err := (gpiocp.Scheduler{}).Schedule(jobs)
+		if err != nil && !isInfeasible(err) {
+			b.Fatal(err)
+		}
+	}
+}
+
+func isInfeasible(err error) bool {
+	return errors.Is(err, sched.ErrInfeasible)
+}
+
+// BenchmarkControllerHyperperiod runs the proposed controller through one
+// hyper-period of a scheduled paper-style system.
+func BenchmarkControllerHyperperiod(b *testing.B) {
+	cfg := gen.PaperConfig()
+	ts, err := cfg.System(rand.New(rand.NewSource(2)), 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	schedules, err := sched.ScheduleAll(ts, staticsched.New(staticsched.Options{}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	clock := timing.Clock10MHz
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var k sim.Kernel
+		ctrl := controller.New()
+		bank, _ := device.NewGPIOBank("g", 16)
+		if _, err := ctrl.AddProcessor(&k, 0, controller.GPIOExecutor{Bank: bank}, controller.ExecuteAlways); err != nil {
+			b.Fatal(err)
+		}
+		progs := map[int]controller.Program{}
+		for t := range ts.Tasks {
+			progs[ts.Tasks[t].ID] = controller.Program{{Op: controller.OpTogglePin, Pin: device.Pin(t % 16)}}
+		}
+		if err := ctrl.Deploy(progs, schedules, clock, ts.Hyperperiod(), 1); err != nil {
+			b.Fatal(err)
+		}
+		k.Run(0)
+	}
+}
+
+// BenchmarkNoCMeshSaturation pushes packets through the mesh under load.
+func BenchmarkNoCMeshSaturation(b *testing.B) {
+	cfg := noc.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		var k sim.Kernel
+		m, err := noc.New(&k, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range m.Coords() {
+			m.Attach(c, func(*noc.Packet) {})
+		}
+		rng := rand.New(rand.NewSource(int64(i)))
+		for p := 0; p < 500; p++ {
+			pkt := &noc.Packet{
+				Src:      noc.Coord{X: rng.Intn(cfg.Width), Y: rng.Intn(cfg.Height)},
+				Dst:      noc.Coord{X: rng.Intn(cfg.Width), Y: rng.Intn(cfg.Height)},
+				Priority: rng.Intn(4),
+			}
+			at := timing.Cycle(rng.Intn(1000))
+			k.At(at, func() { m.Inject(pkt) })
+		}
+		k.Run(0)
+		if m.Stats().Delivered != 500 {
+			b.Fatal("packets lost")
+		}
+	}
+}
+
+// BenchmarkSystemGeneration measures the synthetic system generator.
+func BenchmarkSystemGeneration(b *testing.B) {
+	cfg := gen.PaperConfig()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.System(rng, 0.9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiDeviceScaling measures the partitioned-controller scaling
+// study (schedulability and accuracy vs device count).
+func BenchmarkMultiDeviceScaling(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.MultiDevice(cfg, 0.8, []int{1, 2, 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(points) != 3 {
+			b.Fatal("bad result")
+		}
+	}
+}
+
+// BenchmarkEndToEndAnalysis measures the Section III-C I/O-aware
+// end-to-end bound computation.
+func BenchmarkEndToEndAnalysis(b *testing.B) {
+	cfg := gen.PaperConfig()
+	ts, err := cfg.System(rand.New(rand.NewSource(5)), 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	schedules, err := sched.ScheduleAll(ts, staticsched.New(staticsched.Options{}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu, ctl := noc.Coord{X: 0, Y: 0}, noc.Coord{X: 3, Y: 3}
+	flows := []analysis.Flow{
+		{Name: "req", Priority: 2, Period: 10 * timing.Millisecond,
+			BasicLatency: 50 * timing.Microsecond, Route: analysis.XYRoute(cpu, ctl)},
+		{Name: "resp", Priority: 2, Period: 10 * timing.Millisecond,
+			BasicLatency: 50 * timing.Microsecond, Route: analysis.XYRoute(ctl, cpu)},
+		{Name: "video", Priority: 3, Period: 2 * timing.Millisecond,
+			BasicLatency: 300 * timing.Microsecond,
+			Route:        analysis.XYRoute(noc.Coord{X: 0, Y: 2}, noc.Coord{X: 3, Y: 2})},
+	}
+	tx := analysis.Transaction{
+		Name: "read", Request: 0, Response: 1, Task: ts.Tasks[0].ID,
+		Device: 0, Deadline: 500 * timing.Millisecond,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.Analyze(tx, flows, schedules); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

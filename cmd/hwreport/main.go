@@ -1,0 +1,38 @@
+// Command hwreport prints Table I: the structural resource model's
+// estimate for every evaluated I/O controller design next to the paper's
+// published Vivado synthesis figures, plus the Section V-B ratio claims.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiment"
+	"repro/internal/hwcost"
+	"repro/internal/textplot"
+)
+
+func main() {
+	rows := experiment.Table1()
+	h, r := experiment.Table1Rows(rows)
+	fmt.Println("Table I: hardware overhead of evaluated I/O controllers (model / paper)")
+	fmt.Println()
+	fmt.Println(textplot.Table(h, r))
+
+	byName := map[string]hwcost.Resources{}
+	for _, row := range rows {
+		byName[row.Name] = row.Model
+	}
+	p, g := byName["Proposed"], byName["GPIOCP"]
+	mbB, mbF := byName["MB-B"], byName["MB-F"]
+	fmt.Println("Section V-B claims (model):")
+	fmt.Printf("  proposed vs MB-F:   %5.1f%% LUTs, %5.1f%% registers (paper: 23.6%%, 22.4%%)\n",
+		pct(p.LUTs, mbF.LUTs), pct(p.Registers, mbF.Registers))
+	fmt.Printf("  proposed vs MB-B:   %5.1f%% LUTs, %5.1f%% registers (paper: 135.4%%, 185.6%%)\n",
+		pct(p.LUTs, mbB.LUTs), pct(p.Registers, mbB.Registers))
+	fmt.Printf("  proposed vs GPIOCP: +%4.1f%% LUTs, +%4.1f%% registers (paper: +30.5%%, +52.2%%)\n",
+		pct(p.LUTs, g.LUTs)-100, pct(p.Registers, g.Registers)-100)
+	fmt.Printf("  power vs MB-B: %4.1f%%  vs MB-F: %4.1f%% (paper: 8.7%%, 4.6%%)\n",
+		100*p.PowerMW/mbB.PowerMW, 100*p.PowerMW/mbF.PowerMW)
+}
+
+func pct(a, b int) float64 { return 100 * float64(a) / float64(b) }

@@ -1,0 +1,200 @@
+// Command ioschedbench regenerates every table and figure of the paper's
+// evaluation (Section V) plus the motivation and ablation experiments:
+//
+//	ioschedbench -experiment fig5        # schedulability vs utilisation
+//	ioschedbench -experiment fig6        # Ψ of the offline methods
+//	ioschedbench -experiment fig7        # Υ of the offline methods
+//	ioschedbench -experiment table1      # hardware cost model vs paper
+//	ioschedbench -experiment motivation  # NoC jitter vs pre-loaded controller
+//	ioschedbench -experiment ablation    # design-choice variants
+//	ioschedbench -experiment multidevice # partitioned-controller scaling
+//	ioschedbench -experiment all
+//
+// The default configuration is a calibrated scale-down (100 systems per
+// point, GA 60×80); -paperscale switches to the paper's 1000 systems and
+// GA 300×500, which takes hours. All runs are deterministic in -seed.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/experiment"
+	"repro/internal/textplot"
+)
+
+func main() {
+	var (
+		which      = flag.String("experiment", "all", "fig5|fig6|fig7|table1|motivation|ablation|multidevice|all")
+		systems    = flag.Int("systems", 0, "systems per utilisation point (0 = config default)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		gaPop      = flag.Int("gapop", 0, "GA population (0 = config default)")
+		gaGens     = flag.Int("gagens", 0, "GA generations (0 = config default)")
+		paperScale = flag.Bool("paperscale", false, "use the paper's full experiment scale")
+		ablU       = flag.Float64("ablation-u", 0.6, "utilisation for the ablation study")
+		csvDir     = flag.String("csv", "", "directory to write CSV result files into")
+	)
+	flag.Parse()
+
+	cfg := experiment.Default()
+	if *paperScale {
+		cfg = experiment.PaperScale()
+	}
+	cfg.Seed = *seed
+	if *systems > 0 {
+		cfg.Systems = *systems
+	}
+	if *gaPop > 0 {
+		cfg.GA.Population = *gaPop
+	}
+	if *gaGens > 0 {
+		cfg.GA.Generations = *gaGens
+	}
+
+	ran := false
+	run := func(name string, fn func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		ran = true
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "ioschedbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig5", func() error { return runFig5(cfg, *csvDir) })
+	run("fig6", func() error { return runFigQ(cfg, *csvDir, true) })
+	run("fig7", func() error { return runFigQ(cfg, *csvDir, false) })
+	run("table1", func() error { return runTable1(*csvDir) })
+	run("motivation", func() error { return runMotivation(*seed) })
+	run("ablation", func() error { return runAblation(cfg, *ablU) })
+	run("multidevice", func() error { return runMultiDevice(cfg) })
+	if !ran {
+		fmt.Fprintf(os.Stderr, "ioschedbench: unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}
+
+func plotSeries(title string, xlabels []string, cs []experiment.Curveable) {
+	var series []textplot.Series
+	for _, c := range cs {
+		series = append(series, textplot.Series{Name: c.Name, Values: c.Values})
+	}
+	fmt.Println(textplot.Chart(title, xlabels, series, 0, 1, 12))
+}
+
+func writeCSV(dir, name string, headers []string, rows [][]string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(dir + "/" + name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(headers); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func runFig5(cfg experiment.Config, csvDir string) error {
+	fmt.Printf("Figure 5: system schedulability (systems/point=%d, GA %dx%d, seed=%d)\n\n",
+		cfg.Systems, cfg.GA.Population, cfg.GA.Generations, cfg.Seed)
+	res, err := experiment.Fig5(cfg)
+	if err != nil {
+		return err
+	}
+	x, series := res.Series()
+	plotSeries("Fig 5: schedulable fraction vs utilisation", x, series)
+	h, rows := res.Rows()
+	fmt.Println(textplot.Table(h, rows))
+	return writeCSV(csvDir, "fig5.csv", h, rows)
+}
+
+func runFigQ(cfg experiment.Config, csvDir string, psi bool) error {
+	name, metric := "Figure 6", "Psi (fraction of exact timing-accurate jobs)"
+	if !psi {
+		name, metric = "Figure 7", "Upsilon (normalised quality)"
+	}
+	fmt.Printf("%s: %s (systems/point=%d, GA %dx%d, seed=%d)\n\n",
+		name, metric, cfg.Systems, cfg.GA.Population, cfg.GA.Generations, cfg.Seed)
+	psiRes, upsRes, err := experiment.Fig6And7(cfg)
+	if err != nil {
+		return err
+	}
+	res := psiRes
+	file := "fig6.csv"
+	if !psi {
+		res = upsRes
+		file = "fig7.csv"
+	}
+	x, series := res.Series()
+	plotSeries(name+": "+metric, x, series)
+	h, rows := res.Rows()
+	fmt.Println(textplot.Table(h, rows))
+	return writeCSV(csvDir, file, h, rows)
+}
+
+func runTable1(csvDir string) error {
+	fmt.Println("Table I: hardware overhead of the evaluated I/O controllers")
+	fmt.Println("(structural resource model vs the paper's Vivado synthesis)")
+	fmt.Println()
+	rows := experiment.Table1()
+	h, r := experiment.Table1Rows(rows)
+	fmt.Println(textplot.Table(h, r))
+	return writeCSV(csvDir, "table1.csv", h, r)
+}
+
+func runMotivation(seed int64) error {
+	cfg := experiment.DefaultMotivation()
+	cfg.Seed = seed
+	fmt.Printf("Motivation (Section I): timing accuracy of remote I/O writes over a %dx%d NoC\n",
+		cfg.Mesh.Width, cfg.Mesh.Height)
+	fmt.Printf("(%d periodic writes, %d cross-traffic flows, seed=%d)\n\n",
+		cfg.Writes, cfg.CrossFlows, seed)
+	res, err := experiment.Motivation(cfg)
+	if err != nil {
+		return err
+	}
+	h, rows := res.Rows()
+	fmt.Println(textplot.Table(h, rows))
+	fmt.Printf("uncontended CPU->controller latency: %d cycles (compensated by the remote design)\n",
+		res.BaseLatency)
+	return nil
+}
+
+func runMultiDevice(cfg experiment.Config) error {
+	fmt.Printf("Partitioned scaling: static scheduler at total U=0.8 over 1..8 devices (systems=%d)\n\n", cfg.Systems)
+	points, err := experiment.MultiDevice(cfg, 0.8, []int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	h, rows := experiment.MultiDeviceRows(points)
+	fmt.Println(textplot.Table(h, rows))
+	return nil
+}
+
+func runAblation(cfg experiment.Config, u float64) error {
+	fmt.Printf("Ablation at U=%s (systems=%d, seed=%d)\n\n",
+		strconv.FormatFloat(u, 'f', 2, 64), cfg.Systems, cfg.Seed)
+	res, err := experiment.Ablation(cfg, u)
+	if err != nil {
+		return err
+	}
+	h, rows := experiment.AblationRows(res)
+	fmt.Println(textplot.Table(h, rows))
+	return nil
+}

@@ -1,0 +1,203 @@
+// Package analysis implements the I/O-aware end-to-end schedulability test
+// sketched in Section III-C: because the offline schedule fixes the actual
+// finish time of every I/O task, a higher-level NoC analysis (the paper
+// cites Indrusiak's end-to-end tests for priority-preemptive wormhole
+// NoCs) can integrate that value and bound a complete CPU → controller →
+// device → CPU transaction.
+//
+// The NoC part follows the classic flow-level response-time analysis for
+// priority-preemptive wormhole switching: a periodic packet flow suffers
+// direct interference from every higher-priority flow sharing at least one
+// link of its route, iterated to a fixed point. The I/O part takes the
+// task's worst finish time straight from the offline schedule
+// (sched.Schedule.FinishTime). The total bound is
+//
+//	R(end-to-end) = R(request flow) + finish(I/O task) + R(response flow)
+//
+// and the transaction is schedulable when the bound meets its deadline.
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/noc"
+	"repro/internal/sched"
+	"repro/internal/taskmodel"
+	"repro/internal/timing"
+)
+
+// Link is one directed mesh link, identified by its endpoints.
+type Link struct {
+	From, To noc.Coord
+}
+
+// Flow is a periodic packet flow on the NoC.
+type Flow struct {
+	// Name labels the flow in reports.
+	Name string
+	// Priority wins link arbitration; larger is stronger.
+	Priority int
+	// Period is the minimum inter-release time of the flow's packets.
+	Period timing.Time
+	// BasicLatency is the zero-load traversal time of one packet.
+	BasicLatency timing.Time
+	// Jitter is the release jitter of the flow.
+	Jitter timing.Time
+	// Route is the ordered set of links the packets traverse.
+	Route []Link
+}
+
+// XYRoute returns the links of the dimension-ordered (XY) route between
+// two mesh nodes — the routing the noc package implements.
+func XYRoute(src, dst noc.Coord) []Link {
+	var links []Link
+	at := src
+	for at.X != dst.X {
+		next := at
+		if dst.X > at.X {
+			next.X++
+		} else {
+			next.X--
+		}
+		links = append(links, Link{From: at, To: next})
+		at = next
+	}
+	for at.Y != dst.Y {
+		next := at
+		if dst.Y > at.Y {
+			next.Y++
+		} else {
+			next.Y--
+		}
+		links = append(links, Link{From: at, To: next})
+		at = next
+	}
+	return links
+}
+
+// SharesLink reports whether two routes contend for at least one link.
+func SharesLink(a, b []Link) bool {
+	seen := make(map[Link]bool, len(a))
+	for _, l := range a {
+		seen[l] = true
+	}
+	for _, l := range b {
+		if seen[l] {
+			return true
+		}
+	}
+	return false
+}
+
+// FlowResponse bounds the worst-case network latency of flows[i] under
+// direct interference from every higher-priority flow sharing a link
+// (the priority-preemptive wormhole analysis). It returns the bound and
+// whether the fixed point converged within the flow's period — a flow
+// whose response exceeds its period is reported unschedulable without a
+// busy-period extension, which keeps the test conservative.
+func FlowResponse(flows []Flow, i int) (timing.Time, bool) {
+	f := &flows[i]
+	if f.Period <= 0 || f.BasicLatency <= 0 {
+		return 0, false
+	}
+	var interferers []*Flow
+	for k := range flows {
+		if k == i {
+			continue
+		}
+		g := &flows[k]
+		if g.Priority > f.Priority && SharesLink(f.Route, g.Route) {
+			interferers = append(interferers, g)
+		}
+	}
+	r := f.BasicLatency
+	for iter := 0; iter < 1_000_000; iter++ {
+		next := f.BasicLatency
+		for _, g := range interferers {
+			next += ceilDiv(r+g.Jitter, g.Period) * g.BasicLatency
+		}
+		if next > f.Period {
+			return next, false
+		}
+		if next == r {
+			return r, true
+		}
+		r = next
+	}
+	return r, false
+}
+
+func ceilDiv(a, b timing.Time) timing.Time {
+	if a <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// Transaction is one end-to-end I/O operation: a request flow from the
+// application CPU to the controller, the scheduled I/O task on the device,
+// and a response flow back.
+type Transaction struct {
+	// Name labels the transaction.
+	Name string
+	// Request and Response index into the flow set handed to Analyze.
+	// Response may be -1 for fire-and-forget writes.
+	Request, Response int
+	// Task is the I/O task whose offline finish time bounds the device
+	// stage.
+	Task int
+	// Device is the partition the task was scheduled on.
+	Device int
+	// Deadline is the end-to-end deadline of the transaction.
+	Deadline timing.Time
+}
+
+// StageBounds decomposes a transaction's response-time bound.
+type StageBounds struct {
+	Transaction string
+	// RequestNet and ResponseNet are the NoC flow bounds (response 0 if
+	// fire-and-forget).
+	RequestNet  timing.Time
+	ResponseNet timing.Time
+	// IOFinish is the task's worst finish time from the offline schedule,
+	// relative to its release.
+	IOFinish timing.Time
+	// Total = RequestNet + IOFinish + ResponseNet.
+	Total timing.Time
+	// Schedulable reports Total ≤ Deadline with all stages convergent.
+	Schedulable bool
+}
+
+// Analyze runs the complete I/O-aware end-to-end test: NoC bounds for the
+// request/response flows plus the offline schedule's finish time for the
+// device stage. schedules must contain the partition the task was
+// scheduled on.
+func Analyze(tx Transaction, flows []Flow, schedules sched.DeviceSchedules) (StageBounds, error) {
+	out := StageBounds{Transaction: tx.Name}
+	if tx.Request < 0 || tx.Request >= len(flows) {
+		return out, fmt.Errorf("analysis: transaction %q request flow %d out of range", tx.Name, tx.Request)
+	}
+	reqR, reqOK := FlowResponse(flows, tx.Request)
+	out.RequestNet = reqR
+	respOK := true
+	if tx.Response >= 0 {
+		if tx.Response >= len(flows) {
+			return out, fmt.Errorf("analysis: transaction %q response flow %d out of range", tx.Name, tx.Response)
+		}
+		var respR timing.Time
+		respR, respOK = FlowResponse(flows, tx.Response)
+		out.ResponseNet = respR
+	}
+	s, ok := schedules[taskmodel.DeviceID(tx.Device)]
+	if !ok {
+		return out, fmt.Errorf("analysis: transaction %q: no schedule for device %d", tx.Name, tx.Device)
+	}
+	finish, found := s.FinishTime(tx.Task)
+	if !found {
+		return out, fmt.Errorf("analysis: transaction %q: task %d not in device %d schedule", tx.Name, tx.Task, tx.Device)
+	}
+	out.IOFinish = finish
+	out.Total = out.RequestNet + out.IOFinish + out.ResponseNet
+	out.Schedulable = reqOK && respOK && out.Total <= tx.Deadline
+	return out, nil
+}

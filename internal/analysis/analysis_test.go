@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/noc"
+	"repro/internal/quality"
+	"repro/internal/sched"
+	"repro/internal/taskmodel"
+	"repro/internal/timing"
+)
+
+const ms = timing.Millisecond
+
+func TestXYRoute(t *testing.T) {
+	links := XYRoute(noc.Coord{X: 0, Y: 0}, noc.Coord{X: 2, Y: 1})
+	// X first: (0,0)->(1,0)->(2,0), then Y: (2,0)->(2,1).
+	want := []Link{
+		{From: noc.Coord{X: 0, Y: 0}, To: noc.Coord{X: 1, Y: 0}},
+		{From: noc.Coord{X: 1, Y: 0}, To: noc.Coord{X: 2, Y: 0}},
+		{From: noc.Coord{X: 2, Y: 0}, To: noc.Coord{X: 2, Y: 1}},
+	}
+	if len(links) != len(want) {
+		t.Fatalf("route = %v", links)
+	}
+	for i := range want {
+		if links[i] != want[i] {
+			t.Fatalf("route = %v, want %v", links, want)
+		}
+	}
+	// Degenerate route.
+	if len(XYRoute(noc.Coord{X: 1, Y: 1}, noc.Coord{X: 1, Y: 1})) != 0 {
+		t.Error("self route should be empty")
+	}
+	// Westward/southward.
+	back := XYRoute(noc.Coord{X: 2, Y: 1}, noc.Coord{X: 0, Y: 0})
+	if len(back) != 3 {
+		t.Errorf("reverse route = %v", back)
+	}
+}
+
+func TestSharesLink(t *testing.T) {
+	a := XYRoute(noc.Coord{X: 0, Y: 0}, noc.Coord{X: 3, Y: 0})
+	b := XYRoute(noc.Coord{X: 1, Y: 0}, noc.Coord{X: 2, Y: 0})
+	if !SharesLink(a, b) {
+		t.Error("overlapping east routes should share a link")
+	}
+	// Opposite directions use different directed links.
+	c := XYRoute(noc.Coord{X: 3, Y: 0}, noc.Coord{X: 0, Y: 0})
+	if SharesLink(a, c) {
+		t.Error("opposite directions should not share directed links")
+	}
+	if SharesLink(nil, a) {
+		t.Error("empty route shares nothing")
+	}
+}
+
+func TestFlowResponseNoInterference(t *testing.T) {
+	flows := []Flow{{
+		Name: "solo", Priority: 1, Period: 100 * ms, BasicLatency: 2 * ms,
+		Route: XYRoute(noc.Coord{X: 0, Y: 0}, noc.Coord{X: 3, Y: 3}),
+	}}
+	r, ok := FlowResponse(flows, 0)
+	if !ok || r != 2*ms {
+		t.Fatalf("solo flow R = %v ok=%v, want basic latency", r, ok)
+	}
+}
+
+func TestFlowResponseDirectInterference(t *testing.T) {
+	shared := XYRoute(noc.Coord{X: 0, Y: 0}, noc.Coord{X: 3, Y: 0})
+	flows := []Flow{
+		{Name: "victim", Priority: 1, Period: 100 * ms, BasicLatency: 2 * ms, Route: shared},
+		{Name: "hp", Priority: 2, Period: 10 * ms, BasicLatency: 1 * ms, Route: shared},
+	}
+	r, ok := FlowResponse(flows, 0)
+	if !ok {
+		t.Fatal("should converge")
+	}
+	// w = 2 + ceil(w/10)*1: w=3 → ceil(3/10)=1 → 3. Fixed point 3ms.
+	if r != 3*ms {
+		t.Errorf("R = %v, want 3ms", r)
+	}
+	// The high-priority flow is unaffected.
+	rHP, ok := FlowResponse(flows, 1)
+	if !ok || rHP != 1*ms {
+		t.Errorf("hp R = %v", rHP)
+	}
+}
+
+func TestFlowResponseDisjointRoutesNoInterference(t *testing.T) {
+	flows := []Flow{
+		{Name: "a", Priority: 1, Period: 50 * ms, BasicLatency: 2 * ms,
+			Route: XYRoute(noc.Coord{X: 0, Y: 0}, noc.Coord{X: 3, Y: 0})},
+		{Name: "b", Priority: 9, Period: 5 * ms, BasicLatency: 4 * ms,
+			Route: XYRoute(noc.Coord{X: 0, Y: 1}, noc.Coord{X: 3, Y: 1})},
+	}
+	r, ok := FlowResponse(flows, 0)
+	if !ok || r != 2*ms {
+		t.Errorf("disjoint routes: R = %v", r)
+	}
+}
+
+func TestFlowResponseOverload(t *testing.T) {
+	shared := XYRoute(noc.Coord{X: 0, Y: 0}, noc.Coord{X: 1, Y: 0})
+	flows := []Flow{
+		{Name: "victim", Priority: 1, Period: 10 * ms, BasicLatency: 5 * ms, Route: shared},
+		{Name: "hog", Priority: 2, Period: 6 * ms, BasicLatency: 6 * ms, Route: shared},
+	}
+	if _, ok := FlowResponse(flows, 0); ok {
+		t.Fatal("overloaded link should be unschedulable")
+	}
+	// Invalid flows are rejected.
+	if _, ok := FlowResponse([]Flow{{Period: 0, BasicLatency: 1}}, 0); ok {
+		t.Error("zero period accepted")
+	}
+}
+
+// buildSchedule creates a one-task schedule with a known finish time.
+func buildSchedule(t *testing.T, finish timing.Time) sched.DeviceSchedules {
+	t.Helper()
+	j := taskmodel.Job{
+		ID: taskmodel.JobID{Task: 0, J: 0}, Release: 0, Deadline: 100 * ms,
+		Ideal: finish - 1*ms, C: 1 * ms, Vmax: 2, Vmin: 1,
+	}
+	s, err := sched.New([]taskmodel.Job{j}, quality.StartTimes{j.ID: finish - 1*ms})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched.DeviceSchedules{0: s}
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	schedules := buildSchedule(t, 10*ms) // finish time = 10ms after release
+	route := XYRoute(noc.Coord{X: 0, Y: 0}, noc.Coord{X: 3, Y: 3})
+	flows := []Flow{
+		{Name: "req", Priority: 2, Period: 50 * ms, BasicLatency: 1 * ms, Route: route},
+		{Name: "resp", Priority: 2, Period: 50 * ms, BasicLatency: 1 * ms,
+			Route: XYRoute(noc.Coord{X: 3, Y: 3}, noc.Coord{X: 0, Y: 0})},
+	}
+	tx := Transaction{
+		Name: "read-sensor", Request: 0, Response: 1,
+		Task: 0, Device: 0, Deadline: 20 * ms,
+	}
+	b, err := Analyze(tx, flows, schedules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total != 1*ms+10*ms+1*ms {
+		t.Errorf("total = %v, want 12ms", b.Total)
+	}
+	if !b.Schedulable {
+		t.Error("12ms ≤ 20ms should be schedulable")
+	}
+	// Tighten the deadline below the bound.
+	tx.Deadline = 11 * ms
+	b, _ = Analyze(tx, flows, schedules)
+	if b.Schedulable {
+		t.Error("12ms > 11ms should fail")
+	}
+	// Fire-and-forget write: no response stage.
+	tx.Response = -1
+	tx.Deadline = 11 * ms
+	b, err = Analyze(tx, flows, schedules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ResponseNet != 0 || !b.Schedulable {
+		t.Errorf("write-only bounds = %+v", b)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	schedules := buildSchedule(t, 10*ms)
+	flows := []Flow{{Name: "req", Priority: 1, Period: 50 * ms, BasicLatency: 1 * ms,
+		Route: XYRoute(noc.Coord{X: 0, Y: 0}, noc.Coord{X: 1, Y: 0})}}
+	if _, err := Analyze(Transaction{Request: 5}, flows, schedules); err == nil {
+		t.Error("bad request index accepted")
+	}
+	if _, err := Analyze(Transaction{Request: 0, Response: 7}, flows, schedules); err == nil {
+		t.Error("bad response index accepted")
+	}
+	if _, err := Analyze(Transaction{Request: 0, Response: -1, Device: 9}, flows, schedules); err == nil {
+		t.Error("missing device accepted")
+	}
+	if _, err := Analyze(Transaction{Request: 0, Response: -1, Device: 0, Task: 42}, flows, schedules); err == nil {
+		t.Error("missing task accepted")
+	}
+}
+
+// Property: XY routes have exactly HopDistance links, and a flow's response
+// bound never decreases when an interfering flow is added.
+func TestAnalysisProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := noc.Coord{X: rng.Intn(4), Y: rng.Intn(4)}
+		dst := noc.Coord{X: rng.Intn(4), Y: rng.Intn(4)}
+		route := XYRoute(src, dst)
+		if len(route) != noc.HopDistance(src, dst) {
+			return false
+		}
+		flows := []Flow{{
+			Name: "victim", Priority: 1,
+			Period:       timing.Time(rng.Intn(50)+10) * ms,
+			BasicLatency: timing.Time(rng.Intn(3)+1) * ms,
+			Route:        XYRoute(noc.Coord{X: 0, Y: 0}, noc.Coord{X: 3, Y: 2}),
+		}}
+		r0, ok0 := FlowResponse(flows, 0)
+		if !ok0 {
+			return false // solo flow always converges (basic ≤ period here)
+		}
+		flows = append(flows, Flow{
+			Name: "hp", Priority: 2,
+			Period:       timing.Time(rng.Intn(40)+20) * ms,
+			BasicLatency: timing.Time(rng.Intn(2)+1) * ms,
+			Route:        XYRoute(noc.Coord{X: rng.Intn(4), Y: 0}, noc.Coord{X: 3, Y: rng.Intn(3)}),
+		})
+		r1, _ := FlowResponse(flows, 0)
+		return r1 >= r0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,249 @@
+package controller
+
+import (
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/timing"
+)
+
+// Opcode enumerates the I/O commands the EXU can execute. Continuous
+// commands are grouped into one program per I/O task (Phase 1 of
+// Section IV: "the continuous I/O commands are grouped as one I/O
+// operation").
+type Opcode int
+
+const (
+	// OpSetPin drives a GPIO pin high.
+	OpSetPin Opcode = iota
+	// OpClearPin drives a GPIO pin low.
+	OpClearPin
+	// OpTogglePin inverts a GPIO pin.
+	OpTogglePin
+	// OpReadPin samples a GPIO pin and emits a response.
+	OpReadPin
+	// OpWait stalls the EXU for Arg cycles (pulse-width shaping).
+	OpWait
+	// OpUARTSend transmits byte Arg on a UART device.
+	OpUARTSend
+	// OpSPIXfer shifts word Arg on an SPI device.
+	OpSPIXfer
+	// OpCANSend transmits the frame in Data on a CAN device.
+	OpCANSend
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpSetPin:
+		return "SET"
+	case OpClearPin:
+		return "CLR"
+	case OpTogglePin:
+		return "TGL"
+	case OpReadPin:
+		return "RD"
+	case OpWait:
+		return "WAIT"
+	case OpUARTSend:
+		return "UART"
+	case OpSPIXfer:
+		return "SPI"
+	case OpCANSend:
+		return "CAN"
+	default:
+		return fmt.Sprintf("Opcode(%d)", int(o))
+	}
+}
+
+// Command is one EXU instruction.
+type Command struct {
+	Op  Opcode
+	Pin device.Pin
+	// Arg is the wait duration (OpWait), byte (OpUARTSend) or word
+	// (OpSPIXfer).
+	Arg uint64
+	// Data is the CAN payload (OpCANSend).
+	Data []byte
+}
+
+// CommandBytes is the storage footprint of one command in controller
+// memory, matching a 64-bit command word.
+const CommandBytes = 8
+
+// Program is the command sequence of one pre-loaded I/O task.
+type Program []Command
+
+// Bytes returns the program's controller-memory footprint. CAN payloads
+// occupy additional command words.
+func (p Program) Bytes() int {
+	n := len(p) * CommandBytes
+	for _, c := range p {
+		if c.Op == OpCANSend {
+			n += (len(c.Data) + CommandBytes - 1) / CommandBytes * CommandBytes
+		}
+	}
+	return n
+}
+
+// Executor executes single commands against a concrete device, returning
+// the cycles the device was occupied and, for reads, a response value.
+type Executor interface {
+	// DeviceName identifies the bound device in faults and responses.
+	DeviceName() string
+	// Exec applies cmd at cycle now. resp is non-nil only for commands
+	// that produce a value (OpReadPin).
+	Exec(cmd Command, now timing.Cycle) (busy timing.Cycle, resp *uint64, err error)
+	// Cost returns the occupancy Exec would report for cmd without
+	// touching the device; validation uses it to check programs against
+	// job budgets.
+	Cost(cmd Command) (timing.Cycle, error)
+}
+
+// GPIOExecutor drives a GPIO bank. Pin operations take one cycle, matching
+// the single-cycle pin fabric of the reference implementation.
+type GPIOExecutor struct {
+	Bank *device.GPIOBank
+}
+
+// DeviceName implements Executor.
+func (g GPIOExecutor) DeviceName() string { return g.Bank.Name() }
+
+// Cost implements Executor.
+func (g GPIOExecutor) Cost(cmd Command) (timing.Cycle, error) {
+	switch cmd.Op {
+	case OpSetPin, OpClearPin, OpTogglePin, OpReadPin:
+		return 1, nil
+	case OpWait:
+		return timing.Cycle(cmd.Arg), nil
+	default:
+		return 0, fmt.Errorf("controller: GPIO device %s cannot execute %v", g.DeviceName(), cmd.Op)
+	}
+}
+
+// Exec implements Executor.
+func (g GPIOExecutor) Exec(cmd Command, now timing.Cycle) (timing.Cycle, *uint64, error) {
+	switch cmd.Op {
+	case OpSetPin:
+		return 1, nil, g.Bank.Set(cmd.Pin, true, now)
+	case OpClearPin:
+		return 1, nil, g.Bank.Set(cmd.Pin, false, now)
+	case OpTogglePin:
+		return 1, nil, g.Bank.Toggle(cmd.Pin, now)
+	case OpReadPin:
+		lvl, err := g.Bank.Read(cmd.Pin)
+		if err != nil {
+			return 0, nil, err
+		}
+		v := uint64(0)
+		if lvl {
+			v = 1
+		}
+		return 1, &v, nil
+	case OpWait:
+		return timing.Cycle(cmd.Arg), nil, nil
+	default:
+		return 0, nil, fmt.Errorf("controller: GPIO device %s cannot execute %v", g.DeviceName(), cmd.Op)
+	}
+}
+
+// UARTExecutor drives a UART transmitter.
+type UARTExecutor struct {
+	Dev *device.UART
+}
+
+// DeviceName implements Executor.
+func (u UARTExecutor) DeviceName() string { return u.Dev.Name() }
+
+// Cost implements Executor.
+func (u UARTExecutor) Cost(cmd Command) (timing.Cycle, error) {
+	switch cmd.Op {
+	case OpUARTSend:
+		return u.Dev.FrameDuration(), nil
+	case OpWait:
+		return timing.Cycle(cmd.Arg), nil
+	default:
+		return 0, fmt.Errorf("controller: UART device %s cannot execute %v", u.DeviceName(), cmd.Op)
+	}
+}
+
+// Exec implements Executor.
+func (u UARTExecutor) Exec(cmd Command, now timing.Cycle) (timing.Cycle, *uint64, error) {
+	switch cmd.Op {
+	case OpUARTSend:
+		f := u.Dev.Transmit(byte(cmd.Arg), now)
+		return f.Duration, nil, nil
+	case OpWait:
+		return timing.Cycle(cmd.Arg), nil, nil
+	default:
+		return 0, nil, fmt.Errorf("controller: UART device %s cannot execute %v", u.DeviceName(), cmd.Op)
+	}
+}
+
+// SPIExecutor drives an SPI engine.
+type SPIExecutor struct {
+	Dev *device.SPI
+}
+
+// DeviceName implements Executor.
+func (s SPIExecutor) DeviceName() string { return s.Dev.Name() }
+
+// Cost implements Executor.
+func (s SPIExecutor) Cost(cmd Command) (timing.Cycle, error) {
+	switch cmd.Op {
+	case OpSPIXfer:
+		return s.Dev.FrameDuration(), nil
+	case OpWait:
+		return timing.Cycle(cmd.Arg), nil
+	default:
+		return 0, fmt.Errorf("controller: SPI device %s cannot execute %v", s.DeviceName(), cmd.Op)
+	}
+}
+
+// Exec implements Executor.
+func (s SPIExecutor) Exec(cmd Command, now timing.Cycle) (timing.Cycle, *uint64, error) {
+	switch cmd.Op {
+	case OpSPIXfer:
+		f := s.Dev.Transfer(cmd.Arg, now)
+		return f.Duration, nil, nil
+	case OpWait:
+		return timing.Cycle(cmd.Arg), nil, nil
+	default:
+		return 0, nil, fmt.Errorf("controller: SPI device %s cannot execute %v", s.DeviceName(), cmd.Op)
+	}
+}
+
+// CANExecutor drives a CAN transmitter.
+type CANExecutor struct {
+	Dev *device.CAN
+}
+
+// DeviceName implements Executor.
+func (c CANExecutor) DeviceName() string { return c.Dev.Name() }
+
+// Cost implements Executor.
+func (c CANExecutor) Cost(cmd Command) (timing.Cycle, error) {
+	switch cmd.Op {
+	case OpCANSend:
+		return c.Dev.FrameDuration(len(cmd.Data))
+	case OpWait:
+		return timing.Cycle(cmd.Arg), nil
+	default:
+		return 0, fmt.Errorf("controller: CAN device %s cannot execute %v", c.DeviceName(), cmd.Op)
+	}
+}
+
+// Exec implements Executor.
+func (c CANExecutor) Exec(cmd Command, now timing.Cycle) (timing.Cycle, *uint64, error) {
+	switch cmd.Op {
+	case OpCANSend:
+		f, err := c.Dev.Transmit(cmd.Data, now)
+		if err != nil {
+			return 0, nil, err
+		}
+		return f.Duration, nil, nil
+	case OpWait:
+		return timing.Cycle(cmd.Arg), nil, nil
+	default:
+		return 0, nil, fmt.Errorf("controller: CAN device %s cannot execute %v", c.DeviceName(), cmd.Op)
+	}
+}

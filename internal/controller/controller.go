@@ -1,0 +1,360 @@
+// Package controller models the proposed timing-accurate I/O controller of
+// Section IV (Figure 4).
+//
+// The controller has two hardware components:
+//
+//   - the Controller Memory, which stores the pre-loaded I/O task programs
+//     (Phase 1) and is shared by all processors; and
+//   - one Controller Processor per I/O device, holding the scheduling
+//     table written by the offline scheduling methods (Phase 2) and the
+//     execution module — global timer, synchroniser, fault-recovery unit
+//     and EXU — that executes each job exactly at its table start time
+//     (Phase 3), plus the request and response channels that connect it to
+//     the application processors.
+//
+// The model is cycle-accurate with respect to everything the paper's
+// evaluation depends on: jobs start exactly at their scheduled cycles, the
+// EXU occupies the device for the program's real duration, missing
+// requests are handled by the fault-recovery unit without disturbing other
+// jobs, and read responses flow back through the response channel.
+package controller
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/taskmodel"
+	"repro/internal/timing"
+)
+
+// Memory is the controller memory: the pre-loaded task programs with a
+// bounded capacity (the reference implementation provisions 32 KB of
+// BRAM, Table I).
+type Memory struct {
+	capacity int
+	used     int
+	programs map[int]Program
+}
+
+// NewMemory builds a controller memory with the given capacity in bytes.
+func NewMemory(capacity int) (*Memory, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("controller: memory capacity %d must be positive", capacity)
+	}
+	return &Memory{capacity: capacity, programs: make(map[int]Program)}, nil
+}
+
+// DefaultMemoryBytes matches the reference implementation's 32 KB BRAM.
+const DefaultMemoryBytes = 32 * 1024
+
+// Preload stores the program for an I/O task (Phase 1). Re-loading a task
+// replaces its program and adjusts the accounting.
+func (m *Memory) Preload(task int, prog Program) error {
+	if len(prog) == 0 {
+		return fmt.Errorf("controller: task %d program is empty", task)
+	}
+	newBytes := prog.Bytes()
+	oldBytes := 0
+	if old, ok := m.programs[task]; ok {
+		oldBytes = old.Bytes()
+	}
+	if m.used-oldBytes+newBytes > m.capacity {
+		return fmt.Errorf("controller: memory full: %d/%d bytes used, task %d needs %d",
+			m.used, m.capacity, task, newBytes)
+	}
+	m.used += newBytes - oldBytes
+	m.programs[task] = prog
+	return nil
+}
+
+// Fetch retrieves a task's program.
+func (m *Memory) Fetch(task int) (Program, bool) {
+	p, ok := m.programs[task]
+	return p, ok
+}
+
+// Used returns the occupied bytes.
+func (m *Memory) Used() int { return m.used }
+
+// Capacity returns the memory size in bytes.
+func (m *Memory) Capacity() int { return m.capacity }
+
+// TableEntry is one scheduling-table row: job λ(Task)^(Job) starts at
+// Start (cycles within the hyper-period) and may occupy the device for at
+// most Budget cycles — the job's Ci, which the fault-recovery unit enforces.
+type TableEntry struct {
+	Task   int
+	Job    int
+	Start  timing.Cycle
+	Budget timing.Cycle
+}
+
+// FaultKind classifies run-time exceptions caught by the fault-recovery
+// unit inside the synchroniser.
+type FaultKind int
+
+const (
+	// FaultMissingRequest: the job's start time arrived but no request had
+	// enabled the task (e.g. the request packet was lost). The job is
+	// skipped so the rest of the schedule stays intact.
+	FaultMissingRequest FaultKind = iota
+	// FaultMissingProgram: the task was never pre-loaded into controller
+	// memory.
+	FaultMissingProgram
+	// FaultBudgetOverrun: the program ran longer than the job's budget;
+	// execution is truncated at the budget boundary.
+	FaultBudgetOverrun
+	// FaultExecError: a command failed on the device.
+	FaultExecError
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultMissingRequest:
+		return "missing-request"
+	case FaultMissingProgram:
+		return "missing-program"
+	case FaultBudgetOverrun:
+		return "budget-overrun"
+	case FaultExecError:
+		return "exec-error"
+	default:
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+}
+
+// Fault is one recorded run-time exception.
+type Fault struct {
+	Kind FaultKind
+	Task int
+	Job  int
+	At   timing.Cycle
+	Err  error
+}
+
+// Response is one value travelling back to the application processor
+// through the response channel.
+type Response struct {
+	Task  int
+	Job   int
+	At    timing.Cycle
+	Value uint64
+}
+
+// Execution records one completed job execution for verification.
+type Execution struct {
+	Task  int
+	Job   int
+	Start timing.Cycle
+	End   timing.Cycle
+}
+
+// Policy selects the fault-recovery behaviour for missing requests.
+type Policy int
+
+const (
+	// SkipMissing skips jobs whose tasks were not enabled (default):
+	// the scheduling of other jobs is preserved exactly.
+	SkipMissing Policy = iota
+	// ExecuteAlways treats pre-loading as a standing request and executes
+	// every table entry; the request channel then only carries dynamic
+	// re-arming.
+	ExecuteAlways
+)
+
+// Processor is one controller processor (Figure 4), bound to one device.
+type Processor struct {
+	k    *sim.Kernel
+	mem  *Memory
+	exec Executor
+	pol  Policy
+
+	table   []TableEntry
+	enabled map[int]bool
+
+	busyUntil  timing.Cycle
+	faults     []Fault
+	executions []Execution
+	onResponse func(Response)
+}
+
+// NewProcessor builds a controller processor on the kernel, bound to the
+// shared memory and one device executor.
+func NewProcessor(k *sim.Kernel, mem *Memory, exec Executor, pol Policy) (*Processor, error) {
+	if k == nil || mem == nil || exec == nil {
+		return nil, fmt.Errorf("controller: nil kernel, memory or executor")
+	}
+	return &Processor{k: k, mem: mem, exec: exec, pol: pol, enabled: make(map[int]bool)}, nil
+}
+
+// LoadTable installs the offline scheduling decisions (Phase 2). Entries
+// are sorted by start time; overlapping budgets are rejected because a
+// valid offline schedule can never produce them.
+func (p *Processor) LoadTable(entries []TableEntry) error {
+	t := append([]TableEntry(nil), entries...)
+	sort.SliceStable(t, func(a, b int) bool { return t[a].Start < t[b].Start })
+	for i := 1; i < len(t); i++ {
+		if t[i-1].Start+t[i-1].Budget > t[i].Start {
+			return fmt.Errorf("controller: table entries %d and %d overlap ([%d+%d] vs %d)",
+				i-1, i, t[i-1].Start, t[i-1].Budget, t[i].Start)
+		}
+	}
+	p.table = t
+	return nil
+}
+
+// Table returns the installed entries in start order.
+func (p *Processor) Table() []TableEntry { return p.table }
+
+// EnableTask marks a task's schedule as requested (the request channel
+// setting the task's bit to 1).
+func (p *Processor) EnableTask(task int) { p.enabled[task] = true }
+
+// DisableTask clears a task's request bit.
+func (p *Processor) DisableTask(task int) { delete(p.enabled, task) }
+
+// OnResponse registers the response-channel callback.
+func (p *Processor) OnResponse(fn func(Response)) { p.onResponse = fn }
+
+// Faults returns the recorded run-time exceptions.
+func (p *Processor) Faults() []Fault { return p.faults }
+
+// Executions returns the completed job executions in start order.
+func (p *Processor) Executions() []Execution { return p.executions }
+
+// Start arms the synchroniser: every table entry is scheduled on the
+// global timer for the given number of hyper-periods (Phase 3).
+// hyperperiod is the table's repetition interval in cycles; periods must
+// be at least 1.
+func (p *Processor) Start(hyperperiod timing.Cycle, periods int) error {
+	if periods < 1 {
+		return fmt.Errorf("controller: periods = %d, need at least 1", periods)
+	}
+	if hyperperiod <= 0 && periods > 1 {
+		return fmt.Errorf("controller: repetition needs a positive hyper-period")
+	}
+	for rep := 0; rep < periods; rep++ {
+		offset := timing.Cycle(rep) * hyperperiod
+		for _, e := range p.table {
+			e := e
+			p.k.At(offset+e.Start, func() { p.fire(e) })
+		}
+	}
+	return nil
+}
+
+// fire is the synchroniser's action at a job's start instant: check the
+// request bit, fetch and translate the program, and hand the commands to
+// the EXU. Faults never propagate to other jobs.
+func (p *Processor) fire(e TableEntry) {
+	now := p.k.Now()
+	if p.pol == SkipMissing && !p.enabled[e.Task] {
+		p.faults = append(p.faults, Fault{Kind: FaultMissingRequest, Task: e.Task, Job: e.Job, At: now})
+		return
+	}
+	prog, ok := p.mem.Fetch(e.Task)
+	if !ok {
+		p.faults = append(p.faults, Fault{Kind: FaultMissingProgram, Task: e.Task, Job: e.Job, At: now})
+		return
+	}
+	if now < p.busyUntil {
+		// Defensive: a valid table can never trigger this, but a budget
+		// overrun truncation bug could; record rather than corrupt state.
+		p.faults = append(p.faults, Fault{Kind: FaultBudgetOverrun, Task: e.Task, Job: e.Job, At: now})
+		return
+	}
+	cursor := now
+	deadline := now + e.Budget
+	for _, cmd := range prog {
+		busy, resp, err := p.exec.Exec(cmd, cursor)
+		if err != nil {
+			p.faults = append(p.faults, Fault{Kind: FaultExecError, Task: e.Task, Job: e.Job, At: cursor, Err: err})
+			break
+		}
+		cursor += busy
+		if cursor > deadline {
+			p.faults = append(p.faults, Fault{Kind: FaultBudgetOverrun, Task: e.Task, Job: e.Job, At: cursor})
+			cursor = deadline
+			break
+		}
+		if resp != nil && p.onResponse != nil {
+			p.onResponse(Response{Task: e.Task, Job: e.Job, At: cursor, Value: *resp})
+		}
+	}
+	p.busyUntil = cursor
+	p.executions = append(p.executions, Execution{Task: e.Task, Job: e.Job, Start: now, End: cursor})
+}
+
+// TableFromSchedule translates one device partition's offline schedule
+// (microsecond timeline) into scheduling-table entries on the controller
+// clock.
+func TableFromSchedule(s *sched.Schedule, clock timing.ClockHz) []TableEntry {
+	entries := make([]TableEntry, 0, len(s.Entries))
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		entries = append(entries, TableEntry{
+			Task:   e.Job.ID.Task,
+			Job:    e.Job.ID.J,
+			Start:  clock.ToCycles(e.Start),
+			Budget: clock.ToCycles(e.Job.C),
+		})
+	}
+	return entries
+}
+
+// Controller aggregates the shared memory and the per-device processors —
+// the full proposed I/O controller.
+type Controller struct {
+	Memory     *Memory
+	Processors map[taskmodel.DeviceID]*Processor
+}
+
+// New builds a controller with the default memory size.
+func New() *Controller {
+	mem, err := NewMemory(DefaultMemoryBytes)
+	if err != nil {
+		panic(err) // unreachable: constant capacity is positive
+	}
+	return &Controller{Memory: mem, Processors: make(map[taskmodel.DeviceID]*Processor)}
+}
+
+// AddProcessor creates and registers the processor for one device.
+func (c *Controller) AddProcessor(k *sim.Kernel, dev taskmodel.DeviceID, exec Executor, pol Policy) (*Processor, error) {
+	if _, dup := c.Processors[dev]; dup {
+		return nil, fmt.Errorf("controller: device %d already has a processor", dev)
+	}
+	p, err := NewProcessor(k, c.Memory, exec, pol)
+	if err != nil {
+		return nil, err
+	}
+	c.Processors[dev] = p
+	return p, nil
+}
+
+// Deploy pre-loads programs, installs the offline schedules, and arms every
+// processor: phases 1–3 in one call. programs maps task ID to its command
+// sequence; schedules is the output of the offline scheduler; clock
+// converts the scheduling timeline to cycles.
+func (c *Controller) Deploy(programs map[int]Program, schedules sched.DeviceSchedules,
+	clock timing.ClockHz, hyperperiod timing.Time, periods int) error {
+	for task, prog := range programs {
+		if err := c.Memory.Preload(task, prog); err != nil {
+			return err
+		}
+	}
+	for dev, s := range schedules {
+		p, ok := c.Processors[dev]
+		if !ok {
+			return fmt.Errorf("controller: no processor for device %d", dev)
+		}
+		if err := p.LoadTable(TableFromSchedule(s, clock)); err != nil {
+			return err
+		}
+		if err := p.Start(clock.ToCycles(hyperperiod), periods); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,473 @@
+package controller
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/quality"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/taskmodel"
+	"repro/internal/timing"
+)
+
+func newGPIOProc(t *testing.T, pol Policy) (*sim.Kernel, *Memory, *device.GPIOBank, *Processor) {
+	t.Helper()
+	var k sim.Kernel
+	mem, err := NewMemory(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank, err := device.NewGPIOBank("gpio0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProcessor(&k, mem, GPIOExecutor{Bank: bank}, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &k, mem, bank, p
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	mem, err := NewMemory(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := Program{{Op: OpSetPin, Pin: 0}, {Op: OpClearPin, Pin: 0}}
+	if err := mem.Preload(1, prog); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Used() != 16 {
+		t.Errorf("used = %d, want 16", mem.Used())
+	}
+	// Replace with a larger program: accounting adjusts.
+	if err := mem.Preload(1, Program{{Op: OpSetPin}, {Op: OpWait, Arg: 5}, {Op: OpClearPin}}); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Used() != 24 {
+		t.Errorf("used after replace = %d, want 24", mem.Used())
+	}
+	// Overflow rejected.
+	big := make(Program, 9) // 72 bytes > 64
+	for i := range big {
+		big[i] = Command{Op: OpTogglePin}
+	}
+	if err := mem.Preload(2, big); err == nil || !strings.Contains(err.Error(), "full") {
+		t.Fatalf("overflow err = %v", err)
+	}
+	if err := mem.Preload(3, nil); err == nil {
+		t.Error("empty program accepted")
+	}
+	if _, err := NewMemory(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestProgramBytesCANPayload(t *testing.T) {
+	p := Program{{Op: OpCANSend, Data: make([]byte, 9)}}
+	// 8 bytes command word + 16 bytes payload (9 rounded to 2 words).
+	if p.Bytes() != 24 {
+		t.Errorf("bytes = %d, want 24", p.Bytes())
+	}
+}
+
+func TestExactStartTimes(t *testing.T) {
+	k, mem, bank, p := newGPIOProc(t, SkipMissing)
+	mem.Preload(0, Program{{Op: OpSetPin, Pin: 0}, {Op: OpWait, Arg: 48}, {Op: OpClearPin, Pin: 0}})
+	p.EnableTask(0)
+	if err := p.LoadTable([]TableEntry{
+		{Task: 0, Job: 0, Start: 100, Budget: 50},
+		{Task: 0, Job: 1, Start: 500, Budget: 50},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(0)
+	ex := p.Executions()
+	if len(ex) != 2 {
+		t.Fatalf("executions = %v", ex)
+	}
+	if ex[0].Start != 100 || ex[1].Start != 500 {
+		t.Errorf("starts = %d, %d; want 100, 500", ex[0].Start, ex[1].Start)
+	}
+	// Pin edges: rising exactly at start (+1 cycle for SET), falling after
+	// the wait.
+	edges := bank.EdgesFor(0)
+	if len(edges) != 4 {
+		t.Fatalf("edges = %v", edges)
+	}
+	if edges[0].At != 100 || edges[1].At != 100+1+48 {
+		t.Errorf("first pulse edges at %d, %d", edges[0].At, edges[1].At)
+	}
+	if len(p.Faults()) != 0 {
+		t.Errorf("faults = %v", p.Faults())
+	}
+}
+
+func TestMissingRequestSkipsJob(t *testing.T) {
+	k, mem, bank, p := newGPIOProc(t, SkipMissing)
+	mem.Preload(0, Program{{Op: OpTogglePin, Pin: 1}})
+	mem.Preload(1, Program{{Op: OpTogglePin, Pin: 2}})
+	p.EnableTask(1) // task 0 never requested
+	p.LoadTable([]TableEntry{
+		{Task: 0, Job: 0, Start: 100, Budget: 10},
+		{Task: 1, Job: 0, Start: 200, Budget: 10},
+	})
+	p.Start(0, 1)
+	k.Run(0)
+	faults := p.Faults()
+	if len(faults) != 1 || faults[0].Kind != FaultMissingRequest || faults[0].Task != 0 {
+		t.Fatalf("faults = %v", faults)
+	}
+	// Task 1 executed exactly on time despite task 0's fault.
+	if len(bank.EdgesFor(2)) != 1 || bank.EdgesFor(2)[0].At != 200 {
+		t.Errorf("task 1 edges = %v", bank.EdgesFor(2))
+	}
+	if len(bank.EdgesFor(1)) != 0 {
+		t.Error("skipped job touched the device")
+	}
+}
+
+func TestExecuteAlwaysPolicy(t *testing.T) {
+	k, mem, bank, p := newGPIOProc(t, ExecuteAlways)
+	mem.Preload(0, Program{{Op: OpTogglePin, Pin: 1}})
+	p.LoadTable([]TableEntry{{Task: 0, Job: 0, Start: 50, Budget: 10}})
+	p.Start(0, 1)
+	k.Run(0)
+	if len(p.Faults()) != 0 {
+		t.Fatalf("faults = %v", p.Faults())
+	}
+	if len(bank.EdgesFor(1)) != 1 {
+		t.Error("job should execute without a request under ExecuteAlways")
+	}
+}
+
+func TestMissingProgramFault(t *testing.T) {
+	k, _, _, p := newGPIOProc(t, ExecuteAlways)
+	p.LoadTable([]TableEntry{{Task: 7, Job: 0, Start: 10, Budget: 5}})
+	p.Start(0, 1)
+	k.Run(0)
+	f := p.Faults()
+	if len(f) != 1 || f[0].Kind != FaultMissingProgram {
+		t.Fatalf("faults = %v", f)
+	}
+}
+
+func TestBudgetOverrunTruncates(t *testing.T) {
+	k, mem, _, p := newGPIOProc(t, ExecuteAlways)
+	mem.Preload(0, Program{{Op: OpWait, Arg: 100}, {Op: OpTogglePin, Pin: 0}})
+	p.LoadTable([]TableEntry{{Task: 0, Job: 0, Start: 0, Budget: 20}})
+	p.Start(0, 1)
+	k.Run(0)
+	f := p.Faults()
+	if len(f) != 1 || f[0].Kind != FaultBudgetOverrun {
+		t.Fatalf("faults = %v", f)
+	}
+	ex := p.Executions()
+	if len(ex) != 1 || ex[0].End != 20 {
+		t.Fatalf("execution truncated at %d, want 20", ex[0].End)
+	}
+}
+
+func TestExecErrorFault(t *testing.T) {
+	k, mem, _, p := newGPIOProc(t, ExecuteAlways)
+	mem.Preload(0, Program{{Op: OpSetPin, Pin: 99}}) // no such pin
+	p.LoadTable([]TableEntry{{Task: 0, Job: 0, Start: 0, Budget: 10}})
+	p.Start(0, 1)
+	k.Run(0)
+	f := p.Faults()
+	if len(f) != 1 || f[0].Kind != FaultExecError || f[0].Err == nil {
+		t.Fatalf("faults = %v", f)
+	}
+}
+
+func TestResponseChannel(t *testing.T) {
+	k, mem, bank, p := newGPIOProc(t, ExecuteAlways)
+	bank.Set(3, true, 0)
+	mem.Preload(0, Program{{Op: OpReadPin, Pin: 3}})
+	p.LoadTable([]TableEntry{{Task: 0, Job: 0, Start: 40, Budget: 10}})
+	var got []Response
+	p.OnResponse(func(r Response) { got = append(got, r) })
+	p.Start(0, 1)
+	k.Run(0)
+	if len(got) != 1 || got[0].Value != 1 || got[0].Task != 0 {
+		t.Fatalf("responses = %v", got)
+	}
+}
+
+func TestTableRejectsOverlap(t *testing.T) {
+	_, _, _, p := newGPIOProc(t, SkipMissing)
+	err := p.LoadTable([]TableEntry{
+		{Task: 0, Job: 0, Start: 0, Budget: 20},
+		{Task: 1, Job: 0, Start: 10, Budget: 20},
+	})
+	if err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHyperperiodRepetition(t *testing.T) {
+	k, mem, bank, p := newGPIOProc(t, ExecuteAlways)
+	mem.Preload(0, Program{{Op: OpTogglePin, Pin: 0}})
+	p.LoadTable([]TableEntry{{Task: 0, Job: 0, Start: 10, Budget: 5}})
+	if err := p.Start(1000, 3); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(0)
+	edges := bank.EdgesFor(0)
+	if len(edges) != 3 {
+		t.Fatalf("edges = %v", edges)
+	}
+	for i, want := range []timing.Cycle{10, 1010, 2010} {
+		if edges[i].At != want {
+			t.Errorf("repetition %d at %d, want %d", i, edges[i].At, want)
+		}
+	}
+	// Repetition without hyper-period is rejected.
+	if err := p.Start(0, 2); err == nil {
+		t.Error("repetition with zero hyper-period accepted")
+	}
+	if err := p.Start(1000, 0); err == nil {
+		t.Error("zero periods accepted")
+	}
+}
+
+func TestTableFromSchedule(t *testing.T) {
+	j := taskmodel.Job{
+		ID: taskmodel.JobID{Task: 2, J: 1}, Release: 0,
+		Deadline: 10000, Ideal: 500, C: 100, Vmax: 2, Vmin: 1,
+	}
+	s, err := sched.New([]taskmodel.Job{j}, quality.StartTimes{j.ID: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := TableFromSchedule(s, timing.Clock100MHz)
+	if len(entries) != 1 {
+		t.Fatal("no entries")
+	}
+	if entries[0].Start != 50000 || entries[0].Budget != 10000 {
+		t.Errorf("entry = %+v", entries[0])
+	}
+	if entries[0].Task != 2 || entries[0].Job != 1 {
+		t.Errorf("entry identity = %+v", entries[0])
+	}
+}
+
+func TestControllerDeploy(t *testing.T) {
+	var k sim.Kernel
+	c := New()
+	bank0, _ := device.NewGPIOBank("g0", 4)
+	bank1, _ := device.NewGPIOBank("g1", 4)
+	if _, err := c.AddProcessor(&k, 0, GPIOExecutor{Bank: bank0}, ExecuteAlways); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddProcessor(&k, 1, GPIOExecutor{Bank: bank1}, ExecuteAlways); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddProcessor(&k, 0, GPIOExecutor{Bank: bank0}, ExecuteAlways); err == nil {
+		t.Error("duplicate processor accepted")
+	}
+
+	mkJob := func(task int, dev taskmodel.DeviceID, ideal timing.Time) taskmodel.Job {
+		return taskmodel.Job{
+			ID: taskmodel.JobID{Task: task, J: 0}, Release: 0, Deadline: 10000,
+			Ideal: ideal, C: 10, Device: dev, Vmax: 2, Vmin: 1,
+		}
+	}
+	j0, j1 := mkJob(0, 0, 100), mkJob(1, 1, 200)
+	s0, err := sched.New([]taskmodel.Job{j0}, quality.StartTimes{j0.ID: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := sched.New([]taskmodel.Job{j1}, quality.StartTimes{j1.ID: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	programs := map[int]Program{
+		0: {{Op: OpTogglePin, Pin: 0}},
+		1: {{Op: OpTogglePin, Pin: 0}},
+	}
+	err = c.Deploy(programs, sched.DeviceSchedules{0: s0, 1: s1},
+		timing.Clock100MHz, 10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Run(0)
+	if len(bank0.EdgesFor(0)) != 1 || bank0.EdgesFor(0)[0].At != 100*100 {
+		t.Errorf("device 0 edges = %v", bank0.EdgesFor(0))
+	}
+	if len(bank1.EdgesFor(0)) != 1 || bank1.EdgesFor(0)[0].At != 200*100 {
+		t.Errorf("device 1 edges = %v", bank1.EdgesFor(0))
+	}
+	// Deploy to a device without a processor fails.
+	err = c.Deploy(map[int]Program{}, sched.DeviceSchedules{9: s0}, timing.Clock100MHz, 10000, 1)
+	if err == nil {
+		t.Error("deploy to missing processor accepted")
+	}
+}
+
+func TestUARTSPICANExecutors(t *testing.T) {
+	u, _ := device.NewUART("u", 10)
+	s, _ := device.NewSPI("s", 8, 2)
+	cn, _ := device.NewCAN("c", 3)
+
+	busy, _, err := (UARTExecutor{Dev: u}).Exec(Command{Op: OpUARTSend, Arg: 'A'}, 0)
+	if err != nil || busy != 100 {
+		t.Errorf("UART busy = %d err = %v", busy, err)
+	}
+	busy, _, err = (SPIExecutor{Dev: s}).Exec(Command{Op: OpSPIXfer, Arg: 0xFF}, 0)
+	if err != nil || busy != 16 {
+		t.Errorf("SPI busy = %d err = %v", busy, err)
+	}
+	busy, _, err = (CANExecutor{Dev: cn}).Exec(Command{Op: OpCANSend, Data: []byte{1}}, 0)
+	if err != nil || busy <= 0 {
+		t.Errorf("CAN busy = %d err = %v", busy, err)
+	}
+	// Wrong opcodes are rejected by each executor.
+	if _, _, err := (UARTExecutor{Dev: u}).Exec(Command{Op: OpSetPin}, 0); err == nil {
+		t.Error("UART accepted a pin op")
+	}
+	if _, _, err := (SPIExecutor{Dev: s}).Exec(Command{Op: OpUARTSend}, 0); err == nil {
+		t.Error("SPI accepted a UART op")
+	}
+	if _, _, err := (CANExecutor{Dev: cn}).Exec(Command{Op: OpReadPin}, 0); err == nil {
+		t.Error("CAN accepted a read op")
+	}
+	// All executors accept OpWait.
+	for _, ex := range []Executor{UARTExecutor{Dev: u}, SPIExecutor{Dev: s}, CANExecutor{Dev: cn}} {
+		busy, _, err := ex.Exec(Command{Op: OpWait, Arg: 7}, 0)
+		if err != nil || busy != 7 {
+			t.Errorf("%s wait: busy=%d err=%v", ex.DeviceName(), busy, err)
+		}
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	for op, want := range map[Opcode]string{
+		OpSetPin: "SET", OpClearPin: "CLR", OpTogglePin: "TGL", OpReadPin: "RD",
+		OpWait: "WAIT", OpUARTSend: "UART", OpSPIXfer: "SPI", OpCANSend: "CAN",
+	} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(op), op.String(), want)
+		}
+	}
+	if Opcode(99).String() != "Opcode(99)" {
+		t.Error("unknown opcode string")
+	}
+	for k, want := range map[FaultKind]string{
+		FaultMissingRequest: "missing-request", FaultMissingProgram: "missing-program",
+		FaultBudgetOverrun: "budget-overrun", FaultExecError: "exec-error",
+	} {
+		if k.String() != want {
+			t.Errorf("fault kind %d = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if FaultKind(9).String() != "FaultKind(9)" {
+		t.Error("unknown fault kind string")
+	}
+}
+
+// Section III-C: "In the case where jobs execute less than their WCETs,
+// the scheduling decisions can be preserved by making the processor idle
+// until the execution time of the next task arrives." The scheduling table
+// triggers on absolute instants, so an early completion must leave every
+// later start untouched.
+func TestEarlyCompletionPreservesSchedule(t *testing.T) {
+	k, mem, bank, p := newGPIOProc(t, ExecuteAlways)
+	// Task 0's program finishes after 10 cycles although its budget is 50.
+	mem.Preload(0, Program{{Op: OpTogglePin, Pin: 0}, {Op: OpWait, Arg: 9}})
+	mem.Preload(1, Program{{Op: OpTogglePin, Pin: 1}})
+	p.LoadTable([]TableEntry{
+		{Task: 0, Job: 0, Start: 100, Budget: 50},
+		{Task: 1, Job: 0, Start: 150, Budget: 10},
+	})
+	p.Start(0, 1)
+	k.Run(0)
+	ex := p.Executions()
+	if len(ex) != 2 {
+		t.Fatalf("executions = %v", ex)
+	}
+	if ex[0].End != 110 {
+		t.Errorf("task 0 finished at %d, want 110 (early)", ex[0].End)
+	}
+	// Task 1 still starts exactly at its table instant, not at the early
+	// completion.
+	if ex[1].Start != 150 {
+		t.Errorf("task 1 started at %d, want 150 (idle inserted)", ex[1].Start)
+	}
+	if es := bank.EdgesFor(1); len(es) != 1 || es[0].At != 150 {
+		t.Errorf("task 1 edge = %v", es)
+	}
+}
+
+// Property: the controller executes ANY valid offline schedule exactly —
+// for random feasible schedules, every execution starts at its table cycle
+// and the device trace reproduces the schedule. This is the paper's core
+// hardware guarantee (Phase 3).
+func TestControllerExecutesArbitrarySchedulesExactly(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%20 + 1
+		// Build a random non-overlapping table.
+		var entries []TableEntry
+		cursor := timing.Cycle(rng.Intn(50))
+		for i := 0; i < n; i++ {
+			budget := timing.Cycle(rng.Intn(40) + 2)
+			entries = append(entries, TableEntry{Task: i, Job: 0, Start: cursor, Budget: budget})
+			cursor += budget + timing.Cycle(rng.Intn(30))
+		}
+		var k sim.Kernel
+		mem, err := NewMemory(1 << 16)
+		if err != nil {
+			return false
+		}
+		bank, err := device.NewGPIOBank("g", 32)
+		if err != nil {
+			return false
+		}
+		p, err := NewProcessor(&k, mem, GPIOExecutor{Bank: bank}, ExecuteAlways)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			// Each program toggles its pin then busy-waits within budget.
+			wait := uint64(entries[i].Budget) - 2
+			mem.Preload(i, Program{
+				{Op: OpTogglePin, Pin: device.Pin(i % 32)},
+				{Op: OpWait, Arg: wait},
+			})
+		}
+		if err := p.LoadTable(entries); err != nil {
+			return false
+		}
+		if err := p.Start(0, 1); err != nil {
+			return false
+		}
+		k.Run(0)
+		if len(p.Faults()) != 0 {
+			return false
+		}
+		ex := p.Executions()
+		if len(ex) != n {
+			return false
+		}
+		for i, e := range ex {
+			if e.Start != entries[i].Start {
+				return false
+			}
+			if e.End > entries[i].Start+entries[i].Budget {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,247 @@
+// Package core integrates the paper's contribution end to end: it takes a
+// timed I/O task set, produces an offline schedule with one of the
+// scheduling methods (Section III), deploys the schedule and the task
+// programs onto the proposed I/O controller (Section IV), runs the
+// cycle-accurate simulation, and verifies that the hardware executed every
+// job exactly at its scheduled instant.
+//
+// The package is the programmatic counterpart of the paper's three-phase
+// routine — pre-loading, offline scheduling, timed execution — and is what
+// the examples and the full-system experiments build on.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/controller"
+	"repro/internal/quality"
+	"repro/internal/sched"
+	"repro/internal/sched/fps"
+	"repro/internal/sched/ga"
+	"repro/internal/sched/gpiocp"
+	"repro/internal/sched/staticsched"
+	"repro/internal/sim"
+	"repro/internal/taskmodel"
+	"repro/internal/timing"
+	"repro/internal/trace"
+)
+
+// Method selects a scheduling method by name.
+type Method string
+
+// The available scheduling methods.
+const (
+	MethodStatic     Method = "static"
+	MethodGA         Method = "ga"
+	MethodFPSOffline Method = "fps-offline"
+	MethodGPIOCP     Method = "gpiocp"
+)
+
+// NewScheduler constructs the named scheduler. The GA uses opts when
+// provided (nil means ga.DefaultOptions with seed 1).
+func NewScheduler(m Method, gaOpts *ga.Options) (sched.Scheduler, error) {
+	switch m {
+	case MethodStatic:
+		return staticsched.New(staticsched.Options{}), nil
+	case MethodGA:
+		opts := ga.DefaultOptions()
+		opts.Seed = 1
+		if gaOpts != nil {
+			opts = *gaOpts
+		}
+		return &ga.Scheduler{Opts: opts}, nil
+	case MethodFPSOffline:
+		return fps.Offline{}, nil
+	case MethodGPIOCP:
+		return gpiocp.Scheduler{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheduling method %q", m)
+	}
+}
+
+// System is a deployable timed-I/O system: the task set, the per-task
+// command programs, and the executor (device binding) for every device
+// partition.
+type System struct {
+	Tasks     *taskmodel.TaskSet
+	Programs  map[int]controller.Program
+	Executors map[taskmodel.DeviceID]controller.Executor
+	// Clock converts the µs scheduling timeline to controller cycles
+	// (default 100 MHz).
+	Clock timing.ClockHz
+	// Policy is the fault-recovery policy (default SkipMissing, with all
+	// tasks requested at deployment).
+	Policy controller.Policy
+}
+
+// Validate checks that every task has a program whose worst-case duration
+// fits the task's C budget, and that every device has an executor.
+func (s *System) Validate() error {
+	if s.Tasks == nil || len(s.Tasks.Tasks) == 0 {
+		return fmt.Errorf("core: system has no tasks")
+	}
+	clock := s.clock()
+	for i := range s.Tasks.Tasks {
+		t := &s.Tasks.Tasks[i]
+		prog, ok := s.Programs[t.ID]
+		if !ok {
+			return fmt.Errorf("core: task %d (%s) has no program", t.ID, t.Name)
+		}
+		if len(prog) == 0 {
+			return fmt.Errorf("core: task %d (%s) has an empty program", t.ID, t.Name)
+		}
+		if _, ok := s.Executors[t.Device]; !ok {
+			return fmt.Errorf("core: device %d has no executor", t.Device)
+		}
+		budget := clock.ToCycles(t.C)
+		if d := programDuration(prog, s.Executors[t.Device]); d > budget {
+			return fmt.Errorf("core: task %d program takes %d cycles, budget C = %d",
+				t.ID, d, budget)
+		}
+	}
+	return nil
+}
+
+func (s *System) clock() timing.ClockHz {
+	if s.Clock == 0 {
+		return timing.Clock100MHz
+	}
+	return s.Clock
+}
+
+// programDuration sums the occupancy of a program using the executor's
+// side-effect-free Cost method. Commands the device cannot execute count
+// as zero here and surface as faults at run time.
+func programDuration(prog controller.Program, exec controller.Executor) timing.Cycle {
+	var d timing.Cycle
+	for _, cmd := range prog {
+		busy, err := exec.Cost(cmd)
+		if err != nil {
+			continue
+		}
+		d += busy
+	}
+	return d
+}
+
+// Deployment is a scheduled system running on the simulated controller.
+type Deployment struct {
+	System    *System
+	Schedules sched.DeviceSchedules
+	Kernel    *sim.Kernel
+	Ctrl      *controller.Controller
+	// Periods is the number of hyper-periods armed.
+	Periods int
+}
+
+// Run produces the offline schedule with the given scheduler, deploys it
+// onto a fresh controller and runs the simulation for the given number of
+// hyper-periods. Validation uses the executors'
+// side-effect-free Cost methods, so the device state observed afterwards
+// comes from the simulation only.
+func (s *System) Run(scheduler sched.Scheduler, periods int) (*Deployment, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if periods < 1 {
+		return nil, fmt.Errorf("core: periods = %d", periods)
+	}
+	schedules, err := sched.ScheduleAll(s.Tasks, scheduler)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s scheduling failed: %w", scheduler.Name(), err)
+	}
+	var k sim.Kernel
+	ctrl := controller.New()
+	for dev, exec := range s.Executors {
+		if _, err := ctrl.AddProcessor(&k, dev, exec, s.Policy); err != nil {
+			return nil, err
+		}
+	}
+	// Request every task up front; fault-injection tests disable selected
+	// tasks before running the kernel.
+	for i := range s.Tasks.Tasks {
+		t := &s.Tasks.Tasks[i]
+		ctrl.Processors[t.Device].EnableTask(t.ID)
+	}
+	h := s.Tasks.Hyperperiod()
+	if err := ctrl.Deploy(s.Programs, schedules, s.clock(), h, periods); err != nil {
+		return nil, err
+	}
+	d := &Deployment{System: s, Schedules: schedules, Kernel: &k, Ctrl: ctrl, Periods: periods}
+	return d, nil
+}
+
+// Simulate drains the event kernel.
+func (d *Deployment) Simulate() {
+	d.Kernel.Run(0)
+}
+
+// Verify checks that every scheduled job of every armed hyper-period
+// executed exactly at its scheduled cycle, and returns the accuracy report
+// of executions against the jobs' ideal instants (the hardware-level Ψ and
+// jitter). Faults make verification fail.
+func (d *Deployment) Verify() (*trace.Report, error) {
+	clock := d.System.clock()
+	h := clock.ToCycles(d.System.Tasks.Hyperperiod())
+	var labels []string
+	var expectedIdeal, observed []timing.Cycle
+	for dev, proc := range d.Ctrl.Processors {
+		if faults := proc.Faults(); len(faults) > 0 {
+			return nil, fmt.Errorf("core: device %d recorded %d faults (first: %v %s)",
+				dev, len(faults), faults[0].Kind, fmtFault(faults[0]))
+		}
+		exec := proc.Executions()
+		schedule := d.Schedules[dev]
+		expectTotal := len(schedule.Entries) * d.Periods
+		if len(exec) != expectTotal {
+			return nil, fmt.Errorf("core: device %d executed %d jobs, scheduled %d",
+				dev, len(exec), expectTotal)
+		}
+		for rep := 0; rep < d.Periods; rep++ {
+			offset := timing.Cycle(rep) * h
+			for i := range schedule.Entries {
+				entry := &schedule.Entries[i]
+				key := [2]int{entry.Job.ID.Task, entry.Job.ID.J}
+				want := offset + clock.ToCycles(entry.Start)
+				got, ok := findExecution(exec, key, want)
+				if !ok {
+					return nil, fmt.Errorf("core: job %v period %d did not start at its scheduled cycle %d",
+						entry.Job.ID, rep, want)
+				}
+				labels = append(labels, entry.Job.ID.String())
+				expectedIdeal = append(expectedIdeal, offset+clock.ToCycles(entry.Job.Ideal))
+				observed = append(observed, got)
+			}
+		}
+	}
+	// Sort by observation instant so reports read chronologically.
+	idx := make([]int, len(observed))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return observed[idx[a]] < observed[idx[b]] })
+	sl, se, so := make([]string, len(idx)), make([]timing.Cycle, len(idx)), make([]timing.Cycle, len(idx))
+	for i, k := range idx {
+		sl[i], se[i], so[i] = labels[k], expectedIdeal[k], observed[k]
+	}
+	return trace.Measure(sl, se, so)
+}
+
+func findExecution(exec []controller.Execution, key [2]int, want timing.Cycle) (timing.Cycle, bool) {
+	for _, e := range exec {
+		if e.Task == key[0] && e.Job == key[1] && e.Start == want {
+			return e.Start, true
+		}
+	}
+	return 0, false
+}
+
+func fmtFault(f controller.Fault) string {
+	return fmt.Sprintf("task %d job %d at cycle %d", f.Task, f.Job, f.At)
+}
+
+// Metrics returns the offline schedule's Ψ and Υ under the linear curve.
+func (d *Deployment) Metrics() (psi, upsilon float64) {
+	return d.Schedules.Metrics(quality.Linear{})
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/controller"
+	"repro/internal/device"
+	"repro/internal/gen"
+	"repro/internal/sched/ga"
+	"repro/internal/taskmodel"
+	"repro/internal/timing"
+)
+
+const ms = timing.Millisecond
+
+// pulseSystem builds a two-task, one-device system whose programs raise
+// and lower distinct pins.
+func pulseSystem(t *testing.T) (*System, *device.GPIOBank) {
+	t.Helper()
+	tasks := []taskmodel.Task{
+		{Name: "valve", C: 1 * ms, T: 40 * ms, D: 40 * ms, Delta: 10 * ms, Theta: 10 * ms},
+		{Name: "spark", C: 1 * ms, T: 80 * ms, D: 80 * ms, Delta: 30 * ms, Theta: 20 * ms},
+	}
+	ts, err := taskmodel.NewTaskSet(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.AssignDMPO()
+	ts.ApplyPaperQuality(1)
+	bank, err := device.NewGPIOBank("bank", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 ms at 100 MHz = 100000 cycles; the pulse fits the budget.
+	sys := &System{
+		Tasks: ts,
+		Programs: map[int]controller.Program{
+			0: {{Op: controller.OpSetPin, Pin: 0}, {Op: controller.OpWait, Arg: 99_000}, {Op: controller.OpClearPin, Pin: 0}},
+			1: {{Op: controller.OpTogglePin, Pin: 1}},
+		},
+		Executors: map[taskmodel.DeviceID]controller.Executor{
+			0: controller.GPIOExecutor{Bank: bank},
+		},
+	}
+	return sys, bank
+}
+
+func TestNewScheduler(t *testing.T) {
+	for _, m := range []Method{MethodStatic, MethodGA, MethodFPSOffline, MethodGPIOCP} {
+		s, err := NewScheduler(m, nil)
+		if err != nil || s == nil {
+			t.Errorf("method %q: %v", m, err)
+		}
+	}
+	if _, err := NewScheduler("nonsense", nil); err == nil {
+		t.Error("unknown method accepted")
+	}
+	opts := ga.DefaultOptions()
+	opts.Seed = 42
+	s, err := NewScheduler(MethodGA, &opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "ga" {
+		t.Error("GA scheduler name")
+	}
+}
+
+func TestValidateCatchesMistakes(t *testing.T) {
+	sys, _ := pulseSystem(t)
+	if err := sys.Validate(); err != nil {
+		t.Fatalf("valid system rejected: %v", err)
+	}
+	// Missing program.
+	progs := sys.Programs
+	sys.Programs = map[int]controller.Program{0: progs[0]}
+	if err := sys.Validate(); err == nil || !strings.Contains(err.Error(), "no program") {
+		t.Errorf("missing program: %v", err)
+	}
+	sys.Programs = progs
+	// Over-budget program.
+	sys.Programs[0] = controller.Program{{Op: controller.OpWait, Arg: 200_000}}
+	if err := sys.Validate(); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("over budget: %v", err)
+	}
+	sys.Programs[0] = controller.Program{{Op: controller.OpTogglePin, Pin: 0}}
+	// Missing executor.
+	ex := sys.Executors
+	sys.Executors = map[taskmodel.DeviceID]controller.Executor{}
+	if err := sys.Validate(); err == nil || !strings.Contains(err.Error(), "executor") {
+		t.Errorf("missing executor: %v", err)
+	}
+	sys.Executors = ex
+	// No tasks.
+	empty := &System{}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty system accepted")
+	}
+}
+
+func TestRunStaticEndToEnd(t *testing.T) {
+	sys, bank := pulseSystem(t)
+	scheduler, _ := NewScheduler(MethodStatic, nil)
+	d, err := sys.Run(scheduler, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Simulate()
+	report, err := d.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conflict-free system: everything exact, at both the schedule and the
+	// hardware level.
+	if report.ExactFraction() != 1 {
+		t.Errorf("hardware exact fraction = %g, want 1", report.ExactFraction())
+	}
+	psi, ups := d.Metrics()
+	if psi != 1 || ups != 1 {
+		t.Errorf("metrics = %g, %g", psi, ups)
+	}
+	// The pin actually pulsed: 2 tasks × 2 hyper-periods of 80ms.
+	// valve (T=40) runs 4 times → 8 edges; spark toggles 2 times.
+	if edges := bank.EdgesFor(0); len(edges) != 8 {
+		t.Errorf("valve edges = %d, want 8", len(edges))
+	}
+	if edges := bank.EdgesFor(1); len(edges) != 2 {
+		t.Errorf("spark edges = %d, want 2", len(edges))
+	}
+	// First valve rising edge exactly at δ = 10ms = 1,000,000 cycles.
+	if e := bank.EdgesFor(0)[0]; e.At != 1_000_000 {
+		t.Errorf("first valve edge at %d, want 1000000", e.At)
+	}
+}
+
+func TestRunAllMethodsVerify(t *testing.T) {
+	for _, m := range []Method{MethodStatic, MethodGA, MethodFPSOffline, MethodGPIOCP} {
+		sys, _ := pulseSystem(t)
+		scheduler, err := NewScheduler(m, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := sys.Run(scheduler, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		d.Simulate()
+		if _, err := d.Verify(); err != nil {
+			t.Errorf("%s: verification failed: %v", m, err)
+		}
+	}
+}
+
+func TestFaultInjectionMissingRequest(t *testing.T) {
+	sys, bank := pulseSystem(t)
+	scheduler, _ := NewScheduler(MethodStatic, nil)
+	d, err := sys.Run(scheduler, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop task 0's request before simulating: the fault-recovery unit
+	// must skip its jobs and keep task 1 exactly on time.
+	d.Ctrl.Processors[0].DisableTask(0)
+	d.Simulate()
+	if _, err := d.Verify(); err == nil {
+		t.Fatal("verification should fail with faults recorded")
+	}
+	faults := d.Ctrl.Processors[0].Faults()
+	if len(faults) == 0 {
+		t.Fatal("no faults recorded")
+	}
+	for _, f := range faults {
+		if f.Kind != controller.FaultMissingRequest || f.Task != 0 {
+			t.Errorf("unexpected fault %v task %d", f.Kind, f.Task)
+		}
+	}
+	if len(bank.EdgesFor(0)) != 0 {
+		t.Error("skipped task touched its pin")
+	}
+	if len(bank.EdgesFor(1)) != 1 {
+		t.Error("surviving task disturbed")
+	}
+}
+
+func TestRunPaperScaleSystemOnHardware(t *testing.T) {
+	// A generated paper-style system deployed end to end: the hardware
+	// must reproduce the offline schedule cycle-exactly.
+	cfg := gen.PaperConfig()
+	ts, err := cfg.System(rand.New(rand.NewSource(3)), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank, _ := device.NewGPIOBank("bank", 16)
+	// Give every task a minimal program: C budgets are huge (ms scale), a
+	// single toggle always fits. Use a 10 MHz clock to keep cycle counts
+	// small.
+	progs := map[int]controller.Program{}
+	for i := range ts.Tasks {
+		progs[ts.Tasks[i].ID] = controller.Program{
+			{Op: controller.OpTogglePin, Pin: device.Pin(i % 16)},
+		}
+	}
+	sys := &System{
+		Tasks:    ts,
+		Programs: progs,
+		Executors: map[taskmodel.DeviceID]controller.Executor{
+			0: controller.GPIOExecutor{Bank: bank},
+		},
+		Clock: timing.Clock10MHz,
+	}
+	scheduler, _ := NewScheduler(MethodStatic, nil)
+	d, err := sys.Run(scheduler, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Simulate()
+	report, err := d.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	psi, _ := d.Metrics()
+	// Hardware-level exactness must equal the offline schedule's Ψ: the
+	// controller adds no jitter.
+	if hw := report.ExactFraction(); hw != psi {
+		t.Errorf("hardware Ψ = %g, offline Ψ = %g", hw, psi)
+	}
+}
+
+func TestRunRejectsBadPeriods(t *testing.T) {
+	sys, _ := pulseSystem(t)
+	scheduler, _ := NewScheduler(MethodStatic, nil)
+	if _, err := sys.Run(scheduler, 0); err == nil {
+		t.Error("zero periods accepted")
+	}
+}
+
+// Section III-C: offset task sets flow through the whole pipeline — the
+// schedule horizon widens to two hyper-periods and the controller still
+// executes everything exactly.
+func TestRunWithReleaseOffsets(t *testing.T) {
+	tasks := []taskmodel.Task{
+		{Name: "a", C: 1 * ms, T: 20 * ms, D: 20 * ms, Delta: 8 * ms, Theta: 5 * ms},
+		{Name: "b", C: 1 * ms, T: 20 * ms, D: 20 * ms, Offset: 10 * ms, Delta: 8 * ms, Theta: 5 * ms},
+	}
+	ts, err := taskmodel.NewTaskSet(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.AssignDMPO()
+	ts.ApplyPaperQuality(1)
+	if ts.ScheduleHorizon() != 2*ts.Hyperperiod() {
+		t.Fatalf("horizon = %v", ts.ScheduleHorizon())
+	}
+	bank, _ := device.NewGPIOBank("bank", 2)
+	sys := &System{
+		Tasks: ts,
+		Programs: map[int]controller.Program{
+			0: {{Op: controller.OpTogglePin, Pin: 0}},
+			1: {{Op: controller.OpTogglePin, Pin: 1}},
+		},
+		Executors: map[taskmodel.DeviceID]controller.Executor{
+			0: controller.GPIOExecutor{Bank: bank},
+		},
+		Clock: timing.Clock10MHz,
+	}
+	scheduler, _ := NewScheduler(MethodStatic, nil)
+	d, err := sys.Run(scheduler, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Simulate()
+	report, err := d.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With staggered phases the two tasks never conflict: all exact.
+	if report.ExactFraction() != 1 {
+		t.Errorf("offset pipeline exact = %g", report.ExactFraction())
+	}
+	// Task b's first edge lands at offset + δ = 18 ms.
+	es := bank.EdgesFor(1)
+	if len(es) == 0 || es[0].At != timing.Clock10MHz.ToCycles(18*ms) {
+		t.Errorf("task b first edge = %v", es)
+	}
+}

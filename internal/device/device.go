@@ -1,0 +1,232 @@
+// Package device models the I/O devices hanging off the controller: a
+// GPIO bank with pin-level waveform capture, and UART/SPI/CAN protocol
+// engines with per-frame timing.
+//
+// The scheduling layer only sees a device through the time a command
+// occupies it (the task's Ci); the models here additionally expose the
+// observable effects — pin edges and transmitted frames with cycle
+// timestamps — so integration tests and examples can verify that the
+// hardware executed the offline schedule exactly.
+package device
+
+import (
+	"fmt"
+
+	"repro/internal/timing"
+)
+
+// Pin identifies one line of a GPIO bank.
+type Pin int
+
+// Edge is one recorded pin transition.
+type Edge struct {
+	At    timing.Cycle
+	Pin   Pin
+	Level bool
+}
+
+// GPIOBank is an n-pin general-purpose I/O bank. Writes are immediate
+// (single-cycle from the EXU's perspective); every level change is recorded.
+type GPIOBank struct {
+	name   string
+	levels []bool
+	edges  []Edge
+}
+
+// NewGPIOBank returns a bank with pins all low.
+func NewGPIOBank(name string, pins int) (*GPIOBank, error) {
+	if pins <= 0 {
+		return nil, fmt.Errorf("device: GPIO bank %q needs at least one pin", name)
+	}
+	return &GPIOBank{name: name, levels: make([]bool, pins)}, nil
+}
+
+// Name returns the bank's name.
+func (g *GPIOBank) Name() string { return g.name }
+
+// Pins returns the number of pins.
+func (g *GPIOBank) Pins() int { return len(g.levels) }
+
+// Set drives pin to level at the given cycle, recording an edge if the
+// level changes.
+func (g *GPIOBank) Set(pin Pin, level bool, now timing.Cycle) error {
+	if int(pin) < 0 || int(pin) >= len(g.levels) {
+		return fmt.Errorf("device: %s has no pin %d", g.name, pin)
+	}
+	if g.levels[pin] != level {
+		g.levels[pin] = level
+		g.edges = append(g.edges, Edge{At: now, Pin: pin, Level: level})
+	}
+	return nil
+}
+
+// Toggle inverts the pin level.
+func (g *GPIOBank) Toggle(pin Pin, now timing.Cycle) error {
+	if int(pin) < 0 || int(pin) >= len(g.levels) {
+		return fmt.Errorf("device: %s has no pin %d", g.name, pin)
+	}
+	return g.Set(pin, !g.levels[pin], now)
+}
+
+// Read returns the current level of pin.
+func (g *GPIOBank) Read(pin Pin) (bool, error) {
+	if int(pin) < 0 || int(pin) >= len(g.levels) {
+		return false, fmt.Errorf("device: %s has no pin %d", g.name, pin)
+	}
+	return g.levels[pin], nil
+}
+
+// Edges returns all recorded transitions in chronological order. The
+// returned slice is owned by the bank; callers must not modify it.
+func (g *GPIOBank) Edges() []Edge { return g.edges }
+
+// EdgesFor returns the transitions of one pin.
+func (g *GPIOBank) EdgesFor(pin Pin) []Edge {
+	var out []Edge
+	for _, e := range g.edges {
+		if e.Pin == pin {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Frame is one unit transmitted by a protocol engine.
+type Frame struct {
+	// At is the cycle transmission began.
+	At timing.Cycle
+	// Duration is the bus occupancy in cycles.
+	Duration timing.Cycle
+	// Data is the payload (one byte for UART, a word for SPI, up to eight
+	// bytes for CAN).
+	Data []byte
+}
+
+// End returns the cycle the frame left the bus.
+func (f *Frame) End() timing.Cycle { return f.At + f.Duration }
+
+// UART is an 8N1 serial transmitter: every byte costs 10 bit times
+// (start + 8 data + stop).
+type UART struct {
+	name         string
+	CyclesPerBit timing.Cycle
+	frames       []Frame
+}
+
+// NewUART builds a transmitter. cyclesPerBit must be positive (e.g. a
+// 100 MHz controller driving 115200 baud uses ~868 cycles/bit).
+func NewUART(name string, cyclesPerBit timing.Cycle) (*UART, error) {
+	if cyclesPerBit <= 0 {
+		return nil, fmt.Errorf("device: UART %q cyclesPerBit must be positive", name)
+	}
+	return &UART{name: name, CyclesPerBit: cyclesPerBit}, nil
+}
+
+// Name returns the device name.
+func (u *UART) Name() string { return u.name }
+
+// FrameDuration returns the bus occupancy of one byte.
+func (u *UART) FrameDuration() timing.Cycle { return 10 * u.CyclesPerBit }
+
+// Transmit sends one byte at now and returns the frame.
+func (u *UART) Transmit(b byte, now timing.Cycle) Frame {
+	f := Frame{At: now, Duration: u.FrameDuration(), Data: []byte{b}}
+	u.frames = append(u.frames, f)
+	return f
+}
+
+// Frames returns all transmitted frames.
+func (u *UART) Frames() []Frame { return u.frames }
+
+// SPI is a full-duplex shift engine: a word of Bits bits costs
+// Bits·CyclesPerBit.
+type SPI struct {
+	name         string
+	Bits         int
+	CyclesPerBit timing.Cycle
+	frames       []Frame
+}
+
+// NewSPI builds a shift engine with the given word width.
+func NewSPI(name string, bits int, cyclesPerBit timing.Cycle) (*SPI, error) {
+	if bits <= 0 || bits > 64 {
+		return nil, fmt.Errorf("device: SPI %q word width %d out of range", name, bits)
+	}
+	if cyclesPerBit <= 0 {
+		return nil, fmt.Errorf("device: SPI %q cyclesPerBit must be positive", name)
+	}
+	return &SPI{name: name, Bits: bits, CyclesPerBit: cyclesPerBit}, nil
+}
+
+// Name returns the device name.
+func (s *SPI) Name() string { return s.name }
+
+// FrameDuration returns the bus occupancy of one word.
+func (s *SPI) FrameDuration() timing.Cycle { return timing.Cycle(s.Bits) * s.CyclesPerBit }
+
+// Transfer shifts one word at now and returns the frame.
+func (s *SPI) Transfer(word uint64, now timing.Cycle) Frame {
+	data := make([]byte, 0, 8)
+	for i := 0; i < (s.Bits+7)/8; i++ {
+		data = append(data, byte(word>>(8*i)))
+	}
+	f := Frame{At: now, Duration: s.FrameDuration(), Data: data}
+	s.frames = append(s.frames, f)
+	return f
+}
+
+// Frames returns all transferred frames.
+func (s *SPI) Frames() []Frame { return s.frames }
+
+// CAN is a CAN 2.0A transmitter. A frame with n payload bytes has
+// 44 + 8n nominal bits; the worst-case stuffing adds ⌊(34 + 8n − 1)/4⌋
+// bits (Davis et al.), and this model always charges the worst case so the
+// occupancy matches the WCET the schedulers budget.
+type CAN struct {
+	name         string
+	CyclesPerBit timing.Cycle
+	frames       []Frame
+}
+
+// NewCAN builds a transmitter (e.g. 100 MHz / 500 kbit/s = 200 cycles/bit).
+func NewCAN(name string, cyclesPerBit timing.Cycle) (*CAN, error) {
+	if cyclesPerBit <= 0 {
+		return nil, fmt.Errorf("device: CAN %q cyclesPerBit must be positive", name)
+	}
+	return &CAN{name: name, CyclesPerBit: cyclesPerBit}, nil
+}
+
+// Name returns the device name.
+func (c *CAN) Name() string { return c.name }
+
+// FrameBits returns the worst-case bit count of a frame with n payload
+// bytes (0..8).
+func FrameBits(n int) (int, error) {
+	if n < 0 || n > 8 {
+		return 0, fmt.Errorf("device: CAN payload %d bytes out of range 0..8", n)
+	}
+	return 44 + 8*n + (34+8*n-1)/4, nil
+}
+
+// FrameDuration returns the worst-case bus occupancy of an n-byte frame.
+func (c *CAN) FrameDuration(n int) (timing.Cycle, error) {
+	bits, err := FrameBits(n)
+	if err != nil {
+		return 0, err
+	}
+	return timing.Cycle(bits) * c.CyclesPerBit, nil
+}
+
+// Transmit sends a frame at now.
+func (c *CAN) Transmit(payload []byte, now timing.Cycle) (Frame, error) {
+	d, err := c.FrameDuration(len(payload))
+	if err != nil {
+		return Frame{}, err
+	}
+	f := Frame{At: now, Duration: d, Data: append([]byte(nil), payload...)}
+	c.frames = append(c.frames, f)
+	return f, nil
+}
+
+// Frames returns all transmitted frames.
+func (c *CAN) Frames() []Frame { return c.frames }

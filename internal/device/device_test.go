@@ -1,0 +1,204 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timing"
+)
+
+func TestGPIOBankBasics(t *testing.T) {
+	g, err := NewGPIOBank("bank0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "bank0" || g.Pins() != 4 {
+		t.Fatal("metadata broken")
+	}
+	if lvl, _ := g.Read(0); lvl {
+		t.Error("pins must start low")
+	}
+	if err := g.Set(0, true, 100); err != nil {
+		t.Fatal(err)
+	}
+	if lvl, _ := g.Read(0); !lvl {
+		t.Error("set did not stick")
+	}
+	// Redundant write records no edge.
+	g.Set(0, true, 150)
+	g.Set(0, false, 200)
+	edges := g.Edges()
+	if len(edges) != 2 {
+		t.Fatalf("edges = %v", edges)
+	}
+	if edges[0] != (Edge{At: 100, Pin: 0, Level: true}) {
+		t.Errorf("edge 0 = %+v", edges[0])
+	}
+	if edges[1] != (Edge{At: 200, Pin: 0, Level: false}) {
+		t.Errorf("edge 1 = %+v", edges[1])
+	}
+}
+
+func TestGPIOToggle(t *testing.T) {
+	g, _ := NewGPIOBank("b", 2)
+	g.Toggle(1, 10)
+	g.Toggle(1, 20)
+	es := g.EdgesFor(1)
+	if len(es) != 2 || !es[0].Level || es[1].Level {
+		t.Fatalf("toggle edges = %v", es)
+	}
+	if len(g.EdgesFor(0)) != 0 {
+		t.Error("pin 0 should have no edges")
+	}
+}
+
+func TestGPIOErrors(t *testing.T) {
+	if _, err := NewGPIOBank("x", 0); err == nil {
+		t.Error("zero pins accepted")
+	}
+	g, _ := NewGPIOBank("x", 2)
+	if err := g.Set(5, true, 0); err == nil {
+		t.Error("out-of-range set accepted")
+	}
+	if err := g.Toggle(-1, 0); err == nil {
+		t.Error("out-of-range toggle accepted")
+	}
+	if _, err := g.Read(9); err == nil {
+		t.Error("out-of-range read accepted")
+	}
+}
+
+func TestUARTFrameTiming(t *testing.T) {
+	u, err := NewUART("uart0", 868) // ~115200 baud at 100 MHz
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := u.Transmit(0x55, 1000)
+	if f.Duration != 8680 {
+		t.Errorf("duration = %d, want 8680 (10 bits)", f.Duration)
+	}
+	if f.End() != 1000+8680 {
+		t.Errorf("end = %d", f.End())
+	}
+	if len(u.Frames()) != 1 || u.Frames()[0].Data[0] != 0x55 {
+		t.Error("frame log broken")
+	}
+	if _, err := NewUART("bad", 0); err == nil {
+		t.Error("zero cyclesPerBit accepted")
+	}
+}
+
+func TestSPIFrameTiming(t *testing.T) {
+	s, err := NewSPI("spi0", 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.Transfer(0xBEEF, 0)
+	if f.Duration != 64 {
+		t.Errorf("duration = %d, want 64", f.Duration)
+	}
+	if len(f.Data) != 2 || f.Data[0] != 0xEF || f.Data[1] != 0xBE {
+		t.Errorf("data = %x", f.Data)
+	}
+	if _, err := NewSPI("bad", 0, 4); err == nil {
+		t.Error("zero bits accepted")
+	}
+	if _, err := NewSPI("bad", 65, 4); err == nil {
+		t.Error("overwide word accepted")
+	}
+	if _, err := NewSPI("bad", 8, 0); err == nil {
+		t.Error("zero cyclesPerBit accepted")
+	}
+}
+
+func TestCANFrameBits(t *testing.T) {
+	// 8-byte frame: 44 + 64 = 108 nominal bits + ⌊97/4⌋ = 24 stuff bits.
+	bits, err := FrameBits(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits != 132 {
+		t.Errorf("8-byte frame bits = %d, want 132", bits)
+	}
+	bits, _ = FrameBits(0)
+	if bits != 44+8 {
+		t.Errorf("0-byte frame bits = %d, want 52", bits)
+	}
+	if _, err := FrameBits(9); err == nil {
+		t.Error("9-byte payload accepted")
+	}
+	if _, err := FrameBits(-1); err == nil {
+		t.Error("negative payload accepted")
+	}
+}
+
+func TestCANTransmit(t *testing.T) {
+	c, err := NewCAN("can0", 200) // 500 kbit/s at 100 MHz
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := c.Transmit([]byte{1, 2, 3}, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBits := 44 + 24 + (34+24-1)/4
+	if f.Duration != timing.Cycle(wantBits)*200 {
+		t.Errorf("duration = %d, want %d", f.Duration, wantBits*200)
+	}
+	if len(c.Frames()) != 1 {
+		t.Error("frame log broken")
+	}
+	if _, err := c.Transmit(make([]byte, 9), 0); err == nil {
+		t.Error("oversized payload accepted")
+	}
+	if _, err := NewCAN("bad", -1); err == nil {
+		t.Error("negative cyclesPerBit accepted")
+	}
+	// Transmit must copy the payload.
+	buf := []byte{7}
+	f2, _ := c.Transmit(buf, 600)
+	buf[0] = 9
+	if f2.Data[0] != 7 {
+		t.Error("CAN frame aliases caller buffer")
+	}
+}
+
+// Property: a random pin-write sequence produces edges exactly at level
+// changes, alternating levels per pin, with non-decreasing timestamps.
+func TestGPIOEdgeProperty(t *testing.T) {
+	f := func(writes []bool) bool {
+		g, err := NewGPIOBank("p", 1)
+		if err != nil {
+			return false
+		}
+		now := timing.Cycle(0)
+		changes := 0
+		last := false
+		for _, w := range writes {
+			now += 5
+			g.Set(0, w, now)
+			if w != last {
+				changes++
+				last = w
+			}
+		}
+		edges := g.EdgesFor(0)
+		if len(edges) != changes {
+			return false
+		}
+		want := true
+		for i, e := range edges {
+			if e.Level != want {
+				return false
+			}
+			want = !want
+			if i > 0 && edges[i-1].At >= e.At {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sched"
+	"repro/internal/sched/ga"
+	"repro/internal/sched/staticsched"
+	"repro/internal/stats"
+	"repro/internal/taskmodel"
+)
+
+// AblationVariant is one design-choice configuration under study.
+type AblationVariant struct {
+	Name string
+	// Run schedules one system and returns (Ψ, Υ); infeasible systems
+	// return an error.
+	Run func(cfg Config, seed int64, ts *taskmodel.TaskSet) (float64, float64, error)
+}
+
+// AblationResult summarises one variant at the study utilisation.
+type AblationResult struct {
+	Name        string
+	Schedulable stats.Ratio
+	MeanPsi     float64
+	MeanUpsilon float64
+}
+
+// AblationVariants returns the studied design choices:
+//
+//   - the LCC-D slot policy against first-fit and best-fit (is the
+//     contention term worth it?);
+//   - near-ideal placement of sacrificed jobs (recovering Υ at no Ψ cost);
+//   - the bounded demotion extension (schedulability beyond Algorithm 1's
+//     deliberate stop);
+//   - the GA without the reconfiguration's ideal-snapping, and without the
+//     all-ideal seed individual.
+func AblationVariants() []AblationVariant {
+	staticVariant := func(name string, opts staticsched.Options) AblationVariant {
+		return AblationVariant{
+			Name: name,
+			Run: func(cfg Config, seed int64, ts *taskmodel.TaskSet) (float64, float64, error) {
+				ds, err := sched.ScheduleAll(ts, staticsched.New(opts))
+				if err != nil {
+					return 0, 0, err
+				}
+				psi, ups := ds.Metrics(cfg.curve())
+				return psi, ups, nil
+			},
+		}
+	}
+	gaVariant := func(name string, mutate func(*ga.Options)) AblationVariant {
+		return AblationVariant{
+			Name: name,
+			Run: func(cfg Config, seed int64, ts *taskmodel.TaskSet) (float64, float64, error) {
+				opts := cfg.GA
+				opts.Seed = seed
+				opts.Curve = cfg.curve()
+				mutate(&opts)
+				fronts, err := scheduleGA(ts, opts)
+				if err != nil {
+					return 0, 0, err
+				}
+				// Single-device study: report the front's best points.
+				var psi, ups float64
+				for _, f := range fronts {
+					psi += f.BestPsi().Psi
+					ups += f.BestUpsilon().Upsilon
+				}
+				n := float64(len(fronts))
+				return psi / n, ups / n, nil
+			},
+		}
+	}
+	return []AblationVariant{
+		staticVariant("static (paper: LCC-D)", staticsched.Options{}),
+		staticVariant("static first-fit", staticsched.Options{Policy: staticsched.FirstFit}),
+		staticVariant("static best-fit", staticsched.Options{Policy: staticsched.BestFit}),
+		staticVariant("static near-ideal placement", staticsched.Options{PlaceNearIdeal: true}),
+		staticVariant("static + demotion", staticsched.Options{AllowDemotion: true}),
+		gaVariant("GA (paper)", func(*ga.Options) {}),
+		gaVariant("GA no ideal-snap", func(o *ga.Options) { o.SnapToIdeal = false }),
+		gaVariant("GA no ideal seed", func(o *ga.Options) { o.SeedIdeal = false }),
+	}
+}
+
+// Ablation runs every variant on the same systems at utilisation u.
+func Ablation(cfg Config, u float64) ([]AblationResult, error) {
+	variants := AblationVariants()
+	results := make([]AblationResult, len(variants))
+	psis := make([][]float64, len(variants))
+	upss := make([][]float64, len(variants))
+	for i, v := range variants {
+		results[i].Name = v.Name
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + int64(u*1000)))
+	for s := 0; s < cfg.Systems; s++ {
+		ts, err := cfg.Gen.System(rng, u)
+		if err != nil {
+			return nil, fmt.Errorf("ablation system %d: %w", s, err)
+		}
+		for i, v := range variants {
+			results[i].Schedulable.Trials++
+			psi, ups, err := v.Run(cfg, cfg.Seed+int64(s), ts)
+			if err != nil {
+				continue
+			}
+			results[i].Schedulable.Successes++
+			psis[i] = append(psis[i], psi)
+			upss[i] = append(upss[i], ups)
+		}
+	}
+	for i := range results {
+		results[i].MeanPsi = stats.Mean(psis[i])
+		results[i].MeanUpsilon = stats.Mean(upss[i])
+	}
+	return results, nil
+}
+
+// AblationRows renders the study as a text table.
+func AblationRows(rs []AblationResult) ([]string, [][]string) {
+	headers := []string{"variant", "schedulable", "mean Psi", "mean Upsilon"}
+	var rows [][]string
+	for _, r := range rs {
+		rows = append(rows, []string{
+			r.Name,
+			fmt.Sprintf("%.3f", r.Schedulable.Value()),
+			fmt.Sprintf("%.3f", r.MeanPsi),
+			fmt.Sprintf("%.3f", r.MeanUpsilon),
+		})
+	}
+	return headers, rows
+}

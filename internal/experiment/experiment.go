@@ -1,0 +1,227 @@
+// Package experiment contains one runner per table and figure of the
+// paper's evaluation (Section V), plus the motivation latency experiment
+// and the ablation studies:
+//
+//	Fig5       — schedulable fraction vs utilisation for the five methods
+//	Fig6And7   — Ψ and Υ vs utilisation for the four offline methods
+//	Table1     — hardware cost of the controller designs (via hwcost)
+//	Motivation — remote-write jitter over the NoC vs pre-loaded controller
+//	Ablation   — design-choice variants of the static and GA schedulers
+//
+// Every runner is deterministic given Config.Seed. The paper's full scale
+// (1000 systems per point, GA population 300 × 500 generations) is
+// reproduced by setting the corresponding Config fields; the defaults are
+// a calibrated scaled-down configuration that preserves every qualitative
+// relationship and finishes in seconds (EXPERIMENTS.md records both).
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gen"
+	"repro/internal/quality"
+	"repro/internal/sched"
+	"repro/internal/sched/fps"
+	"repro/internal/sched/ga"
+	"repro/internal/sched/gpiocp"
+	"repro/internal/sched/staticsched"
+	"repro/internal/stats"
+	"repro/internal/taskmodel"
+)
+
+// Config parameterises the experiment runners.
+type Config struct {
+	// Systems is the number of synthetic systems per utilisation point
+	// (paper: 1000).
+	Systems int
+	// Seed drives all randomness.
+	Seed int64
+	// GA is the solver configuration (paper: population 300, 500
+	// generations).
+	GA ga.Options
+	// Gen is the task-set generator configuration.
+	Gen gen.Config
+	// Curve is the quality model (nil = linear, the paper's curve).
+	Curve quality.Curve
+}
+
+// Default returns the scaled-down configuration used by tests, benches and
+// the CLI unless overridden.
+func Default() Config {
+	return Config{
+		Systems: 100,
+		Seed:    1,
+		GA:      ga.DefaultOptions(),
+		Gen:     gen.PaperConfig(),
+		Curve:   quality.Linear{},
+	}
+}
+
+// PaperScale returns the full Section V-A configuration. Running it takes
+// hours of CPU; the CLI exposes it behind -paperscale.
+func PaperScale() Config {
+	c := Default()
+	c.Systems = 1000
+	c.GA = ga.PaperOptions()
+	return c
+}
+
+func (c *Config) curve() quality.Curve {
+	if c.Curve == nil {
+		return quality.Linear{}
+	}
+	return c.Curve
+}
+
+// Method names as they appear in the figures.
+const (
+	MethodFPSOffline = "FPS-offline"
+	MethodFPSOnline  = "FPS-online"
+	MethodGPIOCP     = "GPIOCP"
+	MethodStatic     = "Static"
+	MethodGA         = "GA"
+)
+
+// Fig5Methods lists the schedulability curves of Figure 5 in legend order.
+var Fig5Methods = []string{MethodFPSOffline, MethodFPSOnline, MethodGPIOCP, MethodStatic, MethodGA}
+
+// FigQMethods lists the offline methods of Figures 6 and 7.
+var FigQMethods = []string{MethodFPSOffline, MethodGPIOCP, MethodStatic, MethodGA}
+
+// Fig5Point is the schedulable fraction of every method at one utilisation.
+type Fig5Point struct {
+	U     float64
+	Rates map[string]stats.Ratio
+}
+
+// Fig5Result is the full Figure 5 dataset.
+type Fig5Result struct {
+	Points []Fig5Point
+}
+
+// Fig5Utils is the x axis of Figure 5.
+func Fig5Utils() []float64 {
+	var us []float64
+	for u := 0.20; u <= 0.901; u += 0.05 {
+		us = append(us, round2(u))
+	}
+	return us
+}
+
+func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }
+
+// scheduleStatic runs the static scheduler over all partitions.
+func scheduleStatic(ts *taskmodel.TaskSet) (sched.DeviceSchedules, error) {
+	return sched.ScheduleAll(ts, staticsched.New(staticsched.Options{}))
+}
+
+// scheduleGA solves every partition with the GA and returns the fronts.
+// With the paper's single-device configuration there is exactly one front.
+func scheduleGA(ts *taskmodel.TaskSet, opts ga.Options) (map[taskmodel.DeviceID]*ga.Result, error) {
+	fronts := make(map[taskmodel.DeviceID]*ga.Result)
+	parts := ts.JobsByDevice()
+	for _, dev := range ts.Devices() {
+		res, err := ga.Solve(parts[dev], opts)
+		if err != nil {
+			return nil, err
+		}
+		fronts[dev] = res
+	}
+	return fronts, nil
+}
+
+// fpsOnlineSchedulable applies the worst-case analysis per device
+// partition.
+func fpsOnlineSchedulable(ts *taskmodel.TaskSet) bool {
+	byDev := make(map[taskmodel.DeviceID][]taskmodel.Task)
+	for i := range ts.Tasks {
+		t := ts.Tasks[i]
+		byDev[t.Device] = append(byDev[t.Device], t)
+	}
+	for _, tasks := range byDev {
+		if !fps.Analyze(tasks).Schedulable {
+			return false
+		}
+	}
+	return true
+}
+
+// Fig5 regenerates Figure 5: the fraction of schedulable systems per
+// utilisation for FPS-offline, FPS-online, GPIOCP, static and GA.
+func Fig5(cfg Config) (*Fig5Result, error) {
+	res := &Fig5Result{}
+	for _, u := range Fig5Utils() {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(u*1000)))
+		point := Fig5Point{U: u, Rates: make(map[string]stats.Ratio)}
+		for s := 0; s < cfg.Systems; s++ {
+			ts, err := cfg.Gen.System(rng, u)
+			if err != nil {
+				return nil, fmt.Errorf("fig5 u=%.2f system %d: %w", u, s, err)
+			}
+			record := func(method string, ok bool) {
+				r := point.Rates[method]
+				r.Trials++
+				if ok {
+					r.Successes++
+				}
+				point.Rates[method] = r
+			}
+			_, offErr := sched.ScheduleAll(ts, fps.Offline{})
+			record(MethodFPSOffline, offErr == nil)
+			record(MethodFPSOnline, fpsOnlineSchedulable(ts))
+			_, cpErr := sched.ScheduleAll(ts, gpiocp.Scheduler{})
+			record(MethodGPIOCP, cpErr == nil)
+			_, stErr := scheduleStatic(ts)
+			record(MethodStatic, stErr == nil)
+			gaOpts := cfg.GA
+			gaOpts.Seed = cfg.Seed + int64(s)
+			_, gaErr := scheduleGA(ts, gaOpts)
+			record(MethodGA, gaErr == nil)
+			for _, err := range []error{offErr, cpErr, stErr, gaErr} {
+				if err != nil && !errors.Is(err, sched.ErrInfeasible) {
+					return nil, fmt.Errorf("fig5 u=%.2f system %d: unexpected: %w", u, s, err)
+				}
+			}
+		}
+		res.Points = append(res.Points, point)
+	}
+	return res, nil
+}
+
+// Rows renders the result as a text table (one row per utilisation).
+func (r *Fig5Result) Rows() ([]string, [][]string) {
+	headers := append([]string{"U"}, Fig5Methods...)
+	var rows [][]string
+	for _, p := range r.Points {
+		row := []string{fmt.Sprintf("%.2f", p.U)}
+		for _, m := range Fig5Methods {
+			row = append(row, fmt.Sprintf("%.3f", p.Rates[m].Value()))
+		}
+		rows = append(rows, row)
+	}
+	return headers, rows
+}
+
+// Series converts the result to plot series in method order.
+func (r *Fig5Result) Series() (xlabels []string, series []Curveable) {
+	for _, p := range r.Points {
+		xlabels = append(xlabels, fmt.Sprintf("%.2f", p.U))
+	}
+	for _, m := range Fig5Methods {
+		vals := make([]float64, len(r.Points))
+		for i, p := range r.Points {
+			vals[i] = p.Rates[m].Value()
+		}
+		series = append(series, Curveable{Name: m, Values: vals})
+	}
+	return xlabels, series
+}
+
+// Curveable is a named value series (decoupled from textplot so results
+// remain plain data).
+type Curveable struct {
+	Name   string
+	Values []float64
+}

@@ -1,0 +1,254 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastConfig keeps the integration tests quick while preserving enough
+// samples for the qualitative assertions.
+func fastConfig() Config {
+	cfg := Default()
+	cfg.Systems = 12
+	cfg.GA.Population = 16
+	cfg.GA.Generations = 10
+	return cfg
+}
+
+func TestFig5Utils(t *testing.T) {
+	us := Fig5Utils()
+	if len(us) != 15 {
+		t.Fatalf("x axis has %d points, want 15 (0.20..0.90 step 0.05): %v", len(us), us)
+	}
+	if us[0] != 0.20 || us[len(us)-1] != 0.90 {
+		t.Errorf("range = [%g, %g]", us[0], us[len(us)-1])
+	}
+}
+
+func TestFig5ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	cfg := fastConfig()
+	res, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 15 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	at := func(u float64) Fig5Point {
+		for _, p := range res.Points {
+			if p.U == u {
+				return p
+			}
+		}
+		t.Fatalf("no point at %g", u)
+		return Fig5Point{}
+	}
+	low, high := at(0.30), at(0.90)
+	// FPS-offline schedules essentially everything (the paper's boundary
+	// condition; the harmonic generation was calibrated for it).
+	if v := high.Rates[MethodFPSOffline].Value(); v < 0.9 {
+		t.Errorf("FPS-offline at 0.9 = %g, want ≈ 1", v)
+	}
+	// The proposed methods stay at or above FPS-online...
+	for _, m := range []string{MethodStatic, MethodGA} {
+		if high.Rates[m].Value() < high.Rates[MethodFPSOnline].Value()-1e-9 {
+			t.Errorf("%s at 0.9 = %g below FPS-online %g", m,
+				high.Rates[m].Value(), high.Rates[MethodFPSOnline].Value())
+		}
+	}
+	// ...and everything beats GPIOCP, which collapses at high U.
+	if v := high.Rates[MethodGPIOCP].Value(); v > 0.25 {
+		t.Errorf("GPIOCP at 0.9 = %g, expected collapse", v)
+	}
+	if lowV, highV := low.Rates[MethodGPIOCP].Value(), high.Rates[MethodGPIOCP].Value(); lowV < highV {
+		t.Errorf("GPIOCP should fall with U: %g@0.3 vs %g@0.9", lowV, highV)
+	}
+	// Rows/Series agree with the data.
+	h, rows := res.Rows()
+	if len(h) != 6 || len(rows) != 15 {
+		t.Errorf("table shape %dx%d", len(h), len(rows))
+	}
+	x, series := res.Series()
+	if len(x) != 15 || len(series) != 5 {
+		t.Errorf("series shape %d/%d", len(x), len(series))
+	}
+}
+
+func TestFig6And7ShapesMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	cfg := fastConfig()
+	psi, ups, err := Fig6And7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(psi.Points) != 5 || len(ups.Points) != 5 {
+		t.Fatalf("points = %d/%d", len(psi.Points), len(ups.Points))
+	}
+	psiMeans := psi.SummaryStats()
+	upsMeans := ups.SummaryStats()
+	// Figure 6: FPS achieves no exact jobs; static ≥ GA ≥ GPIOCP overall.
+	if psiMeans[MethodFPSOffline] > 0.02 {
+		t.Errorf("FPS Ψ = %g, paper reports 0", psiMeans[MethodFPSOffline])
+	}
+	if psiMeans[MethodStatic] < psiMeans[MethodGA]-0.05 {
+		t.Errorf("static Ψ %g should be ≥ GA Ψ %g", psiMeans[MethodStatic], psiMeans[MethodGA])
+	}
+	if psiMeans[MethodGA] < psiMeans[MethodGPIOCP]-0.05 {
+		t.Errorf("GA Ψ %g should be ≥ GPIOCP Ψ %g", psiMeans[MethodGA], psiMeans[MethodGPIOCP])
+	}
+	// Figure 7: GA yields the best quality; FPS the worst.
+	if upsMeans[MethodGA] < upsMeans[MethodStatic]-0.02 {
+		t.Errorf("GA Υ %g should be ≥ static Υ %g", upsMeans[MethodGA], upsMeans[MethodStatic])
+	}
+	if upsMeans[MethodFPSOffline] > upsMeans[MethodGPIOCP] {
+		t.Errorf("FPS Υ %g should be worst (GPIOCP %g)",
+			upsMeans[MethodFPSOffline], upsMeans[MethodGPIOCP])
+	}
+	// Ψ declines with utilisation for the timing-aware methods.
+	first, last := psi.Points[0], psi.Points[len(psi.Points)-1]
+	for _, m := range []string{MethodStatic, MethodGA} {
+		if first.Mean[m] < last.Mean[m] {
+			t.Errorf("%s Ψ should decline: %g@0.3 vs %g@0.7", m, first.Mean[m], last.Mean[m])
+		}
+	}
+}
+
+func TestFig6And7RejectsMultiDevice(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Gen.Devices = 2
+	if _, _, err := Fig6And7(cfg); err == nil {
+		t.Fatal("multi-device config accepted")
+	}
+}
+
+func TestTable1RowsRender(t *testing.T) {
+	rows := Table1()
+	h, r := Table1Rows(rows)
+	if len(h) != 6 || len(r) != 7 {
+		t.Fatalf("table shape %dx%d", len(h), len(r))
+	}
+	if !strings.Contains(r[0][1], "/") {
+		t.Errorf("cell should be model/paper: %q", r[0][1])
+	}
+}
+
+func TestMotivationControllerIsExact(t *testing.T) {
+	cfg := DefaultMotivation()
+	cfg.Writes = 40
+	res, err := Motivation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pre-loaded controller is always exact; the remote design pays
+	// contention-dependent jitter under cross-traffic.
+	if res.Controller.ExactFraction() != 1 {
+		t.Errorf("controller exact = %g, want 1", res.Controller.ExactFraction())
+	}
+	if res.Controller.MaxDeviation != 0 {
+		t.Errorf("controller max jitter = %d", res.Controller.MaxDeviation)
+	}
+	if res.Remote.ExactFraction() >= res.Controller.ExactFraction() {
+		t.Errorf("remote exact %g should be below controller's 1.0", res.Remote.ExactFraction())
+	}
+	if res.Remote.MaxDeviation == 0 {
+		t.Error("remote design showed no jitter under cross-traffic")
+	}
+	if res.BaseLatency <= 0 {
+		t.Error("base latency missing")
+	}
+	h, rows := res.Rows()
+	if len(h) != 5 || len(rows) != 2 {
+		t.Errorf("rows shape %dx%d", len(h), len(rows))
+	}
+}
+
+func TestMotivationRejectsZeroWrites(t *testing.T) {
+	cfg := DefaultMotivation()
+	cfg.Writes = 0
+	if _, err := Motivation(cfg); err == nil {
+		t.Fatal("zero writes accepted")
+	}
+}
+
+func TestAblationVariantsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	cfg := fastConfig()
+	cfg.Systems = 6
+	res, err := Ablation(cfg, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(AblationVariants()) {
+		t.Fatalf("variants = %d", len(res))
+	}
+	byName := map[string]AblationResult{}
+	for _, r := range res {
+		byName[r.Name] = r
+		if r.Schedulable.Trials != 6 {
+			t.Errorf("%s trials = %d", r.Name, r.Schedulable.Trials)
+		}
+	}
+	// Demotion never schedules fewer systems than the literal algorithm.
+	paper := byName["static (paper: LCC-D)"]
+	demo := byName["static + demotion"]
+	if demo.Schedulable.Successes < paper.Schedulable.Successes {
+		t.Errorf("demotion %d < literal %d schedulable",
+			demo.Schedulable.Successes, paper.Schedulable.Successes)
+	}
+	// Near-ideal placement should not reduce mean Υ.
+	near := byName["static near-ideal placement"]
+	if near.MeanUpsilon < paper.MeanUpsilon-0.02 {
+		t.Errorf("near-ideal Υ %g < paper Υ %g", near.MeanUpsilon, paper.MeanUpsilon)
+	}
+	h, rows := AblationRows(res)
+	if len(h) != 4 || len(rows) != len(res) {
+		t.Errorf("rows shape %dx%d", len(h), len(rows))
+	}
+}
+
+func TestDefaultAndPaperScaleConfigs(t *testing.T) {
+	d, p := Default(), PaperScale()
+	if d.Systems != 100 {
+		t.Errorf("default systems = %d", d.Systems)
+	}
+	if p.Systems != 1000 || p.GA.Population != 300 || p.GA.Generations != 500 {
+		t.Errorf("paper scale = %+v", p)
+	}
+	if d.curve() == nil {
+		t.Error("default curve missing")
+	}
+}
+
+func TestMultiDeviceScaling(t *testing.T) {
+	cfg := fastConfig()
+	cfg.Systems = 15
+	points, err := MultiDevice(cfg, 0.8, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// More devices → less per-device contention → Ψ climbs.
+	if points[2].MeanPsi < points[0].MeanPsi {
+		t.Errorf("Ψ should improve with devices: %g@1 vs %g@4",
+			points[0].MeanPsi, points[2].MeanPsi)
+	}
+	if points[2].MeanPsi < 0.75 {
+		t.Errorf("4-device Ψ = %g, expected high at low per-device load", points[2].MeanPsi)
+	}
+	h, rows := MultiDeviceRows(points)
+	if len(h) != 4 || len(rows) != 3 {
+		t.Errorf("rows shape %dx%d", len(h), len(rows))
+	}
+	if _, err := MultiDevice(cfg, 0.5, []int{0}); err == nil {
+		t.Error("zero devices accepted")
+	}
+}

@@ -1,0 +1,32 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/hwcost"
+)
+
+// Table1 regenerates Table I: the structural-model estimate next to the
+// paper's published figure for every design.
+func Table1() []hwcost.Row { return hwcost.Table1() }
+
+// Table1Rows renders the comparison as a text table.
+func Table1Rows(rows []hwcost.Row) ([]string, [][]string) {
+	headers := []string{
+		"I/O controller",
+		"LUTs (model/paper)", "Registers (model/paper)",
+		"DSP (m/p)", "RAM KB (m/p)", "Power mW (m/p)",
+	}
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name,
+			fmt.Sprintf("%d / %d", r.Model.LUTs, r.Paper.LUTs),
+			fmt.Sprintf("%d / %d", r.Model.Registers, r.Paper.Registers),
+			fmt.Sprintf("%d / %d", r.Model.DSPs, r.Paper.DSPs),
+			fmt.Sprintf("%d / %d", r.Model.BRAMKB, r.Paper.BRAMKB),
+			fmt.Sprintf("%.1f / %.1f", r.Model.PowerMW, r.Paper.PowerMW),
+		})
+	}
+	return headers, out
+}

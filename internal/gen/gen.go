@@ -1,0 +1,238 @@
+// Package gen generates the synthetic I/O systems used by the paper's
+// evaluation (Section V-A):
+//
+//   - task utilisations drawn with the UUniFast algorithm (Bini & Buttazzo),
+//     with total utilisation U = 0.05 · |Γ|;
+//   - periods drawn uniformly from the divisors of the 1440 ms hyper-period
+//     (restricted to a configurable range so job counts stay finite);
+//   - implicit deadlines (D = T) and DMPO priorities;
+//   - timing margin θi = Ti/4 and ideal start δi uniform in [θi, Di − θi];
+//   - the constraint θi ≥ Ci enforced by redrawing the task's period/WCET;
+//   - Vmax = Pi + 1 and a global Vmin = 1.
+//
+// All randomness flows through an injected *rand.Rand so experiments are
+// reproducible from a seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/taskmodel"
+	"repro/internal/timing"
+)
+
+// UUniFast draws n task utilisations summing to u, following Bini &
+// Buttazzo's UUniFast algorithm. It panics if n <= 0 or u <= 0, which are
+// programming errors in the caller's experiment configuration.
+func UUniFast(rng *rand.Rand, n int, u float64) []float64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("gen: UUniFast n = %d", n))
+	}
+	if u <= 0 {
+		panic(fmt.Sprintf("gen: UUniFast u = %g", u))
+	}
+	out := make([]float64, n)
+	sum := u
+	for i := 1; i < n; i++ {
+		next := sum * math.Pow(rng.Float64(), 1/float64(n-i))
+		out[i-1] = sum - next
+		sum = next
+	}
+	out[n-1] = sum
+	return out
+}
+
+// Config parameterises system generation. The zero value is not valid; use
+// PaperConfig for the evaluation's settings.
+type Config struct {
+	// Hyperperiod is the common hyper-period all task periods must divide.
+	Hyperperiod timing.Time
+	// MinPeriod and MaxPeriod bound the candidate periods (inclusive).
+	// Candidates are divisors of Hyperperiod inside this range.
+	MinPeriod, MaxPeriod timing.Time
+	// UtilPerTask is the per-task utilisation quantum; the paper uses
+	// U = 0.05 · |Γ|, i.e. 0.05 per task.
+	UtilPerTask float64
+	// Vmin is the global minimum quality (paper: 1).
+	Vmin float64
+	// Devices is the number of I/O devices; tasks are assigned round-robin
+	// after shuffling. The paper's schedulability experiment assumes a
+	// single device, so PaperConfig sets 1.
+	Devices int
+	// MaxRedraws bounds the attempts to satisfy θi ≥ Ci per task before
+	// clamping Ci to θi. The clamp keeps total utilisation ≤ U.
+	MaxRedraws int
+	// Harmonic restricts the candidate periods to a harmonic chain
+	// (MinPeriod, 2·MinPeriod, 4·MinPeriod, … up to MaxPeriod). Harmonic
+	// task sets are the only ones for which fixed-priority scheduling is
+	// utilisation-optimal, which is what Figure 5's "FPS-offline schedules
+	// every system" boundary condition requires.
+	Harmonic bool
+}
+
+// PaperConfig returns the Section V-A parameterisation. The paper draws
+// periods "from all periods that lead to a hyper-period of 1440ms" without
+// stating a range or structure; this configuration uses the harmonic chain
+// {120, 240, 480} ms. The calibration reproduces Figure 5's boundary
+// conditions: fixed-priority scheduling with full knowledge
+// ("FPS-offline") schedules essentially every generated system at every
+// utilisation — which FPS only achieves on (near-)harmonic periods — while
+// the worst-case analysis ("FPS-online") visibly degrades, because the
+// largest blocking time (max C = 480/4 = 120 ms) reaches the shortest
+// deadline. Wider or non-harmonic bands produce many systems that no
+// non-preemptive schedule at all can handle, contradicting the figure;
+// EXPERIMENTS.md discusses the calibration.
+func PaperConfig() Config {
+	return Config{
+		Hyperperiod: timing.HyperPeriod1440ms,
+		MinPeriod:   120 * timing.Millisecond,
+		MaxPeriod:   480 * timing.Millisecond,
+		UtilPerTask: 0.05,
+		Vmin:        1,
+		Devices:     1,
+		MaxRedraws:  64,
+		Harmonic:    true,
+	}
+}
+
+// CandidatePeriods returns the divisors of the hyper-period within
+// [MinPeriod, MaxPeriod]; with Harmonic set, only the doubling chain
+// rooted at MinPeriod.
+func (c Config) CandidatePeriods() []timing.Time {
+	if c.Harmonic {
+		var out []timing.Time
+		for p := c.MinPeriod; p <= c.MaxPeriod; p *= 2 {
+			if p > 0 && int64(c.Hyperperiod)%int64(p) == 0 {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	var out []timing.Time
+	for _, d := range timing.Divisors(int64(c.Hyperperiod)) {
+		t := timing.Time(d)
+		if t >= c.MinPeriod && t <= c.MaxPeriod {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TaskCount returns the number of tasks for a target utilisation, following
+// U = UtilPerTask · |Γ|. It rounds to the nearest integer.
+func (c Config) TaskCount(u float64) int {
+	n := int(u/c.UtilPerTask + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// System draws one synthetic task set with total utilisation u.
+// The returned set has DMPO priorities and paper quality values assigned.
+func (c Config) System(rng *rand.Rand, u float64) (*taskmodel.TaskSet, error) {
+	n := c.TaskCount(u)
+	periods := c.CandidatePeriods()
+	if len(periods) == 0 {
+		return nil, fmt.Errorf("gen: no candidate periods in [%v, %v] dividing %v",
+			c.MinPeriod, c.MaxPeriod, c.Hyperperiod)
+	}
+	utils := UUniFast(rng, n, u)
+	tasks := make([]taskmodel.Task, n)
+	for i := 0; i < n; i++ {
+		task, err := c.drawTask(rng, periods, utils[i])
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = task
+	}
+	c.assignDevices(rng, tasks)
+	ts, err := taskmodel.NewTaskSet(tasks)
+	if err != nil {
+		return nil, fmt.Errorf("gen: generated invalid task set: %w", err)
+	}
+	ts.AssignDMPO()
+	ts.ApplyPaperQuality(c.Vmin)
+	return ts, nil
+}
+
+// drawTask draws one task with utilisation util, redrawing the period until
+// θ = T/4 ≥ C (the paper's "we enforce that θi ≥ Ci"), then drawing
+// δ ∈ [θ, D−θ].
+func (c Config) drawTask(rng *rand.Rand, periods []timing.Time, util float64) (taskmodel.Task, error) {
+	var t, theta, wcet timing.Time
+	ok := false
+	redraws := c.MaxRedraws
+	if redraws <= 0 {
+		redraws = 1
+	}
+	for attempt := 0; attempt < redraws; attempt++ {
+		t = periods[rng.Intn(len(periods))]
+		theta = t / 4
+		wcet = timing.Time(util * float64(t))
+		if wcet < 1 {
+			wcet = 1
+		}
+		if wcet <= theta {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		// Give the task the largest candidate period and clamp C to θ.
+		// Clamping only ever lowers utilisation, so the system stays at or
+		// below its target U.
+		t = periods[len(periods)-1]
+		theta = t / 4
+		wcet = timing.Time(util * float64(t))
+		if wcet < 1 {
+			wcet = 1
+		}
+		if wcet > theta {
+			wcet = theta
+		}
+	}
+	if theta < 1 {
+		return taskmodel.Task{}, fmt.Errorf("gen: period %v yields θ < 1 tick", t)
+	}
+	// δ uniform over the integer range [θ, T−θ].
+	span := int64(t - 2*theta)
+	delta := theta + timing.Time(rng.Int63n(span+1))
+	return taskmodel.Task{
+		C:     wcet,
+		T:     t,
+		D:     t,
+		Delta: delta,
+		Theta: theta,
+	}, nil
+}
+
+// assignDevices spreads tasks over c.Devices devices. With one device this
+// is a no-op; with several, tasks are shuffled and dealt round-robin so the
+// partitions have balanced cardinality but random composition.
+func (c Config) assignDevices(rng *rand.Rand, tasks []taskmodel.Task) {
+	n := c.Devices
+	if n <= 1 {
+		return
+	}
+	order := rng.Perm(len(tasks))
+	for i, idx := range order {
+		tasks[idx].Device = taskmodel.DeviceID(i % n)
+	}
+}
+
+// Batch draws count systems at utilisation u, advancing the RNG between
+// systems. Failures (which should not occur with a sane Config) abort.
+func (c Config) Batch(rng *rand.Rand, count int, u float64) ([]*taskmodel.TaskSet, error) {
+	out := make([]*taskmodel.TaskSet, 0, count)
+	for i := 0; i < count; i++ {
+		ts, err := c.System(rng, u)
+		if err != nil {
+			return nil, fmt.Errorf("gen: system %d: %w", i, err)
+		}
+		out = append(out, ts)
+	}
+	return out, nil
+}

@@ -1,0 +1,260 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timing"
+)
+
+func TestUUniFastSumsToU(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 5, 20} {
+		for _, u := range []float64{0.1, 0.5, 0.9} {
+			utils := UUniFast(rng, n, u)
+			if len(utils) != n {
+				t.Fatalf("n=%d: got %d utils", n, len(utils))
+			}
+			var sum float64
+			for _, x := range utils {
+				if x < 0 {
+					t.Errorf("n=%d u=%g: negative utilisation %g", n, u, x)
+				}
+				sum += x
+			}
+			if math.Abs(sum-u) > 1e-9 {
+				t.Errorf("n=%d u=%g: sum = %g", n, u, sum)
+			}
+		}
+	}
+}
+
+func TestUUniFastPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []struct {
+		n int
+		u float64
+	}{{0, 0.5}, {-1, 0.5}, {3, 0}, {3, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("UUniFast(%d, %g): expected panic", c.n, c.u)
+				}
+			}()
+			UUniFast(rng, c.n, c.u)
+		}()
+	}
+}
+
+func TestPaperConfigCandidatePeriods(t *testing.T) {
+	c := PaperConfig()
+	periods := c.CandidatePeriods()
+	if len(periods) == 0 {
+		t.Fatal("no candidate periods")
+	}
+	for _, p := range periods {
+		if p < 120*timing.Millisecond || p > 480*timing.Millisecond {
+			t.Errorf("period %v outside configured range", p)
+		}
+		if timing.HyperPeriod1440ms%p != 0 {
+			t.Errorf("period %v does not divide hyper-period", p)
+		}
+	}
+	// Harmonic chain rooted at 120 ms capped at 480 ms: {120, 240, 480}.
+	if len(periods) != 3 {
+		t.Errorf("got %d candidate periods, want 3: %v", len(periods), periods)
+	}
+	// Every pair of candidates is harmonic (the Figure 5 condition).
+	for i := 0; i < len(periods); i++ {
+		for k := i + 1; k < len(periods); k++ {
+			if periods[k]%periods[i] != 0 {
+				t.Errorf("periods %v and %v not harmonic", periods[i], periods[k])
+			}
+		}
+	}
+	// Non-harmonic configurations still enumerate all divisors.
+	c.Harmonic = false
+	c.MaxPeriod = 360 * timing.Millisecond
+	if got := len(c.CandidatePeriods()); got != 7 {
+		t.Errorf("non-harmonic candidates = %d, want 7", got)
+	}
+}
+
+func TestTaskCount(t *testing.T) {
+	c := PaperConfig()
+	cases := []struct {
+		u    float64
+		want int
+	}{{0.05, 1}, {0.2, 4}, {0.5, 10}, {0.9, 18}, {0.01, 1}}
+	for _, cse := range cases {
+		if got := c.TaskCount(cse.u); got != cse.want {
+			t.Errorf("TaskCount(%g) = %d, want %d", cse.u, got, cse.want)
+		}
+	}
+}
+
+func TestSystemRespectsPaperConstraints(t *testing.T) {
+	c := PaperConfig()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		ts, err := c.System(rng, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ts.Tasks) != 10 {
+			t.Fatalf("task count = %d, want 10", len(ts.Tasks))
+		}
+		if h := ts.Hyperperiod(); timing.HyperPeriod1440ms%h != 0 {
+			t.Errorf("hyper-period %v does not divide 1440ms", h)
+		}
+		for i := range ts.Tasks {
+			tk := &ts.Tasks[i]
+			if tk.D != tk.T {
+				t.Errorf("task %d: D=%v != T=%v", i, tk.D, tk.T)
+			}
+			if tk.Theta != tk.T/4 {
+				t.Errorf("task %d: θ=%v != T/4=%v", i, tk.Theta, tk.T/4)
+			}
+			if tk.C > tk.Theta {
+				t.Errorf("task %d: C=%v > θ=%v", i, tk.C, tk.Theta)
+			}
+			if tk.Delta < tk.Theta || tk.Delta > tk.D-tk.Theta {
+				t.Errorf("task %d: δ=%v outside [θ, D−θ]", i, tk.Delta)
+			}
+			if tk.Vmax != float64(tk.P)+1 || tk.Vmin != 1 {
+				t.Errorf("task %d: quality Vmax=%g Vmin=%g P=%d", i, tk.Vmax, tk.Vmin, tk.P)
+			}
+		}
+		// Utilisation should be at or below the target (clamping may lower
+		// it) and reasonably close.
+		u := ts.Utilization()
+		if u > 0.5+1e-9 {
+			t.Errorf("U = %g exceeds target", u)
+		}
+		if u < 0.25 {
+			t.Errorf("U = %g implausibly far below target 0.5", u)
+		}
+	}
+}
+
+func TestSystemDeterministicFromSeed(t *testing.T) {
+	c := PaperConfig()
+	a, err := c.System(rand.New(rand.NewSource(7)), 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.System(rand.New(rand.NewSource(7)), 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Tasks) != len(b.Tasks) {
+		t.Fatal("different task counts")
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("task %d differs: %+v vs %+v", i, a.Tasks[i], b.Tasks[i])
+		}
+	}
+}
+
+func TestSystemMultiDevice(t *testing.T) {
+	c := PaperConfig()
+	c.Devices = 3
+	rng := rand.New(rand.NewSource(3))
+	ts, err := c.System(rng, 0.6) // 12 tasks over 3 devices
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs := ts.Devices()
+	if len(devs) != 3 {
+		t.Fatalf("devices = %v, want 3 distinct", devs)
+	}
+	counts := map[int]int{}
+	for i := range ts.Tasks {
+		counts[int(ts.Tasks[i].Device)]++
+	}
+	for d, n := range counts {
+		if n != 4 {
+			t.Errorf("device %d has %d tasks, want 4 (round-robin)", d, n)
+		}
+	}
+}
+
+func TestBatch(t *testing.T) {
+	c := PaperConfig()
+	rng := rand.New(rand.NewSource(11))
+	systems, err := c.Batch(rng, 5, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(systems) != 5 {
+		t.Fatalf("batch size = %d", len(systems))
+	}
+	// Systems within a batch must differ (RNG advances).
+	same := true
+	for i := range systems[0].Tasks {
+		if systems[0].Tasks[i] != systems[1].Tasks[i] {
+			same = false
+			break
+		}
+	}
+	if same && len(systems[0].Tasks) == len(systems[1].Tasks) {
+		t.Error("consecutive systems in a batch are identical")
+	}
+}
+
+func TestNoCandidatePeriodsError(t *testing.T) {
+	c := PaperConfig()
+	c.MinPeriod = timing.HyperPeriod1440ms + 1
+	if _, err := c.System(rand.New(rand.NewSource(1)), 0.3); err == nil {
+		t.Fatal("expected error for empty period range")
+	}
+}
+
+// Property: UUniFast output is always non-negative and sums to U for random
+// n and U.
+func TestUUniFastProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8, uRaw uint8) bool {
+		n := int(nRaw)%25 + 1
+		u := float64(uRaw%90)/100 + 0.05
+		utils := UUniFast(rand.New(rand.NewSource(seed)), n, u)
+		var sum float64
+		for _, x := range utils {
+			if x < 0 {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-u) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every generated system validates and respects θ ≥ C across
+// random seeds and utilisations.
+func TestSystemProperty(t *testing.T) {
+	c := PaperConfig()
+	f := func(seed int64, uRaw uint8) bool {
+		u := 0.2 + float64(uRaw%15)*0.05 // 0.2 .. 0.9
+		ts, err := c.System(rand.New(rand.NewSource(seed)), u)
+		if err != nil {
+			return false
+		}
+		for i := range ts.Tasks {
+			if ts.Tasks[i].C > ts.Tasks[i].Theta {
+				return false
+			}
+			if err := ts.Tasks[i].Validate(); err != nil {
+				return false
+			}
+		}
+		return ts.Utilization() <= u+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

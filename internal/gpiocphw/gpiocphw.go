@@ -1,0 +1,113 @@
+// Package gpiocphw models the GPIOCP baseline hardware (Jiang & Audsley,
+// DATE 2017) at the same level of detail as the proposed controller: timed
+// requests fire into a FIFO queue, and a command executor drains the queue
+// head-first, work-conservingly, with no scheduling table and no notion of
+// deadlines. It shares the controller package's Memory and Executor
+// abstractions so the two designs are directly comparable in simulation.
+package gpiocphw
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/controller"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// Request asks GPIOCP to execute task Task's pre-loaded program at cycle
+// FireAt — GPIOCP's "execute I/O command X on device D at time Y".
+type Request struct {
+	Task int
+	Job  int
+	// FireAt is the instant the request enters the FIFO queue.
+	FireAt timing.Cycle
+}
+
+// Processor is one GPIOCP instance bound to a device.
+type Processor struct {
+	k    *sim.Kernel
+	mem  *controller.Memory
+	exec controller.Executor
+
+	fifo       []Request
+	seqs       []uint64
+	seq        uint64
+	busy       bool
+	executions []controller.Execution
+	faults     []controller.Fault
+}
+
+// New builds a GPIOCP processor on the kernel.
+func New(k *sim.Kernel, mem *controller.Memory, exec controller.Executor) (*Processor, error) {
+	if k == nil || mem == nil || exec == nil {
+		return nil, fmt.Errorf("gpiocphw: nil kernel, memory or executor")
+	}
+	return &Processor{k: k, mem: mem, exec: exec}, nil
+}
+
+// Submit schedules the request to fire at its FireAt instant. Must be
+// called before the simulation reaches FireAt.
+func (p *Processor) Submit(r Request) {
+	p.k.At(r.FireAt, func() {
+		p.seq++
+		p.fifo = append(p.fifo, r)
+		p.seqs = append(p.seqs, p.seq)
+		if !p.busy {
+			p.drain()
+		}
+	})
+}
+
+// drain pops the queue head and executes it; completion re-arms the drain.
+func (p *Processor) drain() {
+	if len(p.fifo) == 0 {
+		p.busy = false
+		return
+	}
+	p.busy = true
+	// FIFO: requests are appended in fire order; same-instant requests
+	// keep submission order via seqs (already sorted by construction).
+	r := p.fifo[0]
+	p.fifo = p.fifo[1:]
+	p.seqs = p.seqs[1:]
+	start := p.k.Now()
+	prog, ok := p.mem.Fetch(r.Task)
+	if !ok {
+		p.faults = append(p.faults, controller.Fault{
+			Kind: controller.FaultMissingProgram, Task: r.Task, Job: r.Job, At: start,
+		})
+		p.drain()
+		return
+	}
+	cursor := start
+	for _, cmd := range prog {
+		busy, _, err := p.exec.Exec(cmd, cursor)
+		if err != nil {
+			p.faults = append(p.faults, controller.Fault{
+				Kind: controller.FaultExecError, Task: r.Task, Job: r.Job, At: cursor, Err: err,
+			})
+			break
+		}
+		cursor += busy
+	}
+	p.executions = append(p.executions, controller.Execution{
+		Task: r.Task, Job: r.Job, Start: start, End: cursor,
+	})
+	if cursor == start {
+		// Zero-length program: continue draining without re-scheduling.
+		p.drain()
+		return
+	}
+	p.k.At(cursor, p.drain)
+}
+
+// Executions returns completed executions sorted by start.
+func (p *Processor) Executions() []controller.Execution {
+	out := append([]controller.Execution(nil), p.executions...)
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	return out
+}
+
+// Faults returns recorded faults.
+func (p *Processor) Faults() []controller.Fault { return p.faults }

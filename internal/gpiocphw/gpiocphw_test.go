@@ -1,0 +1,139 @@
+package gpiocphw
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/controller"
+	"repro/internal/device"
+	"repro/internal/gen"
+	"repro/internal/sched/gpiocp"
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+func newProc(t *testing.T) (*sim.Kernel, *controller.Memory, *device.GPIOBank, *Processor) {
+	t.Helper()
+	var k sim.Kernel
+	mem, err := controller.NewMemory(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank, err := device.NewGPIOBank("g", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(&k, mem, controller.GPIOExecutor{Bank: bank})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &k, mem, bank, p
+}
+
+func TestUncontendedRequestRunsAtFireTime(t *testing.T) {
+	k, mem, bank, p := newProc(t)
+	mem.Preload(0, controller.Program{{Op: controller.OpTogglePin, Pin: 0}})
+	p.Submit(Request{Task: 0, Job: 0, FireAt: 123})
+	k.Run(0)
+	ex := p.Executions()
+	if len(ex) != 1 || ex[0].Start != 123 {
+		t.Fatalf("executions = %v", ex)
+	}
+	if es := bank.EdgesFor(0); len(es) != 1 || es[0].At != 123 {
+		t.Errorf("edges = %v", es)
+	}
+}
+
+func TestFIFOHeadOfLineBlocking(t *testing.T) {
+	k, mem, _, p := newProc(t)
+	mem.Preload(0, controller.Program{{Op: controller.OpWait, Arg: 100}})
+	mem.Preload(1, controller.Program{{Op: controller.OpTogglePin, Pin: 1}})
+	p.Submit(Request{Task: 0, Job: 0, FireAt: 10})
+	p.Submit(Request{Task: 1, Job: 0, FireAt: 50}) // fires mid-execution
+	k.Run(0)
+	ex := p.Executions()
+	if len(ex) != 2 {
+		t.Fatalf("executions = %v", ex)
+	}
+	if ex[1].Start != 110 {
+		t.Errorf("queued request started at %d, want 110 (after head)", ex[1].Start)
+	}
+}
+
+func TestMissingProgramFaultContinues(t *testing.T) {
+	k, mem, _, p := newProc(t)
+	mem.Preload(1, controller.Program{{Op: controller.OpTogglePin, Pin: 0}})
+	p.Submit(Request{Task: 9, Job: 0, FireAt: 10})
+	p.Submit(Request{Task: 1, Job: 0, FireAt: 10})
+	k.Run(0)
+	if len(p.Faults()) != 1 || p.Faults()[0].Kind != controller.FaultMissingProgram {
+		t.Fatalf("faults = %v", p.Faults())
+	}
+	if len(p.Executions()) != 1 {
+		t.Fatalf("executions = %v", p.Executions())
+	}
+}
+
+// The hardware FIFO model and the offline gpiocp schedule baseline must
+// agree: same fire instants, same start times (modulo the µs→cycle scale).
+func TestHardwareMatchesOfflineBaseline(t *testing.T) {
+	cfg := gen.PaperConfig()
+	clock := timing.Clock10MHz
+	for seed := int64(0); seed < 5; seed++ {
+		ts, err := cfg.System(rand.New(rand.NewSource(seed)), 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := ts.Jobs()
+		offline, err := gpiocp.Scheduler{}.Schedule(jobs)
+		if err != nil {
+			continue // unschedulable under FIFO: hardware would miss too
+		}
+		k, mem, _, p := func() (*sim.Kernel, *controller.Memory, *device.GPIOBank, *Processor) {
+			var k sim.Kernel
+			mem, _ := controller.NewMemory(1 << 20)
+			bank, _ := device.NewGPIOBank("g", 4)
+			pr, _ := New(&k, mem, controller.GPIOExecutor{Bank: bank})
+			return &k, mem, bank, pr
+		}()
+		// One program per task: busy-wait for the task's WCET in cycles.
+		for i := range ts.Tasks {
+			c := clock.ToCycles(ts.Tasks[i].C)
+			mem.Preload(ts.Tasks[i].ID, controller.Program{{Op: controller.OpWait, Arg: uint64(c)}})
+		}
+		for i := range jobs {
+			p.Submit(Request{
+				Task: jobs[i].ID.Task, Job: jobs[i].ID.J,
+				FireAt: clock.ToCycles(jobs[i].Ideal),
+			})
+		}
+		k.Run(0)
+		got := map[[2]int]timing.Cycle{}
+		for _, e := range p.Executions() {
+			got[[2]int{e.Task, e.Job}] = e.Start
+		}
+		for _, entry := range offline.Entries {
+			want := clock.ToCycles(entry.Start)
+			key := [2]int{entry.Job.ID.Task, entry.Job.ID.J}
+			if got[key] != want {
+				t.Fatalf("seed %d: job %v hardware start %d, offline %d",
+					seed, entry.Job.ID, got[key], want)
+			}
+		}
+	}
+}
+
+func TestNilArguments(t *testing.T) {
+	var k sim.Kernel
+	mem, _ := controller.NewMemory(64)
+	bank, _ := device.NewGPIOBank("g", 1)
+	if _, err := New(nil, mem, controller.GPIOExecutor{Bank: bank}); err == nil {
+		t.Error("nil kernel accepted")
+	}
+	if _, err := New(&k, nil, controller.GPIOExecutor{Bank: bank}); err == nil {
+		t.Error("nil memory accepted")
+	}
+	if _, err := New(&k, mem, nil); err == nil {
+		t.Error("nil executor accepted")
+	}
+}

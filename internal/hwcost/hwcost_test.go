@@ -1,0 +1,169 @@
+package hwcost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitiveCosts(t *testing.T) {
+	if r := Reg(32); r.Registers != 32 || r.LUTs != 0 {
+		t.Errorf("Reg(32) = %+v", r)
+	}
+	if r := Counter(16); r.LUTs != 16 || r.Registers != 16 {
+		t.Errorf("Counter(16) = %+v", r)
+	}
+	if r := Comparator(64); r.LUTs != 32 {
+		t.Errorf("Comparator(64) = %+v", r)
+	}
+	if r := Adder(32); r.LUTs != 32 {
+		t.Errorf("Adder(32) = %+v", r)
+	}
+	if r := Mux(8, 1); r.LUTs != 0 {
+		t.Errorf("degenerate mux = %+v", r)
+	}
+	if r := Mux(32, 4); r.LUTs != 64 {
+		t.Errorf("Mux(32,4) = %+v", r)
+	}
+	if r := FSM(12, 16); r.Registers != 4+16 || r.LUTs != 24+16 {
+		t.Errorf("FSM(12,16) = %+v", r)
+	}
+	if r := BRAM(32); r.BRAMKB != 32 {
+		t.Errorf("BRAM(32) = %+v", r)
+	}
+	if r := DSP(6); r.DSPs != 6 {
+		t.Errorf("DSP(6) = %+v", r)
+	}
+}
+
+func TestAddAccumulates(t *testing.T) {
+	a := Resources{LUTs: 10, Registers: 20, DSPs: 1, BRAMKB: 2}
+	b := Resources{LUTs: 5, Registers: 6, DSPs: 2, BRAMKB: 3}
+	sum := a.Add(b)
+	if sum.LUTs != 15 || sum.Registers != 26 || sum.DSPs != 3 || sum.BRAMKB != 5 {
+		t.Errorf("Add = %+v", sum)
+	}
+}
+
+// Every Table I cell of the model must land within 20% of the published
+// value (BRAM and DSP exactly — they are provisioned, not estimated).
+func TestModelMatchesPaperTable1(t *testing.T) {
+	const tol = 0.20
+	for _, row := range Table1() {
+		if row.Paper.LUTs == 0 {
+			t.Fatalf("%s: no paper row", row.Name)
+		}
+		if e := RelErr(float64(row.Model.LUTs), float64(row.Paper.LUTs)); math.Abs(e) > tol {
+			t.Errorf("%s LUTs: model %d vs paper %d (%.0f%%)",
+				row.Name, row.Model.LUTs, row.Paper.LUTs, e*100)
+		}
+		if e := RelErr(float64(row.Model.Registers), float64(row.Paper.Registers)); math.Abs(e) > tol {
+			t.Errorf("%s registers: model %d vs paper %d (%.0f%%)",
+				row.Name, row.Model.Registers, row.Paper.Registers, e*100)
+		}
+		if row.Model.DSPs != row.Paper.DSPs {
+			t.Errorf("%s DSPs: model %d vs paper %d", row.Name, row.Model.DSPs, row.Paper.DSPs)
+		}
+		if row.Model.BRAMKB != row.Paper.BRAMKB {
+			t.Errorf("%s BRAM: model %d vs paper %d", row.Name, row.Model.BRAMKB, row.Paper.BRAMKB)
+		}
+		if row.Paper.PowerMW > 0 {
+			if e := RelErr(row.Model.PowerMW, row.Paper.PowerMW); math.Abs(e) > 0.35 {
+				t.Errorf("%s power: model %.1f vs paper %.1f (%.0f%%)",
+					row.Name, row.Model.PowerMW, row.Paper.PowerMW, e*100)
+			}
+		}
+	}
+}
+
+// The section V-B claims, as ordering relations the model must reproduce.
+func TestTable1Relationships(t *testing.T) {
+	est := map[string]Resources{}
+	for _, d := range AllDesigns() {
+		est[d.Name] = d.Estimate()
+	}
+	p, g := est["Proposed"], est["GPIOCP"]
+	mbB, mbF := est["MB-B"], est["MB-F"]
+
+	// "utilises significantly less hardware than a MB-F (23.6% LUTs)".
+	if r := float64(p.LUTs) / float64(mbF.LUTs); r > 0.35 || r < 0.15 {
+		t.Errorf("Proposed/MB-F LUT ratio = %.2f, paper ≈ 0.24", r)
+	}
+	// "similar to a MB-B (135.4% LUTs)".
+	if r := float64(p.LUTs) / float64(mbB.LUTs); r < 1.1 || r > 1.6 {
+		t.Errorf("Proposed/MB-B LUT ratio = %.2f, paper ≈ 1.35", r)
+	}
+	// "additional 30.5% LUTs, 52.2% registers" over GPIOCP.
+	if r := float64(p.LUTs)/float64(g.LUTs) - 1; r < 0.15 || r > 0.45 {
+		t.Errorf("Proposed over GPIOCP LUTs = +%.0f%%, paper ≈ +30%%", r*100)
+	}
+	if r := float64(p.Registers)/float64(g.Registers) - 1; r < 0.30 || r > 0.75 {
+		t.Errorf("Proposed over GPIOCP registers = +%.0f%%, paper ≈ +52%%", r*100)
+	}
+	// "only 8.7% and 4.6% power compared to the MB-B and MB-F".
+	if r := p.PowerMW / mbB.PowerMW; r > 0.15 {
+		t.Errorf("Proposed/MB-B power ratio = %.3f, paper ≈ 0.087", r)
+	}
+	if r := p.PowerMW / mbF.PowerMW; r > 0.10 {
+		t.Errorf("Proposed/MB-F power ratio = %.3f, paper ≈ 0.046", r)
+	}
+	// Proposed costs more than every plain I/O controller.
+	for _, name := range []string{"UART", "SPI", "CAN"} {
+		if est[name].LUTs >= p.LUTs {
+			t.Errorf("%s LUTs %d ≥ proposed %d", name, est[name].LUTs, p.LUTs)
+		}
+	}
+}
+
+func TestPowerModel(t *testing.T) {
+	pm := PowerModel{ClockMHz: 100, StaticMW: 1, Activity: 0.5}
+	r := Resources{LUTs: 100, Registers: 100, BRAMKB: 1, DSPs: 1}
+	// dyn = 100 * (90 + 60 + 8 + 25)/1000 = 18.3; total = 1 + 9.15.
+	want := 1 + 0.5*18.3
+	if got := pm.Power(r); math.Abs(got-want) > 1e-9 {
+		t.Errorf("power = %g, want %g", got, want)
+	}
+}
+
+func TestRelErrPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RelErr(1, 0)
+}
+
+func TestTable1Complete(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	wantOrder := []string{"Proposed", "MB-B", "MB-F", "UART", "SPI", "CAN", "GPIOCP"}
+	for i, r := range rows {
+		if r.Name != wantOrder[i] {
+			t.Errorf("row %d = %s, want %s", i, r.Name, wantOrder[i])
+		}
+	}
+}
+
+// Property: estimates are monotone — adding any block never reduces any
+// resource, and power is non-decreasing in activity.
+func TestEstimateMonotoneProperty(t *testing.T) {
+	f := func(widthRaw, extraRaw uint8) bool {
+		width := int(widthRaw)%64 + 1
+		d := UARTController()
+		base := d.Estimate()
+		d.Blocks = append(d.Blocks, Counter(width))
+		grown := d.Estimate()
+		if grown.LUTs < base.LUTs || grown.Registers < base.Registers {
+			return false
+		}
+		pmLow := PowerModel{ClockMHz: 100, StaticMW: 1, Activity: 0.1}
+		pmHigh := PowerModel{ClockMHz: 100, StaticMW: 1, Activity: 0.9}
+		return pmHigh.Power(grown) >= pmLow.Power(grown)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

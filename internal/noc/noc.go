@@ -1,0 +1,302 @@
+// Package noc implements a cycle-level 2-D mesh network-on-chip: XY
+// dimension-ordered routing, store-and-forward routers, and fixed-priority
+// link arbitration (Figure 3's "R" boxes).
+//
+// The paper uses the NoC as the source of the variable, contention-
+// dependent latency between an application CPU and the I/O controller —
+// the reason remote instigation of I/O cannot be timing-accurate and timed
+// commands must be pre-loaded instead. The model therefore focuses on the
+// latency/contention behaviour: per-hop router and link delays, output
+// ports that serialise packets, and arbitration that favours
+// higher-priority flows while lower-priority traffic queues.
+package noc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// Coord addresses a mesh node.
+type Coord struct{ X, Y int }
+
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.X, c.Y) }
+
+// Packet is a routed message. Payload is opaque to the mesh.
+type Packet struct {
+	ID       uint64
+	Src, Dst Coord
+	// Priority wins output-port arbitration; larger is stronger.
+	Priority int
+	Payload  interface{}
+	// Injected and Delivered are stamped by the mesh.
+	Injected  timing.Cycle
+	Delivered timing.Cycle
+	// Hops counts router-to-router traversals.
+	Hops int
+}
+
+// Latency returns the end-to-end delivery latency.
+func (p *Packet) Latency() timing.Cycle { return p.Delivered - p.Injected }
+
+// Config sizes the mesh and its delays.
+type Config struct {
+	// Width and Height are the mesh dimensions (columns, rows).
+	Width, Height int
+	// RouterDelay is the per-hop processing time (route computation and
+	// buffering) in cycles.
+	RouterDelay timing.Cycle
+	// LinkDelay is the per-hop wire traversal time in cycles.
+	LinkDelay timing.Cycle
+}
+
+// DefaultConfig is a 4×4 mesh with 2-cycle routers and 1-cycle links.
+func DefaultConfig() Config {
+	return Config{Width: 4, Height: 4, RouterDelay: 2, LinkDelay: 1}
+}
+
+// Stats aggregates delivery statistics.
+type Stats struct {
+	Injected     uint64
+	Delivered    uint64
+	TotalLatency timing.Cycle
+	MaxLatency   timing.Cycle
+	MinLatency   timing.Cycle
+}
+
+// MeanLatency returns the average delivery latency in cycles.
+func (s *Stats) MeanLatency() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return float64(s.TotalLatency) / float64(s.Delivered)
+}
+
+// port is one output port of a router: a priority queue serialised over the
+// link.
+type port struct {
+	busy  bool
+	queue []*Packet
+	seqs  []uint64 // arrival sequence, parallel to queue, for FIFO ties
+}
+
+// router is one mesh node.
+type router struct {
+	at    Coord
+	ports [5]*port // indexed by direction
+}
+
+// directions
+const (
+	dirLocal = iota
+	dirEast
+	dirWest
+	dirNorth
+	dirSouth
+)
+
+// Mesh is the network fabric.
+type Mesh struct {
+	cfg     Config
+	k       *sim.Kernel
+	routers [][]*router // [y][x]
+	sinks   map[Coord]func(*Packet)
+	nextID  uint64
+	arbSeq  uint64
+	stats   Stats
+}
+
+// New builds a mesh on the kernel. Dimensions must be positive.
+func New(k *sim.Kernel, cfg Config) (*Mesh, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("noc: invalid mesh %dx%d", cfg.Width, cfg.Height)
+	}
+	if cfg.RouterDelay < 0 || cfg.LinkDelay < 0 {
+		return nil, fmt.Errorf("noc: negative delays")
+	}
+	m := &Mesh{cfg: cfg, k: k, sinks: make(map[Coord]func(*Packet))}
+	m.routers = make([][]*router, cfg.Height)
+	for y := 0; y < cfg.Height; y++ {
+		m.routers[y] = make([]*router, cfg.Width)
+		for x := 0; x < cfg.Width; x++ {
+			r := &router{at: Coord{X: x, Y: y}}
+			for d := range r.ports {
+				r.ports[d] = &port{}
+			}
+			m.routers[y][x] = r
+		}
+	}
+	return m, nil
+}
+
+// Stats returns a copy of the aggregate statistics.
+func (m *Mesh) Stats() Stats { return m.stats }
+
+// Attach registers the delivery handler for packets destined to c — the
+// node's network interface. Attaching twice replaces the handler.
+func (m *Mesh) Attach(c Coord, handler func(*Packet)) error {
+	if !m.valid(c) {
+		return fmt.Errorf("noc: attach at %v outside %dx%d mesh", c, m.cfg.Width, m.cfg.Height)
+	}
+	m.sinks[c] = handler
+	return nil
+}
+
+func (m *Mesh) valid(c Coord) bool {
+	return c.X >= 0 && c.X < m.cfg.Width && c.Y >= 0 && c.Y < m.cfg.Height
+}
+
+// Inject submits a packet at its source node at the current simulation
+// time. The mesh assigns the packet ID.
+func (m *Mesh) Inject(p *Packet) error {
+	if !m.valid(p.Src) || !m.valid(p.Dst) {
+		return fmt.Errorf("noc: packet %v -> %v outside mesh", p.Src, p.Dst)
+	}
+	m.nextID++
+	p.ID = m.nextID
+	p.Injected = m.k.Now()
+	m.stats.Injected++
+	m.arrive(p, p.Src)
+	return nil
+}
+
+// arrive processes a packet reaching router at; after RouterDelay it is
+// enqueued on the XY output port (or delivered locally).
+func (m *Mesh) arrive(p *Packet, at Coord) {
+	r := m.routers[at.Y][at.X]
+	m.k.After(m.cfg.RouterDelay, func() {
+		dir := xyRoute(at, p.Dst)
+		if dir == dirLocal {
+			m.deliver(p)
+			return
+		}
+		m.enqueue(r, dir, p)
+	})
+}
+
+func (m *Mesh) deliver(p *Packet) {
+	p.Delivered = m.k.Now()
+	lat := p.Latency()
+	m.stats.Delivered++
+	m.stats.TotalLatency += lat
+	if lat > m.stats.MaxLatency {
+		m.stats.MaxLatency = lat
+	}
+	if m.stats.MinLatency == 0 || lat < m.stats.MinLatency {
+		m.stats.MinLatency = lat
+	}
+	if sink, ok := m.sinks[p.Dst]; ok {
+		sink(p)
+	}
+}
+
+// xyRoute returns the output direction for dimension-ordered routing.
+func xyRoute(at, dst Coord) int {
+	switch {
+	case dst.X > at.X:
+		return dirEast
+	case dst.X < at.X:
+		return dirWest
+	case dst.Y > at.Y:
+		return dirNorth
+	case dst.Y < at.Y:
+		return dirSouth
+	default:
+		return dirLocal
+	}
+}
+
+func step(at Coord, dir int) Coord {
+	switch dir {
+	case dirEast:
+		return Coord{X: at.X + 1, Y: at.Y}
+	case dirWest:
+		return Coord{X: at.X - 1, Y: at.Y}
+	case dirNorth:
+		return Coord{X: at.X, Y: at.Y + 1}
+	case dirSouth:
+		return Coord{X: at.X, Y: at.Y - 1}
+	default:
+		return at
+	}
+}
+
+// enqueue places p on router r's output port dir and starts transmission if
+// the link is idle.
+func (m *Mesh) enqueue(r *router, dir int, p *Packet) {
+	pt := r.ports[dir]
+	m.arbSeq++
+	pt.queue = append(pt.queue, p)
+	pt.seqs = append(pt.seqs, m.arbSeq)
+	if !pt.busy {
+		m.transmit(r, dir)
+	}
+}
+
+// transmit pops the arbitration winner from the port queue and sends it
+// over the link; on arrival the next transmission is scheduled.
+func (m *Mesh) transmit(r *router, dir int) {
+	pt := r.ports[dir]
+	if len(pt.queue) == 0 {
+		pt.busy = false
+		return
+	}
+	pt.busy = true
+	// Fixed-priority arbitration, FIFO among equals.
+	win := 0
+	for i := 1; i < len(pt.queue); i++ {
+		if pt.queue[i].Priority > pt.queue[win].Priority ||
+			(pt.queue[i].Priority == pt.queue[win].Priority && pt.seqs[i] < pt.seqs[win]) {
+			win = i
+		}
+	}
+	p := pt.queue[win]
+	pt.queue = append(pt.queue[:win], pt.queue[win+1:]...)
+	pt.seqs = append(pt.seqs[:win], pt.seqs[win+1:]...)
+	nextHop := step(r.at, dir)
+	m.k.After(m.cfg.LinkDelay, func() {
+		p.Hops++
+		m.arrive(p, nextHop)
+		m.transmit(r, dir)
+	})
+}
+
+// HopDistance returns the Manhattan distance between two nodes — the hop
+// count of an uncontended XY route.
+func HopDistance(a, b Coord) int {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// UncontendedLatency returns the zero-load delivery latency between two
+// nodes under this configuration: one router traversal per visited router
+// plus one link traversal per hop.
+func (c Config) UncontendedLatency(a, b Coord) timing.Cycle {
+	h := timing.Cycle(HopDistance(a, b))
+	return (h+1)*c.RouterDelay + h*c.LinkDelay
+}
+
+// Coords lists all node coordinates of the mesh in row-major order.
+func (m *Mesh) Coords() []Coord {
+	var out []Coord
+	for y := 0; y < m.cfg.Height; y++ {
+		for x := 0; x < m.cfg.Width; x++ {
+			out = append(out, Coord{X: x, Y: y})
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Y != out[b].Y {
+			return out[a].Y < out[b].Y
+		}
+		return out[a].X < out[b].X
+	})
+	return out
+}

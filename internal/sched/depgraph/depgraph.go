@@ -1,0 +1,181 @@
+// Package depgraph implements phases one and two of Algorithm 1: the
+// formation of dependency graphs over the jobs' ideal execution intervals,
+// and their decomposition by penalty weight.
+//
+// A dependency graph links jobs whose ideal executions [Ideal, Ideal+C)
+// overlap (Figure 2). The penalty weight ψ of a job is its degree — the
+// number of jobs that cannot be exactly timing-accurate if this job runs at
+// its ideal instant. Decomposition repeatedly removes the job with the
+// highest ψ (ties broken by lowest priority Pi, then by job identity for
+// determinism) until no conflicts remain; removed jobs form λ¬ and are
+// later re-allocated by the LCC-D phase, while surviving jobs form λ* and
+// execute exactly at their ideal start instants.
+package depgraph
+
+import (
+	"sort"
+
+	"repro/internal/taskmodel"
+)
+
+// Graph is the ideal-execution overlap graph over a slice of jobs.
+// Node i corresponds to jobs[i].
+type Graph struct {
+	jobs []taskmodel.Job
+	adj  [][]int // adjacency lists, symmetric
+}
+
+// Build constructs the overlap graph for one device partition's jobs.
+// Construction sorts jobs by ideal start internally and uses a sweep, so it
+// costs O(n log n + m) for m overlap pairs.
+func Build(jobs []taskmodel.Job) *Graph {
+	g := &Graph{
+		jobs: jobs,
+		adj:  make([][]int, len(jobs)),
+	}
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return jobs[order[a]].Ideal < jobs[order[b]].Ideal
+	})
+	// Sweep: for each job, link to later-starting jobs until the gap
+	// exceeds the current job's ideal end.
+	for oi, i := range order {
+		ji := &g.jobs[i]
+		for _, k := range order[oi+1:] {
+			jk := &g.jobs[k]
+			if jk.Ideal >= ji.IdealEnd() {
+				break
+			}
+			if ji.OverlapsIdeal(jk) {
+				g.adj[i] = append(g.adj[i], k)
+				g.adj[k] = append(g.adj[k], i)
+			}
+		}
+	}
+	return g
+}
+
+// Len returns the number of jobs (nodes).
+func (g *Graph) Len() int { return len(g.jobs) }
+
+// Job returns the job at node i.
+func (g *Graph) Job(i int) *taskmodel.Job { return &g.jobs[i] }
+
+// Degree returns the penalty weight ψ of node i: the number of jobs whose
+// ideal executions conflict with it.
+func (g *Graph) Degree(i int) int { return len(g.adj[i]) }
+
+// Neighbors returns the nodes adjacent to i. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(i int) []int { return g.adj[i] }
+
+// Components returns the connected components of the graph — the dependency
+// graphs G = {G1, G2, ...} of Algorithm 1 line 1. Each component is a
+// sorted list of node indices; components are ordered by their smallest
+// node.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, len(g.jobs))
+	var comps [][]int
+	for start := range g.jobs {
+		if seen[start] {
+			continue
+		}
+		var comp []int
+		stack := []int{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, n)
+			for _, nb := range g.adj[n] {
+				if !seen[nb] {
+					seen[nb] = true
+					stack = append(stack, nb)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Decomposition is the outcome of phase two: Exact (λ*) holds nodes that
+// survive and can run at their ideal instants; Removed (λ¬) holds sacrificed
+// nodes in removal order.
+type Decomposition struct {
+	Exact   []int
+	Removed []int
+}
+
+// Decompose runs phase two of Algorithm 1 (lines 2–9): while any conflict
+// edge remains, remove the node with the highest current penalty weight ψ;
+// ties are broken by the lowest priority Pi (a job with a lower priority has
+// a wider release window and is easier to re-allocate), then by job identity
+// (task, then release index) for determinism. Degrees update dynamically as
+// nodes are removed, which also realises the paper's graph splitting.
+//
+// The receiver is not modified; decomposition works on a copy of the degree
+// structure.
+func (g *Graph) Decompose() Decomposition {
+	n := len(g.jobs)
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	edges := 0
+	for i := range g.adj {
+		deg[i] = len(g.adj[i])
+		edges += len(g.adj[i])
+	}
+	edges /= 2
+
+	var out Decomposition
+	for edges > 0 {
+		// Select the victim: highest ψ, then lowest priority, then identity.
+		best := -1
+		for i := 0; i < n; i++ {
+			if removed[i] || deg[i] == 0 {
+				continue
+			}
+			if best == -1 || g.better(i, best, deg) {
+				best = i
+			}
+		}
+		if best == -1 {
+			break // unreachable: edges > 0 implies a positive-degree node
+		}
+		removed[best] = true
+		out.Removed = append(out.Removed, best)
+		for _, nb := range g.adj[best] {
+			if !removed[nb] {
+				deg[nb]--
+				edges--
+			}
+		}
+		deg[best] = 0
+	}
+	for i := 0; i < n; i++ {
+		if !removed[i] {
+			out.Exact = append(out.Exact, i)
+		}
+	}
+	return out
+}
+
+// better reports whether candidate node a should be removed in preference
+// to node b under the current degrees.
+func (g *Graph) better(a, b int, deg []int) bool {
+	if deg[a] != deg[b] {
+		return deg[a] > deg[b]
+	}
+	ja, jb := &g.jobs[a], &g.jobs[b]
+	if ja.P != jb.P {
+		return ja.P < jb.P // lower priority preferred for removal
+	}
+	if ja.ID.Task != jb.ID.Task {
+		return ja.ID.Task < jb.ID.Task
+	}
+	return ja.ID.J < jb.ID.J
+}

@@ -1,0 +1,255 @@
+package depgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/taskmodel"
+	"repro/internal/timing"
+)
+
+func mkJob(task int, ideal, c timing.Time, p int) taskmodel.Job {
+	return taskmodel.Job{
+		ID:       taskmodel.JobID{Task: task, J: 0},
+		Release:  0,
+		Deadline: ideal + c + 1000,
+		Ideal:    ideal,
+		C:        c,
+		P:        p,
+		Vmax:     2,
+		Vmin:     1,
+	}
+}
+
+// figure2Jobs reproduces the paper's Figure 2 example: nine jobs forming
+// four dependency graphs {1}, {2,3}, {4,5,6}, {7,8,9}, where job 5 links to
+// jobs 4 and 6 (ψ=2) but 4 and 6 do not overlap, and jobs 7–9 mutually
+// conflict. Indices are zero-based: paper job k = index k−1.
+func figure2Jobs() []taskmodel.Job {
+	return []taskmodel.Job{
+		mkJob(0, 0, 10, 9),   // job 1: isolated
+		mkJob(1, 20, 10, 8),  // job 2
+		mkJob(2, 25, 10, 7),  // job 3: overlaps job 2
+		mkJob(3, 50, 10, 6),  // job 4
+		mkJob(4, 55, 10, 5),  // job 5: overlaps 4 and 6
+		mkJob(5, 62, 10, 4),  // job 6: overlaps 5 only
+		mkJob(6, 90, 15, 3),  // job 7
+		mkJob(7, 95, 15, 2),  // job 8
+		mkJob(8, 100, 15, 1), // job 9: 7,8,9 mutually overlap
+	}
+}
+
+func TestFigure2Components(t *testing.T) {
+	g := Build(figure2Jobs())
+	comps := g.Components()
+	if len(comps) != 4 {
+		t.Fatalf("components = %d, want 4: %v", len(comps), comps)
+	}
+	want := [][]int{{0}, {1, 2}, {3, 4, 5}, {6, 7, 8}}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+		}
+		for k := range want[i] {
+			if comps[i][k] != want[i][k] {
+				t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFigure2PenaltyWeights(t *testing.T) {
+	g := Build(figure2Jobs())
+	wantDeg := []int{0, 1, 1, 1, 2, 1, 2, 2, 2}
+	for i, w := range wantDeg {
+		if got := g.Degree(i); got != w {
+			t.Errorf("ψ(job %d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+func TestFigure2Decomposition(t *testing.T) {
+	g := Build(figure2Jobs())
+	d := g.Decompose()
+	// Expected: job 5 (index 4) removed from {4,5,6} leaving 4 and 6 exact;
+	// one of {2,3} removed (tie ψ=1 → lower priority = index 2);
+	// from {7,8,9}: ψ all 2 → lowest priority = index 8 removed first, then
+	// 6 and 7 still overlap (ψ=1 each) → lower priority = index 7 removed.
+	wantExact := []int{0, 1, 3, 5, 6}
+	if len(d.Exact) != len(wantExact) {
+		t.Fatalf("exact = %v, want %v", d.Exact, wantExact)
+	}
+	for i := range wantExact {
+		if d.Exact[i] != wantExact[i] {
+			t.Fatalf("exact = %v, want %v", d.Exact, wantExact)
+		}
+	}
+	if len(d.Removed) != 4 {
+		t.Fatalf("removed = %v, want 4 jobs", d.Removed)
+	}
+	// λ* jobs must be pairwise non-overlapping at their ideal instants.
+	for a := 0; a < len(d.Exact); a++ {
+		for b := a + 1; b < len(d.Exact); b++ {
+			ja, jb := g.Job(d.Exact[a]), g.Job(d.Exact[b])
+			if ja.OverlapsIdeal(jb) {
+				t.Errorf("exact jobs %v and %v overlap", ja.ID, jb.ID)
+			}
+		}
+	}
+}
+
+func TestDecomposePrefersHighDegree(t *testing.T) {
+	// A "star": one job overlapping three others that do not overlap each
+	// other. Removing the hub frees all three.
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 100, 1), // hub covers [0,100)
+		mkJob(1, 0, 10, 4),  // [0,10)
+		mkJob(2, 40, 10, 3), // [40,50)
+		mkJob(3, 80, 10, 2), // [80,90)
+	}
+	g := Build(jobs)
+	d := g.Decompose()
+	if len(d.Removed) != 1 || d.Removed[0] != 0 {
+		t.Fatalf("removed = %v, want just the hub", d.Removed)
+	}
+	if len(d.Exact) != 3 {
+		t.Fatalf("exact = %v", d.Exact)
+	}
+}
+
+func TestDecomposeTieBreakByPriority(t *testing.T) {
+	// Two overlapping jobs, equal ψ=1: the lower-priority one is removed.
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 10, 1), // lower priority
+		mkJob(1, 5, 10, 2),
+	}
+	d := Build(jobs).Decompose()
+	if len(d.Removed) != 1 || d.Removed[0] != 0 {
+		t.Fatalf("removed = %v, want [0] (lower priority)", d.Removed)
+	}
+}
+
+func TestDecomposeTieBreakDeterministicOnEqualPriority(t *testing.T) {
+	jobs := []taskmodel.Job{
+		mkJob(3, 0, 10, 2),
+		mkJob(1, 5, 10, 2),
+	}
+	d := Build(jobs).Decompose()
+	// Equal ψ and P: lower task ID removed.
+	if len(d.Removed) != 1 || d.Removed[0] != 1 {
+		t.Fatalf("removed = %v, want [1] (task 1 < task 3)", d.Removed)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	g := Build(nil)
+	if g.Len() != 0 || len(g.Components()) != 0 {
+		t.Error("empty graph misbehaves")
+	}
+	d := g.Decompose()
+	if len(d.Exact) != 0 || len(d.Removed) != 0 {
+		t.Error("empty decomposition misbehaves")
+	}
+	g1 := Build([]taskmodel.Job{mkJob(0, 5, 10, 1)})
+	d1 := g1.Decompose()
+	if len(d1.Exact) != 1 || len(d1.Removed) != 0 {
+		t.Errorf("singleton: exact=%v removed=%v", d1.Exact, d1.Removed)
+	}
+}
+
+func TestIdenticalIdealsAllConflict(t *testing.T) {
+	// k jobs with identical ideal intervals form a clique; exactly one
+	// survives.
+	var jobs []taskmodel.Job
+	for i := 0; i < 5; i++ {
+		jobs = append(jobs, mkJob(i, 100, 10, i+1))
+	}
+	d := Build(jobs).Decompose()
+	if len(d.Exact) != 1 {
+		t.Fatalf("clique: exact = %v, want exactly 1", d.Exact)
+	}
+	if len(d.Removed) != 4 {
+		t.Fatalf("clique: removed = %v", d.Removed)
+	}
+	// The survivor is the highest-priority job (lowest priorities are
+	// removed first).
+	if got := jobs[d.Exact[0]].P; got != 5 {
+		t.Errorf("survivor priority = %d, want 5", got)
+	}
+}
+
+func randomJobs(rng *rand.Rand, n int) []taskmodel.Job {
+	jobs := make([]taskmodel.Job, n)
+	for i := range jobs {
+		ideal := timing.Time(rng.Intn(500))
+		c := timing.Time(rng.Intn(30) + 1)
+		jobs[i] = mkJob(i, ideal, c, rng.Intn(n)+1)
+	}
+	return jobs
+}
+
+// Property: after decomposition no two exact jobs overlap, every removed
+// node had at least one conflict at removal time, and Exact ∪ Removed is a
+// partition of all nodes.
+func TestDecomposeProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%40 + 1
+		jobs := randomJobs(rand.New(rand.NewSource(seed)), n)
+		g := Build(jobs)
+		d := g.Decompose()
+		if len(d.Exact)+len(d.Removed) != n {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, i := range append(append([]int{}, d.Exact...), d.Removed...) {
+			if seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		for a := 0; a < len(d.Exact); a++ {
+			for b := a + 1; b < len(d.Exact); b++ {
+				if g.Job(d.Exact[a]).OverlapsIdeal(g.Job(d.Exact[b])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: graph adjacency is symmetric and matches the pairwise overlap
+// predicate exactly.
+func TestBuildMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw)%30 + 1
+		jobs := randomJobs(rand.New(rand.NewSource(seed)), n)
+		g := Build(jobs)
+		for i := 0; i < n; i++ {
+			nb := map[int]bool{}
+			for _, k := range g.Neighbors(i) {
+				if k == i {
+					return false
+				}
+				nb[k] = true
+			}
+			for k := 0; k < n; k++ {
+				if k == i {
+					continue
+				}
+				want := jobs[i].OverlapsIdeal(&jobs[k])
+				if nb[k] != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

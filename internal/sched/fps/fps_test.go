@@ -1,0 +1,272 @@
+package fps
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/sched"
+	"repro/internal/taskmodel"
+	"repro/internal/timing"
+)
+
+const ms = timing.Millisecond
+
+func mkJob(task, j int, release, deadline, ideal, c timing.Time, p int) taskmodel.Job {
+	return taskmodel.Job{
+		ID:       taskmodel.JobID{Task: task, J: j},
+		Release:  release,
+		Deadline: deadline,
+		Ideal:    ideal,
+		C:        c,
+		P:        p,
+		Theta:    (deadline - release) / 4,
+		Vmax:     float64(p) + 1,
+		Vmin:     1,
+	}
+}
+
+func TestOfflinePriorityOrder(t *testing.T) {
+	// Both released at 0: higher priority runs first.
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 100, 30, 10, 1),
+		mkJob(1, 0, 0, 100, 40, 10, 2),
+	}
+	s, err := Offline{}.Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.StartTimes()
+	if st[jobs[1].ID] != 0 {
+		t.Errorf("high-priority start = %v, want 0", st[jobs[1].ID])
+	}
+	if st[jobs[0].ID] != 10 {
+		t.Errorf("low-priority start = %v, want 10", st[jobs[0].ID])
+	}
+}
+
+func TestOfflineNonPreemptiveBlocking(t *testing.T) {
+	// Low-priority long job starts at 0; high-priority job released at 5
+	// must wait (non-preemptive).
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 200, 50, 40, 1),
+		mkJob(1, 0, 5, 105, 30, 10, 2),
+	}
+	s, err := Offline{}.Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.StartTimes()
+	if st[jobs[0].ID] != 0 {
+		t.Errorf("long job start = %v, want 0", st[jobs[0].ID])
+	}
+	if st[jobs[1].ID] != 40 {
+		t.Errorf("blocked job start = %v, want 40", st[jobs[1].ID])
+	}
+}
+
+func TestOfflineWorkConservingIdle(t *testing.T) {
+	// Gap between releases: the device idles, then runs immediately.
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 100, 30, 10, 1),
+		mkJob(1, 0, 50, 150, 80, 10, 2),
+	}
+	s, err := Offline{}.Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.StartTimes()
+	if st[jobs[1].ID] != 50 {
+		t.Errorf("second job start = %v, want 50 (work-conserving)", st[jobs[1].ID])
+	}
+}
+
+func TestOfflineDeadlineMiss(t *testing.T) {
+	// Two 60-wide jobs in the same 100-wide window.
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 100, 30, 60, 2),
+		mkJob(1, 0, 0, 100, 40, 60, 1),
+	}
+	_, err := Offline{}.Schedule(jobs)
+	if !errors.Is(err, sched.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestOfflineEmpty(t *testing.T) {
+	s, err := Offline{}.Schedule(nil)
+	if err != nil || len(s.Entries) != 0 {
+		t.Fatal("empty partition should yield empty schedule")
+	}
+}
+
+func TestAnalyzeSimpleSchedulable(t *testing.T) {
+	tasks := []taskmodel.Task{
+		{ID: 0, C: 10 * ms, T: 100 * ms, D: 100 * ms, P: 2, Delta: 30 * ms, Theta: 25 * ms, Vmax: 3, Vmin: 1},
+		{ID: 1, C: 20 * ms, T: 200 * ms, D: 200 * ms, P: 1, Delta: 60 * ms, Theta: 50 * ms, Vmax: 2, Vmin: 1},
+	}
+	v := Analyze(tasks)
+	if !v.Schedulable {
+		t.Fatalf("verdict = %+v, want schedulable", v)
+	}
+	// Task 0 (high priority): B = 20ms (task 1 blocks), no hp interference:
+	// R = 20 + 10 = 30ms.
+	r0 := v.Responses[0]
+	if r0.B != 20*ms || r0.R != 30*ms {
+		t.Errorf("task 0: B=%v R=%v, want 20ms/30ms", r0.B, r0.R)
+	}
+	// Task 1 (low priority): B = 0, interference from task 0:
+	// w = ceil((w+1)/100)·10 → w = 10, R = 30ms.
+	r1 := v.Responses[1]
+	if r1.B != 0 || r1.R != 30*ms {
+		t.Errorf("task 1: B=%v R=%v, want 0/30ms", r1.B, r1.R)
+	}
+}
+
+func TestAnalyzeBlockingInducedMiss(t *testing.T) {
+	// High-priority task with tight deadline blocked by a long
+	// lower-priority job: 90ms blocking + 10ms C > 60ms deadline.
+	tasks := []taskmodel.Task{
+		{ID: 0, C: 10 * ms, T: 60 * ms, D: 60 * ms, P: 2, Delta: 15 * ms, Theta: 15 * ms, Vmax: 3, Vmin: 1},
+		{ID: 1, C: 90 * ms, T: 360 * ms, D: 360 * ms, P: 1, Delta: 90 * ms, Theta: 90 * ms, Vmax: 2, Vmin: 1},
+	}
+	v := Analyze(tasks)
+	if v.Schedulable {
+		t.Fatal("expected unschedulable verdict")
+	}
+	if v.Responses[0].Schedulable {
+		t.Error("task 0 should fail (blocking 90ms)")
+	}
+	if !v.Responses[1].Schedulable {
+		t.Error("task 1 should pass")
+	}
+}
+
+func TestAnalyzeInterferenceAccumulates(t *testing.T) {
+	// Low-priority task under two high-priority tasks.
+	tasks := []taskmodel.Task{
+		{ID: 0, C: 10 * ms, T: 40 * ms, D: 40 * ms, P: 3, Delta: 10 * ms, Theta: 10 * ms, Vmax: 4, Vmin: 1},
+		{ID: 1, C: 10 * ms, T: 80 * ms, D: 80 * ms, P: 2, Delta: 20 * ms, Theta: 20 * ms, Vmax: 3, Vmin: 1},
+		{ID: 2, C: 20 * ms, T: 160 * ms, D: 160 * ms, P: 1, Delta: 40 * ms, Theta: 40 * ms, Vmax: 2, Vmin: 1},
+	}
+	v := Analyze(tasks)
+	if !v.Schedulable {
+		t.Fatalf("verdict: %+v", v)
+	}
+	// Task 2: w fixed point with hp tasks 0,1:
+	// w0=0 → w1 = 10+10 = 20 → w2 = ceil(21/40)·10+ceil(21/80)·10 = 20. R=40.
+	if got := v.Responses[2].R; got != 40*ms {
+		t.Errorf("task 2 R = %v, want 40ms", got)
+	}
+}
+
+func TestOnlineSchedulerWrapsAnalysis(t *testing.T) {
+	tasks := []taskmodel.Task{
+		{ID: 0, C: 10 * ms, T: 60 * ms, D: 60 * ms, P: 2, Delta: 15 * ms, Theta: 15 * ms, Vmax: 3, Vmin: 1},
+		{ID: 1, C: 90 * ms, T: 360 * ms, D: 360 * ms, P: 1, Delta: 90 * ms, Theta: 90 * ms, Vmax: 2, Vmin: 1},
+	}
+	ts := &taskmodel.TaskSet{Tasks: tasks}
+	_, err := Online{Tasks: tasks}.Schedule(ts.Jobs())
+	if !errors.Is(err, sched.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	// A relaxed variant passes and yields the offline schedule.
+	tasks[1].C = 20 * ms
+	s, err := Online{Tasks: tasks}.Schedule(ts.Jobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Entries) == 0 {
+		t.Fatal("expected schedule entries")
+	}
+}
+
+func TestOfflinePsiNearZeroOnPaperSystems(t *testing.T) {
+	// The paper reports Ψ = 0 for FPS under every configuration: a
+	// work-conserving scheduler essentially never hits ideal instants.
+	cfg := gen.PaperConfig()
+	totalPsi := 0.0
+	n := 0
+	for seed := int64(0); seed < 20; seed++ {
+		ts, err := cfg.System(rand.New(rand.NewSource(seed)), 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Offline{}.Schedule(ts.Jobs())
+		if err != nil {
+			continue
+		}
+		totalPsi += s.Psi()
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no schedulable systems")
+	}
+	if avg := totalPsi / float64(n); avg > 0.02 {
+		t.Errorf("FPS mean Ψ = %g, expected ≈ 0", avg)
+	}
+}
+
+// Property: the offline simulation, when feasible, yields a valid schedule
+// in which no job starts while a higher-priority job is released and
+// waiting (priority correctness of the work-conserving policy).
+func TestOfflineProperty(t *testing.T) {
+	cfg := gen.PaperConfig()
+	f := func(seed int64, uRaw uint8) bool {
+		u := 0.2 + float64(uRaw%15)*0.05
+		ts, err := cfg.System(rand.New(rand.NewSource(seed)), u)
+		if err != nil {
+			return false
+		}
+		jobs := ts.Jobs()
+		s, err := Offline{}.Schedule(jobs)
+		if err != nil {
+			return errors.Is(err, sched.ErrInfeasible)
+		}
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		st := s.StartTimes()
+		// No job may start at time t while a higher-priority job with
+		// release ≤ t has a start > t (it was waiting and should have won).
+		for a := range jobs {
+			for b := range jobs {
+				if a == b {
+					continue
+				}
+				sa, sb := st[jobs[a].ID], st[jobs[b].ID]
+				if jobs[b].Release <= sa && sb > sa && jobs[b].P > jobs[a].P {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: whenever the online analysis accepts a task set, the offline
+// simulation of the same set meets every deadline (analysis soundness
+// relative to the simulator).
+func TestOnlineSoundAgainstSimulation(t *testing.T) {
+	cfg := gen.PaperConfig()
+	f := func(seed int64, uRaw uint8) bool {
+		u := 0.2 + float64(uRaw%15)*0.05
+		ts, err := cfg.System(rand.New(rand.NewSource(seed)), u)
+		if err != nil {
+			return false
+		}
+		if !Analyze(ts.Tasks).Schedulable {
+			return true // nothing to check
+		}
+		_, err = Offline{}.Schedule(ts.Jobs())
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+// Package gpiocp implements the scheduling behaviour of the GPIOCP baseline
+// (Jiang & Audsley, DATE 2017) as evaluated in Section V of the paper.
+//
+// GPIOCP pre-loads timed I/O commands and lets the user request that a
+// command execute at an exact instant — here, the job's ideal start time δ.
+// At run time a fired request is appended to a FIFO queue and executes when
+// it reaches the head, so the achieved timing depends entirely on the
+// arrival order: under contention a request waits for every earlier-fired
+// request to finish, regardless of its own deadline or ideal instant. This
+// is precisely why the paper's introduction concludes GPIOCP "cannot
+// guarantee either of the timing requirements".
+package gpiocp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/quality"
+	"repro/internal/sched"
+	"repro/internal/taskmodel"
+	"repro/internal/timing"
+)
+
+// Scheduler reproduces GPIOCP's FIFO execution order offline so it can be
+// compared with the proposed methods on identical job sets.
+type Scheduler struct{}
+
+// Name implements sched.Scheduler.
+func (Scheduler) Name() string { return "gpiocp" }
+
+// Schedule orders jobs by the instants their requests fire (the ideal start
+// times δ; ties by priority, then identity, modelling a deterministic
+// request bus) and executes them FIFO and work-conservingly on the device.
+// A job that would finish past its deadline makes the system unschedulable.
+func (Scheduler) Schedule(jobs []taskmodel.Job) (*sched.Schedule, error) {
+	if len(jobs) == 0 {
+		return &sched.Schedule{}, nil
+	}
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ja, jb := &jobs[order[a]], &jobs[order[b]]
+		if ja.Ideal != jb.Ideal {
+			return ja.Ideal < jb.Ideal
+		}
+		if ja.P != jb.P {
+			return ja.P > jb.P
+		}
+		if ja.ID.Task != jb.ID.Task {
+			return ja.ID.Task < jb.ID.Task
+		}
+		return ja.ID.J < jb.ID.J
+	})
+	starts := make(quality.StartTimes, len(jobs))
+	var now timing.Time
+	for _, idx := range order {
+		j := &jobs[idx]
+		start := timing.Max(now, j.Ideal)
+		if start+j.C > j.Deadline {
+			return nil, fmt.Errorf("gpiocp: job %v finishes at %v past deadline %v: %w",
+				j.ID, start+j.C, j.Deadline, sched.ErrInfeasible)
+		}
+		starts[j.ID] = start
+		now = start + j.C
+	}
+	return sched.New(jobs, starts)
+}

@@ -1,0 +1,172 @@
+package gpiocp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/sched"
+	"repro/internal/taskmodel"
+	"repro/internal/timing"
+)
+
+func mkJob(task, j int, release, deadline, ideal, c timing.Time, p int) taskmodel.Job {
+	return taskmodel.Job{
+		ID:       taskmodel.JobID{Task: task, J: j},
+		Release:  release,
+		Deadline: deadline,
+		Ideal:    ideal,
+		C:        c,
+		P:        p,
+		Theta:    (deadline - release) / 4,
+		Vmax:     float64(p) + 1,
+		Vmin:     1,
+	}
+}
+
+func TestUncontendedJobsAreExact(t *testing.T) {
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 100, 20, 10, 1),
+		mkJob(1, 0, 0, 100, 50, 10, 2),
+	}
+	s, err := Scheduler{}.Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Psi() != 1 {
+		t.Errorf("Ψ = %g, want 1 for uncontended FIFO", s.Psi())
+	}
+}
+
+func TestFIFOHeadOfLineBlocking(t *testing.T) {
+	// Job firing first occupies the device; the second waits even though
+	// it fires later at its own ideal instant.
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 200, 20, 50, 1), // fires at 20, runs [20,70)
+		mkJob(1, 0, 0, 200, 40, 10, 2), // fires at 40, must wait until 70
+	}
+	s, err := Scheduler{}.Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.StartTimes()
+	if st[jobs[0].ID] != 20 {
+		t.Errorf("first job start = %v, want 20", st[jobs[0].ID])
+	}
+	if st[jobs[1].ID] != 70 {
+		t.Errorf("queued job start = %v, want 70 (head-of-line blocking)", st[jobs[1].ID])
+	}
+	if s.Psi() != 0.5 {
+		t.Errorf("Ψ = %g, want 0.5", s.Psi())
+	}
+}
+
+func TestFIFOOrderIgnoresPriorityAcrossInstants(t *testing.T) {
+	// A low-priority job that fires earlier runs first — FIFO, not FPS.
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 400, 30, 50, 1), // low priority, fires first
+		mkJob(1, 0, 0, 400, 31, 50, 9), // high priority, fires second
+	}
+	s, err := Scheduler{}.Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.StartTimes()
+	if !(st[jobs[0].ID] == 30 && st[jobs[1].ID] == 80) {
+		t.Errorf("starts = %v/%v, want 30/80", st[jobs[0].ID], st[jobs[1].ID])
+	}
+}
+
+func TestSimultaneousFireTieBreak(t *testing.T) {
+	// Same fire instant: the higher-priority request wins the bus.
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 400, 30, 20, 1),
+		mkJob(1, 0, 0, 400, 30, 20, 2),
+	}
+	s, err := Scheduler{}.Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.StartTimes()
+	if st[jobs[1].ID] != 30 || st[jobs[0].ID] != 50 {
+		t.Errorf("starts = %v/%v, want 50/30", st[jobs[0].ID], st[jobs[1].ID])
+	}
+}
+
+func TestDeadlineMissInfeasible(t *testing.T) {
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 100, 60, 30, 1), // runs [60,90)
+		mkJob(1, 0, 0, 100, 70, 30, 2), // queued until 90 → misses 100
+	}
+	_, err := Scheduler{}.Schedule(jobs)
+	if !errors.Is(err, sched.ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	s, err := Scheduler{}.Schedule(nil)
+	if err != nil || len(s.Entries) != 0 {
+		t.Fatal("empty partition misbehaves")
+	}
+}
+
+// Property: GPIOCP schedules are valid when feasible, and every job starts
+// at or after its fire instant (FIFO never runs early).
+func TestGPIOCPProperty(t *testing.T) {
+	cfg := gen.PaperConfig()
+	f := func(seed int64, uRaw uint8) bool {
+		u := 0.2 + float64(uRaw%15)*0.05
+		ts, err := cfg.System(rand.New(rand.NewSource(seed)), u)
+		if err != nil {
+			return false
+		}
+		jobs := ts.Jobs()
+		s, err := Scheduler{}.Schedule(jobs)
+		if err != nil {
+			return errors.Is(err, sched.ErrInfeasible)
+		}
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		st := s.StartTimes()
+		for i := range jobs {
+			if st[jobs[i].ID] < jobs[i].Ideal {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// GPIOCP's schedulability should collapse as utilisation rises — the
+// qualitative claim of Figure 5.
+func TestSchedulabilityCollapsesWithUtilisation(t *testing.T) {
+	cfg := gen.PaperConfig()
+	rate := func(u float64) float64 {
+		ok := 0
+		const n = 40
+		for seed := int64(0); seed < n; seed++ {
+			ts, err := cfg.System(rand.New(rand.NewSource(seed)), u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := (Scheduler{}).Schedule(ts.Jobs()); err == nil {
+				ok++
+			}
+		}
+		return float64(ok) / n
+	}
+	low, high := rate(0.3), rate(0.8)
+	if low < high {
+		t.Errorf("schedulability should fall with U: %.2f@0.3 vs %.2f@0.8", low, high)
+	}
+	if high > 0.5 {
+		t.Errorf("GPIOCP at U=0.8 schedulable fraction = %.2f, expected collapse", high)
+	}
+}

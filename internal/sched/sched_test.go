@@ -1,0 +1,342 @@
+package sched
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/quality"
+	"repro/internal/taskmodel"
+	"repro/internal/timing"
+)
+
+func mkJob(task, j int, release, deadline, ideal, c timing.Time) taskmodel.Job {
+	return taskmodel.Job{
+		ID:       taskmodel.JobID{Task: task, J: j},
+		Release:  release,
+		Deadline: deadline,
+		Ideal:    ideal,
+		C:        c,
+		Theta:    (deadline - release) / 4,
+		Vmax:     2,
+		Vmin:     1,
+	}
+}
+
+func TestNewValidSchedule(t *testing.T) {
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 100, 40, 10),
+		mkJob(1, 0, 0, 100, 60, 10),
+	}
+	starts := quality.StartTimes{
+		jobs[0].ID: 40,
+		jobs[1].ID: 60,
+	}
+	s, err := New(jobs, starts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Entries) != 2 {
+		t.Fatalf("entries = %d", len(s.Entries))
+	}
+	if s.Entries[0].Job.ID.Task != 0 || s.Entries[1].Job.ID.Task != 1 {
+		t.Errorf("entries not sorted by start: %v", s)
+	}
+	if s.Makespan() != 70 {
+		t.Errorf("makespan = %v, want 70", s.Makespan())
+	}
+}
+
+func TestNewMissingStart(t *testing.T) {
+	jobs := []taskmodel.Job{mkJob(0, 0, 0, 100, 40, 10)}
+	if _, err := New(jobs, quality.StartTimes{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestValidateRejectsEarlyStart(t *testing.T) {
+	jobs := []taskmodel.Job{mkJob(0, 0, 50, 150, 90, 10)}
+	_, err := New(jobs, quality.StartTimes{jobs[0].ID: 40})
+	if err == nil || !strings.Contains(err.Error(), "before release") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsDeadlineMiss(t *testing.T) {
+	jobs := []taskmodel.Job{mkJob(0, 0, 0, 100, 40, 10)}
+	_, err := New(jobs, quality.StartTimes{jobs[0].ID: 95})
+	if err == nil {
+		t.Fatal("expected deadline miss")
+	}
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("deadline miss should wrap ErrInfeasible, got %v", err)
+	}
+}
+
+func TestValidateRejectsOverlap(t *testing.T) {
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 100, 40, 20),
+		mkJob(1, 0, 0, 100, 50, 20),
+	}
+	_, err := New(jobs, quality.StartTimes{jobs[0].ID: 40, jobs[1].ID: 50})
+	if err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("err = %v", err)
+	}
+	// Back-to-back is fine.
+	if _, err := New(jobs, quality.StartTimes{jobs[0].ID: 40, jobs[1].ID: 60}); err != nil {
+		t.Fatalf("back-to-back rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsDuplicate(t *testing.T) {
+	j := mkJob(0, 0, 0, 100, 40, 10)
+	s := &Schedule{Entries: []Entry{{Job: j, Start: 10}, {Job: j, Start: 50}}}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsMixedDevices(t *testing.T) {
+	a := mkJob(0, 0, 0, 100, 40, 10)
+	b := mkJob(1, 0, 0, 100, 60, 10)
+	b.Device = 1
+	s := &Schedule{Entries: []Entry{{Job: a, Start: 0}, {Job: b, Start: 50}}}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "devices") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestScheduleMetrics(t *testing.T) {
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 100, 40, 10),
+		mkJob(1, 0, 0, 100, 60, 10),
+	}
+	s, err := New(jobs, quality.StartTimes{jobs[0].ID: 40, jobs[1].ID: 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Psi(); got != 0.5 {
+		t.Errorf("Ψ = %g, want 0.5", got)
+	}
+	ups := s.Upsilon(quality.Linear{})
+	if ups <= 0 || ups >= 1 {
+		t.Errorf("Υ = %g, want in (0,1)", ups)
+	}
+}
+
+func TestFinishTime(t *testing.T) {
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 100, 40, 10),
+		mkJob(0, 1, 100, 200, 140, 10),
+		mkJob(1, 0, 0, 200, 60, 10),
+	}
+	s, err := New(jobs, quality.StartTimes{
+		jobs[0].ID: 40, jobs[1].ID: 160, jobs[2].ID: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task 0: job0 finishes at 50 (rel 0 → 50), job1 at 170 (rel 100 → 70).
+	ft, ok := s.FinishTime(0)
+	if !ok || ft != 70 {
+		t.Errorf("FinishTime(0) = %v,%v, want 70,true", ft, ok)
+	}
+	if _, ok := s.FinishTime(9); ok {
+		t.Error("FinishTime of absent task should report false")
+	}
+}
+
+func TestFreeSlots(t *testing.T) {
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 100, 20, 10),
+		mkJob(1, 0, 0, 100, 50, 10),
+	}
+	s, err := New(jobs, quality.StartTimes{jobs[0].ID: 20, jobs[1].ID: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := s.FreeSlots(100)
+	want := []FreeSlot{{0, 20}, {30, 50}, {60, 100}}
+	if len(slots) != len(want) {
+		t.Fatalf("slots = %v", slots)
+	}
+	for i := range want {
+		if slots[i] != want[i] {
+			t.Errorf("slot %d = %v, want %v", i, slots[i], want[i])
+		}
+	}
+	// Empty schedule: one big slot.
+	empty := &Schedule{}
+	es := empty.FreeSlots(50)
+	if len(es) != 1 || es[0] != (FreeSlot{0, 50}) {
+		t.Errorf("empty slots = %v", es)
+	}
+	if (FreeSlot{10, 25}).Len() != 15 {
+		t.Error("FreeSlot.Len broken")
+	}
+}
+
+func TestScheduleAllPartitions(t *testing.T) {
+	const ms = timing.Millisecond
+	mk := func(dev taskmodel.DeviceID, delta timing.Time) taskmodel.Task {
+		return taskmodel.Task{
+			C: 1 * ms, T: 20 * ms, D: 20 * ms, Delta: delta, Theta: 5 * ms,
+			Vmax: 2, Vmin: 1, Device: dev,
+		}
+	}
+	ts, err := taskmodel.NewTaskSet([]taskmodel.Task{mk(0, 8*ms), mk(1, 8*ms), mk(0, 12*ms)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.AssignDMPO()
+	ds, err := ScheduleAll(ts, idealScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("partitions = %d, want 2", len(ds))
+	}
+	psi, ups := ds.Metrics(quality.Linear{})
+	if psi != 1 || ups != 1 {
+		t.Errorf("metrics = %g, %g, want 1,1", psi, ups)
+	}
+}
+
+// idealScheduler schedules every job at its ideal start; it is only valid
+// for conflict-free partitions and serves as a test double.
+type idealScheduler struct{}
+
+func (idealScheduler) Name() string { return "ideal" }
+
+func (idealScheduler) Schedule(jobs []taskmodel.Job) (*Schedule, error) {
+	starts := quality.StartTimes{}
+	for i := range jobs {
+		starts[jobs[i].ID] = jobs[i].Ideal
+	}
+	return New(jobs, starts)
+}
+
+func TestScheduleAllPropagatesInfeasibility(t *testing.T) {
+	const ms = timing.Millisecond
+	// Two tasks on one device with identical ideal intervals: idealScheduler
+	// must fail.
+	mk := func() taskmodel.Task {
+		return taskmodel.Task{
+			C: 5 * ms, T: 20 * ms, D: 20 * ms, Delta: 8 * ms, Theta: 5 * ms,
+			Vmax: 2, Vmin: 1,
+		}
+	}
+	ts, err := taskmodel.NewTaskSet([]taskmodel.Task{mk(), mk()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.AssignDMPO()
+	if _, err := ScheduleAll(ts, idealScheduler{}); err == nil {
+		t.Fatal("expected failure for conflicting ideals")
+	}
+}
+
+// Property: FreeSlots of a valid schedule never overlap entries, are
+// maximal, and total busy + free time equals the horizon.
+func TestFreeSlotsProperty(t *testing.T) {
+	f := func(raw [5]uint8) bool {
+		// Build a chain of non-overlapping jobs with random gaps.
+		var entries []Entry
+		cursor := timing.Time(0)
+		for i, r := range raw {
+			gap := timing.Time(r % 7)
+			c := timing.Time(r%5) + 1
+			start := cursor + gap
+			entries = append(entries, Entry{
+				Job: taskmodel.Job{
+					ID:       taskmodel.JobID{Task: i, J: 0},
+					Release:  start,
+					Deadline: start + c + 100,
+					Ideal:    start,
+					C:        c,
+					Vmax:     2, Vmin: 1,
+				},
+				Start: start,
+			})
+			cursor = start + c
+		}
+		s := &Schedule{Entries: entries}
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		horizon := cursor + 10
+		slots := s.FreeSlots(horizon)
+		var free, busy timing.Time
+		for _, sl := range slots {
+			if sl.Len() <= 0 {
+				return false
+			}
+			free += sl.Len()
+		}
+		for i := range entries {
+			busy += entries[i].Job.C
+		}
+		return free+busy == horizon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortTieBreaks(t *testing.T) {
+	// Two zero-adjacent entries sharing a start only survive validation if
+	// one has zero... they can't; Sort alone is still deterministic: higher
+	// priority first, then task, then release index.
+	a := mkJob(2, 0, 0, 100, 40, 10)
+	a.P = 1
+	b := mkJob(1, 0, 0, 100, 40, 10)
+	b.P = 5
+	c := mkJob(1, 1, 0, 100, 40, 10)
+	c.P = 5
+	s := &Schedule{Entries: []Entry{{Job: a, Start: 50}, {Job: c, Start: 50}, {Job: b, Start: 50}}}
+	s.Sort()
+	if s.Entries[0].Job.ID != b.ID {
+		t.Errorf("first = %v, want higher priority", s.Entries[0].Job.ID)
+	}
+	if s.Entries[1].Job.ID != c.ID {
+		t.Errorf("second = %v, want lower J of same task", s.Entries[1].Job.ID)
+	}
+	if s.Entries[2].Job.ID != a.ID {
+		t.Errorf("third = %v", s.Entries[2].Job.ID)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	empty := &Schedule{}
+	if empty.String() != "schedule{}" {
+		t.Errorf("empty = %q", empty.String())
+	}
+	j := mkJob(0, 0, 0, 100, 40, 10)
+	s := &Schedule{Entries: []Entry{{Job: j, Start: 40}}}
+	if got := s.String(); !strings.Contains(got, "λ0^0@40") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMakespanEmpty(t *testing.T) {
+	if (&Schedule{}).Makespan() != 0 {
+		t.Error("empty makespan should be 0")
+	}
+}
+
+func TestMetricsPanicOnCorruptedSchedule(t *testing.T) {
+	// Psi/Upsilon panic only if entries were mutated to be inconsistent;
+	// normal path returns values — exercised here for the happy branch.
+	jobs := []taskmodel.Job{mkJob(0, 0, 0, 100, 40, 10)}
+	s, err := New(jobs, quality.StartTimes{jobs[0].ID: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Psi() != 1 {
+		t.Error("Psi of exact schedule")
+	}
+	if u := s.Upsilon(quality.Linear{}); u != 1 {
+		t.Errorf("Upsilon = %g", u)
+	}
+}

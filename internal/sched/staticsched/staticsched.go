@@ -1,0 +1,548 @@
+// Package staticsched implements the paper's first scheduling method
+// (Section III-A, Algorithm 1): a heuristic job-level schedule that
+// maximises Ψ, the fraction of exactly timing-accurate I/O jobs.
+//
+// The method has three phases:
+//
+//  1. Dependency graphs are formed over the jobs' ideal execution
+//     intervals (package depgraph).
+//  2. The graphs are decomposed by repeatedly sacrificing the job with the
+//     highest penalty weight ψ; survivors (λ*) run exactly at their ideal
+//     instants.
+//  3. Sacrificed jobs (λ¬) are re-inserted into the free slots of the
+//     timeline by the Least Contention and Capacity Decreasing (LCC-D)
+//     allocation, highest priority first. When no single slot fits a job
+//     but the total free capacity in its window suffices, already-placed
+//     jobs are shifted (compacted) to coalesce the space, preferring the
+//     candidate that disturbs the fewest exactly-accurate jobs
+//     (Algorithm 1 line 16). If neither case applies the system is
+//     declared infeasible — the paper deliberately stops here rather than
+//     search replacements, to guarantee termination.
+package staticsched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/quality"
+	"repro/internal/sched"
+	"repro/internal/sched/depgraph"
+	"repro/internal/taskmodel"
+	"repro/internal/timing"
+)
+
+// SlotPolicy selects how case-1 allocation chooses among feasible slots.
+type SlotPolicy int
+
+const (
+	// LCCD is the paper's policy: least contention, then least capacity.
+	LCCD SlotPolicy = iota
+	// FirstFit takes the earliest feasible slot (ablation baseline).
+	FirstFit
+	// BestFit takes the slot with the least usable capacity (ablation
+	// baseline; LCC-D without the contention term).
+	BestFit
+)
+
+func (p SlotPolicy) String() string {
+	switch p {
+	case LCCD:
+		return "lccd"
+	case FirstFit:
+		return "firstfit"
+	case BestFit:
+		return "bestfit"
+	default:
+		return fmt.Sprintf("SlotPolicy(%d)", int(p))
+	}
+}
+
+// Options configures the scheduler. The zero value is the paper's method.
+type Options struct {
+	// Policy selects the case-1 slot choice rule. Default LCCD.
+	Policy SlotPolicy
+	// PlaceNearIdeal, when true, places a sacrificed job at the feasible
+	// start closest to its ideal instant instead of the earliest feasible
+	// start. The paper allocates sacrificed jobs "only with the
+	// schedulability concern" (earliest start); near-ideal placement is the
+	// ablation that recovers some Υ at no Ψ cost.
+	PlaceNearIdeal bool
+	// AllowDemotion enables an extension beyond the literal Algorithm 1:
+	// when a sacrificed job fits neither directly nor by shifting, the
+	// default behaviour declares the schedule infeasible (line 19 — the
+	// paper deliberately stops rather than replace allocated jobs, to
+	// guarantee termination). With AllowDemotion, each exactly-placed job
+	// may instead be demoted back into the allocation queue at most once,
+	// which recovers most of the feasible systems the literal algorithm
+	// gives up on while still terminating (the demoted set only grows).
+	AllowDemotion bool
+}
+
+// Scheduler is the heuristic-based I/O scheduler ("static" in the figures).
+type Scheduler struct {
+	opts Options
+}
+
+// New returns a static scheduler with the given options.
+func New(opts Options) *Scheduler { return &Scheduler{opts: opts} }
+
+// Name implements sched.Scheduler.
+func (s *Scheduler) Name() string {
+	if s.opts.Policy == LCCD && !s.opts.PlaceNearIdeal && !s.opts.AllowDemotion {
+		return "static"
+	}
+	return fmt.Sprintf("static[%v,nearIdeal=%v,demote=%v]",
+		s.opts.Policy, s.opts.PlaceNearIdeal, s.opts.AllowDemotion)
+}
+
+// placement is one committed job execution during allocation.
+type placement struct {
+	job   int // index into the jobs slice
+	start timing.Time
+	exact bool // still at its ideal instant
+}
+
+// allocator carries the mutable state of phase three.
+type allocator struct {
+	jobs    []taskmodel.Job
+	placed  []placement // sorted by start
+	horizon timing.Time
+	opts    Options
+}
+
+// Schedule implements sched.Scheduler, running Algorithm 1 on one device
+// partition.
+func (s *Scheduler) Schedule(jobs []taskmodel.Job) (*sched.Schedule, error) {
+	if len(jobs) == 0 {
+		return &sched.Schedule{}, nil
+	}
+	g := depgraph.Build(jobs)
+	d := g.Decompose()
+
+	a := &allocator{jobs: jobs, opts: s.opts}
+	for i := range jobs {
+		if dl := jobs[i].Deadline; dl > a.horizon {
+			a.horizon = dl
+		}
+	}
+
+	// Commit λ* at ideal starts. A job whose ideal execution violates its
+	// own window (possible only for hand-built sets with θ < C) cannot be
+	// exact and joins λ¬ instead.
+	pending := append([]int(nil), d.Removed...)
+	for _, idx := range d.Exact {
+		j := &jobs[idx]
+		if j.Ideal < j.Release || j.Ideal+j.C > j.Deadline {
+			pending = append(pending, idx)
+			continue
+		}
+		a.placed = append(a.placed, placement{job: idx, start: j.Ideal, exact: true})
+	}
+	a.sortPlaced()
+
+	// Allocate λ¬ highest priority first (Algorithm 1 line 11), ties by
+	// job identity for determinism.
+	sort.SliceStable(pending, func(x, y int) bool {
+		jx, jy := &jobs[pending[x]], &jobs[pending[y]]
+		if jx.P != jy.P {
+			return jx.P > jy.P
+		}
+		if jx.ID.Task != jy.ID.Task {
+			return jx.ID.Task < jy.ID.Task
+		}
+		return jx.ID.J < jy.ID.J
+	})
+	demoted := make(map[int]bool)
+	for qi := 0; qi < len(pending); qi++ {
+		idx := pending[qi]
+		if a.allocateDirect(idx, pending[qi+1:]) {
+			continue
+		}
+		if a.allocateWithShift(idx) {
+			continue
+		}
+		if s.opts.AllowDemotion {
+			if victim, ok := a.demoteFor(idx, demoted); ok {
+				demoted[victim] = true
+				pending = append(pending, victim)
+				qi-- // retry the blocked job with the victim's space freed
+				continue
+			}
+		}
+		return nil, fmt.Errorf("staticsched: job %v cannot be allocated: %w",
+			jobs[idx].ID, sched.ErrInfeasible)
+	}
+
+	starts := quality.StartTimes{}
+	for _, p := range a.placed {
+		starts[jobs[p.job].ID] = p.start
+	}
+	return sched.New(jobs, starts)
+}
+
+func (a *allocator) sortPlaced() {
+	sort.Slice(a.placed, func(x, y int) bool { return a.placed[x].start < a.placed[y].start })
+}
+
+// freeSlots returns the maximal idle intervals of the current timeline.
+func (a *allocator) freeSlots() []sched.FreeSlot {
+	var out []sched.FreeSlot
+	cursor := timing.Time(0)
+	for _, p := range a.placed {
+		if p.start > cursor {
+			out = append(out, sched.FreeSlot{Start: cursor, End: p.start})
+		}
+		if end := p.start + a.jobs[p.job].C; end > cursor {
+			cursor = end
+		}
+	}
+	if cursor < a.horizon {
+		out = append(out, sched.FreeSlot{Start: cursor, End: a.horizon})
+	}
+	return out
+}
+
+// fitRange returns the feasible start range [lo, hi] for job j inside slot
+// s, and whether the job fits at all.
+func fitRange(j *taskmodel.Job, s sched.FreeSlot) (lo, hi timing.Time, ok bool) {
+	lo = timing.Max(s.Start, j.Release)
+	end := timing.Min(s.End, j.Deadline)
+	hi = end - j.C
+	return lo, hi, lo <= hi
+}
+
+// cand is a feasible case-1 placement candidate: a slot, the feasible start
+// range inside it, and the LCC-D contention count.
+type cand struct {
+	slot       sched.FreeSlot
+	lo, hi     timing.Time
+	contention int
+}
+
+// allocateDirect attempts LCC-D case 1: place job idx wholly inside one
+// free slot. remaining lists the not-yet-allocated λ¬ jobs used by the
+// contention count.
+func (a *allocator) allocateDirect(idx int, remaining []int) bool {
+	j := &a.jobs[idx]
+	slots := a.freeSlots()
+	var cands []cand
+	for _, s := range slots {
+		lo, hi, ok := fitRange(j, s)
+		if !ok {
+			continue
+		}
+		c := cand{slot: s, lo: lo, hi: hi}
+		if a.opts.Policy == LCCD {
+			for _, r := range remaining {
+				if _, _, fits := fitRange(&a.jobs[r], s); fits {
+					c.contention++
+				}
+			}
+		}
+		cands = append(cands, c)
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if a.betterSlot(c, best) {
+			best = c
+		}
+	}
+	start := best.lo
+	if a.opts.PlaceNearIdeal {
+		start = clamp(j.Ideal, best.lo, best.hi)
+	}
+	a.placed = append(a.placed, placement{job: idx, start: start, exact: start == j.Ideal})
+	a.sortPlaced()
+	return true
+}
+
+func (a *allocator) betterSlot(c, best cand) bool {
+	switch a.opts.Policy {
+	case FirstFit:
+		return c.slot.Start < best.slot.Start
+	case BestFit:
+		if c.slot.Len() != best.slot.Len() {
+			return c.slot.Len() < best.slot.Len()
+		}
+		return c.slot.Start < best.slot.Start
+	default: // LCCD
+		if c.contention != best.contention {
+			return c.contention < best.contention
+		}
+		if c.slot.Len() != best.slot.Len() {
+			return c.slot.Len() < best.slot.Len()
+		}
+		return c.slot.Start < best.slot.Start
+	}
+}
+
+func clamp(v, lo, hi timing.Time) timing.Time {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// allocateWithShift attempts LCC-D case 2: find a run of consecutive free
+// slots whose combined capacity inside the job's window is at least C, then
+// shift the placements between them to coalesce the space. Runs are tried
+// in order of (number of exact jobs between the slots, run width), matching
+// the paper's "least number of timing accurate jobs in between"; within a
+// run the split point that moves the fewest exact jobs is chosen ("shifting
+// least tasks in λ*").
+func (a *allocator) allocateWithShift(idx int) bool {
+	j := &a.jobs[idx]
+	slots := a.freeSlots()
+	if len(slots) == 0 {
+		return false
+	}
+	// Prefix sums over slots: slotFree[i] = total free capacity of
+	// slots[0..i). A span [ai..bi] can host the job only if its free
+	// capacity is at least C (shifting conserves busy time inside the
+	// span), which prunes most pairs cheaply.
+	slotFree := make([]timing.Time, len(slots)+1)
+	for i, s := range slots {
+		slotFree[i+1] = slotFree[i] + s.Len()
+	}
+	// Prefix counts over placements: exact placements among placed[0..i).
+	exactBefore := make([]int, len(a.placed)+1)
+	for i, p := range a.placed {
+		exactBefore[i+1] = exactBefore[i]
+		if p.exact {
+			exactBefore[i+1]++
+		}
+	}
+	// exactWithin counts exact placements inside [from, to]; a.placed is
+	// sorted and non-overlapping, so they form a contiguous index range.
+	exactWithin := func(from, to timing.Time) int {
+		lo := sort.Search(len(a.placed), func(i int) bool { return a.placed[i].start >= from })
+		hi := sort.Search(len(a.placed), func(i int) bool {
+			return a.placed[i].start+a.jobs[a.placed[i].job].C > to
+		})
+		if hi <= lo {
+			return 0
+		}
+		return exactBefore[hi] - exactBefore[lo]
+	}
+	type span struct {
+		a, b  int // slot index range [a, b]
+		exact int
+	}
+	var spans []span
+	for ai := range slots {
+		if slots[ai].Start >= j.Deadline {
+			break // span begins after the window: the gap cannot fit
+		}
+		for bi := ai; bi < len(slots); bi++ {
+			if slots[bi].End <= j.Release {
+				continue // span ends before the window opens
+			}
+			if slotFree[bi+1]-slotFree[ai] < j.C {
+				continue
+			}
+			spans = append(spans, span{
+				a:     ai,
+				b:     bi,
+				exact: exactWithin(slots[ai].Start, slots[bi].End),
+			})
+		}
+	}
+	sort.SliceStable(spans, func(x, y int) bool {
+		if spans[x].exact != spans[y].exact {
+			return spans[x].exact < spans[y].exact
+		}
+		if w1, w2 := spans[x].b-spans[x].a, spans[y].b-spans[y].a; w1 != w2 {
+			return w1 < w2
+		}
+		return slots[spans[x].a].Start < slots[spans[y].a].Start
+	})
+	// Bound the work on pathological instances: the sorted order makes the
+	// first feasible span overwhelmingly likely to appear early.
+	const maxAttempts = 512
+	for i, r := range spans {
+		if i == maxAttempts {
+			break
+		}
+		if a.tryInsertSpan(idx, slots[r.a].Start, slots[r.b].End) {
+			return true
+		}
+	}
+	return false
+}
+
+// tryInsertSpan attempts to place job idx inside the span
+// [spanStart, spanEnd] by shifting the placements within the span: for a
+// split point k, placements before k are compacted towards the span start
+// (never earlier than their releases) and placements from k on are pushed
+// towards the span end (never past their latest starts), leaving a middle
+// gap. Among the split points whose gap fits the job inside its window, the
+// one moving the fewest exact jobs (then fewest jobs overall) wins. On
+// success the move is committed and true is returned.
+//
+// Both compaction passes are always individually feasible: a left shift can
+// only move a job later than or at its release, and a right shift at most
+// to its latest start, while the non-overlap of the existing placements
+// guarantees the packs never collide.
+func (a *allocator) tryInsertSpan(idx int, spanStart, spanEnd timing.Time) bool {
+	j := &a.jobs[idx]
+	// Collect placements wholly inside the span, in time order.
+	var inside []int // indices into a.placed
+	for pi, p := range a.placed {
+		end := p.start + a.jobs[p.job].C
+		if p.start >= spanStart && end <= spanEnd {
+			inside = append(inside, pi)
+		}
+	}
+	n := len(inside)
+	// Prefix left-pack: lStart[i] is inside[i]'s start when the first i+1
+	// placements are packed left; lEnd[k] is the pack's end for prefix
+	// length k; lMovedEx/lMoved count moved exact/total jobs.
+	lStart := make([]timing.Time, n)
+	lEnd := make([]timing.Time, n+1)
+	lMovedEx := make([]int, n+1)
+	lMoved := make([]int, n+1)
+	cursor := spanStart
+	lEnd[0] = cursor
+	for i := 0; i < n; i++ {
+		p := a.placed[inside[i]]
+		job := &a.jobs[p.job]
+		ns := timing.Max(job.Release, cursor)
+		if ns > p.start {
+			ns = p.start // defensive: left pass never moves a job later
+		}
+		lStart[i] = ns
+		lMovedEx[i+1] = lMovedEx[i]
+		lMoved[i+1] = lMoved[i]
+		if ns != p.start {
+			lMoved[i+1]++
+			if p.exact {
+				lMovedEx[i+1]++
+			}
+		}
+		cursor = ns + job.C
+		lEnd[i+1] = cursor
+	}
+	// Suffix right-pack: rStart[i] is inside[i]'s start when placements
+	// i..n-1 are packed right; rBegin[k] is the pack's start for suffixes
+	// beginning at k.
+	rStart := make([]timing.Time, n)
+	rBegin := make([]timing.Time, n+1)
+	rMovedEx := make([]int, n+1)
+	rMoved := make([]int, n+1)
+	cursor = spanEnd
+	rBegin[n] = cursor
+	for i := n - 1; i >= 0; i-- {
+		p := a.placed[inside[i]]
+		job := &a.jobs[p.job]
+		ns := timing.Min(job.LatestStart(), cursor-job.C)
+		if ns < p.start {
+			ns = p.start // defensive: right pass never moves a job earlier
+		}
+		rStart[i] = ns
+		rMovedEx[i] = rMovedEx[i+1]
+		rMoved[i] = rMoved[i+1]
+		if ns != p.start {
+			rMoved[i]++
+			if p.exact {
+				rMovedEx[i]++
+			}
+		}
+		cursor = ns
+		rBegin[i] = cursor
+	}
+	// Pick the best feasible split.
+	bestK := -1
+	bestEx, bestTot := 0, 0
+	var bestLo, bestHi timing.Time
+	for k := 0; k <= n; k++ {
+		lo := timing.Max(lEnd[k], j.Release)
+		hi := timing.Min(rBegin[k], j.Deadline) - j.C
+		if lo > hi {
+			continue
+		}
+		ex := lMovedEx[k] + rMovedEx[k]
+		tot := lMoved[k] + rMoved[k]
+		if bestK == -1 || ex < bestEx || (ex == bestEx && tot < bestTot) {
+			bestK, bestEx, bestTot = k, ex, tot
+			bestLo, bestHi = lo, hi
+		}
+	}
+	if bestK == -1 {
+		return false
+	}
+	newStarts := make(map[int]timing.Time, n)
+	for i := 0; i < bestK; i++ {
+		newStarts[inside[i]] = lStart[i]
+	}
+	for i := bestK; i < n; i++ {
+		newStarts[inside[i]] = rStart[i]
+	}
+	start := bestLo
+	if a.opts.PlaceNearIdeal {
+		start = clamp(j.Ideal, bestLo, bestHi)
+	}
+	a.commitShift(idx, start, newStarts)
+	return true
+}
+
+// demoteFor selects one placed job to evict so that the blocked job idx can
+// be retried. Candidates are placements overlapping the blocked job's
+// window that have not been demoted before; among them the lowest-priority
+// job with the widest own window is chosen, since it is the easiest to
+// re-allocate. Returns the evicted job index and whether one was found.
+func (a *allocator) demoteFor(idx int, demoted map[int]bool) (int, bool) {
+	j := &a.jobs[idx]
+	best := -1 // index into a.placed
+	better := func(x, y int) bool {
+		jx, jy := &a.jobs[a.placed[x].job], &a.jobs[a.placed[y].job]
+		if jx.P != jy.P {
+			return jx.P < jy.P
+		}
+		wx, wy := jx.Deadline-jx.Release, jy.Deadline-jy.Release
+		if wx != wy {
+			return wx > wy
+		}
+		if jx.ID.Task != jy.ID.Task {
+			return jx.ID.Task < jy.ID.Task
+		}
+		return jx.ID.J < jy.ID.J
+	}
+	for pi, p := range a.placed {
+		if demoted[p.job] {
+			continue
+		}
+		end := p.start + a.jobs[p.job].C
+		if end <= j.Release || p.start >= j.Deadline {
+			continue // does not block the window
+		}
+		if best == -1 || better(pi, best) {
+			best = pi
+		}
+	}
+	if best == -1 {
+		return 0, false
+	}
+	victim := a.placed[best].job
+	a.placed = append(a.placed[:best], a.placed[best+1:]...)
+	return victim, true
+}
+
+// commitShift applies the computed shifts and inserts the new job. A
+// shifted job that no longer sits at its ideal instant loses exact status;
+// Ψ is recomputed from the final schedule, so the bookkeeping here only
+// affects later exactBetween counts.
+func (a *allocator) commitShift(idx int, start timing.Time, newStarts map[int]timing.Time) {
+	for pi, ns := range newStarts {
+		a.placed[pi].start = ns
+		a.placed[pi].exact = ns == a.jobs[a.placed[pi].job].Ideal
+	}
+	j := &a.jobs[idx]
+	a.placed = append(a.placed, placement{job: idx, start: start, exact: start == j.Ideal})
+	a.sortPlaced()
+}

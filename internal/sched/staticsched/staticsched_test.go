@@ -1,0 +1,335 @@
+package staticsched
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/quality"
+	"repro/internal/sched"
+	"repro/internal/taskmodel"
+	"repro/internal/timing"
+)
+
+func mkJob(task, j int, release, deadline, ideal, c timing.Time, p int) taskmodel.Job {
+	theta := (deadline - release) / 4
+	return taskmodel.Job{
+		ID:       taskmodel.JobID{Task: task, J: j},
+		Release:  release,
+		Deadline: deadline,
+		Ideal:    ideal,
+		C:        c,
+		P:        p,
+		Theta:    theta,
+		Vmax:     float64(p) + 1,
+		Vmin:     1,
+	}
+}
+
+func TestEmptyPartition(t *testing.T) {
+	s, err := New(Options{}).Schedule(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Entries) != 0 {
+		t.Fatal("expected empty schedule")
+	}
+}
+
+func TestConflictFreeAllExact(t *testing.T) {
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 100, 30, 10, 2),
+		mkJob(1, 0, 0, 100, 60, 10, 1),
+	}
+	s, err := New(Options{}).Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psi := s.Psi(); psi != 1 {
+		t.Errorf("Ψ = %g, want 1 for conflict-free jobs", psi)
+	}
+}
+
+func TestTwoConflicting(t *testing.T) {
+	// Identical ideal intervals: one must be exact, the other displaced.
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 100, 40, 10, 2),
+		mkJob(1, 0, 0, 100, 40, 10, 1),
+	}
+	s, err := New(Options{}).Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psi := s.Psi(); psi != 0.5 {
+		t.Errorf("Ψ = %g, want 0.5", psi)
+	}
+	// The higher-priority job (task 0, P=2) survives decomposition.
+	starts := s.StartTimes()
+	if starts[jobs[0].ID] != 40 {
+		t.Errorf("high-priority job start = %v, want 40", starts[jobs[0].ID])
+	}
+	if starts[jobs[1].ID] == 40 {
+		t.Error("low-priority job should have been displaced")
+	}
+}
+
+func TestStarSacrificesHub(t *testing.T) {
+	// Hub overlapping three satellites: sacrificing the hub alone gives
+	// Ψ = 3/4.
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 400, 100, 100, 4), // hub [100,200)
+		mkJob(1, 0, 0, 400, 90, 15, 3),   // [90,105)
+		mkJob(2, 0, 0, 400, 140, 15, 2),  // [140,155)
+		mkJob(3, 0, 0, 400, 190, 15, 1),  // [190,205)
+	}
+	s, err := New(Options{}).Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psi := s.Psi(); psi != 0.75 {
+		t.Errorf("Ψ = %g, want 0.75", psi)
+	}
+	starts := s.StartTimes()
+	for _, idx := range []int{1, 2, 3} {
+		if starts[jobs[idx].ID] != jobs[idx].Ideal {
+			t.Errorf("satellite %d displaced to %v", idx, starts[jobs[idx].ID])
+		}
+	}
+}
+
+func TestInfeasibleOverload(t *testing.T) {
+	// Three jobs of 50 in a 100-wide window cannot all fit.
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 100, 25, 50, 3),
+		mkJob(1, 0, 0, 100, 25, 50, 2),
+		mkJob(2, 0, 0, 100, 25, 50, 1),
+	}
+	_, err := New(Options{}).Schedule(jobs)
+	if err == nil {
+		t.Fatal("expected infeasibility")
+	}
+	if !errors.Is(err, sched.ErrInfeasible) {
+		t.Errorf("error %v should wrap ErrInfeasible", err)
+	}
+}
+
+func TestShiftingCase2(t *testing.T) {
+	// Exact jobs fragment the timeline so no single slot fits the displaced
+	// job, but shifting coalesces enough space.
+	//
+	// Window of victim: [0, 100], C = 40.
+	// Exact jobs at ideal: A [20,50), B [60,90) → slots [0,20) [50,60)
+	// [90,100): none fits 40, total = 40. Compacting A,B left yields
+	// [0,30)+[30,60) busy, free [60,100) — victim fits.
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 200, 20, 30, 3), // A: ideal [20,50)
+		mkJob(1, 0, 0, 200, 60, 30, 2), // B: ideal [60,90)
+		mkJob(2, 0, 0, 100, 30, 40, 1), // victim: conflicts with A and B
+	}
+	s, err := New(Options{}).Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	starts := s.StartTimes()
+	if starts[jobs[2].ID]+40 > 100 {
+		t.Errorf("victim misses deadline: start %v", starts[jobs[2].ID])
+	}
+}
+
+func TestNamesByOptions(t *testing.T) {
+	if New(Options{}).Name() != "static" {
+		t.Error("default name should be static")
+	}
+	n := New(Options{Policy: FirstFit, PlaceNearIdeal: true}).Name()
+	if n == "static" {
+		t.Error("ablation options must change the name")
+	}
+	if FirstFit.String() != "firstfit" || BestFit.String() != "bestfit" || LCCD.String() != "lccd" {
+		t.Error("SlotPolicy.String broken")
+	}
+	if SlotPolicy(9).String() != "SlotPolicy(9)" {
+		t.Error("unknown SlotPolicy.String broken")
+	}
+}
+
+func TestPlaceNearIdealImprovesUpsilon(t *testing.T) {
+	jobs := []taskmodel.Job{
+		mkJob(0, 0, 0, 400, 100, 40, 2),
+		mkJob(1, 0, 0, 400, 110, 40, 1), // conflicts; will be displaced
+	}
+	base, err := New(Options{}).Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, err := New(Options{PlaceNearIdeal: true}).Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := quality.Linear{}
+	if near.Upsilon(curve) < base.Upsilon(curve) {
+		t.Errorf("near-ideal Υ = %g < earliest-fit Υ = %g",
+			near.Upsilon(curve), base.Upsilon(curve))
+	}
+	if near.Psi() != base.Psi() {
+		t.Errorf("placement policy changed Ψ: %g vs %g", near.Psi(), base.Psi())
+	}
+}
+
+func TestLCCDPrefersLowContentionSlot(t *testing.T) {
+	// Two displaced jobs with nested windows. The first allocated (higher
+	// priority) fits in both an early contested slot and a late
+	// low-contention slot; LCC-D must leave the contested slot for the
+	// second job whose window only covers the early slot.
+	jobs := []taskmodel.Job{
+		// Exact anchor occupying [50,150) to split the timeline.
+		mkJob(0, 0, 0, 400, 50, 100, 4),
+		// Both of these ideally start inside the anchor: displaced.
+		// Narrow-window job: only [0,50) usable.
+		mkJob(1, 0, 0, 90, 60, 30, 2),
+		// Wide-window job: [0,50) or [150,400) usable.
+		mkJob(2, 0, 0, 400, 60, 30, 3),
+	}
+	s, err := New(Options{}).Schedule(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	starts := s.StartTimes()
+	if starts[jobs[1].ID] >= 60 {
+		t.Errorf("narrow job start = %v, must use the early slot", starts[jobs[1].ID])
+	}
+	if starts[jobs[2].ID] < 150 {
+		t.Errorf("wide job start = %v, want the late slot (LCC-D)", starts[jobs[2].ID])
+	}
+	// First-fit, by contrast, grabs the early slot for the wide job —
+	// which still works here only because the narrow job is allocated
+	// first by priority; flip priorities to demonstrate the failure mode.
+	jobs[1].P, jobs[2].P = 3, 2
+	ff, errFF := New(Options{Policy: FirstFit}).Schedule(jobs)
+	lc, errLC := New(Options{}).Schedule(jobs)
+	if errLC != nil {
+		t.Fatalf("LCC-D should stay feasible: %v", errLC)
+	}
+	_ = ff
+	_ = errFF // FirstFit may or may not survive; LCC-D must.
+	if st := lc.StartTimes(); st[jobs[1].ID] >= 60 {
+		t.Errorf("narrow job displaced out of its window-only slot: %v", st[jobs[1].ID])
+	}
+}
+
+func TestInfeasibleIdealJoinsPending(t *testing.T) {
+	// A job whose ideal start would miss its deadline (θ < C hand-built
+	// case) cannot be exact but must still be scheduled.
+	j := taskmodel.Job{
+		ID: taskmodel.JobID{Task: 0, J: 0}, Release: 0, Deadline: 100,
+		Ideal: 80, C: 40, P: 1, Theta: 0, Vmax: 2, Vmin: 1,
+	}
+	s, err := New(Options{}).Schedule([]taskmodel.Job{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.StartTimes()[j.ID]
+	if st+40 > 100 {
+		t.Errorf("job still misses deadline at %v", st)
+	}
+	if s.Psi() != 0 {
+		t.Errorf("Ψ = %g, want 0", s.Psi())
+	}
+}
+
+// paperPartition generates a single-device paper-style system and returns
+// its jobs.
+func paperPartition(seed int64, u float64) []taskmodel.Job {
+	cfg := gen.PaperConfig()
+	ts, err := cfg.System(rand.New(rand.NewSource(seed)), u)
+	if err != nil {
+		panic(err)
+	}
+	return ts.Jobs()
+}
+
+func TestPaperScaleSystemsSchedulable(t *testing.T) {
+	// At moderate utilisation the static method should almost always find
+	// a feasible schedule with high Ψ.
+	okCount, psiSum := 0, 0.0
+	trials := 20
+	for seed := int64(0); seed < int64(trials); seed++ {
+		jobs := paperPartition(seed, 0.4)
+		s, err := New(Options{}).Schedule(jobs)
+		if err != nil {
+			continue
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("seed %d: invalid schedule: %v", seed, err)
+		}
+		okCount++
+		psiSum += s.Psi()
+	}
+	if okCount < trials*3/4 {
+		t.Errorf("only %d/%d systems schedulable at U=0.4", okCount, trials)
+	}
+	if psiSum/float64(okCount) < 0.5 {
+		t.Errorf("mean Ψ = %g, implausibly low", psiSum/float64(okCount))
+	}
+}
+
+// Property: on random paper-style systems the static scheduler either
+// returns ErrInfeasible or a schedule that validates, covers every job, and
+// achieves Ψ at least as high as the fraction the decomposition promised
+// would be achievable... (we assert the weaker invariant Ψ ∈ [0,1] plus
+// validation, since shifting may trade exactness for feasibility).
+func TestScheduleAlwaysValidOrInfeasible(t *testing.T) {
+	f := func(seed int64, uRaw uint8) bool {
+		u := 0.2 + float64(uRaw%14)*0.05
+		jobs := paperPartition(seed, u)
+		s, err := New(Options{}).Schedule(jobs)
+		if err != nil {
+			return errors.Is(err, sched.ErrInfeasible)
+		}
+		if len(s.Entries) != len(jobs) {
+			return false
+		}
+		if err := s.Validate(); err != nil {
+			return false
+		}
+		psi := s.Psi()
+		return psi >= 0 && psi <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every slot policy yields a valid schedule when it succeeds, and
+// LCC-D Ψ is never worse than first-fit Ψ minus a tolerance on the same
+// instance (they share the same decomposition, so exact sets match; only
+// feasibility can differ).
+func TestPoliciesAgreeOnExactSet(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		jobs := paperPartition(seed, 0.5)
+		var psis []float64
+		for _, pol := range []SlotPolicy{LCCD, FirstFit, BestFit} {
+			s, err := New(Options{Policy: pol}).Schedule(jobs)
+			if err != nil {
+				continue
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("seed %d policy %v: %v", seed, pol, err)
+			}
+			psis = append(psis, s.Psi())
+		}
+		for i := 1; i < len(psis); i++ {
+			if psis[i] != psis[0] {
+				// Policies may shift different exact jobs in case 2, so Ψ can
+				// differ slightly; flag only gross divergence.
+				if diff := psis[i] - psis[0]; diff > 0.2 || diff < -0.2 {
+					t.Errorf("seed %d: Ψ diverges across policies: %v", seed, psis)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// underneath the hardware models (NoC, I/O controller, devices).
+//
+// Events carry a cycle timestamp and a sequence number; the kernel pops
+// them in (time, sequence) order, so simulations are fully deterministic:
+// two events scheduled for the same cycle fire in scheduling order. The
+// kernel knows nothing about the hardware — components schedule closures.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/timing"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at  timing.Cycle
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator clocked in hardware cycles.
+// The zero value is ready to use.
+type Kernel struct {
+	now    timing.Cycle
+	seq    uint64
+	events eventHeap
+	// Processed counts executed events, for tests and run-away detection.
+	processed uint64
+}
+
+// Now returns the current simulation time in cycles.
+func (k *Kernel) Now() timing.Cycle { return k.now }
+
+// Processed returns the number of events executed so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// Pending returns the number of events waiting to fire.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn to run at the absolute cycle at. Scheduling in the past
+// panics: it is always a component bug, and silently reordering time would
+// corrupt the simulation.
+func (k *Kernel) At(at timing.Cycle, fn func()) {
+	if at < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, k.now))
+	}
+	k.seq++
+	heap.Push(&k.events, event{at: at, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run delay cycles from now.
+func (k *Kernel) After(delay timing.Cycle, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	k.At(k.now+delay, fn)
+}
+
+// Step executes the next event, advancing the clock to its timestamp.
+// It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(event)
+	k.now = e.at
+	k.processed++
+	e.fn()
+	return true
+}
+
+// RunUntil executes events until the queue is empty or the next event is
+// past the deadline; the clock is left at the last executed event (or moved
+// to deadline if no event fired at or before it). It returns the number of
+// events executed.
+func (k *Kernel) RunUntil(deadline timing.Cycle) uint64 {
+	var n uint64
+	for len(k.events) > 0 && k.events[0].at <= deadline {
+		k.Step()
+		n++
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+	return n
+}
+
+// Run executes events until the queue empties or maxEvents is reached.
+// It returns the number of events executed. maxEvents <= 0 means no limit;
+// hardware models with clocks that re-arm themselves should always pass a
+// limit or use RunUntil.
+func (k *Kernel) Run(maxEvents uint64) uint64 {
+	var n uint64
+	for len(k.events) > 0 {
+		if maxEvents > 0 && n >= maxEvents {
+			break
+		}
+		k.Step()
+		n++
+	}
+	return n
+}

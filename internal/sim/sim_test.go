@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timing"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	var k Kernel
+	var got []int
+	k.At(30, func() { got = append(got, 3) })
+	k.At(10, func() { got = append(got, 1) })
+	k.At(20, func() { got = append(got, 2) })
+	k.Run(0)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if k.Now() != 30 {
+		t.Errorf("now = %d, want 30", k.Now())
+	}
+}
+
+func TestSameCycleFIFO(t *testing.T) {
+	var k Kernel
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.At(7, func() { got = append(got, i) })
+	}
+	k.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-cycle order = %v", got)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	var k Kernel
+	var fired timing.Cycle
+	k.At(100, func() {
+		k.After(50, func() { fired = k.Now() })
+	})
+	k.Run(0)
+	if fired != 150 {
+		t.Errorf("fired at %d, want 150", fired)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var k Kernel
+	k.At(10, func() {})
+	k.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for past event")
+		}
+	}()
+	k.At(5, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var k Kernel
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	k.After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var k Kernel
+	var count int
+	for i := 1; i <= 10; i++ {
+		k.At(timing.Cycle(i*10), func() { count++ })
+	}
+	n := k.RunUntil(50)
+	if n != 5 || count != 5 {
+		t.Fatalf("ran %d events, count %d; want 5", n, count)
+	}
+	if k.Now() != 50 {
+		t.Errorf("now = %d, want 50", k.Now())
+	}
+	if k.Pending() != 5 {
+		t.Errorf("pending = %d, want 5", k.Pending())
+	}
+	// Deadline with no events: clock still advances.
+	var k2 Kernel
+	k2.RunUntil(99)
+	if k2.Now() != 99 {
+		t.Errorf("empty RunUntil now = %d", k2.Now())
+	}
+}
+
+func TestRunMaxEvents(t *testing.T) {
+	var k Kernel
+	// Self-rearming clock.
+	var ticks int
+	var tick func()
+	tick = func() {
+		ticks++
+		k.After(10, tick)
+	}
+	k.At(0, tick)
+	n := k.Run(100)
+	if n != 100 || ticks != 100 {
+		t.Fatalf("ran %d, ticks %d", n, ticks)
+	}
+	if k.Processed() != 100 {
+		t.Errorf("processed = %d", k.Processed())
+	}
+}
+
+func TestStepEmpty(t *testing.T) {
+	var k Kernel
+	if k.Step() {
+		t.Fatal("Step on empty kernel should report false")
+	}
+}
+
+// Property: regardless of insertion order, events fire in non-decreasing
+// time order and equal-time events fire in insertion order.
+func TestOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) == 0 {
+			return true
+		}
+		var k Kernel
+		type rec struct {
+			at  timing.Cycle
+			seq int
+		}
+		var fired []rec
+		for i, raw := range times {
+			at := timing.Cycle(raw % 64)
+			i := i
+			k.At(at, func() { fired = append(fired, rec{at: at, seq: i}) })
+		}
+		k.Run(0)
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i-1].at > fired[i].at {
+				return false
+			}
+			if fired[i-1].at == fired[i].at && fired[i-1].seq > fired[i].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

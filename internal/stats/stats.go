@@ -1,0 +1,91 @@
+// Package stats provides the small summary-statistics helpers the
+// experiment runners use: means, standard deviations, and binomial
+// confidence intervals for schedulability ratios.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean; the mean of no samples is 0.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator); fewer
+// than two samples yield 0.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Median returns the middle sample (average of the middle two for even n).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Ratio is a success count over a trial count with a Wilson confidence
+// interval, used for schedulable-fraction curves.
+type Ratio struct {
+	Successes, Trials int
+}
+
+// Value returns the point estimate; zero trials yield 0.
+func (r Ratio) Value() float64 {
+	if r.Trials == 0 {
+		return 0
+	}
+	return float64(r.Successes) / float64(r.Trials)
+}
+
+// Wilson95 returns the 95% Wilson score interval for the ratio.
+func (r Ratio) Wilson95() (lo, hi float64) {
+	if r.Trials == 0 {
+		return 0, 0
+	}
+	const z = 1.959963984540054
+	n := float64(r.Trials)
+	p := r.Value()
+	denom := 1 + z*z/n
+	centre := (p + z*z/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z*z/(4*n*n)) / denom
+	lo, hi = centre-half, centre+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// String renders "successes/trials (value)".
+func (r Ratio) String() string {
+	return fmt.Sprintf("%d/%d (%.3f)", r.Successes, r.Trials, r.Value())
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of nothing should be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean broken")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single sample stddev should be 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(got-2.13809) > 1e-4 {
+		t.Errorf("stddev = %g", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if Median(nil) != 0 {
+		t.Error("empty median")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd median")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even median")
+	}
+	// Median must not mutate its argument.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 {
+		t.Error("median sorted caller slice")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	r := Ratio{Successes: 90, Trials: 100}
+	if r.Value() != 0.9 {
+		t.Error("value broken")
+	}
+	lo, hi := r.Wilson95()
+	if lo >= 0.9 || hi <= 0.9 {
+		t.Errorf("interval [%g, %g] should bracket 0.9", lo, hi)
+	}
+	if lo < 0.80 || hi > 0.97 {
+		t.Errorf("interval [%g, %g] implausibly wide", lo, hi)
+	}
+	if (Ratio{}).Value() != 0 {
+		t.Error("empty ratio value")
+	}
+	lo, hi = Ratio{}.Wilson95()
+	if lo != 0 || hi != 0 {
+		t.Error("empty ratio interval")
+	}
+	if !strings.Contains(r.String(), "90/100") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+// Property: the Wilson interval always contains the point estimate and
+// stays within [0, 1].
+func TestWilsonProperty(t *testing.T) {
+	f := func(sRaw, tRaw uint8) bool {
+		trials := int(tRaw)%200 + 1
+		succ := int(sRaw) % (trials + 1)
+		r := Ratio{Successes: succ, Trials: trials}
+		lo, hi := r.Wilson95()
+		p := r.Value()
+		return lo >= 0 && hi <= 1 && lo <= p+1e-12 && hi >= p-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stddev is translation invariant and non-negative.
+func TestStdDevProperty(t *testing.T) {
+	f := func(raw []int8, shiftRaw int8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		shift := float64(shiftRaw)
+		for i, v := range raw {
+			xs[i] = float64(v)
+			ys[i] = float64(v) + shift
+		}
+		a, b := StdDev(xs), StdDev(ys)
+		return a >= 0 && math.Abs(a-b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,180 @@
+package taskmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timing"
+)
+
+func offsetTask(offset timing.Time) Task {
+	return Task{
+		C: 2 * ms, T: 20 * ms, D: 20 * ms, Offset: offset,
+		Delta: 8 * ms, Theta: 5 * ms, Vmax: 2, Vmin: 1,
+	}
+}
+
+func TestOffsetValidation(t *testing.T) {
+	ok := offsetTask(5 * ms)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid offset rejected: %v", err)
+	}
+	bad := offsetTask(-1)
+	if err := bad.Validate(); err == nil {
+		t.Error("negative offset accepted")
+	}
+	bad = offsetTask(20 * ms) // offset == T
+	if err := bad.Validate(); err == nil {
+		t.Error("offset == T accepted")
+	}
+}
+
+func TestScheduleHorizonSynchronousVsOffset(t *testing.T) {
+	sync, err := NewTaskSet([]Task{offsetTask(0), offsetTask(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sync.ScheduleHorizon() != sync.Hyperperiod() {
+		t.Errorf("synchronous horizon = %v, want one hyper-period", sync.ScheduleHorizon())
+	}
+	off, err := NewTaskSet([]Task{offsetTask(0), offsetTask(7 * ms)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.ScheduleHorizon() != 2*off.Hyperperiod() {
+		t.Errorf("offset horizon = %v, want two hyper-periods", off.ScheduleHorizon())
+	}
+	if off.MaxOffset() != 7*ms {
+		t.Errorf("max offset = %v", off.MaxOffset())
+	}
+}
+
+func TestJobsWithOffsets(t *testing.T) {
+	a := offsetTask(0)
+	b := offsetTask(7 * ms)
+	b.T, b.D = 40*ms, 40*ms
+	ts, err := NewTaskSet([]Task{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := ts.Jobs()
+	// Horizon = 2H = 80 ms. Task a (T=20, offset 0): releases 0..60 → 4
+	// jobs. Task b (T=40, offset 7ms): releases 7, 47; deadlines 47, 87 —
+	// the second exceeds the 80 ms horizon, so only 1 job qualifies.
+	counts := map[int]int{}
+	for _, j := range jobs {
+		counts[j.ID.Task]++
+		if j.ID.Task == 1 {
+			wantRel := 7*ms + 40*ms*timing.Time(j.ID.J)
+			if j.Release != wantRel {
+				t.Errorf("λ1^%d release = %v, want %v", j.ID.J, j.Release, wantRel)
+			}
+		}
+	}
+	if counts[0] != 4 {
+		t.Errorf("task 0 jobs = %d, want 4", counts[0])
+	}
+	if counts[1] != 1 {
+		t.Errorf("task 1 jobs = %d, want 1 (second job's window crosses the horizon)", counts[1])
+	}
+}
+
+func TestSynchronousExpansionUnchangedByOffsetCode(t *testing.T) {
+	// The offset-aware expansion must reproduce the classic synchronous
+	// expansion exactly: H/T jobs per task, all windows inside [0, H).
+	ts, err := NewTaskSet([]Task{offsetTask(0), {
+		C: 1 * ms, T: 40 * ms, D: 40 * ms, Delta: 10 * ms, Theta: 10 * ms, Vmax: 2, Vmin: 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := ts.Jobs()
+	if len(jobs) != 2+1 {
+		t.Fatalf("jobs = %d, want 3", len(jobs))
+	}
+	h := ts.Hyperperiod()
+	for _, j := range jobs {
+		if j.Deadline > h {
+			t.Errorf("job %v deadline %v beyond hyper-period", j.ID, j.Deadline)
+		}
+	}
+}
+
+// Property: all expanded jobs (with or without offsets) have windows inside
+// the schedule horizon, releases at Offset + j·T, and consecutive jobs of a
+// task exactly one period apart.
+func TestOffsetJobsProperty(t *testing.T) {
+	f := func(off1Raw, off2Raw uint8) bool {
+		o1 := timing.Time(off1Raw%20) * ms
+		o2 := timing.Time(off2Raw%40) * ms
+		a := offsetTask(o1)
+		b := Task{C: 1 * ms, T: 40 * ms, D: 40 * ms, Offset: o2,
+			Delta: 10 * ms, Theta: 10 * ms, Vmax: 2, Vmin: 1}
+		ts, err := NewTaskSet([]Task{a, b})
+		if err != nil {
+			return false
+		}
+		horizon := ts.ScheduleHorizon()
+		rel := map[int][]timing.Time{}
+		for _, j := range ts.Jobs() {
+			if j.Release < 0 || j.Deadline > horizon {
+				return false
+			}
+			rel[j.ID.Task] = append(rel[j.ID.Task], j.Release)
+		}
+		for task, rs := range rel {
+			period := ts.Tasks[task].T
+			offset := ts.Tasks[task].Offset
+			for i, r := range rs {
+				if r != offset+period*timing.Time(i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Offsets flow through the schedulers untouched: a staggered task set that
+// is infeasible synchronously becomes feasible with phase separation.
+func TestOffsetsSeparateConflictingTasks(t *testing.T) {
+	// Two tasks with identical δ: synchronously their ideal intervals
+	// collide every period; with a half-period offset they interleave.
+	mk := func(offset timing.Time) Task {
+		return Task{C: 4 * ms, T: 20 * ms, D: 20 * ms, Offset: offset,
+			Delta: 8 * ms, Theta: 5 * ms, Vmax: 2, Vmin: 1}
+	}
+	syncSet, err := NewTaskSet([]Task{mk(0), mk(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	offSet, err := NewTaskSet([]Task{mk(0), mk(10 * ms)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	syncConflicts, offConflicts := 0, 0
+	sj, oj := syncSet.Jobs(), offSet.Jobs()
+	for a := range sj {
+		for b := a + 1; b < len(sj); b++ {
+			if sj[a].OverlapsIdeal(&sj[b]) {
+				syncConflicts++
+			}
+		}
+	}
+	for a := range oj {
+		for b := a + 1; b < len(oj); b++ {
+			if oj[a].OverlapsIdeal(&oj[b]) {
+				offConflicts++
+			}
+		}
+	}
+	if syncConflicts == 0 {
+		t.Fatal("synchronous set should conflict")
+	}
+	if offConflicts != 0 {
+		t.Errorf("offset set still has %d conflicts", offConflicts)
+	}
+}

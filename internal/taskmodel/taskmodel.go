@@ -1,0 +1,329 @@
+// Package taskmodel implements the timed I/O task model of Section II of
+// the paper.
+//
+// A timed I/O task τi is the 6-tuple {Ci, Ti, Di, Pi, δi, θi}: worst-case
+// device occupancy Ci, period Ti, implicit deadline Di = Ti, a
+// deadline-monotonic priority Pi (larger value = higher priority; the paper
+// writes "D1 > D2 so that P1 < P2"), a relative ideal start time δi, and a
+// timing margin θi. Each task releases jobs λi^j over the hyper-period; job
+// j is released at Ti·j, must finish by Ti·j + Di, and ideally starts at
+// Ti·j + δi. Jobs are executed non-preemptively on the task's I/O device.
+package taskmodel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/timing"
+)
+
+// DeviceID identifies the I/O device a task operates on. The scheduling
+// model is fully partitioned: one controller processor per device, so only
+// tasks sharing a DeviceID contend with each other.
+type DeviceID int
+
+// Task is a periodic timed I/O task (Section II).
+type Task struct {
+	// ID is the task's index within its TaskSet; it is assigned by
+	// TaskSet.Normalize and used to identify jobs.
+	ID int
+	// Name is an optional human-readable label used in traces and examples.
+	Name string
+	// C is the worst-case computation time for operating the I/O device.
+	C timing.Time
+	// T is the release period.
+	T timing.Time
+	// Offset is the release offset of the first job (Section III-C: "the
+	// proposed methods can also be applied to I/O tasks with different
+	// release offsets"). Job j is released at Offset + T·j. Must satisfy
+	// 0 ≤ Offset < T.
+	Offset timing.Time
+	// D is the relative deadline. The paper uses implicit deadlines (D = T).
+	D timing.Time
+	// P is the deadline-monotonic priority. Larger values denote higher
+	// priority. AssignDMPO fills it in.
+	P int
+	// Delta is δi, the relative ideal start time within each period.
+	Delta timing.Time
+	// Theta is θi, the timing margin: a job retains above-minimum quality
+	// when started within [δ−θ, δ+θ] of its release.
+	Theta timing.Time
+	// Device is the I/O device the task operates on.
+	Device DeviceID
+	// Vmax is the quality obtained by starting exactly at the ideal instant.
+	// The paper's evaluation sets Vmax = Pi + 1.
+	Vmax float64
+	// Vmin is the quality obtained by a job that starts outside the timing
+	// boundary but still meets its deadline. The paper's evaluation uses a
+	// global Vmin = 1.
+	Vmin float64
+}
+
+// Validate checks the structural invariants of a single task.
+func (t *Task) Validate() error {
+	switch {
+	case t.C <= 0:
+		return fmt.Errorf("task %d (%s): C = %v, must be positive", t.ID, t.Name, t.C)
+	case t.T <= 0:
+		return fmt.Errorf("task %d (%s): T = %v, must be positive", t.ID, t.Name, t.T)
+	case t.D <= 0 || t.D > t.T:
+		return fmt.Errorf("task %d (%s): D = %v, must be in (0, T=%v]", t.ID, t.Name, t.D, t.T)
+	case t.Offset < 0 || t.Offset >= t.T:
+		return fmt.Errorf("task %d (%s): offset = %v, must be in [0, T=%v)", t.ID, t.Name, t.Offset, t.T)
+	case t.C > t.D:
+		return fmt.Errorf("task %d (%s): C = %v exceeds D = %v", t.ID, t.Name, t.C, t.D)
+	case t.Theta < 0:
+		return fmt.Errorf("task %d (%s): θ = %v, must be non-negative", t.ID, t.Name, t.Theta)
+	case t.Delta < t.Theta || t.Delta > t.D-t.Theta:
+		// The evaluation draws δ from [θ, D−θ] so the whole boundary lies
+		// inside the release window.
+		return fmt.Errorf("task %d (%s): δ = %v outside [θ=%v, D−θ=%v]",
+			t.ID, t.Name, t.Delta, t.Theta, t.D-t.Theta)
+	case t.Vmax < t.Vmin:
+		return fmt.Errorf("task %d (%s): Vmax = %g < Vmin = %g", t.ID, t.Name, t.Vmax, t.Vmin)
+	}
+	return nil
+}
+
+// Utilization returns C/T as a float. It is only used for reporting; all
+// feasibility decisions use integer arithmetic.
+func (t *Task) Utilization() float64 { return float64(t.C) / float64(t.T) }
+
+// JobCount returns the number of jobs the task releases within a
+// hyper-period h. It panics if h is not a multiple of T, which indicates a
+// malformed task set rather than a recoverable input.
+func (t *Task) JobCount(h timing.Time) int {
+	if h%t.T != 0 {
+		panic(fmt.Sprintf("taskmodel: hyper-period %v is not a multiple of task %d period %v", h, t.ID, t.T))
+	}
+	return int(h / t.T)
+}
+
+// JobID uniquely identifies job λi^j: task index i and release index j.
+type JobID struct {
+	Task int
+	J    int
+}
+
+func (id JobID) String() string { return fmt.Sprintf("λ%d^%d", id.Task, id.J) }
+
+// Job is one release λi^j of a task within the hyper-period, with its
+// absolute window precomputed.
+type Job struct {
+	ID JobID
+	// Release is the absolute release instant Ti·j.
+	Release timing.Time
+	// Deadline is the absolute deadline Ti·j + Di.
+	Deadline timing.Time
+	// Ideal is the absolute ideal start instant Ti·j + δi.
+	Ideal timing.Time
+	// C is the job's device occupancy (the task's WCET).
+	C timing.Time
+	// P is the task's priority (larger = higher).
+	P int
+	// Theta, Vmax and Vmin mirror the task's quality parameters.
+	Theta timing.Time
+	Vmax  float64
+	Vmin  float64
+	// Device is the device partition the job belongs to.
+	Device DeviceID
+}
+
+// BoundaryLo returns the earliest start instant with above-minimum quality,
+// clamped to the release instant.
+func (j *Job) BoundaryLo() timing.Time { return timing.Max(j.Release, j.Ideal-j.Theta) }
+
+// BoundaryHi returns the latest start instant with above-minimum quality,
+// clamped so the job still meets its deadline.
+func (j *Job) BoundaryHi() timing.Time {
+	return timing.Min(j.Ideal+j.Theta, j.LatestStart())
+}
+
+// LatestStart returns the latest feasible start instant (deadline − C).
+func (j *Job) LatestStart() timing.Time { return j.Deadline - j.C }
+
+// IdealEnd returns the finish instant of an exactly-accurate execution.
+func (j *Job) IdealEnd() timing.Time { return j.Ideal + j.C }
+
+// OverlapsIdeal reports whether the ideal execution intervals
+// [Ideal, Ideal+C) of two jobs intersect. This is the edge relation of the
+// dependency graphs in Algorithm 1 phase one.
+func (j *Job) OverlapsIdeal(o *Job) bool {
+	return j.Ideal < o.IdealEnd() && o.Ideal < j.IdealEnd()
+}
+
+// TaskSet is an ordered collection of timed I/O tasks.
+type TaskSet struct {
+	Tasks []Task
+}
+
+// ErrEmpty is returned when an operation requires at least one task.
+var ErrEmpty = errors.New("taskmodel: empty task set")
+
+// NewTaskSet normalises and validates a set of tasks: IDs are assigned by
+// position, implicit deadlines are filled in (D = T when D is zero), and
+// every task is validated.
+func NewTaskSet(tasks []Task) (*TaskSet, error) {
+	if len(tasks) == 0 {
+		return nil, ErrEmpty
+	}
+	ts := &TaskSet{Tasks: append([]Task(nil), tasks...)}
+	for i := range ts.Tasks {
+		ts.Tasks[i].ID = i
+		if ts.Tasks[i].D == 0 {
+			ts.Tasks[i].D = ts.Tasks[i].T
+		}
+	}
+	for i := range ts.Tasks {
+		if err := ts.Tasks[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return ts, nil
+}
+
+// Hyperperiod returns the least common multiple of all task periods.
+func (ts *TaskSet) Hyperperiod() timing.Time {
+	periods := make([]timing.Time, len(ts.Tasks))
+	for i, t := range ts.Tasks {
+		periods[i] = t.T
+	}
+	return timing.LCMTimes(periods)
+}
+
+// Utilization returns the total utilisation ΣCi/Ti.
+func (ts *TaskSet) Utilization() float64 {
+	var u float64
+	for i := range ts.Tasks {
+		u += ts.Tasks[i].Utilization()
+	}
+	return u
+}
+
+// AssignDMPO assigns deadline-monotonic priorities: the task with the
+// shortest deadline receives the highest priority value (n for n tasks,
+// matching the paper's "D1 > D2 so that P1 < P2" with P ∈ {1..n}).
+// Deadline ties are broken by task index for determinism.
+func (ts *TaskSet) AssignDMPO() {
+	order := make([]int, len(ts.Tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ta, tb := &ts.Tasks[order[a]], &ts.Tasks[order[b]]
+		if ta.D != tb.D {
+			return ta.D > tb.D // longest deadline first = lowest priority first
+		}
+		return ta.ID > tb.ID
+	})
+	for rank, idx := range order {
+		ts.Tasks[idx].P = rank + 1
+	}
+}
+
+// ApplyPaperQuality sets the evaluation's quality parameters:
+// Vmax = Pi + 1 per task and the supplied global Vmin (the paper uses 1).
+func (ts *TaskSet) ApplyPaperQuality(vmin float64) {
+	for i := range ts.Tasks {
+		ts.Tasks[i].Vmax = float64(ts.Tasks[i].P) + 1
+		ts.Tasks[i].Vmin = vmin
+	}
+}
+
+// MaxOffset returns the largest release offset in the set.
+func (ts *TaskSet) MaxOffset() timing.Time {
+	var m timing.Time
+	for i := range ts.Tasks {
+		if ts.Tasks[i].Offset > m {
+			m = ts.Tasks[i].Offset
+		}
+	}
+	return m
+}
+
+// ScheduleHorizon returns the window the offline schedulers must cover so
+// that every job released before the steady state is included: one
+// hyper-period for synchronous sets, two for sets with release offsets
+// (Section III-C: "produce explicit schedule for different hyper-periods
+// of the input jobs, until the schedule can repeat").
+func (ts *TaskSet) ScheduleHorizon() timing.Time {
+	h := ts.Hyperperiod()
+	if ts.MaxOffset() == 0 {
+		return h
+	}
+	return 2 * h
+}
+
+// Jobs expands every task into its jobs over the schedule horizon, ordered
+// by (ideal start, task ID). For synchronous task sets that is one
+// hyper-period; with release offsets it is two, and only jobs whose whole
+// window fits inside the horizon are included (the release pattern repeats
+// with the hyper-period, so the second period already exhibits the steady
+// state). The ordering is deterministic and convenient for the schedulers;
+// none of them rely on it for correctness.
+func (ts *TaskSet) Jobs() []Job {
+	horizon := ts.ScheduleHorizon()
+	var jobs []Job
+	for i := range ts.Tasks {
+		t := &ts.Tasks[i]
+		for j := 0; ; j++ {
+			rel := t.Offset + t.T*timing.Time(j)
+			if rel+t.D > horizon {
+				break
+			}
+			jobs = append(jobs, Job{
+				ID:       JobID{Task: t.ID, J: j},
+				Release:  rel,
+				Deadline: rel + t.D,
+				Ideal:    rel + t.Delta,
+				C:        t.C,
+				P:        t.P,
+				Theta:    t.Theta,
+				Vmax:     t.Vmax,
+				Vmin:     t.Vmin,
+				Device:   t.Device,
+			})
+		}
+	}
+	sort.SliceStable(jobs, func(a, b int) bool {
+		if jobs[a].Ideal != jobs[b].Ideal {
+			return jobs[a].Ideal < jobs[b].Ideal
+		}
+		return jobs[a].ID.Task < jobs[b].ID.Task
+	})
+	return jobs
+}
+
+// JobsByDevice partitions the expanded jobs by device, reflecting the
+// fully-partitioned scheduling model (one controller processor per device).
+func (ts *TaskSet) JobsByDevice() map[DeviceID][]Job {
+	parts := make(map[DeviceID][]Job)
+	for _, j := range ts.Jobs() {
+		parts[j.Device] = append(parts[j.Device], j)
+	}
+	return parts
+}
+
+// Devices returns the distinct device IDs in ascending order.
+func (ts *TaskSet) Devices() []DeviceID {
+	seen := make(map[DeviceID]bool)
+	var out []DeviceID
+	for i := range ts.Tasks {
+		d := ts.Tasks[i].Device
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// ByID returns a pointer to the task with the given ID, or nil.
+func (ts *TaskSet) ByID(id int) *Task {
+	if id < 0 || id >= len(ts.Tasks) {
+		return nil
+	}
+	return &ts.Tasks[id]
+}

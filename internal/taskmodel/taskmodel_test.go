@@ -1,0 +1,333 @@
+package taskmodel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timing"
+)
+
+const ms = timing.Millisecond
+
+func validTask() Task {
+	return Task{
+		Name:  "t",
+		C:     2 * ms,
+		T:     20 * ms,
+		D:     20 * ms,
+		Delta: 8 * ms,
+		Theta: 5 * ms,
+		Vmax:  2,
+		Vmin:  1,
+	}
+}
+
+func TestTaskValidate(t *testing.T) {
+	ok := validTask()
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid task rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Task)
+		frag   string
+	}{
+		{"zero C", func(x *Task) { x.C = 0 }, "C ="},
+		{"negative C", func(x *Task) { x.C = -1 }, "C ="},
+		{"zero T", func(x *Task) { x.T = 0 }, "T ="},
+		{"D beyond T", func(x *Task) { x.D = x.T + 1 }, "D ="},
+		{"C beyond D", func(x *Task) { x.C = x.D + 1 }, "exceeds D"},
+		{"negative theta", func(x *Task) { x.Theta = -1 }, "θ ="},
+		{"delta below theta", func(x *Task) { x.Delta = x.Theta - 1 }, "δ ="},
+		{"delta above D-theta", func(x *Task) { x.Delta = x.D - x.Theta + 1 }, "δ ="},
+		{"Vmax below Vmin", func(x *Task) { x.Vmax = 0.5 }, "Vmax"},
+	}
+	for _, c := range cases {
+		bad := validTask()
+		c.mutate(&bad)
+		err := bad.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.frag)
+		}
+	}
+}
+
+func TestNewTaskSetAssignsIDsAndImplicitDeadlines(t *testing.T) {
+	a, b := validTask(), validTask()
+	b.D = 0 // implicit
+	b.T = 40 * ms
+	ts, err := NewTaskSet([]Task{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Tasks[0].ID != 0 || ts.Tasks[1].ID != 1 {
+		t.Errorf("IDs = %d,%d", ts.Tasks[0].ID, ts.Tasks[1].ID)
+	}
+	if ts.Tasks[1].D != 40*ms {
+		t.Errorf("implicit deadline = %v, want 40ms", ts.Tasks[1].D)
+	}
+}
+
+func TestNewTaskSetEmpty(t *testing.T) {
+	if _, err := NewTaskSet(nil); err != ErrEmpty {
+		t.Fatalf("err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestNewTaskSetDoesNotAliasInput(t *testing.T) {
+	in := []Task{validTask()}
+	ts, err := NewTaskSet(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in[0].C = 999 * ms
+	if ts.Tasks[0].C == 999*ms {
+		t.Error("TaskSet aliases caller's slice")
+	}
+}
+
+func TestHyperperiodAndUtilization(t *testing.T) {
+	a, b, c := validTask(), validTask(), validTask()
+	a.T, a.D = 120*ms, 120*ms
+	a.Delta = 30 * ms
+	b.T, b.D = 160*ms, 160*ms
+	b.Delta = 40 * ms
+	c.T, c.D = 180*ms, 180*ms
+	c.Delta = 45 * ms
+	ts, err := NewTaskSet([]Task{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := ts.Hyperperiod(); h != timing.HyperPeriod1440ms {
+		t.Errorf("hyperperiod = %v, want 1440ms", h)
+	}
+	u := ts.Utilization()
+	want := 2.0/120 + 2.0/160 + 2.0/180
+	if diff := u - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("U = %g, want %g", u, want)
+	}
+}
+
+func TestAssignDMPO(t *testing.T) {
+	a, b, c := validTask(), validTask(), validTask()
+	a.T, a.D = 120*ms, 120*ms
+	a.Delta = 30 * ms
+	b.T, b.D = 40*ms, 40*ms
+	b.Delta = 10 * ms
+	c.T, c.D = 240*ms, 240*ms
+	c.Delta = 60 * ms
+	ts, err := NewTaskSet([]Task{a, b, c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.AssignDMPO()
+	// Shortest deadline (b, 40ms) must get the highest priority value.
+	if ts.Tasks[1].P != 3 {
+		t.Errorf("b.P = %d, want 3", ts.Tasks[1].P)
+	}
+	if ts.Tasks[0].P != 2 {
+		t.Errorf("a.P = %d, want 2", ts.Tasks[0].P)
+	}
+	if ts.Tasks[2].P != 1 {
+		t.Errorf("c.P = %d, want 1", ts.Tasks[2].P)
+	}
+}
+
+func TestAssignDMPOTieBreakDeterministic(t *testing.T) {
+	a, b := validTask(), validTask()
+	ts, err := NewTaskSet([]Task{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.AssignDMPO()
+	// Equal deadlines: lower index wins the higher priority.
+	if ts.Tasks[0].P != 2 || ts.Tasks[1].P != 1 {
+		t.Errorf("tie break: P0=%d P1=%d, want 2,1", ts.Tasks[0].P, ts.Tasks[1].P)
+	}
+}
+
+func TestApplyPaperQuality(t *testing.T) {
+	a, b := validTask(), validTask()
+	b.T, b.D = 40*ms, 40*ms
+	b.Delta = 10 * ms
+	ts, _ := NewTaskSet([]Task{a, b})
+	ts.AssignDMPO()
+	ts.ApplyPaperQuality(1)
+	for i := range ts.Tasks {
+		if ts.Tasks[i].Vmax != float64(ts.Tasks[i].P)+1 {
+			t.Errorf("task %d Vmax = %g, want P+1 = %d", i, ts.Tasks[i].Vmax, ts.Tasks[i].P+1)
+		}
+		if ts.Tasks[i].Vmin != 1 {
+			t.Errorf("task %d Vmin = %g, want 1", i, ts.Tasks[i].Vmin)
+		}
+	}
+}
+
+func TestJobsExpansion(t *testing.T) {
+	a, b := validTask(), validTask()
+	a.T, a.D, a.Delta = 20*ms, 20*ms, 8*ms
+	b.T, b.D, b.Delta = 40*ms, 40*ms, 10*ms
+	ts, _ := NewTaskSet([]Task{a, b})
+	ts.AssignDMPO()
+	jobs := ts.Jobs()
+	// Hyper-period 40ms: a releases 2 jobs, b releases 1.
+	if len(jobs) != 3 {
+		t.Fatalf("len(jobs) = %d, want 3", len(jobs))
+	}
+	byID := make(map[JobID]Job)
+	for _, j := range jobs {
+		byID[j.ID] = j
+	}
+	j01 := byID[JobID{Task: 0, J: 1}]
+	if j01.Release != 20*ms || j01.Deadline != 40*ms || j01.Ideal != 28*ms {
+		t.Errorf("λ0^1 window = [%v, %v] ideal %v", j01.Release, j01.Deadline, j01.Ideal)
+	}
+	// Jobs sorted by ideal start.
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i-1].Ideal > jobs[i].Ideal {
+			t.Errorf("jobs not sorted by ideal: %v then %v", jobs[i-1].Ideal, jobs[i].Ideal)
+		}
+	}
+}
+
+func TestJobCountPanicsOnNonDividingHyperperiod(t *testing.T) {
+	tk := validTask()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tk.JobCount(30 * ms) // 30 % 20 != 0
+}
+
+func TestJobWindowHelpers(t *testing.T) {
+	j := Job{
+		Release:  100,
+		Deadline: 200,
+		Ideal:    150,
+		C:        20,
+		Theta:    30,
+	}
+	if j.BoundaryLo() != 120 {
+		t.Errorf("BoundaryLo = %v, want 120", j.BoundaryLo())
+	}
+	if j.BoundaryHi() != 180 {
+		t.Errorf("BoundaryHi = %v, want 180 (clamped by latest start)", j.BoundaryHi())
+	}
+	if j.LatestStart() != 180 {
+		t.Errorf("LatestStart = %v, want 180", j.LatestStart())
+	}
+	if j.IdealEnd() != 170 {
+		t.Errorf("IdealEnd = %v, want 170", j.IdealEnd())
+	}
+	// Clamping: ideal near release.
+	j2 := Job{Release: 100, Deadline: 200, Ideal: 110, C: 50, Theta: 30}
+	if j2.BoundaryLo() != 100 {
+		t.Errorf("BoundaryLo clamp = %v, want 100", j2.BoundaryLo())
+	}
+	if j2.BoundaryHi() != 140 {
+		t.Errorf("BoundaryHi = %v, want 140", j2.BoundaryHi())
+	}
+}
+
+func TestOverlapsIdeal(t *testing.T) {
+	a := &Job{Ideal: 100, C: 20}
+	cases := []struct {
+		ideal, c timing.Time
+		want     bool
+	}{
+		{80, 20, false},  // touches at 100: half-open, no overlap
+		{80, 21, true},   // spills into [100,120)
+		{120, 10, false}, // starts exactly at a's end
+		{119, 10, true},
+		{100, 20, true}, // identical
+		{105, 1, true},  // nested
+	}
+	for _, c := range cases {
+		b := &Job{Ideal: c.ideal, C: c.c}
+		if got := a.OverlapsIdeal(b); got != c.want {
+			t.Errorf("overlap([100,120),[%d,%d)) = %v, want %v", c.ideal, c.ideal+c.c, got, c.want)
+		}
+		if got := b.OverlapsIdeal(a); got != c.want {
+			t.Errorf("overlap symmetric([%d,%d)) = %v, want %v", c.ideal, c.ideal+c.c, got, c.want)
+		}
+	}
+}
+
+func TestJobsByDeviceAndDevices(t *testing.T) {
+	a, b, c := validTask(), validTask(), validTask()
+	a.Device, b.Device, c.Device = 1, 0, 1
+	ts, _ := NewTaskSet([]Task{a, b, c})
+	parts := ts.JobsByDevice()
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d, want 2", len(parts))
+	}
+	if len(parts[1]) != 2 || len(parts[0]) != 1 {
+		t.Errorf("partition sizes: dev0=%d dev1=%d", len(parts[0]), len(parts[1]))
+	}
+	devs := ts.Devices()
+	if len(devs) != 2 || devs[0] != 0 || devs[1] != 1 {
+		t.Errorf("Devices() = %v", devs)
+	}
+}
+
+func TestByID(t *testing.T) {
+	ts, _ := NewTaskSet([]Task{validTask()})
+	if ts.ByID(0) == nil || ts.ByID(0).ID != 0 {
+		t.Error("ByID(0) broken")
+	}
+	if ts.ByID(-1) != nil || ts.ByID(1) != nil {
+		t.Error("ByID out of range should be nil")
+	}
+}
+
+// Property: expanded jobs always lie within the hyper-period, ideal starts
+// are inside [release+θ, deadline−θ], and the per-task job count is H/T.
+func TestJobsExpansionProperties(t *testing.T) {
+	periods := []timing.Time{20 * ms, 40 * ms, 60 * ms, 120 * ms}
+	f := func(p1, p2 uint8, cRaw, dRaw uint8) bool {
+		t1 := periods[int(p1)%len(periods)]
+		t2 := periods[int(p2)%len(periods)]
+		c := timing.Time(int64(cRaw)%4+1) * ms
+		theta := t1 / 4
+		if c > theta {
+			c = theta
+		}
+		delta := theta + timing.Time(int64(dRaw))*ms
+		if delta > t1-theta {
+			delta = t1 - theta
+		}
+		a := Task{C: c, T: t1, D: t1, Delta: delta, Theta: theta, Vmax: 2, Vmin: 1}
+		theta2 := t2 / 4
+		c2 := timing.Min(c, theta2)
+		b := Task{C: c2, T: t2, D: t2, Delta: theta2, Theta: theta2, Vmax: 2, Vmin: 1}
+		ts, err := NewTaskSet([]Task{a, b})
+		if err != nil {
+			return false
+		}
+		h := ts.Hyperperiod()
+		jobs := ts.Jobs()
+		counts := map[int]int{}
+		for _, j := range jobs {
+			counts[j.ID.Task]++
+			if j.Release < 0 || j.Deadline > h {
+				return false
+			}
+			if j.Ideal < j.Release+j.Theta-0 || j.Ideal > j.Deadline-j.Theta {
+				return false
+			}
+			if j.BoundaryLo() > j.BoundaryHi() {
+				return false
+			}
+		}
+		return counts[0] == int(h/t1) && counts[1] == int(h/t2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

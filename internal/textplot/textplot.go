@@ -1,0 +1,131 @@
+// Package textplot renders the experiment results as ASCII charts so the
+// CLI can show Figures 5–7 directly in a terminal.
+package textplot
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one named curve over shared x positions.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart draws the series over the x labels into a fixed-size ASCII grid.
+// y is scaled to [ymin, ymax]. Series longer than xlabels are truncated;
+// shorter series simply stop early.
+func Chart(title string, xlabels []string, series []Series, ymin, ymax float64, height int) string {
+	if height < 2 {
+		height = 2
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	cols := len(xlabels)
+	colW := 6
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols*colW))
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i, v := range s.Values {
+			if i >= cols {
+				break
+			}
+			frac := (v - ymin) / (ymax - ymin)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			row := int(frac*float64(height-1) + 0.5)
+			r := height - 1 - row
+			c := i*colW + colW/2
+			if grid[r][c] == ' ' {
+				grid[r][c] = m
+			} else {
+				// Collision: stack a second marker next to the first.
+				for off := 1; off < colW/2; off++ {
+					if grid[r][c+off] == ' ' {
+						grid[r][c+off] = m
+						break
+					}
+				}
+			}
+		}
+	}
+	for r := range grid {
+		frac := float64(height-1-r) / float64(height-1)
+		y := ymin + frac*(ymax-ymin)
+		fmt.Fprintf(&b, "%6.2f |%s\n", y, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "       +%s\n", strings.Repeat("-", cols*colW))
+	fmt.Fprintf(&b, "        ")
+	for _, xl := range xlabels {
+		fmt.Fprintf(&b, "%-*s", colW, center(xl, colW))
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "        legend: ")
+	for si, s := range series {
+		if si > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c=%s", markers[si%len(markers)], s.Name)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	left := (w - len(s)) / 2
+	return strings.Repeat(" ", left) + s
+}
+
+// Table renders an aligned text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(headers)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

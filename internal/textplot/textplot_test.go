@@ -1,0 +1,74 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartContainsMarkersAndLegend(t *testing.T) {
+	out := Chart("Fig X", []string{"0.2", "0.3", "0.4"},
+		[]Series{
+			{Name: "a", Values: []float64{0.1, 0.5, 1.0}},
+			{Name: "b", Values: []float64{1.0, 0.5, 0.1}},
+		}, 0, 1, 8)
+	if !strings.Contains(out, "Fig X") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "o=b") {
+		t.Errorf("missing legend: %s", out)
+	}
+	if !strings.Contains(out, "0.3") {
+		t.Error("missing x label")
+	}
+	if strings.Count(out, "*") < 3 {
+		t.Errorf("series a markers missing:\n%s", out)
+	}
+}
+
+func TestChartClampsOutOfRange(t *testing.T) {
+	out := Chart("t", []string{"x"}, []Series{{Name: "s", Values: []float64{99}}}, 0, 1, 4)
+	if !strings.Contains(out, "*") {
+		t.Error("clamped value not drawn")
+	}
+	// Degenerate y range must not panic.
+	_ = Chart("t", []string{"x"}, []Series{{Name: "s", Values: []float64{0.5}}}, 1, 1, 4)
+	// Tiny height is raised to a drawable minimum.
+	_ = Chart("t", []string{"x"}, []Series{{Name: "s", Values: []float64{0.5}}}, 0, 1, 1)
+}
+
+func TestChartCollisionStacksMarkers(t *testing.T) {
+	out := Chart("t", []string{"x"}, []Series{
+		{Name: "a", Values: []float64{0.5}},
+		{Name: "b", Values: []float64{0.5}},
+	}, 0, 1, 5)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("collision lost a marker:\n%s", out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "v"}, [][]string{
+		{"long-name-here", "1"},
+		{"b", "234"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All rows equal width for the first column.
+	if !strings.HasPrefix(lines[2], "long-name-here") {
+		t.Errorf("row 1 = %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator = %q", lines[1])
+	}
+}
+
+func TestCenter(t *testing.T) {
+	if center("ab", 6) != "  ab" {
+		t.Errorf("center = %q", center("ab", 6))
+	}
+	if center("abcdefgh", 4) != "abcd" {
+		t.Errorf("overlong center = %q", center("abcdefgh", 4))
+	}
+}

@@ -1,0 +1,181 @@
+// Package timing provides the integer time base shared by the scheduling
+// and hardware-simulation layers of the repository.
+//
+// All scheduling arithmetic uses Time, an int64 count of microseconds.
+// The paper's 1440 ms hyper-period is therefore 1,440,000 ticks and every
+// feasibility decision is exact integer arithmetic. The hardware layer uses
+// Cycle, an int64 count of controller clock cycles; conversion between the
+// two requires an explicit ClockHz value so that no implicit unit mixing can
+// occur.
+package timing
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an instant or duration on the scheduling timeline, in microseconds.
+// The zero Time is the start of the hyper-period.
+type Time int64
+
+// Common durations expressed in scheduling ticks.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// HyperPeriod1440ms is the hyper-period used throughout the paper's
+// evaluation (Section V-A).
+const HyperPeriod1440ms = 1440 * Millisecond
+
+// String renders the time in the most natural unit.
+func (t Time) String() string {
+	switch {
+	case t == 0:
+		return "0"
+	case t%Second == 0:
+		return fmt.Sprintf("%ds", int64(t/Second))
+	case t%Millisecond == 0:
+		return fmt.Sprintf("%dms", int64(t/Millisecond))
+	default:
+		return fmt.Sprintf("%dus", int64(t))
+	}
+}
+
+// Microseconds returns t as a raw microsecond count.
+func (t Time) Microseconds() int64 { return int64(t) }
+
+// Milliseconds returns t in milliseconds, truncating sub-millisecond ticks.
+func (t Time) Milliseconds() int64 { return int64(t) / int64(Millisecond) }
+
+// Duration converts t to a time.Duration for interoperability with the
+// standard library. It never loses precision: one tick is 1 µs.
+func (t Time) Duration() time.Duration { return time.Duration(t) * time.Microsecond }
+
+// FromDuration converts a time.Duration to scheduling ticks, truncating
+// sub-microsecond precision.
+func FromDuration(d time.Duration) Time { return Time(d / time.Microsecond) }
+
+// Cycle is an instant or duration on the hardware timeline, counted in
+// controller clock cycles.
+type Cycle int64
+
+// ClockHz describes a hardware clock frequency used to convert between the
+// scheduling and hardware timelines.
+type ClockHz int64
+
+// Common controller clock rates.
+const (
+	Clock100MHz ClockHz = 100_000_000
+	Clock50MHz  ClockHz = 50_000_000
+	Clock10MHz  ClockHz = 10_000_000
+)
+
+// CyclesPerMicrosecond returns the number of cycles in one scheduling tick.
+// It panics if the clock is not an integer multiple of 1 MHz, because a
+// fractional cycles-per-tick ratio would make schedule translation inexact.
+func (c ClockHz) CyclesPerMicrosecond() Cycle {
+	if c <= 0 || c%1_000_000 != 0 {
+		panic(fmt.Sprintf("timing: clock %d Hz is not a positive multiple of 1 MHz", c))
+	}
+	return Cycle(c / 1_000_000)
+}
+
+// ToCycles converts a scheduling time to hardware cycles at clock c.
+func (c ClockHz) ToCycles(t Time) Cycle { return Cycle(t) * c.CyclesPerMicrosecond() }
+
+// ToTime converts a hardware cycle count to scheduling time, truncating any
+// sub-microsecond remainder.
+func (c ClockHz) ToTime(cy Cycle) Time { return Time(cy / c.CyclesPerMicrosecond()) }
+
+// GCD returns the greatest common divisor of a and b. GCD(0, 0) is 0.
+func GCD(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// LCM returns the least common multiple of a and b, or 0 if either is 0.
+// It panics on overflow, which in this repository indicates a malformed
+// period set rather than a recoverable condition.
+func LCM(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	g := GCD(a, b)
+	q := a / g
+	r := q * b
+	if r/b != q {
+		panic(fmt.Sprintf("timing: LCM(%d, %d) overflows int64", a, b))
+	}
+	if r < 0 {
+		return -r
+	}
+	return r
+}
+
+// LCMTimes folds LCM over a list of Times. An empty list yields 0.
+func LCMTimes(ts []Time) Time {
+	var acc int64
+	for i, t := range ts {
+		if i == 0 {
+			acc = int64(t)
+			continue
+		}
+		acc = LCM(acc, int64(t))
+	}
+	return Time(acc)
+}
+
+// Divisors returns all positive divisors of n in ascending order.
+// It panics if n <= 0.
+func Divisors(n int64) []int64 {
+	if n <= 0 {
+		panic(fmt.Sprintf("timing: Divisors(%d): n must be positive", n))
+	}
+	var small, large []int64
+	for d := int64(1); d*d <= n; d++ {
+		if n%d == 0 {
+			small = append(small, d)
+			if q := n / d; q != d {
+				large = append(large, q)
+			}
+		}
+	}
+	for i := len(large) - 1; i >= 0; i-- {
+		small = append(small, large[i])
+	}
+	return small
+}
+
+// Min returns the smaller of two Times.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of two Times.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Abs returns the absolute value of t.
+func Abs(t Time) Time {
+	if t < 0 {
+		return -t
+	}
+	return t
+}

@@ -1,0 +1,224 @@
+package timing
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0"},
+		{1, "1us"},
+		{999, "999us"},
+		{Millisecond, "1ms"},
+		{1440 * Millisecond, "1440ms"},
+		{Second, "1s"},
+		{2 * Second, "2s"},
+		{1500, "1500us"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if HyperPeriod1440ms.Milliseconds() != 1440 {
+		t.Fatalf("hyper-period = %d ms, want 1440", HyperPeriod1440ms.Milliseconds())
+	}
+	if HyperPeriod1440ms.Microseconds() != 1_440_000 {
+		t.Fatalf("hyper-period = %d us, want 1440000", HyperPeriod1440ms.Microseconds())
+	}
+	d := 3 * time.Millisecond
+	if FromDuration(d) != 3*Millisecond {
+		t.Errorf("FromDuration(3ms) = %v", FromDuration(d))
+	}
+	if (3 * Millisecond).Duration() != d {
+		t.Errorf("Duration round trip = %v", (3 * Millisecond).Duration())
+	}
+	// Sub-microsecond precision truncates.
+	if FromDuration(1500*time.Nanosecond) != 1 {
+		t.Errorf("FromDuration(1500ns) = %v, want 1", FromDuration(1500*time.Nanosecond))
+	}
+}
+
+func TestClockConversions(t *testing.T) {
+	if Clock100MHz.CyclesPerMicrosecond() != 100 {
+		t.Fatalf("100MHz cycles/us = %d", Clock100MHz.CyclesPerMicrosecond())
+	}
+	if got := Clock100MHz.ToCycles(5 * Microsecond); got != 500 {
+		t.Errorf("ToCycles(5us) = %d, want 500", got)
+	}
+	if got := Clock100MHz.ToTime(500); got != 5 {
+		t.Errorf("ToTime(500cy) = %v, want 5us", got)
+	}
+	if got := Clock10MHz.ToCycles(Millisecond); got != 10_000 {
+		t.Errorf("10MHz ToCycles(1ms) = %d, want 10000", got)
+	}
+}
+
+func TestClockPanicsOnFractional(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-MHz-multiple clock")
+		}
+	}()
+	ClockHz(1_500_000).CyclesPerMicrosecond()
+}
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 0, 0},
+		{0, 5, 5},
+		{5, 0, 5},
+		{12, 18, 6},
+		{18, 12, 6},
+		{7, 13, 1},
+		{-12, 18, 6},
+		{12, -18, 6},
+		{1440, 360, 360},
+	}
+	for _, c := range cases {
+		if got := GCD(c.a, c.b); got != c.want {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCM(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 5, 0},
+		{5, 0, 0},
+		{4, 6, 12},
+		{3, 7, 21},
+		{120, 144, 720},
+		{720, 1440, 1440},
+	}
+	for _, c := range cases {
+		if got := LCM(c.a, c.b); got != c.want {
+			t.Errorf("LCM(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLCMOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overflow panic")
+		}
+	}()
+	LCM(1<<62, (1<<62)-1)
+}
+
+func TestLCMTimes(t *testing.T) {
+	if got := LCMTimes(nil); got != 0 {
+		t.Errorf("LCMTimes(nil) = %v", got)
+	}
+	ts := []Time{120 * Millisecond, 160 * Millisecond, 180 * Millisecond}
+	if got := LCMTimes(ts); got != HyperPeriod1440ms {
+		t.Errorf("LCMTimes(120,160,180 ms) = %v, want 1440ms", got)
+	}
+}
+
+func TestDivisors(t *testing.T) {
+	got := Divisors(12)
+	want := []int64{1, 2, 3, 4, 6, 12}
+	if len(got) != len(want) {
+		t.Fatalf("Divisors(12) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Divisors(12) = %v, want %v", got, want)
+		}
+	}
+	// 1440 = 2^5 * 3^2 * 5 has (5+1)(2+1)(1+1) = 36 divisors.
+	if d := Divisors(1440); len(d) != 36 {
+		t.Errorf("1440 has %d divisors, want 36", len(d))
+	}
+}
+
+func TestDivisorsPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n <= 0")
+		}
+	}()
+	Divisors(0)
+}
+
+func TestMinMaxAbs(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max broken")
+	}
+	if Abs(-7) != 7 || Abs(7) != 7 || Abs(0) != 0 {
+		t.Error("Abs broken")
+	}
+}
+
+// Property: GCD divides both operands and LCM is divisible by both.
+func TestGCDLCMProperties(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := int64(a), int64(b)
+		g := GCD(x, y)
+		if x == 0 && y == 0 {
+			return g == 0
+		}
+		if g <= 0 {
+			return false
+		}
+		if x%g != 0 || y%g != 0 {
+			return false
+		}
+		l := LCM(x, y)
+		if x == 0 || y == 0 {
+			return l == 0
+		}
+		return l%x == 0 && l%y == 0 && l > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every divisor returned by Divisors divides n, the list is
+// strictly ascending, and contains 1 and n.
+func TestDivisorsProperties(t *testing.T) {
+	f := func(raw uint16) bool {
+		n := int64(raw)%5000 + 1
+		ds := Divisors(n)
+		if ds[0] != 1 || ds[len(ds)-1] != n {
+			return false
+		}
+		for i, d := range ds {
+			if n%d != 0 {
+				return false
+			}
+			if i > 0 && ds[i-1] >= d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: clock conversion round-trips exactly for whole microseconds.
+func TestClockRoundTripProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		tm := Time(raw % 10_000_000)
+		return Clock100MHz.ToTime(Clock100MHz.ToCycles(tm)) == tm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

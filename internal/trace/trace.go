@@ -1,0 +1,108 @@
+// Package trace measures timing accuracy on observed hardware behaviour:
+// given the instants I/O operations were expected to occur and the instants
+// they actually occurred (pin edges or execution records), it computes the
+// per-event deviation |ideal − actual| — the paper's Section I definition
+// of timing accuracy — and aggregates jitter statistics.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/timing"
+)
+
+// Event pairs an expected instant with an observed one.
+type Event struct {
+	Label    string
+	Expected timing.Cycle
+	Observed timing.Cycle
+}
+
+// Deviation returns |expected − observed|.
+func (e Event) Deviation() timing.Cycle {
+	d := e.Observed - e.Expected
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// Report aggregates deviations over a set of events.
+type Report struct {
+	Events []Event
+	// Exact counts zero-deviation events.
+	Exact int
+	// MaxDeviation and MeanDeviation summarise the jitter.
+	MaxDeviation  timing.Cycle
+	MeanDeviation float64
+}
+
+// Measure matches expected instants against observations in order and
+// builds a report. The two slices must have equal length: a missing
+// observation is a real fault that callers must surface, not average away.
+func Measure(labels []string, expected, observed []timing.Cycle) (*Report, error) {
+	if len(expected) != len(observed) {
+		return nil, fmt.Errorf("trace: %d expected events but %d observed", len(expected), len(observed))
+	}
+	if len(labels) != 0 && len(labels) != len(expected) {
+		return nil, fmt.Errorf("trace: %d labels for %d events", len(labels), len(expected))
+	}
+	r := &Report{}
+	var sum int64
+	for i := range expected {
+		ev := Event{Expected: expected[i], Observed: observed[i]}
+		if len(labels) > 0 {
+			ev.Label = labels[i]
+		}
+		r.Events = append(r.Events, ev)
+		d := ev.Deviation()
+		if d == 0 {
+			r.Exact++
+		}
+		if d > r.MaxDeviation {
+			r.MaxDeviation = d
+		}
+		sum += int64(d)
+	}
+	if len(r.Events) > 0 {
+		r.MeanDeviation = float64(sum) / float64(len(r.Events))
+	}
+	return r, nil
+}
+
+// ExactFraction returns the fraction of events with zero deviation — the
+// hardware-level Ψ.
+func (r *Report) ExactFraction() float64 {
+	if len(r.Events) == 0 {
+		return 0
+	}
+	return float64(r.Exact) / float64(len(r.Events))
+}
+
+// Percentile returns the p-th percentile deviation (0 ≤ p ≤ 100) using the
+// nearest-rank method.
+func (r *Report) Percentile(p float64) timing.Cycle {
+	if len(r.Events) == 0 {
+		return 0
+	}
+	devs := make([]timing.Cycle, len(r.Events))
+	for i, e := range r.Events {
+		devs[i] = e.Deviation()
+	}
+	sort.Slice(devs, func(a, b int) bool { return devs[a] < devs[b] })
+	if p <= 0 {
+		return devs[0]
+	}
+	if p >= 100 {
+		return devs[len(devs)-1]
+	}
+	rank := int(p/100*float64(len(devs))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(devs) {
+		rank = len(devs) - 1
+	}
+	return devs[rank]
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/timing"
+)
+
+func TestMeasureBasics(t *testing.T) {
+	r, err := Measure(
+		[]string{"a", "b", "c"},
+		[]timing.Cycle{100, 200, 300},
+		[]timing.Cycle{100, 210, 295},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Exact != 1 {
+		t.Errorf("exact = %d, want 1", r.Exact)
+	}
+	if r.MaxDeviation != 10 {
+		t.Errorf("max = %v, want 10", r.MaxDeviation)
+	}
+	if r.MeanDeviation != 5 {
+		t.Errorf("mean = %g, want 5", r.MeanDeviation)
+	}
+	if f := r.ExactFraction(); f != 1.0/3 {
+		t.Errorf("exact fraction = %g", f)
+	}
+	if r.Events[0].Label != "a" {
+		t.Error("labels lost")
+	}
+}
+
+func TestMeasureLengthMismatch(t *testing.T) {
+	if _, err := Measure(nil, []timing.Cycle{1}, nil); err == nil {
+		t.Error("missing observation accepted")
+	}
+	if _, err := Measure([]string{"a"}, []timing.Cycle{1, 2}, []timing.Cycle{1, 2}); err == nil {
+		t.Error("label mismatch accepted")
+	}
+}
+
+func TestMeasureEmpty(t *testing.T) {
+	r, err := Measure(nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ExactFraction() != 0 || r.Percentile(50) != 0 {
+		t.Error("empty report misbehaves")
+	}
+}
+
+func TestDeviationSymmetric(t *testing.T) {
+	early := Event{Expected: 100, Observed: 90}
+	late := Event{Expected: 100, Observed: 110}
+	if early.Deviation() != 10 || late.Deviation() != 10 {
+		t.Error("deviation must be absolute")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	exp := make([]timing.Cycle, 10)
+	obs := make([]timing.Cycle, 10)
+	for i := range exp {
+		exp[i] = timing.Cycle(i * 100)
+		obs[i] = exp[i] + timing.Cycle(i) // deviations 0..9
+	}
+	r, err := Measure(nil, exp, obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Percentile(0); got != 0 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := r.Percentile(100); got != 9 {
+		t.Errorf("p100 = %v", got)
+	}
+	if got := r.Percentile(50); got != 4 {
+		t.Errorf("p50 = %v, want 4", got)
+	}
+}
+
+// Property: mean ≤ max, exact count matches zero deviations, percentiles
+// are monotone in p.
+func TestReportProperty(t *testing.T) {
+	f := func(devs []int16) bool {
+		exp := make([]timing.Cycle, len(devs))
+		obs := make([]timing.Cycle, len(devs))
+		for i, d := range devs {
+			exp[i] = timing.Cycle(1000 * (i + 1))
+			obs[i] = exp[i] + timing.Cycle(d%100)
+		}
+		r, err := Measure(nil, exp, obs)
+		if err != nil {
+			return false
+		}
+		if float64(r.MaxDeviation) < r.MeanDeviation {
+			return false
+		}
+		zero := 0
+		for _, e := range r.Events {
+			if e.Deviation() == 0 {
+				zero++
+			}
+		}
+		if zero != r.Exact {
+			return false
+		}
+		return r.Percentile(25) <= r.Percentile(75)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,254 @@
+// Package iosched is the public facade of the reproduction of
+// "Timing-Accurate General-Purpose I/O for Multi- and Many-Core Systems:
+// Scheduling and Hardware Support" (Zhao et al., DAC 2020).
+//
+// It re-exports the task model, the two proposed scheduling methods (the
+// Ψ-maximising heuristic and the multi-objective GA), the FPS and GPIOCP
+// baselines, the quality metrics Ψ and Υ, the synthetic system generator,
+// the cycle-accurate I/O controller with its NoC substrate, and the
+// experiment runners that regenerate every table and figure of the paper.
+//
+// Quick start:
+//
+//	ts, _ := iosched.NewTaskSet([]iosched.Task{{
+//		Name: "injector", C: 1 * iosched.Millisecond,
+//		T: 20 * iosched.Millisecond, Delta: 8 * iosched.Millisecond,
+//		Theta: 5 * iosched.Millisecond,
+//	}})
+//	ts.AssignDMPO()
+//	ts.ApplyPaperQuality(1)
+//	schedules, _ := iosched.ScheduleWith(ts, iosched.MethodStatic)
+//	psi, upsilon := schedules.Metrics(iosched.LinearCurve)
+package iosched
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/experiment"
+	"repro/internal/gen"
+	"repro/internal/hwcost"
+	"repro/internal/noc"
+	"repro/internal/quality"
+	"repro/internal/sched"
+	"repro/internal/sched/fps"
+	"repro/internal/sched/ga"
+	"repro/internal/sched/gpiocp"
+	"repro/internal/sched/staticsched"
+	"repro/internal/sim"
+	"repro/internal/taskmodel"
+	"repro/internal/timing"
+)
+
+// Time units (integer microsecond time base).
+type (
+	// Time is an instant or duration on the scheduling timeline (µs).
+	Time = timing.Time
+	// Cycle is an instant or duration on the hardware timeline.
+	Cycle = timing.Cycle
+	// ClockHz is a controller clock frequency.
+	ClockHz = timing.ClockHz
+)
+
+// Re-exported time constants.
+const (
+	Microsecond = timing.Microsecond
+	Millisecond = timing.Millisecond
+	Second      = timing.Second
+	// HyperPeriod1440ms is the evaluation's hyper-period.
+	HyperPeriod1440ms = timing.HyperPeriod1440ms
+	// Clock100MHz is the default controller clock.
+	Clock100MHz = timing.Clock100MHz
+)
+
+// Task model (Section II).
+type (
+	// Task is the timed I/O task 6-tuple {C, T, D, P, δ, θ}.
+	Task = taskmodel.Task
+	// TaskSet is an ordered set of tasks with DMPO and quality helpers.
+	TaskSet = taskmodel.TaskSet
+	// Job is one release λi^j with its absolute window.
+	Job = taskmodel.Job
+	// JobID identifies a job by task index and release index.
+	JobID = taskmodel.JobID
+	// DeviceID identifies an I/O device partition.
+	DeviceID = taskmodel.DeviceID
+)
+
+// NewTaskSet validates and normalises a task set (implicit deadlines are
+// filled in, IDs assigned by position).
+func NewTaskSet(tasks []Task) (*TaskSet, error) { return taskmodel.NewTaskSet(tasks) }
+
+// Scheduling (Section III).
+type (
+	// Schedule is an explicit per-device schedule.
+	Schedule = sched.Schedule
+	// DeviceSchedules maps device partitions to schedules.
+	DeviceSchedules = sched.DeviceSchedules
+	// Scheduler is the common scheduling interface.
+	Scheduler = sched.Scheduler
+	// StaticOptions configures the Ψ-maximising heuristic (Algorithm 1).
+	StaticOptions = staticsched.Options
+	// GAOptions configures the multi-objective GA.
+	GAOptions = ga.Options
+	// GAResult is the GA's non-dominated front.
+	GAResult = ga.Result
+	// GASolution is one front member.
+	GASolution = ga.Solution
+)
+
+// ErrInfeasible is returned when no feasible schedule exists; test with
+// errors.Is.
+var ErrInfeasible = sched.ErrInfeasible
+
+// Method names a scheduling method.
+type Method = core.Method
+
+// The available methods.
+const (
+	MethodStatic     = core.MethodStatic
+	MethodGA         = core.MethodGA
+	MethodFPSOffline = core.MethodFPSOffline
+	MethodGPIOCP     = core.MethodGPIOCP
+)
+
+// NewStaticScheduler returns the paper's heuristic scheduler (Algorithm 1:
+// dependency-graph decomposition + LCC-D allocation).
+func NewStaticScheduler(opts StaticOptions) Scheduler { return staticsched.New(opts) }
+
+// NewGAScheduler returns the multi-objective GA scheduler.
+func NewGAScheduler(opts GAOptions) Scheduler { return &ga.Scheduler{Opts: opts} }
+
+// NewFPSOffline returns the clairvoyant non-preemptive FPS baseline.
+func NewFPSOffline() Scheduler { return fps.Offline{} }
+
+// NewGPIOCP returns the GPIOCP FIFO baseline.
+func NewGPIOCP() Scheduler { return gpiocp.Scheduler{} }
+
+// GASolve runs the GA on one device partition's jobs and returns the
+// non-dominated (Ψ, Υ) front.
+func GASolve(jobs []Job, opts GAOptions) (*GAResult, error) { return ga.Solve(jobs, opts) }
+
+// GAPaperOptions returns the paper's solver budget (population 300 × 500
+// generations); GADefaultOptions the scaled-down default.
+func GAPaperOptions() GAOptions   { return ga.PaperOptions() }
+func GADefaultOptions() GAOptions { return ga.DefaultOptions() }
+
+// ScheduleWith runs the named method on every device partition of the
+// task set.
+func ScheduleWith(ts *TaskSet, m Method) (DeviceSchedules, error) {
+	s, err := core.NewScheduler(m, nil)
+	if err != nil {
+		return nil, err
+	}
+	return sched.ScheduleAll(ts, s)
+}
+
+// FPSOnlineSchedulable applies the worst-case non-preemptive
+// response-time analysis (the "FPS-online" baseline) to one partition's
+// tasks.
+func FPSOnlineSchedulable(tasks []Task) bool { return fps.Analyze(tasks).Schedulable }
+
+// Quality model (Section II, Figure 1).
+type (
+	// Curve maps a job and start instant to a quality value.
+	Curve = quality.Curve
+	// StartTimes maps jobs to their start instants κ.
+	StartTimes = quality.StartTimes
+)
+
+// LinearCurve is the paper's evaluation curve: Vmax at δ, linear decay to
+// Vmin at δ±θ.
+var LinearCurve Curve = quality.Linear{}
+
+// ExponentialCurve returns a steeper, exponentially decaying quality curve
+// (the paper notes curves are application-dependent).
+func ExponentialCurve(sharpness float64) Curve { return quality.Exponential{Sharpness: sharpness} }
+
+// PenalisedCurve wraps a curve with the paper's footnote-1 semantics: a
+// fixed (typically large negative) value outside the timing boundary.
+func PenalisedCurve(base Curve, penalty float64) Curve {
+	return quality.Penalised{Base: base, Penalty: penalty}
+}
+
+// Psi returns Ψ = |exact jobs| / |jobs| (Equation 1).
+func Psi(jobs []Job, starts StartTimes) (float64, error) { return quality.Psi(jobs, starts) }
+
+// Upsilon returns Υ = ΣV(κ)/ΣV(δ) (Equation 2).
+func Upsilon(jobs []Job, starts StartTimes, c Curve) (float64, error) {
+	return quality.Upsilon(jobs, starts, c)
+}
+
+// Synthetic system generation (Section V-A).
+type GenConfig = gen.Config
+
+// PaperGenConfig returns the evaluation's generator parameterisation.
+func PaperGenConfig() GenConfig { return gen.PaperConfig() }
+
+// Hardware (Section IV).
+type (
+	// Kernel is the deterministic discrete-event simulator.
+	Kernel = sim.Kernel
+	// Controller is the proposed I/O controller (memory + per-device
+	// processors).
+	Controller = controller.Controller
+	// ControllerProcessor is one per-device controller processor.
+	ControllerProcessor = controller.Processor
+	// Program is a pre-loaded I/O task command sequence.
+	Program = controller.Program
+	// Command is one EXU instruction.
+	Command = controller.Command
+	// GPIOBank is a pin bank with waveform capture.
+	GPIOBank = device.GPIOBank
+	// Mesh is the 2-D NoC.
+	Mesh = noc.Mesh
+	// System is a deployable timed-I/O system (tasks + programs +
+	// devices).
+	System = core.System
+	// Deployment is a scheduled system running on the simulated
+	// controller.
+	Deployment = core.Deployment
+)
+
+// NewController returns a controller with the reference 32 KB memory.
+func NewController() *Controller { return controller.New() }
+
+// NewGPIOBank builds a GPIO bank device.
+func NewGPIOBank(name string, pins int) (*GPIOBank, error) { return device.NewGPIOBank(name, pins) }
+
+// Experiments (Section V) — re-exported runners; see cmd/ioschedbench for
+// the CLI.
+type ExperimentConfig = experiment.Config
+
+// DefaultExperimentConfig returns the scaled-down experiment configuration;
+// PaperScaleConfig the full 1000-system, GA-300×500 configuration.
+func DefaultExperimentConfig() ExperimentConfig { return experiment.Default() }
+func PaperScaleConfig() ExperimentConfig        { return experiment.PaperScale() }
+
+// Fig5 regenerates Figure 5 (schedulability).
+func Fig5(cfg ExperimentConfig) (*experiment.Fig5Result, error) { return experiment.Fig5(cfg) }
+
+// Fig6And7 regenerates Figures 6 (Ψ) and 7 (Υ).
+func Fig6And7(cfg ExperimentConfig) (*experiment.FigQResult, *experiment.FigQResult, error) {
+	return experiment.Fig6And7(cfg)
+}
+
+// Table1 regenerates Table I (hardware cost model vs paper).
+func Table1() []hwcost.Row { return hwcost.Table1() }
+
+// I/O-aware end-to-end analysis (Section III-C).
+type (
+	// Flow is a periodic NoC packet flow for the end-to-end analysis.
+	Flow = analysis.Flow
+	// Transaction is a CPU → controller → device → CPU I/O operation.
+	Transaction = analysis.Transaction
+	// StageBounds decomposes a transaction's response-time bound.
+	StageBounds = analysis.StageBounds
+)
+
+// AnalyzeTransaction bounds an end-to-end I/O transaction: NoC flow
+// response times plus the I/O task's finish time from the offline schedule.
+func AnalyzeTransaction(tx Transaction, flows []Flow, schedules DeviceSchedules) (StageBounds, error) {
+	return analysis.Analyze(tx, flows, schedules)
+}
