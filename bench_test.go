@@ -2,7 +2,9 @@ package iosched
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/analysis"
@@ -41,6 +43,48 @@ func BenchmarkFig5Schedulability(b *testing.B) {
 		if _, err := experiment.Fig5(cfg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFig5Parallel regenerates Figure 5 serially and on one worker
+// per CPU. The two sub-benchmarks produce identical results by the
+// engine's determinism invariant, so the ns/op ratio is a pure wall-clock
+// speedup measurement for the bench trajectory.
+func BenchmarkFig5Parallel(b *testing.B) {
+	for _, bc := range []struct {
+		name        string
+		parallelism int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("parallel-%d", runtime.NumCPU()), runtime.NumCPU()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Parallelism = bc.parallelism
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.Fig5(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGASolveParallel measures the GA's chunked fitness evaluation at
+// 1 worker vs one per CPU on a single crowded partition.
+func BenchmarkGASolveParallel(b *testing.B) {
+	jobs := benchJobs(b, 0.7)
+	for _, par := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("parallelism-%d", par), func(b *testing.B) {
+			opts := ga.DefaultOptions()
+			opts.Parallelism = par
+			for i := 0; i < b.N; i++ {
+				opts.Seed = int64(i)
+				if _, err := ga.Solve(jobs, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

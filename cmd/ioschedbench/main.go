@@ -12,7 +12,10 @@
 //
 // The default configuration is a calibrated scale-down (100 systems per
 // point, GA 60×80); -paperscale switches to the paper's 1000 systems and
-// GA 300×500, which takes hours. All runs are deterministic in -seed.
+// GA 300×500, which takes hours. All runs are deterministic in -seed:
+// the runners fan work across -parallel workers (0 = one per CPU) on the
+// deterministic execution engine, so the output is byte-identical at
+// every -parallel value.
 package main
 
 import (
@@ -36,6 +39,7 @@ func main() {
 		paperScale = flag.Bool("paperscale", false, "use the paper's full experiment scale")
 		ablU       = flag.Float64("ablation-u", 0.6, "utilisation for the ablation study")
 		csvDir     = flag.String("csv", "", "directory to write CSV result files into")
+		parallel   = flag.Int("parallel", 0, "worker goroutines (0 = one per CPU, 1 = serial); never changes results")
 	)
 	flag.Parse()
 
@@ -44,6 +48,7 @@ func main() {
 		cfg = experiment.PaperScale()
 	}
 	cfg.Seed = *seed
+	cfg.Parallelism = *parallel
 	if *systems > 0 {
 		cfg.Systems = *systems
 	}
@@ -70,7 +75,7 @@ func main() {
 	run("fig6", func() error { return runFigQ(cfg, *csvDir, true) })
 	run("fig7", func() error { return runFigQ(cfg, *csvDir, false) })
 	run("table1", func() error { return runTable1(*csvDir) })
-	run("motivation", func() error { return runMotivation(*seed) })
+	run("motivation", func() error { return runMotivation(*seed, *parallel) })
 	run("ablation", func() error { return runAblation(cfg, *ablU) })
 	run("multidevice", func() error { return runMultiDevice(cfg) })
 	if !ran {
@@ -158,9 +163,10 @@ func runTable1(csvDir string) error {
 	return writeCSV(csvDir, "table1.csv", h, r)
 }
 
-func runMotivation(seed int64) error {
+func runMotivation(seed int64, parallel int) error {
 	cfg := experiment.DefaultMotivation()
 	cfg.Seed = seed
+	cfg.Parallelism = parallel
 	fmt.Printf("Motivation (Section I): timing accuracy of remote I/O writes over a %dx%d NoC\n",
 		cfg.Mesh.Width, cfg.Mesh.Height)
 	fmt.Printf("(%d periodic writes, %d cross-traffic flows, seed=%d)\n\n",

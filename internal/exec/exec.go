@@ -1,0 +1,174 @@
+// Package exec is the deterministic parallel execution engine shared by
+// the scheduling, GA and experiment layers.
+//
+// The engine has one design constraint, inherited from the paper's setting
+// (timing-accurate systems on multi- and many-core hosts): parallel
+// speedup must never change results. Every construct here is therefore
+// order-preserving and free of shared mutable state:
+//
+//   - Pool is a bounded worker pool whose tasks are indexed; Map collects
+//     results in index order, and errors are reported in index order, so
+//     the outcome of a run is independent of goroutine scheduling;
+//   - DeriveSeed mixes a base seed with per-task stream tags (splitmix64),
+//     so each task owns a private, reproducible randomness stream instead
+//     of sharing one *rand.Rand across goroutines.
+//
+// A caller that runs the same work at Pool sizes 1 and NumCPU gets
+// byte-identical results; the repository's parallel/serial equivalence
+// tests enforce this for ScheduleAll, ga.Solve and the experiment runners.
+package exec
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded, order-preserving parallel executor. The zero value
+// behaves like New(0): one worker per available CPU.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool with the given number of workers; workers <= 0
+// selects runtime.GOMAXPROCS(0) (one worker per available CPU).
+func New(workers int) Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return Pool{workers: workers}
+}
+
+// Workers returns the pool's worker bound.
+func (p Pool) Workers() int {
+	if p.workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.workers
+}
+
+// Each runs fn(ctx, i) for every i in [0, n), with at most p.Workers()
+// invocations in flight at once. A single worker runs the tasks inline in
+// index order, with no goroutines.
+//
+// Error contract, identical at every worker count: every task whose index
+// is below the lowest failing index runs; tasks above it may be skipped
+// (so an early failure aborts a large grid quickly instead of computing
+// results that will be discarded); and the returned error is always the
+// one at the lowest failing index — not the temporally first — so for a
+// deterministic fn the outcome is independent of goroutine scheduling.
+// Side effects of tasks past the lowest failing index are unspecified. A
+// cancelled ctx stops unstarted tasks, which report ctx.Err().
+func (p Pool) Each(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers := p.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	// firstErr tracks the lowest failing index seen so far; tasks above it
+	// are skipped. Every index below it still runs, so the final scan
+	// always finds the true lowest failure.
+	var firstErr atomic.Int64
+	firstErr.Store(int64(n))
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if int64(i) > firstErr.Load() {
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				if err := fn(ctx, i); err != nil {
+					errs[i] = err
+					for {
+						cur := firstErr.Load()
+						if int64(i) >= cur || firstErr.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on the pool and returns the
+// results in index order. On error the results are discarded and the first
+// failure in index order is returned (see Pool.Each).
+func Map[T any](p Pool, ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := p.Each(ctx, n, func(ctx context.Context, i int) error {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// splitmix64 is Steele et al.'s SplitMix64 finaliser: a cheap bijective
+// mixer whose output passes BigCrush, which makes consecutive stream tags
+// (0, 1, 2, …) yield statistically independent seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// DeriveSeed derives an independent sub-seed from a base seed and a path
+// of stream tags (experiment index, utilisation index, system index, …).
+// The derivation is position-sensitive: DeriveSeed(s, 1, 0) and
+// DeriveSeed(s, 0, 1) differ. Tasks seeded this way own disjoint
+// randomness streams, so fanning them across a Pool cannot race on — or
+// reorder draws from — a shared *rand.Rand.
+func DeriveSeed(base int64, streams ...int64) int64 {
+	h := splitmix64(uint64(base))
+	for _, s := range streams {
+		h = splitmix64(h ^ splitmix64(uint64(s)))
+	}
+	return int64(h)
+}
+
+// RNG returns a private *rand.Rand seeded with DeriveSeed(base, streams...).
+func RNG(base int64, streams ...int64) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(base, streams...)))
+}

@@ -1,0 +1,197 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapPreservesIndexOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		p := New(workers)
+		out, err := Map(p, context.Background(), 100, func(_ context.Context, i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: len = %d", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestEachReturnsFirstErrorInIndexOrder(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	fn := func(_ context.Context, i int) error {
+		switch i {
+		case 7:
+			return errA
+		case 31:
+			return errB
+		}
+		return nil
+	}
+	// The serial and every parallel pool must agree on the reported error:
+	// the lowest failing index, regardless of goroutine scheduling.
+	for _, workers := range []int{1, 2, 8} {
+		if err := New(workers).Each(context.Background(), 64, fn); !errors.Is(err, errA) {
+			t.Errorf("workers=%d: err = %v, want %v", workers, err, errA)
+		}
+	}
+}
+
+func TestEachBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	err := New(workers).Each(context.Background(), 200, func(_ context.Context, _ int) error {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		runtime.Gosched()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestEachErrorContract(t *testing.T) {
+	// Every index below the lowest failing one runs; the lowest failure is
+	// reported — at any worker count.
+	const n, failAt = 200, 40
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 2, 8} {
+		var ran [n]atomic.Bool
+		err := New(workers).Each(context.Background(), n, func(_ context.Context, i int) error {
+			ran[i].Store(true)
+			if i == failAt {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for i := 0; i <= failAt; i++ {
+			if !ran[i].Load() {
+				t.Errorf("workers=%d: task %d below the failing index was skipped", workers, i)
+			}
+		}
+	}
+}
+
+func TestEachHonoursCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := New(workers).Each(ctx, 10, func(_ context.Context, _ int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: %d tasks ran under a cancelled context", workers, ran.Load())
+		}
+	}
+}
+
+func TestEachAndMapEmpty(t *testing.T) {
+	if err := New(4).Each(context.Background(), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Map(New(4), context.Background(), 0, func(_ context.Context, _ int) (int, error) {
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out = %v, err = %v", out, err)
+	}
+}
+
+func TestNewNormalisesWorkers(t *testing.T) {
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(0).Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := New(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("New(-3).Workers() = %d", got)
+	}
+	if got := New(5).Workers(); got != 5 {
+		t.Errorf("New(5).Workers() = %d", got)
+	}
+	if got := (Pool{}).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("zero-value Workers() = %d", got)
+	}
+}
+
+func TestDeriveSeedProperties(t *testing.T) {
+	base := int64(42)
+	if DeriveSeed(base) != DeriveSeed(base) {
+		t.Error("DeriveSeed is not stable")
+	}
+	seen := map[int64]string{}
+	record := func(name string, s int64) {
+		if prev, dup := seen[s]; dup {
+			t.Errorf("seed collision: %s == %s", name, prev)
+		}
+		seen[s] = name
+	}
+	record("base", DeriveSeed(base))
+	record("(0)", DeriveSeed(base, 0))
+	record("(1)", DeriveSeed(base, 1))
+	record("(0,1)", DeriveSeed(base, 0, 1))
+	record("(1,0)", DeriveSeed(base, 1, 0))
+	record("(0,0)", DeriveSeed(base, 0, 0))
+	record("otherbase(0)", DeriveSeed(base+1, 0))
+	// RNG streams from sibling seeds must not be identical.
+	a, b := RNG(base, 7), RNG(base, 8)
+	same := true
+	for i := 0; i < 8; i++ {
+		if a.Int63() != b.Int63() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("sibling RNG streams are identical")
+	}
+}
+
+// TestPoolStress hammers the pool with many small indexed writes; run
+// under -race it proves the claim that per-index result slots and the
+// atomic work counter are the only coordination the engine needs.
+func TestPoolStress(t *testing.T) {
+	const n = 5000
+	p := New(8)
+	for round := 0; round < 4; round++ {
+		out, err := Map(p, context.Background(), n, func(_ context.Context, i int) (int64, error) {
+			// Touch a derived RNG per task, as real callers do.
+			return RNG(int64(round), int64(i)).Int63(), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if want := RNG(int64(round), int64(i)).Int63(); out[i] != want {
+				t.Fatalf("round %d slot %d: %d != %d", round, i, out[i], want)
+			}
+		}
+	}
+}

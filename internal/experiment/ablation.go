@@ -1,9 +1,10 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
+	"repro/internal/exec"
 	"repro/internal/sched"
 	"repro/internal/sched/ga"
 	"repro/internal/sched/staticsched"
@@ -57,14 +58,20 @@ func AblationVariants() []AblationVariant {
 				opts := cfg.GA
 				opts.Seed = seed
 				opts.Curve = cfg.curve()
+				// The runner parallelises across systems; keep the solver
+				// serial so the pools do not nest.
+				opts.Parallelism = 1
 				mutate(&opts)
 				fronts, err := scheduleGA(ts, opts)
 				if err != nil {
 					return 0, 0, err
 				}
 				// Single-device study: report the front's best points.
+				// Sum in device order — float sums must have a fixed order
+				// to stay reproducible.
 				var psi, ups float64
-				for _, f := range fronts {
+				for _, dev := range ts.Devices() {
+					f := fronts[dev]
 					psi += f.BestPsi().Psi
 					ups += f.BestUpsilon().Upsilon
 				}
@@ -85,30 +92,51 @@ func AblationVariants() []AblationVariant {
 	}
 }
 
-// Ablation runs every variant on the same systems at utilisation u.
+// Ablation runs every variant on the same systems at utilisation u. The
+// systems are fanned across the worker pool (every variant sees system s
+// before system s+1 in the aggregates, so results are identical at every
+// cfg.Parallelism).
 func Ablation(cfg Config, u float64) ([]AblationResult, error) {
 	variants := AblationVariants()
+	// The study point is a caller-chosen utilisation, not an axis index;
+	// tag the seed path with its mill value so sweeps over u draw
+	// independent systems (matching the other runners' point tags).
+	uTag := int64(u * 1000)
+	perSystem, err := exec.Map(exec.New(cfg.Parallelism), context.Background(), cfg.Systems,
+		func(_ context.Context, s int) ([]qOutcome, error) {
+			ts, err := cfg.Gen.System(exec.RNG(cfg.Seed, streamAblation, uTag, int64(s), subGen), u)
+			if err != nil {
+				return nil, fmt.Errorf("ablation system %d: %w", s, err)
+			}
+			seed := exec.DeriveSeed(cfg.Seed, streamAblation, uTag, int64(s), subGA)
+			out := make([]qOutcome, len(variants))
+			for i, v := range variants {
+				psi, ups, err := v.Run(cfg, seed, ts)
+				if err != nil {
+					continue
+				}
+				out[i] = qOutcome{psi: psi, ups: ups, ok: true}
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	results := make([]AblationResult, len(variants))
 	psis := make([][]float64, len(variants))
 	upss := make([][]float64, len(variants))
 	for i, v := range variants {
 		results[i].Name = v.Name
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(u*1000)))
-	for s := 0; s < cfg.Systems; s++ {
-		ts, err := cfg.Gen.System(rng, u)
-		if err != nil {
-			return nil, fmt.Errorf("ablation system %d: %w", s, err)
-		}
-		for i, v := range variants {
+	for _, outs := range perSystem {
+		for i, o := range outs {
 			results[i].Schedulable.Trials++
-			psi, ups, err := v.Run(cfg, cfg.Seed+int64(s), ts)
-			if err != nil {
+			if !o.ok {
 				continue
 			}
 			results[i].Schedulable.Successes++
-			psis[i] = append(psis[i], psi)
-			upss[i] = append(upss[i], ups)
+			psis[i] = append(psis[i], o.psi)
+			upss[i] = append(upss[i], o.ups)
 		}
 	}
 	for i := range results {

@@ -16,10 +16,11 @@
 package experiment
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 
+	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/quality"
 	"repro/internal/sched"
@@ -36,8 +37,17 @@ type Config struct {
 	// Systems is the number of synthetic systems per utilisation point
 	// (paper: 1000).
 	Systems int
-	// Seed drives all randomness.
+	// Seed drives all randomness. Each (utilisation point, system) pair
+	// derives a private sub-seed (exec.DeriveSeed), so results are
+	// identical at every Parallelism.
 	Seed int64
+	// Parallelism bounds the worker goroutines the runners fan the
+	// systems × utilisation-point grid across; <= 0 selects one worker
+	// per CPU, 1 runs serially. It never changes the results — only the
+	// wall-clock time. The runners parallelise across systems and run
+	// each GA solve serially, so Parallelism alone decides the goroutine
+	// budget.
+	Parallelism int
 	// GA is the solver configuration (paper: population 300, 500
 	// generations).
 	GA ga.Options
@@ -73,6 +83,53 @@ func (c *Config) curve() quality.Curve {
 		return quality.Linear{}
 	}
 	return c.Curve
+}
+
+// Seed-stream tags keeping the runners' derived randomness disjoint.
+const (
+	streamFig5 int64 = iota + 1
+	streamFigQ
+	streamAblation
+	streamMultiDevice
+	streamMotivation
+)
+
+// Per-cell sub-stream tags: each (runner, point, system) cell owns one
+// stream for system generation and one for the GA solver seed.
+const (
+	subGen int64 = iota
+	subGA
+)
+
+// qOutcome is one cell's quality outcome, shared by the runners: the
+// achieved metrics and whether the method scheduled the system at all.
+type qOutcome struct {
+	psi, ups float64
+	ok       bool
+}
+
+// grid holds the per-cell outcomes of a fanned-out outer × inner sweep.
+type grid[T any] struct {
+	inner int
+	cells []T
+}
+
+func (g grid[T]) at(o, i int) T { return g.cells[o*g.inner+i] }
+
+// gridMap fans an outer × inner grid of cells across the worker pool
+// (parallelism <= 0 means one worker per CPU) and collects the outcomes
+// in grid order, so aggregation is identical at every parallelism. The
+// runners share it so the cell decomposition and its read-back cannot
+// drift apart.
+func gridMap[T any](parallelism, outer, inner int, fn func(o, i int) (T, error)) (grid[T], error) {
+	cells, err := exec.Map(exec.New(parallelism), context.Background(), outer*inner,
+		func(_ context.Context, idx int) (T, error) {
+			return fn(idx/inner, idx%inner)
+		})
+	if err != nil {
+		return grid[T]{}, err
+	}
+	return grid[T]{inner: inner, cells: cells}, nil
 }
 
 // Method names as they appear in the figures.
@@ -148,46 +205,80 @@ func fpsOnlineSchedulable(ts *taskmodel.TaskSet) bool {
 	return true
 }
 
+// fig5Outcome is the per-system verdict of the five methods.
+type fig5Outcome struct {
+	offline, online, gpiocp, static, ga bool
+}
+
 // Fig5 regenerates Figure 5: the fraction of schedulable systems per
-// utilisation for FPS-offline, FPS-online, GPIOCP, static and GA.
+// utilisation for FPS-offline, FPS-online, GPIOCP, static and GA. The
+// systems × utilisation-point grid is fanned across the worker pool; each
+// cell generates its system from a derived sub-seed and the verdicts are
+// aggregated in grid order, so the result is identical at every
+// cfg.Parallelism.
 func Fig5(cfg Config) (*Fig5Result, error) {
-	res := &Fig5Result{}
-	for _, u := range Fig5Utils() {
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(u*1000)))
-		point := Fig5Point{U: u, Rates: make(map[string]stats.Ratio)}
-		for s := 0; s < cfg.Systems; s++ {
-			ts, err := cfg.Gen.System(rng, u)
+	us := Fig5Utils()
+	outcomes, err := gridMap(cfg.Parallelism, len(us), cfg.Systems,
+		func(ui, s int) (fig5Outcome, error) {
+			u := us[ui]
+			ts, err := cfg.Gen.System(exec.RNG(cfg.Seed, streamFig5, int64(ui), int64(s), subGen), u)
 			if err != nil {
-				return nil, fmt.Errorf("fig5 u=%.2f system %d: %w", u, s, err)
+				return fig5Outcome{}, fmt.Errorf("fig5 u=%.2f system %d: %w", u, s, err)
 			}
-			record := func(method string, ok bool) {
-				r := point.Rates[method]
-				r.Trials++
-				if ok {
-					r.Successes++
-				}
-				point.Rates[method] = r
-			}
+			var o fig5Outcome
 			_, offErr := sched.ScheduleAll(ts, fps.Offline{})
-			record(MethodFPSOffline, offErr == nil)
-			record(MethodFPSOnline, fpsOnlineSchedulable(ts))
+			o.offline = offErr == nil
+			o.online = fpsOnlineSchedulable(ts)
 			_, cpErr := sched.ScheduleAll(ts, gpiocp.Scheduler{})
-			record(MethodGPIOCP, cpErr == nil)
+			o.gpiocp = cpErr == nil
 			_, stErr := scheduleStatic(ts)
-			record(MethodStatic, stErr == nil)
-			gaOpts := cfg.GA
-			gaOpts.Seed = cfg.Seed + int64(s)
+			o.static = stErr == nil
+			gaOpts := cfg.solverOpts(streamFig5, int64(ui), int64(s))
 			_, gaErr := scheduleGA(ts, gaOpts)
-			record(MethodGA, gaErr == nil)
+			o.ga = gaErr == nil
 			for _, err := range []error{offErr, cpErr, stErr, gaErr} {
 				if err != nil && !errors.Is(err, sched.ErrInfeasible) {
-					return nil, fmt.Errorf("fig5 u=%.2f system %d: unexpected: %w", u, s, err)
+					return fig5Outcome{}, fmt.Errorf("fig5 u=%.2f system %d: unexpected: %w", u, s, err)
 				}
 			}
+			return o, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig5Result{}
+	for ui, u := range us {
+		point := Fig5Point{U: u, Rates: make(map[string]stats.Ratio)}
+		record := func(method string, ok bool) {
+			r := point.Rates[method]
+			r.Trials++
+			if ok {
+				r.Successes++
+			}
+			point.Rates[method] = r
+		}
+		for s := 0; s < cfg.Systems; s++ {
+			o := outcomes.at(ui, s)
+			record(MethodFPSOffline, o.offline)
+			record(MethodFPSOnline, o.online)
+			record(MethodGPIOCP, o.gpiocp)
+			record(MethodStatic, o.static)
+			record(MethodGA, o.ga)
 		}
 		res.Points = append(res.Points, point)
 	}
 	return res, nil
+}
+
+// solverOpts derives the GA options for one grid cell: a private solver
+// seed, and serial fitness evaluation — the runner already owns the
+// worker pool, so nesting a second pool per system would only oversubscribe
+// the CPUs.
+func (c *Config) solverOpts(stream int64, point, system int64) ga.Options {
+	opts := c.GA
+	opts.Seed = exec.DeriveSeed(c.Seed, stream, point, system, subGA)
+	opts.Parallelism = 1
+	return opts
 }
 
 // Rows renders the result as a text table (one row per utilisation).

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -250,5 +252,77 @@ func TestMultiDeviceScaling(t *testing.T) {
 	}
 	if _, err := MultiDevice(cfg, 0.5, []int{0}); err == nil {
 		t.Error("zero devices accepted")
+	}
+}
+
+// TestRunnersParallelismInvariant pins the engine's invariant at the
+// experiment layer: every runner produces deep-equal results at
+// parallelism 1, 2 and NumCPU for the same seed.
+func TestRunnersParallelismInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	cfg := fastConfig()
+	cfg.Systems = 5
+	cfg.GA.Population = 12
+	cfg.GA.Generations = 8
+
+	at := func(par int) Config {
+		c := cfg
+		c.Parallelism = par
+		return c
+	}
+	refFig5, err := Fig5(at(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPsi, refUps, err := Fig6And7(at(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refAbl, err := Ablation(at(1), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refMD, err := MultiDevice(at(1), 0.8, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, runtime.NumCPU()} {
+		if got, err := Fig5(at(par)); err != nil || !reflect.DeepEqual(refFig5, got) {
+			t.Errorf("Fig5 at parallelism %d differs from serial (err=%v)", par, err)
+		}
+		gotPsi, gotUps, err := Fig6And7(at(par))
+		if err != nil || !reflect.DeepEqual(refPsi, gotPsi) || !reflect.DeepEqual(refUps, gotUps) {
+			t.Errorf("Fig6And7 at parallelism %d differs from serial (err=%v)", par, err)
+		}
+		if got, err := Ablation(at(par), 0.6); err != nil || !reflect.DeepEqual(refAbl, got) {
+			t.Errorf("Ablation at parallelism %d differs from serial (err=%v)", par, err)
+		}
+		if got, err := MultiDevice(at(par), 0.8, []int{1, 2, 4}); err != nil || !reflect.DeepEqual(refMD, got) {
+			t.Errorf("MultiDevice at parallelism %d differs from serial (err=%v)", par, err)
+		}
+	}
+}
+
+// TestMotivationParallelismInvariant covers the remaining runner: the two
+// fanned-out design simulations report identically at every parallelism.
+func TestMotivationParallelismInvariant(t *testing.T) {
+	cfg := DefaultMotivation()
+	cfg.Writes = 30
+	cfg.Parallelism = 1
+	ref, err := Motivation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, runtime.NumCPU()} {
+		cfg.Parallelism = par
+		got, err := Motivation(cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("motivation at parallelism %d differs from serial", par)
+		}
 	}
 }

@@ -2,8 +2,9 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
 
+	"repro/internal/exec"
+	"repro/internal/sched"
 	"repro/internal/sched/fps"
 	"repro/internal/sched/gpiocp"
 	"repro/internal/sched/staticsched"
@@ -43,40 +44,62 @@ func Fig6And7(cfg Config) (*FigQResult, *FigQResult, error) {
 	if cfg.Gen.Devices > 1 {
 		return nil, nil, fmt.Errorf("experiment: figures 6/7 use a single-device configuration")
 	}
+	type figqOutcome struct {
+		offline, cp, static, ga qOutcome
+	}
+	curve := cfg.curve()
+	us := FigQUtils()
+	outcomes, err := gridMap(cfg.Parallelism, len(us), cfg.Systems,
+		func(ui, s int) (figqOutcome, error) {
+			u := us[ui]
+			ts, err := cfg.Gen.System(exec.RNG(cfg.Seed, streamFigQ, int64(ui), int64(s), subGen), u)
+			if err != nil {
+				return figqOutcome{}, fmt.Errorf("fig6/7 u=%.2f system %d: %w", u, s, err)
+			}
+			jobs := ts.Jobs()
+			measure := func(sc *sched.Schedule, err error) qOutcome {
+				if err != nil {
+					return qOutcome{}
+				}
+				return qOutcome{psi: sc.Psi(), ups: sc.Upsilon(curve), ok: true}
+			}
+			var o figqOutcome
+			o.offline = measure((fps.Offline{}).Schedule(jobs))
+			o.cp = measure((gpiocp.Scheduler{}).Schedule(jobs))
+			o.static = measure(staticsched.New(staticsched.Options{}).Schedule(jobs))
+			gaOpts := cfg.solverOpts(streamFigQ, int64(ui), int64(s))
+			gaOpts.Curve = curve
+			if res, err := scheduleGA(ts, gaOpts); err == nil {
+				front := res[ts.Devices()[0]]
+				o.ga = qOutcome{psi: front.BestPsi().Psi, ups: front.BestUpsilon().Upsilon, ok: true}
+			}
+			return o, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
 	psi := &FigQResult{Metric: "Psi"}
 	ups := &FigQResult{Metric: "Upsilon"}
-	curve := cfg.curve()
-	for _, u := range FigQUtils() {
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(u*1000)))
+	for ui, u := range us {
 		psiSum := map[string]float64{}
 		upsSum := map[string]float64{}
 		n := map[string]int{}
 		for s := 0; s < cfg.Systems; s++ {
-			ts, err := cfg.Gen.System(rng, u)
-			if err != nil {
-				return nil, nil, fmt.Errorf("fig6/7 u=%.2f system %d: %w", u, s, err)
-			}
-			jobs := ts.Jobs()
-			add := func(method string, psiV, upsV float64) {
-				psiSum[method] += psiV
-				upsSum[method] += upsV
-				n[method]++
-			}
-			if sc, err := (fps.Offline{}).Schedule(jobs); err == nil {
-				add(MethodFPSOffline, sc.Psi(), sc.Upsilon(curve))
-			}
-			if sc, err := (gpiocp.Scheduler{}).Schedule(jobs); err == nil {
-				add(MethodGPIOCP, sc.Psi(), sc.Upsilon(curve))
-			}
-			if sc, err := staticsched.New(staticsched.Options{}).Schedule(jobs); err == nil {
-				add(MethodStatic, sc.Psi(), sc.Upsilon(curve))
-			}
-			gaOpts := cfg.GA
-			gaOpts.Seed = cfg.Seed + int64(s)
-			gaOpts.Curve = curve
-			if res, err := scheduleGA(ts, gaOpts); err == nil {
-				front := res[ts.Devices()[0]]
-				add(MethodGA, front.BestPsi().Psi, front.BestUpsilon().Upsilon)
+			o := outcomes.at(ui, s)
+			for _, mq := range []struct {
+				method string
+				q      qOutcome
+			}{
+				{MethodFPSOffline, o.offline},
+				{MethodGPIOCP, o.cp},
+				{MethodStatic, o.static},
+				{MethodGA, o.ga},
+			} {
+				if mq.q.ok {
+					psiSum[mq.method] += mq.q.psi
+					upsSum[mq.method] += mq.q.ups
+					n[mq.method]++
+				}
 			}
 		}
 		pp := FigQPoint{U: u, Mean: map[string]float64{}, N: map[string]int{}}

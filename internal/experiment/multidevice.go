@@ -2,8 +2,8 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
 
+	"repro/internal/exec"
 	"repro/internal/sched"
 	"repro/internal/sched/staticsched"
 	"repro/internal/stats"
@@ -25,30 +25,43 @@ type MultiDevicePoint struct {
 // climbs towards 1. The static scheduler is used; each partition is
 // scheduled independently.
 func MultiDevice(cfg Config, u float64, deviceCounts []int) ([]MultiDevicePoint, error) {
-	var out []MultiDevicePoint
 	for _, devs := range deviceCounts {
 		if devs < 1 {
 			return nil, fmt.Errorf("experiment: device count %d", devs)
 		}
-		gen := cfg.Gen
-		gen.Devices = devs
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(devs)))
+	}
+	outcomes, err := gridMap(cfg.Parallelism, len(deviceCounts), cfg.Systems,
+		func(di, s int) (qOutcome, error) {
+			devs := deviceCounts[di]
+			gen := cfg.Gen
+			gen.Devices = devs
+			ts, err := gen.System(exec.RNG(cfg.Seed, streamMultiDevice, int64(di), int64(s), subGen), u)
+			if err != nil {
+				return qOutcome{}, fmt.Errorf("multidevice %d devices system %d: %w", devs, s, err)
+			}
+			ds, err := sched.ScheduleAll(ts, staticsched.New(staticsched.Options{}))
+			if err != nil {
+				return qOutcome{}, nil
+			}
+			psi, ups := ds.Metrics(cfg.curve())
+			return qOutcome{psi: psi, ups: ups, ok: true}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []MultiDevicePoint
+	for di, devs := range deviceCounts {
 		point := MultiDevicePoint{Devices: devs}
 		var psis, upss []float64
 		for s := 0; s < cfg.Systems; s++ {
-			ts, err := gen.System(rng, u)
-			if err != nil {
-				return nil, fmt.Errorf("multidevice %d devices system %d: %w", devs, s, err)
-			}
+			o := outcomes.at(di, s)
 			point.Schedulable.Trials++
-			ds, err := sched.ScheduleAll(ts, staticsched.New(staticsched.Options{}))
-			if err != nil {
+			if !o.ok {
 				continue
 			}
 			point.Schedulable.Successes++
-			psi, ups := ds.Metrics(cfg.curve())
-			psis = append(psis, psi)
-			upss = append(upss, ups)
+			psis = append(psis, o.psi)
+			upss = append(upss, o.ups)
 		}
 		point.MeanPsi = stats.Mean(psis)
 		point.MeanUpsilon = stats.Mean(upss)

@@ -23,10 +23,12 @@
 package ga
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
+	"repro/internal/exec"
 	"repro/internal/quality"
 	"repro/internal/sched"
 	"repro/internal/taskmodel"
@@ -49,9 +51,19 @@ type Options struct {
 	MutationRate float64
 	// TournamentSize controls selection pressure.
 	TournamentSize int
-	// Seed drives all randomness; the same seed and inputs give the same
-	// result.
+	// Seed drives all randomness. Determinism contract: the same Seed,
+	// jobs and options produce the same Result at every Parallelism. The
+	// solver never draws from one shared stream across the run — it
+	// derives one sub-seed for the initial population and one per
+	// generation (exec.DeriveSeed), breeds serially from the generation's
+	// private source, and evaluates fitness (which consumes no
+	// randomness) in parallel, so worker scheduling can neither race on
+	// nor reorder random draws.
 	Seed int64
+	// Parallelism bounds the goroutines used for fitness evaluation;
+	// <= 0 selects one worker per CPU, 1 evaluates inline. It never
+	// changes the evolved front — only the wall-clock time.
+	Parallelism int
 	// Curve is the quality model for Υ; nil means quality.Linear.
 	Curve quality.Curve
 	// SeedIdeal, when true, plants one all-ideal individual in the initial
@@ -180,15 +192,28 @@ func geneBounds(j *taskmodel.Job) (bounds, error) {
 	return bounds{lo: lo, hi: hi}, nil
 }
 
+// Seed-stream tags for exec.DeriveSeed: the initial population draws from
+// stream (streamInit), generation g breeds from stream (streamGen, g).
+const (
+	streamInit int64 = iota
+	streamGen
+)
+
 // Solve runs the GA on the jobs of one device partition and returns the
 // non-dominated front. It returns ErrInfeasible if no feasible individual
 // was ever found.
+//
+// Each generation proceeds in three deterministic phases: breed the whole
+// offspring population serially from the generation's derived random
+// source, score every offspring on the worker pool (scoring is a pure
+// function of the genes), then apply archive offers and slot elitism
+// serially in slot order. See Options.Seed for the determinism contract.
 func Solve(jobs []taskmodel.Job, opts Options) (*Result, error) {
 	if len(jobs) == 0 {
 		return &Result{Front: []Solution{{Starts: quality.StartTimes{}, Psi: 0, Upsilon: 0}}}, nil
 	}
 	opts.normalize(len(jobs))
-	rng := rand.New(rand.NewSource(opts.Seed))
+	pool := exec.New(opts.Parallelism)
 
 	bs := make([]bounds, len(jobs))
 	for i := range jobs {
@@ -199,10 +224,10 @@ func Solve(jobs []taskmodel.Job, opts Options) (*Result, error) {
 		bs[i] = b
 	}
 
-	ev := &evaluator{jobs: jobs, curve: opts.Curve, snap: opts.SnapToIdeal}
+	initRNG := exec.RNG(opts.Seed, streamInit)
 	pop := make([]individual, opts.Population)
 	for k := range pop {
-		pop[k].genes = randomGenes(rng, bs)
+		pop[k].genes = randomGenes(initRNG, bs)
 	}
 	if opts.SeedIdeal {
 		g := make([]timing.Time, len(jobs))
@@ -220,16 +245,17 @@ func Solve(jobs []taskmodel.Job, opts Options) (*Result, error) {
 			weights[k] = float64(k) / float64(opts.Population-1)
 		}
 	}
-	evaluate := func(ind *individual) {
-		ind.psi, ind.ups, ind.starts = ev.eval(ind.genes)
-		arch.offer(ind)
+	evaluate := func(batch []individual) {
+		evalPopulation(pool, jobs, &opts, batch)
+		for k := range batch {
+			arch.offer(&batch[k])
+		}
 	}
-	for k := range pop {
-		evaluate(&pop[k])
-	}
+	evaluate(pop)
 
 	next := make([]individual, opts.Population)
 	for gen := 0; gen < opts.Generations; gen++ {
+		rng := exec.RNG(opts.Seed, streamGen, int64(gen))
 		for k := 0; k < opts.Population; k++ {
 			w := weights[k]
 			p1 := tournament(rng, pop, w, opts.TournamentSize)
@@ -252,10 +278,12 @@ func Solve(jobs []taskmodel.Job, opts Options) (*Result, error) {
 				}
 			}
 			next[k] = individual{genes: child}
-			evaluate(&next[k])
-			// Slot elitism: keep the incumbent when it scores better under
-			// this slot's weight.
-			if scalar(&pop[k], w) > scalar(&next[k], w) {
+		}
+		evaluate(next)
+		// Slot elitism: keep the incumbent when it scores better under the
+		// slot's weight.
+		for k := range next {
+			if scalar(&pop[k], weights[k]) > scalar(&next[k], weights[k]) {
 				next[k] = pop[k]
 			}
 		}
@@ -268,6 +296,26 @@ func Solve(jobs []taskmodel.Job, opts Options) (*Result, error) {
 	}
 	sort.Slice(arch.sols, func(a, b int) bool { return arch.sols[a].Psi > arch.sols[b].Psi })
 	return &Result{Front: arch.sols}, nil
+}
+
+// evalPopulation scores a population on the pool in contiguous chunks, one
+// evaluator (with its private scratch) per chunk. Scoring consumes no
+// randomness and each chunk writes only its own slots, so the chunk count
+// cannot affect the scores.
+func evalPopulation(pool exec.Pool, jobs []taskmodel.Job, opts *Options, batch []individual) {
+	chunks := pool.Workers()
+	if chunks > len(batch) {
+		chunks = len(batch)
+	}
+	// Each is error-free here; ignore the nil result.
+	_ = pool.Each(context.Background(), chunks, func(_ context.Context, c int) error {
+		ev := &evaluator{jobs: jobs, curve: opts.Curve, snap: opts.SnapToIdeal}
+		lo, hi := c*len(batch)/chunks, (c+1)*len(batch)/chunks
+		for k := lo; k < hi; k++ {
+			batch[k].psi, batch[k].ups, batch[k].starts = ev.eval(batch[k].genes)
+		}
+		return nil
+	})
 }
 
 type individual struct {

@@ -3,6 +3,8 @@ package ga
 import (
 	"errors"
 	"math/rand"
+	"reflect"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -285,5 +287,35 @@ func TestSolveProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestSolveParallelismInvariant pins the determinism contract on
+// Options.Seed: the evolved front — values and Starts alike — is
+// deep-equal at parallelism 1, 2 and NumCPU.
+func TestSolveParallelismInvariant(t *testing.T) {
+	cfg := gen.PaperConfig()
+	for _, u := range []float64{0.4, 0.7} {
+		ts, err := cfg.System(rand.New(rand.NewSource(13)), u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs := ts.Jobs()
+		opts := testOpts(17)
+		opts.Parallelism = 1
+		ref, err := Solve(jobs, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, par := range []int{2, 4, runtime.NumCPU()} {
+			opts.Parallelism = par
+			got, err := Solve(jobs, opts)
+			if err != nil {
+				t.Fatalf("u=%g parallelism %d: %v", u, par, err)
+			}
+			if !reflect.DeepEqual(ref.Front, got.Front) {
+				t.Errorf("u=%g: front at parallelism %d differs from serial front", u, par)
+			}
+		}
 	}
 }

@@ -12,10 +12,12 @@
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
+	"repro/internal/exec"
 	"repro/internal/quality"
 	"repro/internal/taskmodel"
 	"repro/internal/timing"
@@ -190,7 +192,10 @@ func (s *Schedule) FinishTime(task int) (timing.Time, bool) {
 
 // Scheduler produces a schedule for the jobs of one device partition.
 // Implementations must be deterministic given their configuration (any
-// randomness must come from an injected *rand.Rand).
+// randomness must come from an injected seed or *rand.Rand), and Schedule
+// must be safe for concurrent calls on distinct job slices —
+// ScheduleAllParallel runs one call per device partition across a worker
+// pool.
 type Scheduler interface {
 	// Name identifies the method in experiment output ("static", "GA", ...).
 	Name() string
@@ -203,26 +208,52 @@ type Scheduler interface {
 type DeviceSchedules map[taskmodel.DeviceID]*Schedule
 
 // ScheduleAll runs the scheduler independently on every device partition of
-// the task set (the fully-partitioned model). It fails as soon as any
-// partition is infeasible.
+// the task set (the fully-partitioned model), one partition at a time. It
+// fails with the first infeasible partition in device order.
 func ScheduleAll(ts *taskmodel.TaskSet, s Scheduler) (DeviceSchedules, error) {
-	out := make(DeviceSchedules)
+	return ScheduleAllParallel(ts, s, 1)
+}
+
+// ScheduleAllParallel is ScheduleAll with the device partitions scheduled
+// concurrently on a bounded worker pool (parallelism <= 0 selects one
+// worker per CPU). The scheduling model is fully partitioned — partitions
+// share no state — so this is safe by construction, and because results
+// and errors are collected in device order the outcome is identical to
+// ScheduleAll at every parallelism level.
+func ScheduleAllParallel(ts *taskmodel.TaskSet, s Scheduler, parallelism int) (DeviceSchedules, error) {
+	devs := ts.Devices()
 	parts := ts.JobsByDevice()
-	for _, dev := range ts.Devices() {
-		sc, err := s.Schedule(parts[dev])
-		if err != nil {
-			return nil, fmt.Errorf("device %d: %w", dev, err)
-		}
-		out[dev] = sc
+	scheds, err := exec.Map(exec.New(parallelism), context.Background(), len(devs),
+		func(_ context.Context, i int) (*Schedule, error) {
+			sc, err := s.Schedule(parts[devs[i]])
+			if err != nil {
+				return nil, fmt.Errorf("device %d: %w", devs[i], err)
+			}
+			return sc, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make(DeviceSchedules, len(devs))
+	for i, dev := range devs {
+		out[dev] = scheds[i]
 	}
 	return out, nil
 }
 
-// Metrics aggregates Ψ and Υ across all device partitions.
+// Metrics aggregates Ψ and Υ across all device partitions. Partitions are
+// visited in device order: the quality sums are floating-point, so a fixed
+// summation order is what keeps the value reproducible bit for bit.
 func (ds DeviceSchedules) Metrics(curve quality.Curve) (psi, upsilon float64) {
+	devs := make([]taskmodel.DeviceID, 0, len(ds))
+	for dev := range ds {
+		devs = append(devs, dev)
+	}
+	sort.Slice(devs, func(a, b int) bool { return devs[a] < devs[b] })
 	var jobs []taskmodel.Job
 	starts := quality.StartTimes{}
-	for _, s := range ds {
+	for _, dev := range devs {
+		s := ds[dev]
 		jobs = append(jobs, s.Jobs()...)
 		for id, k := range s.StartTimes() {
 			starts[id] = k

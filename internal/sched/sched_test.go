@@ -2,10 +2,15 @@ package sched
 
 import (
 	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/gen"
 	"repro/internal/quality"
 	"repro/internal/taskmodel"
 	"repro/internal/timing"
@@ -338,5 +343,97 @@ func TestMetricsPanicOnCorruptedSchedule(t *testing.T) {
 	}
 	if u := s.Upsilon(quality.Linear{}); u != 1 {
 		t.Errorf("Upsilon = %g", u)
+	}
+}
+
+// greedyScheduler is a deterministic double for the parallelism tests: it
+// lays jobs out in release order (ties by ID), delaying to resolve
+// overlaps. Unlike idealScheduler it handles contended partitions.
+type greedyScheduler struct{}
+
+func (greedyScheduler) Name() string { return "greedy" }
+
+func (greedyScheduler) Schedule(jobs []taskmodel.Job) (*Schedule, error) {
+	order := make([]int, len(jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ja, jb := &jobs[order[a]], &jobs[order[b]]
+		if ja.Release != jb.Release {
+			return ja.Release < jb.Release
+		}
+		if ja.ID.Task != jb.ID.Task {
+			return ja.ID.Task < jb.ID.Task
+		}
+		return ja.ID.J < jb.ID.J
+	})
+	starts := quality.StartTimes{}
+	var cursor timing.Time
+	for _, idx := range order {
+		j := &jobs[idx]
+		start := timing.Max(j.Release, cursor)
+		starts[j.ID] = start
+		cursor = start + j.C
+	}
+	return New(jobs, starts)
+}
+
+// TestScheduleAllParallelEquivalence pins the engine's invariant at the
+// sched layer: scheduling the partitions of a generated multi-device
+// system concurrently yields exactly the serial result.
+func TestScheduleAllParallelEquivalence(t *testing.T) {
+	cfg := gen.PaperConfig()
+	cfg.Devices = 6
+	ts, err := cfg.System(rand.New(rand.NewSource(3)), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ScheduleAll(ts, greedyScheduler{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref) < 2 {
+		t.Fatalf("want a multi-partition system, got %d partitions", len(ref))
+	}
+	for _, par := range []int{1, 2, 3, runtime.NumCPU()} {
+		got, err := ScheduleAllParallel(ts, greedyScheduler{}, par)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Errorf("parallelism %d: schedules differ from serial result", par)
+		}
+	}
+}
+
+// TestScheduleAllParallelSameError checks the serial and parallel paths
+// agree on the reported infeasibility (first failing device in order).
+func TestScheduleAllParallelSameError(t *testing.T) {
+	const ms = timing.Millisecond
+	mk := func(dev taskmodel.DeviceID) taskmodel.Task {
+		return taskmodel.Task{
+			C: 5 * ms, T: 20 * ms, D: 20 * ms, Delta: 8 * ms, Theta: 5 * ms,
+			Vmax: 2, Vmin: 1, Device: dev,
+		}
+	}
+	// Device 1 has conflicting ideals; device 0 is fine.
+	ts, err := taskmodel.NewTaskSet([]taskmodel.Task{mk(0), mk(1), mk(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.AssignDMPO()
+	refErr := func() string {
+		_, err := ScheduleAll(ts, idealScheduler{})
+		if err == nil {
+			t.Fatal("expected failure")
+		}
+		return err.Error()
+	}()
+	for _, par := range []int{2, runtime.NumCPU()} {
+		_, err := ScheduleAllParallel(ts, idealScheduler{}, par)
+		if err == nil || err.Error() != refErr {
+			t.Errorf("parallelism %d: err = %v, want %q", par, err, refErr)
+		}
 	}
 }

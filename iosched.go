@@ -19,6 +19,22 @@
 //	ts.ApplyPaperQuality(1)
 //	schedules, _ := iosched.ScheduleWith(ts, iosched.MethodStatic)
 //	psi, upsilon := schedules.Metrics(iosched.LinearCurve)
+//
+// # Parallel execution
+//
+// Every compute-heavy layer runs on the deterministic parallel execution
+// engine in internal/exec: device partitions are scheduled concurrently
+// (ScheduleAllParallel), the GA evaluates population fitness in parallel
+// chunks (GAOptions.Parallelism), and the experiment runners fan their
+// systems × utilisation grids across a bounded worker pool
+// (ExperimentConfig.Parallelism). The engine's invariant — enforced by
+// the parallel/serial equivalence tests — is that parallelism only
+// changes wall-clock time, never results: parallelism 1 and NumCPU
+// produce byte-identical schedules, fronts and figures for the same
+// seed. Pick Parallelism 0 (one worker per CPU) for throughput, 1 to
+// debug serially, or an explicit bound to share a host; randomness is
+// always derived per task from mixed sub-seeds, never drawn from a
+// shared source across goroutines.
 package iosched
 
 import (
@@ -136,13 +152,41 @@ func GAPaperOptions() GAOptions   { return ga.PaperOptions() }
 func GADefaultOptions() GAOptions { return ga.DefaultOptions() }
 
 // ScheduleWith runs the named method on every device partition of the
-// task set.
+// task set, one partition at a time.
 func ScheduleWith(ts *TaskSet, m Method) (DeviceSchedules, error) {
-	s, err := core.NewScheduler(m, nil)
+	return ScheduleWithParallel(ts, m, 1)
+}
+
+// ScheduleWithParallel is ScheduleWith with the device partitions
+// scheduled concurrently on a bounded worker pool (parallelism <= 0 means
+// one worker per CPU). The result is identical at every parallelism.
+func ScheduleWithParallel(ts *TaskSet, m Method, parallelism int) (DeviceSchedules, error) {
+	var gaOpts *ga.Options
+	if m == MethodGA {
+		// The parallelism knob alone governs the goroutine budget here:
+		// each GA solve runs serially inside its partition's worker, so
+		// parallelism 1 really is single-threaded and parallelism N never
+		// nests a second pool per partition. (Seed 1 matches
+		// core.NewScheduler's nil-options default; for a parallel GA on a
+		// single partition use GASolve with GAOptions.Parallelism.)
+		o := ga.DefaultOptions()
+		o.Seed = 1
+		o.Parallelism = 1
+		gaOpts = &o
+	}
+	s, err := core.NewScheduler(m, gaOpts)
 	if err != nil {
 		return nil, err
 	}
-	return sched.ScheduleAll(ts, s)
+	return sched.ScheduleAllParallel(ts, s, parallelism)
+}
+
+// ScheduleAllParallel runs the scheduler concurrently over the task set's
+// device partitions; see ScheduleWithParallel for the parallelism
+// semantics. When s is a GA scheduler, set its GAOptions.Parallelism to 1
+// so the per-partition fitness pools do not nest inside this one.
+func ScheduleAllParallel(ts *TaskSet, s Scheduler, parallelism int) (DeviceSchedules, error) {
+	return sched.ScheduleAllParallel(ts, s, parallelism)
 }
 
 // FPSOnlineSchedulable applies the worst-case non-preemptive
