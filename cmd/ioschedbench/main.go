@@ -16,20 +16,49 @@
 // the runners fan work across -parallel workers (0 = one per CPU) on the
 // deterministic execution engine, so the output is byte-identical at
 // every -parallel value.
+//
+// # Sharding
+//
+// Paper-scale sweeps split across processes — or machines — with
+// -shards/-shard-index: each invocation evaluates its round-robin share
+// of every experiment grid and writes the cells to a versioned JSON file
+// instead of rendering output. The merge subcommand reassembles the
+// shard files and renders output byte-identical to the unsharded run:
+//
+//	for i in 0 1 2; do
+//	    ioschedbench -paperscale -shards 3 -shard-index $i -out shard$i.json &
+//	done; wait
+//	ioschedbench merge shard0.json shard1.json shard2.json
+//
+// Every shard must run with the same experiment flags (-experiment,
+// -seed, -systems, …); merge verifies this from the parameters recorded
+// in each file and refuses to mix runs. -parallel is per-host and may
+// differ. If a shard is lost, re-run just that index: cells derive their
+// seeds from their grid position, so a re-run reproduces them exactly.
 package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 
 	"repro/internal/experiment"
+	"repro/internal/shard"
 	"repro/internal/textplot"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "merge" {
+		if err := runMerge(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "ioschedbench: merge: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
 		which      = flag.String("experiment", "all", "fig5|fig6|fig7|table1|motivation|ablation|multidevice|all")
 		systems    = flag.Int("systems", 0, "systems per utilisation point (0 = config default)")
@@ -40,48 +69,238 @@ func main() {
 		ablU       = flag.Float64("ablation-u", 0.6, "utilisation for the ablation study")
 		csvDir     = flag.String("csv", "", "directory to write CSV result files into")
 		parallel   = flag.Int("parallel", 0, "worker goroutines (0 = one per CPU, 1 = serial); never changes results")
+		shards     = flag.Int("shards", 0, "split the experiment grids into this many shards (0 = run unsharded)")
+		shardIndex = flag.Int("shard-index", 0, "which shard this process evaluates, in [0,shards)")
+		out        = flag.String("out", "", "shard cell file to write (required with -shards; implies -shards 1 alone)")
 	)
 	flag.Parse()
 
-	cfg := experiment.Default()
-	if *paperScale {
-		cfg = experiment.PaperScale()
-	}
-	cfg.Seed = *seed
-	cfg.Parallelism = *parallel
-	if *systems > 0 {
-		cfg.Systems = *systems
-	}
-	if *gaPop > 0 {
-		cfg.GA.Population = *gaPop
-	}
-	if *gaGens > 0 {
-		cfg.GA.Generations = *gaGens
+	// 0 would silently resolve to the 0.6 default (ShardParams treats the
+	// zero value as "unset"); reject it rather than mislabel the run.
+	if *ablU <= 0 {
+		fail(fmt.Errorf("-ablation-u %v: the study utilisation must be positive", *ablU))
 	}
 
+	params := experiment.ShardParams{
+		PaperScale:    *paperScale,
+		Systems:       *systems,
+		Seed:          *seed,
+		GAPopulation:  *gaPop,
+		GAGenerations: *gaGens,
+		AblationU:     *ablU,
+	}
+
+	if *shards > 0 || *out != "" {
+		n := *shards
+		if n == 0 {
+			n = 1
+		}
+		if err := writeShard(*which, params, *parallel, n, *shardIndex, *out); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	cfg := params.Config()
+	cfg.Parallelism = *parallel
+	mcfg := params.Motivation()
+	mcfg.Parallelism = *parallel
+	if err := render(*which, cfg, mcfg, params, liveSource(cfg, mcfg, params), *csvDir); err != nil {
+		fail(err)
+	}
+}
+
+// fail prints the error and exits — with the historical code 2 for a bad
+// -experiment value (on the sharded and unsharded paths alike), 1
+// otherwise.
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ioschedbench: %v\n", err)
+	if errors.Is(err, experiment.ErrUnknownExperiment) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+// writeShard evaluates one shard of the selection's grids and writes the
+// cell file. Progress goes to stderr: stdout stays reserved for rendered
+// results, so sharded runs compose with shells and Makefiles the same way
+// unsharded runs do.
+func writeShard(selection string, p experiment.ShardParams, parallel, shards, index int, out string) error {
+	if out == "" {
+		return fmt.Errorf("sharded runs need -out <file> for the cell file")
+	}
+	f, err := experiment.RunShard(selection, p, parallel, shards, index)
+	if err != nil {
+		return err
+	}
+	if err := f.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ioschedbench: wrote shard %d/%d of %q (%d cells across %d runs) to %s\n",
+		index, shards, selection, f.CellCount(), len(f.Runs), out)
+	return nil
+}
+
+// runMerge reassembles shard files and renders the selection exactly as
+// the unsharded run would have.
+func runMerge(args []string) error {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	csvDir := fs.String("csv", "", "directory to write CSV result files into")
+	out := fs.String("out", "", "also write the merged cell file to this path (a valid 1-shard file)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ioschedbench merge [-csv dir] [-out merged.json] shard.json ...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no shard files given")
+	}
+	files := make([]*shard.File, len(paths))
+	for i, path := range paths {
+		f, err := shard.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		files[i] = f
+	}
+	merged, err := shard.Merge(files)
+	if err != nil {
+		return err
+	}
+	var params experiment.ShardParams
+	if err := json.Unmarshal(merged.Params, &params); err != nil {
+		return fmt.Errorf("recorded params: %w", err)
+	}
+	if *out != "" {
+		if err := merged.WriteFile(*out); err != nil {
+			return err
+		}
+	}
+	cfg := params.Config()
+	mcfg := params.Motivation()
+	return render(merged.Selection, cfg, mcfg, params, mergedSource(merged, cfg, mcfg, params), *csvDir)
+}
+
+// source yields experiment results for the render loop: live runners for
+// a normal run, merged-cell aggregation for the merge subcommand. Both
+// paths share the renderers below, which is what makes merged output
+// byte-identical to an unsharded run's.
+type source struct {
+	fig5        func() (*experiment.Fig5Result, error)
+	figq        func() (*experiment.FigQResult, *experiment.FigQResult, error)
+	motivation  func() (*experiment.MotivationResult, error)
+	ablation    func() ([]experiment.AblationResult, error)
+	multidevice func() ([]experiment.MultiDevicePoint, error)
+}
+
+func liveSource(cfg experiment.Config, mcfg experiment.MotivationConfig, p experiment.ShardParams) source {
+	mdU, mdCounts := p.ResolvedMultiDevice()
+	return source{
+		fig5: func() (*experiment.Fig5Result, error) { return experiment.Fig5(cfg) },
+		figq: func() (*experiment.FigQResult, *experiment.FigQResult, error) { return experiment.Fig6And7(cfg) },
+		motivation: func() (*experiment.MotivationResult, error) { return experiment.Motivation(mcfg) },
+		ablation: func() ([]experiment.AblationResult, error) {
+			return experiment.Ablation(cfg, p.ResolvedAblationU())
+		},
+		multidevice: func() ([]experiment.MultiDevicePoint, error) {
+			return experiment.MultiDevice(cfg, mdU, mdCounts)
+		},
+	}
+}
+
+func mergedSource(f *shard.File, cfg experiment.Config, mcfg experiment.MotivationConfig, p experiment.ShardParams) source {
+	byName := make(map[string][]shard.Cell, len(f.Runs))
+	for _, r := range f.Runs {
+		byName[r.Experiment] = r.Cells
+	}
+	cells := func(name string) ([]shard.Cell, error) {
+		cs, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("shard files carry no %q cells", name)
+		}
+		return cs, nil
+	}
+	_, mdCounts := p.ResolvedMultiDevice()
+	return source{
+		fig5: func() (*experiment.Fig5Result, error) {
+			cs, err := cells(experiment.ExpFig5)
+			if err != nil {
+				return nil, err
+			}
+			return experiment.Fig5FromCells(cfg, cs)
+		},
+		figq: func() (*experiment.FigQResult, *experiment.FigQResult, error) {
+			// Figures 6 and 7 share one cell grid; either name serves both.
+			cs, err := cells(experiment.ExpFig6)
+			if err != nil {
+				if cs, err = cells(experiment.ExpFig7); err != nil {
+					return nil, nil, err
+				}
+			}
+			return experiment.FigQFromCells(cfg, cs)
+		},
+		motivation: func() (*experiment.MotivationResult, error) {
+			cs, err := cells(experiment.ExpMotivation)
+			if err != nil {
+				return nil, err
+			}
+			return experiment.MotivationFromCells(mcfg, cs)
+		},
+		ablation: func() ([]experiment.AblationResult, error) {
+			cs, err := cells(experiment.ExpAblation)
+			if err != nil {
+				return nil, err
+			}
+			return experiment.AblationFromCells(cfg, cs)
+		},
+		multidevice: func() ([]experiment.MultiDevicePoint, error) {
+			cs, err := cells(experiment.ExpMultiDevice)
+			if err != nil {
+				return nil, err
+			}
+			return experiment.MultiDeviceFromCells(cfg, mdCounts, cs)
+		},
+	}
+}
+
+// render draws the selected experiments from src in the canonical order.
+func render(which string, cfg experiment.Config, mcfg experiment.MotivationConfig, p experiment.ShardParams, src source, csvDir string) error {
 	ran := false
-	run := func(name string, fn func() error) {
-		if *which != "all" && *which != name {
-			return
+	run := func(name string, fn func() error) error {
+		if which != experiment.ExpAll && which != name {
+			return nil
 		}
 		ran = true
 		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "ioschedbench: %s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		return nil
+	}
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{experiment.ExpFig5, func() error { return renderFig5(cfg, src, csvDir) }},
+		{experiment.ExpFig6, func() error { return renderFigQ(cfg, src, csvDir, true) }},
+		{experiment.ExpFig7, func() error { return renderFigQ(cfg, src, csvDir, false) }},
+		{experiment.ExpTable1, func() error { return renderTable1(csvDir) }},
+		{experiment.ExpMotivation, func() error { return renderMotivation(mcfg, src) }},
+		{experiment.ExpAblation, func() error { return renderAblation(cfg, p.ResolvedAblationU(), src) }},
+		{experiment.ExpMultiDevice, func() error { return renderMultiDevice(cfg, src) }},
+	}
+	for _, s := range steps {
+		if err := run(s.name, s.fn); err != nil {
+			return err
 		}
 	}
-
-	run("fig5", func() error { return runFig5(cfg, *csvDir) })
-	run("fig6", func() error { return runFigQ(cfg, *csvDir, true) })
-	run("fig7", func() error { return runFigQ(cfg, *csvDir, false) })
-	run("table1", func() error { return runTable1(*csvDir) })
-	run("motivation", func() error { return runMotivation(*seed, *parallel) })
-	run("ablation", func() error { return runAblation(cfg, *ablU) })
-	run("multidevice", func() error { return runMultiDevice(cfg) })
 	if !ran {
-		fmt.Fprintf(os.Stderr, "ioschedbench: unknown experiment %q\n", *which)
-		os.Exit(2)
+		return fmt.Errorf("%w %q", experiment.ErrUnknownExperiment, which)
 	}
+	return nil
 }
 
 func plotSeries(title string, xlabels []string, cs []experiment.Curveable) {
@@ -115,10 +334,10 @@ func writeCSV(dir, name string, headers []string, rows [][]string) error {
 	return w.Error()
 }
 
-func runFig5(cfg experiment.Config, csvDir string) error {
+func renderFig5(cfg experiment.Config, src source, csvDir string) error {
 	fmt.Printf("Figure 5: system schedulability (systems/point=%d, GA %dx%d, seed=%d)\n\n",
 		cfg.Systems, cfg.GA.Population, cfg.GA.Generations, cfg.Seed)
-	res, err := experiment.Fig5(cfg)
+	res, err := src.fig5()
 	if err != nil {
 		return err
 	}
@@ -129,14 +348,14 @@ func runFig5(cfg experiment.Config, csvDir string) error {
 	return writeCSV(csvDir, "fig5.csv", h, rows)
 }
 
-func runFigQ(cfg experiment.Config, csvDir string, psi bool) error {
+func renderFigQ(cfg experiment.Config, src source, csvDir string, psi bool) error {
 	name, metric := "Figure 6", "Psi (fraction of exact timing-accurate jobs)"
 	if !psi {
 		name, metric = "Figure 7", "Upsilon (normalised quality)"
 	}
 	fmt.Printf("%s: %s (systems/point=%d, GA %dx%d, seed=%d)\n\n",
 		name, metric, cfg.Systems, cfg.GA.Population, cfg.GA.Generations, cfg.Seed)
-	psiRes, upsRes, err := experiment.Fig6And7(cfg)
+	psiRes, upsRes, err := src.figq()
 	if err != nil {
 		return err
 	}
@@ -153,7 +372,7 @@ func runFigQ(cfg experiment.Config, csvDir string, psi bool) error {
 	return writeCSV(csvDir, file, h, rows)
 }
 
-func runTable1(csvDir string) error {
+func renderTable1(csvDir string) error {
 	fmt.Println("Table I: hardware overhead of the evaluated I/O controllers")
 	fmt.Println("(structural resource model vs the paper's Vivado synthesis)")
 	fmt.Println()
@@ -163,15 +382,12 @@ func runTable1(csvDir string) error {
 	return writeCSV(csvDir, "table1.csv", h, r)
 }
 
-func runMotivation(seed int64, parallel int) error {
-	cfg := experiment.DefaultMotivation()
-	cfg.Seed = seed
-	cfg.Parallelism = parallel
+func renderMotivation(mcfg experiment.MotivationConfig, src source) error {
 	fmt.Printf("Motivation (Section I): timing accuracy of remote I/O writes over a %dx%d NoC\n",
-		cfg.Mesh.Width, cfg.Mesh.Height)
+		mcfg.Mesh.Width, mcfg.Mesh.Height)
 	fmt.Printf("(%d periodic writes, %d cross-traffic flows, seed=%d)\n\n",
-		cfg.Writes, cfg.CrossFlows, seed)
-	res, err := experiment.Motivation(cfg)
+		mcfg.Writes, mcfg.CrossFlows, mcfg.Seed)
+	res, err := src.motivation()
 	if err != nil {
 		return err
 	}
@@ -182,9 +398,9 @@ func runMotivation(seed int64, parallel int) error {
 	return nil
 }
 
-func runMultiDevice(cfg experiment.Config) error {
+func renderMultiDevice(cfg experiment.Config, src source) error {
 	fmt.Printf("Partitioned scaling: static scheduler at total U=0.8 over 1..8 devices (systems=%d)\n\n", cfg.Systems)
-	points, err := experiment.MultiDevice(cfg, 0.8, []int{1, 2, 4, 8})
+	points, err := src.multidevice()
 	if err != nil {
 		return err
 	}
@@ -193,10 +409,10 @@ func runMultiDevice(cfg experiment.Config) error {
 	return nil
 }
 
-func runAblation(cfg experiment.Config, u float64) error {
+func renderAblation(cfg experiment.Config, u float64, src source) error {
 	fmt.Printf("Ablation at U=%s (systems=%d, seed=%d)\n\n",
 		strconv.FormatFloat(u, 'f', 2, 64), cfg.Systems, cfg.Seed)
-	res, err := experiment.Ablation(cfg, u)
+	res, err := src.ablation()
 	if err != nil {
 		return err
 	}

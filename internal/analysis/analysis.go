@@ -9,8 +9,8 @@
 // priority-preemptive wormhole switching: a periodic packet flow suffers
 // direct interference from every higher-priority flow sharing at least one
 // link of its route, iterated to a fixed point. The I/O part takes the
-// task's worst finish time straight from the offline schedule
-// (sched.Schedule.FinishTime). The total bound is
+// task's worst release-relative completion bound straight from the
+// offline schedule (sched.Schedule.ResponseBound). The total bound is
 //
 //	R(end-to-end) = R(request flow) + finish(I/O task) + R(response flow)
 //
@@ -192,7 +192,7 @@ func Analyze(tx Transaction, flows []Flow, schedules sched.DeviceSchedules) (Sta
 	if !ok {
 		return out, fmt.Errorf("analysis: transaction %q: no schedule for device %d", tx.Name, tx.Device)
 	}
-	finish, found := s.FinishTime(tx.Task)
+	finish, found := s.ResponseBound(tx.Task)
 	if !found {
 		return out, fmt.Errorf("analysis: transaction %q: task %d not in device %d schedule", tx.Name, tx.Task, tx.Device)
 	}

@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"context"
 	"fmt"
 
 	"repro/internal/exec"
@@ -92,58 +91,73 @@ func AblationVariants() []AblationVariant {
 	}
 }
 
-// Ablation runs every variant on the same systems at utilisation u. The
-// systems are fanned across the worker pool (every variant sees system s
-// before system s+1 in the aggregates, so results are identical at every
-// cfg.Parallelism).
-func Ablation(cfg Config, u float64) ([]AblationResult, error) {
+// ablationUTag converts the caller-chosen study utilisation into a seed
+// stream tag. The study point is not an axis index; tagging the seed path
+// with the mill value makes sweeps over u draw independent systems
+// (matching the other runners' point tags).
+func ablationUTag(u float64) int64 { return int64(u * 1000) }
+
+// ablationCell evaluates one system against every variant; the per-system
+// variant outcomes double as the ablation shard-cell payload.
+func ablationCell(cfg Config, u float64, s int) ([]qOutcome, error) {
 	variants := AblationVariants()
-	// The study point is a caller-chosen utilisation, not an axis index;
-	// tag the seed path with its mill value so sweeps over u draw
-	// independent systems (matching the other runners' point tags).
-	uTag := int64(u * 1000)
-	perSystem, err := exec.Map(exec.New(cfg.Parallelism), context.Background(), cfg.Systems,
-		func(_ context.Context, s int) ([]qOutcome, error) {
-			ts, err := cfg.Gen.System(exec.RNG(cfg.Seed, streamAblation, uTag, int64(s), subGen), u)
-			if err != nil {
-				return nil, fmt.Errorf("ablation system %d: %w", s, err)
-			}
-			seed := exec.DeriveSeed(cfg.Seed, streamAblation, uTag, int64(s), subGA)
-			out := make([]qOutcome, len(variants))
-			for i, v := range variants {
-				psi, ups, err := v.Run(cfg, seed, ts)
-				if err != nil {
-					continue
-				}
-				out[i] = qOutcome{psi: psi, ups: ups, ok: true}
-			}
-			return out, nil
-		})
+	uTag := ablationUTag(u)
+	ts, err := cfg.Gen.System(exec.RNG(cfg.Seed, streamAblation, uTag, int64(s), subGen), u)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("ablation system %d: %w", s, err)
 	}
+	seed := exec.DeriveSeed(cfg.Seed, streamAblation, uTag, int64(s), subGA)
+	out := make([]qOutcome, len(variants))
+	for i, v := range variants {
+		psi, ups, err := v.Run(cfg, seed, ts)
+		if err != nil {
+			continue
+		}
+		out[i] = qOutcome{Psi: psi, Ups: ups, OK: true}
+	}
+	return out, nil
+}
+
+// ablationAggregate folds the per-system variant outcomes into the study
+// results in system order — shared by the in-process runner and the shard
+// merge path.
+func ablationAggregate(cfg Config, at func(o, i int) []qOutcome) []AblationResult {
+	variants := AblationVariants()
 	results := make([]AblationResult, len(variants))
 	psis := make([][]float64, len(variants))
 	upss := make([][]float64, len(variants))
 	for i, v := range variants {
 		results[i].Name = v.Name
 	}
-	for _, outs := range perSystem {
-		for i, o := range outs {
+	for s := 0; s < cfg.Systems; s++ {
+		for i, o := range at(0, s) {
 			results[i].Schedulable.Trials++
-			if !o.ok {
+			if !o.OK {
 				continue
 			}
 			results[i].Schedulable.Successes++
-			psis[i] = append(psis[i], o.psi)
-			upss[i] = append(upss[i], o.ups)
+			psis[i] = append(psis[i], o.Psi)
+			upss[i] = append(upss[i], o.Ups)
 		}
 	}
 	for i := range results {
 		results[i].MeanPsi = stats.Mean(psis[i])
 		results[i].MeanUpsilon = stats.Mean(upss[i])
 	}
-	return results, nil
+	return results
+}
+
+// Ablation runs every variant on the same systems at utilisation u. The
+// systems are fanned across the worker pool as a 1 × Systems grid (every
+// variant sees system s before system s+1 in the aggregates, so results
+// are identical at every cfg.Parallelism).
+func Ablation(cfg Config, u float64) ([]AblationResult, error) {
+	perSystem, err := gridMap(cfg.Parallelism, 1, cfg.Systems,
+		func(_, s int) ([]qOutcome, error) { return ablationCell(cfg, u, s) })
+	if err != nil {
+		return nil, err
+	}
+	return ablationAggregate(cfg, perSystem.at), nil
 }
 
 // AblationRows renders the study as a text table.

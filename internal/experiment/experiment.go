@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/exec"
 	"repro/internal/gen"
@@ -103,9 +104,12 @@ const (
 
 // qOutcome is one cell's quality outcome, shared by the runners: the
 // achieved metrics and whether the method scheduled the system at all.
+// The fields are exported (with stable JSON names) because the outcome is
+// also the cell payload of the shard files.
 type qOutcome struct {
-	psi, ups float64
-	ok       bool
+	Psi float64 `json:"psi"`
+	Ups float64 `json:"upsilon"`
+	OK  bool    `json:"ok"`
 }
 
 // grid holds the per-cell outcomes of a fanned-out outer × inner sweep.
@@ -116,16 +120,45 @@ type grid[T any] struct {
 
 func (g grid[T]) at(o, i int) T { return g.cells[o*g.inner+i] }
 
-// gridMap fans an outer × inner grid of cells across the worker pool
-// (parallelism <= 0 means one worker per CPU) and collects the outcomes
-// in grid order, so aggregation is identical at every parallelism. The
-// runners share it so the cell decomposition and its read-back cannot
-// drift apart.
-func gridMap[T any](parallelism, outer, inner int, fn func(o, i int) (T, error)) (grid[T], error) {
-	cells, err := exec.Map(exec.New(parallelism), context.Background(), outer*inner,
-		func(_ context.Context, idx int) (T, error) {
-			return fn(idx/inner, idx%inner)
+// cellRef locates one cell of an outer × inner grid.
+type cellRef struct{ o, i int }
+
+// CellSelector picks the grid cells a run evaluates; nil selects every
+// cell. The shard workflow passes a round-robin ownership predicate
+// (shard.Plan.Selector) so N processes cover the grid disjointly.
+type CellSelector func(point, system int) bool
+
+// gridSubset fans fn over the cells selected by sel (nil = all) in grid
+// order and returns their locations and values, also in grid order. It is
+// the engine under both the in-process runners (full grid, aggregated
+// immediately) and the shard workflow (arbitrary subsets, serialised and
+// merged later): every cell derives its randomness from a private
+// sub-seed over the (runner, point, system) path, so a cell evaluates to
+// the same value in any subset, any process, at any parallelism.
+func gridSubset[T any](parallelism, outer, inner int, sel CellSelector, fn func(o, i int) (T, error)) ([]cellRef, []T, error) {
+	refs := make([]cellRef, 0, outer*inner)
+	for o := 0; o < outer; o++ {
+		for i := 0; i < inner; i++ {
+			if sel == nil || sel(o, i) {
+				refs = append(refs, cellRef{o, i})
+			}
+		}
+	}
+	vals, err := exec.Map(exec.New(parallelism), context.Background(), len(refs),
+		func(_ context.Context, k int) (T, error) {
+			return fn(refs[k].o, refs[k].i)
 		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return refs, vals, nil
+}
+
+// gridMap is gridSubset over the full grid, read back as a dense grid —
+// the in-process fast path the runners share, so the cell decomposition
+// and its read-back cannot drift apart.
+func gridMap[T any](parallelism, outer, inner int, fn func(o, i int) (T, error)) (grid[T], error) {
+	_, cells, err := gridSubset(parallelism, outer, inner, nil, fn)
 	if err != nil {
 		return grid[T]{}, err
 	}
@@ -167,7 +200,11 @@ func Fig5Utils() []float64 {
 	return us
 }
 
-func round2(x float64) float64 { return float64(int(x*100+0.5)) / 100 }
+// round2 rounds to two decimals, away from zero on ties. (The previous
+// int-truncation formula rounded negative inputs toward zero — −0.005
+// became 0.00 — which would silently corrupt any metric that can go
+// negative, such as a Penalised-curve Υ.)
+func round2(x float64) float64 { return math.Round(x*100) / 100 }
 
 // scheduleStatic runs the static scheduler over all partitions.
 func scheduleStatic(ts *taskmodel.TaskSet) (sched.DeviceSchedules, error) {
@@ -205,47 +242,48 @@ func fpsOnlineSchedulable(ts *taskmodel.TaskSet) bool {
 	return true
 }
 
-// fig5Outcome is the per-system verdict of the five methods.
+// fig5Outcome is the per-system verdict of the five methods; it doubles
+// as the Figure 5 shard-cell payload.
 type fig5Outcome struct {
-	offline, online, gpiocp, static, ga bool
+	Offline bool `json:"offline"`
+	Online  bool `json:"online"`
+	GPIOCP  bool `json:"gpiocp"`
+	Static  bool `json:"static"`
+	GA      bool `json:"ga"`
 }
 
-// Fig5 regenerates Figure 5: the fraction of schedulable systems per
-// utilisation for FPS-offline, FPS-online, GPIOCP, static and GA. The
-// systems × utilisation-point grid is fanned across the worker pool; each
-// cell generates its system from a derived sub-seed and the verdicts are
-// aggregated in grid order, so the result is identical at every
-// cfg.Parallelism.
-func Fig5(cfg Config) (*Fig5Result, error) {
-	us := Fig5Utils()
-	outcomes, err := gridMap(cfg.Parallelism, len(us), cfg.Systems,
-		func(ui, s int) (fig5Outcome, error) {
-			u := us[ui]
-			ts, err := cfg.Gen.System(exec.RNG(cfg.Seed, streamFig5, int64(ui), int64(s), subGen), u)
-			if err != nil {
-				return fig5Outcome{}, fmt.Errorf("fig5 u=%.2f system %d: %w", u, s, err)
-			}
-			var o fig5Outcome
-			_, offErr := sched.ScheduleAll(ts, fps.Offline{})
-			o.offline = offErr == nil
-			o.online = fpsOnlineSchedulable(ts)
-			_, cpErr := sched.ScheduleAll(ts, gpiocp.Scheduler{})
-			o.gpiocp = cpErr == nil
-			_, stErr := scheduleStatic(ts)
-			o.static = stErr == nil
-			gaOpts := cfg.solverOpts(streamFig5, int64(ui), int64(s))
-			_, gaErr := scheduleGA(ts, gaOpts)
-			o.ga = gaErr == nil
-			for _, err := range []error{offErr, cpErr, stErr, gaErr} {
-				if err != nil && !errors.Is(err, sched.ErrInfeasible) {
-					return fig5Outcome{}, fmt.Errorf("fig5 u=%.2f system %d: unexpected: %w", u, s, err)
-				}
-			}
-			return o, nil
-		})
+// fig5Cell evaluates one (utilisation point, system) cell: it generates
+// the system from the cell's derived sub-seed and runs all five methods.
+func fig5Cell(cfg Config, us []float64, ui, s int) (fig5Outcome, error) {
+	u := us[ui]
+	ts, err := cfg.Gen.System(exec.RNG(cfg.Seed, streamFig5, int64(ui), int64(s), subGen), u)
 	if err != nil {
-		return nil, err
+		return fig5Outcome{}, fmt.Errorf("fig5 u=%.2f system %d: %w", u, s, err)
 	}
+	var o fig5Outcome
+	_, offErr := sched.ScheduleAll(ts, fps.Offline{})
+	o.Offline = offErr == nil
+	o.Online = fpsOnlineSchedulable(ts)
+	_, cpErr := sched.ScheduleAll(ts, gpiocp.Scheduler{})
+	o.GPIOCP = cpErr == nil
+	_, stErr := scheduleStatic(ts)
+	o.Static = stErr == nil
+	gaOpts := cfg.solverOpts(streamFig5, int64(ui), int64(s))
+	_, gaErr := scheduleGA(ts, gaOpts)
+	o.GA = gaErr == nil
+	for _, err := range []error{offErr, cpErr, stErr, gaErr} {
+		if err != nil && !errors.Is(err, sched.ErrInfeasible) {
+			return fig5Outcome{}, fmt.Errorf("fig5 u=%.2f system %d: unexpected: %w", u, s, err)
+		}
+	}
+	return o, nil
+}
+
+// fig5Aggregate folds a complete outcome grid into the Figure 5 result in
+// grid order. Both the in-process runner and the shard merge path end
+// here, which is what makes a merged result identical to an unsharded
+// run's.
+func fig5Aggregate(cfg Config, us []float64, at func(o, i int) fig5Outcome) *Fig5Result {
 	res := &Fig5Result{}
 	for ui, u := range us {
 		point := Fig5Point{U: u, Rates: make(map[string]stats.Ratio)}
@@ -258,16 +296,32 @@ func Fig5(cfg Config) (*Fig5Result, error) {
 			point.Rates[method] = r
 		}
 		for s := 0; s < cfg.Systems; s++ {
-			o := outcomes.at(ui, s)
-			record(MethodFPSOffline, o.offline)
-			record(MethodFPSOnline, o.online)
-			record(MethodGPIOCP, o.gpiocp)
-			record(MethodStatic, o.static)
-			record(MethodGA, o.ga)
+			o := at(ui, s)
+			record(MethodFPSOffline, o.Offline)
+			record(MethodFPSOnline, o.Online)
+			record(MethodGPIOCP, o.GPIOCP)
+			record(MethodStatic, o.Static)
+			record(MethodGA, o.GA)
 		}
 		res.Points = append(res.Points, point)
 	}
-	return res, nil
+	return res
+}
+
+// Fig5 regenerates Figure 5: the fraction of schedulable systems per
+// utilisation for FPS-offline, FPS-online, GPIOCP, static and GA. The
+// systems × utilisation-point grid is fanned across the worker pool; each
+// cell generates its system from a derived sub-seed and the verdicts are
+// aggregated in grid order, so the result is identical at every
+// cfg.Parallelism.
+func Fig5(cfg Config) (*Fig5Result, error) {
+	us := Fig5Utils()
+	outcomes, err := gridMap(cfg.Parallelism, len(us), cfg.Systems,
+		func(ui, s int) (fig5Outcome, error) { return fig5Cell(cfg, us, ui, s) })
+	if err != nil {
+		return nil, err
+	}
+	return fig5Aggregate(cfg, us, outcomes.at), nil
 }
 
 // solverOpts derives the GA options for one grid cell: a private solver

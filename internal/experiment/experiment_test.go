@@ -27,6 +27,31 @@ func TestFig5Utils(t *testing.T) {
 	}
 }
 
+// TestRound2 pins half-away-from-zero rounding. Regression: the previous
+// int-truncation formula rounded negative inputs toward zero (−0.005 →
+// 0.00 instead of −0.01), which would silently corrupt any metric that
+// can go negative, such as a Penalised-curve Υ.
+func TestRound2(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{0.20, 0.20},
+		{0.204, 0.20},
+		{0.205, 0.21},
+		{0.8999999, 0.90},
+		{1.0, 1.0},
+		{-0.005, -0.01},
+		{-0.204, -0.20},
+		{-0.205, -0.21},
+		{-1.239, -1.24},
+		{-999.999, -1000.0},
+	}
+	for _, tc := range cases {
+		if got := round2(tc.in); got != tc.want {
+			t.Errorf("round2(%g) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+}
+
 func TestFig5ShapeMatchesPaper(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration experiment")

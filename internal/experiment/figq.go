@@ -41,43 +41,70 @@ type FigQResult struct {
 // The runner requires the single-device configuration the paper uses for
 // these experiments.
 func Fig6And7(cfg Config) (*FigQResult, *FigQResult, error) {
-	if cfg.Gen.Devices > 1 {
-		return nil, nil, fmt.Errorf("experiment: figures 6/7 use a single-device configuration")
+	if err := figqCheck(cfg); err != nil {
+		return nil, nil, err
 	}
-	type figqOutcome struct {
-		offline, cp, static, ga qOutcome
-	}
-	curve := cfg.curve()
 	us := FigQUtils()
 	outcomes, err := gridMap(cfg.Parallelism, len(us), cfg.Systems,
-		func(ui, s int) (figqOutcome, error) {
-			u := us[ui]
-			ts, err := cfg.Gen.System(exec.RNG(cfg.Seed, streamFigQ, int64(ui), int64(s), subGen), u)
-			if err != nil {
-				return figqOutcome{}, fmt.Errorf("fig6/7 u=%.2f system %d: %w", u, s, err)
-			}
-			jobs := ts.Jobs()
-			measure := func(sc *sched.Schedule, err error) qOutcome {
-				if err != nil {
-					return qOutcome{}
-				}
-				return qOutcome{psi: sc.Psi(), ups: sc.Upsilon(curve), ok: true}
-			}
-			var o figqOutcome
-			o.offline = measure((fps.Offline{}).Schedule(jobs))
-			o.cp = measure((gpiocp.Scheduler{}).Schedule(jobs))
-			o.static = measure(staticsched.New(staticsched.Options{}).Schedule(jobs))
-			gaOpts := cfg.solverOpts(streamFigQ, int64(ui), int64(s))
-			gaOpts.Curve = curve
-			if res, err := scheduleGA(ts, gaOpts); err == nil {
-				front := res[ts.Devices()[0]]
-				o.ga = qOutcome{psi: front.BestPsi().Psi, ups: front.BestUpsilon().Upsilon, ok: true}
-			}
-			return o, nil
-		})
+		func(ui, s int) (figqOutcome, error) { return figqCell(cfg, us, ui, s) })
 	if err != nil {
 		return nil, nil, err
 	}
+	psi, ups := figqAggregate(cfg, us, outcomes.at)
+	return psi, ups, nil
+}
+
+// figqCheck rejects configurations the Figures 6/7 runner does not model.
+func figqCheck(cfg Config) error {
+	if cfg.Gen.Devices > 1 {
+		return fmt.Errorf("experiment: figures 6/7 use a single-device configuration")
+	}
+	return nil
+}
+
+// figqOutcome holds one system's per-method quality outcomes; it doubles
+// as the Figures 6/7 shard-cell payload.
+type figqOutcome struct {
+	Offline qOutcome `json:"offline"`
+	CP      qOutcome `json:"gpiocp"`
+	Static  qOutcome `json:"static"`
+	GA      qOutcome `json:"ga"`
+}
+
+// figqCell evaluates one (utilisation point, system) cell: the system is
+// generated from the cell's derived sub-seed and every offline method is
+// measured on it.
+func figqCell(cfg Config, us []float64, ui, s int) (figqOutcome, error) {
+	curve := cfg.curve()
+	u := us[ui]
+	ts, err := cfg.Gen.System(exec.RNG(cfg.Seed, streamFigQ, int64(ui), int64(s), subGen), u)
+	if err != nil {
+		return figqOutcome{}, fmt.Errorf("fig6/7 u=%.2f system %d: %w", u, s, err)
+	}
+	jobs := ts.Jobs()
+	measure := func(sc *sched.Schedule, err error) qOutcome {
+		if err != nil {
+			return qOutcome{}
+		}
+		return qOutcome{Psi: sc.Psi(), Ups: sc.Upsilon(curve), OK: true}
+	}
+	var o figqOutcome
+	o.Offline = measure((fps.Offline{}).Schedule(jobs))
+	o.CP = measure((gpiocp.Scheduler{}).Schedule(jobs))
+	o.Static = measure(staticsched.New(staticsched.Options{}).Schedule(jobs))
+	gaOpts := cfg.solverOpts(streamFigQ, int64(ui), int64(s))
+	gaOpts.Curve = curve
+	if res, err := scheduleGA(ts, gaOpts); err == nil {
+		front := res[ts.Devices()[0]]
+		o.GA = qOutcome{Psi: front.BestPsi().Psi, Ups: front.BestUpsilon().Upsilon, OK: true}
+	}
+	return o, nil
+}
+
+// figqAggregate folds a complete outcome grid into the Figure 6 and 7
+// results in grid order — shared by the in-process runner and the shard
+// merge path.
+func figqAggregate(cfg Config, us []float64, at func(o, i int) figqOutcome) (*FigQResult, *FigQResult) {
 	psi := &FigQResult{Metric: "Psi"}
 	ups := &FigQResult{Metric: "Upsilon"}
 	for ui, u := range us {
@@ -85,19 +112,19 @@ func Fig6And7(cfg Config) (*FigQResult, *FigQResult, error) {
 		upsSum := map[string]float64{}
 		n := map[string]int{}
 		for s := 0; s < cfg.Systems; s++ {
-			o := outcomes.at(ui, s)
+			o := at(ui, s)
 			for _, mq := range []struct {
 				method string
 				q      qOutcome
 			}{
-				{MethodFPSOffline, o.offline},
-				{MethodGPIOCP, o.cp},
-				{MethodStatic, o.static},
-				{MethodGA, o.ga},
+				{MethodFPSOffline, o.Offline},
+				{MethodGPIOCP, o.CP},
+				{MethodStatic, o.Static},
+				{MethodGA, o.GA},
 			} {
-				if mq.q.ok {
-					psiSum[mq.method] += mq.q.psi
-					upsSum[mq.method] += mq.q.ups
+				if mq.q.OK {
+					psiSum[mq.method] += mq.q.Psi
+					upsSum[mq.method] += mq.q.Ups
 					n[mq.method]++
 				}
 			}
@@ -115,7 +142,7 @@ func Fig6And7(cfg Config) (*FigQResult, *FigQResult, error) {
 		psi.Points = append(psi.Points, pp)
 		ups.Points = append(ups.Points, up)
 	}
-	return psi, ups, nil
+	return psi, ups
 }
 
 // Rows renders the result as a text table.

@@ -25,49 +25,68 @@ type MultiDevicePoint struct {
 // climbs towards 1. The static scheduler is used; each partition is
 // scheduled independently.
 func MultiDevice(cfg Config, u float64, deviceCounts []int) ([]MultiDevicePoint, error) {
-	for _, devs := range deviceCounts {
-		if devs < 1 {
-			return nil, fmt.Errorf("experiment: device count %d", devs)
-		}
+	if err := multiDeviceCheck(deviceCounts); err != nil {
+		return nil, err
 	}
 	outcomes, err := gridMap(cfg.Parallelism, len(deviceCounts), cfg.Systems,
-		func(di, s int) (qOutcome, error) {
-			devs := deviceCounts[di]
-			gen := cfg.Gen
-			gen.Devices = devs
-			ts, err := gen.System(exec.RNG(cfg.Seed, streamMultiDevice, int64(di), int64(s), subGen), u)
-			if err != nil {
-				return qOutcome{}, fmt.Errorf("multidevice %d devices system %d: %w", devs, s, err)
-			}
-			ds, err := sched.ScheduleAll(ts, staticsched.New(staticsched.Options{}))
-			if err != nil {
-				return qOutcome{}, nil
-			}
-			psi, ups := ds.Metrics(cfg.curve())
-			return qOutcome{psi: psi, ups: ups, ok: true}, nil
-		})
+		func(di, s int) (qOutcome, error) { return multiDeviceCell(cfg, u, deviceCounts, di, s) })
 	if err != nil {
 		return nil, err
 	}
+	return multiDeviceAggregate(cfg, deviceCounts, outcomes.at), nil
+}
+
+// multiDeviceCheck rejects invalid device-count axes.
+func multiDeviceCheck(deviceCounts []int) error {
+	for _, devs := range deviceCounts {
+		if devs < 1 {
+			return fmt.Errorf("experiment: device count %d", devs)
+		}
+	}
+	return nil
+}
+
+// multiDeviceCell evaluates one (device count, system) cell with the
+// static scheduler; the outcome doubles as the shard-cell payload.
+func multiDeviceCell(cfg Config, u float64, deviceCounts []int, di, s int) (qOutcome, error) {
+	devs := deviceCounts[di]
+	gen := cfg.Gen
+	gen.Devices = devs
+	ts, err := gen.System(exec.RNG(cfg.Seed, streamMultiDevice, int64(di), int64(s), subGen), u)
+	if err != nil {
+		return qOutcome{}, fmt.Errorf("multidevice %d devices system %d: %w", devs, s, err)
+	}
+	ds, err := sched.ScheduleAll(ts, staticsched.New(staticsched.Options{}))
+	if err != nil {
+		return qOutcome{}, nil
+	}
+	psi, ups := ds.Metrics(cfg.curve())
+	return qOutcome{Psi: psi, Ups: ups, OK: true}, nil
+}
+
+// multiDeviceAggregate folds a complete outcome grid into the study
+// points in grid order — shared by the in-process runner and the shard
+// merge path.
+func multiDeviceAggregate(cfg Config, deviceCounts []int, at func(o, i int) qOutcome) []MultiDevicePoint {
 	var out []MultiDevicePoint
 	for di, devs := range deviceCounts {
 		point := MultiDevicePoint{Devices: devs}
 		var psis, upss []float64
 		for s := 0; s < cfg.Systems; s++ {
-			o := outcomes.at(di, s)
+			o := at(di, s)
 			point.Schedulable.Trials++
-			if !o.ok {
+			if !o.OK {
 				continue
 			}
 			point.Schedulable.Successes++
-			psis = append(psis, o.psi)
-			upss = append(upss, o.ups)
+			psis = append(psis, o.Psi)
+			upss = append(upss, o.Ups)
 		}
 		point.MeanPsi = stats.Mean(psis)
 		point.MeanUpsilon = stats.Mean(upss)
 		out = append(out, point)
 	}
-	return out, nil
+	return out
 }
 
 // MultiDeviceRows renders the study as a text table.

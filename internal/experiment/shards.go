@@ -1,0 +1,419 @@
+package experiment
+
+// Shard/merge support: every grid runner decomposes into a cell
+// computation and a grid-order aggregation (see gridSubset), so any cell
+// subset can be evaluated by an independent process and re-aggregated
+// later. This file is the bridge to internal/shard: it marshals cell
+// subsets into shard files (Fig5Cells, FigQCells, …), rebuilds runner
+// results from complete merged cell sets (Fig5FromCells, …), and drives
+// whole sharded runs (RunShard).
+//
+// The invariant, inherited from the execution engine and enforced by the
+// shard-equivalence tests: for any shard count and any parallelism,
+// merging the N shard outputs and aggregating is identical to the
+// unsharded run — each cell's randomness comes from a derived sub-seed
+// over its (runner, point, system) path, the cell payloads round-trip
+// losslessly through JSON, and the merge path re-enters the exact
+// aggregation code the in-process runners use.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/shard"
+)
+
+// ErrUnknownExperiment reports a selection that names no experiment;
+// test with errors.Is (the CLI maps it to its historical exit code 2).
+var ErrUnknownExperiment = errors.New("unknown experiment")
+
+// Experiment names as the CLI and the shard files spell them.
+const (
+	ExpFig5        = "fig5"
+	ExpFig6        = "fig6"
+	ExpFig7        = "fig7"
+	ExpTable1      = "table1"
+	ExpMotivation  = "motivation"
+	ExpAblation    = "ablation"
+	ExpMultiDevice = "multidevice"
+	// ExpAll selects every experiment.
+	ExpAll = "all"
+)
+
+// AllExperiments lists the experiments in the CLI's canonical "all"
+// order.
+func AllExperiments() []string {
+	return []string{ExpFig5, ExpFig6, ExpFig7, ExpTable1, ExpMotivation, ExpAblation, ExpMultiDevice}
+}
+
+// gridExperiments lists the experiments that carry a shardable cell grid
+// (Table I is a closed-form cost model with no cells; merge re-renders it
+// directly).
+func gridExperiments() []string {
+	return []string{ExpFig5, ExpFig6, ExpFig7, ExpMotivation, ExpAblation, ExpMultiDevice}
+}
+
+// ShardParams is the run parameterisation recorded in every shard file:
+// everything that decides the grid contents and the rendered output,
+// and nothing host-local (parallelism is deliberately absent — it never
+// changes results, and each shard host picks its own). Merge rebuilds
+// the experiment configuration from the recorded params exactly as the
+// CLI builds one from its flags, and rejects shard files whose params
+// differ.
+//
+// Zero values select the configuration defaults (matching the CLI's "0 =
+// config default" flag semantics); Seed is always taken literally.
+// RunShard records the params with every default resolved to its
+// effective value, so shards of the same run merge regardless of which
+// spelling (zero value or explicit default) produced them.
+type ShardParams struct {
+	PaperScale    bool  `json:"paper_scale,omitempty"`
+	Systems       int   `json:"systems,omitempty"`
+	Seed          int64 `json:"seed"`
+	GAPopulation  int   `json:"ga_population,omitempty"`
+	GAGenerations int   `json:"ga_generations,omitempty"`
+	// AblationU is the ablation study utilisation (0 = 0.6, the CLI
+	// default).
+	AblationU float64 `json:"ablation_u,omitempty"`
+	// MultiDeviceU and MultiDeviceCounts parameterise the partitioned
+	// scaling study (0/nil = the CLI's U=0.8 over 1,2,4,8 devices).
+	MultiDeviceU      float64 `json:"multidevice_u,omitempty"`
+	MultiDeviceCounts []int   `json:"multidevice_counts,omitempty"`
+	// MotivationWrites overrides the motivation experiment's write count
+	// (0 = DefaultMotivation's).
+	MotivationWrites int `json:"motivation_writes,omitempty"`
+}
+
+// Config resolves the sweep configuration the params describe, mirroring
+// the CLI's flag handling so a merge reproduces the unsharded run's
+// configuration bit for bit.
+func (p ShardParams) Config() Config {
+	cfg := Default()
+	if p.PaperScale {
+		cfg = PaperScale()
+	}
+	cfg.Seed = p.Seed
+	if p.Systems > 0 {
+		cfg.Systems = p.Systems
+	}
+	if p.GAPopulation > 0 {
+		cfg.GA.Population = p.GAPopulation
+	}
+	if p.GAGenerations > 0 {
+		cfg.GA.Generations = p.GAGenerations
+	}
+	return cfg
+}
+
+// Motivation resolves the motivation experiment configuration.
+func (p ShardParams) Motivation() MotivationConfig {
+	cfg := DefaultMotivation()
+	cfg.Seed = p.Seed
+	if p.MotivationWrites > 0 {
+		cfg.Writes = p.MotivationWrites
+	}
+	return cfg
+}
+
+// ResolvedAblationU returns the ablation study utilisation.
+func (p ShardParams) ResolvedAblationU() float64 {
+	if p.AblationU == 0 {
+		return 0.6
+	}
+	return p.AblationU
+}
+
+// ResolvedMultiDevice returns the partitioned-scaling study's total
+// utilisation and device-count axis.
+func (p ShardParams) ResolvedMultiDevice() (float64, []int) {
+	u, counts := p.MultiDeviceU, p.MultiDeviceCounts
+	if u == 0 {
+		u = 0.8
+	}
+	if len(counts) == 0 {
+		counts = []int{1, 2, 4, 8}
+	}
+	return u, counts
+}
+
+// normalised resolves every defaultable field to its effective value, so
+// equivalent runs record byte-equal params no matter which zero-value
+// spelling produced them — shard.Merge compares the recorded bytes, and
+// a CLI shard must merge with a library shard of the same run.
+func (p ShardParams) normalised() ShardParams {
+	cfg := p.Config()
+	p.Systems = cfg.Systems
+	p.GAPopulation = cfg.GA.Population
+	p.GAGenerations = cfg.GA.Generations
+	p.AblationU = p.ResolvedAblationU()
+	p.MultiDeviceU, p.MultiDeviceCounts = p.ResolvedMultiDevice()
+	p.MotivationWrites = p.Motivation().Writes
+	return p
+}
+
+// marshalCells encodes subset values as shard cells, recording each
+// cell's derived seed.
+func marshalCells[T any](refs []cellRef, vals []T, seedFor func(o, i int) int64) ([]shard.Cell, error) {
+	cells := make([]shard.Cell, len(refs))
+	for k, r := range refs {
+		data, err := json.Marshal(vals[k])
+		if err != nil {
+			return nil, fmt.Errorf("experiment: encode cell (%d,%d): %w", r.o, r.i, err)
+		}
+		cells[k] = shard.Cell{Point: r.o, System: r.i, Seed: seedFor(r.o, r.i), Data: data}
+	}
+	return cells, nil
+}
+
+// cellsToGrid decodes a complete cell set into a dense grid. It rejects
+// incomplete, duplicated or out-of-range cells — merge guarantees none of
+// these, but the aggregators are public API and must not mis-aggregate a
+// hand-assembled set silently.
+func cellsToGrid[T any](g shard.Grid, cells []shard.Cell) (grid[T], error) {
+	if len(cells) != g.Cells() {
+		return grid[T]{}, fmt.Errorf("experiment: %d cells for a %dx%d grid", len(cells), g.Points, g.Systems)
+	}
+	out := grid[T]{inner: g.Systems, cells: make([]T, g.Cells())}
+	filled := make([]bool, g.Cells())
+	for _, c := range cells {
+		idx, err := g.Index(c.Point, c.System)
+		if err != nil {
+			return grid[T]{}, fmt.Errorf("experiment: %w", err)
+		}
+		if filled[idx] {
+			return grid[T]{}, fmt.Errorf("experiment: cell (%d,%d) appears twice", c.Point, c.System)
+		}
+		filled[idx] = true
+		if err := json.Unmarshal(c.Data, &out.cells[idx]); err != nil {
+			return grid[T]{}, fmt.Errorf("experiment: decode cell (%d,%d): %w", c.Point, c.System, err)
+		}
+	}
+	return out, nil
+}
+
+// Fig5Cells evaluates the selected cells of the Figure 5 grid
+// (utilisation points × systems) and returns them as shard cells.
+func Fig5Cells(cfg Config, sel CellSelector) ([]shard.Cell, shard.Grid, error) {
+	us := Fig5Utils()
+	g := shard.Grid{Points: len(us), Systems: cfg.Systems}
+	refs, vals, err := gridSubset(cfg.Parallelism, g.Points, g.Systems, sel,
+		func(ui, s int) (fig5Outcome, error) { return fig5Cell(cfg, us, ui, s) })
+	if err != nil {
+		return nil, g, err
+	}
+	cells, err := marshalCells(refs, vals, func(o, i int) int64 {
+		return exec.DeriveSeed(cfg.Seed, streamFig5, int64(o), int64(i), subGen)
+	})
+	return cells, g, err
+}
+
+// Fig5FromCells rebuilds the Figure 5 result from a complete (merged)
+// cell set, via the same aggregation the in-process runner uses.
+func Fig5FromCells(cfg Config, cells []shard.Cell) (*Fig5Result, error) {
+	us := Fig5Utils()
+	g, err := cellsToGrid[fig5Outcome](shard.Grid{Points: len(us), Systems: cfg.Systems}, cells)
+	if err != nil {
+		return nil, fmt.Errorf("fig5: %w", err)
+	}
+	return fig5Aggregate(cfg, us, g.at), nil
+}
+
+// FigQCells evaluates the selected cells of the Figures 6/7 grid. One
+// cell set serves both figures: each payload carries every offline
+// method's (Ψ, Υ) outcome.
+func FigQCells(cfg Config, sel CellSelector) ([]shard.Cell, shard.Grid, error) {
+	us := FigQUtils()
+	g := shard.Grid{Points: len(us), Systems: cfg.Systems}
+	if err := figqCheck(cfg); err != nil {
+		return nil, g, err
+	}
+	refs, vals, err := gridSubset(cfg.Parallelism, g.Points, g.Systems, sel,
+		func(ui, s int) (figqOutcome, error) { return figqCell(cfg, us, ui, s) })
+	if err != nil {
+		return nil, g, err
+	}
+	cells, err := marshalCells(refs, vals, func(o, i int) int64 {
+		return exec.DeriveSeed(cfg.Seed, streamFigQ, int64(o), int64(i), subGen)
+	})
+	return cells, g, err
+}
+
+// FigQFromCells rebuilds the Figure 6 (Ψ) and Figure 7 (Υ) results from a
+// complete cell set.
+func FigQFromCells(cfg Config, cells []shard.Cell) (*FigQResult, *FigQResult, error) {
+	us := FigQUtils()
+	g, err := cellsToGrid[figqOutcome](shard.Grid{Points: len(us), Systems: cfg.Systems}, cells)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fig6/7: %w", err)
+	}
+	psi, ups := figqAggregate(cfg, us, g.at)
+	return psi, ups, nil
+}
+
+// MotivationCells evaluates the selected cells of the motivation
+// experiment's 1 × 2 design grid.
+func MotivationCells(cfg MotivationConfig, sel CellSelector) ([]shard.Cell, shard.Grid, error) {
+	g := shard.Grid{Points: 1, Systems: motivationDesigns}
+	if err := motivationCheck(cfg); err != nil {
+		return nil, g, err
+	}
+	refs, vals, err := gridSubset(cfg.Parallelism, g.Points, g.Systems, sel,
+		func(_, design int) (motivationOutcome, error) { return motivationCell(cfg, design) })
+	if err != nil {
+		return nil, g, err
+	}
+	cells, err := marshalCells(refs, vals, func(_, design int) int64 {
+		if design == 0 {
+			// Only the remote design draws randomness (cross-traffic).
+			return exec.DeriveSeed(cfg.Seed, streamMotivation)
+		}
+		return 0
+	})
+	return cells, g, err
+}
+
+// MotivationFromCells rebuilds the motivation result from a complete cell
+// set.
+func MotivationFromCells(cfg MotivationConfig, cells []shard.Cell) (*MotivationResult, error) {
+	g, err := cellsToGrid[motivationOutcome](shard.Grid{Points: 1, Systems: motivationDesigns}, cells)
+	if err != nil {
+		return nil, fmt.Errorf("motivation: %w", err)
+	}
+	return motivationAggregate(g.at), nil
+}
+
+// AblationCells evaluates the selected cells of the ablation study's
+// 1 × Systems grid at utilisation u.
+func AblationCells(cfg Config, u float64, sel CellSelector) ([]shard.Cell, shard.Grid, error) {
+	g := shard.Grid{Points: 1, Systems: cfg.Systems}
+	refs, vals, err := gridSubset(cfg.Parallelism, g.Points, g.Systems, sel,
+		func(_, s int) ([]qOutcome, error) { return ablationCell(cfg, u, s) })
+	if err != nil {
+		return nil, g, err
+	}
+	cells, err := marshalCells(refs, vals, func(_, s int) int64 {
+		return exec.DeriveSeed(cfg.Seed, streamAblation, ablationUTag(u), int64(s), subGen)
+	})
+	return cells, g, err
+}
+
+// AblationFromCells rebuilds the ablation study from a complete cell set.
+func AblationFromCells(cfg Config, cells []shard.Cell) ([]AblationResult, error) {
+	g, err := cellsToGrid[[]qOutcome](shard.Grid{Points: 1, Systems: cfg.Systems}, cells)
+	if err != nil {
+		return nil, fmt.Errorf("ablation: %w", err)
+	}
+	return ablationAggregate(cfg, g.at), nil
+}
+
+// MultiDeviceCells evaluates the selected cells of the partitioned
+// scaling study's device-counts × systems grid.
+func MultiDeviceCells(cfg Config, u float64, deviceCounts []int, sel CellSelector) ([]shard.Cell, shard.Grid, error) {
+	g := shard.Grid{Points: len(deviceCounts), Systems: cfg.Systems}
+	if err := multiDeviceCheck(deviceCounts); err != nil {
+		return nil, g, err
+	}
+	refs, vals, err := gridSubset(cfg.Parallelism, g.Points, g.Systems, sel,
+		func(di, s int) (qOutcome, error) { return multiDeviceCell(cfg, u, deviceCounts, di, s) })
+	if err != nil {
+		return nil, g, err
+	}
+	cells, err := marshalCells(refs, vals, func(di, s int) int64 {
+		return exec.DeriveSeed(cfg.Seed, streamMultiDevice, int64(di), int64(s), subGen)
+	})
+	return cells, g, err
+}
+
+// MultiDeviceFromCells rebuilds the scaling study from a complete cell
+// set.
+func MultiDeviceFromCells(cfg Config, deviceCounts []int, cells []shard.Cell) ([]MultiDevicePoint, error) {
+	g, err := cellsToGrid[qOutcome](shard.Grid{Points: len(deviceCounts), Systems: cfg.Systems}, cells)
+	if err != nil {
+		return nil, fmt.Errorf("multidevice: %w", err)
+	}
+	return multiDeviceAggregate(cfg, deviceCounts, g.at), nil
+}
+
+// selectionRuns expands a CLI selection into the grid experiments it
+// covers, in canonical order.
+func selectionRuns(selection string) ([]string, error) {
+	if selection == ExpAll {
+		return gridExperiments(), nil
+	}
+	for _, name := range gridExperiments() {
+		if selection == name {
+			return []string{name}, nil
+		}
+	}
+	if selection == ExpTable1 {
+		return nil, fmt.Errorf("experiment: %q is a closed-form model with no grid to shard; run it directly", selection)
+	}
+	return nil, fmt.Errorf("experiment: %w %q", ErrUnknownExperiment, selection)
+}
+
+// RunShard evaluates shard index of shards for the given selection ("all"
+// or one grid experiment) and returns the versioned shard file recording
+// the run parameters and every evaluated cell. The decomposition is
+// round-robin over each runner's grid, so all shards carry a near-equal
+// share of every utilisation point. Figures 6 and 7 share one cell grid:
+// their cells are computed once and recorded under both names, exactly as
+// an unsharded "all" run renders one computation twice.
+func RunShard(selection string, p ShardParams, parallelism, shards, index int) (*shard.File, error) {
+	plan, err := shard.NewPlan(shards, index)
+	if err != nil {
+		return nil, err
+	}
+	names, err := selectionRuns(selection)
+	if err != nil {
+		return nil, err
+	}
+	p = p.normalised()
+	cfg := p.Config()
+	cfg.Parallelism = parallelism
+	params, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: encode params: %w", err)
+	}
+	f := &shard.File{
+		Version:   shard.FormatVersion,
+		Selection: selection,
+		Shards:    shards,
+		Index:     index,
+		Params:    params,
+	}
+	var figq []shard.Cell
+	var figqGrid shard.Grid
+	for _, name := range names {
+		var (
+			cells []shard.Cell
+			g     shard.Grid
+		)
+		switch name {
+		case ExpFig5:
+			cells, g, err = Fig5Cells(cfg, plan.Selector(cfg.Systems))
+		case ExpFig6, ExpFig7:
+			if figq == nil {
+				figq, figqGrid, err = FigQCells(cfg, plan.Selector(cfg.Systems))
+			}
+			cells, g = figq, figqGrid
+		case ExpMotivation:
+			mcfg := p.Motivation()
+			mcfg.Parallelism = parallelism
+			cells, g, err = MotivationCells(mcfg, plan.Selector(motivationDesigns))
+		case ExpAblation:
+			cells, g, err = AblationCells(cfg, p.ResolvedAblationU(), plan.Selector(cfg.Systems))
+		case ExpMultiDevice:
+			u, counts := p.ResolvedMultiDevice()
+			cells, g, err = MultiDeviceCells(cfg, u, counts, plan.Selector(cfg.Systems))
+		default:
+			err = fmt.Errorf("experiment: no cell runner for %q", name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		f.Runs = append(f.Runs, shard.Run{Experiment: name, Grid: g, Cells: cells})
+	}
+	return f, nil
+}

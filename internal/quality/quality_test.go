@@ -73,6 +73,64 @@ func TestPenalisedCurve(t *testing.T) {
 	}
 }
 
+// TestPenalisedBoundaryConsistency pins the on-boundary semantics against
+// Linear's: both curves treat dist == Theta as outside the timing
+// boundary (Linear clamps to Vmin there, so Penalised must already apply
+// the penalty there, not one tick later).
+func TestPenalisedBoundaryConsistency(t *testing.T) {
+	j := job(100, 10, 40, 9, 1)
+	lin := Linear{}
+	pen := Penalised{Base: lin, Penalty: -1000}
+	for _, tc := range []struct {
+		t       timing.Time
+		linWant float64
+		out     bool // outside the boundary under both curves
+	}{
+		{60, 1, true},   // dist == Theta, early edge
+		{140, 1, true},  // dist == Theta, late edge
+		{61, 1.2, false},  // one tick inside the early edge
+		{139, 1.2, false}, // one tick inside the late edge
+		{59, 1, true},   // one tick outside
+		{100, 9, false}, // exact
+	} {
+		if got := lin.Value(&j, tc.t); math.Abs(got-tc.linWant) > 1e-12 {
+			t.Errorf("Linear V(%d) = %g, want %g", tc.t, got, tc.linWant)
+		}
+		got := pen.Value(&j, tc.t)
+		if tc.out {
+			if got != -1000 {
+				t.Errorf("Penalised V(%d) = %g, want penalty (Linear gives Vmin here)", tc.t, got)
+			}
+		} else if want := lin.Value(&j, tc.t); got != want {
+			t.Errorf("Penalised V(%d) = %g, want base %g", tc.t, got, want)
+		}
+	}
+}
+
+// TestPenalisedZeroTheta: for a θ=0 job every start is on the boundary
+// (dist >= Theta always holds), so only the exact instant escapes the
+// penalty — mirroring Linear, whose θ=0 special case only rewards the
+// exact instant with Vmax.
+func TestPenalisedZeroTheta(t *testing.T) {
+	j := job(100, 10, 0, 5, 1)
+	lin := Linear{}
+	pen := Penalised{Base: lin, Penalty: -1000}
+	if got := pen.Value(&j, 100); got != 5 {
+		t.Errorf("exact with θ=0: %g, want base Vmax 5", got)
+	}
+	if got := lin.Value(&j, 100); got != 5 {
+		t.Errorf("Linear exact with θ=0: %g, want 5", got)
+	}
+	for _, at := range []timing.Time{99, 101, 0, 500} {
+		if got := pen.Value(&j, at); got != -1000 {
+			t.Errorf("θ=0 off-ideal V(%d) = %g, want penalty", at, got)
+		}
+		if got := lin.Value(&j, at); got != 1 {
+			t.Errorf("θ=0 off-ideal Linear V(%d) = %g, want Vmin", at, got)
+		}
+	}
+}
+
 func twoJobs() []taskmodel.Job {
 	a := job(100, 10, 40, 9, 1)
 	a.ID = taskmodel.JobID{Task: 0, J: 0}

@@ -169,11 +169,15 @@ func (s *Schedule) Makespan() timing.Time {
 	return last.End()
 }
 
-// FinishTime returns the latest finish instant among all jobs of the given
-// task, which is the value Section III-C proposes exporting to higher-level
-// (e.g. NoC end-to-end) schedulability analyses. The boolean reports
-// whether the task has any job in the schedule.
-func (s *Schedule) FinishTime(task int) (timing.Time, bool) {
+// ResponseBound returns the task's worst-case release-relative completion
+// bound: the maximum of (finish − release) over all the task's jobs in
+// the schedule. This per-period bound — not an absolute instant — is the
+// value Section III-C proposes exporting to higher-level (e.g. NoC
+// end-to-end) schedulability analyses, where it composes with per-period
+// network bounds. The boolean reports whether the task has any job in the
+// schedule. For the absolute finish instant of the whole schedule, see
+// Makespan.
+func (s *Schedule) ResponseBound(task int) (timing.Time, bool) {
 	var worst timing.Time
 	found := false
 	for i := range s.Entries {
@@ -182,13 +186,19 @@ func (s *Schedule) FinishTime(task int) (timing.Time, bool) {
 			continue
 		}
 		found = true
-		// Compare relative to release so the value is a per-period bound.
 		if rel := e.End() - e.Job.Release; rel > worst {
 			worst = rel
 		}
 	}
 	return worst, found
 }
+
+// FinishTime returns ResponseBound(task).
+//
+// Deprecated: the name suggested an absolute "latest finish instant", but
+// the value has always been the release-relative per-period response
+// bound. Use ResponseBound.
+func (s *Schedule) FinishTime(task int) (timing.Time, bool) { return s.ResponseBound(task) }
 
 // Scheduler produces a schedule for the jobs of one device partition.
 // Implementations must be deterministic given their configuration (any
@@ -279,15 +289,20 @@ type FreeSlot struct {
 func (f FreeSlot) Len() timing.Time { return f.End - f.Start }
 
 // FreeSlots returns the maximal idle intervals of the schedule within
-// [0, horizon). Entries must be sorted and non-overlapping (i.e. the
-// schedule must be valid).
+// [0, horizon): every returned slot satisfies 0 <= Start < End <= horizon.
+// Entries at or past the horizon only bound the idle time before them —
+// they never produce slots outside the window. Entries must be sorted and
+// non-overlapping (i.e. the schedule must be valid).
 func (s *Schedule) FreeSlots(horizon timing.Time) []FreeSlot {
 	var out []FreeSlot
 	cursor := timing.Time(0)
 	for i := range s.Entries {
+		if cursor >= horizon {
+			return out
+		}
 		e := &s.Entries[i]
-		if e.Start > cursor {
-			out = append(out, FreeSlot{Start: cursor, End: e.Start})
+		if start := min(e.Start, horizon); start > cursor {
+			out = append(out, FreeSlot{Start: cursor, End: start})
 		}
 		if end := e.End(); end > cursor {
 			cursor = end

@@ -130,7 +130,7 @@ func TestScheduleMetrics(t *testing.T) {
 	}
 }
 
-func TestFinishTime(t *testing.T) {
+func TestResponseBound(t *testing.T) {
 	jobs := []taskmodel.Job{
 		mkJob(0, 0, 0, 100, 40, 10),
 		mkJob(0, 1, 100, 200, 140, 10),
@@ -143,12 +143,19 @@ func TestFinishTime(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Task 0: job0 finishes at 50 (rel 0 → 50), job1 at 170 (rel 100 → 70).
-	ft, ok := s.FinishTime(0)
-	if !ok || ft != 70 {
-		t.Errorf("FinishTime(0) = %v,%v, want 70,true", ft, ok)
+	// The bound is release-relative — the absolute latest finish instant of
+	// task 0 is 170, but ResponseBound reports the per-period worst, 70.
+	rb, ok := s.ResponseBound(0)
+	if !ok || rb != 70 {
+		t.Errorf("ResponseBound(0) = %v,%v, want 70,true", rb, ok)
 	}
-	if _, ok := s.FinishTime(9); ok {
-		t.Error("FinishTime of absent task should report false")
+	if _, ok := s.ResponseBound(9); ok {
+		t.Error("ResponseBound of absent task should report false")
+	}
+	// The deprecated alias returns the same value.
+	ft, ok := s.FinishTime(0)
+	if !ok || ft != rb {
+		t.Errorf("FinishTime(0) = %v,%v, want alias of ResponseBound %v", ft, ok, rb)
 	}
 }
 
@@ -179,6 +186,52 @@ func TestFreeSlots(t *testing.T) {
 	}
 	if (FreeSlot{10, 25}).Len() != 15 {
 		t.Error("FreeSlot.Len broken")
+	}
+}
+
+// TestFreeSlotsClampsToHorizon: entries at or past the horizon must not
+// produce idle slots outside [0, horizon). Regression — an entry starting
+// at 200 with horizon 100 used to emit [0,200) plus a trailing slot
+// entirely beyond the horizon.
+func TestFreeSlotsClampsToHorizon(t *testing.T) {
+	mk := func(start, c timing.Time, task int) Entry {
+		return Entry{
+			Job: taskmodel.Job{
+				ID: taskmodel.JobID{Task: task}, Release: start,
+				Deadline: start + c + 1000, Ideal: start, C: c, Vmax: 2, Vmin: 1,
+			},
+			Start: start,
+		}
+	}
+	cases := []struct {
+		name    string
+		entries []Entry
+		horizon timing.Time
+		want    []FreeSlot
+	}{
+		{"entry past horizon", []Entry{mk(200, 10, 0)}, 100, []FreeSlot{{0, 100}}},
+		{"entry at horizon", []Entry{mk(100, 10, 0)}, 100, []FreeSlot{{0, 100}}},
+		{"entry straddles horizon", []Entry{mk(90, 20, 0)}, 100, []FreeSlot{{0, 90}}},
+		{"gap then entry past horizon", []Entry{mk(10, 10, 0), mk(150, 10, 1)}, 100,
+			[]FreeSlot{{0, 10}, {20, 100}}},
+		{"entry covers horizon exactly", []Entry{mk(0, 100, 0)}, 100, nil},
+		{"zero horizon", []Entry{mk(5, 5, 0)}, 0, nil},
+	}
+	for _, tc := range cases {
+		s := &Schedule{Entries: tc.entries}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("%s: invalid fixture: %v", tc.name, err)
+		}
+		got := s.FreeSlots(tc.horizon)
+		if len(got) != len(tc.want) {
+			t.Errorf("%s: slots = %v, want %v", tc.name, got, tc.want)
+			continue
+		}
+		for i := range tc.want {
+			if got[i] != tc.want[i] {
+				t.Errorf("%s: slot %d = %v, want %v", tc.name, i, got[i], tc.want[i])
+			}
+		}
 	}
 }
 
@@ -282,7 +335,31 @@ func TestFreeSlotsProperty(t *testing.T) {
 		for i := range entries {
 			busy += entries[i].Job.C
 		}
-		return free+busy == horizon
+		if free+busy != horizon {
+			return false
+		}
+		// A horizon that cuts the chain: every slot stays inside
+		// [0, horizon) and free + in-horizon busy time still partitions it.
+		short := cursor / 2
+		free, busy = 0, 0
+		prevEnd := timing.Time(0)
+		for _, sl := range s.FreeSlots(short) {
+			if sl.Len() <= 0 || sl.Start < prevEnd || sl.End > short {
+				return false
+			}
+			prevEnd = sl.End
+			free += sl.Len()
+		}
+		for i := range entries {
+			s, e := entries[i].Start, entries[i].End()
+			if s < short {
+				if e > short {
+					e = short
+				}
+				busy += e - s
+			}
+		}
+		return free+busy == short
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)

@@ -35,6 +35,21 @@
 // debug serially, or an explicit bound to share a host; randomness is
 // always derived per task from mixed sub-seeds, never drawn from a
 // shared source across goroutines.
+//
+// # Sharding
+//
+// The same invariant extends across process — and machine — boundaries:
+// every experiment grid cell derives its randomness from its (runner,
+// point, system) path, so any subset of cells can be evaluated anywhere
+// and reassembled. RunExperimentShard evaluates one round-robin shard of
+// an experiment selection and returns a versioned cell file
+// (ShardFile.WriteFile/ReadShardFile); MergeShardFiles validates that N
+// shard
+// files form one complete, disjoint cover of the same run and returns
+// the single-shard equivalent; the FromCells aggregators (Fig5FromCells,
+// Fig6And7FromCells, …) rebuild the exact results an unsharded run
+// produces. cmd/ioschedbench exposes the workflow as -shards,
+// -shard-index, -out and the merge subcommand.
 package iosched
 
 import (
@@ -52,6 +67,7 @@ import (
 	"repro/internal/sched/ga"
 	"repro/internal/sched/gpiocp"
 	"repro/internal/sched/staticsched"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/taskmodel"
 	"repro/internal/timing"
@@ -276,6 +292,53 @@ func Fig5(cfg ExperimentConfig) (*experiment.Fig5Result, error) { return experim
 // Fig6And7 regenerates Figures 6 (Ψ) and 7 (Υ).
 func Fig6And7(cfg ExperimentConfig) (*experiment.FigQResult, *experiment.FigQResult, error) {
 	return experiment.Fig6And7(cfg)
+}
+
+// Shard/merge workflow: split an experiment's cell grid across processes
+// or machines and reassemble the exact single-process result (see the
+// package comment's Sharding section).
+type (
+	// ShardFile is one shard process's versioned cell file.
+	ShardFile = shard.File
+	// ShardRun is one experiment's sharded cells inside a file.
+	ShardRun = shard.Run
+	// ShardCell is one evaluated grid cell with its derived seed.
+	ShardCell = shard.Cell
+	// ShardGrid gives a run's grid dimensions.
+	ShardGrid = shard.Grid
+	// ShardParams is the run parameterisation recorded in shard files.
+	ShardParams = experiment.ShardParams
+	// ExperimentCellSelector picks the grid cells a run evaluates; nil
+	// selects all.
+	ExperimentCellSelector = experiment.CellSelector
+)
+
+// RunExperimentShard evaluates shard index of shards for the selection
+// ("all" or one experiment name) and returns the cell file to persist
+// with ShardFile.WriteFile. Any shard may run at any parallelism on any
+// host: merged results never depend on the decomposition.
+func RunExperimentShard(selection string, p ShardParams, parallelism, shards, index int) (*ShardFile, error) {
+	return experiment.RunShard(selection, p, parallelism, shards, index)
+}
+
+// ReadShardFile reads and validates one shard cell file.
+func ReadShardFile(path string) (*ShardFile, error) { return shard.ReadFile(path) }
+
+// MergeShardFiles validates that the files form one complete, disjoint
+// cover of a single run's grids and returns the single-shard equivalent
+// (cells complete, in grid order) ready for the FromCells aggregators.
+func MergeShardFiles(files []*ShardFile) (*ShardFile, error) { return shard.Merge(files) }
+
+// Fig5FromCells rebuilds the Figure 5 result from a complete (merged)
+// cell set — identical to what Fig5 computes in process.
+func Fig5FromCells(cfg ExperimentConfig, cells []ShardCell) (*experiment.Fig5Result, error) {
+	return experiment.Fig5FromCells(cfg, cells)
+}
+
+// Fig6And7FromCells rebuilds the Figures 6 and 7 results from a complete
+// cell set.
+func Fig6And7FromCells(cfg ExperimentConfig, cells []ShardCell) (*experiment.FigQResult, *experiment.FigQResult, error) {
+	return experiment.FigQFromCells(cfg, cells)
 }
 
 // Table1 regenerates Table I (hardware cost model vs paper).

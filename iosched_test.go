@@ -2,7 +2,10 @@ package iosched_test
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
+	"path/filepath"
+	"reflect"
 	"testing"
 
 	iosched "repro"
@@ -127,6 +130,54 @@ func TestFacadeErrInfeasible(t *testing.T) {
 	_, err = iosched.ScheduleWith(ts, iosched.MethodStatic)
 	if !errors.Is(err, iosched.ErrInfeasible) {
 		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+// TestFacadeShardWorkflow drives the public shard/merge API end to end on
+// a small grid: two shards of Figure 5, written to disk, read back,
+// merged, and aggregated to the exact unsharded result.
+func TestFacadeShardWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	p := iosched.ShardParams{Systems: 3, Seed: 1, GAPopulation: 10, GAGenerations: 6}
+	cfg := p.Config()
+	want, err := iosched.Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	paths := make([]string, 2)
+	for i := range paths {
+		f, err := iosched.RunExperimentShard("fig5", p, 0, len(paths), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths[i] = filepath.Join(dir, fmt.Sprintf("shard%d.json", i))
+		if err := f.WriteFile(paths[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files := make([]*iosched.ShardFile, len(paths))
+	for i, path := range paths {
+		if files[i], err = iosched.ReadShardFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := iosched.MergeShardFiles(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := iosched.Fig5FromCells(cfg, merged.Runs[0].Cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("merged shards differ from the unsharded run")
+	}
+	// An incomplete shard set must be rejected, not silently aggregated.
+	if _, err := iosched.MergeShardFiles(files[:1]); err == nil {
+		t.Error("incomplete shard set accepted")
 	}
 }
 
