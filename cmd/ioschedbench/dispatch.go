@@ -1,0 +1,147 @@
+package main
+
+// The dispatch subcommand: fan a sharded run out to a pool of workers,
+// retry lost or corrupt shards, and render the merged result exactly as
+// the unsharded run would have. See internal/dispatch for the driver and
+// docs/SHARD_FORMAT.md for the file format it moves around.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"repro/internal/dispatch"
+)
+
+// runDispatch drives a whole sharded sweep from one invocation:
+//
+//	ioschedbench dispatch -workers 3 -retries 2 [run flags]
+//	ioschedbench dispatch -worker 'ssh h1 ioschedbench {args} -out /dev/stdout' ...
+//
+// Local workers re-execute this binary; -worker templates replace them
+// for remote or wrapped execution. Progress and retries go to stderr;
+// stdout carries only the rendered results, byte-identical to the
+// unsharded run.
+func runDispatch(args []string) error {
+	fs := flag.NewFlagSet("dispatch", flag.ExitOnError)
+	rf := registerRunFlags(fs)
+	var cmds []string
+	var (
+		workers  = fs.Int("workers", 2, "local worker subprocesses (ignored when -worker is given)")
+		retries  = fs.Int("retries", 2, "retries per shard after its first failed attempt")
+		timeout  = fs.Duration("timeout", 0, "per-attempt time budget (0 = none); an attempt over budget is killed and retried")
+		delay    = fs.Duration("retry-delay", 0, "pause before re-queueing a failed shard")
+		dir      = fs.String("dir", "", "working directory for shard and journal files (default: fresh temp dir; set it to resume an interrupted dispatch)")
+		shards   = fs.Int("shards", 0, "shard count (0 = one per worker)")
+		parallel = fs.Int("parallel", 0, "per-worker goroutines, forwarded to local workers; never changes results")
+		csvDir   = fs.String("csv", "", "directory to write CSV result files into")
+		out      = fs.String("out", "", "also write the merged cell file to this path (a valid 1-shard file)")
+	)
+	fs.Func("worker", "command template run once per shard (repeatable; placeholders {args} {index} {shards} {out}); replaces the local worker pool; split on whitespace — no quoting, so arguments cannot contain spaces (wrap complex commands in a script)", func(s string) error {
+		if strings.TrimSpace(s) == "" {
+			return fmt.Errorf("empty -worker template")
+		}
+		cmds = append(cmds, s)
+		return nil
+	})
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ioschedbench dispatch [flags]")
+		fmt.Fprintln(os.Stderr, "\nRuns the selected experiments as N shards on a pool of workers, retries")
+		fmt.Fprintln(os.Stderr, "lost/failed/timed-out shards, merges, and renders output byte-identical")
+		fmt.Fprintln(os.Stderr, "to the unsharded run.")
+		fmt.Fprintln(os.Stderr)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	params, err := rf.shardParams()
+	if err != nil {
+		return err
+	}
+
+	var pool []dispatch.Worker
+	if len(cmds) > 0 {
+		for i, tmpl := range cmds {
+			pool = append(pool, &dispatch.CmdWorker{
+				Argv:   strings.Fields(tmpl),
+				Stderr: os.Stderr,
+				Label:  fmt.Sprintf("cmd[%d]", i),
+			})
+		}
+	} else {
+		if *workers < 1 {
+			return fmt.Errorf("-workers %d: need at least one worker", *workers)
+		}
+		bin, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("locating own binary for local workers: %w", err)
+		}
+		// -parallel 0 means one goroutine per CPU *per subprocess*; with N
+		// local workers that would oversubscribe the host N-fold, so split
+		// the CPUs across the pool instead. Results are unchanged either
+		// way — parallelism never affects them.
+		per := *parallel
+		if per == 0 {
+			if per = runtime.NumCPU() / *workers; per < 1 {
+				per = 1
+			}
+		}
+		for i := 0; i < *workers; i++ {
+			pool = append(pool, &dispatch.LocalProcWorker{
+				Binary:    bin,
+				ExtraArgs: []string{"-parallel", strconv.Itoa(per)},
+				Stderr:    os.Stderr,
+				Label:     fmt.Sprintf("local[%d]", i),
+			})
+		}
+	}
+
+	n := *shards
+	if n == 0 {
+		n = len(pool)
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries %d: must be >= 0", *retries)
+	}
+
+	logger := log.New(os.Stderr, "ioschedbench: ", 0)
+	res, err := dispatch.Run(context.Background(),
+		dispatch.Spec{Selection: *rf.which, Params: params, Shards: n},
+		pool,
+		dispatch.Options{
+			MaxAttempts:    *retries + 1,
+			AttemptTimeout: *timeout,
+			RetryDelay:     *delay,
+			Dir:            *dir,
+			Logf:           logger.Printf,
+		})
+	if err != nil {
+		return err
+	}
+	logger.Printf("dispatch: %d shards done (%d resumed, %d run, %d retries) in %s",
+		n, res.Resumed, res.Ran, res.Retries, summaryDir(res.Dir))
+	if *out != "" {
+		if err := res.Merged.WriteFile(*out); err != nil {
+			return err
+		}
+	}
+	return renderMerged(res.Merged, *csvDir)
+}
+
+// summaryDir names the working directory for the completion log line.
+func summaryDir(dir string) string {
+	if dir == "" {
+		return "a temporary directory (removed)"
+	}
+	return dir
+}

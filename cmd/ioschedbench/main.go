@@ -35,6 +35,26 @@
 // in each file and refuses to mix runs. -parallel is per-host and may
 // differ. If a shard is lost, re-run just that index: cells derive their
 // seeds from their grid position, so a re-run reproduces them exactly.
+//
+// # Dispatch
+//
+// The dispatch subcommand automates the shard → retry → merge loop: it
+// fans the shard indices out to a pool of workers, re-runs shards whose
+// worker crashed, timed out or wrote a corrupt or partial file, and
+// renders the merged result — still byte-identical to the unsharded run:
+//
+//	ioschedbench dispatch -workers 3 -retries 2 -paperscale -dir sweep/
+//
+// Local workers re-execute this binary; -worker command templates cover
+// remote hosts instead:
+//
+//	ioschedbench dispatch -shards 8 -retries 2 -dir sweep/ \
+//	    -worker 'ssh host1 ioschedbench {args} -out /dev/stdout' \
+//	    -worker 'ssh host2 ioschedbench {args} -out /dev/stdout'
+//
+// With -dir set, an interrupted dispatch resumes: completed shards are
+// journalled and skipped, only missing indices re-run. The shard file
+// format is specified in docs/SHARD_FORMAT.md.
 package main
 
 import (
@@ -52,21 +72,25 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "merge" {
-		if err := runMerge(os.Args[2:]); err != nil {
-			fmt.Fprintf(os.Stderr, "ioschedbench: merge: %v\n", err)
-			os.Exit(1)
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "merge":
+			if err := runMerge(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "ioschedbench: merge: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		case "dispatch":
+			if err := runDispatch(os.Args[2:]); err != nil {
+				// Route through fail so a bad -experiment value keeps its
+				// historical exit code 2 here too.
+				fail(fmt.Errorf("dispatch: %w", err))
+			}
+			return
 		}
-		return
 	}
+	rf := registerRunFlags(flag.CommandLine)
 	var (
-		which      = flag.String("experiment", "all", "fig5|fig6|fig7|table1|motivation|ablation|multidevice|all")
-		systems    = flag.Int("systems", 0, "systems per utilisation point (0 = config default)")
-		seed       = flag.Int64("seed", 1, "random seed")
-		gaPop      = flag.Int("gapop", 0, "GA population (0 = config default)")
-		gaGens     = flag.Int("gagens", 0, "GA generations (0 = config default)")
-		paperScale = flag.Bool("paperscale", false, "use the paper's full experiment scale")
-		ablU       = flag.Float64("ablation-u", 0.6, "utilisation for the ablation study")
 		csvDir     = flag.String("csv", "", "directory to write CSV result files into")
 		parallel   = flag.Int("parallel", 0, "worker goroutines (0 = one per CPU, 1 = serial); never changes results")
 		shards     = flag.Int("shards", 0, "split the experiment grids into this many shards (0 = run unsharded)")
@@ -75,19 +99,9 @@ func main() {
 	)
 	flag.Parse()
 
-	// 0 would silently resolve to the 0.6 default (ShardParams treats the
-	// zero value as "unset"); reject it rather than mislabel the run.
-	if *ablU <= 0 {
-		fail(fmt.Errorf("-ablation-u %v: the study utilisation must be positive", *ablU))
-	}
-
-	params := experiment.ShardParams{
-		PaperScale:    *paperScale,
-		Systems:       *systems,
-		Seed:          *seed,
-		GAPopulation:  *gaPop,
-		GAGenerations: *gaGens,
-		AblationU:     *ablU,
+	params, err := rf.shardParams()
+	if err != nil {
+		fail(err)
 	}
 
 	if *shards > 0 || *out != "" {
@@ -95,7 +109,7 @@ func main() {
 		if n == 0 {
 			n = 1
 		}
-		if err := writeShard(*which, params, *parallel, n, *shardIndex, *out); err != nil {
+		if err := writeShard(*rf.which, params, *parallel, n, *shardIndex, *out); err != nil {
 			fail(err)
 		}
 		return
@@ -105,9 +119,52 @@ func main() {
 	cfg.Parallelism = *parallel
 	mcfg := params.Motivation()
 	mcfg.Parallelism = *parallel
-	if err := render(*which, cfg, mcfg, params, liveSource(cfg, mcfg, params), *csvDir); err != nil {
+	if err := render(*rf.which, cfg, mcfg, params, liveSource(cfg, mcfg, params), *csvDir); err != nil {
 		fail(err)
 	}
+}
+
+// runFlags holds the experiment-run flags shared by the top-level command
+// and the dispatch subcommand, so both spell the same run identically
+// (dispatch forwards them to its workers via dispatch.Spec.WorkerArgs).
+type runFlags struct {
+	which      *string
+	systems    *int
+	seed       *int64
+	gaPop      *int
+	gaGens     *int
+	paperScale *bool
+	ablU       *float64
+}
+
+func registerRunFlags(fs *flag.FlagSet) *runFlags {
+	return &runFlags{
+		which:      fs.String("experiment", "all", "fig5|fig6|fig7|table1|motivation|ablation|multidevice|all"),
+		systems:    fs.Int("systems", 0, "systems per utilisation point (0 = config default)"),
+		seed:       fs.Int64("seed", 1, "random seed"),
+		gaPop:      fs.Int("gapop", 0, "GA population (0 = config default)"),
+		gaGens:     fs.Int("gagens", 0, "GA generations (0 = config default)"),
+		paperScale: fs.Bool("paperscale", false, "use the paper's full experiment scale"),
+		ablU:       fs.Float64("ablation-u", 0.6, "utilisation for the ablation study"),
+	}
+}
+
+// shardParams resolves the registered flags into run params. A zero
+// -ablation-u would silently resolve to the 0.6 default (ShardParams
+// treats the zero value as "unset"); reject it rather than mislabel the
+// run.
+func (r *runFlags) shardParams() (experiment.ShardParams, error) {
+	if *r.ablU <= 0 {
+		return experiment.ShardParams{}, fmt.Errorf("-ablation-u %v: the study utilisation must be positive", *r.ablU)
+	}
+	return experiment.ShardParams{
+		PaperScale:    *r.paperScale,
+		Systems:       *r.systems,
+		Seed:          *r.seed,
+		GAPopulation:  *r.gaPop,
+		GAGenerations: *r.gaGens,
+		AblationU:     *r.ablU,
+	}, nil
 }
 
 // fail prints the error and exits — with the historical code 2 for a bad
@@ -171,18 +228,26 @@ func runMerge(args []string) error {
 	if err != nil {
 		return err
 	}
-	var params experiment.ShardParams
-	if err := json.Unmarshal(merged.Params, &params); err != nil {
-		return fmt.Errorf("recorded params: %w", err)
-	}
 	if *out != "" {
 		if err := merged.WriteFile(*out); err != nil {
 			return err
 		}
 	}
+	return renderMerged(merged, *csvDir)
+}
+
+// renderMerged renders a merged cell file exactly as the unsharded run
+// would have, rebuilding the configuration from the recorded params. The
+// merge and dispatch subcommands share it, which is what makes their
+// stdout byte-identical to the unsharded run's.
+func renderMerged(merged *shard.File, csvDir string) error {
+	var params experiment.ShardParams
+	if err := json.Unmarshal(merged.Params, &params); err != nil {
+		return fmt.Errorf("recorded params: %w", err)
+	}
 	cfg := params.Config()
 	mcfg := params.Motivation()
-	return render(merged.Selection, cfg, mcfg, params, mergedSource(merged, cfg, mcfg, params), *csvDir)
+	return render(merged.Selection, cfg, mcfg, params, mergedSource(merged, cfg, mcfg, params), csvDir)
 }
 
 // source yields experiment results for the render loop: live runners for
@@ -200,8 +265,8 @@ type source struct {
 func liveSource(cfg experiment.Config, mcfg experiment.MotivationConfig, p experiment.ShardParams) source {
 	mdU, mdCounts := p.ResolvedMultiDevice()
 	return source{
-		fig5: func() (*experiment.Fig5Result, error) { return experiment.Fig5(cfg) },
-		figq: func() (*experiment.FigQResult, *experiment.FigQResult, error) { return experiment.Fig6And7(cfg) },
+		fig5:       func() (*experiment.Fig5Result, error) { return experiment.Fig5(cfg) },
+		figq:       func() (*experiment.FigQResult, *experiment.FigQResult, error) { return experiment.Fig6And7(cfg) },
 		motivation: func() (*experiment.MotivationResult, error) { return experiment.Motivation(mcfg) },
 		ablation: func() ([]experiment.AblationResult, error) {
 			return experiment.Ablation(cfg, p.ResolvedAblationU())

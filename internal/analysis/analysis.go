@@ -1,20 +1,3 @@
-// Package analysis implements the I/O-aware end-to-end schedulability test
-// sketched in Section III-C: because the offline schedule fixes the actual
-// finish time of every I/O task, a higher-level NoC analysis (the paper
-// cites Indrusiak's end-to-end tests for priority-preemptive wormhole
-// NoCs) can integrate that value and bound a complete CPU → controller →
-// device → CPU transaction.
-//
-// The NoC part follows the classic flow-level response-time analysis for
-// priority-preemptive wormhole switching: a periodic packet flow suffers
-// direct interference from every higher-priority flow sharing at least one
-// link of its route, iterated to a fixed point. The I/O part takes the
-// task's worst release-relative completion bound straight from the
-// offline schedule (sched.Schedule.ResponseBound). The total bound is
-//
-//	R(end-to-end) = R(request flow) + finish(I/O task) + R(response flow)
-//
-// and the transaction is schedulable when the bound meets its deadline.
 package analysis
 
 import (

@@ -1,0 +1,20 @@
+// Package controller models the proposed timing-accurate I/O controller of
+// Section IV (Figure 4).
+//
+// The controller has two hardware components:
+//
+//   - the Controller Memory, which stores the pre-loaded I/O task programs
+//     (Phase 1) and is shared by all processors; and
+//   - one Controller Processor per I/O device, holding the scheduling
+//     table written by the offline scheduling methods (Phase 2) and the
+//     execution module — global timer, synchroniser, fault-recovery unit
+//     and EXU — that executes each job exactly at its table start time
+//     (Phase 3), plus the request and response channels that connect it to
+//     the application processors.
+//
+// The model is cycle-accurate with respect to everything the paper's
+// evaluation depends on: jobs start exactly at their scheduled cycles, the
+// EXU occupies the device for the program's real duration, missing
+// requests are handled by the fault-recovery unit without disturbing other
+// jobs, and read responses flow back through the response channel.
+package controller

@@ -1,13 +1,3 @@
-// Package core integrates the paper's contribution end to end: it takes a
-// timed I/O task set, produces an offline schedule with one of the
-// scheduling methods (Section III), deploys the schedule and the task
-// programs onto the proposed I/O controller (Section IV), runs the
-// cycle-accurate simulation, and verifies that the hardware executed every
-// job exactly at its scheduled instant.
-//
-// The package is the programmatic counterpart of the paper's three-phase
-// routine — pre-loading, offline scheduling, timed execution — and is what
-// the examples and the full-system experiments build on.
 package core
 
 import (

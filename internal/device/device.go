@@ -1,12 +1,3 @@
-// Package device models the I/O devices hanging off the controller: a
-// GPIO bank with pin-level waveform capture, and UART/SPI/CAN protocol
-// engines with per-frame timing.
-//
-// The scheduling layer only sees a device through the time a command
-// occupies it (the task's Ci); the models here additionally expose the
-// observable effects — pin edges and transmitted frames with cycle
-// timestamps — so integration tests and examples can verify that the
-// hardware executed the offline schedule exactly.
 package device
 
 import (

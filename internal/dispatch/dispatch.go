@@ -1,0 +1,462 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/shard"
+)
+
+// Spec describes one dispatched run: which experiment selection, with
+// which parameters, split into how many shards.
+type Spec struct {
+	// Selection is the experiment selection ("all" or one grid
+	// experiment's name); "" means "all".
+	Selection string
+	// Params is the run parameterisation recorded in every shard file.
+	// The driver normalises it (experiment.ShardParams.Normalised), so
+	// zero values select the same defaults the CLI's flags do.
+	Params experiment.ShardParams
+	// Shards is the number of shards the run is split into.
+	Shards int
+}
+
+// normalised validates the spec and returns it with the selection and
+// params resolved, alongside the compact params JSON every shard file of
+// the run must record and the canonical run names of the selection.
+func (s Spec) normalised() (Spec, []byte, []string, error) {
+	if s.Selection == "" {
+		s.Selection = experiment.ExpAll
+	}
+	runNames, err := experiment.SelectionRuns(s.Selection)
+	if err != nil {
+		return Spec{}, nil, nil, err
+	}
+	if _, err := shard.NewPlan(s.Shards, 0); err != nil {
+		return Spec{}, nil, nil, err
+	}
+	s.Params = s.Params.Normalised()
+	params, err := json.Marshal(s.Params)
+	if err != nil {
+		return Spec{}, nil, nil, fmt.Errorf("dispatch: encode params: %w", err)
+	}
+	return s, params, runNames, nil
+}
+
+// WorkerArgs returns the ioschedbench command-line arguments that make a
+// worker process evaluate shard index of the spec: the run flags with
+// every default resolved, plus -shards/-shard-index. The output flag is
+// deliberately absent — LocalProcWorker appends "-out <path>" and
+// CmdWorker templates choose their own file contract — as is -parallel,
+// which is host-local and never changes results.
+//
+// It returns an error for params no ioschedbench flag can express
+// (multi-device or motivation overrides), so a library-configured spec
+// that a CLI worker could not reproduce fails before any work is
+// dispatched rather than at params validation after it.
+func (s Spec) WorkerArgs(index int) ([]string, error) {
+	p := s.Params.Normalised()
+	base := experiment.ShardParams{Seed: p.Seed, PaperScale: p.PaperScale}.Normalised()
+	if p.MultiDeviceU != base.MultiDeviceU || p.MotivationWrites != base.MotivationWrites ||
+		fmt.Sprint(p.MultiDeviceCounts) != fmt.Sprint(base.MultiDeviceCounts) {
+		return nil, fmt.Errorf("dispatch: params override multi-device or motivation settings that have no ioschedbench flag")
+	}
+	args := []string{
+		"-experiment", s.Selection,
+		"-seed", strconv.FormatInt(p.Seed, 10),
+		"-systems", strconv.Itoa(p.Systems),
+		"-gapop", strconv.Itoa(p.GAPopulation),
+		"-gagens", strconv.Itoa(p.GAGenerations),
+		"-ablation-u", strconv.FormatFloat(p.AblationU, 'g', -1, 64),
+	}
+	if p.PaperScale {
+		args = append(args, "-paperscale")
+	}
+	return append(args, "-shards", strconv.Itoa(s.Shards), "-shard-index", strconv.Itoa(index)), nil
+}
+
+// Options tunes the driver; the zero value is a sensible default.
+type Options struct {
+	// MaxAttempts bounds how often one shard is tried before the whole
+	// dispatch fails; <= 0 selects 3 (one run plus two retries).
+	MaxAttempts int
+	// AttemptTimeout bounds one attempt's wall-clock time; an attempt
+	// over budget is killed (via its context) and re-queued like any
+	// other failure. 0 means no per-attempt bound.
+	AttemptTimeout time.Duration
+	// RetryDelay pauses a failed shard before it is re-queued, so a pool
+	// whose failures are transient (a rebooting host) does not burn its
+	// attempt budget in milliseconds. 0 re-queues immediately.
+	RetryDelay time.Duration
+	// Dir is the working directory for the shard files and the journal.
+	// "" uses a fresh temporary directory that is removed after a
+	// successful merge — set Dir to keep the files and to make an
+	// interrupted dispatch resumable.
+	Dir string
+	// Logf receives structured progress and retry lines; nil discards
+	// them. It is called from multiple goroutines and must be safe for
+	// concurrent use (log.Printf and friends are).
+	Logf func(format string, args ...any)
+}
+
+// Attempt records one worker attempt at one shard.
+type Attempt struct {
+	// Shard and Attempt identify the try: attempt n is the n-th time this
+	// shard ran, starting at 1.
+	Shard   int
+	Attempt int
+	// Worker is the name of the worker that ran it.
+	Worker string
+	// Err is the failure ("" for success): the worker's error, or the
+	// validation error for a corrupt or partial file.
+	Err string
+}
+
+// Result reports a completed dispatch.
+type Result struct {
+	// Merged is the complete single-shard equivalent file — byte-identical
+	// (once encoded) to what the unsharded run would have produced.
+	Merged *shard.File
+	// Dir is the working directory holding the shard files and journal;
+	// "" if the driver used (and removed) a temporary directory.
+	Dir string
+	// ShardPaths are the per-shard file paths, indexed by shard; nil if
+	// the working directory was temporary.
+	ShardPaths []string
+	// Resumed counts shards satisfied from the journal without running;
+	// Ran counts shards executed by this invocation; Retries counts
+	// failed attempts that were re-queued.
+	Resumed, Ran, Retries int
+	// Attempts is the full attempt log of this invocation, in completion
+	// order.
+	Attempts []Attempt
+}
+
+// task and outcome flow between the coordinator and the worker loops.
+type task struct {
+	index   int
+	attempt int
+	// failedOn records the pool indices of workers whose attempt at this
+	// shard failed, so retries prefer a different worker — a single dead
+	// host must not burn a shard's whole attempt budget while healthy
+	// workers idle.
+	failedOn map[int]bool
+}
+
+type outcome struct {
+	task
+	workerIdx int
+	worker    string
+	// file is the decoded, validated shard file of a successful attempt;
+	// the driver merges these directly rather than re-reading the paths.
+	file *shard.File
+	err  error
+}
+
+// Run dispatches the spec's shards across the worker pool and returns the
+// merged result. Each shard is attempted up to Options.MaxAttempts times —
+// an attempt fails if the worker errors, exceeds Options.AttemptTimeout,
+// or leaves a file that fails validation — and any worker may pick up the
+// retry. The merged output is byte-identical to the unsharded run: cells
+// derive their randomness from their grid position, so a retried shard
+// reproduces exactly the cells the lost one would have held.
+//
+// With Options.Dir set, progress survives interruption: completed shards
+// are recorded in a journal, and a later Run over the same directory
+// re-validates and skips them, executing only the missing indices.
+//
+// Run fails if any shard exhausts its attempts, if the context is
+// cancelled, or if the directory's journal belongs to a different run.
+func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Result, error) {
+	spec, params, runNames, err := spec.normalised()
+	if err != nil {
+		return nil, err
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("dispatch: no workers")
+	}
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	dir, tempDir := opts.Dir, false
+	if dir == "" {
+		if dir, err = os.MkdirTemp("", "ioschedbench-dispatch-"); err != nil {
+			return nil, fmt.Errorf("dispatch: %w", err)
+		}
+		tempDir = true
+		defer os.RemoveAll(dir)
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dispatch: %w", err)
+	}
+
+	paths := make([]string, spec.Shards)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("shard%d.json", i))
+	}
+
+	jr, done, err := openJournal(filepath.Join(dir, journalFileName), spec, params)
+	if err != nil {
+		return nil, err
+	}
+	// Close is idempotent; this covers the error-return paths, while the
+	// success path below closes explicitly so journal write errors are
+	// never swallowed (losing resume state silently would betray the
+	// journal's contract).
+	defer jr.Close()
+
+	res := &Result{Dir: dir, ShardPaths: paths}
+	files := make([]*shard.File, spec.Shards)
+	var pending []task
+	for i := 0; i < spec.Shards; i++ {
+		if done[i] {
+			if f, verr := validateShardFile(paths[i], spec, i, params, runNames); verr == nil {
+				files[i] = f
+				res.Resumed++
+				logf("dispatch: shard %d/%d already complete (journal), skipping", i, spec.Shards)
+				continue
+			} else {
+				logf("dispatch: journal marks shard %d done but its file is invalid (%v); re-running", i, verr)
+			}
+		}
+		pending = append(pending, task{index: i, attempt: 1})
+	}
+	res.Ran = len(pending)
+
+	if len(pending) > 0 {
+		if err := run(ctx, spec, workers, opts, maxAttempts, logf, paths, params, runNames, jr, pending, res, files); err != nil {
+			return nil, err
+		}
+	}
+
+	merged, err := shard.Merge(files)
+	if err != nil {
+		return nil, err
+	}
+	jr.merged(spec.Shards, merged.CellCount())
+	logf("dispatch: merged %d shards (%d cells) for %q", spec.Shards, merged.CellCount(), spec.Selection)
+	if err := jr.Close(); err != nil {
+		return nil, fmt.Errorf("dispatch: journal: %w", err)
+	}
+	res.Merged = merged
+	if tempDir {
+		res.Dir, res.ShardPaths = "", nil
+	}
+	return res, nil
+}
+
+// run drains the pending shards through the worker pool, re-queueing
+// failures until every shard completes or one exhausts its attempts.
+//
+// The coordinator assigns tasks to idle workers explicitly (one channel
+// per worker) rather than letting workers race on a shared queue: that is
+// what lets a retry prefer a worker that has not already failed the
+// shard, so a single dead worker cannot consume a shard's whole attempt
+// budget while healthy workers sit idle. A shard that has failed on every
+// worker may run anywhere.
+func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAttempts int,
+	logf func(string, ...any), paths []string, params []byte, runNames []string,
+	jr *journal, pending []task, res *Result, files []*shard.File) error {
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	feeds := make([]chan task, len(workers))
+	results := make(chan outcome)
+	requeue := make(chan task, spec.Shards*maxAttempts)
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		feeds[i] = make(chan task, 1)
+		wg.Add(1)
+		go func(wi int, w Worker) {
+			defer wg.Done()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case t := <-feeds[wi]:
+					jr.attempt(t.index, t.attempt, w.Name())
+					logf("dispatch: shard %d attempt %d/%d on %s", t.index, t.attempt, maxAttempts, w.Name())
+					o := outcome{task: t, workerIdx: wi, worker: w.Name()}
+					o.file, o.err = runAttempt(runCtx, w, spec, t.index, paths[t.index], params, runNames, opts.AttemptTimeout)
+					select {
+					case results <- o:
+					case <-runCtx.Done():
+						return
+					}
+				}
+			}
+		}(i, w)
+	}
+
+	idle := make([]int, len(workers))
+	for i := range idle {
+		idle[i] = i
+	}
+	// tryAssign hands queued tasks to idle workers, preferring for each
+	// task a worker that has not failed it yet; tasks whose only fresh
+	// workers are busy stay queued until one frees up.
+	tryAssign := func() {
+		for len(idle) > 0 {
+			assigned := false
+			for pi := 0; pi < len(pending) && !assigned; pi++ {
+				t := pending[pi]
+				pick := -1
+				for ii, wi := range idle {
+					if !t.failedOn[wi] {
+						pick = ii
+						break
+					}
+				}
+				if pick == -1 && len(t.failedOn) >= len(workers) {
+					pick = 0 // every worker failed it once; anyone may retry
+				}
+				if pick == -1 {
+					continue
+				}
+				wi := idle[pick]
+				idle = append(idle[:pick], idle[pick+1:]...)
+				pending = append(pending[:pi], pending[pi+1:]...)
+				feeds[wi] <- t // cap 1 and the worker is idle: never blocks
+				assigned = true
+			}
+			if !assigned {
+				return
+			}
+		}
+	}
+
+	remaining := len(pending)
+	tryAssign()
+	var fatal error
+	for remaining > 0 && fatal == nil {
+		select {
+		case <-ctx.Done():
+			fatal = ctx.Err()
+		case t := <-requeue:
+			pending = append(pending, t)
+			tryAssign()
+		case o := <-results:
+			idle = append(idle, o.workerIdx)
+			a := Attempt{Shard: o.index, Attempt: o.attempt, Worker: o.worker}
+			if o.err != nil {
+				a.Err = o.err.Error()
+			}
+			res.Attempts = append(res.Attempts, a)
+			if o.err == nil {
+				files[o.index] = o.file
+				jr.done(o.index, o.attempt, paths[o.index])
+				logf("dispatch: shard %d/%d complete (attempt %d on %s)", o.index, spec.Shards, o.attempt, o.worker)
+				remaining--
+				tryAssign()
+				continue
+			}
+			jr.fail(o.index, o.attempt, o.worker, o.err)
+			if o.attempt >= maxAttempts {
+				fatal = fmt.Errorf("dispatch: shard %d failed all %d attempts, last on %s: %w",
+					o.index, o.attempt, o.worker, o.err)
+				continue
+			}
+			logf("dispatch: shard %d attempt %d on %s failed, retrying: %v", o.index, o.attempt, o.worker, o.err)
+			res.Retries++
+			retry := task{index: o.index, attempt: o.attempt + 1, failedOn: o.failedOn}
+			if retry.failedOn == nil {
+				retry.failedOn = make(map[int]bool)
+			}
+			retry.failedOn[o.workerIdx] = true
+			if opts.RetryDelay > 0 {
+				go func() {
+					select {
+					case <-time.After(opts.RetryDelay):
+						requeue <- retry
+					case <-runCtx.Done():
+					}
+				}()
+			} else {
+				pending = append(pending, retry)
+			}
+			tryAssign()
+		}
+	}
+	cancel()
+	wg.Wait()
+	return fatal
+}
+
+// runAttempt runs one shard attempt under the per-attempt timeout and
+// validates the produced file, returning its decoded form on success.
+func runAttempt(ctx context.Context, w Worker, spec Spec, index int, path string,
+	params []byte, runNames []string, timeout time.Duration) (*shard.File, error) {
+	actx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	// Drop any partial file a previous attempt left, so validation can
+	// never accept stale output.
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("dispatch: %w", err)
+	}
+	var f *shard.File
+	err := w.Run(actx, Task{Spec: spec, Index: index, Out: path})
+	if err == nil {
+		f, err = validateShardFile(path, spec, index, params, runNames)
+	}
+	if err != nil && actx.Err() != nil && ctx.Err() == nil {
+		return nil, fmt.Errorf("dispatch: attempt exceeded the %v timeout: %w", timeout, err)
+	}
+	return f, err
+}
+
+// validateShardFile accepts a worker's output only if it is a decodable
+// shard file of exactly this run — right selection, decomposition and
+// params, the selection's canonical runs, and every owned cell present
+// exactly once (File.ValidateCells) — and returns the decoded file so
+// the driver never parses a shard twice. Anything else counts as a
+// failed attempt and is retried.
+func validateShardFile(path string, spec Spec, index int, params []byte, runNames []string) (*shard.File, error) {
+	f, err := shard.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if f.Selection != spec.Selection {
+		return nil, fmt.Errorf("dispatch: %s records selection %q, want %q", path, f.Selection, spec.Selection)
+	}
+	if f.Shards != spec.Shards || f.Index != index {
+		return nil, fmt.Errorf("dispatch: %s records shard %d/%d, want %d/%d",
+			path, f.Index, f.Shards, index, spec.Shards)
+	}
+	var got bytes.Buffer
+	if err := json.Compact(&got, f.Params); err != nil {
+		return nil, fmt.Errorf("dispatch: %s params: %w", path, err)
+	}
+	if !bytes.Equal(got.Bytes(), params) {
+		return nil, fmt.Errorf("dispatch: %s was produced by a different run (params mismatch)", path)
+	}
+	if len(f.Runs) != len(runNames) {
+		return nil, fmt.Errorf("dispatch: %s holds %d runs, want %d", path, len(f.Runs), len(runNames))
+	}
+	for i, r := range f.Runs {
+		if r.Experiment != runNames[i] {
+			return nil, fmt.Errorf("dispatch: %s run %d is %q, want %q", path, i, r.Experiment, runNames[i])
+		}
+	}
+	if err := f.ValidateCells(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,47 @@
+// Package dispatch is the fault-tolerant driver for distributed
+// experiment sweeps: it fans the shard indices of one run out to a pool
+// of workers, detects lost, failed, corrupt and timed-out shards, re-runs
+// them by index, and merges the complete cover into the single-shard
+// equivalent of the unsharded run.
+//
+// The driver builds directly on the two invariants the lower layers
+// guarantee:
+//
+//   - internal/exec: a grid cell's randomness derives from its (runner,
+//     point, system) path, so a retried shard reproduces its cells
+//     byte-identically no matter which worker — or which host, or which
+//     attempt — evaluates it;
+//   - internal/shard: N shard files form a validated disjoint cover, so
+//     the driver can prove per shard (File.ValidateCells) and per run
+//     (Merge) that nothing was lost, duplicated or mixed in from another
+//     run before it declares the sweep complete.
+//
+// Failure handling is therefore entirely mechanical: any attempt that
+// errors, times out, or leaves a file that fails validation is simply
+// re-queued, up to Options.MaxAttempts per shard. Dispatched output is
+// byte-identical to the unsharded run — enforced by this package's tests
+// and the dispatch-equivalence CI job.
+//
+// # Workers
+//
+// Work is delegated through the Worker interface; two backends ship:
+//
+//   - LocalProcWorker re-executes an ioschedbench binary as a local
+//     subprocess per shard — the testable default, and what the CLI's
+//     "ioschedbench dispatch -workers N" uses (re-executing itself);
+//   - CmdWorker runs a user-supplied command template (for example
+//     "ssh host ioschedbench {args} -out /dev/stdout"), which covers
+//     remote hosts without this package depending on SSH.
+//
+// # Journal
+//
+// Every dispatch appends structured events (plan, attempt, fail, done,
+// merged) to a JSONL journal in its working directory. A re-run with the
+// same directory resumes: shards the journal marks done are re-validated
+// from their files and skipped, and only missing or invalid shards are
+// executed. The journal also rejects reuse of a directory by a different
+// run (selection, shard count or params mismatch).
+//
+// The shard file format the driver produces and consumes is specified in
+// docs/SHARD_FORMAT.md.
+package dispatch

@@ -1,0 +1,151 @@
+package dispatch
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// journalFileName is the journal's name inside the dispatch directory.
+const journalFileName = "dispatch.journal"
+
+// journalEvent is one JSONL line of the dispatch journal. The journal is
+// both the structured log of a dispatch and its resume state: "done"
+// events name the shards that need not re-run, and the leading "plan"
+// event pins which run the directory belongs to.
+type journalEvent struct {
+	Time  string `json:"time,omitempty"`
+	Event string `json:"event"`
+
+	// plan
+	Selection string          `json:"selection,omitempty"`
+	Shards    int             `json:"shards,omitempty"`
+	Params    json.RawMessage `json:"params,omitempty"`
+
+	// attempt / fail / done
+	Shard   *int   `json:"shard,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	Worker  string `json:"worker,omitempty"`
+	Error   string `json:"error,omitempty"`
+	File    string `json:"file,omitempty"`
+
+	// merged
+	Cells int `json:"cells,omitempty"`
+}
+
+// journal appends events to the dispatch journal file. Safe for
+// concurrent use; write errors are sticky and reported by Close, so a
+// full disk cannot silently disable resumability.
+type journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	enc    *json.Encoder
+	closed bool
+	err    error
+}
+
+// openJournal opens (or creates) the journal at path for the given run
+// and returns it with the set of shard indices already recorded done.
+//
+// An existing journal must carry a plan event matching the run —
+// selection, shard count and compact params — otherwise the directory
+// belongs to a different run and openJournal refuses it rather than mix
+// shard sets. Unparseable lines (a crash can truncate the final line) are
+// skipped: the worst case is re-running a shard that had finished, which
+// is always safe.
+func openJournal(path string, spec Spec, params []byte) (*journal, map[int]bool, error) {
+	done := make(map[int]bool)
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("dispatch: journal: %w", err)
+	}
+	resuming := err == nil && len(bytes.TrimSpace(data)) > 0
+	if resuming {
+		sawPlan := false
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			var e journalEvent
+			if json.Unmarshal(sc.Bytes(), &e) != nil {
+				continue
+			}
+			switch e.Event {
+			case "plan":
+				var recorded bytes.Buffer
+				if len(e.Params) > 0 {
+					if err := json.Compact(&recorded, e.Params); err != nil {
+						return nil, nil, fmt.Errorf("dispatch: journal %s: plan params: %w", path, err)
+					}
+				}
+				if e.Selection != spec.Selection || e.Shards != spec.Shards ||
+					!bytes.Equal(recorded.Bytes(), params) {
+					return nil, nil, fmt.Errorf(
+						"dispatch: journal %s records a different run (selection %q, %d shards); use a fresh directory",
+						path, e.Selection, e.Shards)
+				}
+				sawPlan = true
+			case "done":
+				if e.Shard != nil {
+					done[*e.Shard] = true
+				}
+			}
+		}
+		if !sawPlan {
+			return nil, nil, fmt.Errorf("dispatch: journal %s carries no plan event; use a fresh directory", path)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dispatch: journal: %w", err)
+	}
+	j := &journal{f: f, enc: json.NewEncoder(f)}
+	if !resuming {
+		j.write(journalEvent{Event: "plan", Selection: spec.Selection, Shards: spec.Shards, Params: params})
+	}
+	return j, done, nil
+}
+
+func (j *journal) write(e journalEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	if err := j.enc.Encode(e); err != nil && j.err == nil {
+		j.err = err
+	}
+}
+
+func (j *journal) attempt(shard, attempt int, worker string) {
+	j.write(journalEvent{Event: "attempt", Shard: &shard, Attempt: attempt, Worker: worker})
+}
+
+func (j *journal) fail(shard, attempt int, worker string, err error) {
+	j.write(journalEvent{Event: "fail", Shard: &shard, Attempt: attempt, Worker: worker, Error: err.Error()})
+}
+
+func (j *journal) done(shard, attempt int, file string) {
+	j.write(journalEvent{Event: "done", Shard: &shard, Attempt: attempt, File: file})
+}
+
+func (j *journal) merged(shards, cells int) {
+	j.write(journalEvent{Event: "merged", Shards: shards, Cells: cells})
+}
+
+// Close flushes the journal and reports the first write error, if any.
+// It is idempotent: the driver closes explicitly on its success path (so
+// a failed journal surfaces as a dispatch error) and again via defer on
+// the error paths.
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.closed {
+		j.closed = true
+		if err := j.f.Close(); err != nil && j.err == nil {
+			j.err = err
+		}
+	}
+	return j.err
+}

@@ -1,0 +1,188 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Task is one unit of dispatched work: evaluate shard Index of Spec and
+// leave the cell file at Out on the local filesystem.
+type Task struct {
+	Spec  Spec
+	Index int
+	// Out is the local path the shard file must end up at. The driver
+	// removes any previous attempt's file before the task runs.
+	Out string
+}
+
+// Worker evaluates shards. Implementations must honour ctx cancellation —
+// the driver enforces per-attempt timeouts through it — and should return
+// an error for any failure they can observe. The driver additionally
+// validates the produced file (internal/shard decode, plan ownership,
+// completeness, params match), so a worker that exits successfully after
+// writing a corrupt or partial file is still caught and retried.
+type Worker interface {
+	// Name identifies the worker in progress logs and the journal.
+	Name() string
+	// Run evaluates t's shard and leaves the cell file at t.Out.
+	Run(ctx context.Context, t Task) error
+}
+
+// LocalProcWorker runs each shard by executing an ioschedbench binary (or
+// any binary accepting the same flags) as a local subprocess. It is the
+// testable default backend: "ioschedbench dispatch -workers N" builds N
+// of these around os.Executable().
+type LocalProcWorker struct {
+	// Binary is the path of the program to execute.
+	Binary string
+	// ExtraArgs are appended after the generated shard arguments —
+	// typically host-local tuning such as "-parallel 2", which is
+	// deliberately absent from Spec.WorkerArgs because it never changes
+	// results.
+	ExtraArgs []string
+	// Env entries are appended to the parent environment for the
+	// subprocess; nil inherits the parent environment unchanged.
+	Env []string
+	// Stderr receives the subprocess's progress output; nil discards it.
+	Stderr io.Writer
+	// Label overrides the worker's log name; default "local:<binary>".
+	Label string
+}
+
+// Name returns the worker's log name.
+func (w *LocalProcWorker) Name() string {
+	if w.Label != "" {
+		return w.Label
+	}
+	return "local:" + filepath.Base(w.Binary)
+}
+
+// Run executes the binary with the task's shard arguments plus ExtraArgs.
+func (w *LocalProcWorker) Run(ctx context.Context, t Task) error {
+	args, err := t.Spec.WorkerArgs(t.Index)
+	if err != nil {
+		return err
+	}
+	args = append(args, "-out", t.Out)
+	args = append(args, w.ExtraArgs...)
+	cmd := exec.CommandContext(ctx, w.Binary, args...)
+	cmd.Stderr = w.Stderr
+	if len(w.Env) > 0 {
+		cmd.Env = append(os.Environ(), w.Env...)
+	}
+	if err := cmd.Run(); err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("dispatch: %s: %w (%v)", w.Name(), ctx.Err(), err)
+		}
+		return fmt.Errorf("dispatch: %s: %w", w.Name(), err)
+	}
+	return nil
+}
+
+// CmdWorker runs each shard through a user-supplied command template —
+// the backend for remote hosts ("ssh host ...") and for wrapper scripts,
+// without this package depending on any transport.
+//
+// Each Argv element may use the placeholders
+//
+//	{index}   the shard index
+//	{shards}  the shard count
+//	{out}     the local output path
+//	{args}    the generated ioschedbench shard arguments (Spec.WorkerArgs)
+//
+// An element that is exactly "{args}" is spliced into the argument list
+// as separate arguments; inside a longer element the placeholders expand
+// textually (values are space-joined), which suits commands like ssh that
+// re-join their trailing arguments into one remote shell line.
+//
+// The file contract follows from the template: if {out} appears anywhere,
+// the command is responsible for leaving the shard file at that local
+// path (a local wrapper would pass "{args} -out {out}" through to
+// ioschedbench); otherwise the command's standard output is captured into
+// the output path, so a remote recipe is simply
+//
+//	ssh host ioschedbench {args} -out /dev/stdout
+//
+// Argv is a literal argument vector — there is no shell and no quoting
+// layer (the CLI's -worker flag splits its template on whitespace), so
+// an individual argument cannot contain a space. Commands that need
+// shell features or spaced arguments should be wrapped in a script and
+// the script named in Argv.
+type CmdWorker struct {
+	// Argv is the command template; Argv[0] is the program.
+	Argv []string
+	// Env entries are appended to the parent environment; nil inherits.
+	Env []string
+	// Stderr receives the command's stderr; nil discards it.
+	Stderr io.Writer
+	// Label overrides the worker's log name; default "cmd:<argv0>".
+	Label string
+}
+
+// Name returns the worker's log name.
+func (w *CmdWorker) Name() string {
+	if w.Label != "" {
+		return w.Label
+	}
+	if len(w.Argv) > 0 {
+		return "cmd:" + filepath.Base(w.Argv[0])
+	}
+	return "cmd"
+}
+
+// Run expands the template for the task and executes it.
+func (w *CmdWorker) Run(ctx context.Context, t Task) (err error) {
+	if len(w.Argv) == 0 {
+		return fmt.Errorf("dispatch: %s: empty command template", w.Name())
+	}
+	shardArgs, err := t.Spec.WorkerArgs(t.Index)
+	if err != nil {
+		return err
+	}
+	capture := true
+	var argv []string
+	for _, el := range w.Argv {
+		if strings.Contains(el, "{out}") {
+			capture = false
+		}
+		if el == "{args}" {
+			argv = append(argv, shardArgs...)
+			continue
+		}
+		el = strings.ReplaceAll(el, "{args}", strings.Join(shardArgs, " "))
+		el = strings.ReplaceAll(el, "{index}", strconv.Itoa(t.Index))
+		el = strings.ReplaceAll(el, "{shards}", strconv.Itoa(t.Spec.Shards))
+		el = strings.ReplaceAll(el, "{out}", t.Out)
+		argv = append(argv, el)
+	}
+	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	cmd.Stderr = w.Stderr
+	if len(w.Env) > 0 {
+		cmd.Env = append(os.Environ(), w.Env...)
+	}
+	if capture {
+		f, err := os.Create(t.Out)
+		if err != nil {
+			return fmt.Errorf("dispatch: %s: %w", w.Name(), err)
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("dispatch: %s: %w", w.Name(), cerr)
+			}
+		}()
+		cmd.Stdout = f
+	}
+	if err := cmd.Run(); err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("dispatch: %s: %w (%v)", w.Name(), ctx.Err(), err)
+		}
+		return fmt.Errorf("dispatch: %s: %w", w.Name(), err)
+	}
+	return nil
+}

@@ -1,21 +1,3 @@
-// Package exec is the deterministic parallel execution engine shared by
-// the scheduling, GA and experiment layers.
-//
-// The engine has one design constraint, inherited from the paper's setting
-// (timing-accurate systems on multi- and many-core hosts): parallel
-// speedup must never change results. Every construct here is therefore
-// order-preserving and free of shared mutable state:
-//
-//   - Pool is a bounded worker pool whose tasks are indexed; Map collects
-//     results in index order, and errors are reported in index order, so
-//     the outcome of a run is independent of goroutine scheduling;
-//   - DeriveSeed mixes a base seed with per-task stream tags (splitmix64),
-//     so each task owns a private, reproducible randomness stream instead
-//     of sharing one *rand.Rand across goroutines.
-//
-// A caller that runs the same work at Pool sizes 1 and NumCPU gets
-// byte-identical results; the repository's parallel/serial equivalence
-// tests enforce this for ScheduleAll, ga.Solve and the experiment runners.
 package exec
 
 import (

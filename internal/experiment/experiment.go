@@ -1,18 +1,3 @@
-// Package experiment contains one runner per table and figure of the
-// paper's evaluation (Section V), plus the motivation latency experiment
-// and the ablation studies:
-//
-//	Fig5       — schedulable fraction vs utilisation for the five methods
-//	Fig6And7   — Ψ and Υ vs utilisation for the four offline methods
-//	Table1     — hardware cost of the controller designs (via hwcost)
-//	Motivation — remote-write jitter over the NoC vs pre-loaded controller
-//	Ablation   — design-choice variants of the static and GA schedulers
-//
-// Every runner is deterministic given Config.Seed. The paper's full scale
-// (1000 systems per point, GA population 300 × 500 generations) is
-// reproduced by setting the corresponding Config fields; the defaults are
-// a calibrated scaled-down configuration that preserves every qualitative
-// relationship and finishes in seconds (EXPERIMENTS.md records both).
 package experiment
 
 import (

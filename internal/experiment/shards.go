@@ -138,11 +138,13 @@ func (p ShardParams) ResolvedMultiDevice() (float64, []int) {
 	return u, counts
 }
 
-// normalised resolves every defaultable field to its effective value, so
+// Normalised resolves every defaultable field to its effective value, so
 // equivalent runs record byte-equal params no matter which zero-value
 // spelling produced them — shard.Merge compares the recorded bytes, and
-// a CLI shard must merge with a library shard of the same run.
-func (p ShardParams) normalised() ShardParams {
+// a CLI shard must merge with a library shard of the same run. RunShard
+// normalises before recording; dispatch drivers normalise before
+// comparing a worker's output against the plan.
+func (p ShardParams) Normalised() ShardParams {
 	cfg := p.Config()
 	p.Systems = cfg.Systems
 	p.GAPopulation = cfg.GA.Population
@@ -336,9 +338,11 @@ func MultiDeviceFromCells(cfg Config, deviceCounts []int, cells []shard.Cell) ([
 	return multiDeviceAggregate(cfg, deviceCounts, g.at), nil
 }
 
-// selectionRuns expands a CLI selection into the grid experiments it
-// covers, in canonical order.
-func selectionRuns(selection string) ([]string, error) {
+// SelectionRuns expands a CLI selection ("all" or one experiment name)
+// into the grid experiments a shard file for that selection records, in
+// canonical order. It rejects selections with no grid to shard: Table I
+// is a closed-form model, and unknown names report ErrUnknownExperiment.
+func SelectionRuns(selection string) ([]string, error) {
 	if selection == ExpAll {
 		return gridExperiments(), nil
 	}
@@ -365,11 +369,11 @@ func RunShard(selection string, p ShardParams, parallelism, shards, index int) (
 	if err != nil {
 		return nil, err
 	}
-	names, err := selectionRuns(selection)
+	names, err := SelectionRuns(selection)
 	if err != nil {
 		return nil, err
 	}
-	p = p.normalised()
+	p = p.Normalised()
 	cfg := p.Config()
 	cfg.Parallelism = parallelism
 	params, err := json.Marshal(p)

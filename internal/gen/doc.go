@@ -1,0 +1,15 @@
+// Package gen generates the synthetic I/O systems used by the paper's
+// evaluation (Section V-A):
+//
+//   - task utilisations drawn with the UUniFast algorithm (Bini & Buttazzo),
+//     with total utilisation U = 0.05 · |Γ|;
+//   - periods drawn uniformly from the divisors of the 1440 ms hyper-period
+//     (restricted to a configurable range so job counts stay finite);
+//   - implicit deadlines (D = T) and DMPO priorities;
+//   - timing margin θi = Ti/4 and ideal start δi uniform in [θi, Di − θi];
+//   - the constraint θi ≥ Ci enforced by redrawing the task's period/WCET;
+//   - Vmax = Pi + 1 and a global Vmin = 1.
+//
+// All randomness flows through an injected *rand.Rand so experiments are
+// reproducible from a seed.
+package gen

@@ -1,9 +1,3 @@
-// Package gpiocphw models the GPIOCP baseline hardware (Jiang & Audsley,
-// DATE 2017) at the same level of detail as the proposed controller: timed
-// requests fire into a FIFO queue, and a command executor drains the queue
-// head-first, work-conservingly, with no scheduling table and no notion of
-// deadlines. It shares the controller package's Memory and Executor
-// abstractions so the two designs are directly comparable in simulation.
 package gpiocphw
 
 import (

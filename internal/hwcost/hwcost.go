@@ -1,22 +1,3 @@
-// Package hwcost estimates the FPGA implementation cost of the I/O
-// controllers compared in Table I.
-//
-// The paper synthesises the designs with Vivado 2017.4 on a Xilinx VC709
-// and reports LUTs, registers, DSPs, BRAM and power. That toolchain is a
-// hardware gate for this reproduction, so the package substitutes a
-// structural resource model: every design is described as a bill of
-// materials over RTL primitives (registers, counters, comparators, FSMs,
-// FIFO controllers, bus interfaces, decoders), each with a LUT/FF cost
-// typical of a Xilinx 7-series mapping, and the estimator sums them.
-// Dynamic power follows an activity-based model calibrated per design
-// class (CPUs toggle almost every cycle; I/O controllers are mostly idle).
-//
-// The model's purpose is to reproduce Table I's *relationships* — the
-// proposed controller costs ~30% more logic than GPIOCP and ~35% more than
-// a basic MicroBlaze, a quarter of a full MicroBlaze, and an order of
-// magnitude less power than either CPU — rather than the absolute LUT
-// counts of a particular Vivado run. EXPERIMENTS.md records model vs paper
-// for every cell.
 package hwcost
 
 import "fmt"

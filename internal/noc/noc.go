@@ -1,14 +1,3 @@
-// Package noc implements a cycle-level 2-D mesh network-on-chip: XY
-// dimension-ordered routing, store-and-forward routers, and fixed-priority
-// link arbitration (Figure 3's "R" boxes).
-//
-// The paper uses the NoC as the source of the variable, contention-
-// dependent latency between an application CPU and the I/O controller —
-// the reason remote instigation of I/O cannot be timing-accurate and timed
-// commands must be pre-loaded instead. The model therefore focuses on the
-// latency/contention behaviour: per-hop router and link delays, output
-// ports that serialise packets, and arbitration that favours
-// higher-priority flows while lower-priority traffic queues.
 package noc
 
 import (

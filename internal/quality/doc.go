@@ -1,0 +1,15 @@
+// Package quality implements the timing-accuracy quality model of
+// Section II (Figure 1) and the two I/O performance metrics of Section III:
+//
+//   - Ψ (Psi): the fraction of jobs that start exactly at their ideal
+//     instant, Ψ = |E| / |λ| (Equation 1);
+//   - Υ (Upsilon): the normalised total quality of the schedule,
+//     Υ = Σ V(κ) / Σ V(δ) (Equation 2).
+//
+// The quality curve is application-dependent; the paper (and this
+// reproduction) evaluates with a common piecewise-linear curve: quality is
+// Vmax at the ideal start instant, decays linearly to Vmin at the edges of
+// the timing boundary [δ−θ, δ+θ], and is Vmin outside the boundary provided
+// the job still meets its deadline. A job that misses its deadline has no
+// defined quality: the schedule is simply infeasible.
+package quality

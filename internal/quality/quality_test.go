@@ -86,12 +86,12 @@ func TestPenalisedBoundaryConsistency(t *testing.T) {
 		linWant float64
 		out     bool // outside the boundary under both curves
 	}{
-		{60, 1, true},   // dist == Theta, early edge
-		{140, 1, true},  // dist == Theta, late edge
+		{60, 1, true},     // dist == Theta, early edge
+		{140, 1, true},    // dist == Theta, late edge
 		{61, 1.2, false},  // one tick inside the early edge
 		{139, 1.2, false}, // one tick inside the late edge
-		{59, 1, true},   // one tick outside
-		{100, 9, false}, // exact
+		{59, 1, true},     // one tick outside
+		{100, 9, false},   // exact
 	} {
 		if got := lin.Value(&j, tc.t); math.Abs(got-tc.linWant) > 1e-12 {
 			t.Errorf("Linear V(%d) = %g, want %g", tc.t, got, tc.linWant)

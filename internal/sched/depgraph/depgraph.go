@@ -1,15 +1,3 @@
-// Package depgraph implements phases one and two of Algorithm 1: the
-// formation of dependency graphs over the jobs' ideal execution intervals,
-// and their decomposition by penalty weight.
-//
-// A dependency graph links jobs whose ideal executions [Ideal, Ideal+C)
-// overlap (Figure 2). The penalty weight ψ of a job is its degree — the
-// number of jobs that cannot be exactly timing-accurate if this job runs at
-// its ideal instant. Decomposition repeatedly removes the job with the
-// highest ψ (ties broken by lowest priority Pi, then by job identity for
-// determinism) until no conflicts remain; removed jobs form λ¬ and are
-// later re-allocated by the LCC-D phase, while surviving jobs form λ* and
-// execute exactly at their ideal start instants.
 package depgraph
 
 import (

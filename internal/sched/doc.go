@@ -1,0 +1,12 @@
+// Package sched defines the common schedule representation shared by every
+// scheduling method in the repository, together with the feasibility
+// validator that encodes the paper's two constraints (Section III-B):
+//
+//	Constraint 1: every job executes inside its release window,
+//	              Ti·j ≤ κi^j ≤ Ti·j + Di − Ci;
+//	Constraint 2: job executions on one device never overlap.
+//
+// A Schedule is always for a single device partition — the scheduling model
+// is fully partitioned (Section III), so cross-device interleavings are
+// irrelevant by construction. DeviceSchedules aggregates partitions.
+package sched

@@ -1,19 +1,3 @@
-// Package fps implements the paper's two fixed-priority baselines
-// (Section V-A):
-//
-//   - "FPS-offline": a clairvoyant non-preemptive fixed-priority simulation
-//     over one hyper-period — at every scheduling point the highest-priority
-//     released job runs, work-conservingly and without preemption. Its
-//     schedulability is the best any priority-driven runtime could achieve,
-//     and the paper reports it schedules every generated system.
-//   - "FPS-online": the worst-case schedulability test for non-preemptive
-//     fixed-priority scheduling in the style of Davis et al.'s CAN analysis
-//     (ECRTS 2011): lower-priority blocking plus higher-priority
-//     interference on the queueing delay, iterated to a fixed point.
-//
-// Neither baseline knows about ideal start times δ, which is why the paper
-// reports Ψ = 0 for FPS in Figure 6: a work-conserving scheduler starts
-// jobs as early as possible rather than at their ideal instants.
 package fps
 
 import (

@@ -1,25 +1,3 @@
-// Package ga implements the paper's second scheduling method
-// (Section III-B): a multi-objective genetic algorithm over the per-job
-// start times κ that maximises both Ψ (the fraction of exactly
-// timing-accurate jobs) and Υ (the normalised total quality).
-//
-// The encoding and operators follow the paper:
-//
-//   - the chromosome is the vector of start times κi^j, one gene per job;
-//   - Constraint 1 (window containment) is enforced structurally: genes are
-//     initialised and mutated inside the timing boundary
-//     [Ti·j + δi − θi, Ti·j + δi + θi], clamped to the feasible window;
-//   - Constraint 2 (non-overlap) is enforced by a reconfiguration function
-//     applied before the objectives: jobs are laid out in gene order,
-//     overlaps are resolved by delaying later jobs while preserving the
-//     order (ties broken by priority), and each job is snapped to its ideal
-//     instant when that is possible without disturbing the order;
-//   - an individual that is infeasible after reconfiguration scores −1 on
-//     both objectives;
-//   - the population spreads its objective weights uniformly from (1.0, 0)
-//     to (0, 1.0) so different slots press towards different ends of the
-//     Pareto front;
-//   - all non-dominated solutions found during the search are returned.
 package ga
 
 import (

@@ -1,14 +1,3 @@
-// Package gpiocp implements the scheduling behaviour of the GPIOCP baseline
-// (Jiang & Audsley, DATE 2017) as evaluated in Section V of the paper.
-//
-// GPIOCP pre-loads timed I/O commands and lets the user request that a
-// command execute at an exact instant — here, the job's ideal start time δ.
-// At run time a fired request is appended to a FIFO queue and executes when
-// it reaches the head, so the achieved timing depends entirely on the
-// arrival order: under contention a request waits for every earlier-fired
-// request to finish, regardless of its own deadline or ideal instant. This
-// is precisely why the paper's introduction concludes GPIOCP "cannot
-// guarantee either of the timing requirements".
 package gpiocp
 
 import (

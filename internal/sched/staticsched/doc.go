@@ -1,0 +1,21 @@
+// Package staticsched implements the paper's first scheduling method
+// (Section III-A, Algorithm 1): a heuristic job-level schedule that
+// maximises Ψ, the fraction of exactly timing-accurate I/O jobs.
+//
+// The method has three phases:
+//
+//  1. Dependency graphs are formed over the jobs' ideal execution
+//     intervals (package depgraph).
+//  2. The graphs are decomposed by repeatedly sacrificing the job with the
+//     highest penalty weight ψ; survivors (λ*) run exactly at their ideal
+//     instants.
+//  3. Sacrificed jobs (λ¬) are re-inserted into the free slots of the
+//     timeline by the Least Contention and Capacity Decreasing (LCC-D)
+//     allocation, highest priority first. When no single slot fits a job
+//     but the total free capacity in its window suffices, already-placed
+//     jobs are shifted (compacted) to coalesce the space, preferring the
+//     candidate that disturbs the fewest exactly-accurate jobs
+//     (Algorithm 1 line 16). If neither case applies the system is
+//     declared infeasible — the paper deliberately stops here rather than
+//     search replacements, to guarantee termination.
+package staticsched

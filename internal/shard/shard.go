@@ -1,29 +1,3 @@
-// Package shard splits an experiment's (utilisation point × system) cell
-// grid into N deterministic shards so the grid can run as N independent
-// processes — on one host or many — and be merged back into exactly the
-// aggregate a single-process run produces.
-//
-// The decomposition leans on the execution engine's central invariant
-// (internal/exec): every grid cell derives its randomness from a private
-// sub-seed mixed over the (runner, point, system) path, so a cell's value
-// does not depend on which process — or which machine — evaluates it.
-// Sharding therefore only partitions the key space:
-//
-//   - a cell's global index on an outer × inner grid is
-//     g = point·inner + system;
-//   - shard i of N owns the cells with g mod N == i (round-robin, so every
-//     shard carries a near-equal slice of every utilisation point — the
-//     per-point cost varies far more than the per-system cost);
-//   - each shard process writes one versioned JSON File of its cells, with
-//     the derived seed recorded per cell for provenance;
-//   - Merge validates that N files form one complete, disjoint cover of
-//     the grid (same run parameters, same shard count, distinct indices,
-//     every cell present exactly once and owned by its file's shard) and
-//     returns the single-shard equivalent file with cells in grid order.
-//
-// A merged file is itself a valid 1-shard file, so partial merges can be
-// merged again, and an interrupted sweep resumes by re-running only the
-// missing shard indices.
 package shard
 
 import (
@@ -218,6 +192,47 @@ func ReadFile(path string) (*File, error) {
 		return nil, fmt.Errorf("shard: %s: %w", path, err)
 	}
 	return f, nil
+}
+
+// ValidateCells verifies that every run holds exactly the cells the
+// file's (Shards, Index) plan owns: each cell in range, owned by the
+// plan, present exactly once, and none missing. Decode does not enforce
+// completeness — a process killed mid-run can legitimately persist a
+// partial file that later attempts replace — so drivers that must detect
+// a truncated or partially-written shard (e.g. dispatch retry logic)
+// call this before accepting a worker's output.
+func (f *File) ValidateCells() error {
+	plan, err := NewPlan(f.Shards, f.Index)
+	if err != nil {
+		return err
+	}
+	for _, r := range f.Runs {
+		if err := r.Grid.validate(); err != nil {
+			return fmt.Errorf("shard: run %q: %w", r.Experiment, err)
+		}
+		filled := make([]bool, r.Grid.Cells())
+		for _, c := range r.Cells {
+			g, err := r.Grid.Index(c.Point, c.System)
+			if err != nil {
+				return fmt.Errorf("shard: run %q: %w", r.Experiment, err)
+			}
+			if !plan.Owns(g) {
+				return fmt.Errorf("shard: run %q holds foreign cell (%d,%d) for shard %d/%d",
+					r.Experiment, c.Point, c.System, f.Index, f.Shards)
+			}
+			if filled[g] {
+				return fmt.Errorf("shard: run %q cell (%d,%d) appears twice", r.Experiment, c.Point, c.System)
+			}
+			filled[g] = true
+		}
+		for g := plan.Index; g < len(filled); g += plan.Shards {
+			if !filled[g] {
+				return fmt.Errorf("shard: run %q cell (%d,%d) missing — partial shard",
+					r.Experiment, g/r.Grid.Systems, g%r.Grid.Systems)
+			}
+		}
+	}
+	return nil
 }
 
 // canonicalParams compacts a params payload so equality is insensitive to

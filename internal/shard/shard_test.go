@@ -294,3 +294,54 @@ func TestMergeRejectsInvalidDecomposition(t *testing.T) {
 		}
 	}
 }
+
+// TestValidateCells: the per-file completeness check dispatch retry logic
+// relies on — a file must hold exactly the cells its plan owns.
+func TestValidateCells(t *testing.T) {
+	grid := Grid{Points: 3, Systems: 4}
+	for _, tc := range [][2]int{{1, 0}, {3, 0}, {3, 2}, {5, 4}} {
+		if err := mkFile(t, "fig5", grid, tc[0], tc[1], `{"seed":1}`).ValidateCells(); err != nil {
+			t.Errorf("complete shard %d/%d rejected: %v", tc[1], tc[0], err)
+		}
+	}
+
+	// Missing one owned cell (a partial write).
+	f := mkFile(t, "fig5", grid, 3, 1, `{"seed":1}`)
+	f.Runs[0].Cells = f.Runs[0].Cells[:len(f.Runs[0].Cells)-1]
+	if err := f.ValidateCells(); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("partial shard: %v", err)
+	}
+
+	// A cell another shard owns.
+	f = mkFile(t, "fig5", grid, 3, 1, `{"seed":1}`)
+	f.Runs[0].Cells[0] = Cell{Point: 0, System: 0, Data: json.RawMessage(`{}`)} // global index 0 ∉ shard 1
+	if err := f.ValidateCells(); err == nil || !strings.Contains(err.Error(), "foreign") {
+		t.Errorf("foreign cell: %v", err)
+	}
+
+	// A duplicated cell.
+	f = mkFile(t, "fig5", grid, 3, 1, `{"seed":1}`)
+	f.Runs[0].Cells = append(f.Runs[0].Cells, f.Runs[0].Cells[0])
+	if err := f.ValidateCells(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate cell: %v", err)
+	}
+
+	// An out-of-range cell.
+	f = mkFile(t, "fig5", grid, 3, 1, `{"seed":1}`)
+	f.Runs[0].Cells[0] = Cell{Point: 9, System: 9, Data: json.RawMessage(`{}`)}
+	if err := f.ValidateCells(); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Errorf("out-of-range cell: %v", err)
+	}
+
+	// An invalid decomposition or grid fails cleanly.
+	f = mkFile(t, "fig5", grid, 3, 1, `{"seed":1}`)
+	f.Shards, f.Index = 3, 7
+	if err := f.ValidateCells(); err == nil {
+		t.Error("invalid decomposition accepted")
+	}
+	f = mkFile(t, "fig5", grid, 3, 1, `{"seed":1}`)
+	f.Runs[0].Grid.Points = -1
+	if err := f.ValidateCells(); err == nil {
+		t.Error("negative grid accepted")
+	}
+}

@@ -1,0 +1,8 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// underneath the hardware models (NoC, I/O controller, devices).
+//
+// Events carry a cycle timestamp and a sequence number; the kernel pops
+// them in (time, sequence) order, so simulations are fully deterministic:
+// two events scheduled for the same cycle fire in scheduling order. The
+// kernel knows nothing about the hardware — components schedule closures.
+package sim

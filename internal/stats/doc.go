@@ -1,0 +1,4 @@
+// Package stats provides the small summary-statistics helpers the
+// experiment runners use: means, standard deviations, and binomial
+// confidence intervals for schedulability ratios.
+package stats

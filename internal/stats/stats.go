@@ -1,6 +1,3 @@
-// Package stats provides the small summary-statistics helpers the
-// experiment runners use: means, standard deviations, and binomial
-// confidence intervals for schedulability ratios.
 package stats
 
 import (

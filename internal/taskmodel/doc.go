@@ -1,0 +1,11 @@
+// Package taskmodel implements the timed I/O task model of Section II of
+// the paper.
+//
+// A timed I/O task τi is the 6-tuple {Ci, Ti, Di, Pi, δi, θi}: worst-case
+// device occupancy Ci, period Ti, implicit deadline Di = Ti, a
+// deadline-monotonic priority Pi (larger value = higher priority; the paper
+// writes "D1 > D2 so that P1 < P2"), a relative ideal start time δi, and a
+// timing margin θi. Each task releases jobs λi^j over the hyper-period; job
+// j is released at Ti·j, must finish by Ti·j + Di, and ideally starts at
+// Ti·j + δi. Jobs are executed non-preemptively on the task's I/O device.
+package taskmodel

@@ -1,0 +1,3 @@
+// Package textplot renders the experiment results as ASCII charts so the
+// CLI can show Figures 5–7 directly in a terminal.
+package textplot

@@ -1,12 +1,3 @@
-// Package timing provides the integer time base shared by the scheduling
-// and hardware-simulation layers of the repository.
-//
-// All scheduling arithmetic uses Time, an int64 count of microseconds.
-// The paper's 1440 ms hyper-period is therefore 1,440,000 ticks and every
-// feasibility decision is exact integer arithmetic. The hardware layer uses
-// Cycle, an int64 count of controller clock cycles; conversion between the
-// two requires an explicit ClockHz value so that no implicit unit mixing can
-// occur.
 package timing
 
 import (

@@ -1,0 +1,6 @@
+// Package trace measures timing accuracy on observed hardware behaviour:
+// given the instants I/O operations were expected to occur and the instants
+// they actually occurred (pin edges or execution records), it computes the
+// per-event deviation |ideal − actual| — the paper's Section I definition
+// of timing accuracy — and aggregates jitter statistics.
+package trace

@@ -49,14 +49,31 @@
 // the single-shard equivalent; the FromCells aggregators (Fig5FromCells,
 // Fig6And7FromCells, …) rebuild the exact results an unsharded run
 // produces. cmd/ioschedbench exposes the workflow as -shards,
-// -shard-index, -out and the merge subcommand.
+// -shard-index, -out and the merge subcommand. The shard file format is
+// specified in docs/SHARD_FORMAT.md.
+//
+// # Dispatch
+//
+// DispatchShards drives the whole sharded workflow fault-tolerantly: it
+// fans the shard indices out to a pool of DispatchWorkers (local
+// subprocesses via LocalProcWorker, arbitrary command templates — e.g.
+// ssh — via CmdWorker), re-runs shards whose worker crashed, timed out or
+// produced a corrupt or partial file, journals progress so an
+// interrupted dispatch resumes by re-running only missing indices, and
+// merges the complete cover. Because every cell's randomness derives
+// from its grid path, a retried shard reproduces the lost one exactly,
+// and dispatched output is byte-identical to the unsharded run. The CLI
+// equivalent is "ioschedbench dispatch".
 package iosched
 
 import (
+	"context"
+
 	"repro/internal/analysis"
 	"repro/internal/controller"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/dispatch"
 	"repro/internal/experiment"
 	"repro/internal/gen"
 	"repro/internal/hwcost"
@@ -328,6 +345,41 @@ func ReadShardFile(path string) (*ShardFile, error) { return shard.ReadFile(path
 // cover of a single run's grids and returns the single-shard equivalent
 // (cells complete, in grid order) ready for the FromCells aggregators.
 func MergeShardFiles(files []*ShardFile) (*ShardFile, error) { return shard.Merge(files) }
+
+// Dispatched execution: a fault-tolerant driver that fans the shard
+// indices of one run out to a pool of workers, retries lost, failed,
+// corrupt and timed-out shards by index, journals progress so an
+// interrupted dispatch resumes, and auto-merges the complete cover. See
+// the package comment's Dispatch section and internal/dispatch.
+type (
+	// DispatchSpec names the dispatched run: selection, params, shards.
+	DispatchSpec = dispatch.Spec
+	// DispatchOptions tunes attempts, timeout, working directory and
+	// logging.
+	DispatchOptions = dispatch.Options
+	// DispatchWorker evaluates one shard per call; implement it to add a
+	// custom backend.
+	DispatchWorker = dispatch.Worker
+	// DispatchTask is one unit handed to a worker.
+	DispatchTask = dispatch.Task
+	// DispatchResult reports the merged file and the attempt/retry log.
+	DispatchResult = dispatch.Result
+	// DispatchAttempt records one worker attempt at one shard.
+	DispatchAttempt = dispatch.Attempt
+	// LocalProcWorker runs shards as local ioschedbench subprocesses.
+	LocalProcWorker = dispatch.LocalProcWorker
+	// CmdWorker runs shards through a user-supplied command template
+	// (e.g. "ssh host ioschedbench {args} -out /dev/stdout").
+	CmdWorker = dispatch.CmdWorker
+)
+
+// DispatchShards runs the spec's shards across the worker pool with
+// per-shard retry and returns the merged single-shard equivalent —
+// byte-identical (once encoded) to RunExperimentShard with shards 1. The
+// CLI equivalent is "ioschedbench dispatch".
+func DispatchShards(ctx context.Context, spec DispatchSpec, workers []DispatchWorker, opts DispatchOptions) (*DispatchResult, error) {
+	return dispatch.Run(ctx, spec, workers, opts)
+}
 
 // Fig5FromCells rebuilds the Figure 5 result from a complete (merged)
 // cell set — identical to what Fig5 computes in process.
