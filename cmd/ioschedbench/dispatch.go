@@ -9,11 +9,14 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/dispatch"
 )
@@ -32,15 +35,17 @@ func runDispatch(args []string) error {
 	rf := registerRunFlags(fs)
 	var cmds []string
 	var (
-		workers  = fs.Int("workers", 2, "local worker subprocesses (ignored when -worker is given)")
-		retries  = fs.Int("retries", 2, "retries per shard after its first failed attempt")
-		timeout  = fs.Duration("timeout", 0, "per-attempt time budget (0 = none); an attempt over budget is killed and retried")
-		delay    = fs.Duration("retry-delay", 0, "pause before re-queueing a failed shard")
-		dir      = fs.String("dir", "", "working directory for shard and journal files (default: fresh temp dir; set it to resume an interrupted dispatch)")
-		shards   = fs.Int("shards", 0, "shard count (0 = one per worker)")
-		parallel = fs.Int("parallel", 0, "per-worker goroutines, forwarded to local workers; never changes results")
-		csvDir   = fs.String("csv", "", "directory to write CSV result files into")
-		out      = fs.String("out", "", "also write the merged cell file to this path (a valid 1-shard file)")
+		workers      = fs.Int("workers", 2, "local worker subprocesses (ignored when -worker is given)")
+		retries      = fs.Int("retries", 2, "retries per shard after its first failed attempt")
+		timeout      = fs.Duration("timeout", 0, "per-attempt time budget (0 = none); an attempt over budget is killed and retried")
+		delay        = fs.Duration("retry-delay", 0, "pause before re-queueing a failed shard")
+		dir          = fs.String("dir", "", "working directory for shard and journal files (default: fresh temp dir; set it to resume an interrupted dispatch)")
+		shards       = fs.Int("shards", 0, "shard count (0 = one per worker)")
+		parallel     = fs.Int("parallel", 0, "per-worker goroutines, forwarded to local workers; never changes results")
+		csvDir       = fs.String("csv", "", "directory to write CSV result files into")
+		out          = fs.String("out", "", "also write the merged cell file to this path (a valid 1-shard file)")
+		progress     = fs.Bool("progress", false, "live status line on stderr (done/running/failed counts and an ETA) instead of per-event log lines")
+		partialEvery = fs.Duration("partial-every", 0, "periodically merge the shards completed so far into <dir>/partial.json for \"merge -partial\" (requires -dir)")
 	)
 	fs.Func("worker", "command template run once per shard (repeatable; placeholders {args} {index} {shards} {out}); replaces the local worker pool; split on whitespace — no quoting, so arguments cannot contain spaces (wrap complex commands in a script)", func(s string) error {
 		if strings.TrimSpace(s) == "" {
@@ -115,16 +120,28 @@ func runDispatch(args []string) error {
 	}
 
 	logger := log.New(os.Stderr, "ioschedbench: ", 0)
+	opts := dispatch.Options{
+		MaxAttempts:    *retries + 1,
+		AttemptTimeout: *timeout,
+		RetryDelay:     *delay,
+		Dir:            *dir,
+		Logf:           logger.Printf,
+		PartialEvery:   *partialEvery,
+	}
+	if *progress {
+		// The live line redraws in place; the per-event log lines would
+		// tear it, so the journal keeps the event history instead.
+		opts.Logf = nil
+		opts.Progress = progressLine(os.Stderr)
+	}
 	res, err := dispatch.Run(context.Background(),
 		dispatch.Spec{Selection: *rf.which, Params: params, Shards: n},
-		pool,
-		dispatch.Options{
-			MaxAttempts:    *retries + 1,
-			AttemptTimeout: *timeout,
-			RetryDelay:     *delay,
-			Dir:            *dir,
-			Logf:           logger.Printf,
-		})
+		pool, opts)
+	if *progress {
+		// Terminate the redrawn line before any summary or error output
+		// lands on the same terminal row.
+		fmt.Fprintln(os.Stderr)
+	}
 	if err != nil {
 		return err
 	}
@@ -144,4 +161,47 @@ func summaryDir(dir string) string {
 		return "a temporary directory (removed)"
 	}
 	return dir
+}
+
+// progressLine returns a Progress handler that folds the event stream
+// through a Tracker and redraws one status line in place on w. Events
+// arrive from multiple goroutines; the tracker's lock orders them and the
+// handler's own mutex keeps the redraws whole.
+func progressLine(w io.Writer) func(dispatch.ProgressEvent) {
+	tr := dispatch.NewTracker()
+	var mu sync.Mutex
+	prev := 0
+	return func(e dispatch.ProgressEvent) {
+		// Observe, snapshot and print under one lock, so a descheduled
+		// handler cannot overwrite a newer snapshot with an older one.
+		mu.Lock()
+		defer mu.Unlock()
+		tr.Observe(e)
+		if e.Kind == dispatch.ProgressPartial && e.Err != "" {
+			// With -progress the per-event log is off; a failing
+			// auto-partial write must still reach the operator, on its
+			// own committed line so the redrawn status survives below it.
+			fmt.Fprintf(w, "\r%-*s\n", prev, "dispatch: partial merge failed: "+e.Err)
+			prev = 0
+		}
+		s := tr.Snapshot()
+		line := fmt.Sprintf("dispatch: %d/%d done, %d running, %d failed", s.Done, s.Total, s.Running, s.Failed)
+		if s.Resumed > 0 {
+			line += fmt.Sprintf(" (%d resumed)", s.Resumed)
+		}
+		if s.ETA > 0 {
+			line += ", ETA " + s.ETA.Round(time.Second).String()
+		}
+		if s.Merged {
+			line += ", merged"
+		}
+		// Pad over the previous line's full width, so a shorter redraw
+		// never leaves the old tail on the terminal.
+		width := len(line)
+		if prev > width {
+			width = prev
+		}
+		prev = len(line)
+		fmt.Fprintf(w, "\r%-*s", width, line)
+	}
 }

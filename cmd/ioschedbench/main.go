@@ -53,8 +53,28 @@
 //	    -worker 'ssh host2 ioschedbench {args} -out /dev/stdout'
 //
 // With -dir set, an interrupted dispatch resumes: completed shards are
-// journalled and skipped, only missing indices re-run. The shard file
-// format is specified in docs/SHARD_FORMAT.md.
+// journalled and skipped, only missing indices re-run.
+//
+// # Streaming and observability
+//
+// Long sweeps need not be opaque until they finish. dispatch -progress
+// draws a live status line (per-shard state and an ETA from observed
+// shard wall-clock); dispatch -partial-every keeps a provisional merge
+// of everything completed so far in <dir>/partial.json; the status
+// subcommand reads any dispatch's journal — live or dead — and names
+// exactly the missing shard indices; and merge -partial renders
+// provisional, coverage-annotated figures from whatever shard files
+// exist:
+//
+//	ioschedbench dispatch -workers 3 -dir sweep/ -progress -partial-every 5m &
+//	ioschedbench status sweep/
+//	ioschedbench merge -partial sweep/partial.json
+//
+// Partial output converges: once the cover completes, the annotations
+// disappear and the output is byte-identical to the unsharded run. The
+// shard file format is specified in docs/SHARD_FORMAT.md, the journal
+// and progress-event schemas in docs/DISPATCH.md, and the full flag
+// reference in docs/CLI.md.
 package main
 
 import (
@@ -85,6 +105,12 @@ func main() {
 				// Route through fail so a bad -experiment value keeps its
 				// historical exit code 2 here too.
 				fail(fmt.Errorf("dispatch: %w", err))
+			}
+			return
+		case "status":
+			if err := runStatus(os.Args[2:], os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "ioschedbench: status: %v\n", err)
+				os.Exit(1)
 			}
 			return
 		}
@@ -199,13 +225,19 @@ func writeShard(selection string, p experiment.ShardParams, parallel, shards, in
 }
 
 // runMerge reassembles shard files and renders the selection exactly as
-// the unsharded run would have.
+// the unsharded run would have. With -partial it accepts any consistent
+// subset of a run's shard files — including partial cover files a
+// previous -partial merge (or the dispatch driver's -partial-every)
+// wrote — and renders provisional output with explicit coverage
+// annotations; once the set is complete the output is byte-identical to
+// the strict merge's, annotations and all gone.
 func runMerge(args []string) error {
 	fs := flag.NewFlagSet("merge", flag.ExitOnError)
 	csvDir := fs.String("csv", "", "directory to write CSV result files into")
-	out := fs.String("out", "", "also write the merged cell file to this path (a valid 1-shard file)")
+	out := fs.String("out", "", "also write the merged cell file to this path (a valid 1-shard file; with -partial, a partial cover file)")
+	partial := fs.Bool("partial", false, "accept an incomplete shard set and render provisional results with coverage annotations")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ioschedbench merge [-csv dir] [-out merged.json] shard.json ...")
+		fmt.Fprintln(os.Stderr, "usage: ioschedbench merge [-partial] [-csv dir] [-out merged.json] shard.json ...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -223,6 +255,22 @@ func runMerge(args []string) error {
 			return err
 		}
 		files[i] = f
+	}
+	if *partial {
+		cover, err := shard.MergePartial(files)
+		if err != nil {
+			return err
+		}
+		if *out != "" {
+			if err := cover.File.WriteFile(*out); err != nil {
+				return err
+			}
+		}
+		if cover.Complete() {
+			// The cover grew to completion: render exactly the full merge.
+			return renderMerged(cover.File, *csvDir)
+		}
+		return renderPartialCover(cover, *csvDir)
 	}
 	merged, err := shard.Merge(files)
 	if err != nil {
@@ -399,9 +447,48 @@ func writeCSV(dir, name string, headers []string, rows [][]string) error {
 	return w.Error()
 }
 
-func renderFig5(cfg experiment.Config, src source, csvDir string) error {
-	fmt.Printf("Figure 5: system schedulability (systems/point=%d, GA %dx%d, seed=%d)\n\n",
+// The experiment header lines are shared by the full renderers below and
+// the partial renderers (partial.go), so provisional output cannot drift
+// from the final spelling it converges to.
+
+func fig5Header(cfg experiment.Config) string {
+	return fmt.Sprintf("Figure 5: system schedulability (systems/point=%d, GA %dx%d, seed=%d)\n\n",
 		cfg.Systems, cfg.GA.Population, cfg.GA.Generations, cfg.Seed)
+}
+
+// figqTitle names the figure and its metric; figqHeader is its header
+// block.
+func figqTitle(psi bool) (name, metric string) {
+	if psi {
+		return "Figure 6", "Psi (fraction of exact timing-accurate jobs)"
+	}
+	return "Figure 7", "Upsilon (normalised quality)"
+}
+
+func figqHeader(cfg experiment.Config, psi bool) string {
+	name, metric := figqTitle(psi)
+	return fmt.Sprintf("%s: %s (systems/point=%d, GA %dx%d, seed=%d)\n\n",
+		name, metric, cfg.Systems, cfg.GA.Population, cfg.GA.Generations, cfg.Seed)
+}
+
+func motivationHeader(mcfg experiment.MotivationConfig) string {
+	return fmt.Sprintf("Motivation (Section I): timing accuracy of remote I/O writes over a %dx%d NoC\n",
+		mcfg.Mesh.Width, mcfg.Mesh.Height) +
+		fmt.Sprintf("(%d periodic writes, %d cross-traffic flows, seed=%d)\n\n",
+			mcfg.Writes, mcfg.CrossFlows, mcfg.Seed)
+}
+
+func multiDeviceHeader(cfg experiment.Config) string {
+	return fmt.Sprintf("Partitioned scaling: static scheduler at total U=0.8 over 1..8 devices (systems=%d)\n\n", cfg.Systems)
+}
+
+func ablationHeader(cfg experiment.Config, u float64) string {
+	return fmt.Sprintf("Ablation at U=%s (systems=%d, seed=%d)\n\n",
+		strconv.FormatFloat(u, 'f', 2, 64), cfg.Systems, cfg.Seed)
+}
+
+func renderFig5(cfg experiment.Config, src source, csvDir string) error {
+	fmt.Print(fig5Header(cfg))
 	res, err := src.fig5()
 	if err != nil {
 		return err
@@ -414,12 +501,8 @@ func renderFig5(cfg experiment.Config, src source, csvDir string) error {
 }
 
 func renderFigQ(cfg experiment.Config, src source, csvDir string, psi bool) error {
-	name, metric := "Figure 6", "Psi (fraction of exact timing-accurate jobs)"
-	if !psi {
-		name, metric = "Figure 7", "Upsilon (normalised quality)"
-	}
-	fmt.Printf("%s: %s (systems/point=%d, GA %dx%d, seed=%d)\n\n",
-		name, metric, cfg.Systems, cfg.GA.Population, cfg.GA.Generations, cfg.Seed)
+	name, metric := figqTitle(psi)
+	fmt.Print(figqHeader(cfg, psi))
 	psiRes, upsRes, err := src.figq()
 	if err != nil {
 		return err
@@ -448,10 +531,7 @@ func renderTable1(csvDir string) error {
 }
 
 func renderMotivation(mcfg experiment.MotivationConfig, src source) error {
-	fmt.Printf("Motivation (Section I): timing accuracy of remote I/O writes over a %dx%d NoC\n",
-		mcfg.Mesh.Width, mcfg.Mesh.Height)
-	fmt.Printf("(%d periodic writes, %d cross-traffic flows, seed=%d)\n\n",
-		mcfg.Writes, mcfg.CrossFlows, mcfg.Seed)
+	fmt.Print(motivationHeader(mcfg))
 	res, err := src.motivation()
 	if err != nil {
 		return err
@@ -464,7 +544,7 @@ func renderMotivation(mcfg experiment.MotivationConfig, src source) error {
 }
 
 func renderMultiDevice(cfg experiment.Config, src source) error {
-	fmt.Printf("Partitioned scaling: static scheduler at total U=0.8 over 1..8 devices (systems=%d)\n\n", cfg.Systems)
+	fmt.Print(multiDeviceHeader(cfg))
 	points, err := src.multidevice()
 	if err != nil {
 		return err
@@ -475,8 +555,7 @@ func renderMultiDevice(cfg experiment.Config, src source) error {
 }
 
 func renderAblation(cfg experiment.Config, u float64, src source) error {
-	fmt.Printf("Ablation at U=%s (systems=%d, seed=%d)\n\n",
-		strconv.FormatFloat(u, 'f', 2, 64), cfg.Systems, cfg.Seed)
+	fmt.Print(ablationHeader(cfg, u))
 	res, err := src.ablation()
 	if err != nil {
 		return err

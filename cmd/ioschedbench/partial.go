@@ -1,0 +1,199 @@
+package main
+
+// Provisional rendering of an incomplete shard cover (merge -partial):
+// every figure is drawn from the cells that exist, the gaps are named
+// explicitly — overall banner, per-experiment coverage lines, and a
+// per-point "cells" column in the tables and CSVs — and any run whose own
+// grid happens to be fully covered renders exactly as the final output
+// will. A complete cover never reaches this file: runMerge routes it
+// through renderMerged, which is what keeps the finished sweep
+// byte-identical to the unsharded run.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/shard"
+	"repro/internal/textplot"
+)
+
+// shardList renders shard indices as " 2 5" for banner lines.
+func shardList(idxs []int) string {
+	var b strings.Builder
+	for _, i := range idxs {
+		fmt.Fprintf(&b, " %d", i)
+	}
+	return b.String()
+}
+
+// partialNote is the per-experiment annotation line naming the gap.
+func partialNote(cov experiment.Coverage, missing []int) string {
+	return fmt.Sprintf("PARTIAL: %s; missing shards:%s\n\n", cov, shardList(missing))
+}
+
+// coverageColumn appends a per-point "cells" column to a result table, so
+// every row states how many of its systems it was averaged over.
+func coverageColumn(headers []string, rows [][]string, cov experiment.Coverage) ([]string, [][]string) {
+	headers = append(headers, "cells")
+	for i := range rows {
+		rows[i] = append(rows[i], cov.Point(i))
+	}
+	return headers, rows
+}
+
+// renderPartialCover renders provisional results from an incomplete
+// cover, in the same experiment order as the full render loop.
+func renderPartialCover(cover *shard.PartialCover, csvDir string) error {
+	var params experiment.ShardParams
+	if err := json.Unmarshal(cover.File.Params, &params); err != nil {
+		return fmt.Errorf("recorded params: %w", err)
+	}
+	cfg := params.Config()
+	mcfg := params.Motivation()
+
+	fmt.Printf("PARTIAL results: %d/%d shards present (missing shards:%s); %d/%d cells (%.1f%%)\n",
+		len(cover.Present), cover.Shards, shardList(cover.Missing),
+		cover.CellsHave(), cover.CellsTotal(), 100*cover.Fraction())
+	fmt.Printf("Provisional output: every value is computed over the cells present; the\n")
+	fmt.Printf("complete merge of all %d shards is byte-identical to the unsharded run.\n\n", cover.Shards)
+
+	byName := make(map[string][]shard.Cell, len(cover.File.Runs))
+	for _, r := range cover.File.Runs {
+		byName[r.Experiment] = r.Cells
+	}
+	which := cover.File.Selection
+	steps := []struct {
+		name string
+		fn   func(cells []shard.Cell) error
+	}{
+		{experiment.ExpFig5, func(cells []shard.Cell) error {
+			return renderPartialFig5(cfg, cells, cover.Missing, csvDir)
+		}},
+		{experiment.ExpFig6, func(cells []shard.Cell) error {
+			return renderPartialFigQ(cfg, cells, cover.Missing, csvDir, true)
+		}},
+		{experiment.ExpFig7, func(cells []shard.Cell) error {
+			return renderPartialFigQ(cfg, cells, cover.Missing, csvDir, false)
+		}},
+		{experiment.ExpMotivation, func(cells []shard.Cell) error {
+			return renderPartialMotivation(mcfg, cells, cover.Missing)
+		}},
+		{experiment.ExpAblation, func(cells []shard.Cell) error {
+			return renderPartialAblation(cfg, params.ResolvedAblationU(), cells, cover.Missing)
+		}},
+		{experiment.ExpMultiDevice, func(cells []shard.Cell) error {
+			return renderPartialMultiDevice(cfg, params, cells, cover.Missing)
+		}},
+	}
+	ran := false
+	for _, s := range steps {
+		if which != experiment.ExpAll && which != s.name {
+			continue
+		}
+		ran = true
+		cells, ok := byName[s.name]
+		if !ok {
+			return fmt.Errorf("%s: shard files carry no cells", s.name)
+		}
+		if err := s.fn(cells); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		// Table I is a closed-form model with no cells: a partial cover
+		// renders it in full, in its canonical place after Figure 7.
+		if s.name == experiment.ExpFig7 && which == experiment.ExpAll {
+			if err := renderTable1(csvDir); err != nil {
+				return fmt.Errorf("table1: %w", err)
+			}
+		}
+	}
+	if !ran {
+		// A hand-edited selection passes Decode and MergePartial; mirror
+		// the full render path's failure instead of printing nothing.
+		return fmt.Errorf("%w %q", experiment.ErrUnknownExperiment, which)
+	}
+	return nil
+}
+
+func renderPartialFig5(cfg experiment.Config, cells []shard.Cell, missing []int, csvDir string) error {
+	res, cov, err := experiment.Fig5FromCellsPartial(cfg, cells)
+	if err != nil {
+		return err
+	}
+	fmt.Print(fig5Header(cfg))
+	fmt.Print(partialNote(cov, missing))
+	x, series := res.Series()
+	plotSeries("Fig 5: schedulable fraction vs utilisation", x, series)
+	h, rows := res.Rows()
+	h, rows = coverageColumn(h, rows, cov)
+	fmt.Println(textplot.Table(h, rows))
+	return writeCSV(csvDir, "fig5.csv", h, rows)
+}
+
+func renderPartialFigQ(cfg experiment.Config, cells []shard.Cell, missing []int, csvDir string, psi bool) error {
+	psiRes, upsRes, cov, err := experiment.FigQFromCellsPartial(cfg, cells)
+	if err != nil {
+		return err
+	}
+	name, metric := figqTitle(psi)
+	fmt.Print(figqHeader(cfg, psi))
+	fmt.Print(partialNote(cov, missing))
+	res, file := psiRes, "fig6.csv"
+	if !psi {
+		res, file = upsRes, "fig7.csv"
+	}
+	x, series := res.Series()
+	plotSeries(name+": "+metric, x, series)
+	h, rows := res.Rows()
+	h, rows = coverageColumn(h, rows, cov)
+	fmt.Println(textplot.Table(h, rows))
+	return writeCSV(csvDir, file, h, rows)
+}
+
+func renderPartialMotivation(mcfg experiment.MotivationConfig, cells []shard.Cell, missing []int) error {
+	res, cov, err := experiment.MotivationFromCellsPartial(mcfg, cells)
+	if err != nil {
+		return err
+	}
+	fmt.Print(motivationHeader(mcfg))
+	if res == nil {
+		fmt.Printf("PARTIAL: %d/%d designs present; missing shards:%s — skipped, the\n",
+			cov.Have, cov.Total, shardList(missing))
+		fmt.Printf("experiment is a two-design comparison and needs both cells.\n\n")
+		return nil
+	}
+	// Both designs present: this run renders complete even in a partial
+	// cover.
+	h, rows := res.Rows()
+	fmt.Println(textplot.Table(h, rows))
+	fmt.Printf("uncontended CPU->controller latency: %d cycles (compensated by the remote design)\n",
+		res.BaseLatency)
+	return nil
+}
+
+func renderPartialAblation(cfg experiment.Config, u float64, cells []shard.Cell, missing []int) error {
+	res, cov, err := experiment.AblationFromCellsPartial(cfg, cells)
+	if err != nil {
+		return err
+	}
+	fmt.Print(ablationHeader(cfg, u))
+	fmt.Print(partialNote(cov, missing))
+	h, rows := experiment.AblationRows(res)
+	fmt.Println(textplot.Table(h, rows))
+	return nil
+}
+
+func renderPartialMultiDevice(cfg experiment.Config, params experiment.ShardParams, cells []shard.Cell, missing []int) error {
+	_, mdCounts := params.ResolvedMultiDevice()
+	res, cov, err := experiment.MultiDeviceFromCellsPartial(cfg, mdCounts, cells)
+	if err != nil {
+		return err
+	}
+	fmt.Print(multiDeviceHeader(cfg))
+	fmt.Print(partialNote(cov, missing))
+	h, rows := experiment.MultiDeviceRows(res)
+	h, rows = coverageColumn(h, rows, cov)
+	fmt.Println(textplot.Table(h, rows))
+	return nil
+}

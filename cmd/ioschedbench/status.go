@@ -1,0 +1,142 @@
+package main
+
+// The status subcommand: read the journal of a dispatch directory — live,
+// finished or dead — and print where the sweep stands: per-shard state,
+// coverage, exactly which shard indices are missing, and what failed
+// where. It is a pure reader over the journal (docs/DISPATCH.md), so it
+// is always safe to run next to a live dispatch.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/dispatch"
+	"repro/internal/textplot"
+)
+
+// statusDetailMax bounds the detail column so one long worker error does
+// not wrap the whole table.
+const statusDetailMax = 60
+
+func truncateDetail(s string) string {
+	if len(s) <= statusDetailMax {
+		return s
+	}
+	// Truncate on a rune boundary: error text can carry non-ASCII (paths,
+	// OS messages) and a byte slice could cut a rune in half.
+	runes := []rune(s)
+	if len(runes) <= statusDetailMax {
+		return s
+	}
+	return string(runes[:statusDetailMax-3]) + "..."
+}
+
+// runStatus prints the journaled state of a dispatch to w (stdout in
+// production; tests pass a buffer and compare golden output).
+func runStatus(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ioschedbench status <dispatch-dir | journal-file>")
+		fmt.Fprintln(os.Stderr, "\nPrints a dispatch's journaled state: per-shard progress, coverage,")
+		fmt.Fprintln(os.Stderr, "missing shard indices and failures. Works on live and dead dispatches.")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("need exactly one dispatch directory or journal file")
+	}
+	target := fs.Arg(0)
+	var (
+		st  *dispatch.JournalState
+		err error
+	)
+	if fi, serr := os.Stat(target); serr == nil && fi.IsDir() {
+		st, err = dispatch.ReadJournalDir(target)
+	} else {
+		st, err = dispatch.ReadJournal(target)
+	}
+	if err != nil {
+		return err
+	}
+	return printStatus(w, st)
+}
+
+// shardFileExists reports whether a journaled shard file is still on
+// disk. The journal records the path as the dispatch invocation spelled
+// it — often relative to the dispatch's working directory — so when the
+// verbatim path does not resolve (status run from another cwd), the file
+// is also looked for next to the journal itself before being declared
+// missing.
+func shardFileExists(journalPath, file string) bool {
+	if _, err := os.Stat(file); err == nil {
+		return true
+	}
+	if filepath.IsAbs(file) {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(filepath.Dir(journalPath), filepath.Base(file)))
+	return err == nil
+}
+
+// printStatus renders one journal state. Output is deterministic in the
+// journal's content (no wall-clock), which keeps it golden-testable and
+// script-friendly.
+func printStatus(w io.Writer, st *dispatch.JournalState) error {
+	fmt.Fprintf(w, "dispatch run: selection %q, %d shards (journal v%d)\n\n", st.Selection, st.Shards, st.Version)
+
+	headers := []string{"shard", "state", "attempts", "worker", "detail"}
+	var rows [][]string
+	for _, sh := range st.ShardStates {
+		detail := ""
+		switch sh.State {
+		case dispatch.ShardDone:
+			detail = sh.File
+			if sh.File != "" && !shardFileExists(st.Path, sh.File) {
+				detail += " (file missing)"
+			}
+		case dispatch.ShardFailed:
+			detail = truncateDetail(sh.Err)
+		case dispatch.ShardRunning:
+			detail = "attempt journaled, no outcome yet (in flight, or interrupted)"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", sh.Index),
+			string(sh.State),
+			fmt.Sprintf("%d", sh.Attempts),
+			sh.Worker,
+			detail,
+		})
+	}
+	fmt.Fprintln(w, textplot.Table(headers, rows))
+
+	done := st.DoneCount()
+	pct := 100.0
+	if st.Shards > 0 {
+		pct = 100 * float64(done) / float64(st.Shards)
+	}
+	fmt.Fprintf(w, "coverage: %d/%d shards done (%.1f%%)\n", done, st.Shards, pct)
+	if missing := st.Missing(); len(missing) > 0 {
+		fmt.Fprintf(w, "missing shards:%s\n", shardList(missing))
+	}
+	if failed := st.Failed(); len(failed) > 0 {
+		fmt.Fprintf(w, "failed shards:%s (every attempt is in the journal)\n", shardList(failed))
+	}
+	// The driver removes partial.json after the final merge; once merged,
+	// the journaled partial event only describes a deleted file.
+	if st.PartialFile != "" && !st.Merged {
+		fmt.Fprintf(w, "partial merge: %s (%d shards, %d cells)\n", st.PartialFile, st.PartialShards, st.PartialCells)
+	}
+	if st.Merged {
+		fmt.Fprintf(w, "merged: yes (%d cells)\n", st.MergedCells)
+	} else {
+		fmt.Fprintf(w, "merged: no — resume by re-running the dispatch with the same -dir,\n")
+		fmt.Fprintf(w, "or render provisional results: ioschedbench merge -partial <shard files>\n")
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+// update regenerates the status golden file instead of diffing against
+// it: go test ./cmd/ioschedbench -run TestStatusGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestStatusGolden pins the status subcommand's exact output on a
+// journaled fixture: a 3-shard dispatch with one shard done (file
+// present), one done after a retry (file since deleted), and one
+// interrupted mid-attempt. The journal's content fully determines the
+// output — no wall-clock — which is what makes it golden-testable.
+func TestStatusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runStatus([]string{"testdata/status"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "testdata/status/golden.txt"
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("status output drifted from %s (re-run with -update after intentional changes):\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestStatusListsExactMissingShards is the acceptance check in assertion
+// form: on an interrupted dispatch journal, status names exactly the
+// not-done indices.
+func TestStatusListsExactMissingShards(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runStatus([]string{"testdata/status/dispatch.journal"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "missing shards: 2\n") {
+		t.Errorf("missing-shard line absent or wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "coverage: 2/3 shards done (66.7%)") {
+		t.Errorf("coverage line absent or wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "failed shards: 1") {
+		t.Errorf("failed-shard line absent or wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "(file missing)") {
+		t.Errorf("deleted done-file not flagged:\n%s", out)
+	}
+	if strings.Contains(out, "merged: yes") {
+		t.Errorf("unfinished dispatch reported merged:\n%s", out)
+	}
+}
+
+// TestStatusMergedHidesStalePartial: after the final merge the driver
+// deletes partial.json, so status must not advertise the journaled
+// partial event of a finished sweep.
+func TestStatusMergedHidesStalePartial(t *testing.T) {
+	dir := t.TempDir()
+	journal := `{"event":"plan","v":1,"selection":"fig5","shards":1,"params":{"seed":1}}
+{"event":"attempt","shard":0,"attempt":1,"worker":"w"}
+{"event":"done","shard":0,"attempt":1,"file":"shard0.json"}
+{"event":"partial","file":"partial.json","shards":1,"cells":20}
+{"event":"merged","shards":1,"cells":20}
+`
+	if err := os.WriteFile(dir+"/dispatch.journal", []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runStatus([]string{dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "merged: yes (20 cells)") {
+		t.Errorf("merged line absent:\n%s", out)
+	}
+	if strings.Contains(out, "partial merge:") {
+		t.Errorf("stale partial advertised on a merged sweep:\n%s", out)
+	}
+}
+
+// TestStatusResolvesFilesNextToJournal: the journal records shard paths
+// as the dispatch spelled them (often cwd-relative); run from another
+// directory, status must look next to the journal before declaring a
+// done shard's file missing.
+func TestStatusResolvesFilesNextToJournal(t *testing.T) {
+	dir := t.TempDir()
+	journal := `{"event":"plan","v":1,"selection":"fig5","shards":1,"params":{"seed":1}}
+{"event":"done","shard":0,"attempt":1,"file":"work/shard0.json"}
+{"event":"merged","shards":1,"cells":20}
+`
+	if err := os.WriteFile(dir+"/dispatch.journal", []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir+"/shard0.json", []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runStatus([]string{dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); strings.Contains(out, "(file missing)") {
+		t.Errorf("existing file next to the journal reported missing:\n%s", out)
+	}
+}
+
+func TestStatusRejectsBadTargets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runStatus([]string{t.TempDir()}, &buf); err == nil {
+		t.Error("journal-less directory accepted")
+	}
+	if err := runStatus([]string{"testdata/status/absent.journal"}, &buf); err == nil {
+		t.Error("absent journal accepted")
+	}
+}

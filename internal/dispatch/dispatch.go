@@ -105,6 +105,21 @@ type Options struct {
 	// them. It is called from multiple goroutines and must be safe for
 	// concurrent use (log.Printf and friends are).
 	Logf func(format string, args ...any)
+	// Progress receives the typed progress-event stream (schema version
+	// ProgressVersion): plan, resumed, attempt, done, fail, partial and
+	// merged events mirroring the journal, suitable for live status
+	// displays (feed them to a Tracker) without parsing log lines.
+	// Attempt events are delivered from the worker goroutines, so the
+	// handler must be safe for concurrent use. nil disables the stream.
+	Progress func(ProgressEvent)
+	// PartialEvery, when > 0, periodically merges the shards completed so
+	// far into <Dir>/partial.json — a provisional partial cover file that
+	// "ioschedbench merge -partial" (or shard.MergePartial) renders while
+	// the dispatch is still running, and that a MergePartial over the
+	// remaining shards grows into the full, byte-identical result. The
+	// file is refreshed in place and removed after the final merge.
+	// Requires Dir: a temporary working directory would discard it.
+	PartialEvery time.Duration
 }
 
 // Attempt records one worker attempt at one shard.
@@ -191,6 +206,16 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
+	emit := func(e ProgressEvent) {
+		if opts.Progress != nil {
+			e.Version = ProgressVersion
+			e.Time = time.Now()
+			opts.Progress(e)
+		}
+	}
+	if opts.PartialEvery > 0 && opts.Dir == "" {
+		return nil, fmt.Errorf("dispatch: PartialEvery needs a persistent Dir to write partial merges into")
+	}
 
 	dir, tempDir := opts.Dir, false
 	if dir == "" {
@@ -220,6 +245,7 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 
 	res := &Result{Dir: dir, ShardPaths: paths}
 	files := make([]*shard.File, spec.Shards)
+	emit(ProgressEvent{Kind: ProgressPlan, Shards: spec.Shards, Shard: -1})
 	var pending []task
 	for i := 0; i < spec.Shards; i++ {
 		if done[i] {
@@ -227,6 +253,7 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 				files[i] = f
 				res.Resumed++
 				logf("dispatch: shard %d/%d already complete (journal), skipping", i, spec.Shards)
+				emit(ProgressEvent{Kind: ProgressResumed, Shard: i, File: paths[i]})
 				continue
 			} else {
 				logf("dispatch: journal marks shard %d done but its file is invalid (%v); re-running", i, verr)
@@ -237,7 +264,7 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 	res.Ran = len(pending)
 
 	if len(pending) > 0 {
-		if err := run(ctx, spec, workers, opts, maxAttempts, logf, paths, params, runNames, jr, pending, res, files); err != nil {
+		if err := run(ctx, spec, workers, opts, maxAttempts, logf, emit, paths, params, runNames, jr, pending, res, files); err != nil {
 			return nil, err
 		}
 	}
@@ -248,6 +275,14 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 	}
 	jr.merged(spec.Shards, merged.CellCount())
 	logf("dispatch: merged %d shards (%d cells) for %q", spec.Shards, merged.CellCount(), spec.Selection)
+	emit(ProgressEvent{Kind: ProgressMerged, Shards: spec.Shards, Shard: -1, Cells: merged.CellCount()})
+	// The cover is complete: a stale auto-partial file would only invite
+	// re-rendering a subset of a finished sweep. Unconditional — a resume
+	// without PartialEvery must still clean up what an earlier, observed
+	// invocation left behind.
+	if err := os.Remove(filepath.Join(dir, partialFileName)); err != nil && !os.IsNotExist(err) {
+		logf("dispatch: removing %s: %v", partialFileName, err)
+	}
 	if err := jr.Close(); err != nil {
 		return nil, fmt.Errorf("dispatch: journal: %w", err)
 	}
@@ -268,7 +303,7 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 // budget while healthy workers sit idle. A shard that has failed on every
 // worker may run anywhere.
 func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAttempts int,
-	logf func(string, ...any), paths []string, params []byte, runNames []string,
+	logf func(string, ...any), emit func(ProgressEvent), paths []string, params []byte, runNames []string,
 	jr *journal, pending []task, res *Result, files []*shard.File) error {
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -290,6 +325,7 @@ func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAtte
 				case t := <-feeds[wi]:
 					jr.attempt(t.index, t.attempt, w.Name())
 					logf("dispatch: shard %d attempt %d/%d on %s", t.index, t.attempt, maxAttempts, w.Name())
+					emit(ProgressEvent{Kind: ProgressAttempt, Shard: t.index, Attempt: t.attempt, Worker: w.Name()})
 					o := outcome{task: t, workerIdx: wi, worker: w.Name()}
 					o.file, o.err = runAttempt(runCtx, w, spec, t.index, paths[t.index], params, runNames, opts.AttemptTimeout)
 					select {
@@ -339,6 +375,47 @@ func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAtte
 		}
 	}
 
+	// The auto-partial ticker shares the coordinator loop, so it reads the
+	// files slice race-free between completions.
+	var partialTick <-chan time.Time
+	if opts.PartialEvery > 0 {
+		ticker := time.NewTicker(opts.PartialEvery)
+		defer ticker.Stop()
+		partialTick = ticker.C
+	}
+	partialSaved := -1 // done-count at the last successful write
+	savePartial := func() {
+		done := 0
+		for _, f := range files {
+			if f != nil {
+				done++
+			}
+		}
+		if done == partialSaved {
+			// Nothing completed since the last write: re-merging would
+			// only rewrite identical bytes from the coordinator loop.
+			return
+		}
+		path, present, cells, err := writePartial(opts.Dir, files)
+		if err != nil {
+			// A failed provisional write must not kill the sweep it
+			// observes; the next tick retries. It must stay visible even
+			// when only the progress stream is watched (the CLI's
+			// -progress mode discards Logf), so it is also emitted as a
+			// partial event carrying the error.
+			logf("dispatch: partial merge: %v", err)
+			emit(ProgressEvent{Kind: ProgressPartial, Shard: -1, Err: err.Error()})
+			return
+		}
+		partialSaved = done
+		if path == "" {
+			return
+		}
+		jr.partial(path, present, cells)
+		logf("dispatch: partial merge: %d/%d shards (%d cells) written to %s", present, spec.Shards, cells, path)
+		emit(ProgressEvent{Kind: ProgressPartial, Shards: present, Shard: -1, File: path, Cells: cells})
+	}
+
 	remaining := len(pending)
 	tryAssign()
 	var fatal error
@@ -346,6 +423,8 @@ func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAtte
 		select {
 		case <-ctx.Done():
 			fatal = ctx.Err()
+		case <-partialTick:
+			savePartial()
 		case t := <-requeue:
 			pending = append(pending, t)
 			tryAssign()
@@ -360,11 +439,13 @@ func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAtte
 				files[o.index] = o.file
 				jr.done(o.index, o.attempt, paths[o.index])
 				logf("dispatch: shard %d/%d complete (attempt %d on %s)", o.index, spec.Shards, o.attempt, o.worker)
+				emit(ProgressEvent{Kind: ProgressDone, Shard: o.index, Attempt: o.attempt, Worker: o.worker, File: paths[o.index]})
 				remaining--
 				tryAssign()
 				continue
 			}
 			jr.fail(o.index, o.attempt, o.worker, o.err)
+			emit(ProgressEvent{Kind: ProgressFailed, Shard: o.index, Attempt: o.attempt, Worker: o.worker, Err: o.err.Error()})
 			if o.attempt >= maxAttempts {
 				fatal = fmt.Errorf("dispatch: shard %d failed all %d attempts, last on %s: %w",
 					o.index, o.attempt, o.worker, o.err)
@@ -394,6 +475,39 @@ func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAtte
 	cancel()
 	wg.Wait()
 	return fatal
+}
+
+// writePartial merges the validated shard files completed so far into the
+// dispatch directory's partial.json and returns its path, present-shard
+// count and covered cells. It writes nothing — returning "" — when no
+// shard has completed yet or the cover is already complete (the final
+// merge is about to supersede it).
+func writePartial(dir string, files []*shard.File) (string, int, int, error) {
+	var have []*shard.File
+	for _, f := range files {
+		if f != nil {
+			have = append(have, f)
+		}
+	}
+	if len(have) == 0 || len(have) == len(files) {
+		return "", 0, 0, nil
+	}
+	cover, err := shard.MergePartial(have)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	// Write-then-rename: the file is documented as renderable at any
+	// moment, so a concurrent "merge -partial" must never observe a
+	// truncated in-place rewrite.
+	path := filepath.Join(dir, partialFileName)
+	tmp := path + ".tmp"
+	if err := cover.File.WriteFile(tmp); err != nil {
+		return "", 0, 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return "", 0, 0, err
+	}
+	return path, len(cover.Present), cover.CellsHave(), nil
 }
 
 // runAttempt runs one shard attempt under the per-attempt timeout and

@@ -36,12 +36,27 @@
 // # Journal
 //
 // Every dispatch appends structured events (plan, attempt, fail, done,
-// merged) to a JSONL journal in its working directory. A re-run with the
-// same directory resumes: shards the journal marks done are re-validated
-// from their files and skipped, and only missing or invalid shards are
-// executed. The journal also rejects reuse of a directory by a different
-// run (selection, shard count or params mismatch).
+// partial, merged) to a JSONL journal in its working directory. A re-run
+// with the same directory resumes: shards the journal marks done are
+// re-validated from their files and skipped, and only missing or invalid
+// shards are executed. The journal also rejects reuse of a directory by
+// a different run (selection, shard count or params mismatch).
+// ReadJournal decodes any journal — live, finished or dead — into its
+// per-shard states, missing indices and failure log; the CLI's "status"
+// subcommand is that reader plus formatting.
+//
+// # Observability
+//
+// A running dispatch is observable without a second source of truth:
+// Options.Progress emits a typed, versioned event stream mirroring the
+// journal (fold it through a Tracker for per-shard state, counts and an
+// ETA from observed per-shard wall-clock), and Options.PartialEvery
+// periodically merges the shards completed so far into the working
+// directory's partial.json — a valid partial cover file renderable at
+// any moment (shard.MergePartial, "ioschedbench merge -partial") and
+// removed once the final merge supersedes it.
 //
 // The shard file format the driver produces and consumes is specified in
-// docs/SHARD_FORMAT.md.
+// docs/SHARD_FORMAT.md; the journal and progress-event schemas in
+// docs/DISPATCH.md.
 package dispatch

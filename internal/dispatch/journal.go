@@ -1,7 +1,6 @@
 package dispatch
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -13,6 +12,18 @@ import (
 // journalFileName is the journal's name inside the dispatch directory.
 const journalFileName = "dispatch.journal"
 
+// partialFileName is the auto-partial-merge output's name inside the
+// dispatch directory (Options.PartialEvery).
+const partialFileName = "partial.json"
+
+// JournalVersion identifies the journal's JSONL schema, recorded in the
+// plan event ("v"). A plan event without the field is version 1 (the
+// field postdates the first journals). Readers reject newer versions;
+// unknown event types within a known version are skipped, so adding
+// event types does not require a bump. The normative spec is
+// docs/DISPATCH.md.
+const JournalVersion = 1
+
 // journalEvent is one JSONL line of the dispatch journal. The journal is
 // both the structured log of a dispatch and its resume state: "done"
 // events name the shards that need not re-run, and the leading "plan"
@@ -22,6 +33,7 @@ type journalEvent struct {
 	Event string `json:"event"`
 
 	// plan
+	V         int             `json:"v,omitempty"`
 	Selection string          `json:"selection,omitempty"`
 	Shards    int             `json:"shards,omitempty"`
 	Params    json.RawMessage `json:"params,omitempty"`
@@ -33,7 +45,7 @@ type journalEvent struct {
 	Error   string `json:"error,omitempty"`
 	File    string `json:"file,omitempty"`
 
-	// merged
+	// merged / partial
 	Cells int `json:"cells,omitempty"`
 }
 
@@ -54,9 +66,9 @@ type journal struct {
 // An existing journal must carry a plan event matching the run —
 // selection, shard count and compact params — otherwise the directory
 // belongs to a different run and openJournal refuses it rather than mix
-// shard sets. Unparseable lines (a crash can truncate the final line) are
-// skipped: the worst case is re-running a shard that had finished, which
-// is always safe.
+// shard sets. Decoding is delegated to ReadJournal, the one decoder of
+// the journal schema, so resume and the status reader can never disagree
+// about what a journal says.
 func openJournal(path string, spec Spec, params []byte) (*journal, map[int]bool, error) {
 	done := make(map[int]bool)
 	data, err := os.ReadFile(path)
@@ -65,37 +77,26 @@ func openJournal(path string, spec Spec, params []byte) (*journal, map[int]bool,
 	}
 	resuming := err == nil && len(bytes.TrimSpace(data)) > 0
 	if resuming {
-		sawPlan := false
-		sc := bufio.NewScanner(bytes.NewReader(data))
-		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-		for sc.Scan() {
-			var e journalEvent
-			if json.Unmarshal(sc.Bytes(), &e) != nil {
-				continue
-			}
-			switch e.Event {
-			case "plan":
-				var recorded bytes.Buffer
-				if len(e.Params) > 0 {
-					if err := json.Compact(&recorded, e.Params); err != nil {
-						return nil, nil, fmt.Errorf("dispatch: journal %s: plan params: %w", path, err)
-					}
-				}
-				if e.Selection != spec.Selection || e.Shards != spec.Shards ||
-					!bytes.Equal(recorded.Bytes(), params) {
-					return nil, nil, fmt.Errorf(
-						"dispatch: journal %s records a different run (selection %q, %d shards); use a fresh directory",
-						path, e.Selection, e.Shards)
-				}
-				sawPlan = true
-			case "done":
-				if e.Shard != nil {
-					done[*e.Shard] = true
-				}
+		st, err := ReadJournal(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w; use a fresh directory", err)
+		}
+		var recorded bytes.Buffer
+		if len(st.Params) > 0 {
+			if err := json.Compact(&recorded, st.Params); err != nil {
+				return nil, nil, fmt.Errorf("dispatch: journal %s: plan params: %w", path, err)
 			}
 		}
-		if !sawPlan {
-			return nil, nil, fmt.Errorf("dispatch: journal %s carries no plan event; use a fresh directory", path)
+		if st.Selection != spec.Selection || st.Shards != spec.Shards ||
+			!bytes.Equal(recorded.Bytes(), params) {
+			return nil, nil, fmt.Errorf(
+				"dispatch: journal %s records a different run (selection %q, %d shards); use a fresh directory",
+				path, st.Selection, st.Shards)
+		}
+		for _, sh := range st.ShardStates {
+			if sh.State == ShardDone {
+				done[sh.Index] = true
+			}
 		}
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -104,7 +105,7 @@ func openJournal(path string, spec Spec, params []byte) (*journal, map[int]bool,
 	}
 	j := &journal{f: f, enc: json.NewEncoder(f)}
 	if !resuming {
-		j.write(journalEvent{Event: "plan", Selection: spec.Selection, Shards: spec.Shards, Params: params})
+		j.write(journalEvent{Event: "plan", V: JournalVersion, Selection: spec.Selection, Shards: spec.Shards, Params: params})
 	}
 	return j, done, nil
 }
@@ -132,6 +133,10 @@ func (j *journal) done(shard, attempt int, file string) {
 
 func (j *journal) merged(shards, cells int) {
 	j.write(journalEvent{Event: "merged", Shards: shards, Cells: cells})
+}
+
+func (j *journal) partial(file string, present, cells int) {
+	j.write(journalEvent{Event: "partial", File: file, Shards: present, Cells: cells})
 }
 
 // Close flushes the journal and reports the first write error, if any.

@@ -1,0 +1,176 @@
+package dispatch
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Journal observability: ReadJournal decodes a dispatch journal — of a
+// finished, interrupted or still-running dispatch — into a JournalState
+// that answers the operator questions the CLI's "status" subcommand
+// prints: which shards are done, which are missing, what failed where,
+// and whether the cover has merged. It is a pure reader: it never locks,
+// truncates or appends, so it is always safe to run against a live
+// dispatch directory.
+
+// JournalShard summarises one shard's journaled lifecycle.
+type JournalShard struct {
+	Index int
+	// State is the shard's latest journaled state. A "running" shard of a
+	// dead dispatch was interrupted mid-attempt and will re-run on
+	// resume.
+	State ShardState
+	// Attempts counts journaled attempt events; Fails counts failed ones.
+	Attempts, Fails int
+	// Worker is the last worker to touch the shard.
+	Worker string
+	// Err is the last recorded failure, if any.
+	Err string
+	// File is the output path recorded when the shard completed.
+	File string
+}
+
+// JournalState is the decoded state of one dispatch journal.
+type JournalState struct {
+	// Path is the journal file read.
+	Path string
+	// Version is the journal schema version of the plan event (a missing
+	// field reads as 1; see JournalVersion).
+	Version int
+	// Selection, Shards and Params are the plan: which run the directory
+	// belongs to.
+	Selection string
+	Shards    int
+	Params    json.RawMessage
+	// ShardStates holds one entry per shard, indexed by shard.
+	ShardStates []JournalShard
+	// Merged reports whether the final merge event was journaled;
+	// MergedCells is its recorded cell count.
+	Merged      bool
+	MergedCells int
+	// PartialFile is the latest journaled auto-partial-merge output, with
+	// PartialShards present shards covering PartialCells cells ("" if
+	// none was journaled).
+	PartialFile   string
+	PartialShards int
+	PartialCells  int
+}
+
+// ReadJournalDir reads the journal inside a dispatch directory.
+func ReadJournalDir(dir string) (*JournalState, error) {
+	return ReadJournal(filepath.Join(dir, journalFileName))
+}
+
+// ReadJournal reads and decodes one dispatch journal. Unparseable lines
+// (a crash can truncate the final line) and unknown event types are
+// skipped; a journal without a plan event — or with a plan of a newer
+// schema version — is rejected rather than half-understood.
+func ReadJournal(path string) (*JournalState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: journal: %w", err)
+	}
+	st := &JournalState{Path: path}
+	sawPlan := false
+	shardAt := func(i int) *JournalShard {
+		if i < 0 {
+			return nil
+		}
+		for len(st.ShardStates) <= i {
+			st.ShardStates = append(st.ShardStates, JournalShard{Index: len(st.ShardStates), State: ShardPending})
+		}
+		return &st.ShardStates[i]
+	}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var e journalEvent
+		if json.Unmarshal(sc.Bytes(), &e) != nil {
+			continue
+		}
+		switch e.Event {
+		case "plan":
+			if e.V > JournalVersion {
+				return nil, fmt.Errorf("dispatch: journal %s is version %d, this build reads %d", path, e.V, JournalVersion)
+			}
+			st.Version = e.V
+			if st.Version == 0 {
+				st.Version = 1
+			}
+			st.Selection, st.Shards, st.Params = e.Selection, e.Shards, e.Params
+			shardAt(e.Shards - 1)
+			sawPlan = true
+		case "attempt":
+			if e.Shard != nil {
+				if s := shardAt(*e.Shard); s != nil {
+					s.Attempts++
+					s.State, s.Worker, s.Err = ShardRunning, e.Worker, ""
+				}
+			}
+		case "fail":
+			if e.Shard != nil {
+				if s := shardAt(*e.Shard); s != nil {
+					s.Fails++
+					s.State, s.Worker, s.Err = ShardFailed, e.Worker, e.Error
+				}
+			}
+		case "done":
+			if e.Shard != nil {
+				if s := shardAt(*e.Shard); s != nil {
+					s.State, s.File, s.Err = ShardDone, e.File, ""
+				}
+			}
+		case "partial":
+			st.PartialFile, st.PartialShards, st.PartialCells = e.File, e.Shards, e.Cells
+		case "merged":
+			st.Merged, st.MergedCells = true, e.Cells
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dispatch: journal %s: %w", path, err)
+	}
+	if !sawPlan {
+		return nil, fmt.Errorf("dispatch: journal %s carries no plan event", path)
+	}
+	return st, nil
+}
+
+// DoneCount returns the number of shards journaled done.
+func (s *JournalState) DoneCount() int {
+	n := 0
+	for _, sh := range s.ShardStates {
+		if sh.State == ShardDone {
+			n++
+		}
+	}
+	return n
+}
+
+// Missing returns the shard indices not journaled done, ascending — on a
+// dead dispatch, exactly the indices a resume (or a by-hand re-run) still
+// owes.
+func (s *JournalState) Missing() []int {
+	var out []int
+	for _, sh := range s.ShardStates {
+		if sh.State != ShardDone {
+			out = append(out, sh.Index)
+		}
+	}
+	return out
+}
+
+// Failed returns the shard indices with at least one journaled failed
+// attempt, ascending (they may have succeeded on retry — check State).
+func (s *JournalState) Failed() []int {
+	var out []int
+	for _, sh := range s.ShardStates {
+		if sh.Fails > 0 {
+			out = append(out, sh.Index)
+		}
+	}
+	return out
+}

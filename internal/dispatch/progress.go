@@ -1,0 +1,231 @@
+package dispatch
+
+import (
+	"sync"
+	"time"
+)
+
+// ProgressVersion identifies the progress-event schema. It is bumped
+// whenever an event kind is removed or a field changes meaning; adding
+// kinds or fields is backwards-compatible. The schema is specified in
+// docs/DISPATCH.md alongside the journal it mirrors.
+const ProgressVersion = 1
+
+// ProgressKind names one kind of progress event. The kinds mirror the
+// journal's event types one-to-one (plus "resumed", which the journal
+// expresses as a pre-existing "done" entry).
+type ProgressKind string
+
+// The progress-event kinds of schema version 1.
+const (
+	// ProgressPlan opens the stream: Shards carries the total count.
+	ProgressPlan ProgressKind = "plan"
+	// ProgressResumed reports a shard satisfied from the journal without
+	// running.
+	ProgressResumed ProgressKind = "resumed"
+	// ProgressAttempt reports a worker starting an attempt at a shard.
+	ProgressAttempt ProgressKind = "attempt"
+	// ProgressDone reports a shard completing (file validated).
+	ProgressDone ProgressKind = "done"
+	// ProgressFailed reports a failed attempt (the shard may be retried).
+	ProgressFailed ProgressKind = "fail"
+	// ProgressPartial reports an auto-partial-merge written to the
+	// dispatch directory (Options.PartialEvery) — or, with Err set, a
+	// partial write that failed and will be retried at the next tick.
+	ProgressPartial ProgressKind = "partial"
+	// ProgressMerged closes the stream: the complete cover merged.
+	ProgressMerged ProgressKind = "merged"
+)
+
+// ProgressEvent is one event of the dispatch progress stream. Events for
+// concurrent attempts are delivered from multiple goroutines; handlers
+// must be safe for concurrent use (Tracker is).
+type ProgressEvent struct {
+	// Version is the schema version (ProgressVersion).
+	Version int
+	// Kind is the event kind.
+	Kind ProgressKind
+	// Time is the driver's wall-clock instant of the event.
+	Time time.Time
+	// Shards carries the run's total shard count (plan, merged) or the
+	// number of present shards of a partial merge (partial).
+	Shards int
+	// Shard is the shard index the event concerns; -1 for run-level
+	// events (plan, partial, merged).
+	Shard int
+	// Attempt numbers the attempt at the shard, starting at 1.
+	Attempt int
+	// Worker names the worker running the attempt.
+	Worker string
+	// Err is the failure of a fail event, or of a partial event whose
+	// write did not complete.
+	Err string
+	// File is the produced file: the shard file of a done event, the
+	// partial cover file of a partial event.
+	File string
+	// Cells counts merged cells (merged) or covered cells (partial).
+	Cells int
+}
+
+// ShardState is a shard's lifecycle state as a Tracker sees it.
+type ShardState string
+
+// The shard lifecycle states.
+const (
+	ShardPending ShardState = "pending"
+	ShardRunning ShardState = "running"
+	ShardDone    ShardState = "done"
+	ShardFailed  ShardState = "failed"
+)
+
+// ShardStatus is one shard's current state in a Snapshot.
+type ShardStatus struct {
+	State ShardState
+	// Attempt is the latest attempt number seen (0 = never attempted).
+	Attempt int
+	// Worker is the last worker to touch the shard.
+	Worker string
+	// Err is the last recorded failure, if any.
+	Err string
+}
+
+// Snapshot is a point-in-time view of a dispatch derived purely from its
+// progress events.
+type Snapshot struct {
+	// Shards holds the per-shard states, indexed by shard.
+	Shards []ShardStatus
+	// Total, Done, Running, Failed and Pending count shards by state
+	// (Done includes Resumed; Failed counts shards whose latest attempt
+	// failed and has not been retried yet).
+	Total, Done, Running, Failed, Pending int
+	// Resumed counts shards satisfied from the journal without running.
+	Resumed int
+	// Elapsed is the wall-clock time since the plan event.
+	Elapsed time.Duration
+	// AvgShard is the mean observed wall-clock of a completed attempt;
+	// 0 until the first shard completes.
+	AvgShard time.Duration
+	// ETA estimates the remaining wall-clock as
+	// AvgShard × (Pending + Running + Failed) / max(1, Running) — the
+	// observed per-shard cost spread over the currently-active width.
+	// 0 until the first shard completes (no observation to extrapolate).
+	ETA time.Duration
+	// Merged reports whether the final merge completed.
+	Merged bool
+}
+
+// Tracker folds a progress-event stream into a queryable Snapshot: the
+// standard Options.Progress consumer for live status displays. It is safe
+// for concurrent use.
+type Tracker struct {
+	mu      sync.Mutex
+	start   time.Time
+	shards  []ShardStatus
+	started map[int]time.Time
+	resumed int
+	sumDur  time.Duration
+	nDur    int
+	merged  bool
+}
+
+// NewTracker returns an empty Tracker; feed it every ProgressEvent of one
+// dispatch (pass its Observe method — or a wrapper — as
+// Options.Progress).
+func NewTracker() *Tracker {
+	return &Tracker{started: make(map[int]time.Time)}
+}
+
+// shard returns the tracked status slot for index i, growing the table if
+// the plan event has not been seen (or lied).
+func (t *Tracker) shard(i int) *ShardStatus {
+	if i < 0 {
+		return nil
+	}
+	for len(t.shards) <= i {
+		t.shards = append(t.shards, ShardStatus{State: ShardPending})
+	}
+	return &t.shards[i]
+}
+
+// Observe folds one event into the tracked state. Unknown kinds are
+// ignored, so a Tracker keeps working across compatible schema additions.
+func (t *Tracker) Observe(e ProgressEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.start.IsZero() || (!e.Time.IsZero() && e.Time.Before(t.start)) {
+		t.start = e.Time
+	}
+	switch e.Kind {
+	case ProgressPlan:
+		t.shard(e.Shards - 1)
+	case ProgressResumed:
+		if s := t.shard(e.Shard); s != nil && s.State != ShardDone {
+			s.State = ShardDone
+			t.resumed++
+		}
+	case ProgressAttempt:
+		if s := t.shard(e.Shard); s != nil {
+			s.State, s.Attempt, s.Worker, s.Err = ShardRunning, e.Attempt, e.Worker, ""
+			t.started[e.Shard] = e.Time
+		}
+	case ProgressDone:
+		if s := t.shard(e.Shard); s != nil {
+			s.State, s.Attempt, s.Worker = ShardDone, e.Attempt, e.Worker
+			if at, ok := t.started[e.Shard]; ok && !e.Time.Before(at) {
+				t.sumDur += e.Time.Sub(at)
+				t.nDur++
+				delete(t.started, e.Shard)
+			}
+		}
+	case ProgressFailed:
+		if s := t.shard(e.Shard); s != nil {
+			s.State, s.Attempt, s.Worker, s.Err = ShardFailed, e.Attempt, e.Worker, e.Err
+			delete(t.started, e.Shard)
+		}
+	case ProgressMerged:
+		t.merged = true
+	}
+}
+
+// Snapshot returns the current state, with Elapsed and ETA measured
+// against time.Now.
+func (t *Tracker) Snapshot() Snapshot { return t.SnapshotAt(time.Now()) }
+
+// SnapshotAt returns the current state measured against an explicit
+// instant (deterministic displays and tests).
+func (t *Tracker) SnapshotAt(now time.Time) Snapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Snapshot{
+		Shards:  append([]ShardStatus(nil), t.shards...),
+		Total:   len(t.shards),
+		Resumed: t.resumed,
+		Merged:  t.merged,
+	}
+	for _, st := range t.shards {
+		switch st.State {
+		case ShardDone:
+			s.Done++
+		case ShardRunning:
+			s.Running++
+		case ShardFailed:
+			s.Failed++
+		default:
+			s.Pending++
+		}
+	}
+	if !t.start.IsZero() && now.After(t.start) {
+		s.Elapsed = now.Sub(t.start)
+	}
+	if t.nDur > 0 {
+		s.AvgShard = t.sumDur / time.Duration(t.nDur)
+		if remaining := s.Pending + s.Running + s.Failed; remaining > 0 {
+			width := s.Running
+			if width < 1 {
+				width = 1
+			}
+			s.ETA = s.AvgShard * time.Duration(remaining) / time.Duration(width)
+		}
+	}
+	return s
+}

@@ -1,0 +1,359 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/shard"
+)
+
+// TestTrackerSnapshot drives a Tracker through a synthetic event stream
+// with pinned timestamps, so states, averages and the ETA are exact.
+func TestTrackerSnapshot(t *testing.T) {
+	t0 := time.Date(2026, 7, 30, 12, 0, 0, 0, time.UTC)
+	at := func(d time.Duration) time.Time { return t0.Add(d) }
+	tr := NewTracker()
+	tr.Observe(ProgressEvent{Kind: ProgressPlan, Shards: 4, Shard: -1, Time: t0})
+
+	s := tr.SnapshotAt(at(time.Second))
+	if s.Total != 4 || s.Pending != 4 || s.Done != 0 || s.ETA != 0 {
+		t.Fatalf("after plan: %+v", s)
+	}
+	if s.Elapsed != time.Second {
+		t.Fatalf("elapsed = %v", s.Elapsed)
+	}
+
+	tr.Observe(ProgressEvent{Kind: ProgressResumed, Shard: 3, Time: at(0)})
+	tr.Observe(ProgressEvent{Kind: ProgressAttempt, Shard: 0, Attempt: 1, Worker: "w0", Time: at(0)})
+	tr.Observe(ProgressEvent{Kind: ProgressAttempt, Shard: 1, Attempt: 1, Worker: "w1", Time: at(0)})
+	s = tr.SnapshotAt(at(time.Second))
+	if s.Running != 2 || s.Pending != 1 || s.Done != 1 || s.Resumed != 1 {
+		t.Fatalf("mid-flight: %+v", s)
+	}
+	if s.Shards[0].State != ShardRunning || s.Shards[0].Worker != "w0" || s.Shards[3].State != ShardDone {
+		t.Fatalf("shard states: %+v", s.Shards)
+	}
+
+	// Shard 0 completes after 10s; shard 1 fails and retries.
+	tr.Observe(ProgressEvent{Kind: ProgressDone, Shard: 0, Attempt: 1, Worker: "w0", Time: at(10 * time.Second)})
+	tr.Observe(ProgressEvent{Kind: ProgressFailed, Shard: 1, Attempt: 1, Worker: "w1", Err: "boom", Time: at(4 * time.Second)})
+	s = tr.SnapshotAt(at(10 * time.Second))
+	if s.Done != 2 || s.Failed != 1 || s.Pending != 1 || s.Running != 0 {
+		t.Fatalf("after done+fail: %+v", s)
+	}
+	if s.Shards[1].State != ShardFailed || s.Shards[1].Err != "boom" {
+		t.Fatalf("failed shard: %+v", s.Shards[1])
+	}
+	if s.AvgShard != 10*time.Second {
+		t.Fatalf("avg = %v", s.AvgShard)
+	}
+	// 2 shards remain (failed + pending), width clamps to 1.
+	if s.ETA != 20*time.Second {
+		t.Fatalf("ETA = %v", s.ETA)
+	}
+
+	tr.Observe(ProgressEvent{Kind: ProgressAttempt, Shard: 1, Attempt: 2, Worker: "w0", Time: at(10 * time.Second)})
+	tr.Observe(ProgressEvent{Kind: ProgressDone, Shard: 1, Attempt: 2, Worker: "w0", Time: at(30 * time.Second)})
+	tr.Observe(ProgressEvent{Kind: ProgressAttempt, Shard: 2, Attempt: 1, Worker: "w1", Time: at(30 * time.Second)})
+	tr.Observe(ProgressEvent{Kind: ProgressDone, Shard: 2, Attempt: 1, Worker: "w1", Time: at(40 * time.Second)})
+	tr.Observe(ProgressEvent{Kind: ProgressMerged, Shards: 4, Shard: -1, Cells: 60, Time: at(40 * time.Second)})
+	s = tr.SnapshotAt(at(40 * time.Second))
+	if s.Done != 4 || !s.Merged || s.ETA != 0 {
+		t.Fatalf("final: %+v", s)
+	}
+	// Average over the three observed attempts: (10+20+10)/3.
+	if want := 40 * time.Second / 3; s.AvgShard != want {
+		t.Fatalf("avg = %v, want %v", s.AvgShard, want)
+	}
+}
+
+// TestTrackerIgnoresMalformedEvents: a Tracker fed garbage (negative or
+// out-of-plan indices, unknown kinds) must not panic or miscount.
+func TestTrackerIgnoresMalformedEvents(t *testing.T) {
+	tr := NewTracker()
+	tr.Observe(ProgressEvent{Kind: ProgressPlan, Shards: 2, Shard: -1})
+	tr.Observe(ProgressEvent{Kind: ProgressDone, Shard: -1})
+	tr.Observe(ProgressEvent{Kind: ProgressKind("telemetry-v9"), Shard: 0})
+	tr.Observe(ProgressEvent{Kind: ProgressDone, Shard: 5}) // beyond the plan: table grows
+	s := tr.Snapshot()
+	if s.Total != 6 || s.Done != 1 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+}
+
+// eventLog collects a dispatch's progress stream concurrency-safely.
+type eventLog struct {
+	mu     sync.Mutex
+	events []ProgressEvent
+}
+
+func (l *eventLog) observe(e ProgressEvent) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, e)
+}
+
+func (l *eventLog) kinds() map[ProgressKind]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := map[ProgressKind]int{}
+	for _, e := range l.events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// TestDispatchProgressStream runs a real dispatch with the progress
+// stream attached: the event stream must open with a plan, carry one
+// attempt+done per shard, close with a merge, and fold through a Tracker
+// into an all-done snapshot.
+func TestDispatchProgressStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	spec := testSpec(experiment.ExpFig5, 3)
+	log := &eventLog{}
+	tr := NewTracker()
+	res, err := Run(context.Background(), spec, pool(2, goodRun), Options{
+		Progress: func(e ProgressEvent) {
+			if e.Version != ProgressVersion {
+				t.Errorf("event version = %d", e.Version)
+			}
+			log.observe(e)
+			tr.Observe(e)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMerged(t, res, refEncoded(t, spec))
+	kinds := log.kinds()
+	if kinds[ProgressPlan] != 1 || kinds[ProgressMerged] != 1 ||
+		kinds[ProgressAttempt] != 3 || kinds[ProgressDone] != 3 || kinds[ProgressFailed] != 0 {
+		t.Fatalf("event kinds: %v", kinds)
+	}
+	s := tr.Snapshot()
+	if s.Total != 3 || s.Done != 3 || !s.Merged || s.Running+s.Pending+s.Failed != 0 {
+		t.Fatalf("final snapshot: %+v", s)
+	}
+}
+
+// TestDispatchAutoPartialMerge: with PartialEvery set, the driver must
+// journal and emit partial merges that are themselves valid partial cover
+// files while the sweep runs, and remove the file once the cover merges.
+func TestDispatchAutoPartialMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	spec := testSpec(experiment.ExpFig5, 3)
+	dir := t.TempDir()
+	var partials []ProgressEvent
+	slow := func(ctx context.Context, task Task) error {
+		// One worker and a per-shard pause: the 1ms ticker is guaranteed
+		// to fire between completions.
+		time.Sleep(30 * time.Millisecond)
+		return goodRun(ctx, task)
+	}
+	res, err := Run(context.Background(), spec, pool(1, slow), Options{
+		Dir:          dir,
+		PartialEvery: time.Millisecond,
+		Progress: func(e ProgressEvent) {
+			if e.Kind != ProgressPartial {
+				return
+			}
+			// The handler runs synchronously in the coordinator, so the
+			// file is stable: it must be a valid, consistent partial cover.
+			f, err := shard.ReadFile(e.File)
+			if err != nil {
+				t.Errorf("partial file: %v", err)
+				return
+			}
+			if f.Partial == nil || f.Partial.Shards != 3 || len(f.Partial.Present) != e.Shards {
+				t.Errorf("partial header: %+v (event %+v)", f.Partial, e)
+			}
+			if err := f.ValidateCells(); err != nil {
+				t.Errorf("partial file cells: %v", err)
+			}
+			partials = append(partials, e)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMerged(t, res, refEncoded(t, spec))
+	if len(partials) == 0 {
+		t.Fatal("no partial merge was written")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "partial.json")); !os.IsNotExist(err) {
+		t.Errorf("partial.json not removed after the final merge: %v", err)
+	}
+	st, err := ReadJournalDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PartialFile == "" || st.PartialShards == 0 {
+		t.Errorf("journal records no partial merge: %+v", st)
+	}
+}
+
+// TestDispatchPartialWriteFailureIsReported: a failing auto-partial
+// write must surface on the progress stream (the CLI's -progress mode
+// discards the log), and must not fail the sweep it observes.
+func TestDispatchPartialWriteFailureIsReported(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	spec := testSpec(experiment.ExpFig5, 2)
+	dir := t.TempDir()
+	// A directory squatting on partial.json makes the rename fail.
+	if err := os.Mkdir(filepath.Join(dir, "partial.json"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	failures := 0
+	slow := func(ctx context.Context, task Task) error {
+		time.Sleep(30 * time.Millisecond)
+		return goodRun(ctx, task)
+	}
+	res, err := Run(context.Background(), spec, pool(1, slow), Options{
+		Dir:          dir,
+		PartialEvery: time.Millisecond,
+		Progress: func(e ProgressEvent) {
+			if e.Kind == ProgressPartial && e.Err != "" {
+				mu.Lock()
+				failures++
+				mu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("partial write failures killed the sweep: %v", err)
+	}
+	checkMerged(t, res, refEncoded(t, spec))
+	if failures == 0 {
+		t.Fatal("no failed-partial event reached the progress stream")
+	}
+}
+
+// TestDispatchResumeRemovesStalePartial: a resume that itself runs
+// without PartialEvery must still delete the partial.json an earlier,
+// observed invocation left behind — a stale partial next to a finished
+// sweep invites rendering a subset.
+func TestDispatchResumeRemovesStalePartial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	spec := testSpec(experiment.ExpFig5, 3)
+	dir := t.TempDir()
+	broken := func(ctx context.Context, task Task) error {
+		if task.Index == 2 {
+			return fmt.Errorf("injected permanent failure")
+		}
+		time.Sleep(30 * time.Millisecond)
+		return goodRun(ctx, task)
+	}
+	if _, err := Run(context.Background(), spec, pool(1, broken), Options{
+		MaxAttempts: 1, Dir: dir, PartialEvery: time.Millisecond,
+	}); err == nil {
+		t.Fatal("first dispatch should have failed")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "partial.json")); err != nil {
+		t.Fatalf("interrupted dispatch left no partial.json: %v", err)
+	}
+	if _, err := Run(context.Background(), spec, pool(1, goodRun), Options{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "partial.json")); !os.IsNotExist(err) {
+		t.Errorf("resume left the stale partial.json behind: %v", err)
+	}
+}
+
+func TestDispatchPartialEveryNeedsDir(t *testing.T) {
+	spec := testSpec(experiment.ExpFig5, 2)
+	_, err := Run(context.Background(), spec, pool(1, goodRun), Options{PartialEvery: time.Second})
+	if err == nil || !strings.Contains(err.Error(), "Dir") {
+		t.Fatalf("PartialEvery without Dir accepted: %v", err)
+	}
+}
+
+// TestReadJournalInterrupted reads the journal of a dispatch that died
+// with one shard unfinished: the state must list exactly the missing
+// index, its failure, and no merge.
+func TestReadJournalInterrupted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	spec := testSpec(experiment.ExpFig5, 3)
+	dir := t.TempDir()
+	broken := func(ctx context.Context, task Task) error {
+		if task.Index == 2 {
+			return fmt.Errorf("injected permanent failure")
+		}
+		return goodRun(ctx, task)
+	}
+	if _, err := Run(context.Background(), spec, pool(1, broken), Options{MaxAttempts: 1, Dir: dir}); err == nil {
+		t.Fatal("first dispatch should have failed")
+	}
+	st, err := ReadJournalDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Selection != spec.Selection || st.Shards != 3 || st.Version != JournalVersion {
+		t.Fatalf("plan: %+v", st)
+	}
+	if st.DoneCount() != 2 || st.Merged {
+		t.Fatalf("done=%d merged=%v", st.DoneCount(), st.Merged)
+	}
+	if got := st.Missing(); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("missing = %v", got)
+	}
+	if got := st.Failed(); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("failed = %v", got)
+	}
+	sh := st.ShardStates[2]
+	if sh.State != ShardFailed || !strings.Contains(sh.Err, "injected") || sh.Attempts != 1 {
+		t.Fatalf("shard 2 state: %+v", sh)
+	}
+
+	// After the resume completes the run, the same journal reads merged
+	// with nothing missing.
+	if _, err := Run(context.Background(), spec, pool(1, goodRun), Options{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	st, err = ReadJournalDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Merged || len(st.Missing()) != 0 || st.DoneCount() != 3 {
+		t.Fatalf("resumed journal: merged=%v missing=%v done=%d", st.Merged, st.Missing(), st.DoneCount())
+	}
+}
+
+func TestReadJournalRejectsBadJournals(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadJournalDir(dir); err == nil {
+		t.Error("absent journal accepted")
+	}
+	path := filepath.Join(dir, "dispatch.journal")
+	if err := os.WriteFile(path, []byte(`{"event":"done","shard":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournal(path); err == nil || !strings.Contains(err.Error(), "plan") {
+		t.Errorf("planless journal: %v", err)
+	}
+	newer := `{"event":"plan","v":99,"selection":"fig5","shards":2,"params":{"seed":1}}` + "\n"
+	if err := os.WriteFile(path, []byte(newer), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournal(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("newer journal version: %v", err)
+	}
+}

@@ -120,8 +120,9 @@ func ablationCell(cfg Config, u float64, s int) ([]qOutcome, error) {
 
 // ablationAggregate folds the per-system variant outcomes into the study
 // results in system order — shared by the in-process runner and the shard
-// merge path.
-func ablationAggregate(cfg Config, at func(o, i int) []qOutcome) []AblationResult {
+// merge path. A nil has aggregates every system; a partial cover's
+// predicate restricts the study to the present systems.
+func ablationAggregate(cfg Config, at func(o, i int) []qOutcome, has func(o, i int) bool) []AblationResult {
 	variants := AblationVariants()
 	results := make([]AblationResult, len(variants))
 	psis := make([][]float64, len(variants))
@@ -130,6 +131,9 @@ func ablationAggregate(cfg Config, at func(o, i int) []qOutcome) []AblationResul
 		results[i].Name = v.Name
 	}
 	for s := 0; s < cfg.Systems; s++ {
+		if has != nil && !has(0, s) {
+			continue
+		}
 		for i, o := range at(0, s) {
 			results[i].Schedulable.Trials++
 			if !o.OK {
@@ -157,7 +161,7 @@ func Ablation(cfg Config, u float64) ([]AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return ablationAggregate(cfg, perSystem.at), nil
+	return ablationAggregate(cfg, perSystem.at, nil), nil
 }
 
 // AblationRows renders the study as a text table.

@@ -13,4 +13,14 @@
 // reproduced by setting the corresponding Config fields; the defaults are
 // a calibrated scaled-down configuration that preserves every qualitative
 // relationship and finishes in seconds (EXPERIMENTS.md records both).
+//
+// Every grid runner is split into a per-cell computation and a
+// grid-order aggregation (see shards.go), which is what the shard,
+// dispatch and streaming layers build on: the *Cells functions evaluate
+// arbitrary cell subsets for cross-process sharding, the *FromCells
+// aggregators rebuild exact results from complete merged sets, and the
+// *FromCellsPartial aggregators (partial.go) render provisional results
+// from any subset with an exact Coverage report — same aggregation code,
+// restricted to the present cells, so partial output converges
+// byte-identically to the full run's once the cover completes.
 package experiment

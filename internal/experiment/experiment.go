@@ -264,11 +264,14 @@ func fig5Cell(cfg Config, us []float64, ui, s int) (fig5Outcome, error) {
 	return o, nil
 }
 
-// fig5Aggregate folds a complete outcome grid into the Figure 5 result in
-// grid order. Both the in-process runner and the shard merge path end
-// here, which is what makes a merged result identical to an unsharded
-// run's.
-func fig5Aggregate(cfg Config, us []float64, at func(o, i int) fig5Outcome) *Fig5Result {
+// fig5Aggregate folds an outcome grid into the Figure 5 result in grid
+// order. Both the in-process runner and the shard merge path end here,
+// which is what makes a merged result identical to an unsharded run's.
+// A nil has aggregates the complete grid; a partial cover passes its
+// presence predicate and the rates are computed over the present cells
+// only (Trials counts present systems, so a partial point's fraction is
+// an honest estimate, not a complete point's value diluted by gaps).
+func fig5Aggregate(cfg Config, us []float64, at func(o, i int) fig5Outcome, has func(o, i int) bool) *Fig5Result {
 	res := &Fig5Result{}
 	for ui, u := range us {
 		point := Fig5Point{U: u, Rates: make(map[string]stats.Ratio)}
@@ -281,6 +284,9 @@ func fig5Aggregate(cfg Config, us []float64, at func(o, i int) fig5Outcome) *Fig
 			point.Rates[method] = r
 		}
 		for s := 0; s < cfg.Systems; s++ {
+			if has != nil && !has(ui, s) {
+				continue
+			}
 			o := at(ui, s)
 			record(MethodFPSOffline, o.Offline)
 			record(MethodFPSOnline, o.Online)
@@ -306,7 +312,7 @@ func Fig5(cfg Config) (*Fig5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return fig5Aggregate(cfg, us, outcomes.at), nil
+	return fig5Aggregate(cfg, us, outcomes.at, nil), nil
 }
 
 // solverOpts derives the GA options for one grid cell: a private solver

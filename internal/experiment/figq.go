@@ -50,7 +50,7 @@ func Fig6And7(cfg Config) (*FigQResult, *FigQResult, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	psi, ups := figqAggregate(cfg, us, outcomes.at)
+	psi, ups := figqAggregate(cfg, us, outcomes.at, nil)
 	return psi, ups, nil
 }
 
@@ -101,10 +101,11 @@ func figqCell(cfg Config, us []float64, ui, s int) (figqOutcome, error) {
 	return o, nil
 }
 
-// figqAggregate folds a complete outcome grid into the Figure 6 and 7
-// results in grid order — shared by the in-process runner and the shard
-// merge path.
-func figqAggregate(cfg Config, us []float64, at func(o, i int) figqOutcome) (*FigQResult, *FigQResult) {
+// figqAggregate folds an outcome grid into the Figure 6 and 7 results in
+// grid order — shared by the in-process runner and the shard merge path.
+// A nil has aggregates the complete grid; a partial cover's predicate
+// restricts the per-method means to the present systems.
+func figqAggregate(cfg Config, us []float64, at func(o, i int) figqOutcome, has func(o, i int) bool) (*FigQResult, *FigQResult) {
 	psi := &FigQResult{Metric: "Psi"}
 	ups := &FigQResult{Metric: "Upsilon"}
 	for ui, u := range us {
@@ -112,6 +113,9 @@ func figqAggregate(cfg Config, us []float64, at func(o, i int) figqOutcome) (*Fi
 		upsSum := map[string]float64{}
 		n := map[string]int{}
 		for s := 0; s < cfg.Systems; s++ {
+			if has != nil && !has(ui, s) {
+				continue
+			}
 			o := at(ui, s)
 			for _, mq := range []struct {
 				method string

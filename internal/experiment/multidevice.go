@@ -33,7 +33,7 @@ func MultiDevice(cfg Config, u float64, deviceCounts []int) ([]MultiDevicePoint,
 	if err != nil {
 		return nil, err
 	}
-	return multiDeviceAggregate(cfg, deviceCounts, outcomes.at), nil
+	return multiDeviceAggregate(cfg, deviceCounts, outcomes.at, nil), nil
 }
 
 // multiDeviceCheck rejects invalid device-count axes.
@@ -64,15 +64,19 @@ func multiDeviceCell(cfg Config, u float64, deviceCounts []int, di, s int) (qOut
 	return qOutcome{Psi: psi, Ups: ups, OK: true}, nil
 }
 
-// multiDeviceAggregate folds a complete outcome grid into the study
-// points in grid order — shared by the in-process runner and the shard
-// merge path.
-func multiDeviceAggregate(cfg Config, deviceCounts []int, at func(o, i int) qOutcome) []MultiDevicePoint {
+// multiDeviceAggregate folds an outcome grid into the study points in
+// grid order — shared by the in-process runner and the shard merge path.
+// A nil has aggregates the complete grid; a partial cover's predicate
+// restricts each device-count row to its present systems.
+func multiDeviceAggregate(cfg Config, deviceCounts []int, at func(o, i int) qOutcome, has func(o, i int) bool) []MultiDevicePoint {
 	var out []MultiDevicePoint
 	for di, devs := range deviceCounts {
 		point := MultiDevicePoint{Devices: devs}
 		var psis, upss []float64
 		for s := 0; s < cfg.Systems; s++ {
+			if has != nil && !has(di, s) {
+				continue
+			}
 			o := at(di, s)
 			point.Schedulable.Trials++
 			if !o.OK {

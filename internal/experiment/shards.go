@@ -172,27 +172,26 @@ func marshalCells[T any](refs []cellRef, vals []T, seedFor func(o, i int) int64)
 // cellsToGrid decodes a complete cell set into a dense grid. It rejects
 // incomplete, duplicated or out-of-range cells — merge guarantees none of
 // these, but the aggregators are public API and must not mis-aggregate a
-// hand-assembled set silently.
+// hand-assembled set silently. It is the partial grid builder
+// (cellsToPartialGrid) plus a completeness requirement, so the two paths
+// share one validation loop.
 func cellsToGrid[T any](g shard.Grid, cells []shard.Cell) (grid[T], error) {
-	if len(cells) != g.Cells() {
+	out, _, cov, err := cellsToPartialGrid[T](g, cells)
+	if err != nil {
+		return grid[T]{}, err
+	}
+	if !cov.Complete() {
 		return grid[T]{}, fmt.Errorf("experiment: %d cells for a %dx%d grid", len(cells), g.Points, g.Systems)
 	}
-	out := grid[T]{inner: g.Systems, cells: make([]T, g.Cells())}
-	filled := make([]bool, g.Cells())
-	for _, c := range cells {
-		idx, err := g.Index(c.Point, c.System)
-		if err != nil {
-			return grid[T]{}, fmt.Errorf("experiment: %w", err)
-		}
-		if filled[idx] {
-			return grid[T]{}, fmt.Errorf("experiment: cell (%d,%d) appears twice", c.Point, c.System)
-		}
-		filled[idx] = true
-		if err := json.Unmarshal(c.Data, &out.cells[idx]); err != nil {
-			return grid[T]{}, fmt.Errorf("experiment: decode cell (%d,%d): %w", c.Point, c.System, err)
-		}
-	}
 	return out, nil
+}
+
+// unmarshalCell decodes one cell's payload.
+func unmarshalCell[T any](c shard.Cell, into *T) error {
+	if err := json.Unmarshal(c.Data, into); err != nil {
+		return fmt.Errorf("experiment: decode cell (%d,%d): %w", c.Point, c.System, err)
+	}
+	return nil
 }
 
 // Fig5Cells evaluates the selected cells of the Figure 5 grid
@@ -219,7 +218,7 @@ func Fig5FromCells(cfg Config, cells []shard.Cell) (*Fig5Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fig5: %w", err)
 	}
-	return fig5Aggregate(cfg, us, g.at), nil
+	return fig5Aggregate(cfg, us, g.at, nil), nil
 }
 
 // FigQCells evaluates the selected cells of the Figures 6/7 grid. One
@@ -250,7 +249,7 @@ func FigQFromCells(cfg Config, cells []shard.Cell) (*FigQResult, *FigQResult, er
 	if err != nil {
 		return nil, nil, fmt.Errorf("fig6/7: %w", err)
 	}
-	psi, ups := figqAggregate(cfg, us, g.at)
+	psi, ups := figqAggregate(cfg, us, g.at, nil)
 	return psi, ups, nil
 }
 
@@ -307,7 +306,7 @@ func AblationFromCells(cfg Config, cells []shard.Cell) ([]AblationResult, error)
 	if err != nil {
 		return nil, fmt.Errorf("ablation: %w", err)
 	}
-	return ablationAggregate(cfg, g.at), nil
+	return ablationAggregate(cfg, g.at, nil), nil
 }
 
 // MultiDeviceCells evaluates the selected cells of the partitioned
@@ -335,7 +334,7 @@ func MultiDeviceFromCells(cfg Config, deviceCounts []int, cells []shard.Cell) ([
 	if err != nil {
 		return nil, fmt.Errorf("multidevice: %w", err)
 	}
-	return multiDeviceAggregate(cfg, deviceCounts, g.at), nil
+	return multiDeviceAggregate(cfg, deviceCounts, g.at, nil), nil
 }
 
 // SelectionRuns expands a CLI selection ("all" or one experiment name)

@@ -21,14 +21,23 @@
 //     every cell present exactly once and owned by its file's shard) and
 //     returns the single-shard equivalent file with cells in grid order.
 //
-// A merged file is itself a valid 1-shard file, so partial merges can be
-// merged again, and an interrupted sweep resumes by re-running only the
-// missing shard indices. ValidateCells proves a single file complete
-// (exactly the cells its plan owns), which is what the dispatch driver
+// A merged file is itself a valid 1-shard file, so merged covers can be
+// re-read and re-rendered, and an interrupted sweep resumes by re-running
+// only the missing shard indices. ValidateCells proves a single file
+// complete (exactly the cells it owns), which is what the dispatch driver
 // (internal/dispatch) uses to tell a finished shard from a partial one
 // before retrying it.
 //
+// MergePartial is the streaming counterpart of Merge: it accepts any
+// mutually-consistent subset of a run's files — regular shards and
+// previously-written partial covers alike — and returns a PartialCover
+// with the held cells in grid order plus exact coverage accounting
+// (per-run cell counts, the missing shard indices). An incomplete
+// cover's file carries a PartialInfo header recording its provenance; a
+// complete one is byte-identical to Merge's output, which is what lets
+// provisional results converge to — never diverge from — the full run's.
+//
 // The on-disk file layout — header fields, cell keying, params-mismatch
-// rules and the merge invariants — is specified in docs/SHARD_FORMAT.md;
-// FormatVersion tracks that spec's version.
+// rules, the merge invariants and the partial-cover rules — is specified
+// in docs/SHARD_FORMAT.md; FormatVersion tracks that spec's version.
 package shard

@@ -1,0 +1,296 @@
+package shard
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+)
+
+// Streaming/partial merge: MergePartial aggregates any incomplete but
+// mutually-consistent subset of a run's shard files into a provisional
+// single-shard-equivalent file, tracking exactly which cells the subset
+// covers. The cells it does hold are byte-identical to the ones the full
+// merge holds — a partial merge never recomputes or re-orders anything —
+// so the moment the last shard arrives, MergePartial degenerates into
+// Merge and the output byte-equals the complete run's.
+
+// PartialInfo marks a file written from an incomplete cover and records
+// its provenance: which shards of the original decomposition contributed.
+// The field order is part of the versioned format (docs/SHARD_FORMAT.md).
+type PartialInfo struct {
+	// Shards is the original decomposition's shard count N.
+	Shards int `json:"shards"`
+	// Present lists the contributing shard indices, strictly ascending.
+	// It is always a strict subset of [0, N): a complete cover is written
+	// without a PartialInfo at all.
+	Present []int `json:"present_shards"`
+}
+
+// validate rejects malformed partial headers before any ownership or
+// allocation decision is derived from them.
+func (pi *PartialInfo) validate() error {
+	if pi.Shards < 1 {
+		return fmt.Errorf("shard: partial header shard count %d, need >= 1", pi.Shards)
+	}
+	if len(pi.Present) == 0 {
+		return fmt.Errorf("shard: partial header lists no present shards")
+	}
+	if len(pi.Present) >= pi.Shards {
+		return fmt.Errorf("shard: partial header lists %d of %d shards — a complete cover must not be partial",
+			len(pi.Present), pi.Shards)
+	}
+	prev := -1
+	for _, idx := range pi.Present {
+		if idx < 0 || idx >= pi.Shards {
+			return fmt.Errorf("shard: partial header shard index %d outside [0,%d)", idx, pi.Shards)
+		}
+		if idx <= prev {
+			return fmt.Errorf("shard: partial header present shards not strictly ascending at %d", idx)
+		}
+		prev = idx
+	}
+	return nil
+}
+
+// Missing returns the absent shard indices, ascending.
+func (pi *PartialInfo) Missing() []int {
+	present := make(map[int]bool, len(pi.Present))
+	for _, idx := range pi.Present {
+		present[idx] = true
+	}
+	var missing []int
+	for i := 0; i < pi.Shards; i++ {
+		if !present[i] {
+			missing = append(missing, i)
+		}
+	}
+	return missing
+}
+
+// RunCoverage reports how much of one run's grid a partial cover holds.
+type RunCoverage struct {
+	Experiment string
+	Grid       Grid
+	// Have counts the cells present; the full grid holds Grid.Cells().
+	Have int
+}
+
+// Total returns the run's full cell count.
+func (c RunCoverage) Total() int { return c.Grid.Cells() }
+
+// Complete reports whether the run's grid is fully covered.
+func (c RunCoverage) Complete() bool { return c.Have == c.Total() }
+
+// PartialCover is the result of merging an arbitrary consistent subset of
+// a run's shard files: the provisional single-shard-equivalent file plus
+// exact coverage accounting.
+type PartialCover struct {
+	// File holds the merged cells in grid order — exactly the bytes the
+	// full merge would hold for them. Its Partial header is set if and
+	// only if the cover is incomplete; a complete cover's File is
+	// byte-identical to Merge's output.
+	File *File
+	// Shards is the original decomposition's shard count N.
+	Shards int
+	// Present and Missing partition [0, N) into the shard indices the
+	// cover holds and lacks, each ascending.
+	Present, Missing []int
+	// Runs reports per-run coverage, in the files' canonical run order.
+	Runs []RunCoverage
+}
+
+// Complete reports whether every shard of the decomposition is present.
+func (p *PartialCover) Complete() bool { return len(p.Missing) == 0 }
+
+// CellsHave returns the total number of cells the cover holds.
+func (p *PartialCover) CellsHave() int {
+	n := 0
+	for _, r := range p.Runs {
+		n += r.Have
+	}
+	return n
+}
+
+// CellsTotal returns the total number of cells of the full run.
+func (p *PartialCover) CellsTotal() int {
+	n := 0
+	for _, r := range p.Runs {
+		n += r.Total()
+	}
+	return n
+}
+
+// Fraction returns the covered fraction of the run's cells, in [0, 1].
+func (p *PartialCover) Fraction() float64 {
+	total := p.CellsTotal()
+	if total == 0 {
+		return 1
+	}
+	return float64(p.CellsHave()) / float64(total)
+}
+
+// indices returns the shard indices a file contributes and the shard
+// count it was decomposed under: the single (Shards, Index) plan of a
+// regular shard file, or the recorded present set of a partial file. It
+// is the one place the partial-file contract (trivial 0/1 plan, valid
+// PartialInfo) is enforced — Decode, ownership and MergePartial all
+// validate through it.
+func (f *File) indices() (shards int, owned []int, err error) {
+	if f.Partial != nil {
+		if f.Shards != 1 || f.Index != 0 {
+			return 0, nil, fmt.Errorf("shard: partial file declares shard %d/%d, want 0/1", f.Index, f.Shards)
+		}
+		if err := f.Partial.validate(); err != nil {
+			return 0, nil, err
+		}
+		return f.Partial.Shards, f.Partial.Present, nil
+	}
+	if _, err := NewPlan(f.Shards, f.Index); err != nil {
+		return 0, nil, err
+	}
+	return f.Shards, []int{f.Index}, nil
+}
+
+// MergePartial validates that the files are mutually-consistent pieces of
+// a single run — any mix of regular shard files and partial files a
+// previous MergePartial wrote — and merges whatever subset of the cover
+// they form. Unlike Merge it does not require completeness; everything
+// else is held to the same standard: the files must agree on selection,
+// params, grid shapes and shard count, contributed shard indices must be
+// disjoint, and each file must carry exactly the cells its indices own
+// (a truncated shard file is rejected, not silently under-counted).
+//
+// The returned cover's File is the provisional single-shard equivalent:
+// cells in grid order, Partial header recording the decomposition and
+// present shards when — and only when — the cover is incomplete. Merging
+// the complete set therefore returns a File byte-identical to Merge's,
+// which is what keeps streamed/partial rendering an approximation that
+// converges to, never diverges from, the full run's output.
+func MergePartial(files []*File) (*PartialCover, error) {
+	if len(files) == 0 {
+		return nil, fmt.Errorf("shard: partial merge needs at least one file")
+	}
+	ref := files[0]
+	refParams, err := canonicalParams(ref.Params)
+	if err != nil {
+		return nil, err
+	}
+	shards, _, err := ref.indices()
+	if err != nil {
+		return nil, err
+	}
+	seen := make([]bool, shards)
+	owned := make([]map[int]bool, len(files))
+	for fi, f := range files {
+		n, idxs, err := f.indices()
+		if err != nil {
+			return nil, err
+		}
+		if f.Version != ref.Version {
+			return nil, fmt.Errorf("shard: mixed format versions %d and %d", ref.Version, f.Version)
+		}
+		if f.Selection != ref.Selection {
+			return nil, fmt.Errorf("shard: mixed selections %q and %q", ref.Selection, f.Selection)
+		}
+		if n != shards {
+			return nil, fmt.Errorf("shard: mixed shard counts %d and %d", shards, n)
+		}
+		owned[fi] = make(map[int]bool, len(idxs))
+		for _, idx := range idxs {
+			if seen[idx] {
+				return nil, fmt.Errorf("shard: shard index %d appears twice", idx)
+			}
+			seen[idx] = true
+			owned[fi][idx] = true
+		}
+		params, err := canonicalParams(f.Params)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(params, refParams) {
+			return nil, fmt.Errorf("shard: file %d was produced by a different run (params mismatch)", fi)
+		}
+		if len(f.Runs) != len(ref.Runs) {
+			return nil, fmt.Errorf("shard: file %d holds %d runs, file 0 holds %d", fi, len(f.Runs), len(ref.Runs))
+		}
+		for ri, r := range f.Runs {
+			if r.Experiment != ref.Runs[ri].Experiment || r.Grid != ref.Runs[ri].Grid {
+				return nil, fmt.Errorf("shard: file %d run %d is %s %v, want %s %v",
+					fi, ri, r.Experiment, r.Grid, ref.Runs[ri].Experiment, ref.Runs[ri].Grid)
+			}
+		}
+	}
+	var present, missing []int
+	for i, ok := range seen {
+		if ok {
+			present = append(present, i)
+		} else {
+			missing = append(missing, i)
+		}
+	}
+	sort.Ints(present) // already ascending by construction; keep it explicit
+
+	cover := &PartialCover{
+		Shards:  shards,
+		Present: present,
+		Missing: missing,
+		File: &File{
+			Version:   ref.Version,
+			Selection: ref.Selection,
+			Shards:    1,
+			Index:     0,
+			Params:    ref.Params,
+		},
+	}
+	if len(missing) > 0 {
+		cover.File.Partial = &PartialInfo{Shards: shards, Present: present}
+	}
+	presentSet := make(map[int]bool, len(present))
+	for _, idx := range present {
+		presentSet[idx] = true
+	}
+	for ri, refRun := range ref.Runs {
+		grid := refRun.Grid
+		// MergePartial also accepts hand-built Files that never passed
+		// Decode, so re-validate before sizing allocations from the header.
+		if err := grid.validate(); err != nil {
+			return nil, fmt.Errorf("shard: run %q: %w", refRun.Experiment, err)
+		}
+		dense := make([]Cell, grid.Cells())
+		filled := make([]bool, grid.Cells())
+		for fi, f := range files {
+			for _, c := range f.Runs[ri].Cells {
+				g, err := grid.Index(c.Point, c.System)
+				if err != nil {
+					return nil, fmt.Errorf("shard: %s file %d: %w", refRun.Experiment, fi, err)
+				}
+				if !owned[fi][g%shards] {
+					return nil, fmt.Errorf("shard: %s file %d holds foreign cell (%d,%d)",
+						refRun.Experiment, fi, c.Point, c.System)
+				}
+				if filled[g] {
+					return nil, fmt.Errorf("shard: %s cell (%d,%d) appears twice",
+						refRun.Experiment, c.Point, c.System)
+				}
+				filled[g] = true
+				dense[g] = c
+			}
+		}
+		have := 0
+		cells := make([]Cell, 0, grid.Cells())
+		for g, ok := range filled {
+			if ok {
+				have++
+				cells = append(cells, dense[g])
+				continue
+			}
+			if presentSet[g%shards] {
+				return nil, fmt.Errorf("shard: %s cell (%d,%d) missing from a present shard — truncated file",
+					refRun.Experiment, g/grid.Systems, g%grid.Systems)
+			}
+		}
+		cover.File.Runs = append(cover.File.Runs, Run{Experiment: refRun.Experiment, Grid: grid, Cells: cells})
+		cover.Runs = append(cover.Runs, RunCoverage{Experiment: refRun.Experiment, Grid: grid, Have: have})
+	}
+	return cover, nil
+}

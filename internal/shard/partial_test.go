@@ -1,0 +1,347 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// subsets enumerates every non-empty strict subset of [0, n) for small n.
+func subsets(n int) [][]int {
+	var out [][]int
+	for mask := 1; mask < (1<<n)-1; mask++ {
+		var s []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s = append(s, i)
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestMergePartialStrictSubsets pins the tentpole invariant at the shard
+// layer: for every strict subset of a run's shard files, MergePartial
+// reports exactly the missing indices and the exact per-run coverage, and
+// the cells it holds are the ones the full merge holds — no more, no
+// less, in grid order.
+func TestMergePartialStrictSubsets(t *testing.T) {
+	grid := Grid{Points: 3, Systems: 4}
+	const n = 4
+	files := make([]*File, n)
+	for i := range files {
+		files[i] = mkFile(t, "fig5", grid, n, i, `{"seed":1}`)
+	}
+	full, err := Merge(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range subsets(n) {
+		var pick []*File
+		inSub := make(map[int]bool)
+		for _, i := range sub {
+			pick = append(pick, files[i])
+			inSub[i] = true
+		}
+		cover, err := MergePartial(pick)
+		if err != nil {
+			t.Fatalf("subset %v: %v", sub, err)
+		}
+		if cover.Complete() {
+			t.Fatalf("subset %v reported complete", sub)
+		}
+		if !reflect.DeepEqual(cover.Present, sub) {
+			t.Fatalf("subset %v: present = %v", sub, cover.Present)
+		}
+		wantMissing := []int{}
+		for i := 0; i < n; i++ {
+			if !inSub[i] {
+				wantMissing = append(wantMissing, i)
+			}
+		}
+		if !reflect.DeepEqual(cover.Missing, wantMissing) {
+			t.Fatalf("subset %v: missing = %v, want %v", sub, cover.Missing, wantMissing)
+		}
+		if cover.File.Partial == nil || cover.File.Partial.Shards != n ||
+			!reflect.DeepEqual(cover.File.Partial.Present, sub) {
+			t.Fatalf("subset %v: partial header = %+v", sub, cover.File.Partial)
+		}
+		// The held cells are exactly the full merge's cells at the owned
+		// indices, in grid order.
+		var want []Cell
+		for g, c := range full.Runs[0].Cells {
+			if inSub[g%n] {
+				want = append(want, c)
+			}
+		}
+		if !reflect.DeepEqual(cover.File.Runs[0].Cells, want) {
+			t.Fatalf("subset %v: cells differ from the full merge's owned cells", sub)
+		}
+		if cover.Runs[0].Have != len(want) || cover.CellsHave() != len(want) ||
+			cover.CellsTotal() != grid.Cells() {
+			t.Fatalf("subset %v: coverage %d/%d, want %d/%d",
+				sub, cover.CellsHave(), cover.CellsTotal(), len(want), grid.Cells())
+		}
+	}
+}
+
+// TestMergePartialCompleteIsByteIdentical: handing MergePartial the whole
+// cover must produce exactly Merge's output — no Partial header, same
+// bytes — so a streamed merge converges to the full run's output.
+func TestMergePartialCompleteIsByteIdentical(t *testing.T) {
+	grid := Grid{Points: 3, Systems: 4}
+	for _, n := range []int{1, 3, 8} {
+		files := make([]*File, n)
+		for i := range files {
+			files[i] = mkFile(t, "fig5", grid, n, i, `{"seed":1}`)
+		}
+		full, err := Merge(files)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cover, err := MergePartial(files)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		if !cover.Complete() || cover.File.Partial != nil {
+			t.Fatalf("N=%d: complete cover reported partial (%+v)", n, cover.File.Partial)
+		}
+		a, err := full.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := cover.File.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("N=%d: complete MergePartial differs from Merge", n)
+		}
+		if cover.Fraction() != 1 {
+			t.Fatalf("N=%d: fraction = %v", n, cover.Fraction())
+		}
+	}
+}
+
+// TestMergePartialResumesFromPartialFile: a written partial file re-reads
+// and merges with the remaining shards — the streaming workflow across
+// process restarts — and the final output byte-equals the direct full
+// merge.
+func TestMergePartialResumesFromPartialFile(t *testing.T) {
+	grid := Grid{Points: 3, Systems: 4}
+	const n = 4
+	files := make([]*File, n)
+	for i := range files {
+		files[i] = mkFile(t, "fig5", grid, n, i, `{"seed":1}`)
+	}
+	cover, err := MergePartial([]*File{files[0], files[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := cover.File.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reread, err := Decode(data)
+	if err != nil {
+		t.Fatalf("written partial file does not decode: %v", err)
+	}
+	if err := reread.ValidateCells(); err != nil {
+		t.Fatalf("written partial file fails validation: %v", err)
+	}
+	grown, err := MergePartial([]*File{reread, files[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Complete() || !reflect.DeepEqual(grown.Missing, []int{3}) {
+		t.Fatalf("grown cover missing = %v", grown.Missing)
+	}
+	final, err := MergePartial([]*File{grown.File, files[3]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Merge(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := full.Encode()
+	b, err := final.File.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("resumed partial merge differs from the direct full merge")
+	}
+}
+
+func TestMergePartialRejectsInconsistentSets(t *testing.T) {
+	grid := Grid{Points: 3, Systems: 4}
+	f0 := mkFile(t, "fig5", grid, 3, 0, `{"seed":1}`)
+	f1 := mkFile(t, "fig5", grid, 3, 1, `{"seed":1}`)
+
+	if _, err := MergePartial(nil); err == nil {
+		t.Error("empty set accepted")
+	}
+	if _, err := MergePartial([]*File{f0, f0}); err == nil ||
+		!strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate index: %v", err)
+	}
+	other := mkFile(t, "fig5", grid, 3, 1, `{"seed":2}`)
+	if _, err := MergePartial([]*File{f0, other}); err == nil ||
+		!strings.Contains(err.Error(), "different run") {
+		t.Errorf("params mismatch: %v", err)
+	}
+	mixed := mkFile(t, "fig5", grid, 4, 1, `{"seed":1}`)
+	if _, err := MergePartial([]*File{f0, mixed}); err == nil ||
+		!strings.Contains(err.Error(), "shard counts") {
+		t.Errorf("mixed shard counts: %v", err)
+	}
+	sel := mkFile(t, "fig6", grid, 3, 1, `{"seed":1}`)
+	if _, err := MergePartial([]*File{f0, sel}); err == nil ||
+		!strings.Contains(err.Error(), "selections") {
+		t.Errorf("mixed selections: %v", err)
+	}
+	truncated := mkFile(t, "fig5", grid, 3, 1, `{"seed":1}`)
+	truncated.Runs[0].Cells = truncated.Runs[0].Cells[:1]
+	if _, err := MergePartial([]*File{f0, truncated}); err == nil ||
+		!strings.Contains(err.Error(), "truncated") {
+		t.Errorf("truncated shard: %v", err)
+	}
+	foreign := mkFile(t, "fig5", grid, 3, 1, `{"seed":1}`)
+	foreign.Runs[0].Cells[0] = f0.Runs[0].Cells[0]
+	if _, err := MergePartial([]*File{foreign}); err == nil ||
+		!strings.Contains(err.Error(), "foreign") {
+		t.Errorf("foreign cell: %v", err)
+	}
+	// A partial file overlapping a shard it already contains.
+	cover, err := MergePartial([]*File{f0, f1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergePartial([]*File{cover.File, f1}); err == nil ||
+		!strings.Contains(err.Error(), "twice") {
+		t.Errorf("overlapping partial: %v", err)
+	}
+}
+
+// TestMergeRejectsPartialFiles: the strict Merge must never silently
+// accept an incomplete cover dressed as a 1-shard file.
+func TestMergeRejectsPartialFiles(t *testing.T) {
+	grid := Grid{Points: 3, Systems: 4}
+	f0 := mkFile(t, "fig5", grid, 3, 0, `{"seed":1}`)
+	f1 := mkFile(t, "fig5", grid, 3, 1, `{"seed":1}`)
+	cover, err := MergePartial([]*File{f0, f1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge([]*File{cover.File}); err == nil ||
+		!strings.Contains(err.Error(), "MergePartial") {
+		t.Errorf("Merge accepted a partial file: %v", err)
+	}
+}
+
+func TestPartialInfoValidation(t *testing.T) {
+	for _, tc := range []struct {
+		pi PartialInfo
+		ok bool
+	}{
+		{PartialInfo{Shards: 3, Present: []int{0}}, true},
+		{PartialInfo{Shards: 3, Present: []int{0, 2}}, true},
+		{PartialInfo{Shards: 0, Present: []int{0}}, false},
+		{PartialInfo{Shards: 3, Present: nil}, false},
+		{PartialInfo{Shards: 3, Present: []int{0, 1, 2}}, false}, // complete: must not be partial
+		{PartialInfo{Shards: 3, Present: []int{3}}, false},
+		{PartialInfo{Shards: 3, Present: []int{-1}}, false},
+		{PartialInfo{Shards: 3, Present: []int{1, 0}}, false}, // not ascending
+		{PartialInfo{Shards: 3, Present: []int{1, 1}}, false}, // duplicate
+	} {
+		err := tc.pi.validate()
+		if (err == nil) != tc.ok {
+			t.Errorf("validate(%+v) = %v, want ok=%v", tc.pi, err, tc.ok)
+		}
+	}
+	pi := PartialInfo{Shards: 4, Present: []int{1, 3}}
+	if got := pi.Missing(); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Errorf("Missing() = %v", got)
+	}
+}
+
+// TestDecodeValidatesPartialHeader: a corrupt partial header must fail at
+// decode time, before any ownership decision is derived from it.
+func TestDecodeValidatesPartialHeader(t *testing.T) {
+	grid := Grid{Points: 2, Systems: 2}
+	f := mkFile(t, "fig5", grid, 1, 0, `{"seed":1}`)
+	f.Partial = &PartialInfo{Shards: 2, Present: []int{5}}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data); err == nil || !strings.Contains(err.Error(), "partial header") {
+		t.Errorf("corrupt partial header decoded: %v", err)
+	}
+	bad := mkFile(t, "fig5", grid, 2, 1, `{"seed":1}`)
+	bad.Partial = &PartialInfo{Shards: 2, Present: []int{1}}
+	data, err = json.MarshalIndent(bad, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data); err == nil || !strings.Contains(err.Error(), "want 0/1") {
+		t.Errorf("partial file with non-trivial plan decoded: %v", err)
+	}
+}
+
+// TestValidateCellsPartialFiles: ValidateCells understands partial files —
+// exactly the present shards' cells, none missing, none foreign.
+func TestValidateCellsPartialFiles(t *testing.T) {
+	grid := Grid{Points: 3, Systems: 4}
+	f0 := mkFile(t, "fig5", grid, 3, 0, `{"seed":1}`)
+	f2 := mkFile(t, "fig5", grid, 3, 2, `{"seed":1}`)
+	cover, err := MergePartial([]*File{f0, f2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cover.File.ValidateCells(); err != nil {
+		t.Fatalf("valid partial file rejected: %v", err)
+	}
+	// Dropping a cell from a present shard must fail as truncated…
+	chopped := *cover.File
+	chopped.Runs = []Run{{
+		Experiment: cover.File.Runs[0].Experiment,
+		Grid:       grid,
+		Cells:      cover.File.Runs[0].Cells[1:],
+	}}
+	if err := chopped.ValidateCells(); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("truncated partial file: %v", err)
+	}
+	// …and a cell owned by an absent shard must fail as foreign.
+	f1 := mkFile(t, "fig5", grid, 3, 1, `{"seed":1}`)
+	intruding := *cover.File
+	intruding.Runs = []Run{{
+		Experiment: cover.File.Runs[0].Experiment,
+		Grid:       grid,
+		Cells:      append(append([]Cell{}, cover.File.Runs[0].Cells...), f1.Runs[0].Cells[0]),
+	}}
+	if err := intruding.ValidateCells(); err == nil || !strings.Contains(err.Error(), "foreign") {
+		t.Errorf("foreign cell in partial file: %v", err)
+	}
+}
+
+// TestPartialCoverFractionEdge: a run with no cells (nothing to cover) is
+// trivially complete rather than 0/0 = NaN.
+func TestPartialCoverFractionEdge(t *testing.T) {
+	p := &PartialCover{}
+	if p.Fraction() != 1 {
+		t.Errorf("empty cover fraction = %v", p.Fraction())
+	}
+	c := RunCoverage{Experiment: "fig5", Grid: Grid{Points: 2, Systems: 3}, Have: 4}
+	if c.Total() != 6 || c.Complete() {
+		t.Errorf("coverage %d/%d complete=%v", c.Have, c.Total(), c.Complete())
+	}
+	if s := fmt.Sprintf("%d/%d", c.Have, c.Total()); s != "4/6" {
+		t.Errorf("coverage renders %q", s)
+	}
+}

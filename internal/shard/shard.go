@@ -92,6 +92,11 @@ type File struct {
 	// files from different runs. The payload is owned by the experiment
 	// layer; shard only compares it for equality.
 	Params json.RawMessage `json:"params"`
+	// Partial, when set, marks the file as an incomplete cover written by
+	// MergePartial: the union of the recorded present shards of the
+	// original decomposition, not a full run. Complete files never carry
+	// it, so a complete MergePartial output is byte-identical to Merge's.
+	Partial *PartialInfo `json:"partial,omitempty"`
 	// Runs holds the sharded cells, one entry per experiment runner, in
 	// the selection's canonical order.
 	Runs []Run `json:"runs"`
@@ -166,7 +171,7 @@ func Decode(data []byte) (*File, error) {
 	if f.Version != FormatVersion {
 		return nil, fmt.Errorf("shard: file format version %d, this build reads %d", f.Version, FormatVersion)
 	}
-	if _, err := NewPlan(f.Shards, f.Index); err != nil {
+	if _, _, err := f.indices(); err != nil {
 		return nil, err
 	}
 	for _, r := range f.Runs {
@@ -194,15 +199,16 @@ func ReadFile(path string) (*File, error) {
 	return f, nil
 }
 
-// ValidateCells verifies that every run holds exactly the cells the
-// file's (Shards, Index) plan owns: each cell in range, owned by the
-// plan, present exactly once, and none missing. Decode does not enforce
-// completeness — a process killed mid-run can legitimately persist a
-// partial file that later attempts replace — so drivers that must detect
-// a truncated or partially-written shard (e.g. dispatch retry logic)
-// call this before accepting a worker's output.
+// ValidateCells verifies that every run holds exactly the cells the file
+// owns — the (Shards, Index) plan's round-robin share, or, for a file
+// carrying a Partial header, the union of its recorded present shards:
+// each cell in range, owned, present exactly once, and none missing.
+// Decode does not enforce completeness — a process killed mid-run can
+// legitimately persist a partial file that later attempts replace — so
+// drivers that must detect a truncated or partially-written shard (e.g.
+// dispatch retry logic) call this before accepting a worker's output.
 func (f *File) ValidateCells() error {
-	plan, err := NewPlan(f.Shards, f.Index)
+	owns, err := f.ownership()
 	if err != nil {
 		return err
 	}
@@ -216,7 +222,7 @@ func (f *File) ValidateCells() error {
 			if err != nil {
 				return fmt.Errorf("shard: run %q: %w", r.Experiment, err)
 			}
-			if !plan.Owns(g) {
+			if !owns(g) {
 				return fmt.Errorf("shard: run %q holds foreign cell (%d,%d) for shard %d/%d",
 					r.Experiment, c.Point, c.System, f.Index, f.Shards)
 			}
@@ -225,14 +231,30 @@ func (f *File) ValidateCells() error {
 			}
 			filled[g] = true
 		}
-		for g := plan.Index; g < len(filled); g += plan.Shards {
-			if !filled[g] {
+		for g := range filled {
+			if owns(g) && !filled[g] {
 				return fmt.Errorf("shard: run %q cell (%d,%d) missing — partial shard",
 					r.Experiment, g/r.Grid.Systems, g%r.Grid.Systems)
 			}
 		}
 	}
 	return nil
+}
+
+// ownership returns the global-index ownership predicate of the file: the
+// plan's round-robin share for a regular shard file, or the union of the
+// present shards for a file carrying a Partial header. It validates
+// through indices(), the single accessor for a file's decomposition.
+func (f *File) ownership() (func(g int) bool, error) {
+	shards, owned, err := f.indices()
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[int]bool, len(owned))
+	for _, idx := range owned {
+		set[idx] = true
+	}
+	return func(g int) bool { return set[g%shards] }, nil
 }
 
 // canonicalParams compacts a params payload so equality is insensitive to
@@ -276,6 +298,9 @@ func Merge(files []*File) (*File, error) {
 		// re-validate the decomposition before indexing with it.
 		if _, err := NewPlan(f.Shards, f.Index); err != nil {
 			return nil, err
+		}
+		if f.Partial != nil {
+			return nil, fmt.Errorf("shard: shard %d is a partial cover file; use MergePartial", f.Index)
 		}
 		if f.Version != ref.Version {
 			return nil, fmt.Errorf("shard: mixed format versions %d and %d", ref.Version, f.Version)

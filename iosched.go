@@ -64,6 +64,28 @@
 // from its grid path, a retried shard reproduces the lost one exactly,
 // and dispatched output is byte-identical to the unsharded run. The CLI
 // equivalent is "ioschedbench dispatch".
+//
+// # Streaming
+//
+// A paper-scale sweep takes hours; nothing forces the operator to wait
+// for the last shard before seeing anything. MergeShardFilesPartial
+// merges whatever consistent subset of a run's shard files exists into a
+// provisional cover with exact accounting of what is missing; the
+// FromCellsPartial aggregators (Fig5FromCellsPartial, …) render
+// provisional figures over the present cells with per-point coverage.
+// DispatchShards streams the same information live: a typed
+// progress-event stream (DispatchOptions.Progress, folded into per-shard
+// state and an ETA by DispatchTracker), periodic auto-partial merges
+// into the dispatch directory (DispatchOptions.PartialEvery), and a
+// pure-reader view of any dispatch journal (ReadDispatchJournal). The
+// invariant the whole subsystem preserves: partial output is computed by
+// the exact aggregation code of the full run restricted to the present
+// cells, so the moment the cover completes, the output is byte-identical
+// to the unsharded run — provisional results converge to the final
+// figures, never diverge from them. The CLI equivalents are
+// "ioschedbench merge -partial", "ioschedbench dispatch -progress
+// -partial-every" and "ioschedbench status"; the journal and
+// progress-event schemas are specified in docs/DISPATCH.md.
 package iosched
 
 import (
@@ -346,6 +368,50 @@ func ReadShardFile(path string) (*ShardFile, error) { return shard.ReadFile(path
 // (cells complete, in grid order) ready for the FromCells aggregators.
 func MergeShardFiles(files []*ShardFile) (*ShardFile, error) { return shard.Merge(files) }
 
+// Streaming/partial merge: render provisional results from whatever
+// shards exist, with exact coverage accounting, long before — and
+// byte-identically converging to — the complete cover. See the package
+// comment's Streaming section and docs/SHARD_FORMAT.md.
+type (
+	// ShardPartialCover is the merge of an incomplete shard subset: the
+	// provisional single-shard-equivalent file plus per-run coverage and
+	// the missing shard indices.
+	ShardPartialCover = shard.PartialCover
+	// ShardRunCoverage is one run's coverage inside a partial cover.
+	ShardRunCoverage = shard.RunCoverage
+	// ShardPartialInfo is the header a partial cover file carries.
+	ShardPartialInfo = shard.PartialInfo
+	// ExperimentCoverage reports how much of a grid a partial cell set
+	// covers, per point.
+	ExperimentCoverage = experiment.Coverage
+)
+
+// MergeShardFilesPartial merges any mutually-consistent subset of a
+// run's shard files — including partial cover files from an earlier
+// partial merge — without requiring completeness. The cover reports
+// exactly which shards and cells are missing; its File feeds the
+// FromCellsPartial aggregators for provisional figures, and re-merging it
+// with the remaining shards converges byte-identically to
+// MergeShardFiles of the full set. The CLI equivalent is
+// "ioschedbench merge -partial".
+func MergeShardFilesPartial(files []*ShardFile) (*ShardPartialCover, error) {
+	return shard.MergePartial(files)
+}
+
+// Fig5FromCellsPartial rebuilds a provisional Figure 5 result from any
+// subset of the grid's cells, with per-point coverage; a complete subset
+// equals Fig5FromCells.
+func Fig5FromCellsPartial(cfg ExperimentConfig, cells []ShardCell) (*experiment.Fig5Result, ExperimentCoverage, error) {
+	return experiment.Fig5FromCellsPartial(cfg, cells)
+}
+
+// Fig6And7FromCellsPartial rebuilds provisional Figures 6 and 7 results
+// from any subset of their shared grid's cells; a complete subset equals
+// Fig6And7FromCells.
+func Fig6And7FromCellsPartial(cfg ExperimentConfig, cells []ShardCell) (*experiment.FigQResult, *experiment.FigQResult, ExperimentCoverage, error) {
+	return experiment.FigQFromCellsPartial(cfg, cells)
+}
+
 // Dispatched execution: a fault-tolerant driver that fans the shard
 // indices of one run out to a pool of workers, retries lost, failed,
 // corrupt and timed-out shards by index, journals progress so an
@@ -371,7 +437,30 @@ type (
 	// CmdWorker runs shards through a user-supplied command template
 	// (e.g. "ssh host ioschedbench {args} -out /dev/stdout").
 	CmdWorker = dispatch.CmdWorker
+	// DispatchProgressEvent is one event of the typed progress stream a
+	// dispatch emits through DispatchOptions.Progress (schema version
+	// dispatch.ProgressVersion; spec: docs/DISPATCH.md).
+	DispatchProgressEvent = dispatch.ProgressEvent
+	// DispatchTracker folds the progress stream into queryable snapshots
+	// (per-shard state, counts, ETA) for live status displays.
+	DispatchTracker = dispatch.Tracker
+	// DispatchSnapshot is a Tracker's point-in-time view of a dispatch.
+	DispatchSnapshot = dispatch.Snapshot
+	// DispatchJournalState is the decoded state of a dispatch journal —
+	// what the "ioschedbench status" subcommand prints.
+	DispatchJournalState = dispatch.JournalState
 )
+
+// NewDispatchTracker returns an empty progress tracker; pass its Observe
+// method through DispatchOptions.Progress.
+func NewDispatchTracker() *DispatchTracker { return dispatch.NewTracker() }
+
+// ReadDispatchJournal decodes the journal inside a dispatch directory —
+// live, finished or dead — into its per-shard state, missing indices and
+// failure log. It never writes, so it is safe against a running dispatch.
+func ReadDispatchJournal(dir string) (*DispatchJournalState, error) {
+	return dispatch.ReadJournalDir(dir)
+}
 
 // DispatchShards runs the spec's shards across the worker pool with
 // per-shard retry and returns the merged single-shard equivalent —
