@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/shard"
+)
+
+// silenceStdout routes the renderers' stdout to /dev/null for the
+// duration of fn, so compatibility tests don't flood the test log with
+// charts.
+func silenceStdout(t *testing.T, fn func() error) error {
+	t.Helper()
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	old := os.Stdout
+	os.Stdout = devnull
+	defer func() { os.Stdout = old }()
+	return fn()
+}
+
+// TestRenderMergedAcceptsPreRegistryFiles: an "all" cover written before
+// an experiment registered (here: a file with the tailq run stripped,
+// standing in for any pre-registry sweep) must still render — the file's
+// recorded run list, not this binary's registry, says what the sweep
+// computed. A specifically selected experiment must still be present.
+func TestRenderMergedAcceptsPreRegistryFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	p := experiment.ShardParams{Systems: 2, Seed: 1, GAPopulation: 8, GAGenerations: 5}
+	f, err := experiment.RunShard(experiment.ExpAll, p, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs []shard.Run
+	for _, r := range f.Runs {
+		if r.Experiment != experiment.ExpTailQ {
+			runs = append(runs, r)
+		}
+	}
+	old := *f
+	old.Runs = runs
+	if err := silenceStdout(t, func() error { return renderMerged(&old, "") }); err != nil {
+		t.Errorf("pre-registry all-file failed to render: %v", err)
+	}
+
+	// A file that never computed a specifically selected experiment is
+	// still an error, not a silent no-op.
+	bad := *f
+	bad.Selection = experiment.ExpTailQ
+	bad.Runs = runs
+	err = silenceStdout(t, func() error { return renderMerged(&bad, "") })
+	if err == nil || !strings.Contains(err.Error(), "tailq") {
+		t.Errorf("missing selected run not reported: %v", err)
+	}
+}

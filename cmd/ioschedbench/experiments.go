@@ -1,0 +1,59 @@
+package main
+
+// The experiments subcommand: list the registered experiments — name,
+// grid shape, cell-sharing key, CSV output and description — straight
+// from the registry, so the listing can never drift from what the binary
+// actually runs.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/textplot"
+)
+
+// runExperiments renders the registry listing to w.
+func runExperiments(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ioschedbench experiments")
+		fmt.Fprintln(os.Stderr, "\nLists the registered experiments in the canonical \"all\" order.")
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	// Grid shapes are configuration-dependent; show them at the default
+	// scale the CLI runs without flags.
+	rc := experiment.ShardParams{Seed: 1}.Context(1)
+	headers := []string{"name", "grid", "cell key", "csv", "description"}
+	var rows [][]string
+	for _, e := range experiment.All() {
+		g, err := e.Grid(rc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		grid, key := "-", "-"
+		if e.Codec().New != nil {
+			grid = fmt.Sprintf("%dx%d", g.Points, g.Systems)
+			key = e.CellKey()
+		}
+		csvName := e.CSVName()
+		if csvName == "" {
+			csvName = "-"
+		}
+		rows = append(rows, []string{e.Name(), grid, key, csvName, e.Describe()})
+	}
+	fmt.Fprintln(w, "Registered experiments (canonical \"all\" order; grids at the default scale):")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, textplot.Table(headers, rows))
+	fmt.Fprintln(w, "Experiments sharing a cell key are computed once per run; \"-\" marks a")
+	fmt.Fprintln(w, "closed-form experiment with no grid to shard.")
+	return nil
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsGolden pins the experiments subcommand's exact output:
+// the listing is generated from the registry, so drift means either an
+// intentional registry change (re-run with -update) or a broken one.
+func TestExperimentsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runExperiments(nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	const golden = "testdata/experiments/golden.txt"
+	if *update {
+		if err := os.MkdirAll("testdata/experiments", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("experiments output drifted from %s (re-run with -update after intentional changes):\ngot:\n%s\nwant:\n%s",
+			golden, buf.Bytes(), want)
+	}
+}
+
+// TestExperimentsListsRegistry: every registered experiment appears once,
+// in canonical order, and the new tailq study is among them.
+func TestExperimentsListsRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runExperiments(nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	last := -1
+	for _, name := range []string{"fig5", "fig6", "fig7", "table1", "motivation", "ablation", "multidevice", "tailq"} {
+		idx := strings.Index(out, name)
+		if idx < 0 {
+			t.Fatalf("experiment %q missing from listing:\n%s", name, out)
+		}
+		if idx < last {
+			t.Errorf("experiment %q listed out of canonical order", name)
+		}
+		last = idx
+	}
+}
+
+func TestExperimentsRejectsArguments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runExperiments([]string{"bogus"}, &buf); err == nil {
+		t.Error("stray argument accepted")
+	}
+}

@@ -1,5 +1,8 @@
 // Command ioschedbench regenerates every table and figure of the paper's
-// evaluation (Section V) plus the motivation and ablation experiments:
+// evaluation (Section V) plus the motivation, ablation and extension
+// experiments. The experiments come from a pluggable registry
+// (internal/experiment): run "ioschedbench experiments" for the live
+// list. A few:
 //
 //	ioschedbench -experiment fig5        # schedulability vs utilisation
 //	ioschedbench -experiment fig6        # Ψ of the offline methods
@@ -8,6 +11,7 @@
 //	ioschedbench -experiment motivation  # NoC jitter vs pre-loaded controller
 //	ioschedbench -experiment ablation    # design-choice variants
 //	ioschedbench -experiment multidevice # partitioned-controller scaling
+//	ioschedbench -experiment tailq       # per-job quality tail distribution
 //	ioschedbench -experiment all
 //
 // The default configuration is a calibrated scale-down (100 systems per
@@ -32,9 +36,10 @@
 //
 // Every shard must run with the same experiment flags (-experiment,
 // -seed, -systems, …); merge verifies this from the parameters recorded
-// in each file and refuses to mix runs. -parallel is per-host and may
-// differ. If a shard is lost, re-run just that index: cells derive their
-// seeds from their grid position, so a re-run reproduces them exactly.
+// in each file and refuses to mix runs, naming the offending file and
+// parameter. -parallel is per-host and may differ. If a shard is lost,
+// re-run just that index: cells derive their seeds from their grid
+// position, so a re-run reproduces them exactly.
 //
 // # Dispatch
 //
@@ -73,7 +78,8 @@
 // Partial output converges: once the cover completes, the annotations
 // disappear and the output is byte-identical to the unsharded run. The
 // shard file format is specified in docs/SHARD_FORMAT.md, the journal
-// and progress-event schemas in docs/DISPATCH.md, and the full flag
+// and progress-event schemas in docs/DISPATCH.md, the registry and its
+// extension walkthrough in docs/EXPERIMENTS.md, and the full flag
 // reference in docs/CLI.md.
 package main
 
@@ -84,7 +90,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
+	"strings"
 
 	"repro/internal/experiment"
 	"repro/internal/shard"
@@ -110,6 +116,12 @@ func main() {
 		case "status":
 			if err := runStatus(os.Args[2:], os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "ioschedbench: status: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		case "experiments":
+			if err := runExperiments(os.Args[2:], os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "ioschedbench: experiments: %v\n", err)
 				os.Exit(1)
 			}
 			return
@@ -141,11 +153,7 @@ func main() {
 		return
 	}
 
-	cfg := params.Config()
-	cfg.Parallelism = *parallel
-	mcfg := params.Motivation()
-	mcfg.Parallelism = *parallel
-	if err := render(*rf.which, cfg, mcfg, params, liveSource(cfg, mcfg, params), *csvDir); err != nil {
+	if err := render(*rf.which, params.Context(*parallel), nil, *csvDir); err != nil {
 		fail(err)
 	}
 }
@@ -164,8 +172,11 @@ type runFlags struct {
 }
 
 func registerRunFlags(fs *flag.FlagSet) *runFlags {
+	// The -experiment value set comes from the registry, so a newly
+	// registered experiment is selectable with no CLI edit.
+	usage := strings.Join(experiment.Names(), "|") + "|" + experiment.ExpAll
 	return &runFlags{
-		which:      fs.String("experiment", "all", "fig5|fig6|fig7|table1|motivation|ablation|multidevice|all"),
+		which:      fs.String("experiment", experiment.ExpAll, usage),
 		systems:    fs.Int("systems", 0, "systems per utilisation point (0 = config default)"),
 		seed:       fs.Int64("seed", 1, "random seed"),
 		gaPop:      fs.Int("gapop", 0, "GA population (0 = config default)"),
@@ -293,125 +304,107 @@ func renderMerged(merged *shard.File, csvDir string) error {
 	if err := json.Unmarshal(merged.Params, &params); err != nil {
 		return fmt.Errorf("recorded params: %w", err)
 	}
-	cfg := params.Config()
-	mcfg := params.Motivation()
-	return render(merged.Selection, cfg, mcfg, params, mergedSource(merged, cfg, mcfg, params), csvDir)
-}
-
-// source yields experiment results for the render loop: live runners for
-// a normal run, merged-cell aggregation for the merge subcommand. Both
-// paths share the renderers below, which is what makes merged output
-// byte-identical to an unsharded run's.
-type source struct {
-	fig5        func() (*experiment.Fig5Result, error)
-	figq        func() (*experiment.FigQResult, *experiment.FigQResult, error)
-	motivation  func() (*experiment.MotivationResult, error)
-	ablation    func() ([]experiment.AblationResult, error)
-	multidevice func() ([]experiment.MultiDevicePoint, error)
-}
-
-func liveSource(cfg experiment.Config, mcfg experiment.MotivationConfig, p experiment.ShardParams) source {
-	mdU, mdCounts := p.ResolvedMultiDevice()
-	return source{
-		fig5:       func() (*experiment.Fig5Result, error) { return experiment.Fig5(cfg) },
-		figq:       func() (*experiment.FigQResult, *experiment.FigQResult, error) { return experiment.Fig6And7(cfg) },
-		motivation: func() (*experiment.MotivationResult, error) { return experiment.Motivation(mcfg) },
-		ablation: func() ([]experiment.AblationResult, error) {
-			return experiment.Ablation(cfg, p.ResolvedAblationU())
-		},
-		multidevice: func() ([]experiment.MultiDevicePoint, error) {
-			return experiment.MultiDevice(cfg, mdU, mdCounts)
-		},
-	}
-}
-
-func mergedSource(f *shard.File, cfg experiment.Config, mcfg experiment.MotivationConfig, p experiment.ShardParams) source {
-	byName := make(map[string][]shard.Cell, len(f.Runs))
-	for _, r := range f.Runs {
+	byName := make(map[string][]shard.Cell, len(merged.Runs))
+	for _, r := range merged.Runs {
 		byName[r.Experiment] = r.Cells
 	}
-	cells := func(name string) ([]shard.Cell, error) {
-		cs, ok := byName[name]
-		if !ok {
-			return nil, fmt.Errorf("shard files carry no %q cells", name)
-		}
-		return cs, nil
-	}
-	_, mdCounts := p.ResolvedMultiDevice()
-	return source{
-		fig5: func() (*experiment.Fig5Result, error) {
-			cs, err := cells(experiment.ExpFig5)
-			if err != nil {
-				return nil, err
-			}
-			return experiment.Fig5FromCells(cfg, cs)
-		},
-		figq: func() (*experiment.FigQResult, *experiment.FigQResult, error) {
-			// Figures 6 and 7 share one cell grid; either name serves both.
-			cs, err := cells(experiment.ExpFig6)
-			if err != nil {
-				if cs, err = cells(experiment.ExpFig7); err != nil {
-					return nil, nil, err
-				}
-			}
-			return experiment.FigQFromCells(cfg, cs)
-		},
-		motivation: func() (*experiment.MotivationResult, error) {
-			cs, err := cells(experiment.ExpMotivation)
-			if err != nil {
-				return nil, err
-			}
-			return experiment.MotivationFromCells(mcfg, cs)
-		},
-		ablation: func() ([]experiment.AblationResult, error) {
-			cs, err := cells(experiment.ExpAblation)
-			if err != nil {
-				return nil, err
-			}
-			return experiment.AblationFromCells(cfg, cs)
-		},
-		multidevice: func() ([]experiment.MultiDevicePoint, error) {
-			cs, err := cells(experiment.ExpMultiDevice)
-			if err != nil {
-				return nil, err
-			}
-			return experiment.MultiDeviceFromCells(cfg, mdCounts, cs)
-		},
-	}
+	cells := func(name string) ([]shard.Cell, bool) { cs, ok := byName[name]; return cs, ok }
+	return render(merged.Selection, params.Context(0), cells, csvDir)
 }
 
-// render draws the selected experiments from src in the canonical order.
-func render(which string, cfg experiment.Config, mcfg experiment.MotivationConfig, p experiment.ShardParams, src source, csvDir string) error {
+// render draws the selected experiments in the registry's canonical
+// order. cells supplies a merged run's cell sets; nil runs the
+// experiments in process. Both paths aggregate and render through the
+// same registry hooks, which is what makes merged output byte-identical
+// to an unsharded run's — and what makes a newly registered experiment
+// renderable with no CLI edit.
+//
+// An "all" merge renders the grid experiments the file recorded: a file
+// written before an experiment registered legitimately lacks its cells,
+// and its recorded run list — not this binary's registry — says what
+// the sweep computed. A specifically selected experiment must be
+// present.
+func render(which string, rc experiment.RunContext, cells func(name string) ([]shard.Cell, bool), csvDir string) error {
 	ran := false
-	run := func(name string, fn func() error) error {
+	// In-process "all" runs reuse one cell computation per cell key
+	// (Figures 6 and 7 share their grid).
+	liveCache := map[string][]shard.Cell{}
+	for _, e := range experiment.All() {
+		name := e.Name()
 		if which != experiment.ExpAll && which != name {
-			return nil
+			continue
 		}
-		ran = true
-		if err := fn(); err != nil {
+		res, err := resultFor(e, rc, cells, liveCache)
+		if err != nil {
+			if err == errRunNotRecorded && which == experiment.ExpAll {
+				continue
+			}
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		return nil
-	}
-	steps := []struct {
-		name string
-		fn   func() error
-	}{
-		{experiment.ExpFig5, func() error { return renderFig5(cfg, src, csvDir) }},
-		{experiment.ExpFig6, func() error { return renderFigQ(cfg, src, csvDir, true) }},
-		{experiment.ExpFig7, func() error { return renderFigQ(cfg, src, csvDir, false) }},
-		{experiment.ExpTable1, func() error { return renderTable1(csvDir) }},
-		{experiment.ExpMotivation, func() error { return renderMotivation(mcfg, src) }},
-		{experiment.ExpAblation, func() error { return renderAblation(cfg, p.ResolvedAblationU(), src) }},
-		{experiment.ExpMultiDevice, func() error { return renderMultiDevice(cfg, src) }},
-	}
-	for _, s := range steps {
-		if err := run(s.name, s.fn); err != nil {
-			return err
+		ran = true
+		fmt.Print(e.Header(rc))
+		if err := renderBody(e, res, nil, csvDir); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
 		}
 	}
 	if !ran {
 		return fmt.Errorf("%w %q", experiment.ErrUnknownExperiment, which)
+	}
+	return nil
+}
+
+// errRunNotRecorded marks a registered grid experiment absent from a
+// merged file's recorded runs (a file from before the experiment
+// registered).
+var errRunNotRecorded = fmt.Errorf("shard files carry no cells for this experiment")
+
+// resultFor aggregates one experiment's result from the cell source (or
+// in process when cells is nil).
+func resultFor(e experiment.Experiment, rc experiment.RunContext, cells func(name string) ([]shard.Cell, bool), liveCache map[string][]shard.Cell) (experiment.Result, error) {
+	name := e.Name()
+	if e.Codec().New == nil {
+		// Closed-form: recomputed at render time on every path.
+		return experiment.Run(name, rc)
+	}
+	if cells != nil {
+		cs, ok := cells(name)
+		if !ok {
+			return nil, errRunNotRecorded
+		}
+		return experiment.FromCells(name, rc, cs)
+	}
+	key := e.CellKey()
+	cs, ok := liveCache[key]
+	if !ok {
+		var err error
+		if cs, _, err = experiment.RunCells(name, rc, nil); err != nil {
+			return nil, err
+		}
+		liveCache[key] = cs
+	}
+	return experiment.FromCells(name, rc, cs)
+}
+
+// renderBody renders a result below its header: optional chart, table
+// (with a per-point coverage column when cov is a partial cover whose
+// points map to the table rows), optional footer and CSV.
+func renderBody(e experiment.Experiment, res experiment.Result, cov *experiment.Coverage, csvDir string) error {
+	if p, ok := res.(experiment.Plottable); ok {
+		x, series := p.Series()
+		plotSeries(p.PlotTitle(), x, series)
+	}
+	h, rows := res.Rows()
+	if cov != nil && len(rows) == len(cov.PointHave) {
+		h, rows = coverageColumn(h, rows, *cov)
+	}
+	fmt.Println(textplot.Table(h, rows))
+	if f, ok := res.(experiment.Footnoted); ok {
+		if note := f.Footer(); note != "" {
+			fmt.Println(note)
+		}
+	}
+	if e.CSVName() != "" {
+		return writeCSV(csvDir, e.CSVName(), h, rows)
 	}
 	return nil
 }
@@ -445,122 +438,4 @@ func writeCSV(dir, name string, headers []string, rows [][]string) error {
 	}
 	w.Flush()
 	return w.Error()
-}
-
-// The experiment header lines are shared by the full renderers below and
-// the partial renderers (partial.go), so provisional output cannot drift
-// from the final spelling it converges to.
-
-func fig5Header(cfg experiment.Config) string {
-	return fmt.Sprintf("Figure 5: system schedulability (systems/point=%d, GA %dx%d, seed=%d)\n\n",
-		cfg.Systems, cfg.GA.Population, cfg.GA.Generations, cfg.Seed)
-}
-
-// figqTitle names the figure and its metric; figqHeader is its header
-// block.
-func figqTitle(psi bool) (name, metric string) {
-	if psi {
-		return "Figure 6", "Psi (fraction of exact timing-accurate jobs)"
-	}
-	return "Figure 7", "Upsilon (normalised quality)"
-}
-
-func figqHeader(cfg experiment.Config, psi bool) string {
-	name, metric := figqTitle(psi)
-	return fmt.Sprintf("%s: %s (systems/point=%d, GA %dx%d, seed=%d)\n\n",
-		name, metric, cfg.Systems, cfg.GA.Population, cfg.GA.Generations, cfg.Seed)
-}
-
-func motivationHeader(mcfg experiment.MotivationConfig) string {
-	return fmt.Sprintf("Motivation (Section I): timing accuracy of remote I/O writes over a %dx%d NoC\n",
-		mcfg.Mesh.Width, mcfg.Mesh.Height) +
-		fmt.Sprintf("(%d periodic writes, %d cross-traffic flows, seed=%d)\n\n",
-			mcfg.Writes, mcfg.CrossFlows, mcfg.Seed)
-}
-
-func multiDeviceHeader(cfg experiment.Config) string {
-	return fmt.Sprintf("Partitioned scaling: static scheduler at total U=0.8 over 1..8 devices (systems=%d)\n\n", cfg.Systems)
-}
-
-func ablationHeader(cfg experiment.Config, u float64) string {
-	return fmt.Sprintf("Ablation at U=%s (systems=%d, seed=%d)\n\n",
-		strconv.FormatFloat(u, 'f', 2, 64), cfg.Systems, cfg.Seed)
-}
-
-func renderFig5(cfg experiment.Config, src source, csvDir string) error {
-	fmt.Print(fig5Header(cfg))
-	res, err := src.fig5()
-	if err != nil {
-		return err
-	}
-	x, series := res.Series()
-	plotSeries("Fig 5: schedulable fraction vs utilisation", x, series)
-	h, rows := res.Rows()
-	fmt.Println(textplot.Table(h, rows))
-	return writeCSV(csvDir, "fig5.csv", h, rows)
-}
-
-func renderFigQ(cfg experiment.Config, src source, csvDir string, psi bool) error {
-	name, metric := figqTitle(psi)
-	fmt.Print(figqHeader(cfg, psi))
-	psiRes, upsRes, err := src.figq()
-	if err != nil {
-		return err
-	}
-	res := psiRes
-	file := "fig6.csv"
-	if !psi {
-		res = upsRes
-		file = "fig7.csv"
-	}
-	x, series := res.Series()
-	plotSeries(name+": "+metric, x, series)
-	h, rows := res.Rows()
-	fmt.Println(textplot.Table(h, rows))
-	return writeCSV(csvDir, file, h, rows)
-}
-
-func renderTable1(csvDir string) error {
-	fmt.Println("Table I: hardware overhead of the evaluated I/O controllers")
-	fmt.Println("(structural resource model vs the paper's Vivado synthesis)")
-	fmt.Println()
-	rows := experiment.Table1()
-	h, r := experiment.Table1Rows(rows)
-	fmt.Println(textplot.Table(h, r))
-	return writeCSV(csvDir, "table1.csv", h, r)
-}
-
-func renderMotivation(mcfg experiment.MotivationConfig, src source) error {
-	fmt.Print(motivationHeader(mcfg))
-	res, err := src.motivation()
-	if err != nil {
-		return err
-	}
-	h, rows := res.Rows()
-	fmt.Println(textplot.Table(h, rows))
-	fmt.Printf("uncontended CPU->controller latency: %d cycles (compensated by the remote design)\n",
-		res.BaseLatency)
-	return nil
-}
-
-func renderMultiDevice(cfg experiment.Config, src source) error {
-	fmt.Print(multiDeviceHeader(cfg))
-	points, err := src.multidevice()
-	if err != nil {
-		return err
-	}
-	h, rows := experiment.MultiDeviceRows(points)
-	fmt.Println(textplot.Table(h, rows))
-	return nil
-}
-
-func renderAblation(cfg experiment.Config, u float64, src source) error {
-	fmt.Print(ablationHeader(cfg, u))
-	res, err := src.ablation()
-	if err != nil {
-		return err
-	}
-	h, rows := experiment.AblationRows(res)
-	fmt.Println(textplot.Table(h, rows))
-	return nil
 }

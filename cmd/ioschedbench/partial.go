@@ -7,7 +7,8 @@ package main
 // grid happens to be fully covered renders exactly as the final output
 // will. A complete cover never reaches this file: runMerge routes it
 // through renderMerged, which is what keeps the finished sweep
-// byte-identical to the unsharded run.
+// byte-identical to the unsharded run. The loop below is registry-driven:
+// a newly registered experiment gets partial rendering with no edit here.
 
 import (
 	"encoding/json"
@@ -16,7 +17,6 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/shard"
-	"repro/internal/textplot"
 )
 
 // shardList renders shard indices as " 2 5" for banner lines.
@@ -44,14 +44,13 @@ func coverageColumn(headers []string, rows [][]string, cov experiment.Coverage) 
 }
 
 // renderPartialCover renders provisional results from an incomplete
-// cover, in the same experiment order as the full render loop.
+// cover, in the registry's canonical experiment order.
 func renderPartialCover(cover *shard.PartialCover, csvDir string) error {
 	var params experiment.ShardParams
 	if err := json.Unmarshal(cover.File.Params, &params); err != nil {
 		return fmt.Errorf("recorded params: %w", err)
 	}
-	cfg := params.Config()
-	mcfg := params.Motivation()
+	rc := params.Context(0)
 
 	fmt.Printf("PARTIAL results: %d/%d shards present (missing shards:%s); %d/%d cells (%.1f%%)\n",
 		len(cover.Present), cover.Shards, shardList(cover.Missing),
@@ -64,47 +63,61 @@ func renderPartialCover(cover *shard.PartialCover, csvDir string) error {
 		byName[r.Experiment] = r.Cells
 	}
 	which := cover.File.Selection
-	steps := []struct {
-		name string
-		fn   func(cells []shard.Cell) error
-	}{
-		{experiment.ExpFig5, func(cells []shard.Cell) error {
-			return renderPartialFig5(cfg, cells, cover.Missing, csvDir)
-		}},
-		{experiment.ExpFig6, func(cells []shard.Cell) error {
-			return renderPartialFigQ(cfg, cells, cover.Missing, csvDir, true)
-		}},
-		{experiment.ExpFig7, func(cells []shard.Cell) error {
-			return renderPartialFigQ(cfg, cells, cover.Missing, csvDir, false)
-		}},
-		{experiment.ExpMotivation, func(cells []shard.Cell) error {
-			return renderPartialMotivation(mcfg, cells, cover.Missing)
-		}},
-		{experiment.ExpAblation, func(cells []shard.Cell) error {
-			return renderPartialAblation(cfg, params.ResolvedAblationU(), cells, cover.Missing)
-		}},
-		{experiment.ExpMultiDevice, func(cells []shard.Cell) error {
-			return renderPartialMultiDevice(cfg, params, cells, cover.Missing)
-		}},
-	}
 	ran := false
-	for _, s := range steps {
-		if which != experiment.ExpAll && which != s.name {
+	for _, e := range experiment.All() {
+		name := e.Name()
+		if which != experiment.ExpAll && which != name {
 			continue
 		}
 		ran = true
-		cells, ok := byName[s.name]
+		if e.Codec().New == nil {
+			// Closed-form experiments carry no cells: a partial cover
+			// renders them in full, in their canonical place.
+			res, err := experiment.Run(name, rc)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Print(e.Header(rc))
+			if err := renderBody(e, res, nil, csvDir); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			continue
+		}
+		cells, ok := byName[name]
 		if !ok {
-			return fmt.Errorf("%s: shard files carry no cells", s.name)
+			if which == experiment.ExpAll {
+				// The cover was written before this experiment registered:
+				// the file's recorded run list says what the sweep
+				// computed, so render that, not this binary's registry.
+				continue
+			}
+			return fmt.Errorf("%s: shard files carry no cells", name)
 		}
-		if err := s.fn(cells); err != nil {
-			return fmt.Errorf("%s: %w", s.name, err)
+		res, cov, err := experiment.FromCellsPartial(name, rc, cells)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
 		}
-		// Table I is a closed-form model with no cells: a partial cover
-		// renders it in full, in its canonical place after Figure 7.
-		if s.name == experiment.ExpFig7 && which == experiment.ExpAll {
-			if err := renderTable1(csvDir); err != nil {
-				return fmt.Errorf("table1: %w", err)
+		fmt.Print(e.Header(rc))
+		switch {
+		case res == nil:
+			// The experiment has no provisional result for this subset;
+			// explain the gap in its place.
+			if sk, ok := e.(experiment.PartialSkipper); ok {
+				fmt.Print(sk.PartialSkipNote(cov, shardList(cover.Missing)))
+			} else {
+				fmt.Printf("PARTIAL: %s; missing shards:%s — no provisional result for an incomplete grid.\n\n",
+					cov, shardList(cover.Missing))
+			}
+		case cov.Complete():
+			// This run's own grid is fully covered (smaller than the shard
+			// count): it renders exactly as the final output will.
+			if err := renderBody(e, res, nil, csvDir); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		default:
+			fmt.Print(partialNote(cov, cover.Missing))
+			if err := renderBody(e, res, &cov, csvDir); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
 	}
@@ -113,87 +126,5 @@ func renderPartialCover(cover *shard.PartialCover, csvDir string) error {
 		// the full render path's failure instead of printing nothing.
 		return fmt.Errorf("%w %q", experiment.ErrUnknownExperiment, which)
 	}
-	return nil
-}
-
-func renderPartialFig5(cfg experiment.Config, cells []shard.Cell, missing []int, csvDir string) error {
-	res, cov, err := experiment.Fig5FromCellsPartial(cfg, cells)
-	if err != nil {
-		return err
-	}
-	fmt.Print(fig5Header(cfg))
-	fmt.Print(partialNote(cov, missing))
-	x, series := res.Series()
-	plotSeries("Fig 5: schedulable fraction vs utilisation", x, series)
-	h, rows := res.Rows()
-	h, rows = coverageColumn(h, rows, cov)
-	fmt.Println(textplot.Table(h, rows))
-	return writeCSV(csvDir, "fig5.csv", h, rows)
-}
-
-func renderPartialFigQ(cfg experiment.Config, cells []shard.Cell, missing []int, csvDir string, psi bool) error {
-	psiRes, upsRes, cov, err := experiment.FigQFromCellsPartial(cfg, cells)
-	if err != nil {
-		return err
-	}
-	name, metric := figqTitle(psi)
-	fmt.Print(figqHeader(cfg, psi))
-	fmt.Print(partialNote(cov, missing))
-	res, file := psiRes, "fig6.csv"
-	if !psi {
-		res, file = upsRes, "fig7.csv"
-	}
-	x, series := res.Series()
-	plotSeries(name+": "+metric, x, series)
-	h, rows := res.Rows()
-	h, rows = coverageColumn(h, rows, cov)
-	fmt.Println(textplot.Table(h, rows))
-	return writeCSV(csvDir, file, h, rows)
-}
-
-func renderPartialMotivation(mcfg experiment.MotivationConfig, cells []shard.Cell, missing []int) error {
-	res, cov, err := experiment.MotivationFromCellsPartial(mcfg, cells)
-	if err != nil {
-		return err
-	}
-	fmt.Print(motivationHeader(mcfg))
-	if res == nil {
-		fmt.Printf("PARTIAL: %d/%d designs present; missing shards:%s — skipped, the\n",
-			cov.Have, cov.Total, shardList(missing))
-		fmt.Printf("experiment is a two-design comparison and needs both cells.\n\n")
-		return nil
-	}
-	// Both designs present: this run renders complete even in a partial
-	// cover.
-	h, rows := res.Rows()
-	fmt.Println(textplot.Table(h, rows))
-	fmt.Printf("uncontended CPU->controller latency: %d cycles (compensated by the remote design)\n",
-		res.BaseLatency)
-	return nil
-}
-
-func renderPartialAblation(cfg experiment.Config, u float64, cells []shard.Cell, missing []int) error {
-	res, cov, err := experiment.AblationFromCellsPartial(cfg, cells)
-	if err != nil {
-		return err
-	}
-	fmt.Print(ablationHeader(cfg, u))
-	fmt.Print(partialNote(cov, missing))
-	h, rows := experiment.AblationRows(res)
-	fmt.Println(textplot.Table(h, rows))
-	return nil
-}
-
-func renderPartialMultiDevice(cfg experiment.Config, params experiment.ShardParams, cells []shard.Cell, missing []int) error {
-	_, mdCounts := params.ResolvedMultiDevice()
-	res, cov, err := experiment.MultiDeviceFromCellsPartial(cfg, mdCounts, cells)
-	if err != nil {
-		return err
-	}
-	fmt.Print(multiDeviceHeader(cfg))
-	fmt.Print(partialNote(cov, missing))
-	h, rows := experiment.MultiDeviceRows(res)
-	h, rows = coverageColumn(h, rows, cov)
-	fmt.Println(textplot.Table(h, rows))
 	return nil
 }

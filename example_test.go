@@ -3,6 +3,7 @@ package iosched_test
 import (
 	"fmt"
 	"log"
+	"strings"
 
 	iosched "repro"
 )
@@ -79,4 +80,29 @@ func ExampleRunExperimentShard() {
 	// shard 1/3 holds 20 cells
 	// shard 2/3 holds 20 cells
 	// merged 60 cells: 15 utilisation points x 5 methods
+}
+
+// ExampleRunExperiment drives the experiment registry generically: list
+// the registered studies, run one by name, and render its table — the
+// workflow that replaces the per-figure entry points, and the one a
+// newly registered experiment (docs/EXPERIMENTS.md) joins automatically.
+func ExampleRunExperiment() {
+	params := iosched.ShardParams{Systems: 3, Seed: 1}
+
+	var names []string
+	for _, e := range iosched.Experiments() {
+		names = append(names, e.Name())
+	}
+	fmt.Println(strings.Join(names, " "))
+
+	res, err := iosched.RunExperiment("tailq", params, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	headers, rows := res.Rows()
+	fmt.Printf("tailq: %d columns x %d utilisation points, first column %q\n",
+		len(headers), len(rows), headers[0])
+	// Output:
+	// fig5 fig6 fig7 table1 motivation ablation multidevice tailq
+	// tailq: 8 columns x 15 utilisation points, first column "U"
 }

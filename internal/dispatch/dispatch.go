@@ -559,7 +559,8 @@ func validateShardFile(path string, spec Spec, index int, params []byte, runName
 		return nil, fmt.Errorf("dispatch: %s params: %w", path, err)
 	}
 	if !bytes.Equal(got.Bytes(), params) {
-		return nil, fmt.Errorf("dispatch: %s was produced by a different run (params mismatch)", path)
+		return nil, fmt.Errorf("dispatch: %s was produced by a different run (params mismatch: %s)",
+			path, shard.DiffParams(params, got.Bytes()))
 	}
 	if len(f.Runs) != len(runNames) {
 		return nil, fmt.Errorf("dispatch: %s holds %d runs, want %d", path, len(f.Runs), len(runNames))
@@ -568,6 +569,13 @@ func validateShardFile(path string, spec Spec, index int, params []byte, runName
 		if r.Experiment != runNames[i] {
 			return nil, fmt.Errorf("dispatch: %s run %d is %q, want %q", path, i, r.Experiment, runNames[i])
 		}
+	}
+	// The registry knows what each run must look like under these params:
+	// the grid the experiment derives from them, and the payload layout
+	// its codec reads. A worker built against a different layout is a
+	// failed attempt, not a mergeable file.
+	if err := experiment.ValidateRuns(f, spec.Params); err != nil {
+		return nil, fmt.Errorf("dispatch: %s: %w", path, err)
 	}
 	if err := f.ValidateCells(); err != nil {
 		return nil, err

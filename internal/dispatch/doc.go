@@ -16,6 +16,15 @@
 //     (Merge) that nothing was lost, duplicated or mixed in from another
 //     run before it declares the sweep complete.
 //
+// Validation is registry-driven on top of that: the selection's run
+// list comes from experiment.SelectionRuns, and every produced file's
+// run headers are checked against the registered experiments
+// (experiment.ValidateRuns) — expected grid for the recorded params,
+// compatible cell-payload version — so a worker built against a
+// different payload layout is a failed attempt, not a silent mis-merge,
+// and a newly registered experiment is dispatchable with no change
+// here.
+//
 // Failure handling is therefore entirely mechanical: any attempt that
 // errors, times out, or leaves a file that fails validation is simply
 // re-queued, up to Options.MaxAttempts per shard. Dispatched output is

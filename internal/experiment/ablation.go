@@ -2,11 +2,13 @@ package experiment
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/exec"
 	"repro/internal/sched"
 	"repro/internal/sched/ga"
 	"repro/internal/sched/staticsched"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/taskmodel"
 )
@@ -154,14 +156,63 @@ func ablationAggregate(cfg Config, at func(o, i int) []qOutcome, has func(o, i i
 // Ablation runs every variant on the same systems at utilisation u. The
 // systems are fanned across the worker pool as a 1 × Systems grid (every
 // variant sees system s before system s+1 in the aggregates, so results
-// are identical at every cfg.Parallelism).
+// are identical at every cfg.Parallelism). A zero u selects the default
+// study utilisation (0.6, matching ShardParams semantics).
+//
+// Deprecated: use Run(ExpAblation, …); this forwards to it.
 func Ablation(cfg Config, u float64) ([]AblationResult, error) {
-	perSystem, err := gridMap(cfg.Parallelism, 1, cfg.Systems,
-		func(_, s int) ([]qOutcome, error) { return ablationCell(cfg, u, s) })
+	rc := contextFor(cfg)
+	rc.Params.AblationU = u
+	res, err := Run(ExpAblation, rc)
 	if err != nil {
 		return nil, err
 	}
-	return ablationAggregate(cfg, perSystem.at, nil), nil
+	return res.(AblationStudy), nil
+}
+
+// AblationStudy is the ablation experiment's registry result: one row
+// per studied variant.
+type AblationStudy []AblationResult
+
+// Rows renders the study as a text table.
+func (rs AblationStudy) Rows() ([]string, [][]string) { return AblationRows(rs) }
+
+// ablationExperiment is the design-choice study as a registry entry.
+type ablationExperiment struct{}
+
+func (ablationExperiment) Name() string { return ExpAblation }
+func (ablationExperiment) Describe() string {
+	return "Ablation: static and GA design-choice variants at one utilisation"
+}
+func (ablationExperiment) CellKey() string { return ExpAblation }
+func (ablationExperiment) CSVName() string { return "" }
+func (ablationExperiment) Codec() Codec {
+	return Codec{Version: 1, New: func() any { return new([]qOutcome) }}
+}
+func (ablationExperiment) Grid(rc RunContext) (shard.Grid, error) {
+	return shard.Grid{Points: 1, Systems: rc.Config.Systems}, nil
+}
+func (ablationExperiment) Cell(rc RunContext, _, system int) (any, error) {
+	return ablationCell(rc.Config, rc.Params.ResolvedAblationU(), system)
+}
+func (ablationExperiment) CellSeed(rc RunContext, _, system int) int64 {
+	return exec.DeriveSeed(rc.Config.Seed, streamAblation,
+		ablationUTag(rc.Params.ResolvedAblationU()), int64(system), subGen)
+}
+func (ablationExperiment) Header(rc RunContext) string {
+	return fmt.Sprintf("Ablation at U=%s (systems=%d, seed=%d)\n\n",
+		strconv.FormatFloat(rc.Params.ResolvedAblationU(), 'f', 2, 64), rc.Config.Systems, rc.Config.Seed)
+}
+func (ablationExperiment) Aggregate(rc RunContext, at func(o, i int) any, has func(o, i int) bool) (Result, error) {
+	return AblationStudy(ablationAggregate(rc.Config,
+		func(o, i int) []qOutcome { return *at(o, i).(*[]qOutcome) }, has)), nil
+}
+
+// DefaultParams implements ParamDefaulter: the study utilisation
+// defaults to 0.6.
+func (ablationExperiment) DefaultParams(p ShardParams) ShardParams {
+	p.AblationU = p.ResolvedAblationU()
+	return p
 }
 
 // AblationRows renders the study as a text table.

@@ -1,26 +1,36 @@
-// Package experiment contains one runner per table and figure of the
-// paper's evaluation (Section V), plus the motivation latency experiment
-// and the ablation studies:
+// Package experiment is the pluggable registry of the paper's studies —
+// and of any study added since. Each experiment (docs/EXPERIMENTS.md)
+// is one Experiment value registered under its CLI/shard-file name:
 //
-//	Fig5       — schedulable fraction vs utilisation for the five methods
-//	Fig6And7   — Ψ and Υ vs utilisation for the four offline methods
-//	Table1     — hardware cost of the controller designs (via hwcost)
-//	Motivation — remote-write jitter over the NoC vs pre-loaded controller
-//	Ablation   — design-choice variants of the static and GA schedulers
+//	fig5        — schedulable fraction vs utilisation for the five methods
+//	fig6, fig7  — Ψ and Υ vs utilisation for the four offline methods
+//	              (one shared cell grid, two aggregations)
+//	table1      — hardware cost of the controller designs (closed-form)
+//	motivation  — remote-write jitter over the NoC vs pre-loaded controller
+//	ablation    — design-choice variants of the static and GA schedulers
+//	multidevice — partitioned-controller scaling with device count
+//	tailq       — per-job quality tail distribution (the registry's worked
+//	              extensibility example: registered, never plumbed)
 //
-// Every runner is deterministic given Config.Seed. The paper's full scale
-// (1000 systems per point, GA population 300 × 500 generations) is
-// reproduced by setting the corresponding Config fields; the defaults are
-// a calibrated scaled-down configuration that preserves every qualitative
-// relationship and finishes in seconds (EXPERIMENTS.md records both).
+// The generic engines drive any registered experiment: Run evaluates
+// and aggregates in process, RunCells/RunShard evaluate arbitrary cell
+// subsets for cross-process sharding, FromCells rebuilds exact results
+// from complete merged sets, and FromCellsPartial renders provisional
+// results from any subset with an exact Coverage report — the same
+// Aggregate hook on every path, restricted to the present cells, so
+// partial output converges byte-identically to the full run's once the
+// cover completes. The per-figure entry points (Fig5, Fig5Cells,
+// Fig5FromCells, Fig5FromCellsPartial and their siblings) remain as
+// deprecated wrappers over the engines, pinned byte-identical by the
+// registry-equivalence tests.
 //
-// Every grid runner is split into a per-cell computation and a
-// grid-order aggregation (see shards.go), which is what the shard,
-// dispatch and streaming layers build on: the *Cells functions evaluate
-// arbitrary cell subsets for cross-process sharding, the *FromCells
-// aggregators rebuild exact results from complete merged sets, and the
-// *FromCellsPartial aggregators (partial.go) render provisional results
-// from any subset with an exact Coverage report — same aggregation code,
-// restricted to the present cells, so partial output converges
-// byte-identically to the full run's once the cover completes.
+// Every experiment is deterministic given its seed: cells derive their
+// randomness from their (experiment, point, system) grid path via
+// exec.DeriveSeed, aggregation folds in grid order with fixed-order
+// float sums, and payloads round-trip losslessly through each
+// experiment's versioned codec. The paper's full scale (1000 systems
+// per point, GA population 300 × 500 generations) is reproduced by
+// PaperScale; the defaults are a calibrated scaled-down configuration
+// that preserves every qualitative relationship and finishes in seconds
+// (docs/EXPERIMENTS.md records both).
 package experiment

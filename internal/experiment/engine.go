@@ -1,0 +1,231 @@
+package experiment
+
+// The generic experiment engines: one implementation of run / shard /
+// aggregate / partial-aggregate that drives any registered Experiment,
+// subsuming the per-figure entry points (Fig5, Fig5Cells, Fig5FromCells,
+// Fig5FromCellsPartial and their nineteen siblings — kept as thin
+// deprecated wrappers). The determinism invariants hold by construction:
+// every cell draws randomness only from its grid path (the experiment's
+// CellSeed/Cell hooks), payloads round-trip losslessly through the
+// experiment's codec, and FromCells/FromCellsPartial re-enter the exact
+// Aggregate hook the in-process Run uses — partial output is the full
+// run's aggregation restricted to the present cells.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/shard"
+)
+
+// get resolves a registered experiment, reporting ErrUnknownExperiment
+// for names the registry does not hold.
+func get(name string) (Experiment, error) {
+	e, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("experiment: %w %q", ErrUnknownExperiment, name)
+	}
+	return e, nil
+}
+
+// Run runs the named experiment in process: it evaluates the full cell
+// grid and aggregates it — the same two phases a sharded run splits
+// across processes, so in-process, sharded and partial results agree by
+// construction, not by parallel maintenance of separate code paths.
+func Run(name string, rc RunContext) (Result, error) {
+	e, err := get(name)
+	if err != nil {
+		return nil, err
+	}
+	if e.Codec().New == nil {
+		// Closed-form: no grid, nothing to fan out.
+		return e.Aggregate(rc, nil, nil)
+	}
+	cells, _, err := runCells(e, rc, nil)
+	if err != nil {
+		return nil, err
+	}
+	return fromCells(e, rc, cells)
+}
+
+// RunCells evaluates the selected cells of the named experiment's grid
+// (nil selects all) and returns them as shard cells with their derived
+// seeds recorded — the generic engine under the legacy *Cells functions
+// and the shard workflow.
+func RunCells(name string, rc RunContext, sel CellSelector) ([]shard.Cell, shard.Grid, error) {
+	e, err := get(name)
+	if err != nil {
+		return nil, shard.Grid{}, err
+	}
+	return runCells(e, rc, sel)
+}
+
+func runCells(e Experiment, rc RunContext, sel CellSelector) ([]shard.Cell, shard.Grid, error) {
+	g, err := e.Grid(rc)
+	if err != nil {
+		return nil, g, err
+	}
+	if e.Codec().New == nil {
+		return nil, g, fmt.Errorf("experiment: %q is a closed-form model with no cell grid", e.Name())
+	}
+	refs, vals, err := gridSubset(rc.Config.Parallelism, g.Points, g.Systems, sel,
+		func(o, i int) (any, error) { return e.Cell(rc, o, i) })
+	if err != nil {
+		return nil, g, err
+	}
+	cells, err := marshalCells(refs, vals, func(o, i int) int64 { return e.CellSeed(rc, o, i) })
+	return cells, g, err
+}
+
+// FromCells rebuilds the named experiment's result from a complete
+// (merged) cell set, via the exact Aggregate hook the in-process run
+// uses. Incomplete, duplicated, out-of-range or undecodable cells are
+// rejected.
+func FromCells(name string, rc RunContext, cells []shard.Cell) (Result, error) {
+	e, err := get(name)
+	if err != nil {
+		return nil, err
+	}
+	return fromCells(e, rc, cells)
+}
+
+func fromCells(e Experiment, rc RunContext, cells []shard.Cell) (Result, error) {
+	if e.Codec().New == nil {
+		return e.Aggregate(rc, nil, nil)
+	}
+	g, err := e.Grid(rc)
+	if err != nil {
+		return nil, err
+	}
+	at, _, cov, err := decodeCells(e, g, cells)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.Name(), err)
+	}
+	if !cov.Complete() {
+		return nil, fmt.Errorf("%s: experiment: %d cells for a %dx%d grid", e.Name(), len(cells), g.Points, g.Systems)
+	}
+	return e.Aggregate(rc, at, nil)
+}
+
+// FromCellsPartial rebuilds a provisional result from any subset of the
+// named experiment's grid cells, alongside an exact Coverage report: the
+// full run's aggregation restricted to the present cells. A complete
+// subset returns the same result as FromCells; a nil result (with nil
+// error) means the experiment has no provisional result for the subset.
+func FromCellsPartial(name string, rc RunContext, cells []shard.Cell) (Result, Coverage, error) {
+	e, err := get(name)
+	if err != nil {
+		return nil, Coverage{}, err
+	}
+	if e.Codec().New == nil {
+		// Closed-form experiments render in full from any cover.
+		res, err := e.Aggregate(rc, nil, nil)
+		return res, Coverage{}, err
+	}
+	g, err := e.Grid(rc)
+	if err != nil {
+		return nil, Coverage{}, err
+	}
+	at, has, cov, err := decodeCells(e, g, cells)
+	if err != nil {
+		return nil, Coverage{}, fmt.Errorf("%s: %w", e.Name(), err)
+	}
+	res, err := e.Aggregate(rc, at, has)
+	if err != nil {
+		return nil, Coverage{}, err
+	}
+	return res, cov, nil
+}
+
+// CellCoverage reports how much of the named experiment's grid a cell
+// subset covers, validating positions without decoding payloads.
+func CellCoverage(name string, rc RunContext, cells []shard.Cell) (Coverage, error) {
+	e, err := get(name)
+	if err != nil {
+		return Coverage{}, err
+	}
+	g, err := e.Grid(rc)
+	if err != nil {
+		return Coverage{}, err
+	}
+	cov := Coverage{Total: g.Cells(), PointHave: make([]int, g.Points), Inner: g.Systems}
+	present := make([]bool, g.Cells())
+	for _, c := range cells {
+		idx, err := g.Index(c.Point, c.System)
+		if err != nil {
+			return Coverage{}, fmt.Errorf("%s: experiment: %w", name, err)
+		}
+		if present[idx] {
+			return Coverage{}, fmt.Errorf("%s: experiment: cell (%d,%d) appears twice", name, c.Point, c.System)
+		}
+		present[idx] = true
+		cov.Have++
+		cov.PointHave[c.Point]++
+	}
+	return cov, nil
+}
+
+// decodeCells decodes an arbitrary subset of a grid's cells through the
+// experiment's codec into a sparse payload grid with a presence map and
+// its coverage. Duplicated, out-of-range and undecodable cells are
+// rejected — a partial result must be an honest subset of the full run,
+// never a guess.
+func decodeCells(e Experiment, g shard.Grid, cells []shard.Cell) (at func(o, i int) any, has func(o, i int) bool, cov Coverage, err error) {
+	codec := e.Codec()
+	cov = Coverage{Total: g.Cells(), PointHave: make([]int, g.Points), Inner: g.Systems}
+	if len(cells) > g.Cells() {
+		return nil, nil, Coverage{}, fmt.Errorf("experiment: %d cells for a %dx%d grid", len(cells), g.Points, g.Systems)
+	}
+	payloads := make([]any, g.Cells())
+	present := make([]bool, g.Cells())
+	for _, c := range cells {
+		idx, err := g.Index(c.Point, c.System)
+		if err != nil {
+			return nil, nil, Coverage{}, fmt.Errorf("experiment: %w", err)
+		}
+		if present[idx] {
+			return nil, nil, Coverage{}, fmt.Errorf("experiment: cell (%d,%d) appears twice", c.Point, c.System)
+		}
+		present[idx] = true
+		cov.Have++
+		cov.PointHave[c.Point]++
+		p := codec.New()
+		if err := json.Unmarshal(c.Data, p); err != nil {
+			return nil, nil, Coverage{}, fmt.Errorf("experiment: decode cell (%d,%d): %w", c.Point, c.System, err)
+		}
+		payloads[idx] = p
+	}
+	at = func(o, i int) any { return payloads[o*g.Systems+i] }
+	has = func(o, i int) bool { return present[o*g.Systems+i] }
+	return at, has, cov, nil
+}
+
+// ValidateRuns checks a shard file's run headers against the registry:
+// every run must name a registered experiment, carry the grid the
+// recorded params produce, and a payload version the experiment's codec
+// reads (0 — written before versions were recorded — is accepted).
+// Dispatch drivers call it before accepting a worker's output, so a
+// worker built against a different payload layout is retried, not
+// merged.
+func ValidateRuns(f *shard.File, p ShardParams) error {
+	rc := p.Context(1)
+	for _, r := range f.Runs {
+		e, ok := Lookup(r.Experiment)
+		if !ok {
+			return fmt.Errorf("experiment: %w %q in shard file", ErrUnknownExperiment, r.Experiment)
+		}
+		g, err := e.Grid(rc)
+		if err != nil {
+			return err
+		}
+		if r.Grid != g {
+			return fmt.Errorf("experiment: run %q records grid %dx%d, the params produce %dx%d",
+				r.Experiment, r.Grid.Points, r.Grid.Systems, g.Points, g.Systems)
+		}
+		if v := e.Codec().Version; r.PayloadVersion != 0 && r.PayloadVersion != v {
+			return fmt.Errorf("experiment: run %q records payload version %d, this build reads %d",
+				r.Experiment, r.PayloadVersion, v)
+		}
+	}
+	return nil
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/sched/ga"
 	"repro/internal/sched/gpiocp"
 	"repro/internal/sched/staticsched"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/taskmodel"
 )
@@ -97,14 +98,6 @@ type qOutcome struct {
 	OK  bool    `json:"ok"`
 }
 
-// grid holds the per-cell outcomes of a fanned-out outer × inner sweep.
-type grid[T any] struct {
-	inner int
-	cells []T
-}
-
-func (g grid[T]) at(o, i int) T { return g.cells[o*g.inner+i] }
-
 // cellRef locates one cell of an outer × inner grid.
 type cellRef struct{ o, i int }
 
@@ -137,17 +130,6 @@ func gridSubset[T any](parallelism, outer, inner int, sel CellSelector, fn func(
 		return nil, nil, err
 	}
 	return refs, vals, nil
-}
-
-// gridMap is gridSubset over the full grid, read back as a dense grid —
-// the in-process fast path the runners share, so the cell decomposition
-// and its read-back cannot drift apart.
-func gridMap[T any](parallelism, outer, inner int, fn func(o, i int) (T, error)) (grid[T], error) {
-	_, cells, err := gridSubset(parallelism, outer, inner, nil, fn)
-	if err != nil {
-		return grid[T]{}, err
-	}
-	return grid[T]{inner: inner, cells: cells}, nil
 }
 
 // Method names as they appear in the figures.
@@ -305,14 +287,45 @@ func fig5Aggregate(cfg Config, us []float64, at func(o, i int) fig5Outcome, has 
 // cell generates its system from a derived sub-seed and the verdicts are
 // aggregated in grid order, so the result is identical at every
 // cfg.Parallelism.
+//
+// Deprecated: use Run(ExpFig5, …); this forwards to it.
 func Fig5(cfg Config) (*Fig5Result, error) {
-	us := Fig5Utils()
-	outcomes, err := gridMap(cfg.Parallelism, len(us), cfg.Systems,
-		func(ui, s int) (fig5Outcome, error) { return fig5Cell(cfg, us, ui, s) })
+	res, err := Run(ExpFig5, contextFor(cfg))
 	if err != nil {
 		return nil, err
 	}
-	return fig5Aggregate(cfg, us, outcomes.at, nil), nil
+	return res.(*Fig5Result), nil
+}
+
+// fig5Experiment is Figure 5 as a registry entry.
+type fig5Experiment struct{}
+
+func (fig5Experiment) Name() string { return ExpFig5 }
+func (fig5Experiment) Describe() string {
+	return "Figure 5: schedulable fraction vs utilisation for the five methods"
+}
+func (fig5Experiment) CellKey() string { return ExpFig5 }
+func (fig5Experiment) CSVName() string { return "fig5.csv" }
+func (fig5Experiment) Codec() Codec {
+	return Codec{Version: 1, New: func() any { return new(fig5Outcome) }}
+}
+func (fig5Experiment) Grid(rc RunContext) (shard.Grid, error) {
+	return shard.Grid{Points: len(Fig5Utils()), Systems: rc.Config.Systems}, nil
+}
+func (fig5Experiment) Cell(rc RunContext, point, system int) (any, error) {
+	return fig5Cell(rc.Config, Fig5Utils(), point, system)
+}
+func (fig5Experiment) CellSeed(rc RunContext, point, system int) int64 {
+	return exec.DeriveSeed(rc.Config.Seed, streamFig5, int64(point), int64(system), subGen)
+}
+func (fig5Experiment) Header(rc RunContext) string {
+	cfg := rc.Config
+	return fmt.Sprintf("Figure 5: system schedulability (systems/point=%d, GA %dx%d, seed=%d)\n\n",
+		cfg.Systems, cfg.GA.Population, cfg.GA.Generations, cfg.Seed)
+}
+func (fig5Experiment) Aggregate(rc RunContext, at func(o, i int) any, has func(o, i int) bool) (Result, error) {
+	return fig5Aggregate(rc.Config, Fig5Utils(),
+		func(o, i int) fig5Outcome { return *at(o, i).(*fig5Outcome) }, has), nil
 }
 
 // solverOpts derives the GA options for one grid cell: a private solver
@@ -339,6 +352,9 @@ func (r *Fig5Result) Rows() ([]string, [][]string) {
 	}
 	return headers, rows
 }
+
+// PlotTitle implements Plottable.
+func (r *Fig5Result) PlotTitle() string { return "Fig 5: schedulable fraction vs utilisation" }
 
 // Series converts the result to plot series in method order.
 func (r *Fig5Result) Series() (xlabels []string, series []Curveable) {

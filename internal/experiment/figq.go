@@ -8,6 +8,7 @@ import (
 	"repro/internal/sched/fps"
 	"repro/internal/sched/gpiocp"
 	"repro/internal/sched/staticsched"
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -35,23 +36,118 @@ type FigQResult struct {
 // per method over its schedulable systems. (The paper reports the methods'
 // I/O performance "among 1000 schedulable systems"; averaging per method
 // keeps every method's sample as large as possible and is recorded in
-// EXPERIMENTS.md.) The GA contributes its best-Ψ front point to Figure 6
-// and its best-Υ point to Figure 7, exactly as the paper describes.
+// docs/EXPERIMENTS.md.) The GA contributes its best-Ψ front point to
+// Figure 6 and its best-Υ point to Figure 7, exactly as the paper
+// describes.
 //
 // The runner requires the single-device configuration the paper uses for
 // these experiments.
+//
+// Deprecated: use Run(ExpFig6, …) and Run(ExpFig7, …); this forwards to
+// the shared cell grid and both aggregations.
 func Fig6And7(cfg Config) (*FigQResult, *FigQResult, error) {
-	if err := figqCheck(cfg); err != nil {
-		return nil, nil, err
-	}
-	us := FigQUtils()
-	outcomes, err := gridMap(cfg.Parallelism, len(us), cfg.Systems,
-		func(ui, s int) (figqOutcome, error) { return figqCell(cfg, us, ui, s) })
+	rc := contextFor(cfg)
+	// The two figures share one cell grid: compute it once, aggregate it
+	// under each name — exactly what a sharded "all" run records.
+	cells, _, err := RunCells(ExpFig6, rc, nil)
 	if err != nil {
 		return nil, nil, err
 	}
-	psi, ups := figqAggregate(cfg, us, outcomes.at, nil)
+	psi, ups, cov, err := figqPair(rc, cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !cov.Complete() {
+		return nil, nil, fmt.Errorf("fig6/7: experiment: %d cells for a %dx%d grid",
+			len(cells), len(FigQUtils()), rc.Config.Systems)
+	}
 	return psi, ups, nil
+}
+
+// figqPair decodes the shared cell grid once and aggregates both
+// figures in one pass — the pair-returning fast path under the legacy
+// Fig6And7* wrappers (the per-name engines decode per figure). It uses
+// the exact decode and aggregation hooks of the registry entries, so
+// the results are identical to the generic path's.
+func figqPair(rc RunContext, cells []shard.Cell) (*FigQResult, *FigQResult, Coverage, error) {
+	e := figqExperiment{psi: true}
+	g, err := e.Grid(rc)
+	if err != nil {
+		return nil, nil, Coverage{}, err
+	}
+	at, has, cov, err := decodeCells(e, g, cells)
+	if err != nil {
+		return nil, nil, Coverage{}, fmt.Errorf("fig6/7: %w", err)
+	}
+	if cov.Complete() {
+		// A complete set aggregates as the full grid, exactly like the
+		// generic FromCells path (nil predicate).
+		has = nil
+	}
+	psi, ups := figqAggregate(rc.Config, FigQUtils(),
+		func(o, i int) figqOutcome { return *at(o, i).(*figqOutcome) }, has)
+	return psi, ups, cov, nil
+}
+
+// figqExperiment is Figure 6 (psi true) or Figure 7 (psi false) as a
+// registry entry. The two entries share one cell key — and so one cell
+// computation — because every payload carries both metrics.
+type figqExperiment struct{ psi bool }
+
+func (e figqExperiment) Name() string {
+	if e.psi {
+		return ExpFig6
+	}
+	return ExpFig7
+}
+func (e figqExperiment) Describe() string {
+	if e.psi {
+		return "Figure 6: mean Psi of the offline methods vs utilisation"
+	}
+	return "Figure 7: mean Upsilon of the offline methods vs utilisation"
+}
+func (figqExperiment) CellKey() string { return "figq" }
+func (e figqExperiment) CSVName() string {
+	if e.psi {
+		return "fig6.csv"
+	}
+	return "fig7.csv"
+}
+func (figqExperiment) Codec() Codec {
+	return Codec{Version: 1, New: func() any { return new(figqOutcome) }}
+}
+func (figqExperiment) Grid(rc RunContext) (shard.Grid, error) {
+	g := shard.Grid{Points: len(FigQUtils()), Systems: rc.Config.Systems}
+	return g, figqCheck(rc.Config)
+}
+func (figqExperiment) Cell(rc RunContext, point, system int) (any, error) {
+	return figqCell(rc.Config, FigQUtils(), point, system)
+}
+func (figqExperiment) CellSeed(rc RunContext, point, system int) int64 {
+	return exec.DeriveSeed(rc.Config.Seed, streamFigQ, int64(point), int64(system), subGen)
+}
+func (e figqExperiment) Header(rc RunContext) string {
+	cfg := rc.Config
+	name, metric := figqTitle(e.psi)
+	return fmt.Sprintf("%s: %s (systems/point=%d, GA %dx%d, seed=%d)\n\n",
+		name, metric, cfg.Systems, cfg.GA.Population, cfg.GA.Generations, cfg.Seed)
+}
+func (e figqExperiment) Aggregate(rc RunContext, at func(o, i int) any, has func(o, i int) bool) (Result, error) {
+	psi, ups := figqAggregate(rc.Config, FigQUtils(),
+		func(o, i int) figqOutcome { return *at(o, i).(*figqOutcome) }, has)
+	if e.psi {
+		return psi, nil
+	}
+	return ups, nil
+}
+
+// figqTitle names the figure and its metric for headers and plot
+// captions.
+func figqTitle(psi bool) (name, metric string) {
+	if psi {
+		return "Figure 6", "Psi (fraction of exact timing-accurate jobs)"
+	}
+	return "Figure 7", "Upsilon (normalised quality)"
 }
 
 // figqCheck rejects configurations the Figures 6/7 runner does not model.
@@ -164,6 +260,13 @@ func (r *FigQResult) Rows() ([]string, [][]string) {
 		rows = append(rows, row)
 	}
 	return headers, rows
+}
+
+// PlotTitle implements Plottable; the title names the figure the
+// result's metric belongs to.
+func (r *FigQResult) PlotTitle() string {
+	name, metric := figqTitle(r.Metric == "Psi")
+	return name + ": " + metric
 }
 
 // Series converts the result to plot series.

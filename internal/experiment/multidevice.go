@@ -6,6 +6,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/sched"
 	"repro/internal/sched/staticsched"
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -23,17 +24,69 @@ type MultiDevicePoint struct {
 // controller with a fully-partitioned I/O scheduling model") removes
 // inter-task contention, so the fraction of exactly timing-accurate jobs
 // climbs towards 1. The static scheduler is used; each partition is
-// scheduled independently.
+// scheduled independently. A zero u or empty deviceCounts selects the
+// defaults (U=0.8 over 1,2,4,8 devices, matching ShardParams
+// semantics).
+//
+// Deprecated: use Run(ExpMultiDevice, …); this forwards to it.
 func MultiDevice(cfg Config, u float64, deviceCounts []int) ([]MultiDevicePoint, error) {
-	if err := multiDeviceCheck(deviceCounts); err != nil {
-		return nil, err
-	}
-	outcomes, err := gridMap(cfg.Parallelism, len(deviceCounts), cfg.Systems,
-		func(di, s int) (qOutcome, error) { return multiDeviceCell(cfg, u, deviceCounts, di, s) })
+	rc := contextFor(cfg)
+	rc.Params.MultiDeviceU = u
+	rc.Params.MultiDeviceCounts = deviceCounts
+	res, err := Run(ExpMultiDevice, rc)
 	if err != nil {
 		return nil, err
 	}
-	return multiDeviceAggregate(cfg, deviceCounts, outcomes.at, nil), nil
+	return res.(MultiDeviceResult), nil
+}
+
+// MultiDeviceResult is the scaling study's registry result: one row per
+// device count.
+type MultiDeviceResult []MultiDevicePoint
+
+// Rows renders the study as a text table.
+func (ps MultiDeviceResult) Rows() ([]string, [][]string) { return MultiDeviceRows(ps) }
+
+// multiDeviceExperiment is the partitioned scaling study as a registry
+// entry.
+type multiDeviceExperiment struct{}
+
+func (multiDeviceExperiment) Name() string { return ExpMultiDevice }
+func (multiDeviceExperiment) Describe() string {
+	return "Partitioned scaling: static scheduler quality vs device count"
+}
+func (multiDeviceExperiment) CellKey() string { return ExpMultiDevice }
+func (multiDeviceExperiment) CSVName() string { return "" }
+func (multiDeviceExperiment) Codec() Codec {
+	return Codec{Version: 1, New: func() any { return new(qOutcome) }}
+}
+func (multiDeviceExperiment) Grid(rc RunContext) (shard.Grid, error) {
+	_, counts := rc.Params.ResolvedMultiDevice()
+	g := shard.Grid{Points: len(counts), Systems: rc.Config.Systems}
+	return g, multiDeviceCheck(counts)
+}
+func (multiDeviceExperiment) Cell(rc RunContext, point, system int) (any, error) {
+	u, counts := rc.Params.ResolvedMultiDevice()
+	return multiDeviceCell(rc.Config, u, counts, point, system)
+}
+func (multiDeviceExperiment) CellSeed(rc RunContext, point, system int) int64 {
+	return exec.DeriveSeed(rc.Config.Seed, streamMultiDevice, int64(point), int64(system), subGen)
+}
+func (multiDeviceExperiment) Header(rc RunContext) string {
+	return fmt.Sprintf("Partitioned scaling: static scheduler at total U=0.8 over 1..8 devices (systems=%d)\n\n",
+		rc.Config.Systems)
+}
+func (multiDeviceExperiment) Aggregate(rc RunContext, at func(o, i int) any, has func(o, i int) bool) (Result, error) {
+	_, counts := rc.Params.ResolvedMultiDevice()
+	return MultiDeviceResult(multiDeviceAggregate(rc.Config, counts,
+		func(o, i int) qOutcome { return *at(o, i).(*qOutcome) }, has)), nil
+}
+
+// DefaultParams implements ParamDefaulter: the axis defaults to U=0.8
+// over 1, 2, 4 and 8 devices.
+func (multiDeviceExperiment) DefaultParams(p ShardParams) ShardParams {
+	p.MultiDeviceU, p.MultiDeviceCounts = p.ResolvedMultiDevice()
+	return p
 }
 
 // multiDeviceCheck rejects invalid device-count axes.

@@ -1,13 +1,14 @@
 package experiment
 
-// Streaming/partial aggregation: the *FromCellsPartial functions accept
+// Streaming/partial aggregation: FromCellsPartial (engine.go) accepts
 // any subset of a run's grid cells — typically the contents of a
-// shard.PartialCover built from whichever shard files exist — and render
-// provisional results over the present cells only, alongside an exact
-// Coverage report. They re-enter the same aggregation code as the
-// complete *FromCells functions with a presence predicate, so a complete
+// shard.PartialCover built from whichever shard files exist — and
+// renders provisional results over the present cells only, alongside an
+// exact Coverage report. It re-enters the same Aggregate hook the
+// complete FromCells path uses with a presence predicate, so a complete
 // cell set produces results identical to the full run's: partial output
-// converges to, never diverges from, the final figures.
+// converges to, never diverges from, the final figures. The per-figure
+// *FromCellsPartial functions survive below as thin deprecated wrappers.
 
 import (
 	"fmt"
@@ -48,60 +49,28 @@ func (c Coverage) Point(p int) string {
 	return fmt.Sprintf("%d/%d", c.PointHave[p], c.Inner)
 }
 
-// cellsToPartialGrid decodes an arbitrary subset of a grid's cells into a
-// sparse grid with a presence map and its coverage. Duplicated,
-// out-of-range and undecodable cells are rejected — a partial result must
-// be an honest subset of the full run, never a guess.
-func cellsToPartialGrid[T any](g shard.Grid, cells []shard.Cell) (grid[T], func(o, i int) bool, Coverage, error) {
-	cov := Coverage{Total: g.Cells(), PointHave: make([]int, g.Points), Inner: g.Systems}
-	out := grid[T]{inner: g.Systems, cells: make([]T, g.Cells())}
-	present := make([]bool, g.Cells())
-	if len(cells) > g.Cells() {
-		return grid[T]{}, nil, Coverage{}, fmt.Errorf("experiment: %d cells for a %dx%d grid", len(cells), g.Points, g.Systems)
-	}
-	for _, c := range cells {
-		idx, err := g.Index(c.Point, c.System)
-		if err != nil {
-			return grid[T]{}, nil, Coverage{}, fmt.Errorf("experiment: %w", err)
-		}
-		if present[idx] {
-			return grid[T]{}, nil, Coverage{}, fmt.Errorf("experiment: cell (%d,%d) appears twice", c.Point, c.System)
-		}
-		present[idx] = true
-		cov.Have++
-		cov.PointHave[c.Point]++
-		if err := unmarshalCell(c, &out.cells[idx]); err != nil {
-			return grid[T]{}, nil, Coverage{}, err
-		}
-	}
-	has := func(o, i int) bool { return present[o*g.Systems+i] }
-	return out, has, cov, nil
-}
-
 // Fig5FromCellsPartial rebuilds a provisional Figure 5 result from any
 // subset of the grid's cells: every rate is computed over the present
 // systems at its point, and the coverage names exactly what is missing.
 // A complete subset returns the same result as Fig5FromCells.
+//
+// Deprecated: use FromCellsPartial(ExpFig5, …); this forwards to it.
 func Fig5FromCellsPartial(cfg Config, cells []shard.Cell) (*Fig5Result, Coverage, error) {
-	us := Fig5Utils()
-	g, has, cov, err := cellsToPartialGrid[fig5Outcome](shard.Grid{Points: len(us), Systems: cfg.Systems}, cells)
+	res, cov, err := FromCellsPartial(ExpFig5, contextFor(cfg), cells)
 	if err != nil {
-		return nil, Coverage{}, fmt.Errorf("fig5: %w", err)
+		return nil, Coverage{}, err
 	}
-	return fig5Aggregate(cfg, us, g.at, has), cov, nil
+	return res.(*Fig5Result), cov, nil
 }
 
 // FigQFromCellsPartial rebuilds provisional Figure 6 (Ψ) and Figure 7 (Υ)
 // results from any subset of the shared grid's cells. A complete subset
 // returns the same results as FigQFromCells.
+//
+// Deprecated: use FromCellsPartial(ExpFig6, …) and FromCellsPartial(
+// ExpFig7, …); this forwards to their shared decode and aggregation.
 func FigQFromCellsPartial(cfg Config, cells []shard.Cell) (*FigQResult, *FigQResult, Coverage, error) {
-	us := FigQUtils()
-	g, has, cov, err := cellsToPartialGrid[figqOutcome](shard.Grid{Points: len(us), Systems: cfg.Systems}, cells)
-	if err != nil {
-		return nil, nil, Coverage{}, fmt.Errorf("fig6/7: %w", err)
-	}
-	psi, ups := figqAggregate(cfg, us, g.at, has)
-	return psi, ups, cov, nil
+	return figqPair(contextFor(cfg), cells)
 }
 
 // MotivationFromCellsPartial reports the motivation experiment's coverage
@@ -109,36 +78,46 @@ func FigQFromCellsPartial(cfg Config, cells []shard.Cell) (*FigQResult, *FigQRes
 // comparison, so a provisional result only exists once both designs are
 // present — until then the result is nil and the coverage says which half
 // is done.
+//
+// Deprecated: use FromCellsPartial(ExpMotivation, …); this forwards to
+// it.
 func MotivationFromCellsPartial(cfg MotivationConfig, cells []shard.Cell) (*MotivationResult, Coverage, error) {
-	g, _, cov, err := cellsToPartialGrid[motivationOutcome](shard.Grid{Points: 1, Systems: motivationDesigns}, cells)
+	res, cov, err := FromCellsPartial(ExpMotivation, motivationContext(cfg), cells)
 	if err != nil {
-		return nil, Coverage{}, fmt.Errorf("motivation: %w", err)
+		return nil, Coverage{}, err
 	}
-	if !cov.Complete() {
+	if res == nil {
 		return nil, cov, nil
 	}
-	return motivationAggregate(g.at), cov, nil
+	return res.(*MotivationResult), cov, nil
 }
 
 // AblationFromCellsPartial rebuilds a provisional ablation study from any
 // subset of its 1 × Systems grid: every variant's means run over the
 // present systems. A complete subset returns the same results as
 // AblationFromCells.
+//
+// Deprecated: use FromCellsPartial(ExpAblation, …); this forwards to it.
 func AblationFromCellsPartial(cfg Config, cells []shard.Cell) ([]AblationResult, Coverage, error) {
-	g, has, cov, err := cellsToPartialGrid[[]qOutcome](shard.Grid{Points: 1, Systems: cfg.Systems}, cells)
+	res, cov, err := FromCellsPartial(ExpAblation, contextFor(cfg), cells)
 	if err != nil {
-		return nil, Coverage{}, fmt.Errorf("ablation: %w", err)
+		return nil, Coverage{}, err
 	}
-	return ablationAggregate(cfg, g.at, has), cov, nil
+	return res.(AblationStudy), cov, nil
 }
 
 // MultiDeviceFromCellsPartial rebuilds a provisional scaling study from
 // any subset of its device-counts × systems grid. A complete subset
 // returns the same results as MultiDeviceFromCells.
+//
+// Deprecated: use FromCellsPartial(ExpMultiDevice, …); this forwards to
+// it.
 func MultiDeviceFromCellsPartial(cfg Config, deviceCounts []int, cells []shard.Cell) ([]MultiDevicePoint, Coverage, error) {
-	g, has, cov, err := cellsToPartialGrid[qOutcome](shard.Grid{Points: len(deviceCounts), Systems: cfg.Systems}, cells)
+	rc := contextFor(cfg)
+	rc.Params.MultiDeviceCounts = deviceCounts
+	res, cov, err := FromCellsPartial(ExpMultiDevice, rc, cells)
 	if err != nil {
-		return nil, Coverage{}, fmt.Errorf("multidevice: %w", err)
+		return nil, Coverage{}, err
 	}
-	return multiDeviceAggregate(cfg, deviceCounts, g.at, has), cov, nil
+	return res.(MultiDeviceResult), cov, nil
 }

@@ -1,0 +1,240 @@
+package experiment
+
+// The experiment registry: every study — the paper's five figure/table
+// runners and any new experiment — is one Experiment value registered
+// under its CLI/shard-file name. The generic engines (engine.go) drive
+// any registered experiment through the same phases the hard-coded
+// runners used to special-case: evaluate grid cells (with grid-path
+// derived seeds), serialise them through the versioned payload codec,
+// and aggregate in fixed grid order. Shard selection, dispatch
+// validation, the CLI and the facade all resolve experiments through
+// Lookup/All, so registering a new experiment is the only step needed to
+// make it runnable, shardable, dispatchable and renderable.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/shard"
+)
+
+// RunContext carries the resolved configuration the experiment hooks
+// see. The engines build it from normalised ShardParams (Context); the
+// legacy wrappers build it from their caller's Config/MotivationConfig
+// directly, so library callers keep access to knobs ShardParams cannot
+// express (a custom quality Curve or generator).
+//
+// Config and Motivation are authoritative for what they cover (systems,
+// seed, GA budget, curve, parallelism; the motivation mesh); Params
+// carries the experiment-specific extras (ablation utilisation,
+// multi-device axis) through its Resolved* helpers.
+type RunContext struct {
+	Params     ShardParams
+	Config     Config
+	Motivation MotivationConfig
+}
+
+// Context resolves the params into the RunContext the generic engines
+// pass to the experiment hooks. Parallelism is host-local and never
+// changes results; <= 0 selects one worker per CPU.
+func (p ShardParams) Context(parallelism int) RunContext {
+	p = p.Normalised()
+	cfg := p.Config()
+	cfg.Parallelism = parallelism
+	mcfg := p.Motivation()
+	mcfg.Parallelism = parallelism
+	return RunContext{Params: p, Config: cfg, Motivation: mcfg}
+}
+
+// contextFor adapts a library Config to a RunContext for the legacy
+// sweep wrappers: Config is taken verbatim (custom Curve and Gen
+// included), Params resolves to the defaults of everything else.
+func contextFor(cfg Config) RunContext {
+	p := ShardParams{Seed: cfg.Seed}.Normalised()
+	mcfg := DefaultMotivation()
+	mcfg.Seed = cfg.Seed
+	mcfg.Parallelism = cfg.Parallelism
+	return RunContext{Params: p, Config: cfg, Motivation: mcfg}
+}
+
+// motivationContext adapts a MotivationConfig for the legacy motivation
+// wrappers; only the motivation hooks read it.
+func motivationContext(mcfg MotivationConfig) RunContext {
+	var rc RunContext
+	rc.Motivation = mcfg
+	rc.Config.Parallelism = mcfg.Parallelism
+	return rc
+}
+
+// Codec is an experiment's versioned cell-payload codec. Payloads are
+// JSON-encoded; Version identifies the payload layout and is recorded in
+// shard files (shard.Run.PayloadVersion) so a reader rejects cells
+// written by an incompatible layout instead of silently mis-decoding
+// them. Bump Version whenever the payload struct changes incompatibly.
+//
+// A zero Codec (nil New) marks a closed-form experiment with no cell
+// grid: Table I is recomputed at render time and never sharded.
+type Codec struct {
+	Version int
+	// New returns a pointer to a zero payload for decoding one cell.
+	New func() any
+}
+
+// Result is one experiment's aggregated dataset. Rows is the only
+// required render hook; results may additionally implement Plottable
+// (text chart) and Footnoted (trailing note lines).
+type Result interface {
+	// Rows renders the result as a text table.
+	Rows() (headers []string, rows [][]string)
+}
+
+// Plottable is implemented by results that render a text chart above
+// their table.
+type Plottable interface {
+	// PlotTitle is the chart caption.
+	PlotTitle() string
+	// Series converts the result to plot series.
+	Series() (xlabels []string, series []Curveable)
+}
+
+// Footnoted is implemented by results with note lines after the table
+// (the motivation experiment's base-latency line).
+type Footnoted interface {
+	// Footer returns the note block without a trailing newline; "" means
+	// none.
+	Footer() string
+}
+
+// Experiment is one registered study: a named cell grid, the per-cell
+// computation with its derived-seed path, the versioned payload codec,
+// and the fixed-order aggregation with its render hooks. Implementations
+// must keep the determinism invariants: Cell's randomness derives only
+// from the cell's grid path (CellSeed records it), and Aggregate folds
+// cells in grid order with fixed-order float sums, so sharded, partial
+// and in-process runs agree byte for byte.
+type Experiment interface {
+	// Name is the CLI and shard-file spelling of the experiment.
+	Name() string
+	// Describe returns a one-line description for listings.
+	Describe() string
+	// CellKey identifies the experiment's cell grid. Experiments sharing
+	// a key (fig6/fig7) share one cell computation, recorded under each
+	// name exactly as an unsharded run renders one computation twice.
+	CellKey() string
+	// CSVName is the CSV file the CLI writes for the result ("" = none).
+	CSVName() string
+	// Grid returns the run's cell grid under rc, validating the
+	// configuration the experiment cannot model.
+	Grid(rc RunContext) (shard.Grid, error)
+	// Codec returns the versioned cell-payload codec; a zero Codec marks
+	// a closed-form experiment with nothing to shard.
+	Codec() Codec
+	// Cell evaluates one grid cell; the returned payload must round-trip
+	// losslessly through the codec.
+	Cell(rc RunContext, point, system int) (any, error)
+	// CellSeed returns the derived sub-seed recorded with the cell (0 if
+	// the cell draws no randomness).
+	CellSeed(rc RunContext, point, system int) int64
+	// Header renders the block the CLI prints above the result.
+	Header(rc RunContext) string
+	// Aggregate folds decoded cell payloads into the result in grid
+	// order. at(point, system) returns what Codec().New decoded for the
+	// cell; has restricts aggregation to the present cells (nil = the
+	// complete grid). A nil Result with a nil error means no provisional
+	// result exists for the subset (the motivation two-design
+	// comparison).
+	Aggregate(rc RunContext, at func(point, system int) any, has func(point, system int) bool) (Result, error)
+}
+
+// ParamDefaulter is implemented by experiments that own defaultable
+// ShardParams fields: DefaultParams resolves the zero-valued fields to
+// their effective defaults. ShardParams.Normalised applies every
+// registered defaulter, so recorded params are byte-equal across
+// spellings without the params layer hard-coding any experiment.
+type ParamDefaulter interface {
+	DefaultParams(p ShardParams) ShardParams
+}
+
+// PartialSkipper is implemented by experiments whose provisional result
+// does not exist until their grid is complete: PartialSkipNote explains
+// the gap in place of the result (missingShards is the pre-rendered
+// " 2 5"-style shard list).
+type PartialSkipper interface {
+	PartialSkipNote(cov Coverage, missingShards string) string
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Experiment{}
+	regOrder []string
+)
+
+// Register adds e to the registry. The registration order is the
+// canonical order: shard files, the CLI's "all" selection and listings
+// all follow it. Registering a duplicate name panics — a wiring bug, not
+// a runtime condition.
+func Register(e Experiment) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := e.Name()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("experiment: %q registered twice", name))
+	}
+	registry[name] = e
+	regOrder = append(regOrder, name)
+}
+
+// Lookup returns the registered experiment with the given name.
+func Lookup(name string) (Experiment, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// All returns the registered experiments in canonical (registration)
+// order.
+func All() []Experiment {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Experiment, len(regOrder))
+	for i, name := range regOrder {
+		out[i] = registry[name]
+	}
+	return out
+}
+
+// Names returns the registered experiment names in canonical order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return append([]string(nil), regOrder...)
+}
+
+// GridExperiments lists the registered experiments that carry a
+// shardable cell grid, in canonical order (Table I is closed-form and
+// excluded).
+func GridExperiments() []string {
+	var out []string
+	for _, e := range All() {
+		if e.Codec().New != nil {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// The paper's studies register here in canonical order. A new
+// experiment registers itself from its own file's init (see tailq.go);
+// within a package, init functions run in compiler file order, so files
+// sorted after registry.go append after the built-ins — pinned by
+// TestRegistryCanonicalOrder.
+func init() {
+	Register(fig5Experiment{})
+	Register(figqExperiment{psi: true})
+	Register(figqExperiment{psi: false})
+	Register(table1Experiment{})
+	Register(motivationExperiment{})
+	Register(ablationExperiment{})
+	Register(multiDeviceExperiment{})
+}

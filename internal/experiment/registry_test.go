@@ -1,0 +1,444 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/shard"
+)
+
+// TestRegistryCanonicalOrder pins the registration order the shard
+// files, the CLI's "all" selection and the listings all follow. The
+// built-ins register from registry.go's init; tailq appends itself from
+// its own file's init (file order within the package), which is exactly
+// the extension contract docs/EXPERIMENTS.md documents.
+func TestRegistryCanonicalOrder(t *testing.T) {
+	want := []string{ExpFig5, ExpFig6, ExpFig7, ExpTable1, ExpMotivation, ExpAblation, ExpMultiDevice, ExpTailQ}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	wantGrid := []string{ExpFig5, ExpFig6, ExpFig7, ExpMotivation, ExpAblation, ExpMultiDevice, ExpTailQ}
+	if got := GridExperiments(); !reflect.DeepEqual(got, wantGrid) {
+		t.Fatalf("GridExperiments() = %v, want %v", got, wantGrid)
+	}
+	for _, name := range want {
+		e, ok := Lookup(name)
+		if !ok || e.Name() != name {
+			t.Errorf("Lookup(%q) = %v, %v", name, e, ok)
+		}
+		if e.Describe() == "" {
+			t.Errorf("%s has no description", name)
+		}
+	}
+	if _, ok := Lookup("bogus"); ok {
+		t.Error("Lookup accepted an unregistered name")
+	}
+}
+
+// mustJSON renders a result for byte comparison; registry equivalence is
+// asserted on encoded bytes, not DeepEqual, because byte identity is the
+// contract the CLI diff jobs rely on.
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestLegacyEntryPointsMatchGenericPath is the registry-equivalence
+// suite: every legacy per-figure entry point — the in-process runners,
+// the *Cells evaluators, and the *FromCells / *FromCellsPartial
+// aggregators — produces results byte-identical to its generic
+// registry-path equivalent, for parallelism ∈ {1, NumCPU} and the cells
+// assembled from shard counts ∈ {1, 3}.
+func TestLegacyEntryPointsMatchGenericPath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	p := shardParamsFast()
+	for _, par := range []int{1, runtime.NumCPU()} {
+		par := par
+		t.Run(fmt.Sprintf("parallel=%d", par), func(t *testing.T) {
+			rc := p.Context(par)
+			cfg := rc.Config
+			mcfg := rc.Motivation
+
+			// In-process runners vs the generic Run engine.
+			legacyFig5, err := Fig5(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			genericFig5, err := Run(ExpFig5, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mustJSON(t, legacyFig5) != mustJSON(t, genericFig5) {
+				t.Error("Fig5 differs from Run(fig5)")
+			}
+			legacyPsi, legacyUps, err := Fig6And7(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			genericPsi, err := Run(ExpFig6, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			genericUps, err := Run(ExpFig7, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mustJSON(t, legacyPsi) != mustJSON(t, genericPsi) || mustJSON(t, legacyUps) != mustJSON(t, genericUps) {
+				t.Error("Fig6And7 differs from Run(fig6)/Run(fig7)")
+			}
+			legacyMot, err := Motivation(mcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			genericMot, err := Run(ExpMotivation, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mustJSON(t, legacyMot) != mustJSON(t, genericMot) {
+				t.Error("Motivation differs from Run(motivation)")
+			}
+			legacyAbl, err := Ablation(cfg, p.ResolvedAblationU())
+			if err != nil {
+				t.Fatal(err)
+			}
+			genericAbl, err := Run(ExpAblation, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mustJSON(t, legacyAbl) != mustJSON(t, genericAbl) {
+				t.Error("Ablation differs from Run(ablation)")
+			}
+			mdU, mdCounts := p.ResolvedMultiDevice()
+			legacyMD, err := MultiDevice(cfg, mdU, mdCounts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			genericMD, err := Run(ExpMultiDevice, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mustJSON(t, legacyMD) != mustJSON(t, genericMD) {
+				t.Error("MultiDevice differs from Run(multidevice)")
+			}
+
+			// Cell evaluators: legacy *Cells vs generic RunCells, encoded.
+			type cellsFn struct {
+				name    string
+				legacy  func() ([]shard.Cell, shard.Grid, error)
+				generic string
+			}
+			for _, cf := range []cellsFn{
+				{"Fig5Cells", func() ([]shard.Cell, shard.Grid, error) { return Fig5Cells(cfg, nil) }, ExpFig5},
+				{"FigQCells", func() ([]shard.Cell, shard.Grid, error) { return FigQCells(cfg, nil) }, ExpFig6},
+				{"MotivationCells", func() ([]shard.Cell, shard.Grid, error) { return MotivationCells(mcfg, nil) }, ExpMotivation},
+				{"AblationCells", func() ([]shard.Cell, shard.Grid, error) { return AblationCells(cfg, p.ResolvedAblationU(), nil) }, ExpAblation},
+				{"MultiDeviceCells", func() ([]shard.Cell, shard.Grid, error) { return MultiDeviceCells(cfg, mdU, mdCounts, nil) }, ExpMultiDevice},
+			} {
+				lc, lg, err := cf.legacy()
+				if err != nil {
+					t.Fatalf("%s: %v", cf.name, err)
+				}
+				gc, gg, err := RunCells(cf.generic, rc, nil)
+				if err != nil {
+					t.Fatalf("RunCells(%s): %v", cf.generic, err)
+				}
+				if lg != gg || mustJSON(t, lc) != mustJSON(t, gc) {
+					t.Errorf("%s cells differ from RunCells(%s)", cf.name, cf.generic)
+				}
+			}
+
+			// Aggregators over merged cell sets from 1-shard and 3-shard
+			// decompositions: legacy FromCells / FromCellsPartial vs the
+			// generic engines.
+			for _, shards := range []int{1, 3} {
+				files := make([]*shard.File, shards)
+				for i := range files {
+					f, err := RunShard(ExpAll, p, par, shards, i)
+					if err != nil {
+						t.Fatalf("shards=%d index=%d: %v", shards, i, err)
+					}
+					files[i] = f
+				}
+				merged, err := shard.Merge(files)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				byName := map[string][]shard.Cell{}
+				for _, r := range merged.Runs {
+					byName[r.Experiment] = r.Cells
+				}
+
+				if l, err := Fig5FromCells(cfg, byName[ExpFig5]); err != nil {
+					t.Fatal(err)
+				} else if g, err := FromCells(ExpFig5, rc, byName[ExpFig5]); err != nil || mustJSON(t, l) != mustJSON(t, g) {
+					t.Errorf("shards=%d: Fig5FromCells differs from FromCells (err=%v)", shards, err)
+				}
+				lp, lu, err := FigQFromCells(cfg, byName[ExpFig6])
+				if err != nil {
+					t.Fatal(err)
+				}
+				gp, err := FromCells(ExpFig6, rc, byName[ExpFig6])
+				if err != nil {
+					t.Fatal(err)
+				}
+				gu, err := FromCells(ExpFig7, rc, byName[ExpFig7])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if mustJSON(t, lp) != mustJSON(t, gp) || mustJSON(t, lu) != mustJSON(t, gu) {
+					t.Errorf("shards=%d: FigQFromCells differs from FromCells", shards)
+				}
+				if l, err := MotivationFromCells(mcfg, byName[ExpMotivation]); err != nil {
+					t.Fatal(err)
+				} else if g, err := FromCells(ExpMotivation, rc, byName[ExpMotivation]); err != nil || mustJSON(t, l) != mustJSON(t, g) {
+					t.Errorf("shards=%d: MotivationFromCells differs from FromCells (err=%v)", shards, err)
+				}
+				if l, err := AblationFromCells(cfg, byName[ExpAblation]); err != nil {
+					t.Fatal(err)
+				} else if g, err := FromCells(ExpAblation, rc, byName[ExpAblation]); err != nil || mustJSON(t, l) != mustJSON(t, g) {
+					t.Errorf("shards=%d: AblationFromCells differs from FromCells (err=%v)", shards, err)
+				}
+				if l, err := MultiDeviceFromCells(cfg, mdCounts, byName[ExpMultiDevice]); err != nil {
+					t.Fatal(err)
+				} else if g, err := FromCells(ExpMultiDevice, rc, byName[ExpMultiDevice]); err != nil || mustJSON(t, l) != mustJSON(t, g) {
+					t.Errorf("shards=%d: MultiDeviceFromCells differs from FromCells (err=%v)", shards, err)
+				}
+
+				// Partial aggregators over the shard-0 subset.
+				sub := map[string][]shard.Cell{}
+				for _, r := range files[0].Runs {
+					sub[r.Experiment] = r.Cells
+				}
+				if l, lcov, err := Fig5FromCellsPartial(cfg, sub[ExpFig5]); err != nil {
+					t.Fatal(err)
+				} else if g, gcov, err := FromCellsPartial(ExpFig5, rc, sub[ExpFig5]); err != nil ||
+					mustJSON(t, l) != mustJSON(t, g) || !reflect.DeepEqual(lcov, gcov) {
+					t.Errorf("shards=%d: Fig5FromCellsPartial differs from FromCellsPartial (err=%v)", shards, err)
+				}
+				lpp, lup, lcov, err := FigQFromCellsPartial(cfg, sub[ExpFig6])
+				if err != nil {
+					t.Fatal(err)
+				}
+				gpp, gcov, err := FromCellsPartial(ExpFig6, rc, sub[ExpFig6])
+				if err != nil {
+					t.Fatal(err)
+				}
+				gup, _, err := FromCellsPartial(ExpFig7, rc, sub[ExpFig7])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if mustJSON(t, lpp) != mustJSON(t, gpp) || mustJSON(t, lup) != mustJSON(t, gup) || !reflect.DeepEqual(lcov, gcov) {
+					t.Errorf("shards=%d: FigQFromCellsPartial differs from FromCellsPartial", shards)
+				}
+				lm, lmcov, err := MotivationFromCellsPartial(mcfg, sub[ExpMotivation])
+				if err != nil {
+					t.Fatal(err)
+				}
+				gm, gmcov, err := FromCellsPartial(ExpMotivation, rc, sub[ExpMotivation])
+				if err != nil || !reflect.DeepEqual(lmcov, gmcov) {
+					t.Fatalf("shards=%d: motivation partial coverage differs (err=%v)", shards, err)
+				}
+				if (lm == nil) != (gm == nil) {
+					t.Errorf("shards=%d: motivation partial nil-ness differs: legacy=%v generic=%v", shards, lm, gm)
+				} else if lm != nil && mustJSON(t, lm) != mustJSON(t, gm) {
+					t.Errorf("shards=%d: MotivationFromCellsPartial differs from FromCellsPartial", shards)
+				}
+				if l, lcov, err := AblationFromCellsPartial(cfg, sub[ExpAblation]); err != nil {
+					t.Fatal(err)
+				} else if g, gcov, err := FromCellsPartial(ExpAblation, rc, sub[ExpAblation]); err != nil ||
+					mustJSON(t, l) != mustJSON(t, g) || !reflect.DeepEqual(lcov, gcov) {
+					t.Errorf("shards=%d: AblationFromCellsPartial differs from FromCellsPartial (err=%v)", shards, err)
+				}
+				if l, lcov, err := MultiDeviceFromCellsPartial(cfg, mdCounts, sub[ExpMultiDevice]); err != nil {
+					t.Fatal(err)
+				} else if g, gcov, err := FromCellsPartial(ExpMultiDevice, rc, sub[ExpMultiDevice]); err != nil ||
+					mustJSON(t, l) != mustJSON(t, g) || !reflect.DeepEqual(lcov, gcov) {
+					t.Errorf("shards=%d: MultiDeviceFromCellsPartial differs from FromCellsPartial (err=%v)", shards, err)
+				}
+			}
+		})
+	}
+}
+
+// TestTailQRegistryOnly: the new experiment is reachable exclusively
+// through the registry — run, shard, merge, partial — with results
+// identical on every path, proving a study can be added with zero edits
+// to the shard, dispatch or CLI plumbing.
+func TestTailQRegistryOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	p := ShardParams{Systems: 5, Seed: 3}
+	rc := p.Context(1)
+	ref, err := Run(ExpTailQ, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := ref.(*TailQResult)
+	if len(res.Points) != len(Fig5Utils()) {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, pt := range res.Points {
+		if pt.Schedulable.Trials != 5 {
+			t.Errorf("U=%.2f trials = %d", pt.U, pt.Schedulable.Trials)
+		}
+		if pt.Jobs > 0 {
+			if pt.Exact > pt.Ge90+1e-12 || pt.Ge90 > pt.Ge50+1e-12 {
+				t.Errorf("U=%.2f bands not cumulative: exact=%g ge90=%g ge50=%g", pt.U, pt.Exact, pt.Ge90, pt.Ge50)
+			}
+			if pt.MinUps < 0 || pt.MinUps > 1 || pt.MeanUps < 0 || pt.MeanUps > 1+1e-12 {
+				t.Errorf("U=%.2f quality out of range: mean=%g min=%g", pt.U, pt.MeanUps, pt.MinUps)
+			}
+		}
+	}
+	// The tail degrades with utilisation: the exact fraction at the top of
+	// the sweep must not beat the bottom.
+	if first, last := res.Points[0], res.Points[len(res.Points)-1]; last.Exact > first.Exact {
+		t.Errorf("exact fraction should not improve with U: %g@%.2f vs %g@%.2f",
+			first.Exact, first.U, last.Exact, last.U)
+	}
+
+	// Sharded: 3 shards at mixed parallelism, merged, re-aggregated.
+	files := make([]*shard.File, 3)
+	for i := range files {
+		par := 1
+		if i%2 == 1 {
+			par = runtime.NumCPU()
+		}
+		f, err := RunShard(ExpTailQ, p, par, 3, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f.Runs) != 1 || f.Runs[0].Experiment != ExpTailQ {
+			t.Fatalf("shard %d runs = %+v", i, f.Runs)
+		}
+		if f.Runs[0].PayloadVersion != (tailqExperiment{}).Codec().Version {
+			t.Fatalf("shard %d payload version = %d", i, f.Runs[0].PayloadVersion)
+		}
+		files[i] = f
+	}
+	merged, err := shard.Merge(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FromCells(ExpTailQ, rc, merged.Runs[0].Cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustJSON(t, ref) != mustJSON(t, got) {
+		t.Error("merged tailq differs from in-process run")
+	}
+
+	// Partial: the complete set through the partial path equals the full
+	// result; a strict subset reports exact coverage.
+	full, cov, err := FromCellsPartial(ExpTailQ, rc, merged.Runs[0].Cells)
+	if err != nil || !cov.Complete() || mustJSON(t, full) != mustJSON(t, ref) {
+		t.Fatalf("complete partial differs (cov=%v err=%v)", cov, err)
+	}
+	sub := files[0].Runs[0].Cells
+	_, cov, err = FromCellsPartial(ExpTailQ, rc, sub)
+	if err != nil || cov.Complete() || cov.Have != len(sub) {
+		t.Fatalf("subset coverage = %+v err=%v", cov, err)
+	}
+}
+
+// TestCellCoverage: the decode-free coverage engine agrees with the
+// decoding partial path and rejects the same malformed subsets.
+func TestCellCoverage(t *testing.T) {
+	p := ShardParams{Systems: 4, Seed: 1}
+	rc := p.Context(1)
+	f, err := RunShard(ExpMultiDevice, p, 1, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := f.Runs[0].Cells
+	cov, err := CellCoverage(ExpMultiDevice, rc, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, decCov, err := FromCellsPartial(ExpMultiDevice, rc, sub)
+	if err != nil || !reflect.DeepEqual(cov, decCov) {
+		t.Errorf("CellCoverage = %+v, partial decode reports %+v (err=%v)", cov, decCov, err)
+	}
+	if cov.Complete() || cov.Have != len(sub) {
+		t.Errorf("subset coverage = %+v for %d cells", cov, len(sub))
+	}
+	if _, err := CellCoverage(ExpMultiDevice, rc, append([]shard.Cell{sub[0]}, sub...)); err == nil {
+		t.Error("duplicate cell accepted")
+	}
+	oob := sub[0]
+	oob.System = 99
+	if _, err := CellCoverage(ExpMultiDevice, rc, []shard.Cell{oob}); err == nil {
+		t.Error("out-of-range cell accepted")
+	}
+	if _, err := CellCoverage("bogus", rc, nil); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestValidateRuns pins the registry-driven shard-file validation the
+// dispatch driver relies on: unknown experiments, wrong grids and
+// incompatible payload versions are all rejected with named errors.
+func TestValidateRuns(t *testing.T) {
+	p := ShardParams{Systems: 3, Seed: 1}
+	f, err := RunShard(ExpMultiDevice, p, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateRuns(f, p); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+	// Version 0 (pre-recording files) is accepted.
+	old := *f
+	old.Runs = append([]shard.Run(nil), f.Runs...)
+	old.Runs[0].PayloadVersion = 0
+	if err := ValidateRuns(&old, p); err != nil {
+		t.Errorf("version-0 file rejected: %v", err)
+	}
+	bad := *f
+	bad.Runs = append([]shard.Run(nil), f.Runs...)
+	bad.Runs[0].PayloadVersion = 99
+	err = ValidateRuns(&bad, p)
+	if err == nil || !strings.Contains(err.Error(), "payload version 99") {
+		t.Errorf("incompatible payload version accepted: %v", err)
+	}
+	unknown := *f
+	unknown.Runs = append([]shard.Run(nil), f.Runs...)
+	unknown.Runs[0].Experiment = "bogus"
+	if err := ValidateRuns(&unknown, p); err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("unknown experiment accepted: %v", err)
+	}
+	wrongGrid := *f
+	wrongGrid.Runs = append([]shard.Run(nil), f.Runs...)
+	wrongGrid.Runs[0].Grid = shard.Grid{Points: 9, Systems: 9}
+	if err := ValidateRuns(&wrongGrid, p); err == nil || !strings.Contains(err.Error(), "records grid 9x9") {
+		t.Errorf("wrong grid accepted: %v", err)
+	}
+}
+
+// TestNormalisedIsRegistryDriven: Normalised resolves every registered
+// defaulter, so two spellings of the same run record byte-equal params —
+// including after new experiments register.
+func TestNormalisedIsRegistryDriven(t *testing.T) {
+	a := ShardParams{Seed: 7}.Normalised()
+	b := ShardParams{
+		Seed: 7, Systems: Default().Systems,
+		GAPopulation: Default().GA.Population, GAGenerations: Default().GA.Generations,
+		AblationU: 0.6, MultiDeviceU: 0.8, MultiDeviceCounts: []int{1, 2, 4, 8},
+		MotivationWrites: DefaultMotivation().Writes,
+	}.Normalised()
+	aj, bj := mustJSON(t, a), mustJSON(t, b)
+	if aj != bj {
+		t.Errorf("spellings normalise differently:\n%s\n%s", aj, bj)
+	}
+}

@@ -1,32 +1,33 @@
 package experiment
 
-// Shard/merge support: every grid runner decomposes into a cell
-// computation and a grid-order aggregation (see gridSubset), so any cell
+// Shard/merge support: every grid experiment decomposes into a cell
+// computation and a grid-order aggregation (see engine.go), so any cell
 // subset can be evaluated by an independent process and re-aggregated
-// later. This file is the bridge to internal/shard: it marshals cell
-// subsets into shard files (Fig5Cells, FigQCells, …), rebuilds runner
-// results from complete merged cell sets (Fig5FromCells, …), and drives
-// whole sharded runs (RunShard).
+// later. This file is the bridge to internal/shard: ShardParams is the
+// run parameterisation recorded in every shard file, RunShard drives
+// whole sharded runs through the registry, and the per-figure *Cells /
+// *FromCells functions survive as thin deprecated wrappers over the
+// generic engines.
 //
 // The invariant, inherited from the execution engine and enforced by the
 // shard-equivalence tests: for any shard count and any parallelism,
 // merging the N shard outputs and aggregating is identical to the
 // unsharded run — each cell's randomness comes from a derived sub-seed
-// over its (runner, point, system) path, the cell payloads round-trip
-// losslessly through JSON, and the merge path re-enters the exact
-// aggregation code the in-process runners use.
+// over its (experiment, point, system) path, the cell payloads
+// round-trip losslessly through the versioned codec, and the merge path
+// re-enters the exact aggregation code the in-process runners use.
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
 
-	"repro/internal/exec"
 	"repro/internal/shard"
 )
 
-// ErrUnknownExperiment reports a selection that names no experiment;
-// test with errors.Is (the CLI maps it to its historical exit code 2).
+// ErrUnknownExperiment reports a selection that names no registered
+// experiment; test with errors.Is (the CLI maps it to its historical
+// exit code 2).
 var ErrUnknownExperiment = errors.New("unknown experiment")
 
 // Experiment names as the CLI and the shard files spell them.
@@ -38,22 +39,16 @@ const (
 	ExpMotivation  = "motivation"
 	ExpAblation    = "ablation"
 	ExpMultiDevice = "multidevice"
+	ExpTailQ       = "tailq"
 	// ExpAll selects every experiment.
 	ExpAll = "all"
 )
 
-// AllExperiments lists the experiments in the CLI's canonical "all"
-// order.
-func AllExperiments() []string {
-	return []string{ExpFig5, ExpFig6, ExpFig7, ExpTable1, ExpMotivation, ExpAblation, ExpMultiDevice}
-}
-
-// gridExperiments lists the experiments that carry a shardable cell grid
-// (Table I is a closed-form cost model with no cells; merge re-renders it
-// directly).
-func gridExperiments() []string {
-	return []string{ExpFig5, ExpFig6, ExpFig7, ExpMotivation, ExpAblation, ExpMultiDevice}
-}
+// AllExperiments lists the registered experiment names in the canonical
+// "all" order.
+//
+// Deprecated: use Names, which this forwards to.
+func AllExperiments() []string { return Names() }
 
 // ShardParams is the run parameterisation recorded in every shard file:
 // everything that decides the grid contents and the rendered output,
@@ -144,14 +139,21 @@ func (p ShardParams) ResolvedMultiDevice() (float64, []int) {
 // a CLI shard must merge with a library shard of the same run. RunShard
 // normalises before recording; dispatch drivers normalise before
 // comparing a worker's output against the plan.
+//
+// The base sweep fields resolve through Config; every registered
+// experiment that owns params of its own resolves them through its
+// ParamDefaulter hook, so the params layer never hard-codes an
+// experiment.
 func (p ShardParams) Normalised() ShardParams {
 	cfg := p.Config()
 	p.Systems = cfg.Systems
 	p.GAPopulation = cfg.GA.Population
 	p.GAGenerations = cfg.GA.Generations
-	p.AblationU = p.ResolvedAblationU()
-	p.MultiDeviceU, p.MultiDeviceCounts = p.ResolvedMultiDevice()
-	p.MotivationWrites = p.Motivation().Writes
+	for _, e := range All() {
+		if d, ok := e.(ParamDefaulter); ok {
+			p = d.DefaultParams(p)
+		}
+	}
 	return p
 }
 
@@ -169,200 +171,32 @@ func marshalCells[T any](refs []cellRef, vals []T, seedFor func(o, i int) int64)
 	return cells, nil
 }
 
-// cellsToGrid decodes a complete cell set into a dense grid. It rejects
-// incomplete, duplicated or out-of-range cells — merge guarantees none of
-// these, but the aggregators are public API and must not mis-aggregate a
-// hand-assembled set silently. It is the partial grid builder
-// (cellsToPartialGrid) plus a completeness requirement, so the two paths
-// share one validation loop.
-func cellsToGrid[T any](g shard.Grid, cells []shard.Cell) (grid[T], error) {
-	out, _, cov, err := cellsToPartialGrid[T](g, cells)
-	if err != nil {
-		return grid[T]{}, err
-	}
-	if !cov.Complete() {
-		return grid[T]{}, fmt.Errorf("experiment: %d cells for a %dx%d grid", len(cells), g.Points, g.Systems)
-	}
-	return out, nil
-}
-
-// unmarshalCell decodes one cell's payload.
-func unmarshalCell[T any](c shard.Cell, into *T) error {
-	if err := json.Unmarshal(c.Data, into); err != nil {
-		return fmt.Errorf("experiment: decode cell (%d,%d): %w", c.Point, c.System, err)
-	}
-	return nil
-}
-
-// Fig5Cells evaluates the selected cells of the Figure 5 grid
-// (utilisation points × systems) and returns them as shard cells.
-func Fig5Cells(cfg Config, sel CellSelector) ([]shard.Cell, shard.Grid, error) {
-	us := Fig5Utils()
-	g := shard.Grid{Points: len(us), Systems: cfg.Systems}
-	refs, vals, err := gridSubset(cfg.Parallelism, g.Points, g.Systems, sel,
-		func(ui, s int) (fig5Outcome, error) { return fig5Cell(cfg, us, ui, s) })
-	if err != nil {
-		return nil, g, err
-	}
-	cells, err := marshalCells(refs, vals, func(o, i int) int64 {
-		return exec.DeriveSeed(cfg.Seed, streamFig5, int64(o), int64(i), subGen)
-	})
-	return cells, g, err
-}
-
-// Fig5FromCells rebuilds the Figure 5 result from a complete (merged)
-// cell set, via the same aggregation the in-process runner uses.
-func Fig5FromCells(cfg Config, cells []shard.Cell) (*Fig5Result, error) {
-	us := Fig5Utils()
-	g, err := cellsToGrid[fig5Outcome](shard.Grid{Points: len(us), Systems: cfg.Systems}, cells)
-	if err != nil {
-		return nil, fmt.Errorf("fig5: %w", err)
-	}
-	return fig5Aggregate(cfg, us, g.at, nil), nil
-}
-
-// FigQCells evaluates the selected cells of the Figures 6/7 grid. One
-// cell set serves both figures: each payload carries every offline
-// method's (Ψ, Υ) outcome.
-func FigQCells(cfg Config, sel CellSelector) ([]shard.Cell, shard.Grid, error) {
-	us := FigQUtils()
-	g := shard.Grid{Points: len(us), Systems: cfg.Systems}
-	if err := figqCheck(cfg); err != nil {
-		return nil, g, err
-	}
-	refs, vals, err := gridSubset(cfg.Parallelism, g.Points, g.Systems, sel,
-		func(ui, s int) (figqOutcome, error) { return figqCell(cfg, us, ui, s) })
-	if err != nil {
-		return nil, g, err
-	}
-	cells, err := marshalCells(refs, vals, func(o, i int) int64 {
-		return exec.DeriveSeed(cfg.Seed, streamFigQ, int64(o), int64(i), subGen)
-	})
-	return cells, g, err
-}
-
-// FigQFromCells rebuilds the Figure 6 (Ψ) and Figure 7 (Υ) results from a
-// complete cell set.
-func FigQFromCells(cfg Config, cells []shard.Cell) (*FigQResult, *FigQResult, error) {
-	us := FigQUtils()
-	g, err := cellsToGrid[figqOutcome](shard.Grid{Points: len(us), Systems: cfg.Systems}, cells)
-	if err != nil {
-		return nil, nil, fmt.Errorf("fig6/7: %w", err)
-	}
-	psi, ups := figqAggregate(cfg, us, g.at, nil)
-	return psi, ups, nil
-}
-
-// MotivationCells evaluates the selected cells of the motivation
-// experiment's 1 × 2 design grid.
-func MotivationCells(cfg MotivationConfig, sel CellSelector) ([]shard.Cell, shard.Grid, error) {
-	g := shard.Grid{Points: 1, Systems: motivationDesigns}
-	if err := motivationCheck(cfg); err != nil {
-		return nil, g, err
-	}
-	refs, vals, err := gridSubset(cfg.Parallelism, g.Points, g.Systems, sel,
-		func(_, design int) (motivationOutcome, error) { return motivationCell(cfg, design) })
-	if err != nil {
-		return nil, g, err
-	}
-	cells, err := marshalCells(refs, vals, func(_, design int) int64 {
-		if design == 0 {
-			// Only the remote design draws randomness (cross-traffic).
-			return exec.DeriveSeed(cfg.Seed, streamMotivation)
-		}
-		return 0
-	})
-	return cells, g, err
-}
-
-// MotivationFromCells rebuilds the motivation result from a complete cell
-// set.
-func MotivationFromCells(cfg MotivationConfig, cells []shard.Cell) (*MotivationResult, error) {
-	g, err := cellsToGrid[motivationOutcome](shard.Grid{Points: 1, Systems: motivationDesigns}, cells)
-	if err != nil {
-		return nil, fmt.Errorf("motivation: %w", err)
-	}
-	return motivationAggregate(g.at), nil
-}
-
-// AblationCells evaluates the selected cells of the ablation study's
-// 1 × Systems grid at utilisation u.
-func AblationCells(cfg Config, u float64, sel CellSelector) ([]shard.Cell, shard.Grid, error) {
-	g := shard.Grid{Points: 1, Systems: cfg.Systems}
-	refs, vals, err := gridSubset(cfg.Parallelism, g.Points, g.Systems, sel,
-		func(_, s int) ([]qOutcome, error) { return ablationCell(cfg, u, s) })
-	if err != nil {
-		return nil, g, err
-	}
-	cells, err := marshalCells(refs, vals, func(_, s int) int64 {
-		return exec.DeriveSeed(cfg.Seed, streamAblation, ablationUTag(u), int64(s), subGen)
-	})
-	return cells, g, err
-}
-
-// AblationFromCells rebuilds the ablation study from a complete cell set.
-func AblationFromCells(cfg Config, cells []shard.Cell) ([]AblationResult, error) {
-	g, err := cellsToGrid[[]qOutcome](shard.Grid{Points: 1, Systems: cfg.Systems}, cells)
-	if err != nil {
-		return nil, fmt.Errorf("ablation: %w", err)
-	}
-	return ablationAggregate(cfg, g.at, nil), nil
-}
-
-// MultiDeviceCells evaluates the selected cells of the partitioned
-// scaling study's device-counts × systems grid.
-func MultiDeviceCells(cfg Config, u float64, deviceCounts []int, sel CellSelector) ([]shard.Cell, shard.Grid, error) {
-	g := shard.Grid{Points: len(deviceCounts), Systems: cfg.Systems}
-	if err := multiDeviceCheck(deviceCounts); err != nil {
-		return nil, g, err
-	}
-	refs, vals, err := gridSubset(cfg.Parallelism, g.Points, g.Systems, sel,
-		func(di, s int) (qOutcome, error) { return multiDeviceCell(cfg, u, deviceCounts, di, s) })
-	if err != nil {
-		return nil, g, err
-	}
-	cells, err := marshalCells(refs, vals, func(di, s int) int64 {
-		return exec.DeriveSeed(cfg.Seed, streamMultiDevice, int64(di), int64(s), subGen)
-	})
-	return cells, g, err
-}
-
-// MultiDeviceFromCells rebuilds the scaling study from a complete cell
-// set.
-func MultiDeviceFromCells(cfg Config, deviceCounts []int, cells []shard.Cell) ([]MultiDevicePoint, error) {
-	g, err := cellsToGrid[qOutcome](shard.Grid{Points: len(deviceCounts), Systems: cfg.Systems}, cells)
-	if err != nil {
-		return nil, fmt.Errorf("multidevice: %w", err)
-	}
-	return multiDeviceAggregate(cfg, deviceCounts, g.at, nil), nil
-}
-
 // SelectionRuns expands a CLI selection ("all" or one experiment name)
 // into the grid experiments a shard file for that selection records, in
-// canonical order. It rejects selections with no grid to shard: Table I
-// is a closed-form model, and unknown names report ErrUnknownExperiment.
+// canonical order, resolving names through the registry. It rejects
+// selections with no grid to shard (Table I is a closed-form model) and
+// reports ErrUnknownExperiment for unregistered names.
 func SelectionRuns(selection string) ([]string, error) {
 	if selection == ExpAll {
-		return gridExperiments(), nil
+		return GridExperiments(), nil
 	}
-	for _, name := range gridExperiments() {
-		if selection == name {
-			return []string{name}, nil
-		}
+	e, ok := Lookup(selection)
+	if !ok {
+		return nil, fmt.Errorf("experiment: %w %q", ErrUnknownExperiment, selection)
 	}
-	if selection == ExpTable1 {
+	if e.Codec().New == nil {
 		return nil, fmt.Errorf("experiment: %q is a closed-form model with no grid to shard; run it directly", selection)
 	}
-	return nil, fmt.Errorf("experiment: %w %q", ErrUnknownExperiment, selection)
+	return []string{e.Name()}, nil
 }
 
 // RunShard evaluates shard index of shards for the given selection ("all"
 // or one grid experiment) and returns the versioned shard file recording
 // the run parameters and every evaluated cell. The decomposition is
-// round-robin over each runner's grid, so all shards carry a near-equal
-// share of every utilisation point. Figures 6 and 7 share one cell grid:
-// their cells are computed once and recorded under both names, exactly as
-// an unsharded "all" run renders one computation twice.
+// round-robin over each experiment's grid, so all shards carry a
+// near-equal share of every utilisation point. Experiments sharing a
+// cell key (Figures 6 and 7) are computed once and recorded under each
+// name, exactly as an unsharded "all" run renders one computation twice.
 func RunShard(selection string, p ShardParams, parallelism, shards, index int) (*shard.File, error) {
 	plan, err := shard.NewPlan(shards, index)
 	if err != nil {
@@ -373,8 +207,7 @@ func RunShard(selection string, p ShardParams, parallelism, shards, index int) (
 		return nil, err
 	}
 	p = p.Normalised()
-	cfg := p.Config()
-	cfg.Parallelism = parallelism
+	rc := p.Context(parallelism)
 	params, err := json.Marshal(p)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: encode params: %w", err)
@@ -386,37 +219,152 @@ func RunShard(selection string, p ShardParams, parallelism, shards, index int) (
 		Index:     index,
 		Params:    params,
 	}
-	var figq []shard.Cell
-	var figqGrid shard.Grid
+	type computed struct {
+		cells []shard.Cell
+		grid  shard.Grid
+	}
+	byKey := make(map[string]computed)
 	for _, name := range names {
-		var (
-			cells []shard.Cell
-			g     shard.Grid
-		)
-		switch name {
-		case ExpFig5:
-			cells, g, err = Fig5Cells(cfg, plan.Selector(cfg.Systems))
-		case ExpFig6, ExpFig7:
-			if figq == nil {
-				figq, figqGrid, err = FigQCells(cfg, plan.Selector(cfg.Systems))
-			}
-			cells, g = figq, figqGrid
-		case ExpMotivation:
-			mcfg := p.Motivation()
-			mcfg.Parallelism = parallelism
-			cells, g, err = MotivationCells(mcfg, plan.Selector(motivationDesigns))
-		case ExpAblation:
-			cells, g, err = AblationCells(cfg, p.ResolvedAblationU(), plan.Selector(cfg.Systems))
-		case ExpMultiDevice:
-			u, counts := p.ResolvedMultiDevice()
-			cells, g, err = MultiDeviceCells(cfg, u, counts, plan.Selector(cfg.Systems))
-		default:
-			err = fmt.Errorf("experiment: no cell runner for %q", name)
-		}
+		e, err := get(name)
 		if err != nil {
 			return nil, err
 		}
-		f.Runs = append(f.Runs, shard.Run{Experiment: name, Grid: g, Cells: cells})
+		c, ok := byKey[e.CellKey()]
+		if !ok {
+			g, err := e.Grid(rc)
+			if err != nil {
+				return nil, err
+			}
+			cells, _, err := runCells(e, rc, plan.Selector(g.Systems))
+			if err != nil {
+				return nil, err
+			}
+			c = computed{cells: cells, grid: g}
+			byKey[e.CellKey()] = c
+		}
+		f.Runs = append(f.Runs, shard.Run{
+			Experiment:     name,
+			Grid:           c.grid,
+			PayloadVersion: e.Codec().Version,
+			Cells:          c.cells,
+		})
 	}
 	return f, nil
+}
+
+// The per-figure shard entry points, superseded by the generic engines.
+
+// Fig5Cells evaluates the selected cells of the Figure 5 grid
+// (utilisation points × systems) and returns them as shard cells.
+//
+// Deprecated: use RunCells(ExpFig5, …); this forwards to it.
+func Fig5Cells(cfg Config, sel CellSelector) ([]shard.Cell, shard.Grid, error) {
+	return RunCells(ExpFig5, contextFor(cfg), sel)
+}
+
+// Fig5FromCells rebuilds the Figure 5 result from a complete (merged)
+// cell set, via the same aggregation the in-process runner uses.
+//
+// Deprecated: use FromCells(ExpFig5, …); this forwards to it.
+func Fig5FromCells(cfg Config, cells []shard.Cell) (*Fig5Result, error) {
+	res, err := FromCells(ExpFig5, contextFor(cfg), cells)
+	if err != nil {
+		return nil, err
+	}
+	return res.(*Fig5Result), nil
+}
+
+// FigQCells evaluates the selected cells of the Figures 6/7 grid. One
+// cell set serves both figures: each payload carries every offline
+// method's (Ψ, Υ) outcome.
+//
+// Deprecated: use RunCells(ExpFig6, …); this forwards to it.
+func FigQCells(cfg Config, sel CellSelector) ([]shard.Cell, shard.Grid, error) {
+	return RunCells(ExpFig6, contextFor(cfg), sel)
+}
+
+// FigQFromCells rebuilds the Figure 6 (Ψ) and Figure 7 (Υ) results from a
+// complete cell set.
+//
+// Deprecated: use FromCells(ExpFig6, …) and FromCells(ExpFig7, …); this
+// forwards to their shared decode and aggregation.
+func FigQFromCells(cfg Config, cells []shard.Cell) (*FigQResult, *FigQResult, error) {
+	rc := contextFor(cfg)
+	psi, ups, cov, err := figqPair(rc, cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !cov.Complete() {
+		return nil, nil, fmt.Errorf("fig6/7: experiment: %d cells for a %dx%d grid",
+			len(cells), len(FigQUtils()), rc.Config.Systems)
+	}
+	return psi, ups, nil
+}
+
+// MotivationCells evaluates the selected cells of the motivation
+// experiment's 1 × 2 design grid.
+//
+// Deprecated: use RunCells(ExpMotivation, …); this forwards to it.
+func MotivationCells(cfg MotivationConfig, sel CellSelector) ([]shard.Cell, shard.Grid, error) {
+	return RunCells(ExpMotivation, motivationContext(cfg), sel)
+}
+
+// MotivationFromCells rebuilds the motivation result from a complete cell
+// set.
+//
+// Deprecated: use FromCells(ExpMotivation, …); this forwards to it.
+func MotivationFromCells(cfg MotivationConfig, cells []shard.Cell) (*MotivationResult, error) {
+	res, err := FromCells(ExpMotivation, motivationContext(cfg), cells)
+	if err != nil {
+		return nil, err
+	}
+	return res.(*MotivationResult), nil
+}
+
+// AblationCells evaluates the selected cells of the ablation study's
+// 1 × Systems grid at utilisation u (0 selects the 0.6 default,
+// matching ShardParams semantics).
+//
+// Deprecated: use RunCells(ExpAblation, …); this forwards to it.
+func AblationCells(cfg Config, u float64, sel CellSelector) ([]shard.Cell, shard.Grid, error) {
+	rc := contextFor(cfg)
+	rc.Params.AblationU = u
+	return RunCells(ExpAblation, rc, sel)
+}
+
+// AblationFromCells rebuilds the ablation study from a complete cell set.
+//
+// Deprecated: use FromCells(ExpAblation, …); this forwards to it.
+func AblationFromCells(cfg Config, cells []shard.Cell) ([]AblationResult, error) {
+	res, err := FromCells(ExpAblation, contextFor(cfg), cells)
+	if err != nil {
+		return nil, err
+	}
+	return res.(AblationStudy), nil
+}
+
+// MultiDeviceCells evaluates the selected cells of the partitioned
+// scaling study's device-counts × systems grid (a zero u or empty
+// deviceCounts selects the defaults, matching ShardParams semantics).
+//
+// Deprecated: use RunCells(ExpMultiDevice, …); this forwards to it.
+func MultiDeviceCells(cfg Config, u float64, deviceCounts []int, sel CellSelector) ([]shard.Cell, shard.Grid, error) {
+	rc := contextFor(cfg)
+	rc.Params.MultiDeviceU = u
+	rc.Params.MultiDeviceCounts = deviceCounts
+	return RunCells(ExpMultiDevice, rc, sel)
+}
+
+// MultiDeviceFromCells rebuilds the scaling study from a complete cell
+// set.
+//
+// Deprecated: use FromCells(ExpMultiDevice, …); this forwards to it.
+func MultiDeviceFromCells(cfg Config, deviceCounts []int, cells []shard.Cell) ([]MultiDevicePoint, error) {
+	rc := contextFor(cfg)
+	rc.Params.MultiDeviceCounts = deviceCounts
+	res, err := FromCells(ExpMultiDevice, rc, cells)
+	if err != nil {
+		return nil, err
+	}
+	return res.(MultiDeviceResult), nil
 }

@@ -86,8 +86,8 @@ func TestShardMergeEquivalence(t *testing.T) {
 		for _, r := range merged.Runs {
 			byName[r.Experiment] = r
 		}
-		if len(byName) != 6 {
-			t.Fatalf("N=%d: merged runs = %v", n, byName)
+		if want := len(GridExperiments()); len(byName) != want {
+			t.Fatalf("N=%d: merged %d runs, want %d: %v", n, len(byName), want, Names())
 		}
 
 		if got, err := Fig5FromCells(cfg, byName[ExpFig5].Cells); err != nil || !reflect.DeepEqual(refFig5, got) {

@@ -4,11 +4,43 @@ import (
 	"fmt"
 
 	"repro/internal/hwcost"
+	"repro/internal/shard"
 )
 
 // Table1 regenerates Table I: the structural-model estimate next to the
 // paper's published figure for every design.
 func Table1() []hwcost.Row { return hwcost.Table1() }
+
+// Table1Result is the hardware-cost comparison as a registry result.
+type Table1Result []hwcost.Row
+
+// Rows renders the comparison as a text table.
+func (rs Table1Result) Rows() ([]string, [][]string) { return Table1Rows(rs) }
+
+// table1Experiment is Table I as a registry entry. It is closed-form —
+// a zero Codec, no cell grid — so it renders in full from any cover and
+// is never sharded.
+type table1Experiment struct{}
+
+func (table1Experiment) Name() string { return ExpTable1 }
+func (table1Experiment) Describe() string {
+	return "Table I: hardware cost of the controller designs (closed-form)"
+}
+func (table1Experiment) CellKey() string                     { return ExpTable1 }
+func (table1Experiment) CSVName() string                     { return "table1.csv" }
+func (table1Experiment) Codec() Codec                        { return Codec{} }
+func (table1Experiment) Grid(RunContext) (shard.Grid, error) { return shard.Grid{}, nil }
+func (table1Experiment) Cell(RunContext, int, int) (any, error) {
+	return nil, fmt.Errorf("experiment: table1 is closed-form and has no cells")
+}
+func (table1Experiment) CellSeed(RunContext, int, int) int64 { return 0 }
+func (table1Experiment) Header(RunContext) string {
+	return "Table I: hardware overhead of the evaluated I/O controllers\n" +
+		"(structural resource model vs the paper's Vivado synthesis)\n\n"
+}
+func (table1Experiment) Aggregate(RunContext, func(int, int) any, func(int, int) bool) (Result, error) {
+	return Table1Result(Table1()), nil
+}
 
 // Table1Rows renders the comparison as a text table.
 func Table1Rows(rows []hwcost.Row) ([]string, [][]string) {

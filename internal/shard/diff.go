@@ -1,0 +1,58 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+)
+
+// DiffParams names the specific parameter two recorded params payloads
+// disagree on, e.g. `param "seed" differs: 1 vs 2` — so a merge or
+// dispatch rejection tells the operator which flag to fix instead of an
+// opaque "params differ". Payloads that cannot be decoded, or that
+// differ only in ways a key-by-key comparison cannot see, fall back to
+// "params differ".
+func DiffParams(want, got json.RawMessage) string {
+	const fallback = "params differ"
+	var a, b map[string]any
+	if err := json.Unmarshal(want, &a); err != nil {
+		return fallback
+	}
+	if err := json.Unmarshal(got, &b); err != nil {
+		return fallback
+	}
+	keys := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		av, aok := a[k]
+		bv, bok := b[k]
+		if aok && bok && reflect.DeepEqual(av, bv) {
+			continue
+		}
+		return fmt.Sprintf("param %q differs: %s vs %s", k, diffValue(av, aok), diffValue(bv, bok))
+	}
+	return fallback
+}
+
+// diffValue renders one side of a param difference.
+func diffValue(v any, present bool) string {
+	if !present {
+		return "(absent)"
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprint(v)
+	}
+	return string(data)
+}

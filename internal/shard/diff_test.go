@@ -1,0 +1,108 @@
+package shard
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDiffParams(t *testing.T) {
+	cases := []struct {
+		name      string
+		want, got string
+		expect    string
+	}{
+		{"seed differs", `{"seed":1,"systems":4}`, `{"seed":2,"systems":4}`, `param "seed" differs: 1 vs 2`},
+		{"systems differs", `{"seed":1,"systems":4}`, `{"seed":1,"systems":8}`, `param "systems" differs: 4 vs 8`},
+		{"key absent on one side", `{"seed":1,"ablation_u":0.6}`, `{"seed":1}`, `param "ablation_u" differs: 0.6 vs (absent)`},
+		{"key absent on the other", `{"seed":1}`, `{"seed":1,"paper_scale":true}`, `param "paper_scale" differs: (absent) vs true`},
+		{"array differs", `{"multidevice_counts":[1,2,4,8]}`, `{"multidevice_counts":[1,2]}`, `param "multidevice_counts" differs: [1,2,4,8] vs [1,2]`},
+		{"first of several named (sorted)", `{"b":1,"a":1}`, `{"b":2,"a":2}`, `param "a" differs: 1 vs 2`},
+		{"undecodable falls back", `{"seed":`, `{"seed":1}`, "params differ"},
+		{"equal falls back", `{"seed":1}`, `{"seed":1}`, "params differ"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := DiffParams(json.RawMessage(tc.want), json.RawMessage(tc.got)); got != tc.expect {
+				t.Errorf("DiffParams(%s, %s) = %q, want %q", tc.want, tc.got, got, tc.expect)
+			}
+		})
+	}
+}
+
+// diffFile builds a minimal valid shard file for the message tests.
+func diffFile(index int, path, params string) *File {
+	return &File{
+		Version: FormatVersion, Selection: "fig5", Shards: 2, Index: index,
+		Params: json.RawMessage(params), Path: path,
+		Runs: []Run{{Experiment: "fig5", Grid: Grid{Points: 1, Systems: 2}}},
+	}
+}
+
+// TestMergeMismatchMessages table-tests the validation errors: each must
+// name the offending file (its path when known) and, for params, the
+// specific mismatched parameter — not just "params differ".
+func TestMergeMismatchMessages(t *testing.T) {
+	cases := []struct {
+		name  string
+		files func() []*File
+		want  []string
+	}{
+		{
+			"params mismatch names path and param",
+			func() []*File {
+				a := diffFile(0, "work/shard0.json", `{"seed":1}`)
+				b := diffFile(1, "work/shard1.json", `{"seed":2}`)
+				return []*File{a, b}
+			},
+			[]string{"work/shard1.json", "params mismatch", `param "seed" differs: 1 vs 2`, "work/shard0.json"},
+		},
+		{
+			"pathless files fall back to the shard index",
+			func() []*File {
+				a := diffFile(0, "", `{"seed":1}`)
+				b := diffFile(1, "", `{"seed":1,"systems":6}`)
+				return []*File{a, b}
+			},
+			[]string{"shard 1", `param "systems" differs: (absent) vs 6`},
+		},
+		{
+			"payload version mismatch names the run",
+			func() []*File {
+				a := diffFile(0, "work/shard0.json", `{"seed":1}`)
+				b := diffFile(1, "work/shard1.json", `{"seed":1}`)
+				b.Runs[0].PayloadVersion = 2
+				return []*File{a, b}
+			},
+			[]string{"work/shard1.json", `run "fig5"`, "payload version 2"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Merge(tc.files())
+			if err == nil {
+				t.Fatal("mismatched files merged")
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(err.Error(), want) {
+					t.Errorf("error %q does not name %q", err, want)
+				}
+			}
+			// MergePartial holds the same files to the same standard.
+			_, perr := MergePartial(tc.files())
+			if perr == nil {
+				t.Fatal("mismatched files partially merged")
+			}
+			for _, want := range tc.want {
+				if strings.HasPrefix(want, "shard ") {
+					// MergePartial labels pathless inputs by argument
+					// position, not shard index.
+					want = "file 1"
+				}
+				if !strings.Contains(perr.Error(), want) {
+					t.Errorf("partial error %q does not name %q", perr, want)
+				}
+			}
+		})
+	}
+}

@@ -129,6 +129,16 @@ func (p *PartialCover) Fraction() float64 {
 	return float64(p.CellsHave()) / float64(total)
 }
 
+// partialLabel names a MergePartial input in error messages: its path
+// when known, its position in the argument list otherwise (a partial
+// merge's inputs carry no unique shard index).
+func partialLabel(f *File, fi int) string {
+	if f.Path != "" {
+		return f.Path
+	}
+	return fmt.Sprintf("file %d", fi)
+}
+
 // indices returns the shard indices a file contributes and the shard
 // count it was decomposed under: the single (Shards, Index) plan of a
 // regular shard file, or the recorded present set of a partial file. It
@@ -208,15 +218,21 @@ func MergePartial(files []*File) (*PartialCover, error) {
 			return nil, err
 		}
 		if !bytes.Equal(params, refParams) {
-			return nil, fmt.Errorf("shard: file %d was produced by a different run (params mismatch)", fi)
+			return nil, fmt.Errorf("shard: %s was produced by a different run than %s (params mismatch: %s)",
+				partialLabel(f, fi), partialLabel(ref, 0), DiffParams(ref.Params, f.Params))
 		}
 		if len(f.Runs) != len(ref.Runs) {
-			return nil, fmt.Errorf("shard: file %d holds %d runs, file 0 holds %d", fi, len(f.Runs), len(ref.Runs))
+			return nil, fmt.Errorf("shard: %s holds %d runs, %s holds %d",
+				partialLabel(f, fi), len(f.Runs), partialLabel(ref, 0), len(ref.Runs))
 		}
 		for ri, r := range f.Runs {
 			if r.Experiment != ref.Runs[ri].Experiment || r.Grid != ref.Runs[ri].Grid {
-				return nil, fmt.Errorf("shard: file %d run %d is %s %v, want %s %v",
-					fi, ri, r.Experiment, r.Grid, ref.Runs[ri].Experiment, ref.Runs[ri].Grid)
+				return nil, fmt.Errorf("shard: %s run %d is %s %v, want %s %v",
+					partialLabel(f, fi), ri, r.Experiment, r.Grid, ref.Runs[ri].Experiment, ref.Runs[ri].Grid)
+			}
+			if r.PayloadVersion != ref.Runs[ri].PayloadVersion {
+				return nil, fmt.Errorf("shard: %s run %q records payload version %d, %s records %d",
+					partialLabel(f, fi), r.Experiment, r.PayloadVersion, partialLabel(ref, 0), ref.Runs[ri].PayloadVersion)
 			}
 		}
 	}
@@ -289,7 +305,10 @@ func MergePartial(files []*File) (*PartialCover, error) {
 					refRun.Experiment, g/grid.Systems, g%grid.Systems)
 			}
 		}
-		cover.File.Runs = append(cover.File.Runs, Run{Experiment: refRun.Experiment, Grid: grid, Cells: cells})
+		cover.File.Runs = append(cover.File.Runs, Run{
+			Experiment: refRun.Experiment, Grid: grid,
+			PayloadVersion: refRun.PayloadVersion, Cells: cells,
+		})
 		cover.Runs = append(cover.Runs, RunCoverage{Experiment: refRun.Experiment, Grid: grid, Have: have})
 	}
 	return cover, nil

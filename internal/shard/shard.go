@@ -73,7 +73,12 @@ func (g Grid) Index(point, system int) (int, error) {
 type Run struct {
 	Experiment string `json:"experiment"`
 	Grid       Grid   `json:"grid"`
-	Cells      []Cell `json:"cells"`
+	// PayloadVersion identifies the cell-payload layout (the registered
+	// experiment codec's version), so a reader rejects cells written by
+	// an incompatible layout instead of silently mis-decoding them. 0 in
+	// files written before versions were recorded.
+	PayloadVersion int    `json:"payload_version,omitempty"`
+	Cells          []Cell `json:"cells"`
 }
 
 // File is the versioned output of one shard process.
@@ -100,6 +105,19 @@ type File struct {
 	// Runs holds the sharded cells, one entry per experiment runner, in
 	// the selection's canonical order.
 	Runs []Run `json:"runs"`
+	// Path is the file the shard was read from ("" for files built in
+	// memory); ReadFile records it so validation errors can name the
+	// offending file instead of an opaque shard index.
+	Path string `json:"-"`
+}
+
+// label names the file in error messages: its path when known, the
+// shard index otherwise.
+func (f *File) label() string {
+	if f.Path != "" {
+		return f.Path
+	}
+	return fmt.Sprintf("shard %d", f.Index)
 }
 
 // CellCount returns the total number of cells across the file's runs.
@@ -196,6 +214,7 @@ func ReadFile(path string) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shard: %s: %w", path, err)
 	}
+	f.Path = path
 	return f, nil
 }
 
@@ -320,16 +339,21 @@ func Merge(files []*File) (*File, error) {
 			return nil, err
 		}
 		if !bytes.Equal(params, refParams) {
-			return nil, fmt.Errorf("shard: shard %d was produced by a different run (params mismatch)", f.Index)
+			return nil, fmt.Errorf("shard: %s was produced by a different run than %s (params mismatch: %s)",
+				f.label(), ref.label(), DiffParams(ref.Params, f.Params))
 		}
 		if len(f.Runs) != len(ref.Runs) {
-			return nil, fmt.Errorf("shard: shard %d holds %d runs, shard %d holds %d",
-				f.Index, len(f.Runs), ref.Index, len(ref.Runs))
+			return nil, fmt.Errorf("shard: %s holds %d runs, %s holds %d",
+				f.label(), len(f.Runs), ref.label(), len(ref.Runs))
 		}
 		for ri, r := range f.Runs {
 			if r.Experiment != ref.Runs[ri].Experiment || r.Grid != ref.Runs[ri].Grid {
-				return nil, fmt.Errorf("shard: shard %d run %d is %s %v, want %s %v",
-					f.Index, ri, r.Experiment, r.Grid, ref.Runs[ri].Experiment, ref.Runs[ri].Grid)
+				return nil, fmt.Errorf("shard: %s run %d is %s %v, want %s %v",
+					f.label(), ri, r.Experiment, r.Grid, ref.Runs[ri].Experiment, ref.Runs[ri].Grid)
+			}
+			if r.PayloadVersion != ref.Runs[ri].PayloadVersion {
+				return nil, fmt.Errorf("shard: %s run %q records payload version %d, %s records %d",
+					f.label(), r.Experiment, r.PayloadVersion, ref.label(), ref.Runs[ri].PayloadVersion)
 			}
 		}
 	}
@@ -374,7 +398,10 @@ func Merge(files []*File) (*File, error) {
 					refRun.Experiment, g/grid.Systems, g%grid.Systems)
 			}
 		}
-		merged.Runs = append(merged.Runs, Run{Experiment: refRun.Experiment, Grid: grid, Cells: cells})
+		merged.Runs = append(merged.Runs, Run{
+			Experiment: refRun.Experiment, Grid: grid,
+			PayloadVersion: refRun.PayloadVersion, Cells: cells,
+		})
 	}
 	return merged, nil
 }

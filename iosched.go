@@ -6,7 +6,8 @@
 // Ψ-maximising heuristic and the multi-objective GA), the FPS and GPIOCP
 // baselines, the quality metrics Ψ and Υ, the synthetic system generator,
 // the cycle-accurate I/O controller with its NoC substrate, and the
-// experiment runners that regenerate every table and figure of the paper.
+// experiment registry that regenerates every table and figure of the
+// paper — and any study registered alongside them.
 //
 // Quick start:
 //
@@ -36,18 +37,32 @@
 // always derived per task from mixed sub-seeds, never drawn from a
 // shared source across goroutines.
 //
+// # Experiment registry
+//
+// Every study is a registered Experiment: a named grid, a per-cell
+// computation with a grid-path-derived seed, a versioned payload codec,
+// and a fixed-order aggregation with render hooks. Experiments() lists
+// them, RunExperiment runs one, and RegisterExperiment plugs a new study
+// into running, sharding, dispatch, partial merges and the CLI at once —
+// no per-experiment plumbing anywhere else. The per-figure entry points
+// (Fig5, Fig6And7, the FromCells and FromCellsPartial variants) remain
+// as deprecated wrappers over the same engines. docs/EXPERIMENTS.md
+// walks through adding an experiment, using the tailq study as the
+// worked example.
+//
 // # Sharding
 //
 // The same invariant extends across process — and machine — boundaries:
-// every experiment grid cell derives its randomness from its (runner,
-// point, system) path, so any subset of cells can be evaluated anywhere
+// every experiment grid cell derives its randomness from its
+// (experiment, point, system) path, so any subset of cells can be
+// evaluated anywhere
 // and reassembled. RunExperimentShard evaluates one round-robin shard of
 // an experiment selection and returns a versioned cell file
 // (ShardFile.WriteFile/ReadShardFile); MergeShardFiles validates that N
 // shard
 // files form one complete, disjoint cover of the same run and returns
-// the single-shard equivalent; the FromCells aggregators (Fig5FromCells,
-// Fig6And7FromCells, …) rebuild the exact results an unsharded run
+// the single-shard equivalent; ExperimentFromCells rebuilds the exact
+// results an unsharded run
 // produces. cmd/ioschedbench exposes the workflow as -shards,
 // -shard-index, -out and the merge subcommand. The shard file format is
 // specified in docs/SHARD_FORMAT.md.
@@ -316,19 +331,85 @@ func NewController() *Controller { return controller.New() }
 // NewGPIOBank builds a GPIO bank device.
 func NewGPIOBank(name string, pins int) (*GPIOBank, error) { return device.NewGPIOBank(name, pins) }
 
-// Experiments (Section V) — re-exported runners; see cmd/ioschedbench for
-// the CLI.
-type ExperimentConfig = experiment.Config
+// Experiments (Section V) — the pluggable experiment registry; see
+// cmd/ioschedbench for the CLI and docs/EXPERIMENTS.md for the "add an
+// experiment" walkthrough.
+type (
+	// ExperimentConfig is the sweep configuration of the experiment
+	// runners.
+	ExperimentConfig = experiment.Config
+	// Experiment is one registered study: grid, per-cell computation with
+	// its derived-seed path, versioned payload codec, and fixed-order
+	// aggregation with render hooks. Implement and register it to plug a
+	// new study into running, sharding, dispatch, partial merges and the
+	// CLI at once.
+	Experiment = experiment.Experiment
+	// ExperimentResult is a registered experiment's aggregated dataset.
+	ExperimentResult = experiment.Result
+	// ExperimentRunContext is the resolved configuration an experiment's
+	// hooks see.
+	ExperimentRunContext = experiment.RunContext
+	// ExperimentCodec is an experiment's versioned cell-payload codec.
+	ExperimentCodec = experiment.Codec
+	// MotivationConfig parameterises the Section I latency experiment.
+	MotivationConfig = experiment.MotivationConfig
+)
 
 // DefaultExperimentConfig returns the scaled-down experiment configuration;
 // PaperScaleConfig the full 1000-system, GA-300×500 configuration.
 func DefaultExperimentConfig() ExperimentConfig { return experiment.Default() }
 func PaperScaleConfig() ExperimentConfig        { return experiment.PaperScale() }
 
+// Experiments returns the registered experiments in the canonical "all"
+// order — the paper's five studies plus any study registered through
+// RegisterExperiment.
+func Experiments() []Experiment { return experiment.All() }
+
+// LookupExperiment returns the registered experiment with the given
+// name.
+func LookupExperiment(name string) (Experiment, bool) { return experiment.Lookup(name) }
+
+// RegisterExperiment adds a new study to the registry, wiring it into
+// RunExperiment, RunExperimentShard, DispatchShards, the FromCells
+// aggregators and the CLI's selection set at once. Registering a
+// duplicate name panics.
+func RegisterExperiment(e Experiment) { experiment.Register(e) }
+
+// RunExperiment runs the named registered experiment in process:
+// it evaluates the full cell grid (fanned across parallelism workers;
+// <= 0 selects one per CPU) and aggregates it — the same two phases a
+// sharded run splits across processes, so results are identical either
+// way.
+func RunExperiment(name string, p ShardParams, parallelism int) (ExperimentResult, error) {
+	return experiment.Run(name, p.Context(parallelism))
+}
+
+// ExperimentFromCells rebuilds the named experiment's result from a
+// complete (merged) cell set — identical to what RunExperiment computes
+// in process.
+func ExperimentFromCells(name string, p ShardParams, cells []ShardCell) (ExperimentResult, error) {
+	return experiment.FromCells(name, p.Context(0), cells)
+}
+
+// ExperimentFromCellsPartial rebuilds a provisional result from any
+// subset of the named experiment's grid cells, with exact coverage: the
+// full run's aggregation restricted to the present cells. A nil result
+// (with nil error) means the experiment has no provisional result for
+// the subset.
+func ExperimentFromCellsPartial(name string, p ShardParams, cells []ShardCell) (ExperimentResult, ExperimentCoverage, error) {
+	return experiment.FromCellsPartial(name, p.Context(0), cells)
+}
+
 // Fig5 regenerates Figure 5 (schedulability).
+//
+// Deprecated: use RunExperiment("fig5", …); this forwards to the same
+// engine.
 func Fig5(cfg ExperimentConfig) (*experiment.Fig5Result, error) { return experiment.Fig5(cfg) }
 
 // Fig6And7 regenerates Figures 6 (Ψ) and 7 (Υ).
+//
+// Deprecated: use RunExperiment("fig6", …) and RunExperiment("fig7", …);
+// this forwards to their shared cell grid.
 func Fig6And7(cfg ExperimentConfig) (*experiment.FigQResult, *experiment.FigQResult, error) {
 	return experiment.Fig6And7(cfg)
 }
@@ -401,6 +482,9 @@ func MergeShardFilesPartial(files []*ShardFile) (*ShardPartialCover, error) {
 // Fig5FromCellsPartial rebuilds a provisional Figure 5 result from any
 // subset of the grid's cells, with per-point coverage; a complete subset
 // equals Fig5FromCells.
+//
+// Deprecated: use ExperimentFromCellsPartial("fig5", …); this forwards
+// to the same engine.
 func Fig5FromCellsPartial(cfg ExperimentConfig, cells []ShardCell) (*experiment.Fig5Result, ExperimentCoverage, error) {
 	return experiment.Fig5FromCellsPartial(cfg, cells)
 }
@@ -408,6 +492,9 @@ func Fig5FromCellsPartial(cfg ExperimentConfig, cells []ShardCell) (*experiment.
 // Fig6And7FromCellsPartial rebuilds provisional Figures 6 and 7 results
 // from any subset of their shared grid's cells; a complete subset equals
 // Fig6And7FromCells.
+//
+// Deprecated: use ExperimentFromCellsPartial("fig6", …) and
+// ExperimentFromCellsPartial("fig7", …); this forwards to them.
 func Fig6And7FromCellsPartial(cfg ExperimentConfig, cells []ShardCell) (*experiment.FigQResult, *experiment.FigQResult, ExperimentCoverage, error) {
 	return experiment.FigQFromCellsPartial(cfg, cells)
 }
@@ -472,12 +559,18 @@ func DispatchShards(ctx context.Context, spec DispatchSpec, workers []DispatchWo
 
 // Fig5FromCells rebuilds the Figure 5 result from a complete (merged)
 // cell set — identical to what Fig5 computes in process.
+//
+// Deprecated: use ExperimentFromCells("fig5", …); this forwards to the
+// same engine.
 func Fig5FromCells(cfg ExperimentConfig, cells []ShardCell) (*experiment.Fig5Result, error) {
 	return experiment.Fig5FromCells(cfg, cells)
 }
 
 // Fig6And7FromCells rebuilds the Figures 6 and 7 results from a complete
 // cell set.
+//
+// Deprecated: use ExperimentFromCells("fig6", …) and
+// ExperimentFromCells("fig7", …); this forwards to them.
 func Fig6And7FromCells(cfg ExperimentConfig, cells []ShardCell) (*experiment.FigQResult, *experiment.FigQResult, error) {
 	return experiment.FigQFromCells(cfg, cells)
 }
