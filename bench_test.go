@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/analysis"
+	"repro/internal/benchtraj"
 	"repro/internal/controller"
 	"repro/internal/device"
 	"repro/internal/experiment"
@@ -15,7 +16,6 @@ import (
 	"repro/internal/hwcost"
 	"repro/internal/noc"
 	"repro/internal/sched"
-	"repro/internal/sched/depgraph"
 	"repro/internal/sched/fps"
 	"repro/internal/sched/ga"
 	"repro/internal/sched/gpiocp"
@@ -47,9 +47,11 @@ func BenchmarkFig5Schedulability(b *testing.B) {
 }
 
 // BenchmarkFig5Parallel regenerates Figure 5 serially and on one worker
-// per CPU. The two sub-benchmarks produce identical results by the
-// engine's determinism invariant, so the ns/op ratio is a pure wall-clock
-// speedup measurement for the bench trajectory.
+// per CPU through the shared benchtraj bodies. The two sub-benchmarks
+// produce identical results by the engine's determinism invariant, so
+// the ns/op ratio is a pure wall-clock speedup — the same measurement
+// the `ioschedbench bench` subcommand records as the trajectory's
+// parallel_speedup field (see internal/benchtraj).
 func BenchmarkFig5Parallel(b *testing.B) {
 	for _, bc := range []struct {
 		name        string
@@ -58,15 +60,7 @@ func BenchmarkFig5Parallel(b *testing.B) {
 		{"serial", 1},
 		{fmt.Sprintf("parallel-%d", runtime.NumCPU()), runtime.NumCPU()},
 	} {
-		b.Run(bc.name, func(b *testing.B) {
-			cfg := benchConfig()
-			cfg.Parallelism = bc.parallelism
-			for i := 0; i < b.N; i++ {
-				if _, err := experiment.Fig5(cfg); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+		b.Run(bc.name, benchtraj.Fig5(bc.parallelism))
 	}
 }
 
@@ -140,6 +134,11 @@ func BenchmarkMotivationNoC(b *testing.B) {
 }
 
 // --- Micro-benchmarks of the core algorithms ---
+//
+// The gated tier benchmarks (GASolve, StaticScheduler,
+// DepgraphBuildDecompose, FPSOfflineSimulation) delegate to
+// internal/benchtraj so `go test -bench` and the `ioschedbench bench`
+// trajectory subcommand measure exactly the same bodies.
 
 func benchJobs(b *testing.B, u float64) []taskmodel.Job {
 	b.Helper()
@@ -151,52 +150,13 @@ func benchJobs(b *testing.B, u float64) []taskmodel.Job {
 	return ts.Jobs()
 }
 
-func BenchmarkDepgraphBuildDecompose(b *testing.B) {
-	jobs := benchJobs(b, 0.7)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		g := depgraph.Build(jobs)
-		d := g.Decompose()
-		if len(d.Exact)+len(d.Removed) != len(jobs) {
-			b.Fatal("bad decomposition")
-		}
-	}
-}
+func BenchmarkDepgraphBuildDecompose(b *testing.B) { benchtraj.DepgraphBuildDecompose(b) }
 
-func BenchmarkStaticScheduler(b *testing.B) {
-	jobs := benchJobs(b, 0.7)
-	s := staticsched.New(staticsched.Options{})
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := s.Schedule(jobs); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkStaticScheduler(b *testing.B) { benchtraj.StaticScheduler(b) }
 
-func BenchmarkGASolve(b *testing.B) {
-	jobs := benchJobs(b, 0.5)
-	opts := ga.DefaultOptions()
-	opts.Population = 20
-	opts.Generations = 10
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		opts.Seed = int64(i)
-		if _, err := ga.Solve(jobs, opts); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkGASolve(b *testing.B) { benchtraj.GASolve(b) }
 
-func BenchmarkFPSOfflineSimulation(b *testing.B) {
-	jobs := benchJobs(b, 0.7)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := (fps.Offline{}).Schedule(jobs); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkFPSOfflineSimulation(b *testing.B) { benchtraj.FPSOfflineSimulation(b) }
 
 func BenchmarkFPSOnlineAnalysis(b *testing.B) {
 	cfg := gen.PaperConfig()

@@ -33,6 +33,7 @@ import (
 func runDispatch(args []string) error {
 	fs := flag.NewFlagSet("dispatch", flag.ExitOnError)
 	rf := registerRunFlags(fs)
+	cf := registerCacheFlags(fs)
 	var cmds []string
 	var (
 		workers      = fs.Int("workers", 2, "local worker subprocesses (ignored when -worker is given)")
@@ -73,6 +74,10 @@ func runDispatch(args []string) error {
 	if err != nil {
 		return err
 	}
+	cache, err := cf.open()
+	if err != nil {
+		return err
+	}
 
 	var pool []dispatch.Worker
 	if len(cmds) > 0 {
@@ -101,10 +106,17 @@ func runDispatch(args []string) error {
 				per = 1
 			}
 		}
+		extra := []string{"-parallel", strconv.Itoa(per)}
+		if cdir := cf.resolvedDir(); cdir != "" {
+			// Local workers share the cache: each deposits the cells it
+			// computes and reuses what overlapping runs left (host-local,
+			// like -parallel — never part of the run identity).
+			extra = append(extra, "-cache-dir", cdir)
+		}
 		for i := 0; i < *workers; i++ {
 			pool = append(pool, &dispatch.LocalProcWorker{
 				Binary:    bin,
-				ExtraArgs: []string{"-parallel", strconv.Itoa(per)},
+				ExtraArgs: extra,
 				Stderr:    os.Stderr,
 				Label:     fmt.Sprintf("local[%d]", i),
 			})
@@ -127,6 +139,7 @@ func runDispatch(args []string) error {
 		Dir:            *dir,
 		Logf:           logger.Printf,
 		PartialEvery:   *partialEvery,
+		Cache:          cache,
 	}
 	if *progress {
 		// The live line redraws in place; the per-event log lines would
@@ -145,8 +158,13 @@ func runDispatch(args []string) error {
 	if err != nil {
 		return err
 	}
-	logger.Printf("dispatch: %d shards done (%d resumed, %d run, %d retries) in %s",
-		n, res.Resumed, res.Ran, res.Retries, summaryDir(res.Dir))
+	logger.Printf("dispatch: %d shards done (%d resumed, %d cached, %d run, %d retries) in %s",
+		n, res.Resumed, res.Cached, res.Ran, res.Retries, summaryDir(res.Dir))
+	if cache != nil {
+		st := cache.Stats()
+		logger.Printf("dispatch: cell cache: %d hits, %d misses (%.0f%% hit rate)",
+			st.Hits, st.Misses, 100*st.HitRate())
+	}
 	if *out != "" {
 		if err := res.Merged.WriteFile(*out); err != nil {
 			return err

@@ -92,6 +92,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cellcache"
 	"repro/internal/experiment"
 	"repro/internal/shard"
 	"repro/internal/textplot"
@@ -125,9 +126,16 @@ func main() {
 				os.Exit(1)
 			}
 			return
+		case "bench":
+			if err := runBench(os.Args[2:], os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "ioschedbench: bench: %v\n", err)
+				os.Exit(1)
+			}
+			return
 		}
 	}
 	rf := registerRunFlags(flag.CommandLine)
+	cf := registerCacheFlags(flag.CommandLine)
 	var (
 		csvDir     = flag.String("csv", "", "directory to write CSV result files into")
 		parallel   = flag.Int("parallel", 0, "worker goroutines (0 = one per CPU, 1 = serial); never changes results")
@@ -141,21 +149,71 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	cache, err := cf.open()
+	if err != nil {
+		fail(err)
+	}
 
 	if *shards > 0 || *out != "" {
 		n := *shards
 		if n == 0 {
 			n = 1
 		}
-		if err := writeShard(*rf.which, params, *parallel, n, *shardIndex, *out); err != nil {
+		if err := writeShard(*rf.which, params, *parallel, n, *shardIndex, *out, cache); err != nil {
 			fail(err)
 		}
 		return
 	}
 
-	if err := render(*rf.which, params.Context(*parallel), nil, *csvDir); err != nil {
+	if err := render(*rf.which, params.Context(*parallel).WithCache(cache), nil, *csvDir); err != nil {
 		fail(err)
 	}
+}
+
+// cacheFlags holds the cell-cache flags shared by the top-level command
+// and the dispatch subcommand. The cache is host-local (like -parallel):
+// it never changes results — hits are byte-identical to recomputation —
+// so it is not part of the run params and never forwarded through
+// dispatch.Spec.WorkerArgs (the dispatch CLI forwards it to its local
+// workers itself).
+type cacheFlags struct {
+	dir     *string
+	noCache *bool
+}
+
+func registerCacheFlags(fs *flag.FlagSet) *cacheFlags {
+	return &cacheFlags{
+		dir:     fs.String("cache-dir", "", "content-addressed cell cache directory (default: $IOSCHEDBENCH_CACHE_DIR; empty = no caching)"),
+		noCache: fs.Bool("no-cache", false, "disable the cell cache even when -cache-dir or $IOSCHEDBENCH_CACHE_DIR is set"),
+	}
+}
+
+// open resolves the flags (and the IOSCHEDBENCH_CACHE_DIR fallback) into
+// an opened store, or nil when caching is off.
+func (c *cacheFlags) open() (*cellcache.Store, error) {
+	if *c.noCache {
+		return nil, nil
+	}
+	dir := *c.dir
+	if dir == "" {
+		dir = os.Getenv("IOSCHEDBENCH_CACHE_DIR")
+	}
+	if dir == "" {
+		return nil, nil
+	}
+	return cellcache.Open(dir)
+}
+
+// resolvedDir returns the effective cache directory ("" = caching off),
+// for forwarding to worker subprocesses.
+func (c *cacheFlags) resolvedDir() string {
+	if *c.noCache {
+		return ""
+	}
+	if *c.dir != "" {
+		return *c.dir
+	}
+	return os.Getenv("IOSCHEDBENCH_CACHE_DIR")
 }
 
 // runFlags holds the experiment-run flags shared by the top-level command
@@ -219,11 +277,11 @@ func fail(err error) {
 // cell file. Progress goes to stderr: stdout stays reserved for rendered
 // results, so sharded runs compose with shells and Makefiles the same way
 // unsharded runs do.
-func writeShard(selection string, p experiment.ShardParams, parallel, shards, index int, out string) error {
+func writeShard(selection string, p experiment.ShardParams, parallel, shards, index int, out string, cache *cellcache.Store) error {
 	if out == "" {
 		return fmt.Errorf("sharded runs need -out <file> for the cell file")
 	}
-	f, err := experiment.RunShard(selection, p, parallel, shards, index)
+	f, err := experiment.RunShardCached(selection, p, parallel, shards, index, cache)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,147 @@
+// Package benchtraj is the benchmark-trajectory layer: one shared
+// definition of the repo's tier benchmark bodies (run identically by
+// `go test -bench` via bench_test.go and by the `ioschedbench bench`
+// subcommand via testing.Benchmark), the BENCH_*.json trajectory file
+// schema those runs write (ns/op, allocs/op, bytes/op per benchmark,
+// plus the Figure 5 serial/parallel speedup and the cell-cache warm
+// hit rate), and the comparison rule the CI bench gate applies.
+//
+// Gating across machines: allocs/op is machine-independent — it is
+// always gated against the committed baseline. ns/op is gated only when
+// the current host fingerprint (GOOS/GOARCH/CPU count/Go version)
+// matches the baseline's, so a baseline produced on the CI runner class
+// gates CI wall-clock without false-failing every developer laptop.
+package benchtraj
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// Version identifies the trajectory file schema.
+const Version = 1
+
+// Measurement is one benchmark's recorded cost.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Host is the machine fingerprint a trajectory was measured on. ns/op
+// comparisons apply only between equal fingerprints.
+type Host struct {
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	GoVersion string `json:"go_version"`
+}
+
+// CurrentHost returns this process's fingerprint.
+func CurrentHost() Host {
+	return Host{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+	}
+}
+
+// Trajectory is one BENCH_*.json snapshot.
+type Trajectory struct {
+	Version int `json:"version"`
+	// Benchmarks maps benchmark name (without the "Benchmark" prefix) to
+	// its measurement.
+	Benchmarks map[string]Measurement `json:"benchmarks"`
+	// ParallelSpeedup is the Figure 5 serial ns/op divided by the
+	// one-worker-per-CPU ns/op — the wall-clock speedup the engine's
+	// determinism invariant makes a pure measurement (the two runs
+	// produce identical results).
+	ParallelSpeedup float64 `json:"parallel_speedup"`
+	// CacheHitRate is the warm-run hit rate of the cell cache benchmark
+	// scenario (1 = every cell served from the cache).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Host         Host    `json:"host"`
+}
+
+// WriteFile writes the trajectory as indented JSON.
+func (t *Trajectory) WriteFile(path string) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchtraj: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile reads a trajectory file.
+func ReadFile(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchtraj: %w", err)
+	}
+	var t Trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("benchtraj: %s: %w", path, err)
+	}
+	if t.Version > Version {
+		return nil, fmt.Errorf("benchtraj: %s is schema version %d, this build reads %d", path, t.Version, Version)
+	}
+	return &t, nil
+}
+
+// Compare gates current against baseline with the given relative
+// tolerance (0.15 = +15%) and returns one line per regression (empty =
+// gate passes). allocs/op is always compared — it is a property of the
+// code, not the machine. ns/op and the parallel speedup are compared
+// only when the host fingerprints match. A benchmark present in the
+// baseline but missing from current is a regression (the gate must not
+// pass because a measurement silently disappeared); new benchmarks in
+// current are fine — they join the baseline when it is regenerated.
+func Compare(baseline, current *Trajectory, tolerance float64) []string {
+	var regs []string
+	sameHost := baseline.Host == current.Host
+	names := make([]string, 0, len(baseline.Benchmarks))
+	for name := range baseline.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := baseline.Benchmarks[name]
+		c, ok := current.Benchmarks[name]
+		if !ok {
+			regs = append(regs, fmt.Sprintf("%s: present in baseline but not measured", name))
+			continue
+		}
+		if exceeds(float64(c.AllocsPerOp), float64(b.AllocsPerOp), tolerance) {
+			regs = append(regs, fmt.Sprintf("%s: allocs/op %d exceeds baseline %d by more than %.0f%%",
+				name, c.AllocsPerOp, b.AllocsPerOp, 100*tolerance))
+		}
+		if sameHost && exceeds(c.NsPerOp, b.NsPerOp, tolerance) {
+			regs = append(regs, fmt.Sprintf("%s: ns/op %.0f exceeds baseline %.0f by more than %.0f%%",
+				name, c.NsPerOp, b.NsPerOp, 100*tolerance))
+		}
+	}
+	if sameHost && baseline.ParallelSpeedup > 0 && current.ParallelSpeedup > 0 &&
+		current.ParallelSpeedup < baseline.ParallelSpeedup*(1-tolerance) {
+		regs = append(regs, fmt.Sprintf("parallel speedup %.2fx fell below baseline %.2fx by more than %.0f%%",
+			current.ParallelSpeedup, baseline.ParallelSpeedup, 100*tolerance))
+	}
+	if baseline.CacheHitRate > 0 && current.CacheHitRate < baseline.CacheHitRate {
+		regs = append(regs, fmt.Sprintf("cache hit rate %.2f fell below baseline %.2f",
+			current.CacheHitRate, baseline.CacheHitRate))
+	}
+	return regs
+}
+
+// exceeds reports whether got is more than tolerance above want. A zero
+// baseline tolerates nothing: the measurement reached zero once, so any
+// nonzero value is a regression.
+func exceeds(got, want, tolerance float64) bool {
+	if want == 0 {
+		return got > 0
+	}
+	return got > want*(1+tolerance)
+}

@@ -1,0 +1,112 @@
+package benchtraj
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Trajectory {
+	return &Trajectory{
+		Version: Version,
+		Benchmarks: map[string]Measurement{
+			"GASolve":         {NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 4096},
+			"StaticScheduler": {NsPerOp: 500, AllocsPerOp: 0, BytesPerOp: 0},
+		},
+		ParallelSpeedup: 3.0,
+		CacheHitRate:    1.0,
+		Host:            CurrentHost(),
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	want := sample()
+	if err := want.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != want.Version || got.Host != want.Host ||
+		got.ParallelSpeedup != want.ParallelSpeedup || got.CacheHitRate != want.CacheHitRate {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, want)
+	}
+	if got.Benchmarks["GASolve"] != want.Benchmarks["GASolve"] {
+		t.Fatalf("GASolve measurement mismatch: %+v", got.Benchmarks["GASolve"])
+	}
+}
+
+func TestCompareCleanPass(t *testing.T) {
+	if regs := Compare(sample(), sample(), 0.15); len(regs) != 0 {
+		t.Fatalf("identical trajectories must pass, got %v", regs)
+	}
+}
+
+func TestCompareAllocRegressionGatedEverywhere(t *testing.T) {
+	cur := sample()
+	cur.Host.NumCPU++ // different machine: ns/op gate off, allocs gate on
+	m := cur.Benchmarks["GASolve"]
+	m.AllocsPerOp = 200
+	m.NsPerOp = 1e9 // would regress ns/op, but host differs
+	cur.Benchmarks["GASolve"] = m
+	regs := Compare(sample(), cur, 0.15)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("want exactly the allocs/op regression, got %v", regs)
+	}
+}
+
+func TestCompareNsGatedOnSameHostOnly(t *testing.T) {
+	cur := sample()
+	m := cur.Benchmarks["GASolve"]
+	m.NsPerOp = 2000
+	cur.Benchmarks["GASolve"] = m
+	if regs := Compare(sample(), cur, 0.15); len(regs) != 1 || !strings.Contains(regs[0], "ns/op") {
+		t.Fatalf("same host must gate ns/op, got %v", regs)
+	}
+	cur.Host.GoVersion = "go0.0"
+	if regs := Compare(sample(), cur, 0.15); len(regs) != 0 {
+		t.Fatalf("different host must not gate ns/op, got %v", regs)
+	}
+}
+
+func TestCompareZeroBaselineToleratesNothing(t *testing.T) {
+	cur := sample()
+	m := cur.Benchmarks["StaticScheduler"]
+	m.AllocsPerOp = 1
+	cur.Benchmarks["StaticScheduler"] = m
+	if regs := Compare(sample(), cur, 0.15); len(regs) != 1 {
+		t.Fatalf("0 -> 1 allocs/op must regress, got %v", regs)
+	}
+}
+
+func TestCompareMissingBenchmarkRegresses(t *testing.T) {
+	cur := sample()
+	delete(cur.Benchmarks, "GASolve")
+	regs := Compare(sample(), cur, 0.15)
+	if len(regs) != 1 || !strings.Contains(regs[0], "not measured") {
+		t.Fatalf("missing benchmark must regress, got %v", regs)
+	}
+}
+
+func TestCompareSpeedupAndHitRate(t *testing.T) {
+	cur := sample()
+	cur.ParallelSpeedup = 2.0 // below 3.0 * 0.85
+	cur.CacheHitRate = 0.5
+	regs := Compare(sample(), cur, 0.15)
+	if len(regs) != 2 {
+		t.Fatalf("want speedup + hit-rate regressions, got %v", regs)
+	}
+}
+
+func TestCompareTolerancePasses(t *testing.T) {
+	cur := sample()
+	m := cur.Benchmarks["GASolve"]
+	m.NsPerOp = 1100    // +10% < 15%
+	m.AllocsPerOp = 110 // +10% < 15%
+	cur.Benchmarks["GASolve"] = m
+	if regs := Compare(sample(), cur, 0.15); len(regs) != 0 {
+		t.Fatalf("within-tolerance drift must pass, got %v", regs)
+	}
+}

@@ -1,0 +1,157 @@
+package benchtraj
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cellcache"
+	"repro/internal/experiment"
+	"repro/internal/gen"
+	"repro/internal/sched/depgraph"
+	"repro/internal/sched/fps"
+	"repro/internal/sched/ga"
+	"repro/internal/sched/staticsched"
+	"repro/internal/taskmodel"
+)
+
+// The tier benchmark bodies. bench_test.go's BenchmarkGASolve etc. and
+// the `ioschedbench bench` subcommand both run exactly these functions,
+// so the numbers in a BENCH_*.json trajectory are measurements of the
+// same code `go test -bench` exercises — not a parallel reimplementation
+// that can drift. Every body calls b.ReportAllocs: allocs/op is the
+// machine-independent half of the gate and must always be recorded.
+
+// Bench names one tier benchmark body.
+type Bench struct {
+	// Name is the benchmark name without the "Benchmark" prefix — the
+	// key in Trajectory.Benchmarks.
+	Name string
+	Body func(*testing.B)
+}
+
+// Tier returns the gated micro-benchmarks in recording order.
+func Tier() []Bench {
+	return []Bench{
+		{"GASolve", GASolve},
+		{"StaticScheduler", StaticScheduler},
+		{"DepgraphBuildDecompose", DepgraphBuildDecompose},
+		{"FPSOfflineSimulation", FPSOfflineSimulation},
+	}
+}
+
+// benchJobs generates the fixed synthetic system the micro-benchmarks
+// schedule (paper generator, seed 1, the given utilisation).
+func benchJobs(b *testing.B, u float64) []taskmodel.Job {
+	b.Helper()
+	cfg := gen.PaperConfig()
+	ts, err := cfg.System(rand.New(rand.NewSource(1)), u)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ts.Jobs()
+}
+
+// GASolve measures the GA scheduler on a moderate system with a reduced
+// population — the gate for the allocation-free fitness inner loop.
+func GASolve(b *testing.B) {
+	jobs := benchJobs(b, 0.5)
+	opts := ga.DefaultOptions()
+	opts.Population = 20
+	opts.Generations = 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i)
+		if _, err := ga.Solve(jobs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// StaticScheduler measures the dependency-graph static scheduler on a
+// crowded system.
+func StaticScheduler(b *testing.B) {
+	jobs := benchJobs(b, 0.7)
+	s := staticsched.New(staticsched.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// DepgraphBuildDecompose measures dependency-graph construction and
+// exact/removed decomposition.
+func DepgraphBuildDecompose(b *testing.B) {
+	jobs := benchJobs(b, 0.7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := depgraph.Build(jobs)
+		d := g.Decompose()
+		if len(d.Exact)+len(d.Removed) != len(jobs) {
+			b.Fatal("bad decomposition")
+		}
+	}
+}
+
+// FPSOfflineSimulation measures the simulated fixed-priority offline
+// scheduler.
+func FPSOfflineSimulation(b *testing.B) {
+	jobs := benchJobs(b, 0.7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (fps.Offline{}).Schedule(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Fig5 returns a body regenerating Figure 5 at a reduced scale with the
+// given engine parallelism. The engine's determinism invariant makes the
+// serial and parallel runs produce identical results, so the ns/op ratio
+// of Fig5(1) to Fig5(NumCPU) is a pure wall-clock speedup — the
+// trajectory's parallel_speedup field.
+func Fig5(parallelism int) func(*testing.B) {
+	return func(b *testing.B) {
+		cfg := experiment.Default()
+		cfg.Systems = 5
+		cfg.GA.Population = 20
+		cfg.GA.Generations = 15
+		cfg.Parallelism = parallelism
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiment.Fig5(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// MeasureCacheHitRate runs a small fig5 shard cold into a cell cache
+// rooted at dir, reopens the store (fresh counters), runs the identical
+// shard warm, and returns the warm run's hit rate — 1.0 when every cell
+// was served from the cache, which is what the trajectory records and
+// the gate holds.
+func MeasureCacheHitRate(dir string) (float64, error) {
+	p := experiment.ShardParams{Systems: 2, Seed: 1, GAPopulation: 8, GAGenerations: 5}
+	cold, err := cellcache.Open(dir)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := experiment.RunShardCached("fig5", p, 1, 1, 0, cold); err != nil {
+		return 0, err
+	}
+	warm, err := cellcache.Open(dir)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := experiment.RunShardCached("fig5", p, 1, 1, 0, warm); err != nil {
+		return 0, err
+	}
+	return warm.Stats().HitRate(), nil
+}

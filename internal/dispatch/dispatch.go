@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/cellcache"
 	"repro/internal/experiment"
 	"repro/internal/shard"
 )
@@ -120,6 +121,13 @@ type Options struct {
 	// file is refreshed in place and removed after the final merge.
 	// Requires Dir: a temporary working directory would discard it.
 	PartialEvery time.Duration
+	// Cache, when non-nil, is the cell cache consulted before a shard is
+	// queued: a shard whose cells the cache fully holds is written from
+	// the cache (journaled as "cached") instead of dispatched to a
+	// worker, and every validated worker output is deposited back, so
+	// overlapping runs recompute only their frontier. The cached file is
+	// re-validated exactly like a worker's before it is accepted.
+	Cache *cellcache.Store
 }
 
 // Attempt records one worker attempt at one shard.
@@ -147,9 +155,10 @@ type Result struct {
 	// the working directory was temporary.
 	ShardPaths []string
 	// Resumed counts shards satisfied from the journal without running;
+	// Cached counts shards satisfied from the cell cache without running;
 	// Ran counts shards executed by this invocation; Retries counts
 	// failed attempts that were re-queued.
-	Resumed, Ran, Retries int
+	Resumed, Cached, Ran, Retries int
 	// Attempts is the full attempt log of this invocation, in completion
 	// order.
 	Attempts []Attempt
@@ -245,6 +254,17 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 
 	res := &Result{Dir: dir, ShardPaths: paths}
 	files := make([]*shard.File, spec.Shards)
+	// deposit feeds a validated shard file into the cell cache; failures
+	// are logged, never fatal — the cache accelerates runs, it does not
+	// gate them.
+	deposit := func(f *shard.File) {
+		if opts.Cache == nil {
+			return
+		}
+		if err := experiment.DepositFile(opts.Cache, f, spec.Params); err != nil {
+			logf("dispatch: cache deposit for shard %d: %v", f.Index, err)
+		}
+	}
 	emit(ProgressEvent{Kind: ProgressPlan, Shards: spec.Shards, Shard: -1})
 	var pending []task
 	for i := 0; i < spec.Shards; i++ {
@@ -252,6 +272,7 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 			if f, verr := validateShardFile(paths[i], spec, i, params, runNames); verr == nil {
 				files[i] = f
 				res.Resumed++
+				deposit(f)
 				logf("dispatch: shard %d/%d already complete (journal), skipping", i, spec.Shards)
 				emit(ProgressEvent{Kind: ProgressResumed, Shard: i, File: paths[i]})
 				continue
@@ -259,12 +280,20 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 				logf("dispatch: journal marks shard %d done but its file is invalid (%v); re-running", i, verr)
 			}
 		}
+		if f := cachedShardFile(opts.Cache, spec, i, paths[i], params, runNames, logf); f != nil {
+			files[i] = f
+			res.Cached++
+			jr.cached(i, paths[i])
+			logf("dispatch: shard %d/%d satisfied from the cell cache, not queued", i, spec.Shards)
+			emit(ProgressEvent{Kind: ProgressCached, Shard: i, File: paths[i]})
+			continue
+		}
 		pending = append(pending, task{index: i, attempt: 1})
 	}
 	res.Ran = len(pending)
 
 	if len(pending) > 0 {
-		if err := run(ctx, spec, workers, opts, maxAttempts, logf, emit, paths, params, runNames, jr, pending, res, files); err != nil {
+		if err := run(ctx, spec, workers, opts, maxAttempts, logf, emit, deposit, paths, params, runNames, jr, pending, res, files); err != nil {
 			return nil, err
 		}
 	}
@@ -303,7 +332,8 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 // budget while healthy workers sit idle. A shard that has failed on every
 // worker may run anywhere.
 func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAttempts int,
-	logf func(string, ...any), emit func(ProgressEvent), paths []string, params []byte, runNames []string,
+	logf func(string, ...any), emit func(ProgressEvent), deposit func(*shard.File),
+	paths []string, params []byte, runNames []string,
 	jr *journal, pending []task, res *Result, files []*shard.File) error {
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -437,6 +467,7 @@ func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAtte
 			res.Attempts = append(res.Attempts, a)
 			if o.err == nil {
 				files[o.index] = o.file
+				deposit(o.file)
 				jr.done(o.index, o.attempt, paths[o.index])
 				logf("dispatch: shard %d/%d complete (attempt %d on %s)", o.index, spec.Shards, o.attempt, o.worker)
 				emit(ProgressEvent{Kind: ProgressDone, Shard: o.index, Attempt: o.attempt, Worker: o.worker, File: paths[o.index]})
@@ -508,6 +539,38 @@ func writePartial(dir string, files []*shard.File) (string, int, int, error) {
 		return "", 0, 0, err
 	}
 	return path, len(cover.Present), cover.CellsHave(), nil
+}
+
+// cachedShardFile tries to satisfy shard index from the cell cache: it
+// builds the file purely from cached cells (experiment.CachedShard),
+// writes it to the shard path, and re-validates it from disk exactly
+// like a worker's output. Any gap or failure returns nil — the shard is
+// queued normally. A nil cache returns nil immediately.
+func cachedShardFile(cache *cellcache.Store, spec Spec, index int, path string,
+	params []byte, runNames []string, logf func(string, ...any)) *shard.File {
+	if cache == nil {
+		return nil
+	}
+	f, ok, err := experiment.CachedShard(cache, spec.Selection, spec.Params, spec.Shards, index)
+	if err != nil {
+		logf("dispatch: cache probe for shard %d: %v", index, err)
+		return nil
+	}
+	if !ok {
+		return nil
+	}
+	if err := f.WriteFile(path); err != nil {
+		logf("dispatch: writing cached shard %d: %v", index, err)
+		return nil
+	}
+	// The cached file passes the exact gate a worker's file must pass, so
+	// a cache bug is a re-queued shard, never a silently merged one.
+	vf, err := validateShardFile(path, spec, index, params, runNames)
+	if err != nil {
+		logf("dispatch: cached shard %d failed validation (%v); re-running", index, err)
+		return nil
+	}
+	return vf
 }
 
 // runAttempt runs one shard attempt under the per-attempt timeout and

@@ -131,6 +131,14 @@ func (j *journal) done(shard, attempt int, file string) {
 	j.write(journalEvent{Event: "done", Shard: &shard, Attempt: attempt, File: file})
 }
 
+// cached records a shard satisfied from the cell cache without running.
+// It is an additional event type within schema version 1 (the spec allows
+// adding types without a bump; old readers skip it): resume treats it
+// exactly like "done" — the file is on disk and validated.
+func (j *journal) cached(shard int, file string) {
+	j.write(journalEvent{Event: "cached", Shard: &shard, File: file})
+}
+
 func (j *journal) merged(shards, cells int) {
 	j.write(journalEvent{Event: "merged", Shards: shards, Cells: cells})
 }

@@ -118,7 +118,9 @@ func ReadJournal(path string) (*JournalState, error) {
 					s.State, s.Worker, s.Err = ShardFailed, e.Worker, e.Error
 				}
 			}
-		case "done":
+		case "done", "cached":
+			// A cached shard's file was written from the cell cache and
+			// validated like any worker's; for resume and status it is done.
 			if e.Shard != nil {
 				if s := shardAt(*e.Shard); s != nil {
 					s.State, s.File, s.Err = ShardDone, e.File, ""

@@ -23,6 +23,10 @@ const (
 	// ProgressResumed reports a shard satisfied from the journal without
 	// running.
 	ProgressResumed ProgressKind = "resumed"
+	// ProgressCached reports a shard satisfied from the cell cache
+	// without running (File carries the shard file written from it) — a
+	// compatible addition to schema version 1; old consumers ignore it.
+	ProgressCached ProgressKind = "cached"
 	// ProgressAttempt reports a worker starting an attempt at a shard.
 	ProgressAttempt ProgressKind = "attempt"
 	// ProgressDone reports a shard completing (file validated).
@@ -100,6 +104,8 @@ type Snapshot struct {
 	Total, Done, Running, Failed, Pending int
 	// Resumed counts shards satisfied from the journal without running.
 	Resumed int
+	// Cached counts shards satisfied from the cell cache without running.
+	Cached int
 	// Elapsed is the wall-clock time since the plan event.
 	Elapsed time.Duration
 	// AvgShard is the mean observed wall-clock of a completed attempt;
@@ -123,6 +129,7 @@ type Tracker struct {
 	shards  []ShardStatus
 	started map[int]time.Time
 	resumed int
+	cached  int
 	sumDur  time.Duration
 	nDur    int
 	merged  bool
@@ -163,6 +170,11 @@ func (t *Tracker) Observe(e ProgressEvent) {
 			s.State = ShardDone
 			t.resumed++
 		}
+	case ProgressCached:
+		if s := t.shard(e.Shard); s != nil && s.State != ShardDone {
+			s.State = ShardDone
+			t.cached++
+		}
 	case ProgressAttempt:
 		if s := t.shard(e.Shard); s != nil {
 			s.State, s.Attempt, s.Worker, s.Err = ShardRunning, e.Attempt, e.Worker, ""
@@ -200,6 +212,7 @@ func (t *Tracker) SnapshotAt(now time.Time) Snapshot {
 		Shards:  append([]ShardStatus(nil), t.shards...),
 		Total:   len(t.shards),
 		Resumed: t.resumed,
+		Cached:  t.cached,
 		Merged:  t.merged,
 	}
 	for _, st := range t.shards {

@@ -1,0 +1,134 @@
+package experiment
+
+// Dispatch-facing cache entry points: CachedShard answers "is this whole
+// shard already in the cache?" so a dispatch driver can journal it as
+// cached instead of queueing a worker, and DepositFile feeds a validated
+// worker output back into the cache so later runs — wider grids, more
+// shards, a re-render — start from a warm store. Both speak the same key
+// derivation as the engine's frontier evaluation (cacheKey), so every
+// run path shares one namespace.
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/cellcache"
+	"repro/internal/shard"
+)
+
+// CachedShard builds shard index of shards for the selection purely from
+// the cache — no cell is computed. It returns ok=false (with a nil file)
+// as soon as any owned cell is absent, corrupt or recorded under a
+// different seed; a true return carries a file byte-identical to what
+// RunShard would produce, because every payload was deposited by an
+// earlier run of the same deterministic cell computation and the grid,
+// params and run layout are rebuilt from the registry exactly as RunShard
+// builds them.
+func CachedShard(cache *cellcache.Store, selection string, p ShardParams, shards, index int) (*shard.File, bool, error) {
+	plan, err := shard.NewPlan(shards, index)
+	if err != nil {
+		return nil, false, err
+	}
+	names, err := SelectionRuns(selection)
+	if err != nil {
+		return nil, false, err
+	}
+	p = p.Normalised()
+	rc := p.Context(1)
+	params, err := json.Marshal(p)
+	if err != nil {
+		return nil, false, fmt.Errorf("experiment: encode params: %w", err)
+	}
+	f := &shard.File{
+		Version:   shard.FormatVersion,
+		Selection: selection,
+		Shards:    shards,
+		Index:     index,
+		Params:    params,
+	}
+	type computed struct {
+		cells []shard.Cell
+		grid  shard.Grid
+	}
+	byKey := make(map[string]computed)
+	for _, name := range names {
+		e, err := get(name)
+		if err != nil {
+			return nil, false, err
+		}
+		c, ok := byKey[e.CellKey()]
+		if !ok {
+			g, err := e.Grid(rc)
+			if err != nil {
+				return nil, false, err
+			}
+			key, err := cacheKey(e, rc)
+			if err != nil {
+				return nil, false, err
+			}
+			sel := plan.Selector(g.Systems)
+			// Non-nil even when the shard owns no cell of this grid, so the
+			// encoded file matches RunShard's ("[]", never "null").
+			cells := make([]shard.Cell, 0, g.Cells()/shards+1)
+			for o := 0; o < g.Points; o++ {
+				for i := 0; i < g.Systems; i++ {
+					if !sel(o, i) {
+						continue
+					}
+					seed := e.CellSeed(rc, o, i)
+					data, hit := cache.Get(key, o, i, seed)
+					if !hit {
+						return nil, false, nil
+					}
+					cells = append(cells, shard.Cell{Point: o, System: i, Seed: seed, Data: data})
+				}
+			}
+			c = computed{cells: cells, grid: g}
+			byKey[e.CellKey()] = c
+		}
+		f.Runs = append(f.Runs, shard.Run{
+			Experiment:     name,
+			Grid:           c.grid,
+			PayloadVersion: e.Codec().Version,
+			Cells:          c.cells,
+		})
+	}
+	return f, true, nil
+}
+
+// DepositFile deposits every cell of a shard (or merged) file into the
+// cache under the run's key for params p. Runs whose recorded payload
+// version differs from the registered codec's — files written by an older
+// or newer build — are skipped rather than deposited under a layout they
+// do not carry; runs sharing a cell key (Figures 6 and 7) deposit once.
+// Callers pass files they have validated (dispatch validates before
+// merging); the recorded seeds are stored as-is, and a wrong one can
+// never be served — Get re-checks the seed on every read.
+func DepositFile(cache *cellcache.Store, f *shard.File, p ShardParams) error {
+	params, err := json.Marshal(p.Normalised())
+	if err != nil {
+		return fmt.Errorf("experiment: encode params: %w", err)
+	}
+	seen := make(map[string]bool)
+	for _, r := range f.Runs {
+		e, ok := Lookup(r.Experiment)
+		if !ok {
+			return fmt.Errorf("experiment: %w %q in shard file", ErrUnknownExperiment, r.Experiment)
+		}
+		if r.PayloadVersion != e.Codec().Version {
+			continue
+		}
+		ck := e.CellKey()
+		if seen[ck] {
+			continue
+		}
+		seen[ck] = true
+		key := cellcache.RunKey(ck, params, e.Codec().Version)
+		for _, c := range r.Cells {
+			if err := cache.Put(key, c.Point, c.System, c.Seed, c.Data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/cellcache"
 	"repro/internal/shard"
 )
 
@@ -32,6 +33,22 @@ type RunContext struct {
 	Params     ShardParams
 	Config     Config
 	Motivation MotivationConfig
+	// Cache, when non-nil, is consulted before any cell is computed and
+	// receives every cell computed (engine.go's frontier evaluation). It
+	// is sound only when Config and Motivation are derived from Params —
+	// the cache key is built from Params, so a context carrying knobs
+	// Params cannot express (a custom Curve or generator) must leave it
+	// nil. Context never sets it; callers opt in explicitly, and the
+	// legacy contextFor/motivationContext wrappers never do.
+	Cache *cellcache.Store
+}
+
+// WithCache returns the context with the cell cache attached. Use only
+// on contexts built by ShardParams.Context, whose Config/Motivation are
+// fully described by Params (see Cache).
+func (rc RunContext) WithCache(c *cellcache.Store) RunContext {
+	rc.Cache = c
+	return rc
 }
 
 // Context resolves the params into the RunContext the generic engines

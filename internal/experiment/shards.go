@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/cellcache"
 	"repro/internal/shard"
 )
 
@@ -198,6 +199,14 @@ func SelectionRuns(selection string) ([]string, error) {
 // cell key (Figures 6 and 7) are computed once and recorded under each
 // name, exactly as an unsharded "all" run renders one computation twice.
 func RunShard(selection string, p ShardParams, parallelism, shards, index int) (*shard.File, error) {
+	return RunShardCached(selection, p, parallelism, shards, index, nil)
+}
+
+// RunShardCached is RunShard with a cell cache attached (nil behaves
+// exactly like RunShard): cached cells are reused, computed cells are
+// deposited, and the returned file is byte-identical to an uncached run's
+// (see runCellsCached).
+func RunShardCached(selection string, p ShardParams, parallelism, shards, index int, cache *cellcache.Store) (*shard.File, error) {
 	plan, err := shard.NewPlan(shards, index)
 	if err != nil {
 		return nil, err
@@ -207,7 +216,7 @@ func RunShard(selection string, p ShardParams, parallelism, shards, index int) (
 		return nil, err
 	}
 	p = p.Normalised()
-	rc := p.Context(parallelism)
+	rc := p.Context(parallelism).WithCache(cache)
 	params, err := json.Marshal(p)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: encode params: %w", err)

@@ -1,0 +1,38 @@
+package ga
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestSolveAllocationBudget guards the allocation-free fitness inner
+// loop: a benchmark-shaped Solve must stay far below the map-keyed
+// implementation's cost (~2000 allocations per solve before the
+// index-keyed evaluator landed). The budget leaves headroom over the
+// measured ~280 — population/front bookkeeping allocates legitimately —
+// while still failing loudly if per-generation map churn creeps back in.
+func TestSolveAllocationBudget(t *testing.T) {
+	cfg := gen.PaperConfig()
+	ts, err := cfg.System(rand.New(rand.NewSource(1)), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := ts.Jobs()
+	opts := DefaultOptions()
+	opts.Population = 20
+	opts.Generations = 10
+	seed := int64(0)
+	allocs := testing.AllocsPerRun(5, func() {
+		opts.Seed = seed
+		seed++
+		if _, err := Solve(jobs, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 700
+	if allocs > budget {
+		t.Fatalf("Solve allocated %.0f times per run, budget %d — the hot path has regressed", allocs, budget)
+	}
+}

@@ -223,10 +223,31 @@ func Solve(jobs []taskmodel.Job, opts Options) (*Result, error) {
 			weights[k] = float64(k) / float64(opts.Population-1)
 		}
 	}
+	// One evaluator (with its private scratch) per worker chunk, reused
+	// across every generation: the eval inner loop allocates nothing, so
+	// the only per-generation allocations left are the offspring genes and
+	// the generation's derived random source.
+	nev := pool.Workers()
+	if nev > opts.Population {
+		nev = opts.Population
+	}
+	evs := make([]evaluator, nev)
+	for c := range evs {
+		evs[c] = evaluator{jobs: jobs, curve: opts.Curve, snap: opts.SnapToIdeal}
+	}
 	evaluate := func(batch []individual) {
-		evalPopulation(pool, jobs, &opts, batch)
+		evalPopulation(pool, evs, batch)
+		// Archive offers run serially in slot order (determinism), and a
+		// solution's StartTimes map is materialised only when the archive
+		// actually accepts it — re-running the deterministic repair for the
+		// rare accepted individual instead of allocating a map per
+		// evaluation.
 		for k := range batch {
-			arch.offer(&batch[k])
+			ind := &batch[k]
+			if !ind.feasible || !arch.wouldAccept(ind.psi, ind.ups) {
+				continue
+			}
+			arch.insert(Solution{Starts: evs[0].materialize(ind.genes), Psi: ind.psi, Upsilon: ind.ups})
 		}
 	}
 	evaluate(pop)
@@ -277,30 +298,27 @@ func Solve(jobs []taskmodel.Job, opts Options) (*Result, error) {
 }
 
 // evalPopulation scores a population on the pool in contiguous chunks, one
-// evaluator (with its private scratch) per chunk. Scoring consumes no
-// randomness and each chunk writes only its own slots, so the chunk count
-// cannot affect the scores.
-func evalPopulation(pool exec.Pool, jobs []taskmodel.Job, opts *Options, batch []individual) {
-	chunks := pool.Workers()
-	if chunks > len(batch) {
-		chunks = len(batch)
-	}
+// long-lived evaluator (with its private scratch) per chunk. Scoring
+// consumes no randomness and each chunk writes only its own slots, so the
+// chunk count cannot affect the scores.
+func evalPopulation(pool exec.Pool, evs []evaluator, batch []individual) {
+	chunks := len(evs)
 	// Each is error-free here; ignore the nil result.
 	_ = pool.Each(context.Background(), chunks, func(_ context.Context, c int) error {
-		ev := &evaluator{jobs: jobs, curve: opts.Curve, snap: opts.SnapToIdeal}
+		ev := &evs[c]
 		lo, hi := c*len(batch)/chunks, (c+1)*len(batch)/chunks
 		for k := lo; k < hi; k++ {
-			batch[k].psi, batch[k].ups, batch[k].starts = ev.eval(batch[k].genes)
+			batch[k].psi, batch[k].ups, batch[k].feasible = ev.eval(batch[k].genes)
 		}
 		return nil
 	})
 }
 
 type individual struct {
-	genes  []timing.Time
-	psi    float64
-	ups    float64
-	starts quality.StartTimes // nil when infeasible
+	genes    []timing.Time
+	psi      float64
+	ups      float64
+	feasible bool
 }
 
 func scalar(ind *individual, w float64) float64 {
@@ -340,17 +358,58 @@ func clampT(v, lo, hi timing.Time) timing.Time {
 	return v
 }
 
-// evaluator runs the reconfiguration function and scores individuals.
+// evaluator runs the reconfiguration function and scores individuals. Its
+// scratch slices and comparator state live for the whole Solve, so the eval
+// inner loop performs no heap allocation: start times stay in an
+// index-keyed slice (starts[i] belongs to jobs[i]) and only archive-bound
+// individuals ever pay for a StartTimes map (materialize).
 type evaluator struct {
 	jobs  []taskmodel.Job
 	curve quality.Curve
 	snap  bool
 	// scratch reused across evaluations
+	order  []int
+	starts []timing.Time
+	ready  []int
+	sorter layoutSorter
+	// The FPS fallback ignores the genes, so its schedule — and whether one
+	// exists at all — is a property of the job set alone: simulate once and
+	// memoise the verdict, the starts and the scores.
+	fpsDone   bool
+	fpsOK     bool
+	fpsStarts []timing.Time
+	fpsPsi    float64
+	fpsUps    float64
+}
+
+// layoutSorter is the pre-allocated comparator state for the gene-order
+// sort: a sort.Interface over the evaluator's order scratch, so sorting
+// captures no closure and allocates nothing per evaluation.
+type layoutSorter struct {
+	jobs  []taskmodel.Job
+	genes []timing.Time
 	order []int
 }
 
-// eval repairs the genes into a feasible layout and returns (Ψ, Υ, starts);
-// infeasible layouts return (−1, −1, nil).
+func (s *layoutSorter) Len() int      { return len(s.order) }
+func (s *layoutSorter) Swap(a, b int) { s.order[a], s.order[b] = s.order[b], s.order[a] }
+func (s *layoutSorter) Less(a, b int) bool {
+	ja, jb := &s.jobs[s.order[a]], &s.jobs[s.order[b]]
+	ga, gb := s.genes[s.order[a]], s.genes[s.order[b]]
+	if ga != gb {
+		return ga < gb
+	}
+	if ja.P != jb.P {
+		return ja.P > jb.P
+	}
+	if ja.ID.Task != jb.ID.Task {
+		return ja.ID.Task < jb.ID.Task
+	}
+	return ja.ID.J < jb.ID.J
+}
+
+// eval repairs the genes into a feasible layout and returns (Ψ, Υ, true);
+// infeasible layouts return (−1, −1, false).
 //
 // Repair runs in two stages. Stage one is the paper's reconfiguration:
 // lay the jobs out in gene order, delaying to resolve overlaps and
@@ -361,55 +420,60 @@ type evaluator struct {
 // crowded system degrades the individual's objectives instead of emptying
 // the archive. Stage two is what lets the GA's schedulability track the
 // clairvoyant FPS bound instead of collapsing (Figure 5's ordering).
-func (e *evaluator) eval(genes []timing.Time) (float64, float64, quality.StartTimes) {
-	if starts := e.layout(genes); starts != nil {
-		return e.score(starts)
+func (e *evaluator) eval(genes []timing.Time) (float64, float64, bool) {
+	if e.layout(genes) {
+		return e.score(e.starts)
 	}
-	if starts := e.simulateFPS(); starts != nil {
-		return e.score(starts)
+	if e.fps() {
+		return e.fpsPsi, e.fpsUps, true
 	}
-	return -1, -1, nil
+	return -1, -1, false
 }
 
-func (e *evaluator) score(starts quality.StartTimes) (float64, float64, quality.StartTimes) {
-	psi, err := quality.Psi(e.jobs, starts)
+func (e *evaluator) score(starts []timing.Time) (float64, float64, bool) {
+	psi := quality.PsiIndexed(e.jobs, starts)
+	ups, err := quality.UpsilonIndexed(e.jobs, starts, e.curve)
 	if err != nil {
 		panic(err)
 	}
-	ups, err := quality.Upsilon(e.jobs, starts, e.curve)
-	if err != nil {
-		panic(err)
+	return psi, ups, true
+}
+
+// materialize re-runs the deterministic repair for genes and returns the
+// start times as the public map representation. Only archive-accepted
+// individuals reach it, keeping the map allocation off the eval hot path.
+func (e *evaluator) materialize(genes []timing.Time) quality.StartTimes {
+	var src []timing.Time
+	switch {
+	case e.layout(genes):
+		src = e.starts
+	case e.fps():
+		src = e.fpsStarts
+	default:
+		panic("ga: materialize called for an infeasible individual")
 	}
-	return psi, ups, starts
+	m := make(quality.StartTimes, len(e.jobs))
+	for i := range e.jobs {
+		m[e.jobs[i].ID] = src[i]
+	}
+	return m
 }
 
 // layout performs the gene-order repair pass (ties: higher priority
-// first, as footnote 2 prescribes). It returns nil when the order misses a
-// deadline.
-func (e *evaluator) layout(genes []timing.Time) quality.StartTimes {
+// first, as footnote 2 prescribes), writing the schedule into e.starts.
+// It returns false when the order misses a deadline.
+func (e *evaluator) layout(genes []timing.Time) bool {
 	n := len(e.jobs)
 	if e.order == nil {
 		e.order = make([]int, n)
+		e.starts = make([]timing.Time, n)
 	}
 	order := e.order
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ja, jb := &e.jobs[order[a]], &e.jobs[order[b]]
-		ga, gb := genes[order[a]], genes[order[b]]
-		if ga != gb {
-			return ga < gb
-		}
-		if ja.P != jb.P {
-			return ja.P > jb.P
-		}
-		if ja.ID.Task != jb.ID.Task {
-			return ja.ID.Task < jb.ID.Task
-		}
-		return ja.ID.J < jb.ID.J
-	})
-	starts := make(quality.StartTimes, n)
+	e.sorter = layoutSorter{jobs: e.jobs, genes: genes, order: order}
+	sort.Stable(&e.sorter)
 	var cursor timing.Time
 	for oi, idx := range order {
 		j := &e.jobs[idx]
@@ -432,31 +496,51 @@ func (e *evaluator) layout(genes []timing.Time) quality.StartTimes {
 			start = snapped
 		}
 		if start+j.C > j.Deadline {
-			return nil
+			return false
 		}
-		starts[j.ID] = start
+		e.starts[idx] = start
 		cursor = start + j.C
 	}
-	return starts
+	return true
+}
+
+// fps returns whether the fixed-priority fallback schedule exists, running
+// the simulation on first use and serving the memo afterwards.
+func (e *evaluator) fps() bool {
+	if !e.fpsDone {
+		e.fpsDone = true
+		e.fpsOK = e.simulateFPS()
+		if e.fpsOK {
+			e.fpsPsi, e.fpsUps, _ = e.score(e.fpsStarts)
+		}
+	}
+	return e.fpsOK
 }
 
 // simulateFPS is the repair fallback: a work-conserving non-preemptive
 // fixed-priority simulation over the partition's jobs (the discipline the
-// FPS-offline baseline uses). It returns nil when even that misses a
-// deadline. The genes play no role, so every individual repaired this way
-// shares the same (feasible, low-quality) point — selection then pulls the
-// population back towards gene-feasible regions.
-func (e *evaluator) simulateFPS() quality.StartTimes {
+// FPS-offline baseline uses), writing the schedule into e.fpsStarts. It
+// returns false when even that misses a deadline. The genes play no role,
+// so every individual repaired this way shares the same (feasible,
+// low-quality) point — selection then pulls the population back towards
+// gene-feasible regions.
+func (e *evaluator) simulateFPS() bool {
 	n := len(e.jobs)
-	order := make([]int, n)
+	if e.order == nil {
+		e.order = make([]int, n)
+		e.starts = make([]timing.Time, n)
+	}
+	if e.fpsStarts == nil {
+		e.fpsStarts = make([]timing.Time, n)
+	}
+	order := e.order
 	for i := range order {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
 		return e.jobs[order[a]].Release < e.jobs[order[b]].Release
 	})
-	starts := make(quality.StartTimes, n)
-	var ready []int
+	ready := e.ready[:0]
 	next := 0
 	var now timing.Time
 	for done := 0; done < n; done++ {
@@ -481,12 +565,14 @@ func (e *evaluator) simulateFPS() quality.StartTimes {
 		j := &e.jobs[idx]
 		start := timing.Max(now, j.Release)
 		if start+j.C > j.Deadline {
-			return nil
+			e.ready = ready[:0]
+			return false
 		}
-		starts[j.ID] = start
+		e.fpsStarts[idx] = start
 		now = start + j.C
 	}
-	return starts
+	e.ready = ready[:0]
+	return true
 }
 
 // archive keeps the non-dominated (Ψ, Υ) solutions seen so far.
@@ -494,23 +580,28 @@ type archive struct {
 	sols []Solution
 }
 
-func (a *archive) offer(ind *individual) {
-	if ind.starts == nil {
-		return
-	}
+// wouldAccept reports whether a feasible individual scoring (psi, ups)
+// would enter the archive: true unless some member dominates or equals it.
+func (a *archive) wouldAccept(psi, ups float64) bool {
 	for i := range a.sols {
 		s := &a.sols[i]
-		if s.Psi >= ind.psi && s.Upsilon >= ind.ups {
-			return // dominated or duplicate
+		if s.Psi >= psi && s.Upsilon >= ups {
+			return false // dominated or duplicate
 		}
 	}
+	return true
+}
+
+// insert adds an accepted solution, pruning members it now dominates.
+// Callers must have checked wouldAccept first.
+func (a *archive) insert(sol Solution) {
 	kept := a.sols[:0]
 	for i := range a.sols {
 		s := a.sols[i]
-		if ind.psi >= s.Psi && ind.ups >= s.Upsilon {
+		if sol.Psi >= s.Psi && sol.Upsilon >= s.Upsilon {
 			continue // now dominated
 		}
 		kept = append(kept, s)
 	}
-	a.sols = append(kept, Solution{Starts: ind.starts, Psi: ind.psi, Upsilon: ind.ups})
+	a.sols = append(kept, sol)
 }
