@@ -158,6 +158,8 @@ func BenchmarkGASolve(b *testing.B) { benchtraj.GASolve(b) }
 
 func BenchmarkFPSOfflineSimulation(b *testing.B) { benchtraj.FPSOfflineSimulation(b) }
 
+func BenchmarkDispatchPack(b *testing.B) { benchtraj.DispatchPack(b) }
+
 func BenchmarkFPSOnlineAnalysis(b *testing.B) {
 	cfg := gen.PaperConfig()
 	ts, err := cfg.System(rand.New(rand.NewSource(1)), 0.7)

@@ -47,6 +47,8 @@ func runDispatch(args []string) error {
 		out          = fs.String("out", "", "also write the merged cell file to this path (a valid 1-shard file)")
 		progress     = fs.Bool("progress", false, "live status line on stderr (done/running/failed counts and an ETA) instead of per-event log lines")
 		partialEvery = fs.Duration("partial-every", 0, "periodically merge the shards completed so far into <dir>/partial.json for \"merge -partial\" (requires -dir)")
+		balance      = fs.String("balance", dispatch.BalanceRoundRobin, "cell decomposition: \"roundrobin\" (fixed (point*systems+system) mod shards shares) or \"cost\" (cost-packed cell batches, refined by observed wall-clock on resume)")
+		steal        = fs.Bool("steal", false, "let idle workers steal duplicate attempts at straggling shards (first completion wins; duplicates are discarded by cell key)")
 	)
 	fs.Func("worker", "command template run once per shard (repeatable; placeholders {args} {index} {shards} {out}); replaces the local worker pool; split on whitespace — no quoting, so arguments cannot contain spaces (wrap complex commands in a script)", func(s string) error {
 		if strings.TrimSpace(s) == "" {
@@ -140,6 +142,8 @@ func runDispatch(args []string) error {
 		Logf:           logger.Printf,
 		PartialEvery:   *partialEvery,
 		Cache:          cache,
+		Balance:        *balance,
+		Steal:          *steal,
 	}
 	if *progress {
 		// The live line redraws in place; the per-event log lines would
@@ -158,8 +162,14 @@ func runDispatch(args []string) error {
 	if err != nil {
 		return err
 	}
-	logger.Printf("dispatch: %d shards done (%d resumed, %d cached, %d run, %d retries) in %s",
-		n, res.Resumed, res.Cached, res.Ran, res.Retries, summaryDir(res.Dir))
+	// The steal suffix only appears when stealing actually happened, so the
+	// classic summary stays stable for scripts that match on it.
+	extraSummary := ""
+	if res.Steals > 0 {
+		extraSummary = fmt.Sprintf(", %d steals (%d duplicates discarded)", res.Steals, res.Duplicates)
+	}
+	logger.Printf("dispatch: %d shards done (%d resumed, %d cached, %d run, %d retries%s) in %s",
+		res.Shards, res.Resumed, res.Cached, res.Ran, res.Retries, extraSummary, summaryDir(res.Dir))
 	if cache != nil {
 		st := cache.Stats()
 		logger.Printf("dispatch: cell cache: %d hits, %d misses (%.0f%% hit rate)",
@@ -206,6 +216,9 @@ func progressLine(w io.Writer) func(dispatch.ProgressEvent) {
 		line := fmt.Sprintf("dispatch: %d/%d done, %d running, %d failed", s.Done, s.Total, s.Running, s.Failed)
 		if s.Resumed > 0 {
 			line += fmt.Sprintf(" (%d resumed)", s.Resumed)
+		}
+		if s.Steals > 0 {
+			line += fmt.Sprintf(", %d steals", s.Steals)
 		}
 		if s.ETA > 0 {
 			line += ", ETA " + s.ETA.Round(time.Second).String()

@@ -41,6 +41,13 @@
 // re-run just that index: cells derive their seeds from their grid
 // position, so a re-run reproduces them exactly.
 //
+// -cells evaluates an explicit cell set instead of a round-robin share
+// ("fig5=0-7;fig6=2,5" — one clause per selected run, ascending global
+// cell indices) and writes a cell-batch file; merge reassembles a set
+// of batch files the same way, discarding overlap first-completion-wins
+// (work stealing computes some cells twice; determinism makes both
+// copies byte-identical). Batches are the unit of balanced dispatch.
+//
 // # Dispatch
 //
 // The dispatch subcommand automates the shard → retry → merge loop: it
@@ -59,6 +66,13 @@
 //
 // With -dir set, an interrupted dispatch resumes: completed shards are
 // journalled and skipped, only missing indices re-run.
+//
+// -balance cost replaces the fixed round-robin shares with cell batches
+// packed by the experiments' per-cell cost model (a resume re-packs the
+// missing cells under costs refined by observed wall-clock from the
+// journal), and -steal lets idle workers race a duplicate copy of the
+// heaviest straggling batch — first completion wins. Neither can change
+// a byte of the merged output.
 //
 // # Streaming and observability
 //
@@ -141,7 +155,8 @@ func main() {
 		parallel   = flag.Int("parallel", 0, "worker goroutines (0 = one per CPU, 1 = serial); never changes results")
 		shards     = flag.Int("shards", 0, "split the experiment grids into this many shards (0 = run unsharded)")
 		shardIndex = flag.Int("shard-index", 0, "which shard this process evaluates, in [0,shards)")
-		out        = flag.String("out", "", "shard cell file to write (required with -shards; implies -shards 1 alone)")
+		cellSpec   = flag.String("cells", "", "evaluate exactly these cells (\"fig5=0-2,9;fig6=\") and write a cell-batch file to -out; replaces -shards/-shard-index")
+		out        = flag.String("out", "", "shard cell file to write (required with -shards or -cells; implies -shards 1 alone)")
 	)
 	flag.Parse()
 
@@ -152,6 +167,16 @@ func main() {
 	cache, err := cf.open()
 	if err != nil {
 		fail(err)
+	}
+
+	if *cellSpec != "" {
+		if *shards > 0 {
+			fail(fmt.Errorf("-cells and -shards are mutually exclusive"))
+		}
+		if err := writeBatch(*rf.which, params, *parallel, *cellSpec, *out, cache); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	if *shards > 0 || *out != "" {
@@ -293,6 +318,44 @@ func writeShard(selection string, p experiment.ShardParams, parallel, shards, in
 	return nil
 }
 
+// writeBatch evaluates exactly the cells of a -cells spec and writes the
+// cell-batch file (shard.BatchInfo header) — the worker side of balanced
+// dispatch, and usable by hand for surgical re-runs. The spec must name
+// the selection's runs in their canonical order, so a batch file always
+// merges against its siblings without reordering.
+func writeBatch(selection string, p experiment.ShardParams, parallel int, spec, out string, cache *cellcache.Store) error {
+	if out == "" {
+		return fmt.Errorf("-cells needs -out <file> for the cell-batch file")
+	}
+	names, err := experiment.SelectionRuns(selection)
+	if err != nil {
+		return err
+	}
+	specNames, sets, err := shard.ParseCellSpec(spec)
+	if err != nil {
+		return err
+	}
+	if len(specNames) != len(names) {
+		return fmt.Errorf("-cells names %d runs, selection %q has %d (%s)",
+			len(specNames), selection, len(names), strings.Join(names, ","))
+	}
+	for i, n := range specNames {
+		if n != names[i] {
+			return fmt.Errorf("-cells run %d is %q, want %q (the selection's canonical order)", i, n, names[i])
+		}
+	}
+	f, err := experiment.RunBatchCached(selection, p, parallel, sets, cache)
+	if err != nil {
+		return err
+	}
+	if err := f.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ioschedbench: wrote cell batch of %q (%d cells across %d runs) to %s\n",
+		selection, f.CellCount(), len(f.Runs), out)
+	return nil
+}
+
 // runMerge reassembles shard files and renders the selection exactly as
 // the unsharded run would have. With -partial it accepts any consistent
 // subset of a run's shard files — including partial cover files a
@@ -324,6 +387,34 @@ func runMerge(args []string) error {
 			return err
 		}
 		files[i] = f
+	}
+	allBatch := true
+	for _, f := range files {
+		if f.Batch == nil {
+			allBatch = false
+			break
+		}
+	}
+	if allBatch {
+		// Cell-batch files (balanced dispatch, or -cells by hand) merge by
+		// cell key: the set must cover each run's grid exactly, and
+		// overlapping cells — steal races — keep the first completion.
+		if *partial {
+			return fmt.Errorf("-partial renders shard covers; cell-batch files always merge strictly (drop -partial)")
+		}
+		merged, dups, err := shard.MergeBatches(files)
+		if err != nil {
+			return err
+		}
+		if dups > 0 {
+			fmt.Fprintf(os.Stderr, "ioschedbench: merge: %d duplicate cells discarded (first completion wins)\n", dups)
+		}
+		if *out != "" {
+			if err := merged.WriteFile(*out); err != nil {
+				return err
+			}
+		}
+		return renderMerged(merged, *csvDir)
 	}
 	if *partial {
 		cover, err := shard.MergePartial(files)

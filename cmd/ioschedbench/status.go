@@ -88,39 +88,67 @@ func shardFileExists(journalPath, file string) bool {
 // journal's content (no wall-clock), which keeps it golden-testable and
 // script-friendly.
 func printStatus(w io.Writer, st *dispatch.JournalState) error {
-	fmt.Fprintf(w, "dispatch run: selection %q, %d shards (journal v%d)\n\n", st.Selection, st.Shards, st.Version)
+	bal := ""
+	if st.Balance != "" {
+		bal = ", balance " + st.Balance
+	}
+	fmt.Fprintf(w, "dispatch run: selection %q, %d shards (journal v%d%s)\n\n", st.Selection, st.Shards, st.Version, bal)
 
-	headers := []string{"shard", "state", "attempts", "worker", "detail"}
+	headers := []string{"shard", "state", "attempts", "steals", "worker", "detail"}
 	var rows [][]string
 	for _, sh := range st.ShardStates {
+		state := string(sh.State)
+		worker := sh.Worker
 		detail := ""
-		switch sh.State {
-		case dispatch.ShardDone:
+		switch {
+		case sh.Superseded:
+			// A split parent or a re-planned-away prior batch: nobody owes
+			// its cells any more — later batches carry them.
+			state = "dropped"
+			detail = "superseded; its cells moved to later batches"
+		case sh.State == dispatch.ShardDone:
+			if sh.Winner != "" {
+				worker = sh.Winner
+			}
 			detail = sh.File
 			if sh.File != "" && !shardFileExists(st.Path, sh.File) {
 				detail += " (file missing)"
 			}
-		case dispatch.ShardFailed:
+		case sh.State == dispatch.ShardFailed:
 			detail = truncateDetail(sh.Err)
-		case dispatch.ShardRunning:
+		case sh.State == dispatch.ShardRunning:
 			detail = "attempt journaled, no outcome yet (in flight, or interrupted)"
+		case sh.Spec != "":
+			detail = truncateDetail("cells " + sh.Spec)
 		}
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", sh.Index),
-			string(sh.State),
+			state,
 			fmt.Sprintf("%d", sh.Attempts),
-			sh.Worker,
+			fmt.Sprintf("%d", sh.Steals),
+			worker,
 			detail,
 		})
 	}
 	fmt.Fprintln(w, textplot.Table(headers, rows))
 
 	done := st.DoneCount()
-	pct := 100.0
-	if st.Shards > 0 {
-		pct = 100 * float64(done) / float64(st.Shards)
+	total := st.Shards
+	if st.Balance != "" {
+		// A balanced dispatch's unit count is the planned (and possibly
+		// re-split) batch table, not the requested shard count.
+		total = 0
+		for _, sh := range st.ShardStates {
+			if !sh.Superseded {
+				total++
+			}
+		}
 	}
-	fmt.Fprintf(w, "coverage: %d/%d shards done (%.1f%%)\n", done, st.Shards, pct)
+	pct := 100.0
+	if total > 0 {
+		pct = 100 * float64(done) / float64(total)
+	}
+	fmt.Fprintf(w, "coverage: %d/%d shards done (%.1f%%)\n", done, total, pct)
 	if missing := st.Missing(); len(missing) > 0 {
 		fmt.Fprintf(w, "missing shards:%s\n", shardList(missing))
 	}

@@ -64,7 +64,12 @@ type Trajectory struct {
 	// CacheHitRate is the warm-run hit rate of the cell cache benchmark
 	// scenario (1 = every cell served from the cache).
 	CacheHitRate float64 `json:"cache_hit_rate"`
-	Host         Host    `json:"host"`
+	// DispatchMakespanRatio is the simulated round-robin over cost-packed
+	// dispatch makespan on a skewed synthetic cost grid
+	// (MeasureDispatchMakespan) — deterministic arithmetic, identical on
+	// every machine, so it is gated strictly.
+	DispatchMakespanRatio float64 `json:"dispatch_makespan_ratio,omitempty"`
+	Host                  Host    `json:"host"`
 }
 
 // WriteFile writes the trajectory as indented JSON.
@@ -132,6 +137,13 @@ func Compare(baseline, current *Trajectory, tolerance float64) []string {
 	if baseline.CacheHitRate > 0 && current.CacheHitRate < baseline.CacheHitRate {
 		regs = append(regs, fmt.Sprintf("cache hit rate %.2f fell below baseline %.2f",
 			current.CacheHitRate, baseline.CacheHitRate))
+	}
+	// Deterministic on every machine, so any decrease is a code change
+	// that made the balanced decomposition pack worse.
+	if baseline.DispatchMakespanRatio > 0 && current.DispatchMakespanRatio > 0 &&
+		current.DispatchMakespanRatio < baseline.DispatchMakespanRatio {
+		regs = append(regs, fmt.Sprintf("dispatch makespan ratio %.3f fell below baseline %.3f",
+			current.DispatchMakespanRatio, baseline.DispatchMakespanRatio))
 	}
 	return regs
 }

@@ -13,9 +13,10 @@ func sample() *Trajectory {
 			"GASolve":         {NsPerOp: 1000, AllocsPerOp: 100, BytesPerOp: 4096},
 			"StaticScheduler": {NsPerOp: 500, AllocsPerOp: 0, BytesPerOp: 0},
 		},
-		ParallelSpeedup: 3.0,
-		CacheHitRate:    1.0,
-		Host:            CurrentHost(),
+		ParallelSpeedup:       3.0,
+		CacheHitRate:          1.0,
+		DispatchMakespanRatio: 1.5,
+		Host:                  CurrentHost(),
 	}
 }
 
@@ -97,6 +98,40 @@ func TestCompareSpeedupAndHitRate(t *testing.T) {
 	regs := Compare(sample(), cur, 0.15)
 	if len(regs) != 2 {
 		t.Fatalf("want speedup + hit-rate regressions, got %v", regs)
+	}
+}
+
+func TestCompareDispatchMakespanStrict(t *testing.T) {
+	cur := sample()
+	cur.ParallelSpeedup = 0 // not measured: must not regress
+	cur.DispatchMakespanRatio = 1.499
+	regs := Compare(sample(), cur, 0.15)
+	if len(regs) != 1 || !strings.Contains(regs[0], "makespan") {
+		t.Fatalf("any makespan-ratio decrease must regress, got %v", regs)
+	}
+	cur.DispatchMakespanRatio = 1.5
+	if regs := Compare(sample(), cur, 0.15); len(regs) != 0 {
+		t.Fatalf("equal makespan ratio must pass, got %v", regs)
+	}
+}
+
+// TestMeasureDispatchMakespan pins the measured quantity itself: on the
+// skewed synthetic grid, cost packing must beat fixed round-robin shares,
+// and the ratio must be deterministic.
+func TestMeasureDispatchMakespan(t *testing.T) {
+	r1, err := MeasureDispatchMakespan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 <= 1 {
+		t.Fatalf("makespan ratio = %v, want > 1 (cost packing must beat round-robin on a skewed grid)", r1)
+	}
+	r2, err := MeasureDispatchMakespan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("makespan ratio not deterministic: %v vs %v", r1, r2)
 	}
 }
 

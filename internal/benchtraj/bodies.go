@@ -1,6 +1,7 @@
 package benchtraj
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/sched/fps"
 	"repro/internal/sched/ga"
 	"repro/internal/sched/staticsched"
+	"repro/internal/shard"
 	"repro/internal/taskmodel"
 )
 
@@ -36,6 +38,7 @@ func Tier() []Bench {
 		{"StaticScheduler", StaticScheduler},
 		{"DepgraphBuildDecompose", DepgraphBuildDecompose},
 		{"FPSOfflineSimulation", FPSOfflineSimulation},
+		{"DispatchPack", DispatchPack},
 	}
 }
 
@@ -130,6 +133,90 @@ func Fig5(parallelism int) func(*testing.B) {
 			}
 		}
 	}
+}
+
+// DispatchPack measures cost-packed decomposition planning over the full
+// selection's predicted cost surface — the per-dispatch overhead balanced
+// dispatch adds before any cell runs, which must stay negligible next to
+// one GA solve.
+func DispatchPack(b *testing.B) {
+	p := experiment.ShardParams{Systems: 4, Seed: 1, GAPopulation: 10, GAGenerations: 6}
+	plan, err := experiment.PlanSelection(experiment.ExpAll, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := shard.CostPacked{Costs: plan.Costs}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Split(plan.Grids, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// makespanGrid is the skewed synthetic cost surface behind the dispatch
+// makespan measurement: one run, 16 utilisation points × 4 systems,
+// where system 0 costs 10× the others (a GA column next to cheap
+// heuristic baselines) on top of a mild utilisation ramp. The system
+// axis is exactly where round-robin's (point·systems + system) mod
+// shards stride degenerates: with the shard count dividing the system
+// count, one shard inherits the entire expensive column.
+func makespanGrid() (shard.Grid, []float64) {
+	g := shard.Grid{Points: 16, Systems: 4}
+	costs := make([]float64, g.Cells())
+	for o := 0; o < g.Points; o++ {
+		ramp := 1 + float64(o)/float64(g.Points-1)
+		for i := 0; i < g.Systems; i++ {
+			c := ramp
+			if i == 0 {
+				c *= 10
+			}
+			costs[o*g.Systems+i] = c
+		}
+	}
+	return g, costs
+}
+
+// MeasureDispatchMakespan returns the simulated dispatch makespan ratio
+// of round-robin over cost-packed decomposition on the skewed synthetic
+// grid split 4 ways: max-part-cost(roundrobin) / max-part-cost(cost).
+// Pure arithmetic over the decomposition code — identical on every
+// machine — so the trajectory gate holds it strictly. A ratio above 1
+// means cost packing finishes the sweep earlier than fixed shares under
+// skewed per-cell costs.
+func MeasureDispatchMakespan() (float64, error) {
+	g, costs := makespanGrid()
+	const parts = 4
+	makespan := func(d shard.Decomposition) (float64, error) {
+		assign, err := d.Split([]shard.Grid{g}, parts)
+		if err != nil {
+			return 0, err
+		}
+		sums := make([]float64, parts)
+		for gi, part := range assign[0] {
+			sums[part] += costs[gi]
+		}
+		max := 0.0
+		for _, s := range sums {
+			if s > max {
+				max = s
+			}
+		}
+		return max, nil
+	}
+	rr, err := makespan(shard.RoundRobin{})
+	if err != nil {
+		return 0, err
+	}
+	cp, err := makespan(shard.CostPacked{Costs: [][]float64{costs}})
+	if err != nil {
+		return 0, err
+	}
+	if cp <= 0 {
+		return 0, fmt.Errorf("benchtraj: cost-packed makespan is zero")
+	}
+	return rr / cp, nil
 }
 
 // MeasureCacheHitRate runs a small fig5 shard cold into a cell cache

@@ -1,0 +1,91 @@
+package dispatch
+
+// Observed-cost refinement: the predicted per-cell cost model
+// (experiment.PlanSelection) only has to be proportional to wall-clock to
+// pack well, but a prior journal of the same run knows better — each
+// completed computed batch records its cell spec and its realised
+// duration. refineCosts folds those observations back into the model, so
+// a resume (or a re-run over the same directory) packs the remaining
+// cells against measured rates instead of predictions.
+
+import (
+	"repro/internal/experiment"
+	"repro/internal/shard"
+)
+
+// refineCosts returns plan.Costs refined by the observed per-cell
+// wall-clock of prior's completed batches; with no prior journal or no
+// usable observations it returns plan.Costs unchanged.
+//
+// Each done batch with a recorded cell spec, cell count and duration
+// contributes its mean per-cell rate to every utilisation point it
+// touched; a cell at an observed point takes the cell-count-weighted mean
+// of those rates, and a cell at an unobserved point keeps its predicted
+// cost scaled onto the observed unit (total observed seconds over total
+// predicted cost of the observed cells), so the two kinds of estimate
+// stay comparable inside one packing.
+func refineCosts(prior *JournalState, plan *experiment.RunPlan) [][]float64 {
+	if prior == nil {
+		return plan.Costs
+	}
+	byName := make(map[string]int, len(plan.Names))
+	for ri, name := range plan.Names {
+		byName[name] = ri
+	}
+	type acc struct {
+		sum float64
+		n   int
+	}
+	obs := make([]map[int]acc, len(plan.Names))
+	for ri := range obs {
+		obs[ri] = make(map[int]acc)
+	}
+	obsDur, obsPred := 0.0, 0.0
+	for _, sh := range prior.ShardStates {
+		if sh.State != ShardDone || sh.Duration <= 0 || sh.Spec == "" || sh.Cells <= 0 {
+			continue
+		}
+		names, cells, err := shard.ParseCellSpec(sh.Spec)
+		if err != nil {
+			continue
+		}
+		rate := sh.Duration.Seconds() / float64(sh.Cells)
+		for si, name := range names {
+			ri, ok := byName[name]
+			if !ok {
+				continue
+			}
+			for _, g := range cells[si] {
+				if g < 0 || g >= len(plan.Costs[ri]) {
+					continue
+				}
+				point := g / plan.Grids[ri].Systems
+				a := obs[ri][point]
+				a.sum += rate
+				a.n++
+				obs[ri][point] = a
+				obsDur += rate
+				obsPred += plan.Costs[ri][g]
+			}
+		}
+	}
+	if obsDur <= 0 {
+		return plan.Costs
+	}
+	scale := 1.0
+	if obsPred > 0 {
+		scale = obsDur / obsPred
+	}
+	refined := make([][]float64, len(plan.Costs))
+	for ri := range plan.Costs {
+		refined[ri] = make([]float64, len(plan.Costs[ri]))
+		for g, c := range plan.Costs[ri] {
+			if a := obs[ri][g/plan.Grids[ri].Systems]; a.n > 0 {
+				refined[ri][g] = a.sum / float64(a.n)
+			} else {
+				refined[ri][g] = c * scale
+			}
+		}
+	}
+	return refined
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -28,6 +29,33 @@ type Spec struct {
 	Params experiment.ShardParams
 	// Shards is the number of shards the run is split into.
 	Shards int
+}
+
+// The balance modes: how the driver decomposes the selection's cells into
+// units of dispatched work.
+const (
+	// BalanceRoundRobin is the classic decomposition — one shard per
+	// index, each owning the cells with (point·systems + system) mod
+	// shards == index. The default; "" selects it.
+	BalanceRoundRobin = "roundrobin"
+	// BalanceCost packs cells into batches of near-equal predicted cost
+	// (experiment.PlanSelection's per-cell model, refined by observed
+	// wall-clock from a prior journal on resume). The merged result is
+	// byte-identical to round-robin's: decompositions only move cells
+	// between workers, never change them.
+	BalanceCost = "cost"
+)
+
+// normalisedBalance resolves and validates a balance mode ("" means
+// round-robin).
+func normalisedBalance(b string) (string, error) {
+	switch b {
+	case "", BalanceRoundRobin:
+		return BalanceRoundRobin, nil
+	case BalanceCost:
+		return BalanceCost, nil
+	}
+	return "", fmt.Errorf("dispatch: unknown balance %q (want %q or %q)", b, BalanceRoundRobin, BalanceCost)
 }
 
 // normalised validates the spec and returns it with the selection and
@@ -52,18 +80,14 @@ func (s Spec) normalised() (Spec, []byte, []string, error) {
 	return s, params, runNames, nil
 }
 
-// WorkerArgs returns the ioschedbench command-line arguments that make a
-// worker process evaluate shard index of the spec: the run flags with
-// every default resolved, plus -shards/-shard-index. The output flag is
-// deliberately absent — LocalProcWorker appends "-out <path>" and
-// CmdWorker templates choose their own file contract — as is -parallel,
-// which is host-local and never changes results.
-//
-// It returns an error for params no ioschedbench flag can express
-// (multi-device or motivation overrides), so a library-configured spec
-// that a CLI worker could not reproduce fails before any work is
-// dispatched rather than at params validation after it.
-func (s Spec) WorkerArgs(index int) ([]string, error) {
+// baseArgs returns the ioschedbench run flags shared by every worker
+// invocation of the spec — selection and parameters with every default
+// resolved, without any decomposition flags. It returns an error for
+// params no ioschedbench flag can express (multi-device or motivation
+// overrides), so a library-configured spec that a CLI worker could not
+// reproduce fails before any work is dispatched rather than at params
+// validation after it.
+func (s Spec) baseArgs() ([]string, error) {
 	p := s.Params.Normalised()
 	base := experiment.ShardParams{Seed: p.Seed, PaperScale: p.PaperScale}.Normalised()
 	if p.MultiDeviceU != base.MultiDeviceU || p.MotivationWrites != base.MotivationWrites ||
@@ -81,13 +105,40 @@ func (s Spec) WorkerArgs(index int) ([]string, error) {
 	if p.PaperScale {
 		args = append(args, "-paperscale")
 	}
+	return args, nil
+}
+
+// WorkerArgs returns the ioschedbench command-line arguments that make a
+// worker process evaluate shard index of the spec: the run flags with
+// every default resolved, plus -shards/-shard-index. The output flag is
+// deliberately absent — LocalProcWorker appends "-out <path>" and
+// CmdWorker templates choose their own file contract — as is -parallel,
+// which is host-local and never changes results.
+func (s Spec) WorkerArgs(index int) ([]string, error) {
+	args, err := s.baseArgs()
+	if err != nil {
+		return nil, err
+	}
 	return append(args, "-shards", strconv.Itoa(s.Shards), "-shard-index", strconv.Itoa(index)), nil
+}
+
+// BatchWorkerArgs returns the ioschedbench arguments that make a worker
+// evaluate exactly the cells of the given cell spec
+// (shard.FormatCellSpec) — the balanced dispatch counterpart of
+// WorkerArgs, producing a cell-batch file instead of a round-robin shard.
+func (s Spec) BatchWorkerArgs(cellSpec string) ([]string, error) {
+	args, err := s.baseArgs()
+	if err != nil {
+		return nil, err
+	}
+	return append(args, "-cells", cellSpec), nil
 }
 
 // Options tunes the driver; the zero value is a sensible default.
 type Options struct {
 	// MaxAttempts bounds how often one shard is tried before the whole
-	// dispatch fails; <= 0 selects 3 (one run plus two retries).
+	// dispatch fails; <= 0 selects 3 (one run plus two retries). Steal
+	// attempts count against the same budget.
 	MaxAttempts int
 	// AttemptTimeout bounds one attempt's wall-clock time; an attempt
 	// over budget is killed (via its context) and re-queued like any
@@ -97,6 +148,15 @@ type Options struct {
 	// whose failures are transient (a rebooting host) does not burn its
 	// attempt budget in milliseconds. 0 re-queues immediately.
 	RetryDelay time.Duration
+	// Balance selects the decomposition: BalanceRoundRobin (default) or
+	// BalanceCost.
+	Balance string
+	// Steal lets idle workers start a second concurrent copy of the
+	// heaviest still-running batch once the queue drains. The first
+	// completion wins; the duplicate is discarded (never merged twice —
+	// batches are deduplicated by cell key). Stolen copies write
+	// <path>.s<attempt>, so concurrent attempts never collide on a file.
+	Steal bool
 	// Dir is the working directory for the shard files and the journal.
 	// "" uses a fresh temporary directory that is removed after a
 	// successful merge — set Dir to keep the files and to make an
@@ -107,11 +167,12 @@ type Options struct {
 	// concurrent use (log.Printf and friends are).
 	Logf func(format string, args ...any)
 	// Progress receives the typed progress-event stream (schema version
-	// ProgressVersion): plan, resumed, attempt, done, fail, partial and
-	// merged events mirroring the journal, suitable for live status
-	// displays (feed them to a Tracker) without parsing log lines.
-	// Attempt events are delivered from the worker goroutines, so the
-	// handler must be safe for concurrent use. nil disables the stream.
+	// ProgressVersion): plan, batch, resumed, cached, attempt, steal,
+	// done, fail, partial and merged events mirroring the journal,
+	// suitable for live status displays (feed them to a Tracker) without
+	// parsing log lines. Events are delivered from multiple goroutines,
+	// so the handler must be safe for concurrent use. nil disables the
+	// stream.
 	Progress func(ProgressEvent)
 	// PartialEvery, when > 0, periodically merges the shards completed so
 	// far into <Dir>/partial.json — a provisional partial cover file that
@@ -119,7 +180,8 @@ type Options struct {
 	// the dispatch is still running, and that a MergePartial over the
 	// remaining shards grows into the full, byte-identical result. The
 	// file is refreshed in place and removed after the final merge.
-	// Requires Dir: a temporary working directory would discard it.
+	// Requires Dir (a temporary working directory would discard it) and
+	// round-robin balance (partial merges read classic shard files).
 	PartialEvery time.Duration
 	// Cache, when non-nil, is the cell cache consulted before a shard is
 	// queued: a shard whose cells the cache fully holds is written from
@@ -130,12 +192,14 @@ type Options struct {
 	Cache *cellcache.Store
 }
 
-// Attempt records one worker attempt at one shard.
+// Attempt records one worker attempt at one shard or batch.
 type Attempt struct {
 	// Shard and Attempt identify the try: attempt n is the n-th time this
 	// shard ran, starting at 1.
 	Shard   int
 	Attempt int
+	// Steal marks a duplicate attempt started by work stealing.
+	Steal bool
 	// Worker is the name of the worker that ran it.
 	Worker string
 	// Err is the failure ("" for success): the worker's error, or the
@@ -151,28 +215,85 @@ type Result struct {
 	// Dir is the working directory holding the shard files and journal;
 	// "" if the driver used (and removed) a temporary directory.
 	Dir string
-	// ShardPaths are the per-shard file paths, indexed by shard; nil if
-	// the working directory was temporary.
+	// ShardPaths are the per-shard (or per-batch) winning file paths in
+	// id order; nil if the working directory was temporary.
 	ShardPaths []string
+	// Shards counts the units merged: the shard count for a round-robin
+	// dispatch, the (possibly re-split) batch count for a balanced one.
+	Shards int
 	// Resumed counts shards satisfied from the journal without running;
 	// Cached counts shards satisfied from the cell cache without running;
 	// Ran counts shards executed by this invocation; Retries counts
 	// failed attempts that were re-queued.
 	Resumed, Cached, Ran, Retries int
+	// Steals counts duplicate attempts started by work stealing;
+	// Duplicates counts completions discarded because another copy won.
+	Steals, Duplicates int
 	// Attempts is the full attempt log of this invocation, in completion
 	// order.
 	Attempts []Attempt
 }
 
-// task and outcome flow between the coordinator and the worker loops.
-type task struct {
-	index   int
-	attempt int
+// batchInfo describes one unit of the dispatch plan. In round-robin mode
+// a unit is a classic shard (kind "shard", cells nil); in cost mode it is
+// a cell batch (kind "cost", or "split" for a retry's re-split child).
+type batchInfo struct {
+	id     int
+	kind   string
+	parent int
+	// cells[ri] holds run ri's assigned global cell indices, ascending;
+	// nil means the classic round-robin share of shard id.
+	cells [][]int
+	// spec is shard.FormatCellSpec over cells; "" for classic shards.
+	spec string
+	// ncells counts the batch's cells across all runs (its output file's
+	// CellCount); 0 when unknown (round-robin without a plan).
+	ncells int
+	// weight is the predicted cost, steering steal-target choice.
+	weight float64
+	// path is the canonical output file (shard<i>.json / batch<i>.json).
+	// Steal attempts write path.s<attempt> so copies never collide.
+	path string
+}
+
+// noun names the unit in log lines: classic shards keep their historical
+// spelling.
+func (b *batchInfo) noun() string {
+	if b.kind == "shard" {
+		return "shard"
+	}
+	return "batch"
+}
+
+// batchState is the coordinator's mutable view of one batch.
+type batchState struct {
+	*batchInfo
+	done  bool
+	split bool
+	// file and filePath are the winning validated output.
+	file     *shard.File
+	filePath string
+	// running counts in-flight attempts (can be 2 under stealing).
+	running  int
+	attempts int
 	// failedOn records the pool indices of workers whose attempt at this
-	// shard failed, so retries prefer a different worker — a single dead
-	// host must not burn a shard's whole attempt budget while healthy
+	// batch failed, so retries prefer a different worker — a single dead
+	// host must not burn a batch's whole attempt budget while healthy
 	// workers idle.
 	failedOn map[int]bool
+	started  time.Time
+}
+
+func newBatchState(b *batchInfo) *batchState {
+	return &batchState{batchInfo: b, failedOn: make(map[int]bool)}
+}
+
+// task and outcome flow between the coordinator and the worker loops.
+type task struct {
+	b       *batchInfo
+	attempt int
+	steal   bool
+	out     string
 }
 
 type outcome struct {
@@ -185,22 +306,27 @@ type outcome struct {
 	err  error
 }
 
-// Run dispatches the spec's shards across the worker pool and returns the
-// merged result. Each shard is attempted up to Options.MaxAttempts times —
+// Run dispatches the spec's work across the worker pool and returns the
+// merged result. Each unit is attempted up to Options.MaxAttempts times —
 // an attempt fails if the worker errors, exceeds Options.AttemptTimeout,
 // or leaves a file that fails validation — and any worker may pick up the
-// retry. The merged output is byte-identical to the unsharded run: cells
-// derive their randomness from their grid position, so a retried shard
-// reproduces exactly the cells the lost one would have held.
+// retry. The merged output is byte-identical to the unsharded run for
+// every decomposition: cells derive their randomness from their grid
+// position, so a retried, stolen or re-split unit reproduces exactly the
+// cells the lost one would have held.
 //
 // With Options.Dir set, progress survives interruption: completed shards
 // are recorded in a journal, and a later Run over the same directory
-// re-validates and skips them, executing only the missing indices.
+// re-validates and skips them, executing only the missing cells.
 //
 // Run fails if any shard exhausts its attempts, if the context is
 // cancelled, or if the directory's journal belongs to a different run.
 func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Result, error) {
 	spec, params, runNames, err := spec.normalised()
+	if err != nil {
+		return nil, err
+	}
+	balance, err := normalisedBalance(opts.Balance)
 	if err != nil {
 		return nil, err
 	}
@@ -225,6 +351,9 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 	if opts.PartialEvery > 0 && opts.Dir == "" {
 		return nil, fmt.Errorf("dispatch: PartialEvery needs a persistent Dir to write partial merges into")
 	}
+	if opts.PartialEvery > 0 && balance != BalanceRoundRobin {
+		return nil, fmt.Errorf("dispatch: PartialEvery requires round-robin balance (partial merges read classic shard files)")
+	}
 
 	dir, tempDir := opts.Dir, false
 	if dir == "" {
@@ -237,12 +366,7 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 		return nil, fmt.Errorf("dispatch: %w", err)
 	}
 
-	paths := make([]string, spec.Shards)
-	for i := range paths {
-		paths[i] = filepath.Join(dir, fmt.Sprintf("shard%d.json", i))
-	}
-
-	jr, done, err := openJournal(filepath.Join(dir, journalFileName), spec, params)
+	jr, done, prior, err := openJournal(filepath.Join(dir, journalFileName), spec, params, balance)
 	if err != nil {
 		return nil, err
 	}
@@ -252,8 +376,7 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 	// journal's contract).
 	defer jr.Close()
 
-	res := &Result{Dir: dir, ShardPaths: paths}
-	files := make([]*shard.File, spec.Shards)
+	res := &Result{Dir: dir}
 	// deposit feeds a validated shard file into the cell cache; failures
 	// are logged, never fatal — the cache accelerates runs, it does not
 	// gate them.
@@ -265,46 +388,195 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 			logf("dispatch: cache deposit for shard %d: %v", f.Index, err)
 		}
 	}
-	emit(ProgressEvent{Kind: ProgressPlan, Shards: spec.Shards, Shard: -1})
-	var pending []task
-	for i := 0; i < spec.Shards; i++ {
-		if done[i] {
-			if f, verr := validateShardFile(paths[i], spec, i, params, runNames); verr == nil {
-				files[i] = f
-				res.Resumed++
-				deposit(f)
-				logf("dispatch: shard %d/%d already complete (journal), skipping", i, spec.Shards)
-				emit(ProgressEvent{Kind: ProgressResumed, Shard: i, File: paths[i]})
-				continue
-			} else {
-				logf("dispatch: journal marks shard %d done but its file is invalid (%v); re-running", i, verr)
+
+	// states holds every live batch of the realised plan; files mirrors
+	// them by shard index in round-robin mode only (the partial merge and
+	// shard.Merge need the dense slice).
+	var states []*batchState
+	var files []*shard.File
+	nextID := 0
+
+	if balance == BalanceRoundRobin {
+		files = make([]*shard.File, spec.Shards)
+		paths := make([]string, spec.Shards)
+		for i := range paths {
+			paths[i] = filepath.Join(dir, fmt.Sprintf("shard%d.json", i))
+		}
+		res.ShardPaths = paths
+		// Predicted per-shard cell counts feed the batch progress events
+		// (and the Tracker's cell-weighted ETA); classic mode works
+		// without them, so a plan failure here is not fatal.
+		var ncells []int
+		if plan, perr := experiment.PlanSelection(spec.Selection, spec.Params); perr == nil {
+			if assign, aerr := (shard.RoundRobin{}).Split(plan.Grids, spec.Shards); aerr == nil {
+				ncells = make([]int, spec.Shards)
+				for ri := range assign {
+					for _, part := range assign[ri] {
+						ncells[part]++
+					}
+				}
 			}
 		}
-		if f := cachedShardFile(opts.Cache, spec, i, paths[i], params, runNames, logf); f != nil {
-			files[i] = f
-			res.Cached++
-			jr.cached(i, paths[i])
-			logf("dispatch: shard %d/%d satisfied from the cell cache, not queued", i, spec.Shards)
-			emit(ProgressEvent{Kind: ProgressCached, Shard: i, File: paths[i]})
-			continue
+		emit(ProgressEvent{Kind: ProgressPlan, Shards: spec.Shards, Shard: -1})
+		for i := 0; i < spec.Shards; i++ {
+			b := &batchInfo{id: i, kind: "shard", parent: -1, path: paths[i]}
+			if ncells != nil {
+				b.ncells = ncells[i]
+				b.weight = float64(ncells[i])
+			}
+			emit(ProgressEvent{Kind: ProgressBatch, Shard: i, Cells: b.ncells})
+			if p, ok := done[i]; ok {
+				vp := p
+				if vp == "" {
+					vp = paths[i]
+				}
+				if f, verr := validateShardFile(vp, spec, i, params, runNames); verr == nil {
+					files[i] = f
+					res.ShardPaths[i] = vp
+					res.Resumed++
+					deposit(f)
+					logf("dispatch: shard %d/%d already complete (journal), skipping", i, spec.Shards)
+					emit(ProgressEvent{Kind: ProgressResumed, Shard: i, File: vp})
+					continue
+				} else {
+					logf("dispatch: journal marks shard %d done but its file is invalid (%v); re-running", i, verr)
+				}
+			}
+			if f := cachedShardFile(opts.Cache, spec, i, paths[i], params, runNames, logf); f != nil {
+				files[i] = f
+				res.Cached++
+				jr.cached(i, paths[i])
+				logf("dispatch: shard %d/%d satisfied from the cell cache, not queued", i, spec.Shards)
+				emit(ProgressEvent{Kind: ProgressCached, Shard: i, File: paths[i]})
+				continue
+			}
+			states = append(states, newBatchState(b))
 		}
-		pending = append(pending, task{index: i, attempt: 1})
+		nextID = spec.Shards
+	} else {
+		plan, err := experiment.PlanSelection(spec.Selection, spec.Params)
+		if err != nil {
+			return nil, err
+		}
+		costs := refineCosts(prior, plan)
+		covered := make([]map[int]bool, len(plan.Names))
+		for ri := range covered {
+			covered[ri] = make(map[int]bool)
+		}
+		type resumedBatch struct {
+			id   int
+			path string
+			file *shard.File
+		}
+		var resumed []resumedBatch
+		if prior != nil {
+			nextID = len(prior.ShardStates)
+			for _, sh := range prior.ShardStates {
+				if sh.Superseded {
+					continue
+				}
+				if sh.State == ShardDone {
+					if f, verr := validateBatchFile(sh.File, spec, nil, params, runNames); verr == nil {
+						resumed = append(resumed, resumedBatch{sh.Index, sh.File, f})
+						for ri, set := range f.Batch.Cells {
+							for _, g := range set {
+								covered[ri][g] = true
+							}
+						}
+						continue
+					} else {
+						logf("dispatch: journal marks batch %d done but its file is invalid (%v); re-planning its cells", sh.Index, verr)
+					}
+				}
+				// The batch is owed no longer: a fresh cost-packing over
+				// the still-uncovered cells replaces it.
+				jr.batch(sh.Index, "dropped", -1, sh.Spec, sh.Cells, sh.Weight)
+			}
+		}
+		batches, err := planBatches(plan, costs, covered, spec.Shards, dir, &nextID)
+		if err != nil {
+			return nil, err
+		}
+		emit(ProgressEvent{Kind: ProgressPlan, Shards: nextID, Shard: -1})
+		for _, rb := range resumed {
+			st := newBatchState(&batchInfo{id: rb.id, kind: "cost", parent: -1, path: rb.path, ncells: rb.file.CellCount()})
+			st.done, st.file, st.filePath = true, rb.file, rb.path
+			states = append(states, st)
+			res.Resumed++
+			deposit(rb.file)
+			logf("dispatch: batch %d already complete (journal), skipping", rb.id)
+			emit(ProgressEvent{Kind: ProgressResumed, Shard: rb.id, File: rb.path})
+		}
+		for _, b := range batches {
+			jr.batch(b.id, b.kind, -1, b.spec, b.ncells, b.weight)
+			emit(ProgressEvent{Kind: ProgressBatch, Shard: b.id, Cells: b.ncells})
+			st := newBatchState(b)
+			if f := cachedBatchFile(opts.Cache, spec, b, params, runNames, logf); f != nil {
+				st.done, st.file, st.filePath = true, f, b.path
+				res.Cached++
+				jr.cached(b.id, b.path)
+				logf("dispatch: batch %d satisfied from the cell cache, not queued", b.id)
+				emit(ProgressEvent{Kind: ProgressCached, Shard: b.id, File: b.path})
+			}
+			states = append(states, st)
+		}
 	}
-	res.Ran = len(pending)
 
-	if len(pending) > 0 {
-		if err := run(ctx, spec, workers, opts, maxAttempts, logf, emit, deposit, paths, params, runNames, jr, pending, res, files); err != nil {
+	var queue []*batchState
+	for _, st := range states {
+		if !st.done {
+			queue = append(queue, st)
+		}
+	}
+	res.Ran = len(queue)
+
+	if len(queue) > 0 {
+		if err := run(ctx, spec, workers, opts, maxAttempts, logf, emit, deposit,
+			params, runNames, jr, dir, &states, queue, &nextID, files, res); err != nil {
 			return nil, err
 		}
 	}
 
-	merged, err := shard.Merge(files)
-	if err != nil {
-		return nil, err
+	var merged *shard.File
+	if balance == BalanceRoundRobin {
+		for _, st := range states {
+			if st.done {
+				res.ShardPaths[st.id] = st.filePath
+			}
+		}
+		merged, err = shard.Merge(files)
+		if err != nil {
+			return nil, err
+		}
+		res.Shards = spec.Shards
+		jr.merged(spec.Shards, merged.CellCount())
+		logf("dispatch: merged %d shards (%d cells) for %q", spec.Shards, merged.CellCount(), spec.Selection)
+		emit(ProgressEvent{Kind: ProgressMerged, Shards: spec.Shards, Shard: -1, Cells: merged.CellCount()})
+	} else {
+		sort.Slice(states, func(i, j int) bool { return states[i].id < states[j].id })
+		var bfiles []*shard.File
+		res.ShardPaths = nil
+		for _, st := range states {
+			if st.split {
+				continue // its children carry the cells
+			}
+			if !st.done || st.file == nil {
+				return nil, fmt.Errorf("dispatch: internal: batch %d never completed", st.id)
+			}
+			bfiles = append(bfiles, st.file)
+			res.ShardPaths = append(res.ShardPaths, st.filePath)
+		}
+		var dups int
+		merged, dups, err = shard.MergeBatches(bfiles)
+		if err != nil {
+			return nil, err
+		}
+		res.Duplicates += dups
+		res.Shards = len(bfiles)
+		jr.merged(len(bfiles), merged.CellCount())
+		logf("dispatch: merged %d batches (%d cells) for %q", len(bfiles), merged.CellCount(), spec.Selection)
+		emit(ProgressEvent{Kind: ProgressMerged, Shards: len(bfiles), Shard: -1, Cells: merged.CellCount()})
 	}
-	jr.merged(spec.Shards, merged.CellCount())
-	logf("dispatch: merged %d shards (%d cells) for %q", spec.Shards, merged.CellCount(), spec.Selection)
-	emit(ProgressEvent{Kind: ProgressMerged, Shards: spec.Shards, Shard: -1, Cells: merged.CellCount()})
 	// The cover is complete: a stale auto-partial file would only invite
 	// re-rendering a subset of a finished sweep. Unconditional — a resume
 	// without PartialEvery must still clean up what an earlier, observed
@@ -322,26 +594,141 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 	return res, nil
 }
 
-// run drains the pending shards through the worker pool, re-queueing
-// failures until every shard completes or one exhausts its attempts.
-//
-// The coordinator assigns tasks to idle workers explicitly (one channel
-// per worker) rather than letting workers race on a shared queue: that is
-// what lets a retry prefer a worker that has not already failed the
-// shard, so a single dead worker cannot consume a shard's whole attempt
-// budget while healthy workers sit idle. A shard that has failed on every
-// worker may run anywhere.
+// planBatches cost-packs the selection's not-yet-covered cells into up to
+// parts batches of near-equal predicted cost. Shared-key groups are
+// packed once through their representative (its members copy the
+// assignment), so fig6/fig7's single computation is never priced twice;
+// parts that end up empty are dropped rather than dispatched.
+func planBatches(plan *experiment.RunPlan, costs [][]float64, covered []map[int]bool,
+	parts int, dir string, nextID *int) ([]*batchInfo, error) {
+	masked := make([][]float64, len(costs))
+	for ri := range costs {
+		masked[ri] = make([]float64, len(costs[ri]))
+		if plan.Groups[ri] != ri {
+			continue // shared-key member: its representative carries the cost
+		}
+		for g, c := range costs[ri] {
+			if !covered[ri][g] {
+				masked[ri][g] = c
+			}
+		}
+	}
+	assign, err := shard.CostPacked{Costs: masked}.Split(plan.Grids, parts)
+	if err != nil {
+		return nil, err
+	}
+	for ri := range assign {
+		if plan.Groups[ri] != ri {
+			assign[ri] = assign[plan.Groups[ri]]
+		}
+	}
+	var out []*batchInfo
+	for p := 0; p < parts; p++ {
+		cells := make([][]int, len(plan.Names))
+		ncells := 0
+		weight := 0.0
+		for ri := range plan.Names {
+			for g, part := range assign[ri] {
+				if part != p || covered[ri][g] {
+					continue
+				}
+				cells[ri] = append(cells[ri], g)
+				ncells++
+				if plan.Groups[ri] == ri {
+					weight += costs[ri][g]
+				}
+			}
+		}
+		if ncells == 0 {
+			continue
+		}
+		spec, err := shard.FormatCellSpec(plan.Names, cells)
+		if err != nil {
+			return nil, err
+		}
+		id := *nextID
+		*nextID++
+		out = append(out, &batchInfo{
+			id: id, kind: "cost", parent: -1,
+			cells: cells, spec: spec, ncells: ncells, weight: weight,
+			path: filepath.Join(dir, fmt.Sprintf("batch%d.json", id)),
+		})
+	}
+	return out, nil
+}
+
+// splitBatch halves a failed batch's cells into two child batches (walked
+// in run/cell order), inheriting the parent's attempt count and failure
+// history so the attempt budget still bounds the lineage. Returns nil if
+// the batch cannot be split.
+func splitBatch(st *batchState, attempt int, runNames []string, dir string, nextID *int) []*batchState {
+	if st.cells == nil || st.ncells < 2 {
+		return nil
+	}
+	half := st.ncells / 2
+	a := make([][]int, len(st.cells))
+	b := make([][]int, len(st.cells))
+	n := 0
+	for ri, set := range st.cells {
+		for _, g := range set {
+			if n < half {
+				a[ri] = append(a[ri], g)
+			} else {
+				b[ri] = append(b[ri], g)
+			}
+			n++
+		}
+	}
+	var out []*batchState
+	for _, cells := range [][][]int{a, b} {
+		spec, err := shard.FormatCellSpec(runNames, cells)
+		if err != nil {
+			return nil
+		}
+		id := *nextID
+		*nextID++
+		nc := 0
+		for _, set := range cells {
+			nc += len(set)
+		}
+		c := &batchInfo{
+			id: id, kind: "split", parent: st.id,
+			cells: cells, spec: spec, ncells: nc, weight: st.weight / 2,
+			path: filepath.Join(dir, fmt.Sprintf("batch%d.json", id)),
+		}
+		cst := newBatchState(c)
+		cst.attempts = attempt
+		for wi := range st.failedOn {
+			cst.failedOn[wi] = true
+		}
+		out = append(out, cst)
+	}
+	return out
+}
+
+// run drains the queue through the worker pool: a pull-based work queue
+// where the coordinator hands tasks to idle workers explicitly (one
+// channel per worker) rather than letting workers race on a shared
+// queue. That is what lets a retry prefer a worker that has not already
+// failed the batch — a single dead worker cannot consume a batch's whole
+// attempt budget while healthy workers sit idle — and what lets idle
+// workers steal a second copy of a straggling batch once the queue
+// drains (Options.Steal). First completion wins; late duplicates are
+// discarded without journaling. A failed cost batch with no copy still
+// running is re-split into two child batches, so a retry re-runs half
+// the work per worker instead of all of it.
 func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAttempts int,
 	logf func(string, ...any), emit func(ProgressEvent), deposit func(*shard.File),
-	paths []string, params []byte, runNames []string,
-	jr *journal, pending []task, res *Result, files []*shard.File) error {
+	params []byte, runNames []string,
+	jr *journal, dir string, statesAll *[]*batchState, queue []*batchState,
+	nextID *int, files []*shard.File, res *Result) error {
 
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	feeds := make([]chan task, len(workers))
 	results := make(chan outcome)
-	requeue := make(chan task, spec.Shards*maxAttempts)
+	requeue := make(chan *batchState, len(queue)*maxAttempts*2+len(workers)+1)
 	var wg sync.WaitGroup
 	for i, w := range workers {
 		feeds[i] = make(chan task, 1)
@@ -353,11 +740,8 @@ func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAtte
 				case <-runCtx.Done():
 					return
 				case t := <-feeds[wi]:
-					jr.attempt(t.index, t.attempt, w.Name())
-					logf("dispatch: shard %d attempt %d/%d on %s", t.index, t.attempt, maxAttempts, w.Name())
-					emit(ProgressEvent{Kind: ProgressAttempt, Shard: t.index, Attempt: t.attempt, Worker: w.Name()})
 					o := outcome{task: t, workerIdx: wi, worker: w.Name()}
-					o.file, o.err = runAttempt(runCtx, w, spec, t.index, paths[t.index], params, runNames, opts.AttemptTimeout)
+					o.file, o.err = runAttempt(runCtx, w, spec, t, params, runNames, opts.AttemptTimeout)
 					select {
 					case results <- o:
 					case <-runCtx.Done():
@@ -368,26 +752,64 @@ func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAtte
 		}(i, w)
 	}
 
+	byID := make(map[int]*batchState, len(*statesAll))
+	for _, st := range *statesAll {
+		byID[st.id] = st
+	}
 	idle := make([]int, len(workers))
 	for i := range idle {
 		idle[i] = i
 	}
-	// tryAssign hands queued tasks to idle workers, preferring for each
-	// task a worker that has not failed it yet; tasks whose only fresh
-	// workers are busy stay queued until one frees up.
+	pending := append([]*batchState(nil), queue...)
+	remaining := len(queue)
+
+	// assign hands one attempt (or steal) to worker wi; the coordinator
+	// journals and emits at assignment time, so the journal's attempt
+	// order is the assignment order.
+	assign := func(st *batchState, wi int, steal bool) {
+		st.attempts++
+		st.running++
+		if st.started.IsZero() {
+			st.started = time.Now()
+		}
+		att := st.attempts
+		out := st.path
+		name := workers[wi].Name()
+		if steal {
+			// Steal copies write a suffixed path: the canonical path stays
+			// owned by regular attempts, so by-hand merges over canonical
+			// names keep working whatever the race outcome.
+			out = fmt.Sprintf("%s.s%d", st.path, att)
+			res.Steals++
+			jr.steal(st.id, att, name)
+			logf("dispatch: %s %d stolen by idle %s (attempt %d/%d)", st.noun(), st.id, name, att, maxAttempts)
+			emit(ProgressEvent{Kind: ProgressSteal, Shard: st.id, Attempt: att, Worker: name})
+		} else {
+			jr.attempt(st.id, att, name)
+			logf("dispatch: %s %d attempt %d/%d on %s", st.noun(), st.id, att, maxAttempts, name)
+			emit(ProgressEvent{Kind: ProgressAttempt, Shard: st.id, Attempt: att, Worker: name})
+		}
+		feeds[wi] <- task{b: st.batchInfo, attempt: att, steal: steal, out: out}
+	}
+
+	// tryAssign hands queued batches to idle workers, preferring for each
+	// a worker that has not failed it yet; batches whose only fresh
+	// workers are busy stay queued until one frees up. With the queue
+	// drained and Steal on, leftover idle workers take a second copy of
+	// the heaviest single-copy straggler.
 	tryAssign := func() {
 		for len(idle) > 0 {
 			assigned := false
 			for pi := 0; pi < len(pending) && !assigned; pi++ {
-				t := pending[pi]
+				st := pending[pi]
 				pick := -1
 				for ii, wi := range idle {
-					if !t.failedOn[wi] {
+					if !st.failedOn[wi] {
 						pick = ii
 						break
 					}
 				}
-				if pick == -1 && len(t.failedOn) >= len(workers) {
+				if pick == -1 && len(st.failedOn) >= len(workers) {
 					pick = 0 // every worker failed it once; anyone may retry
 				}
 				if pick == -1 {
@@ -396,12 +818,45 @@ func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAtte
 				wi := idle[pick]
 				idle = append(idle[:pick], idle[pick+1:]...)
 				pending = append(pending[:pi], pending[pi+1:]...)
-				feeds[wi] <- t // cap 1 and the worker is idle: never blocks
+				assign(st, wi, false)
 				assigned = true
 			}
 			if !assigned {
+				break
+			}
+		}
+		if !opts.Steal || len(pending) > 0 {
+			return
+		}
+		for len(idle) > 0 {
+			var target *batchState
+			pick := -1
+			for _, st := range byID {
+				if st.done || st.split || st.running != 1 || st.attempts >= maxAttempts {
+					continue
+				}
+				wpick := -1
+				for ii, wi := range idle {
+					if !st.failedOn[wi] {
+						wpick = ii
+						break
+					}
+				}
+				if wpick == -1 {
+					continue
+				}
+				if target == nil || st.weight > target.weight ||
+					(st.weight == target.weight && (st.started.Before(target.started) ||
+						(st.started.Equal(target.started) && st.id < target.id))) {
+					target, pick = st, wpick
+				}
+			}
+			if target == nil {
 				return
 			}
+			wi := idle[pick]
+			idle = append(idle[:pick], idle[pick+1:]...)
+			assign(target, wi, true)
 		}
 	}
 
@@ -446,7 +901,6 @@ func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAtte
 		emit(ProgressEvent{Kind: ProgressPartial, Shards: present, Shard: -1, File: path, Cells: cells})
 	}
 
-	remaining := len(pending)
 	tryAssign()
 	var fatal error
 	for remaining > 0 && fatal == nil {
@@ -455,52 +909,90 @@ func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAtte
 			fatal = ctx.Err()
 		case <-partialTick:
 			savePartial()
-		case t := <-requeue:
-			pending = append(pending, t)
+		case st := <-requeue:
+			pending = append(pending, st)
 			tryAssign()
 		case o := <-results:
 			idle = append(idle, o.workerIdx)
-			a := Attempt{Shard: o.index, Attempt: o.attempt, Worker: o.worker}
+			st := byID[o.b.id]
+			st.running--
+			a := Attempt{Shard: o.b.id, Attempt: o.attempt, Steal: o.steal, Worker: o.worker}
 			if o.err != nil {
 				a.Err = o.err.Error()
 			}
 			res.Attempts = append(res.Attempts, a)
+			if st.done {
+				// A concurrent copy already won. The outcome — success or
+				// failure — concerns a duplicate and is discarded without
+				// journaling: the batch's record ends at its done event.
+				if o.err == nil {
+					res.Duplicates++
+					logf("dispatch: %s %d duplicate completion (attempt %d on %s) discarded", o.b.noun(), o.b.id, o.attempt, o.worker)
+					if o.out != st.filePath {
+						os.Remove(o.out)
+					}
+				}
+				tryAssign()
+				continue
+			}
 			if o.err == nil {
-				files[o.index] = o.file
+				st.done, st.file, st.filePath = true, o.file, o.out
+				if files != nil {
+					files[o.b.id] = o.file
+				}
 				deposit(o.file)
-				jr.done(o.index, o.attempt, paths[o.index])
-				logf("dispatch: shard %d/%d complete (attempt %d on %s)", o.index, spec.Shards, o.attempt, o.worker)
-				emit(ProgressEvent{Kind: ProgressDone, Shard: o.index, Attempt: o.attempt, Worker: o.worker, File: paths[o.index]})
+				jr.done(o.b.id, o.attempt, o.worker, o.out, o.file.CellCount())
+				logf("dispatch: %s %d complete (attempt %d on %s)", o.b.noun(), o.b.id, o.attempt, o.worker)
+				emit(ProgressEvent{Kind: ProgressDone, Shard: o.b.id, Attempt: o.attempt, Worker: o.worker, File: o.out, Cells: o.file.CellCount()})
 				remaining--
 				tryAssign()
 				continue
 			}
-			jr.fail(o.index, o.attempt, o.worker, o.err)
-			emit(ProgressEvent{Kind: ProgressFailed, Shard: o.index, Attempt: o.attempt, Worker: o.worker, Err: o.err.Error()})
-			if o.attempt >= maxAttempts {
-				fatal = fmt.Errorf("dispatch: shard %d failed all %d attempts, last on %s: %w",
-					o.index, o.attempt, o.worker, o.err)
+			jr.fail(o.b.id, o.attempt, o.worker, o.err)
+			emit(ProgressEvent{Kind: ProgressFailed, Shard: o.b.id, Attempt: o.attempt, Worker: o.worker, Err: o.err.Error()})
+			st.failedOn[o.workerIdx] = true
+			if st.running > 0 {
+				// A concurrent copy is still in flight; it may yet win, so
+				// nothing is re-queued.
+				logf("dispatch: %s %d attempt %d on %s failed; a concurrent copy is still running: %v",
+					o.b.noun(), o.b.id, o.attempt, o.worker, o.err)
+				tryAssign()
 				continue
 			}
-			logf("dispatch: shard %d attempt %d on %s failed, retrying: %v", o.index, o.attempt, o.worker, o.err)
-			res.Retries++
-			retry := task{index: o.index, attempt: o.attempt + 1, failedOn: o.failedOn}
-			if retry.failedOn == nil {
-				retry.failedOn = make(map[int]bool)
+			if o.attempt >= maxAttempts {
+				fatal = fmt.Errorf("dispatch: shard %d failed all %d attempts, last on %s: %w",
+					o.b.id, o.attempt, o.worker, o.err)
+				continue
 			}
-			retry.failedOn[o.workerIdx] = true
+			res.Retries++
+			if children := splitBatch(st, o.attempt, runNames, dir, nextID); children != nil {
+				st.split = true
+				remaining++
+				logf("dispatch: batch %d attempt %d on %s failed; re-splitting %d cells into batches %d+%d: %v",
+					st.id, o.attempt, o.worker, st.ncells, children[0].id, children[1].id, o.err)
+				for _, c := range children {
+					jr.batch(c.id, c.kind, c.parent, c.spec, c.ncells, c.weight)
+					emit(ProgressEvent{Kind: ProgressBatch, Shard: c.id, Cells: c.ncells})
+					byID[c.id] = c
+					*statesAll = append(*statesAll, c)
+					pending = append(pending, c)
+				}
+				tryAssign()
+				continue
+			}
+			logf("dispatch: %s %d attempt %d on %s failed, retrying: %v", o.b.noun(), o.b.id, o.attempt, o.worker, o.err)
 			if opts.RetryDelay > 0 {
-				go func() {
+				go func(st *batchState) {
 					select {
 					case <-time.After(opts.RetryDelay):
-						requeue <- retry
+						requeue <- st
 					case <-runCtx.Done():
 					}
-				}()
+				}(st)
 			} else {
-				pending = append(pending, retry)
+				pending = append(pending, st)
+				tryAssign()
 			}
-			tryAssign()
 		}
 	}
 	cancel()
@@ -573,9 +1065,37 @@ func cachedShardFile(cache *cellcache.Store, spec Spec, index int, path string,
 	return vf
 }
 
-// runAttempt runs one shard attempt under the per-attempt timeout and
-// validates the produced file, returning its decoded form on success.
-func runAttempt(ctx context.Context, w Worker, spec Spec, index int, path string,
+// cachedBatchFile is cachedShardFile's cost-mode counterpart: it tries to
+// satisfy one planned batch purely from the cell cache and re-validates
+// the written file like any worker output.
+func cachedBatchFile(cache *cellcache.Store, spec Spec, b *batchInfo,
+	params []byte, runNames []string, logf func(string, ...any)) *shard.File {
+	if cache == nil {
+		return nil
+	}
+	f, ok, err := experiment.CachedBatch(cache, spec.Selection, spec.Params, b.cells)
+	if err != nil {
+		logf("dispatch: cache probe for batch %d: %v", b.id, err)
+		return nil
+	}
+	if !ok {
+		return nil
+	}
+	if err := f.WriteFile(b.path); err != nil {
+		logf("dispatch: writing cached batch %d: %v", b.id, err)
+		return nil
+	}
+	vf, err := validateBatchFile(b.path, spec, b.cells, params, runNames)
+	if err != nil {
+		logf("dispatch: cached batch %d failed validation (%v); re-running", b.id, err)
+		return nil
+	}
+	return vf
+}
+
+// runAttempt runs one attempt under the per-attempt timeout and validates
+// the produced file, returning its decoded form on success.
+func runAttempt(ctx context.Context, w Worker, spec Spec, t task,
 	params []byte, runNames []string, timeout time.Duration) (*shard.File, error) {
 	actx := ctx
 	if timeout > 0 {
@@ -585,13 +1105,17 @@ func runAttempt(ctx context.Context, w Worker, spec Spec, index int, path string
 	}
 	// Drop any partial file a previous attempt left, so validation can
 	// never accept stale output.
-	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+	if err := os.Remove(t.out); err != nil && !os.IsNotExist(err) {
 		return nil, fmt.Errorf("dispatch: %w", err)
 	}
 	var f *shard.File
-	err := w.Run(actx, Task{Spec: spec, Index: index, Out: path})
+	err := w.Run(actx, Task{Spec: spec, Index: t.b.id, Cells: t.b.spec, Out: t.out})
 	if err == nil {
-		f, err = validateShardFile(path, spec, index, params, runNames)
+		if t.b.cells != nil {
+			f, err = validateBatchFile(t.out, spec, t.b.cells, params, runNames)
+		} else {
+			f, err = validateShardFile(t.out, spec, t.b.id, params, runNames)
+		}
 	}
 	if err != nil && actx.Err() != nil && ctx.Err() == nil {
 		return nil, fmt.Errorf("dispatch: attempt exceeded the %v timeout: %w", timeout, err)
@@ -599,23 +1123,17 @@ func runAttempt(ctx context.Context, w Worker, spec Spec, index int, path string
 	return f, err
 }
 
-// validateShardFile accepts a worker's output only if it is a decodable
-// shard file of exactly this run — right selection, decomposition and
-// params, the selection's canonical runs, and every owned cell present
-// exactly once (File.ValidateCells) — and returns the decoded file so
-// the driver never parses a shard twice. Anything else counts as a
-// failed attempt and is retried.
-func validateShardFile(path string, spec Spec, index int, params []byte, runNames []string) (*shard.File, error) {
+// validateRunFile holds the validation gates shared by shard and batch
+// files: a decodable file of exactly this run — right selection and
+// params, the selection's canonical runs, and the grid and payload layout
+// the registry derives from the params (experiment.ValidateRuns).
+func validateRunFile(path string, spec Spec, params []byte, runNames []string) (*shard.File, error) {
 	f, err := shard.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	if f.Selection != spec.Selection {
 		return nil, fmt.Errorf("dispatch: %s records selection %q, want %q", path, f.Selection, spec.Selection)
-	}
-	if f.Shards != spec.Shards || f.Index != index {
-		return nil, fmt.Errorf("dispatch: %s records shard %d/%d, want %d/%d",
-			path, f.Index, f.Shards, index, spec.Shards)
 	}
 	var got bytes.Buffer
 	if err := json.Compact(&got, f.Params); err != nil {
@@ -633,15 +1151,76 @@ func validateShardFile(path string, spec Spec, index int, params []byte, runName
 			return nil, fmt.Errorf("dispatch: %s run %d is %q, want %q", path, i, r.Experiment, runNames[i])
 		}
 	}
-	// The registry knows what each run must look like under these params:
-	// the grid the experiment derives from them, and the payload layout
-	// its codec reads. A worker built against a different layout is a
-	// failed attempt, not a mergeable file.
 	if err := experiment.ValidateRuns(f, spec.Params); err != nil {
 		return nil, fmt.Errorf("dispatch: %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// validateShardFile accepts a worker's output only if it is a valid
+// classic shard file of exactly this run and index with every owned cell
+// present exactly once (File.ValidateCells), and returns the decoded file
+// so the driver never parses a shard twice. Anything else counts as a
+// failed attempt and is retried.
+func validateShardFile(path string, spec Spec, index int, params []byte, runNames []string) (*shard.File, error) {
+	f, err := validateRunFile(path, spec, params, runNames)
+	if err != nil {
+		return nil, err
+	}
+	if f.Batch != nil {
+		return nil, fmt.Errorf("dispatch: %s is a cell-batch file, want shard %d/%d", path, index, spec.Shards)
+	}
+	if f.Shards != spec.Shards || f.Index != index {
+		return nil, fmt.Errorf("dispatch: %s records shard %d/%d, want %d/%d",
+			path, f.Index, f.Shards, index, spec.Shards)
 	}
 	if err := f.ValidateCells(); err != nil {
 		return nil, err
 	}
 	return f, nil
+}
+
+// validateBatchFile is validateShardFile's counterpart for cell-batch
+// files. With cells non-nil the file's batch header must record exactly
+// those per-run sets — a worker that computed the wrong cells is a failed
+// attempt, not a mergeable file; with cells nil the header is accepted as
+// recorded (resume trusts the journaled plan it re-validates against).
+func validateBatchFile(path string, spec Spec, cells [][]int, params []byte, runNames []string) (*shard.File, error) {
+	f, err := validateRunFile(path, spec, params, runNames)
+	if err != nil {
+		return nil, err
+	}
+	if f.Batch == nil {
+		return nil, fmt.Errorf("dispatch: %s is not a cell-batch file", path)
+	}
+	if f.Shards != 1 || f.Index != 0 {
+		return nil, fmt.Errorf("dispatch: %s records shard %d/%d, want a 1/0 batch", path, f.Index, f.Shards)
+	}
+	if cells != nil {
+		if len(f.Batch.Cells) != len(cells) {
+			return nil, fmt.Errorf("dispatch: %s records %d cell sets, want %d", path, len(f.Batch.Cells), len(cells))
+		}
+		for ri := range cells {
+			if !equalInts(f.Batch.Cells[ri], cells[ri]) {
+				return nil, fmt.Errorf("dispatch: %s run %d records cells %q, want %q",
+					path, ri, shard.FormatRanges(f.Batch.Cells[ri]), shard.FormatRanges(cells[ri]))
+			}
+		}
+	}
+	if err := f.ValidateCells(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -37,15 +37,24 @@ type journalEvent struct {
 	Selection string          `json:"selection,omitempty"`
 	Shards    int             `json:"shards,omitempty"`
 	Params    json.RawMessage `json:"params,omitempty"`
+	// Balance names the decomposition of a balanced dispatch ("cost");
+	// absent on round-robin plans, so old journals read unchanged.
+	Balance string `json:"balance,omitempty"`
 
-	// attempt / fail / done
+	// attempt / steal / fail / done / batch
 	Shard   *int   `json:"shard,omitempty"`
 	Attempt int    `json:"attempt,omitempty"`
 	Worker  string `json:"worker,omitempty"`
 	Error   string `json:"error,omitempty"`
 	File    string `json:"file,omitempty"`
 
-	// merged / partial
+	// batch: the realised decomposition (compatible v1 additions)
+	Kind   string  `json:"kind,omitempty"`
+	Parent *int    `json:"parent,omitempty"`
+	Spec   string  `json:"spec,omitempty"`
+	Weight float64 `json:"weight,omitempty"`
+
+	// merged / partial / batch / done (cell counts)
 	Cells int `json:"cells,omitempty"`
 }
 
@@ -61,53 +70,76 @@ type journal struct {
 }
 
 // openJournal opens (or creates) the journal at path for the given run
-// and returns it with the set of shard indices already recorded done.
+// and returns it with the recorded file path of every shard/batch
+// already journaled done, plus the decoded prior state (nil on a fresh
+// journal) for cost re-planning.
 //
 // An existing journal must carry a plan event matching the run —
-// selection, shard count and compact params — otherwise the directory
-// belongs to a different run and openJournal refuses it rather than mix
-// shard sets. Decoding is delegated to ReadJournal, the one decoder of
-// the journal schema, so resume and the status reader can never disagree
-// about what a journal says.
-func openJournal(path string, spec Spec, params []byte) (*journal, map[int]bool, error) {
-	done := make(map[int]bool)
+// selection, shard count, compact params and balance — otherwise the
+// directory belongs to a different run and openJournal refuses it rather
+// than mix shard sets. Decoding is delegated to ReadJournal, the one
+// decoder of the journal schema, so resume and the status reader can
+// never disagree about what a journal says.
+func openJournal(path string, spec Spec, params []byte, balance string) (*journal, map[int]string, *JournalState, error) {
+	done := make(map[int]string)
 	data, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
-		return nil, nil, fmt.Errorf("dispatch: journal: %w", err)
+		return nil, nil, nil, fmt.Errorf("dispatch: journal: %w", err)
 	}
 	resuming := err == nil && len(bytes.TrimSpace(data)) > 0
+	var prior *JournalState
 	if resuming {
 		st, err := ReadJournal(path)
 		if err != nil {
-			return nil, nil, fmt.Errorf("%w; use a fresh directory", err)
+			return nil, nil, nil, fmt.Errorf("%w; use a fresh directory", err)
 		}
 		var recorded bytes.Buffer
 		if len(st.Params) > 0 {
 			if err := json.Compact(&recorded, st.Params); err != nil {
-				return nil, nil, fmt.Errorf("dispatch: journal %s: plan params: %w", path, err)
+				return nil, nil, nil, fmt.Errorf("dispatch: journal %s: plan params: %w", path, err)
 			}
 		}
 		if st.Selection != spec.Selection || st.Shards != spec.Shards ||
 			!bytes.Equal(recorded.Bytes(), params) {
-			return nil, nil, fmt.Errorf(
+			return nil, nil, nil, fmt.Errorf(
 				"dispatch: journal %s records a different run (selection %q, %d shards); use a fresh directory",
 				path, st.Selection, st.Shards)
 		}
+		if normalBalance(st.Balance) != normalBalance(balance) {
+			return nil, nil, nil, fmt.Errorf(
+				"dispatch: journal %s records a %s-balanced run, this dispatch asks for %s; use a fresh directory",
+				path, normalBalance(st.Balance), normalBalance(balance))
+		}
 		for _, sh := range st.ShardStates {
 			if sh.State == ShardDone {
-				done[sh.Index] = true
+				done[sh.Index] = sh.File
 			}
 		}
+		prior = st
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("dispatch: journal: %w", err)
+		return nil, nil, nil, fmt.Errorf("dispatch: journal: %w", err)
 	}
 	j := &journal{f: f, enc: json.NewEncoder(f)}
 	if !resuming {
-		j.write(journalEvent{Event: "plan", V: JournalVersion, Selection: spec.Selection, Shards: spec.Shards, Params: params})
+		e := journalEvent{Event: "plan", V: JournalVersion, Selection: spec.Selection, Shards: spec.Shards, Params: params}
+		if normalBalance(balance) != BalanceRoundRobin {
+			// Recorded only for balanced plans, so round-robin journals
+			// keep their historical bytes.
+			e.Balance = normalBalance(balance)
+		}
+		j.write(e)
 	}
-	return j, done, nil
+	return j, done, prior, nil
+}
+
+// normalBalance resolves the default spelling: "" means round-robin.
+func normalBalance(b string) string {
+	if b == "" {
+		return BalanceRoundRobin
+	}
+	return b
 }
 
 func (j *journal) write(e journalEvent) {
@@ -123,12 +155,33 @@ func (j *journal) attempt(shard, attempt int, worker string) {
 	j.write(journalEvent{Event: "attempt", Shard: &shard, Attempt: attempt, Worker: worker})
 }
 
+// steal records a work-stealing attempt: a second concurrent try at a
+// straggling batch by an idle worker. A compatible v1 addition — old
+// readers skip it, at worst under-counting attempts.
+func (j *journal) steal(shard, attempt int, worker string) {
+	j.write(journalEvent{Event: "steal", Shard: &shard, Attempt: attempt, Worker: worker})
+}
+
+// batch records one planned cell batch of a balanced dispatch: its id
+// (the "shard" field — batches and shards share the id space), kind
+// ("cost" for a planned batch, "split" for a retry's re-split child,
+// "dropped" for a batch a resume re-planned away), parent batch id for
+// splits (-1 = none), cell spec, cell count and predicted weight. A
+// compatible v1 addition.
+func (j *journal) batch(id int, kind string, parent int, spec string, ncells int, weight float64) {
+	e := journalEvent{Event: "batch", Shard: &id, Kind: kind, Spec: spec, Cells: ncells, Weight: weight}
+	if parent >= 0 {
+		e.Parent = &parent
+	}
+	j.write(e)
+}
+
 func (j *journal) fail(shard, attempt int, worker string, err error) {
 	j.write(journalEvent{Event: "fail", Shard: &shard, Attempt: attempt, Worker: worker, Error: err.Error()})
 }
 
-func (j *journal) done(shard, attempt int, file string) {
-	j.write(journalEvent{Event: "done", Shard: &shard, Attempt: attempt, File: file})
+func (j *journal) done(shard, attempt int, worker, file string, cells int) {
+	j.write(journalEvent{Event: "done", Shard: &shard, Attempt: attempt, Worker: worker, File: file, Cells: cells})
 }
 
 // cached records a shard satisfied from the cell cache without running.

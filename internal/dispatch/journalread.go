@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // Journal observability: ReadJournal decodes a dispatch journal — of a
@@ -17,21 +18,42 @@ import (
 // truncates or appends, so it is always safe to run against a live
 // dispatch directory.
 
-// JournalShard summarises one shard's journaled lifecycle.
+// JournalShard summarises one shard's (or, in a balanced dispatch, one
+// cell batch's — they share the id space) journaled lifecycle.
 type JournalShard struct {
 	Index int
 	// State is the shard's latest journaled state. A "running" shard of a
 	// dead dispatch was interrupted mid-attempt and will re-run on
 	// resume.
 	State ShardState
-	// Attempts counts journaled attempt events; Fails counts failed ones.
-	Attempts, Fails int
+	// Attempts counts journaled attempt and steal events; Fails counts
+	// failed ones; Steals counts the steal events alone.
+	Attempts, Fails, Steals int
 	// Worker is the last worker to touch the shard.
 	Worker string
+	// Winner is the worker whose copy completed the shard (recorded on
+	// the done event; "" in journals predating the field and on cached
+	// shards).
+	Winner string
 	// Err is the last recorded failure, if any.
 	Err string
 	// File is the output path recorded when the shard completed.
 	File string
+	// Kind, Spec, Cells, Weight and Parent describe a balanced dispatch's
+	// batch entry ("cost"/"split"/"dropped", the cell spec, the cell
+	// count, the predicted weight, the split parent's id or -1). Zero on
+	// classic round-robin shards; Cells is also learned from done events.
+	Kind   string
+	Spec   string
+	Cells  int
+	Weight float64
+	Parent int
+	// Superseded marks a batch no longer owed: a split parent (its
+	// children carry the cells now) or a batch a resume re-planned away.
+	Superseded bool
+	// Duration is the wall-clock from the last attempt/steal start to the
+	// done event (0 when unknown or cached).
+	Duration time.Duration
 }
 
 // JournalState is the decoded state of one dispatch journal.
@@ -42,10 +64,12 @@ type JournalState struct {
 	// field reads as 1; see JournalVersion).
 	Version int
 	// Selection, Shards and Params are the plan: which run the directory
-	// belongs to.
+	// belongs to. Balance is the plan's decomposition ("" in round-robin
+	// journals, which never record the field).
 	Selection string
 	Shards    int
 	Params    json.RawMessage
+	Balance   string
 	// ShardStates holds one entry per shard, indexed by shard.
 	ShardStates []JournalShard
 	// Merged reports whether the final merge event was journaled;
@@ -81,9 +105,19 @@ func ReadJournal(path string) (*JournalState, error) {
 			return nil
 		}
 		for len(st.ShardStates) <= i {
-			st.ShardStates = append(st.ShardStates, JournalShard{Index: len(st.ShardStates), State: ShardPending})
+			st.ShardStates = append(st.ShardStates, JournalShard{Index: len(st.ShardStates), State: ShardPending, Parent: -1})
 		}
 		return &st.ShardStates[i]
+	}
+	// lastStart[id] is the most recent attempt/steal time, feeding the
+	// done event's Duration.
+	lastStart := make(map[int]time.Time)
+	at := func(e journalEvent) time.Time {
+		t, err := time.Parse(time.RFC3339Nano, e.Time)
+		if err != nil {
+			return time.Time{}
+		}
+		return t
 	}
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -102,13 +136,39 @@ func ReadJournal(path string) (*JournalState, error) {
 				st.Version = 1
 			}
 			st.Selection, st.Shards, st.Params = e.Selection, e.Shards, e.Params
-			shardAt(e.Shards - 1)
+			st.Balance = e.Balance
+			// A balanced plan's batches are announced by batch events, not
+			// the shard count; only pre-extend round-robin journals.
+			if e.Balance == "" {
+				shardAt(e.Shards - 1)
+			}
 			sawPlan = true
-		case "attempt":
+		case "batch":
+			if e.Shard != nil {
+				if s := shardAt(*e.Shard); s != nil {
+					s.Kind, s.Spec, s.Cells, s.Weight = e.Kind, e.Spec, e.Cells, e.Weight
+					if e.Parent != nil {
+						s.Parent = *e.Parent
+						// A split's children own the parent's cells now.
+						if p := shardAt(*e.Parent); p != nil {
+							p.Superseded = true
+						}
+					}
+					if e.Kind == "dropped" {
+						// A resume re-planned this batch away; nobody owes it.
+						s.Superseded = true
+					}
+				}
+			}
+		case "attempt", "steal":
 			if e.Shard != nil {
 				if s := shardAt(*e.Shard); s != nil {
 					s.Attempts++
+					if e.Event == "steal" {
+						s.Steals++
+					}
 					s.State, s.Worker, s.Err = ShardRunning, e.Worker, ""
+					lastStart[*e.Shard] = at(e)
 				}
 			}
 		case "fail":
@@ -118,7 +178,22 @@ func ReadJournal(path string) (*JournalState, error) {
 					s.State, s.Worker, s.Err = ShardFailed, e.Worker, e.Error
 				}
 			}
-		case "done", "cached":
+		case "done":
+			if e.Shard != nil {
+				if s := shardAt(*e.Shard); s != nil {
+					s.State, s.File, s.Err = ShardDone, e.File, ""
+					s.Winner = e.Worker
+					if e.Cells > 0 {
+						s.Cells = e.Cells
+					}
+					if start, ok := lastStart[*e.Shard]; ok && !start.IsZero() {
+						if end := at(e); !end.IsZero() && end.After(start) {
+							s.Duration = end.Sub(start)
+						}
+					}
+				}
+			}
+		case "cached":
 			// A cached shard's file was written from the cell cache and
 			// validated like any worker's; for resume and status it is done.
 			if e.Shard != nil {
@@ -154,11 +229,12 @@ func (s *JournalState) DoneCount() int {
 
 // Missing returns the shard indices not journaled done, ascending — on a
 // dead dispatch, exactly the indices a resume (or a by-hand re-run) still
-// owes.
+// owes. Superseded batches (split parents, re-planned-away entries) are
+// owed by nobody and skipped.
 func (s *JournalState) Missing() []int {
 	var out []int
 	for _, sh := range s.ShardStates {
-		if sh.State != ShardDone {
+		if sh.State != ShardDone && !sh.Superseded {
 			out = append(out, sh.Index)
 		}
 	}

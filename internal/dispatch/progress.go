@@ -29,6 +29,13 @@ const (
 	ProgressCached ProgressKind = "cached"
 	// ProgressAttempt reports a worker starting an attempt at a shard.
 	ProgressAttempt ProgressKind = "attempt"
+	// ProgressBatch announces one planned cell batch of a balanced
+	// dispatch (Shard = batch id, Cells = its cell count) — a compatible
+	// addition to schema version 1; old consumers ignore it.
+	ProgressBatch ProgressKind = "batch"
+	// ProgressSteal reports an idle worker starting a duplicate attempt
+	// at a straggling batch — a compatible addition to schema version 1.
+	ProgressSteal ProgressKind = "steal"
 	// ProgressDone reports a shard completing (file validated).
 	ProgressDone ProgressKind = "done"
 	// ProgressFailed reports a failed attempt (the shard may be retried).
@@ -67,7 +74,8 @@ type ProgressEvent struct {
 	// File is the produced file: the shard file of a done event, the
 	// partial cover file of a partial event.
 	File string
-	// Cells counts merged cells (merged) or covered cells (partial).
+	// Cells counts merged cells (merged), covered cells (partial), or the
+	// cells of one shard/batch (batch, done).
 	Cells int
 }
 
@@ -87,7 +95,10 @@ type ShardStatus struct {
 	State ShardState
 	// Attempt is the latest attempt number seen (0 = never attempted).
 	Attempt int
-	// Worker is the last worker to touch the shard.
+	// Steals counts duplicate attempts started by work stealing.
+	Steals int
+	// Worker is the last worker to touch the shard — for a done shard,
+	// the winner whose file was kept.
 	Worker string
 	// Err is the last recorded failure, if any.
 	Err string
@@ -106,14 +117,21 @@ type Snapshot struct {
 	Resumed int
 	// Cached counts shards satisfied from the cell cache without running.
 	Cached int
+	// Steals counts duplicate attempts started by work stealing.
+	Steals int
 	// Elapsed is the wall-clock time since the plan event.
 	Elapsed time.Duration
 	// AvgShard is the mean observed wall-clock of a completed attempt;
 	// 0 until the first shard completes.
 	AvgShard time.Duration
-	// ETA estimates the remaining wall-clock as
-	// AvgShard × (Pending + Running + Failed) / max(1, Running) — the
-	// observed per-shard cost spread over the currently-active width.
+	// AvgCell is the mean observed wall-clock per computed cell, when
+	// every completed attempt's cell count is known; 0 otherwise.
+	AvgCell time.Duration
+	// ETA estimates the remaining wall-clock. When every remaining
+	// shard's cell count is known (batch/done events carry them) it is
+	// cell-weighted — AvgCell × remaining cells / max(1, Running) — so
+	// uneven batches and cache-satisfied shards cannot skew it; otherwise
+	// it falls back to AvgShard × remaining shards / max(1, Running).
 	// 0 until the first shard completes (no observation to extrapolate).
 	ETA time.Duration
 	// Merged reports whether the final merge completed.
@@ -128,18 +146,25 @@ type Tracker struct {
 	start   time.Time
 	shards  []ShardStatus
 	started map[int]time.Time
+	cellsOf map[int]int
 	resumed int
 	cached  int
+	steals  int
 	sumDur  time.Duration
 	nDur    int
-	merged  bool
+	// durCells counts the cells behind sumDur's observations; blindDur
+	// counts observations whose cell count was unknown (they disable the
+	// cell-weighted ETA — a partial rate would skew it).
+	durCells int
+	blindDur int
+	merged   bool
 }
 
 // NewTracker returns an empty Tracker; feed it every ProgressEvent of one
 // dispatch (pass its Observe method — or a wrapper — as
 // Options.Progress).
 func NewTracker() *Tracker {
-	return &Tracker{started: make(map[int]time.Time)}
+	return &Tracker{started: make(map[int]time.Time), cellsOf: make(map[int]int)}
 }
 
 // shard returns the tracked status slot for index i, growing the table if
@@ -165,6 +190,10 @@ func (t *Tracker) Observe(e ProgressEvent) {
 	switch e.Kind {
 	case ProgressPlan:
 		t.shard(e.Shards - 1)
+	case ProgressBatch:
+		if s := t.shard(e.Shard); s != nil && e.Cells > 0 {
+			t.cellsOf[e.Shard] = e.Cells
+		}
 	case ProgressResumed:
 		if s := t.shard(e.Shard); s != nil && s.State != ShardDone {
 			s.State = ShardDone
@@ -176,21 +205,42 @@ func (t *Tracker) Observe(e ProgressEvent) {
 			t.cached++
 		}
 	case ProgressAttempt:
-		if s := t.shard(e.Shard); s != nil {
+		// Once done, a shard stays done: late events from a racing
+		// duplicate attempt must not resurrect it.
+		if s := t.shard(e.Shard); s != nil && s.State != ShardDone {
 			s.State, s.Attempt, s.Worker, s.Err = ShardRunning, e.Attempt, e.Worker, ""
 			t.started[e.Shard] = e.Time
 		}
+	case ProgressSteal:
+		if s := t.shard(e.Shard); s != nil && s.State != ShardDone {
+			s.State, s.Attempt, s.Worker, s.Err = ShardRunning, e.Attempt, e.Worker, ""
+			s.Steals++
+			t.steals++
+			// Keep the earliest start: the shard has been in flight since
+			// its first attempt, and the duration should say so.
+			if _, ok := t.started[e.Shard]; !ok {
+				t.started[e.Shard] = e.Time
+			}
+		}
 	case ProgressDone:
-		if s := t.shard(e.Shard); s != nil {
+		if s := t.shard(e.Shard); s != nil && s.State != ShardDone {
 			s.State, s.Attempt, s.Worker = ShardDone, e.Attempt, e.Worker
+			if e.Cells > 0 {
+				t.cellsOf[e.Shard] = e.Cells
+			}
 			if at, ok := t.started[e.Shard]; ok && !e.Time.Before(at) {
 				t.sumDur += e.Time.Sub(at)
 				t.nDur++
+				if c := t.cellsOf[e.Shard]; c > 0 {
+					t.durCells += c
+				} else {
+					t.blindDur++
+				}
 				delete(t.started, e.Shard)
 			}
 		}
 	case ProgressFailed:
-		if s := t.shard(e.Shard); s != nil {
+		if s := t.shard(e.Shard); s != nil && s.State != ShardDone {
 			s.State, s.Attempt, s.Worker, s.Err = ShardFailed, e.Attempt, e.Worker, e.Err
 			delete(t.started, e.Shard)
 		}
@@ -213,9 +263,11 @@ func (t *Tracker) SnapshotAt(now time.Time) Snapshot {
 		Total:   len(t.shards),
 		Resumed: t.resumed,
 		Cached:  t.cached,
+		Steals:  t.steals,
 		Merged:  t.merged,
 	}
-	for _, st := range t.shards {
+	remainingCells, cellsKnown := 0, true
+	for i, st := range t.shards {
 		switch st.State {
 		case ShardDone:
 			s.Done++
@@ -226,18 +278,35 @@ func (t *Tracker) SnapshotAt(now time.Time) Snapshot {
 		default:
 			s.Pending++
 		}
+		if st.State != ShardDone {
+			if c := t.cellsOf[i]; c > 0 {
+				remainingCells += c
+			} else {
+				cellsKnown = false
+			}
+		}
 	}
 	if !t.start.IsZero() && now.After(t.start) {
 		s.Elapsed = now.Sub(t.start)
 	}
 	if t.nDur > 0 {
 		s.AvgShard = t.sumDur / time.Duration(t.nDur)
+		if t.durCells > 0 && t.blindDur == 0 {
+			s.AvgCell = t.sumDur / time.Duration(t.durCells)
+		}
 		if remaining := s.Pending + s.Running + s.Failed; remaining > 0 {
 			width := s.Running
 			if width < 1 {
 				width = 1
 			}
-			s.ETA = s.AvgShard * time.Duration(remaining) / time.Duration(width)
+			if s.AvgCell > 0 && cellsKnown {
+				// Cell-weighted: a shard whose cells all came from the cache
+				// completed in near-zero time over few computed cells — the
+				// per-cell rate, not the per-shard mean, predicts the rest.
+				s.ETA = s.AvgCell * time.Duration(remainingCells) / time.Duration(width)
+			} else {
+				s.ETA = s.AvgShard * time.Duration(remaining) / time.Duration(width)
+			}
 		}
 	}
 	return s

@@ -12,13 +12,29 @@ import (
 )
 
 // Task is one unit of dispatched work: evaluate shard Index of Spec and
-// leave the cell file at Out on the local filesystem.
+// leave the cell file at Out on the local filesystem. In a balanced
+// dispatch the unit is a cell batch instead: Cells carries its cell spec
+// and Index is the batch id.
 type Task struct {
 	Spec  Spec
 	Index int
+	// Cells, when non-empty, is the batch's cell spec
+	// (shard.FormatCellSpec): the worker evaluates exactly these cells
+	// ("ioschedbench -cells <spec>") instead of shard Index's round-robin
+	// share.
+	Cells string
 	// Out is the local path the shard file must end up at. The driver
 	// removes any previous attempt's file before the task runs.
 	Out string
+}
+
+// args returns the generated worker arguments for the task: the classic
+// shard arguments, or the batch arguments when Cells is set.
+func (t Task) args() ([]string, error) {
+	if t.Cells != "" {
+		return t.Spec.BatchWorkerArgs(t.Cells)
+	}
+	return t.Spec.WorkerArgs(t.Index)
 }
 
 // Worker evaluates shards. Implementations must honour ctx cancellation —
@@ -65,7 +81,7 @@ func (w *LocalProcWorker) Name() string {
 
 // Run executes the binary with the task's shard arguments plus ExtraArgs.
 func (w *LocalProcWorker) Run(ctx context.Context, t Task) error {
-	args, err := t.Spec.WorkerArgs(t.Index)
+	args, err := t.args()
 	if err != nil {
 		return err
 	}
@@ -91,10 +107,11 @@ func (w *LocalProcWorker) Run(ctx context.Context, t Task) error {
 //
 // Each Argv element may use the placeholders
 //
-//	{index}   the shard index
+//	{index}   the shard index (the batch id for a balanced dispatch)
 //	{shards}  the shard count
 //	{out}     the local output path
-//	{args}    the generated ioschedbench shard arguments (Spec.WorkerArgs)
+//	{args}    the generated ioschedbench arguments: Spec.WorkerArgs for a
+//	          classic shard, Spec.BatchWorkerArgs for a cell batch
 //
 // An element that is exactly "{args}" is spliced into the argument list
 // as separate arguments; inside a longer element the placeholders expand
@@ -141,7 +158,7 @@ func (w *CmdWorker) Run(ctx context.Context, t Task) (err error) {
 	if len(w.Argv) == 0 {
 		return fmt.Errorf("dispatch: %s: empty command template", w.Name())
 	}
-	shardArgs, err := t.Spec.WorkerArgs(t.Index)
+	shardArgs, err := t.args()
 	if err != nil {
 		return err
 	}

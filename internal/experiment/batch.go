@@ -1,0 +1,199 @@
+package experiment
+
+// Cell-batch runners: the experiment layer's side of pluggable
+// decomposition. RunBatchCached is RunShardCached with an explicit
+// per-run cell set in place of the implicit round-robin share, producing
+// a batch file (shard.BatchInfo) that merges through shard.MergeBatches;
+// CachedBatch is the matching whole-batch cache probe. Both preserve the
+// determinism invariant: a cell's payload depends only on its grid path,
+// never on which batch computed it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/cellcache"
+	"repro/internal/shard"
+)
+
+// batchSets validates and canonicalises per-run cell sets against the
+// selection's runs: one set per run, each de-duplicated, sorted and
+// in-range. Returns the canonical sets and per-run membership tests.
+func batchSets(names []string, grids []shard.Grid, cells [][]int) ([][]int, []map[int]bool, error) {
+	if len(cells) != len(names) {
+		return nil, nil, fmt.Errorf("experiment: batch lists %d cell sets for %d runs", len(cells), len(names))
+	}
+	canon := make([][]int, len(names))
+	member := make([]map[int]bool, len(names))
+	for ri := range names {
+		member[ri] = make(map[int]bool, len(cells[ri]))
+		for _, g := range cells[ri] {
+			if g < 0 || g >= grids[ri].Cells() {
+				return nil, nil, fmt.Errorf("experiment: %s batch cell %d outside %dx%d grid",
+					names[ri], g, grids[ri].Points, grids[ri].Systems)
+			}
+			member[ri][g] = true
+		}
+		canon[ri] = make([]int, 0, len(member[ri]))
+		for g := range member[ri] {
+			canon[ri] = append(canon[ri], g)
+		}
+		sort.Ints(canon[ri])
+	}
+	return canon, member, nil
+}
+
+// RunBatchCached evaluates exactly the given cells of the selection —
+// cells[ri] holds run ri's global cell indices, parallel to
+// SelectionRuns' order — and returns a batch file recording them (cache
+// optional, nil = compute everything). Runs sharing a cell key and a
+// cell set are computed once and recorded under each name, exactly like
+// RunShard.
+func RunBatchCached(selection string, p ShardParams, parallelism int, cells [][]int, cache *cellcache.Store) (*shard.File, error) {
+	names, err := SelectionRuns(selection)
+	if err != nil {
+		return nil, err
+	}
+	p = p.Normalised()
+	rc := p.Context(parallelism).WithCache(cache)
+	params, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: encode params: %w", err)
+	}
+	grids := make([]shard.Grid, len(names))
+	exps := make([]Experiment, len(names))
+	for ri, name := range names {
+		e, err := get(name)
+		if err != nil {
+			return nil, err
+		}
+		g, err := e.Grid(rc)
+		if err != nil {
+			return nil, err
+		}
+		exps[ri], grids[ri] = e, g
+	}
+	canon, member, err := batchSets(names, grids, cells)
+	if err != nil {
+		return nil, err
+	}
+	f := &shard.File{
+		Version:   shard.FormatVersion,
+		Selection: selection,
+		Shards:    1,
+		Index:     0,
+		Params:    params,
+		Batch:     &shard.BatchInfo{Cells: canon},
+	}
+	type computed struct {
+		cells []shard.Cell
+		grid  shard.Grid
+	}
+	byKey := make(map[string]computed)
+	for ri, name := range names {
+		e := exps[ri]
+		// Shared-key runs dedup only when their cell sets agree too; a
+		// decomposition that assigned them differently computes each.
+		key := e.CellKey() + "|" + shard.FormatRanges(canon[ri])
+		c, ok := byKey[key]
+		if !ok {
+			m := member[ri]
+			sel := func(o, i int) bool { return m[o*grids[ri].Systems+i] }
+			cs, _, err := runCells(e, rc, sel)
+			if err != nil {
+				return nil, err
+			}
+			if cs == nil {
+				cs = []shard.Cell{}
+			}
+			c = computed{cells: cs, grid: grids[ri]}
+			byKey[key] = c
+		}
+		f.Runs = append(f.Runs, shard.Run{
+			Experiment:     name,
+			Grid:           c.grid,
+			PayloadVersion: e.Codec().Version,
+			Cells:          c.cells,
+		})
+	}
+	return f, nil
+}
+
+// CachedBatch builds the batch purely from the cache — no cell is
+// computed. It returns ok=false (with a nil file) as soon as any listed
+// cell is absent; a true return carries a file byte-identical to what
+// RunBatchCached would produce for the same cells.
+func CachedBatch(cache *cellcache.Store, selection string, p ShardParams, cells [][]int) (*shard.File, bool, error) {
+	names, err := SelectionRuns(selection)
+	if err != nil {
+		return nil, false, err
+	}
+	p = p.Normalised()
+	rc := p.Context(1)
+	params, err := json.Marshal(p)
+	if err != nil {
+		return nil, false, fmt.Errorf("experiment: encode params: %w", err)
+	}
+	grids := make([]shard.Grid, len(names))
+	exps := make([]Experiment, len(names))
+	for ri, name := range names {
+		e, err := get(name)
+		if err != nil {
+			return nil, false, err
+		}
+		g, err := e.Grid(rc)
+		if err != nil {
+			return nil, false, err
+		}
+		exps[ri], grids[ri] = e, g
+	}
+	canon, _, err := batchSets(names, grids, cells)
+	if err != nil {
+		return nil, false, err
+	}
+	f := &shard.File{
+		Version:   shard.FormatVersion,
+		Selection: selection,
+		Shards:    1,
+		Index:     0,
+		Params:    params,
+		Batch:     &shard.BatchInfo{Cells: canon},
+	}
+	type computed struct {
+		cells []shard.Cell
+		grid  shard.Grid
+	}
+	byKey := make(map[string]computed)
+	for ri, name := range names {
+		e := exps[ri]
+		key, err := cacheKey(e, rc)
+		if err != nil {
+			return nil, false, err
+		}
+		dedup := e.CellKey() + "|" + shard.FormatRanges(canon[ri])
+		c, ok := byKey[dedup]
+		if !ok {
+			g := grids[ri]
+			cs := make([]shard.Cell, 0, len(canon[ri]))
+			for _, gi := range canon[ri] {
+				o, i := gi/g.Systems, gi%g.Systems
+				seed := e.CellSeed(rc, o, i)
+				data, hit := cache.Get(key, o, i, seed)
+				if !hit {
+					return nil, false, nil
+				}
+				cs = append(cs, shard.Cell{Point: o, System: i, Seed: seed, Data: data})
+			}
+			c = computed{cells: cs, grid: g}
+			byKey[dedup] = c
+		}
+		f.Runs = append(f.Runs, shard.Run{
+			Experiment:     name,
+			Grid:           c.grid,
+			PayloadVersion: e.Codec().Version,
+			Cells:          c.cells,
+		})
+	}
+	return f, true, nil
+}

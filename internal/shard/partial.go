@@ -146,6 +146,11 @@ func partialLabel(f *File, fi int) string {
 // PartialInfo) is enforced — Decode, ownership and MergePartial all
 // validate through it.
 func (f *File) indices() (shards int, owned []int, err error) {
+	if f.Batch != nil {
+		// Batch files carry no modular share: they merge through
+		// MergeBatches, never through Merge or MergePartial.
+		return 0, nil, fmt.Errorf("shard: %s is a cell-batch file; merge with MergeBatches", f.label())
+	}
 	if f.Partial != nil {
 		if f.Shards != 1 || f.Index != 0 {
 			return 0, nil, fmt.Errorf("shard: partial file declares shard %d/%d, want 0/1", f.Index, f.Shards)

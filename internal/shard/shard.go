@@ -102,6 +102,12 @@ type File struct {
 	// original decomposition, not a full run. Complete files never carry
 	// it, so a complete MergePartial output is byte-identical to Merge's.
 	Partial *PartialInfo `json:"partial,omitempty"`
+	// Batch, when set, marks the file as a cell batch: an explicit subset
+	// of each run's cells assigned by a pluggable decomposition rather
+	// than the round-robin (Shards, Index) rule. Batch files declare the
+	// trivial 1/0 plan and merge through MergeBatches. Complete merged
+	// covers never carry the header.
+	Batch *BatchInfo `json:"batch,omitempty"`
 	// Runs holds the sharded cells, one entry per experiment runner, in
 	// the selection's canonical order.
 	Runs []Run `json:"runs"`
@@ -189,7 +195,11 @@ func Decode(data []byte) (*File, error) {
 	if f.Version != FormatVersion {
 		return nil, fmt.Errorf("shard: file format version %d, this build reads %d", f.Version, FormatVersion)
 	}
-	if _, _, err := f.indices(); err != nil {
+	if f.Batch != nil {
+		if err := f.validateBatch(); err != nil {
+			return nil, err
+		}
+	} else if _, _, err := f.indices(); err != nil {
 		return nil, err
 	}
 	for _, r := range f.Runs {
@@ -219,14 +229,18 @@ func ReadFile(path string) (*File, error) {
 }
 
 // ValidateCells verifies that every run holds exactly the cells the file
-// owns — the (Shards, Index) plan's round-robin share, or, for a file
-// carrying a Partial header, the union of its recorded present shards:
-// each cell in range, owned, present exactly once, and none missing.
-// Decode does not enforce completeness — a process killed mid-run can
-// legitimately persist a partial file that later attempts replace — so
-// drivers that must detect a truncated or partially-written shard (e.g.
-// dispatch retry logic) call this before accepting a worker's output.
+// owns — the (Shards, Index) plan's round-robin share, for a file
+// carrying a Partial header the union of its recorded present shards, or
+// for a file carrying a Batch header its declared cell sets: each cell
+// in range, owned, present exactly once, and none missing. Decode does
+// not enforce completeness — a process killed mid-run can legitimately
+// persist a partial file that later attempts replace — so drivers that
+// must detect a truncated or partially-written shard (e.g. dispatch
+// retry logic) call this before accepting a worker's output.
 func (f *File) ValidateCells() error {
+	if f.Batch != nil {
+		return f.validateBatchCells()
+	}
 	owns, err := f.ownership()
 	if err != nil {
 		return err
@@ -320,6 +334,9 @@ func Merge(files []*File) (*File, error) {
 		}
 		if f.Partial != nil {
 			return nil, fmt.Errorf("shard: shard %d is a partial cover file; use MergePartial", f.Index)
+		}
+		if f.Batch != nil {
+			return nil, fmt.Errorf("shard: %s is a cell-batch file; use MergeBatches", f.label())
 		}
 		if f.Version != ref.Version {
 			return nil, fmt.Errorf("shard: mixed format versions %d and %d", ref.Version, f.Version)

@@ -75,10 +75,16 @@
 // ssh — via CmdWorker), re-runs shards whose worker crashed, timed out or
 // produced a corrupt or partial file, journals progress so an
 // interrupted dispatch resumes by re-running only missing indices, and
-// merges the complete cover. Because every cell's randomness derives
-// from its grid path, a retried shard reproduces the lost one exactly,
-// and dispatched output is byte-identical to the unsharded run. The CLI
-// equivalent is "ioschedbench dispatch".
+// merges the complete cover. The work decomposition is pluggable
+// (DispatchOptions.Balance): fixed round-robin shards, or cost-packed
+// cell batches sized by a per-cell cost model that resumes refine with
+// observed wall-clock; with DispatchOptions.Steal, idle workers race a
+// duplicate copy of the heaviest straggler and the first completion
+// wins. Because every cell's randomness derives from its grid path, a
+// retried, re-split or stolen cell reproduces the lost one exactly, and
+// dispatched output is byte-identical to the unsharded run for every
+// decomposition. The CLI equivalent is "ioschedbench dispatch" with
+// -balance and -steal.
 //
 // # Streaming
 //
@@ -449,6 +455,42 @@ func ReadShardFile(path string) (*ShardFile, error) { return shard.ReadFile(path
 // (cells complete, in grid order) ready for the FromCells aggregators.
 func MergeShardFiles(files []*ShardFile) (*ShardFile, error) { return shard.Merge(files) }
 
+// ShardBatchInfo is the header marking a file as a cell batch: an
+// explicit per-run cell set (the unit of cost-balanced dispatch) instead
+// of a round-robin share. See docs/SHARD_FORMAT.md.
+type ShardBatchInfo = shard.BatchInfo
+
+// ParseCellSpec decodes a cell-batch spec ("fig5=0-7;fig6=2,5") into
+// run names and per-run ascending global cell indices — the grammar of
+// the CLI's -cells flag and the journal's batch events.
+func ParseCellSpec(spec string) (names []string, cells [][]int, err error) {
+	return shard.ParseCellSpec(spec)
+}
+
+// FormatCellSpec is ParseCellSpec's inverse.
+func FormatCellSpec(names []string, cells [][]int) (string, error) {
+	return shard.FormatCellSpec(names, cells)
+}
+
+// RunExperimentCells evaluates exactly the given cells (one ascending
+// global-index set per run of the selection, parallel to the canonical
+// run order) and returns the batch file to persist. Like any shard, a
+// batch may run at any parallelism on any host: merged results never
+// depend on the decomposition. The CLI equivalent is the -cells flag.
+func RunExperimentCells(selection string, p ShardParams, parallelism int, cells [][]int) (*ShardFile, error) {
+	return experiment.RunBatchCached(selection, p, parallelism, cells, nil)
+}
+
+// MergeShardBatches validates that the batch files cover every cell of a
+// single run's grids and returns the single-shard equivalent plus the
+// number of duplicate cells discarded. Unlike MergeShardFiles, inputs
+// may overlap — work stealing legitimately computes a cell twice — and
+// later copies are discarded first-completion-wins by cell key, which
+// determinism makes safe: both copies are byte-identical.
+func MergeShardBatches(files []*ShardFile) (*ShardFile, int, error) {
+	return shard.MergeBatches(files)
+}
+
 // Streaming/partial merge: render provisional results from whatever
 // shards exist, with exact coverage accounting, long before — and
 // byte-identically converging to — the complete cover. See the package
@@ -502,8 +544,14 @@ func Fig6And7FromCellsPartial(cfg ExperimentConfig, cells []ShardCell) (*experim
 // Dispatched execution: a fault-tolerant driver that fans the shard
 // indices of one run out to a pool of workers, retries lost, failed,
 // corrupt and timed-out shards by index, journals progress so an
-// interrupted dispatch resumes, and auto-merges the complete cover. See
-// the package comment's Dispatch section and internal/dispatch.
+// interrupted dispatch resumes, and auto-merges the complete cover.
+// DispatchOptions.Balance selects the decomposition (round-robin shards,
+// or cost-packed cell batches refined by observed wall-clock on resume)
+// and DispatchOptions.Steal lets idle workers race a duplicate copy of
+// the heaviest straggler — first completion wins, duplicates are
+// discarded by cell key, and every combination merges byte-identical to
+// the unsharded run. See the package comment's Dispatch section,
+// internal/dispatch and docs/DISPATCH.md.
 type (
 	// DispatchSpec names the dispatched run: selection, params, shards.
 	DispatchSpec = dispatch.Spec
