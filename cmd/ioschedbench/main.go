@@ -90,11 +90,30 @@
 //	ioschedbench merge -partial sweep/partial.json
 //
 // Partial output converges: once the cover completes, the annotations
-// disappear and the output is byte-identical to the unsharded run. The
-// shard file format is specified in docs/SHARD_FORMAT.md, the journal
-// and progress-event schemas in docs/DISPATCH.md, the registry and its
-// extension walkthrough in docs/EXPERIMENTS.md, and the full flag
-// reference in docs/CLI.md.
+// disappear and the output is byte-identical to the unsharded run.
+//
+// # Coordinator service
+//
+// Where dispatch drives one sweep from one process over a shared
+// filesystem, the serve subcommand runs a long-lived coordinator that
+// workers connect to over HTTP and push result files back to — no
+// shared filesystem, multiple concurrent sweeps, and journalled state a
+// restart resumes from:
+//
+//	ioschedbench serve -dir state/ &
+//	ioschedbench work -connect http://localhost:8337 &   # per machine
+//	ioschedbench submit -connect http://localhost:8337 -wait -shards 8
+//
+// A worker that crashes or goes silent mid-unit is detected by
+// heartbeat timeout and its units reassigned; duplicate completions are
+// discarded first-completion-wins, so the merged output stays
+// byte-identical to the unsharded run regardless of failures. The wire
+// protocol is specified in docs/COORDINATOR.md.
+//
+// The shard file format is specified in docs/SHARD_FORMAT.md, the
+// journal and progress-event schemas in docs/DISPATCH.md, the registry
+// and its extension walkthrough in docs/EXPERIMENTS.md, and the full
+// flag reference in docs/CLI.md.
 package main
 
 import (
@@ -143,6 +162,24 @@ func main() {
 		case "bench":
 			if err := runBench(os.Args[2:], os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "ioschedbench: bench: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		case "serve":
+			if err := runServe(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "ioschedbench: serve: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		case "work":
+			if err := runWork(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "ioschedbench: work: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		case "submit":
+			if err := runSubmit(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "ioschedbench: submit: %v\n", err)
 				os.Exit(1)
 			}
 			return

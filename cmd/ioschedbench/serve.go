@@ -1,0 +1,105 @@
+package main
+
+// The serve subcommand: the long-running coordinator service. Workers
+// connect over HTTP (the work subcommand), sweeps are submitted and
+// watched remotely (the submit subcommand), and the run state lives in
+// journalled run directories a restart resumes from. Protocol spec in
+// docs/COORDINATOR.md.
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/coord"
+)
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8337", "listen address (host:port; port 0 picks a free port)")
+		addrFile     = fs.String("addr-file", "", "write the coordinator's base URL to this file once listening (for scripts using -addr with port 0)")
+		dir          = fs.String("dir", "", "state directory for run journals and result files (required; restart over the same directory resumes every run)")
+		hbTimeout    = fs.Duration("heartbeat-timeout", 15*time.Second, "reassign a worker's leases after this long without a heartbeat")
+		leaseTimeout = fs.Duration("lease-timeout", 0, "fail and requeue a unit leased longer than this, even if its worker still heartbeats (0 = no bound)")
+		retries      = fs.Int("retries", 2, "retries per unit after its first failed attempt; an exhausted unit fails its run")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ioschedbench serve -dir state/ [-addr host:port]")
+		fmt.Fprintln(os.Stderr, "\nRuns the sweep coordinator: workers connect with \"ioschedbench work\",")
+		fmt.Fprintln(os.Stderr, "sweeps are submitted with \"ioschedbench submit\". Run state is journalled")
+		fmt.Fprintln(os.Stderr, "under -dir; restarting over the same directory resumes every run.")
+		fmt.Fprintln(os.Stderr)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if *dir == "" {
+		fs.Usage()
+		return fmt.Errorf("-dir is required: the journals under it are the coordinator's durable state")
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries %d: must be >= 0", *retries)
+	}
+
+	logger := log.New(os.Stderr, "ioschedbench: serve: ", 0)
+	c, err := coord.New(*dir, coord.Options{
+		HeartbeatTimeout: *hbTimeout,
+		LeaseTimeout:     *leaseTimeout,
+		MaxAttempts:      *retries + 1,
+		Logf:             logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	baseURL := "http://" + ln.Addr().String()
+	logger.Printf("listening on %s (state in %s)", baseURL, c.Dir())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(baseURL+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("-addr-file: %w", err)
+		}
+	}
+
+	srv := &http.Server{Handler: c.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		logger.Printf("shutting down (journals in %s carry the state)", c.Dir())
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			srv.Close()
+		}
+		<-errc
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/coord"
+)
+
+// copyTree copies the fixture state directory into a scratch directory:
+// the coordinator opens journals for append, so tests must never load
+// the checked-in fixture in place.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copy fixture: %v", err)
+	}
+}
+
+// TestServeStatusGolden pins the serve status endpoint's exact output on
+// a journaled fixture: a merged 2-shard run, a failed run reloaded as
+// resumable, and a run interrupted before any worker appeared. The
+// status text is derived from the journals alone — no wall-clock, no
+// ordering races — which is what makes it golden-testable, exactly like
+// the status subcommand's golden next door.
+func TestServeStatusGolden(t *testing.T) {
+	dir := t.TempDir()
+	copyTree(t, filepath.Join("testdata", "serve"), dir)
+	c, err := coord.New(dir, coord.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status endpoint: %s: %s", resp.Status, got)
+	}
+
+	golden := filepath.Join("testdata", "serve", "golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("serve status output drifted from %s (re-run with -update after intentional changes):\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// TestServeStatusResumesRuns spells out what the golden pins: the
+// journals alone reconstruct every run's state across a restart.
+func TestServeStatusResumesRuns(t *testing.T) {
+	dir := t.TempDir()
+	copyTree(t, filepath.Join("testdata", "serve"), dir)
+	c, err := coord.New(dir, coord.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out := c.StatusText()
+	if !strings.Contains(out, "coordinator: 3 run(s)") {
+		t.Errorf("run count wrong:\n%s", out)
+	}
+	st, err := c.Status("run-0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "merged" || st.Done != 2 || st.MergedCells != 60 {
+		t.Errorf("run-0001 resumed as %+v, want merged 2/2 with 60 cells", st)
+	}
+	// run-0002's worker loss exhausted its attempts live, but a restart
+	// is operator intervention: the journaled attempts reload as
+	// resumable work with a fresh budget.
+	st, err = c.Status("run-0002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "running" || st.Done != 0 {
+		t.Errorf("run-0002 resumed as %+v, want running 0/2", st)
+	}
+	st, err = c.Status("run-0003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "running" || st.Total != 3 {
+		t.Errorf("run-0003 resumed as %+v, want running 0/3", st)
+	}
+}

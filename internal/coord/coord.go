@@ -1,0 +1,984 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/experiment"
+	"repro/internal/shard"
+	"repro/internal/textplot"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// HeartbeatTimeout is how long a worker may go silent before its
+	// leases are reassigned (default 15s).
+	HeartbeatTimeout time.Duration
+	// LeaseTimeout, when positive, bounds how long one attempt at a unit
+	// may stay leased before it is failed and requeued — the defence
+	// against a worker that heartbeats but hangs mid-compute. 0 disables
+	// it (a lost worker is still detected by heartbeat timeout).
+	LeaseTimeout time.Duration
+	// MaxAttempts bounds attempts per unit, counting reassignments
+	// (default 3). When a unit exhausts it, the run fails.
+	MaxAttempts int
+	// SweepEvery is the liveness sweep interval (default
+	// HeartbeatTimeout/4, min 10ms).
+	SweepEvery time.Duration
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 15 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.SweepEvery <= 0 {
+		o.SweepEvery = o.HeartbeatTimeout / 4
+	}
+	if o.SweepEvery < 10*time.Millisecond {
+		o.SweepEvery = 10 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Run and unit lifecycle states.
+const (
+	runRunning = "running"
+	runMerged  = "merged"
+	runFailed  = "failed"
+)
+
+// unit is one leasable work unit of a run: a round-robin shard or a
+// cost-balanced cell batch. Units and shards share the journal id space
+// exactly as in the in-process dispatcher.
+type unit struct {
+	id     int
+	kind   string  // "shard", "cost" or "split" (journal batch kinds)
+	index  int     // shard index for round-robin units (== id)
+	cells  [][]int // batch cells aligned to run names; nil for shards
+	spec   string  // formatted cell spec; "" for shards
+	ncells int
+	weight float64
+	path   string // where the validated result file lands
+
+	state      dispatch.ShardState
+	attempts   int
+	worker     string // worker id of the current lease
+	workerName string
+	leasedAt   time.Time
+	cellCount  int // validated result's cell count (done units)
+}
+
+// run is one multiplexed sweep.
+type run struct {
+	id       string
+	dir      string
+	spec     dispatch.Spec
+	params   []byte
+	runNames []string
+	balance  string
+	jr       *dispatch.Journal
+
+	units   []*unit
+	pending []*unit // FIFO lease queue
+
+	state      string
+	failure    string
+	resumed    int
+	duplicates int
+	mergedAt   bool
+	mergedCell int
+
+	history []dispatch.ProgressEvent
+	subs    map[chan dispatch.ProgressEvent]struct{}
+}
+
+func (r *run) total() int { return len(r.units) }
+
+func (r *run) doneCount() int {
+	n := 0
+	for _, u := range r.units {
+		if u.state == dispatch.ShardDone {
+			n++
+		}
+	}
+	return n
+}
+
+// workerState is one registered worker.
+type workerState struct {
+	id       string
+	name     string
+	lastBeat time.Time
+}
+
+// Coordinator is a long-running dispatch service: clients submit sweeps,
+// workers lease units and push result files back over the wire, and the
+// coordinator journals, reassigns, deduplicates and merges — the same
+// guarantees as the in-process dispatcher, with the filesystem coupling
+// replaced by HTTP.
+type Coordinator struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	wake    chan struct{} // closed+replaced when work may have appeared
+	workers map[string]*workerState
+	wseq    int
+	runs    map[string]*run
+	order   []string // run ids, submission order
+	rseq    int
+
+	closed   chan struct{}
+	closeErr error
+	once     sync.Once
+	wg       sync.WaitGroup
+}
+
+// New opens (or creates) a coordinator over the given state directory,
+// resuming every journaled run found under dir/runs, and starts the
+// liveness sweeper. Call Close to stop it.
+func New(dir string, opts Options) (*Coordinator, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, fmt.Errorf("coord: %w", err)
+	}
+	if err := os.MkdirAll(filepath.Join(abs, "runs"), 0o755); err != nil {
+		return nil, fmt.Errorf("coord: %w", err)
+	}
+	c := &Coordinator{
+		dir:     abs,
+		opts:    opts.withDefaults(),
+		wake:    make(chan struct{}),
+		workers: make(map[string]*workerState),
+		runs:    make(map[string]*run),
+		closed:  make(chan struct{}),
+	}
+	if err := c.loadRuns(); err != nil {
+		return nil, err
+	}
+	c.wg.Add(1)
+	go c.sweeper()
+	return c, nil
+}
+
+// Close stops the sweeper, closes every run's journal and wakes pending
+// long-polls. Idempotent.
+func (c *Coordinator) Close() error {
+	c.once.Do(func() {
+		close(c.closed)
+		c.wg.Wait()
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for _, id := range c.order {
+			r := c.runs[id]
+			if r.jr != nil {
+				if err := r.jr.Close(); err != nil && c.closeErr == nil {
+					c.closeErr = err
+				}
+				r.jr = nil
+			}
+			for ch := range r.subs {
+				close(ch)
+			}
+			r.subs = nil
+		}
+		c.wakeLocked()
+	})
+	return c.closeErr
+}
+
+// Dir returns the coordinator's absolute state directory.
+func (c *Coordinator) Dir() string { return c.dir }
+
+// RunDir returns the state directory of one run.
+func (c *Coordinator) RunDir(runID string) string {
+	return filepath.Join(c.dir, "runs", runID)
+}
+
+func (c *Coordinator) wakeLocked() {
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+// emit appends a progress event to the run's history and fans it out to
+// subscribers. Caller holds c.mu.
+func (c *Coordinator) emit(r *run, e dispatch.ProgressEvent) {
+	e.Version = dispatch.ProgressVersion
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	r.history = append(r.history, e)
+	for ch := range r.subs {
+		select {
+		case ch <- e:
+		default:
+			// A stalled subscriber must not stall the coordinator; it can
+			// re-read the journal for the full record.
+			c.opts.Logf("coord: run %s: dropping event for slow subscriber", r.id)
+		}
+	}
+}
+
+// terminalLocked marks a run merged or failed, closes its journal and
+// ends its event streams. Caller holds c.mu.
+func (c *Coordinator) terminalLocked(r *run, state, failure string) {
+	r.state, r.failure = state, failure
+	r.pending = nil
+	if r.jr != nil {
+		if err := r.jr.Close(); err != nil {
+			c.opts.Logf("coord: run %s: journal: %v", r.id, err)
+		}
+		r.jr = nil
+	}
+	for ch := range r.subs {
+		close(ch)
+	}
+	r.subs = make(map[chan dispatch.ProgressEvent]struct{})
+}
+
+// ---- submission ----
+
+// Submit creates a run for the given sweep and returns its id. The spec
+// is normalised exactly as dispatch.Run would; the run starts pending
+// and is served to workers as they lease.
+func (c *Coordinator) Submit(req SubmitRequest) (string, error) {
+	spec := dispatch.Spec{Selection: req.Selection, Params: req.Params, Shards: req.Shards}
+	spec, params, runNames, err := spec.Normalised()
+	if err != nil {
+		return "", err
+	}
+	balance := req.Balance
+	if balance == "" {
+		balance = dispatch.BalanceRoundRobin
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-c.closed:
+		return "", fmt.Errorf("coord: coordinator is shut down")
+	default:
+	}
+	c.rseq++
+	id := fmt.Sprintf("run-%04d", c.rseq)
+	dir := c.RunDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("coord: %w", err)
+	}
+	jr, _, _, err := dispatch.OpenJournal(filepath.Join(dir, dispatch.JournalFileName), spec, params, balance)
+	if err != nil {
+		return "", err
+	}
+	r := &run{
+		id: id, dir: dir, spec: spec, params: params, runNames: runNames,
+		balance: balance, jr: jr, state: runRunning,
+		subs: make(map[chan dispatch.ProgressEvent]struct{}),
+	}
+	if err := c.planUnits(r); err != nil {
+		jr.Close()
+		return "", err
+	}
+	c.runs[id] = r
+	c.order = append(c.order, id)
+	c.emit(r, dispatch.ProgressEvent{Kind: dispatch.ProgressPlan, Shards: r.total(), Shard: -1})
+	for _, u := range r.units {
+		if u.kind != "shard" {
+			c.emit(r, dispatch.ProgressEvent{Kind: dispatch.ProgressBatch, Shard: u.id, Cells: u.ncells})
+		}
+	}
+	r.pending = append(r.pending, r.units...)
+	c.wakeLocked()
+	c.opts.Logf("coord: run %s: %q x%d (%s), %d units", id, spec.Selection, spec.Shards, balance, r.total())
+	return id, nil
+}
+
+// planUnits builds a fresh run's units: round-robin index shards, or
+// cost-packed cell batches planned exactly as the in-process dispatcher
+// plans them (and journaled as batch events).
+func (c *Coordinator) planUnits(r *run) error {
+	if r.balance == dispatch.BalanceRoundRobin {
+		plan, err := experiment.PlanSelection(r.spec.Selection, r.spec.Params)
+		if err != nil {
+			return err
+		}
+		assign, err := shard.RoundRobin{}.Split(plan.Grids, r.spec.Shards)
+		if err != nil {
+			return err
+		}
+		counts := make([]int, r.spec.Shards)
+		for ri := range assign {
+			for _, part := range assign[ri] {
+				counts[part]++
+			}
+		}
+		for i := 0; i < r.spec.Shards; i++ {
+			r.units = append(r.units, &unit{
+				id: i, kind: "shard", index: i, ncells: counts[i],
+				state: dispatch.ShardPending,
+				path:  filepath.Join(r.dir, fmt.Sprintf("shard%d.json", i)),
+			})
+		}
+		return nil
+	}
+	plan, err := experiment.PlanSelection(r.spec.Selection, r.spec.Params)
+	if err != nil {
+		return err
+	}
+	covered := make([]map[int]bool, len(plan.Names))
+	for i := range covered {
+		covered[i] = map[int]bool{}
+	}
+	batches, _, err := dispatch.PlanCostBatches(plan, plan.Costs, covered, r.spec.Shards, 0)
+	if err != nil {
+		return err
+	}
+	for _, b := range batches {
+		r.jr.Batch(b.ID, "cost", -1, b.Spec, b.NCells, b.Weight)
+		r.units = append(r.units, &unit{
+			id: b.ID, kind: "cost", index: b.ID, cells: b.Cells, spec: b.Spec,
+			ncells: b.NCells, weight: b.Weight, state: dispatch.ShardPending,
+			path: filepath.Join(r.dir, fmt.Sprintf("batch%d.json", b.ID)),
+		})
+	}
+	return nil
+}
+
+// ---- restart resume ----
+
+// loadRuns restores every journaled run under dir/runs. Done units are
+// revalidated against their files; anything else re-enters the pending
+// queue — exactly the resume rules of the in-process dispatcher.
+func (c *Coordinator) loadRuns() error {
+	entries, err := os.ReadDir(filepath.Join(c.dir, "runs"))
+	if err != nil {
+		return fmt.Errorf("coord: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if err := c.loadRun(id); err != nil {
+			// A corrupt run directory must not take the service down; it
+			// stays on disk for the operator, invisible to the API.
+			c.opts.Logf("coord: skipping run %s: %v", id, err)
+		}
+		var n int
+		if _, err := fmt.Sscanf(id, "run-%d", &n); err == nil && n > c.rseq {
+			c.rseq = n
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) loadRun(id string) error {
+	dir := c.RunDir(id)
+	st, err := dispatch.ReadJournalDir(dir)
+	if err != nil {
+		return err
+	}
+	var p experiment.ShardParams
+	if len(st.Params) > 0 {
+		if err := json.Unmarshal(st.Params, &p); err != nil {
+			return fmt.Errorf("coord: run %s: params: %w", id, err)
+		}
+	}
+	spec := dispatch.Spec{Selection: st.Selection, Params: p, Shards: st.Shards}
+	spec, params, runNames, err := spec.Normalised()
+	if err != nil {
+		return err
+	}
+	balance := st.Balance
+	if balance == "" {
+		balance = dispatch.BalanceRoundRobin
+	}
+	jr, _, prior, err := dispatch.OpenJournal(filepath.Join(dir, dispatch.JournalFileName), spec, params, balance)
+	if err != nil {
+		return err
+	}
+	r := &run{
+		id: id, dir: dir, spec: spec, params: params, runNames: runNames,
+		balance: balance, jr: jr, state: runRunning,
+		subs: make(map[chan dispatch.ProgressEvent]struct{}),
+	}
+	if prior != nil && prior.Merged {
+		r.state, r.mergedAt, r.mergedCell = runMerged, true, prior.MergedCells
+		jr.Close()
+		r.jr = nil
+	}
+	for _, sh := range prior.ShardStates {
+		if sh.Superseded {
+			continue
+		}
+		u := &unit{id: sh.Index, index: sh.Index, state: dispatch.ShardPending}
+		if balance == dispatch.BalanceRoundRobin {
+			u.kind = "shard"
+			u.path = filepath.Join(dir, fmt.Sprintf("shard%d.json", sh.Index))
+		} else {
+			u.kind = sh.Kind
+			if u.kind == "" {
+				u.kind = "cost"
+			}
+			u.spec, u.ncells, u.weight = sh.Spec, sh.Cells, sh.Weight
+			u.path = filepath.Join(dir, fmt.Sprintf("batch%d.json", sh.Index))
+			cells, err := cellsFor(runNames, sh.Spec)
+			if err != nil {
+				jr.Close()
+				return fmt.Errorf("coord: run %s: batch %d: %w", id, sh.Index, err)
+			}
+			u.cells = cells
+		}
+		if sh.State == dispatch.ShardDone {
+			// Trust but verify: the journal says done, the file must agree.
+			path := filepath.Join(dir, filepath.Base(sh.File))
+			f, verr := c.validateUnitFile(r, u, path)
+			if r.state == runMerged {
+				// A merged run's cover already proved itself; keep it done
+				// even if a shard file was cleaned up since.
+				u.state = dispatch.ShardDone
+			} else if verr == nil {
+				u.state = dispatch.ShardDone
+				u.path = path
+				u.cellCount = f.CellCount()
+				r.resumed++
+			} else {
+				c.opts.Logf("coord: run %s: unit %d journaled done but %v; re-queueing", id, sh.Index, verr)
+			}
+		}
+		r.units = append(r.units, u)
+	}
+	// Seed the event history so a late subscriber sees a coherent stream.
+	c.emit(r, dispatch.ProgressEvent{Kind: dispatch.ProgressPlan, Shards: r.total(), Shard: -1})
+	for _, u := range r.units {
+		if u.kind != "shard" {
+			c.emit(r, dispatch.ProgressEvent{Kind: dispatch.ProgressBatch, Shard: u.id, Cells: u.ncells})
+		}
+	}
+	for _, u := range r.units {
+		if u.state == dispatch.ShardDone && r.state != runMerged {
+			c.emit(r, dispatch.ProgressEvent{Kind: dispatch.ProgressResumed, Shard: u.id, File: u.path})
+		}
+		if u.state != dispatch.ShardDone && r.state == runRunning {
+			r.pending = append(r.pending, u)
+		}
+	}
+	if r.state == runMerged {
+		c.emit(r, dispatch.ProgressEvent{Kind: dispatch.ProgressMerged, Shards: r.total(), Shard: -1, Cells: r.mergedCell})
+		r.subs = make(map[chan dispatch.ProgressEvent]struct{})
+	}
+	c.runs[id] = r
+	c.order = append(c.order, id)
+	if r.state == runRunning && len(r.pending) == 0 && r.total() > 0 {
+		// Everything was already done but the merge never journaled
+		// (killed between last done and merged): finish the job now.
+		if err := c.mergeLocked(r); err != nil {
+			c.opts.Logf("coord: run %s: %v", id, err)
+		}
+	}
+	c.opts.Logf("coord: resumed run %s: %d/%d units done, state %s", id, r.doneCount(), r.total(), r.state)
+	return nil
+}
+
+// cellsFor parses a journaled batch cell spec back into per-run cell
+// sets aligned with the selection's canonical run names.
+func cellsFor(runNames []string, spec string) ([][]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	names, sets, err := shard.ParseCellSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]int, len(runNames))
+	for i, n := range runNames {
+		byName[n] = i
+	}
+	cells := make([][]int, len(runNames))
+	for i, n := range names {
+		ri, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("coord: cell spec names unknown run %q", n)
+		}
+		cells[ri] = sets[i]
+	}
+	return cells, nil
+}
+
+// ---- workers ----
+
+// Register adds a worker and returns its identity plus heartbeat duty.
+func (c *Coordinator) Register(name string) RegisterResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.wseq++
+	id := fmt.Sprintf("w-%04d", c.wseq)
+	if name == "" {
+		name = id
+	}
+	c.workers[id] = &workerState{id: id, name: name, lastBeat: time.Now()}
+	c.opts.Logf("coord: worker %s (%q) registered", id, name)
+	return RegisterResponse{
+		Wire:            WireVersion,
+		WorkerID:        id,
+		HeartbeatMillis: c.opts.HeartbeatTimeout.Milliseconds() / 3,
+	}
+}
+
+// ErrUnknownWorker reports a worker id the coordinator does not know —
+// never registered, or dropped after missing heartbeats. The client's
+// recovery is to register again.
+var ErrUnknownWorker = fmt.Errorf("coord: unknown worker")
+
+// ErrUnknownRun reports a run id the coordinator does not know.
+var ErrUnknownRun = fmt.Errorf("coord: unknown run")
+
+// Heartbeat refreshes a worker's liveness.
+func (c *Coordinator) Heartbeat(workerID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.workers[workerID]
+	if !ok {
+		return ErrUnknownWorker
+	}
+	w.lastBeat = time.Now()
+	return nil
+}
+
+// Lease hands the worker one pending unit, long-polling up to wait for
+// work to appear. A nil lease (and nil error) means the poll expired.
+func (c *Coordinator) Lease(workerID string, wait time.Duration) (*Lease, error) {
+	deadline := time.Now().Add(wait)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		w, ok := c.workers[workerID]
+		if !ok {
+			return nil, ErrUnknownWorker
+		}
+		if l := c.leaseLocked(w); l != nil {
+			return l, nil
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, nil
+		}
+		wake := c.wake
+		c.mu.Unlock()
+		t := time.NewTimer(remaining)
+		select {
+		case <-wake:
+		case <-t.C:
+		case <-c.closed:
+		}
+		t.Stop()
+		c.mu.Lock()
+		select {
+		case <-c.closed:
+			return nil, fmt.Errorf("coord: coordinator is shut down")
+		default:
+		}
+	}
+}
+
+// leaseLocked pops the first pending unit across runs in submission
+// order. Caller holds c.mu.
+func (c *Coordinator) leaseLocked(w *workerState) *Lease {
+	for _, id := range c.order {
+		r := c.runs[id]
+		if r.state != runRunning || len(r.pending) == 0 {
+			continue
+		}
+		u := r.pending[0]
+		r.pending = r.pending[1:]
+		u.state = dispatch.ShardRunning
+		u.attempts++
+		u.worker, u.workerName, u.leasedAt = w.id, w.name, time.Now()
+		r.jr.Attempt(u.id, u.attempts, w.name)
+		c.emit(r, dispatch.ProgressEvent{Kind: dispatch.ProgressAttempt, Shard: u.id, Attempt: u.attempts, Worker: w.name})
+		return &Lease{
+			RunID: r.id, Unit: u.id, Attempt: u.attempts,
+			Selection: r.spec.Selection, Params: r.spec.Params,
+			Shards: r.spec.Shards, Index: u.index, Cells: u.spec,
+		}
+	}
+	return nil
+}
+
+// ---- results ----
+
+// Push delivers one computed result file (raw shard-file bytes) for a
+// leased unit. First completion wins: a push for an already-done unit is
+// discarded as a duplicate, whoever sent it; a push that fails
+// validation is journaled as a failed attempt if it belongs to the
+// current lease.
+func (c *Coordinator) Push(runID string, unitID int, workerID string, attempt int, data []byte) (PushResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.runs[runID]
+	if !ok {
+		return PushResponse{}, ErrUnknownRun
+	}
+	u := r.unitByID(unitID)
+	if u == nil {
+		return PushResponse{}, fmt.Errorf("coord: run %s has no unit %d", runID, unitID)
+	}
+	if u.state == dispatch.ShardDone || r.state == runMerged {
+		r.duplicates++
+		c.opts.Logf("coord: run %s: unit %d: duplicate result from %s discarded", runID, unitID, workerID)
+		return PushResponse{Wire: WireVersion, Accepted: false, Duplicate: true}, nil
+	}
+	if r.state != runRunning {
+		return PushResponse{Wire: WireVersion, Accepted: false, Reason: "run " + r.state}, nil
+	}
+	tmp := u.path + ".push.tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return PushResponse{}, fmt.Errorf("coord: %w", err)
+	}
+	f, verr := c.validateUnitFile(r, u, tmp)
+	if verr != nil {
+		os.Remove(tmp)
+		current := u.state == dispatch.ShardRunning && u.worker == workerID && u.attempt() == attempt
+		if current {
+			c.failUnitLocked(r, u, attempt, workerName(c, workerID, u), verr)
+		}
+		return PushResponse{Wire: WireVersion, Accepted: false, Reason: verr.Error()}, nil
+	}
+	if err := os.Rename(tmp, u.path); err != nil {
+		os.Remove(tmp)
+		return PushResponse{}, fmt.Errorf("coord: %w", err)
+	}
+	u.state = dispatch.ShardDone
+	u.cellCount = f.CellCount()
+	name := workerName(c, workerID, u)
+	r.jr.Done(u.id, attempt, name, u.path, u.cellCount)
+	c.emit(r, dispatch.ProgressEvent{Kind: dispatch.ProgressDone, Shard: u.id, Attempt: attempt, Worker: name, File: u.path, Cells: u.cellCount})
+	// The unit may still sit in the pending queue (reassigned, then the
+	// original worker finished first); drop it so nobody re-leases it.
+	for i, p := range r.pending {
+		if p == u {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			break
+		}
+	}
+	u.worker, u.workerName = "", ""
+	if r.doneCount() == r.total() {
+		if err := c.mergeLocked(r); err != nil {
+			return PushResponse{}, err
+		}
+	}
+	return PushResponse{Wire: WireVersion, Accepted: true}, nil
+}
+
+// attempt returns the unit's current attempt number.
+func (u *unit) attempt() int { return u.attempts }
+
+// workerName resolves a display name for a worker id: the registered
+// name while the worker is alive, the lease's recorded name after it
+// was dropped, the raw id as a last resort.
+func workerName(c *Coordinator, workerID string, u *unit) string {
+	if w, ok := c.workers[workerID]; ok {
+		return w.name
+	}
+	if u.worker == workerID && u.workerName != "" {
+		return u.workerName
+	}
+	return workerID
+}
+
+// validateUnitFile applies the dispatcher's validation gates to a
+// candidate result file for the unit.
+func (c *Coordinator) validateUnitFile(r *run, u *unit, path string) (*shard.File, error) {
+	if u.kind == "shard" {
+		return dispatch.ValidateShardFile(path, r.spec, u.index, r.params, r.runNames)
+	}
+	return dispatch.ValidateBatchFile(path, r.spec, u.cells, r.params, r.runNames)
+}
+
+// ReportFail records a worker's failed attempt at its leased unit. A
+// stale report — the unit was reassigned or already completed — is
+// acknowledged and ignored.
+func (c *Coordinator) ReportFail(runID string, unitID int, req FailRequest) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.runs[runID]
+	if !ok {
+		return ErrUnknownRun
+	}
+	u := r.unitByID(unitID)
+	if u == nil {
+		return fmt.Errorf("coord: run %s has no unit %d", runID, unitID)
+	}
+	if r.state != runRunning || u.state != dispatch.ShardRunning ||
+		u.worker != req.WorkerID || u.attempts != req.Attempt {
+		return nil // stale: the sweeper or a rival already settled this attempt
+	}
+	c.failUnitLocked(r, u, req.Attempt, workerName(c, req.WorkerID, u), fmt.Errorf("%s", req.Error))
+	return nil
+}
+
+// failUnitLocked journals a failed attempt and requeues the unit, or
+// fails the run when the attempt budget is exhausted. Caller holds c.mu.
+func (c *Coordinator) failUnitLocked(r *run, u *unit, attempt int, worker string, ferr error) {
+	r.jr.Fail(u.id, attempt, worker, ferr)
+	c.emit(r, dispatch.ProgressEvent{Kind: dispatch.ProgressFailed, Shard: u.id, Attempt: attempt, Worker: worker, Err: ferr.Error()})
+	u.worker, u.workerName = "", ""
+	if u.attempts >= c.opts.MaxAttempts {
+		c.opts.Logf("coord: run %s: unit %d failed %d times; failing run: %v", r.id, u.id, u.attempts, ferr)
+		c.terminalLocked(r, runFailed, fmt.Sprintf("unit %d: %d attempts exhausted: %v", u.id, u.attempts, ferr))
+		return
+	}
+	u.state = dispatch.ShardPending
+	r.pending = append(r.pending, u)
+	c.wakeLocked()
+}
+
+func (r *run) unitByID(id int) *unit {
+	for _, u := range r.units {
+		if u.id == id {
+			return u
+		}
+	}
+	return nil
+}
+
+// mergeLocked merges a complete cover and journals the result. Caller
+// holds c.mu.
+func (c *Coordinator) mergeLocked(r *run) error {
+	var (
+		merged *shard.File
+		err    error
+	)
+	files := make([]*shard.File, 0, len(r.units))
+	for _, u := range r.units {
+		f, rerr := shard.ReadFile(u.path)
+		if rerr != nil {
+			err = rerr
+			break
+		}
+		files = append(files, f)
+	}
+	if err == nil {
+		if r.balance == dispatch.BalanceRoundRobin {
+			merged, err = shard.Merge(files)
+		} else {
+			var dups int
+			merged, dups, err = shard.MergeBatches(files)
+			r.duplicates += dups
+		}
+	}
+	if err != nil {
+		c.terminalLocked(r, runFailed, fmt.Sprintf("merge: %v", err))
+		return fmt.Errorf("coord: run %s: merge: %w", r.id, err)
+	}
+	if err := merged.WriteFile(filepath.Join(r.dir, "merged.json")); err != nil {
+		c.terminalLocked(r, runFailed, fmt.Sprintf("merge: %v", err))
+		return fmt.Errorf("coord: run %s: %w", r.id, err)
+	}
+	r.mergedAt, r.mergedCell = true, merged.CellCount()
+	r.jr.Merged(r.total(), r.mergedCell)
+	c.emit(r, dispatch.ProgressEvent{Kind: dispatch.ProgressMerged, Shards: r.total(), Shard: -1, Cells: r.mergedCell})
+	c.opts.Logf("coord: run %s: merged %d units (%d cells)", r.id, r.total(), r.mergedCell)
+	c.terminalLocked(r, runMerged, "")
+	return nil
+}
+
+// Result returns the merged shard file's bytes for a merged run.
+func (c *Coordinator) Result(runID string) ([]byte, error) {
+	c.mu.Lock()
+	r, ok := c.runs[runID]
+	if !ok {
+		c.mu.Unlock()
+		return nil, ErrUnknownRun
+	}
+	if r.state != runMerged {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("coord: run %s is %s, not merged", runID, r.state)
+	}
+	path := filepath.Join(r.dir, "merged.json")
+	c.mu.Unlock()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("coord: %w", err)
+	}
+	return data, nil
+}
+
+// ---- liveness ----
+
+func (c *Coordinator) sweeper() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-t.C:
+			c.sweep(time.Now())
+		}
+	}
+}
+
+// sweep drops workers whose heartbeats expired (reassigning their
+// leases) and, with LeaseTimeout set, expires overlong leases.
+func (c *Coordinator) sweep(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lost := map[string]string{} // id -> name
+	for id, w := range c.workers {
+		if now.Sub(w.lastBeat) > c.opts.HeartbeatTimeout {
+			lost[id] = w.name
+			delete(c.workers, id)
+			c.opts.Logf("coord: worker %s (%q) lost: heartbeat timeout", id, w.name)
+		}
+	}
+	for _, rid := range c.order {
+		r := c.runs[rid]
+		if r.state != runRunning {
+			continue
+		}
+		for _, u := range r.units {
+			if u.state != dispatch.ShardRunning {
+				continue
+			}
+			if name, isLost := lost[u.worker]; isLost {
+				c.failUnitLocked(r, u, u.attempts, name,
+					fmt.Errorf("worker %q lost: heartbeat timeout", name))
+				continue
+			}
+			if c.opts.LeaseTimeout > 0 && now.Sub(u.leasedAt) > c.opts.LeaseTimeout {
+				c.failUnitLocked(r, u, u.attempts, u.workerName,
+					fmt.Errorf("lease expired after %s", c.opts.LeaseTimeout))
+			}
+		}
+	}
+}
+
+// ---- observation ----
+
+// Subscribe returns a copy of the run's event history and, for a live
+// run, a channel of subsequent events (closed at the terminal event).
+// cancel must be called when done with the channel.
+func (c *Coordinator) Subscribe(runID string) (history []dispatch.ProgressEvent, ch <-chan dispatch.ProgressEvent, cancel func(), err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.runs[runID]
+	if !ok {
+		return nil, nil, nil, ErrUnknownRun
+	}
+	history = append([]dispatch.ProgressEvent(nil), r.history...)
+	if r.state != runRunning {
+		return history, nil, func() {}, nil
+	}
+	sub := make(chan dispatch.ProgressEvent, 1024)
+	r.subs[sub] = struct{}{}
+	cancel = func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if _, live := r.subs[sub]; live {
+			delete(r.subs, sub)
+			close(sub)
+		}
+	}
+	return history, sub, cancel, nil
+}
+
+// RunStatuses lists every run, submission order.
+func (c *Coordinator) RunStatuses() []RunStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]RunStatus, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.statusLocked(c.runs[id]))
+	}
+	return out
+}
+
+// Status returns one run's summary.
+func (c *Coordinator) Status(runID string) (RunStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.runs[runID]
+	if !ok {
+		return RunStatus{}, ErrUnknownRun
+	}
+	return c.statusLocked(r), nil
+}
+
+func (c *Coordinator) statusLocked(r *run) RunStatus {
+	return RunStatus{
+		RunID: r.id, Selection: r.spec.Selection, Shards: r.spec.Shards,
+		Balance: r.balance, State: r.state,
+		Done: r.doneCount(), Total: r.total(),
+		Resumed: r.resumed, Duplicates: r.duplicates,
+		MergedCells: r.mergedCell, Failure: r.failure,
+	}
+}
+
+// WorkerCount returns the number of live registered workers.
+func (c *Coordinator) WorkerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// StatusText renders a deterministic status summary: the coordinator
+// counterpart of `ioschedbench status`, golden-tested. It carries no
+// wall-clock so that identical state renders identical bytes.
+func (c *Coordinator) StatusText() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "coordinator: %d run(s), %d worker(s) connected\n", len(c.order), len(c.workers))
+	if len(c.order) == 0 {
+		return b.String()
+	}
+	b.WriteString("\n")
+	rows := make([][]string, 0, len(c.order))
+	for _, id := range c.order {
+		r := c.runs[id]
+		st := c.statusLocked(r)
+		note := ""
+		switch {
+		case st.State == runFailed:
+			note = st.Failure
+		case st.State == runMerged && st.Duplicates > 0:
+			note = fmt.Sprintf("%d duplicate(s) discarded", st.Duplicates)
+		case st.State == runRunning:
+			running := 0
+			for _, u := range r.units {
+				if u.state == dispatch.ShardRunning {
+					running++
+				}
+			}
+			if running > 0 {
+				note = fmt.Sprintf("%d in flight", running)
+			}
+		}
+		rows = append(rows, []string{
+			st.RunID, st.Selection, fmt.Sprintf("%d", st.Shards), r.balance, st.State,
+			fmt.Sprintf("%d/%d", st.Done, st.Total), note,
+		})
+	}
+	b.WriteString(textplot.Table(
+		[]string{"run", "selection", "shards", "balance", "state", "done", "note"}, rows))
+	return b.String()
+}

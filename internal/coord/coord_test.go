@@ -1,0 +1,254 @@
+package coord_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/coord/coordtest"
+	"repro/internal/dispatch"
+	"repro/internal/experiment"
+	"repro/internal/shard"
+)
+
+func testParams() experiment.ShardParams {
+	return experiment.ShardParams{Systems: 4, Seed: 1, GAPopulation: 10, GAGenerations: 6}
+}
+
+func testOpts() coord.Options {
+	return coord.Options{
+		HeartbeatTimeout: 500 * time.Millisecond,
+		SweepEvery:       25 * time.Millisecond,
+	}
+}
+
+// TestCoordinatorRoundRobin drives a full sweep through the HTTP
+// protocol with two honest workers and checks the merged result is
+// byte-identical to the unsharded run.
+func TestCoordinatorRoundRobin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	rig := coordtest.New(t, testOpts())
+	rig.StartWorker("w0", coordtest.Faults{})
+	rig.StartWorker("w1", coordtest.Faults{})
+	id := rig.Submit(coord.SubmitRequest{Selection: "fig5", Params: testParams(), Shards: 3})
+	st := rig.WaitMerged(id, 60*time.Second)
+	if st.Done != 3 || st.Total != 3 {
+		t.Fatalf("final status %+v, want 3/3 done", st)
+	}
+	if got, want := rig.Result(id), coordtest.Reference(t, "fig5", testParams()); !bytes.Equal(got, want) {
+		t.Fatalf("merged result differs from unsharded run (%d vs %d bytes)", len(got), len(want))
+	}
+	// The run directory speaks the dispatch journal schema: the stock
+	// reader must see a complete, merged run.
+	jst, err := dispatch.ReadJournalDir(rig.Coordinator().RunDir(id))
+	if err != nil {
+		t.Fatalf("ReadJournalDir: %v", err)
+	}
+	if !jst.Merged || jst.DoneCount() != 3 || len(jst.Missing()) != 0 {
+		t.Fatalf("journal state: merged=%v done=%d missing=%v", jst.Merged, jst.DoneCount(), jst.Missing())
+	}
+	if jst.Selection != "fig5" || jst.Shards != 3 {
+		t.Fatalf("journal plan: %q x%d", jst.Selection, jst.Shards)
+	}
+}
+
+// TestCoordinatorCostBalanced checks the cost-packed decomposition path
+// end to end: batches leased as cell specs, merged via MergeBatches.
+func TestCoordinatorCostBalanced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	rig := coordtest.New(t, testOpts())
+	rig.StartWorker("w0", coordtest.Faults{})
+	rig.StartWorker("w1", coordtest.Faults{})
+	id := rig.Submit(coord.SubmitRequest{Selection: "fig5", Params: testParams(), Shards: 3, Balance: "cost"})
+	rig.WaitMerged(id, 60*time.Second)
+	if got, want := rig.Result(id), coordtest.Reference(t, "fig5", testParams()); !bytes.Equal(got, want) {
+		t.Fatalf("cost-balanced merge differs from unsharded run")
+	}
+	jst, err := dispatch.ReadJournalDir(rig.Coordinator().RunDir(id))
+	if err != nil {
+		t.Fatalf("ReadJournalDir: %v", err)
+	}
+	if jst.Balance != "cost" {
+		t.Fatalf("journal balance %q, want cost", jst.Balance)
+	}
+	batches := 0
+	for _, sh := range jst.ShardStates {
+		if sh.Kind == "cost" {
+			batches++
+			if sh.Spec == "" {
+				t.Errorf("batch %d journaled without a cell spec", sh.Index)
+			}
+		}
+	}
+	if batches == 0 {
+		t.Fatal("no cost batch events journaled")
+	}
+}
+
+// TestCoordinatorMultiplexesRuns submits two different sweeps and
+// checks both complete correctly from the same worker pool.
+func TestCoordinatorMultiplexesRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	rig := coordtest.New(t, testOpts())
+	rig.StartWorker("w0", coordtest.Faults{})
+	rig.StartWorker("w1", coordtest.Faults{})
+	idA := rig.Submit(coord.SubmitRequest{Selection: "fig5", Params: testParams(), Shards: 2})
+	idB := rig.Submit(coord.SubmitRequest{Selection: "tailq", Params: testParams(), Shards: 3, Balance: "cost"})
+	rig.WaitMerged(idA, 60*time.Second)
+	rig.WaitMerged(idB, 60*time.Second)
+	if got, want := rig.Result(idA), coordtest.Reference(t, "fig5", testParams()); !bytes.Equal(got, want) {
+		t.Errorf("run %s differs from unsharded fig5", idA)
+	}
+	if got, want := rig.Result(idB), coordtest.Reference(t, "tailq", testParams()); !bytes.Equal(got, want) {
+		t.Errorf("run %s differs from unsharded tailq", idB)
+	}
+	runs, err := rig.Client.Runs(context.Background())
+	if err != nil {
+		t.Fatalf("Runs: %v", err)
+	}
+	if len(runs) != 2 || runs[0].RunID != idA || runs[1].RunID != idB {
+		t.Fatalf("run list %+v, want [%s %s]", runs, idA, idB)
+	}
+}
+
+// TestCoordinatorEvents consumes the SSE stream of a live run and
+// checks the progress schema arrives in order: plan first, then
+// attempts/dones, merged last.
+func TestCoordinatorEvents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	rig := coordtest.New(t, testOpts())
+	id := rig.Submit(coord.SubmitRequest{Selection: "tailq", Params: testParams(), Shards: 2})
+	var kinds []dispatch.ProgressKind
+	done := make(chan error, 1)
+	go func() {
+		done <- rig.Client.Events(context.Background(), id, func(e dispatch.ProgressEvent) {
+			if e.Version != dispatch.ProgressVersion {
+				t.Errorf("event version %d, want %d", e.Version, dispatch.ProgressVersion)
+			}
+			kinds = append(kinds, e.Kind)
+		})
+	}()
+	rig.StartWorker("w0", coordtest.Faults{})
+	rig.WaitMerged(id, 60*time.Second)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Events: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE stream did not terminate after merge")
+	}
+	if len(kinds) == 0 || kinds[0] != dispatch.ProgressPlan {
+		t.Fatalf("stream kinds %v: want plan first", kinds)
+	}
+	if kinds[len(kinds)-1] != dispatch.ProgressMerged {
+		t.Fatalf("stream kinds %v: want merged last", kinds)
+	}
+	count := map[dispatch.ProgressKind]int{}
+	for _, k := range kinds {
+		count[k]++
+	}
+	if count[dispatch.ProgressAttempt] < 2 || count[dispatch.ProgressDone] != 2 {
+		t.Fatalf("stream kinds %v: want >=2 attempts and exactly 2 dones", kinds)
+	}
+}
+
+// TestCoordinatorResultMatchesMergeSubcommandInput checks the result
+// endpoint serves a well-formed single-shard file (re-renderable, like
+// any merged cover).
+func TestCoordinatorResultDecodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	rig := coordtest.New(t, testOpts())
+	rig.StartWorker("w0", coordtest.Faults{})
+	id := rig.Submit(coord.SubmitRequest{Selection: "tailq", Params: testParams(), Shards: 2})
+	rig.WaitMerged(id, 60*time.Second)
+	f, err := shard.Decode(rig.Result(id))
+	if err != nil {
+		t.Fatalf("result does not decode as a shard file: %v", err)
+	}
+	if f.Shards != 1 || f.Index != 0 {
+		t.Fatalf("result is %d/%d, want single-shard", f.Index, f.Shards)
+	}
+}
+
+// TestStatusEndpoint checks the deterministic status text over HTTP.
+func TestStatusEndpoint(t *testing.T) {
+	rig := coordtest.New(t, testOpts())
+	resp, err := http.Get(rig.Client.BaseURL + "/api/v1/status")
+	if err != nil {
+		t.Fatalf("GET status: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status endpoint: %s: %s", resp.Status, body)
+	}
+	if want := "coordinator: 0 run(s), 0 worker(s) connected\n"; string(body) != want {
+		t.Fatalf("empty status = %q, want %q", body, want)
+	}
+}
+
+// TestSubmitRejectsNonsense checks server-side validation surfaces as
+// client errors, not created runs.
+func TestSubmitRejectsNonsense(t *testing.T) {
+	rig := coordtest.New(t, testOpts())
+	ctx := context.Background()
+	if _, err := rig.Client.Submit(ctx, coord.SubmitRequest{Selection: "no-such-experiment", Shards: 2}); err == nil {
+		t.Error("submit accepted an unknown selection")
+	}
+	if _, err := rig.Client.Submit(ctx, coord.SubmitRequest{Selection: "fig5", Shards: 0}); err == nil {
+		t.Error("submit accepted zero shards")
+	}
+	if _, err := rig.Client.Submit(ctx, coord.SubmitRequest{Selection: "fig5", Shards: 2, Balance: "magic"}); err == nil {
+		t.Error("submit accepted an unknown balance")
+	}
+	runs, err := rig.Client.Runs(ctx)
+	if err != nil {
+		t.Fatalf("Runs: %v", err)
+	}
+	if len(runs) != 0 {
+		t.Fatalf("rejected submits left %d runs behind", len(runs))
+	}
+	if _, err := rig.Client.Run(ctx, "run-9999"); err == nil || !strings.Contains(err.Error(), "unknown run") {
+		t.Errorf("unknown run error = %v", err)
+	}
+}
+
+// TestLeaseUnknownWorker checks the protocol's re-register contract: a
+// lease or heartbeat under an unknown id fails with 404.
+func TestLeaseUnknownWorker(t *testing.T) {
+	rig := coordtest.New(t, testOpts())
+	ctx := context.Background()
+	if _, err := rig.Client.Lease(ctx, "w-9999", 0); err == nil {
+		t.Error("lease under an unregistered id succeeded")
+	}
+	if err := rig.Client.Heartbeat(ctx, "w-9999"); err == nil {
+		t.Error("heartbeat under an unregistered id succeeded")
+	}
+	reg, err := rig.Client.Register(ctx, "probe")
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := rig.Client.Heartbeat(ctx, reg.WorkerID); err != nil {
+		t.Errorf("heartbeat after register: %v", err)
+	}
+	l, err := rig.Client.Lease(ctx, reg.WorkerID, 0)
+	if err != nil || l != nil {
+		t.Errorf("lease with no work = %+v, %v; want nil, nil", l, err)
+	}
+}

@@ -1,0 +1,124 @@
+package coord_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/coord/coordtest"
+	"repro/internal/dispatch"
+)
+
+// TestE2ETailqKillWorkerMidBatch is the acceptance scenario end to end:
+// a coordinator with two wire-connected workers runs the tailq grid,
+// one worker is killed mid-batch, the coordinator journals the loss and
+// reassigns, and the merged file is byte-identical to the unsharded
+// run. Afterwards the coordinator is restarted over the same directory
+// and must serve the same merged bytes purely from its journal.
+func TestE2ETailqKillWorkerMidBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	rig := coordtest.New(t, coord.Options{
+		HeartbeatTimeout: 300 * time.Millisecond,
+		SweepEvery:       25 * time.Millisecond,
+		MaxAttempts:      5,
+	})
+
+	// The doomed worker dies mid-compute of its very first unit.
+	doomed := rig.StartWorker("doomed", coordtest.Faults{
+		Die: func(unit int) bool { return true },
+	})
+	id := rig.Submit(coord.SubmitRequest{Selection: "tailq", Params: testParams(), Shards: 3})
+
+	// Watch the progress stream for the whole run.
+	var (
+		mu     sync.Mutex
+		events []dispatch.ProgressEvent
+	)
+	streamDone := make(chan error, 1)
+	go func() {
+		streamDone <- rig.Client.Events(context.Background(), id, func(e dispatch.ProgressEvent) {
+			mu.Lock()
+			events = append(events, e)
+			mu.Unlock()
+		})
+	}()
+
+	// Let the doomed worker actually take a unit and die before any
+	// rescuer appears: the journal records its attempt, then the sweep
+	// declares it lost.
+	waitJournal(t, rig, id, `"event":"attempt"`, 10*time.Second)
+	<-doomed.Done()
+	waitJournal(t, rig, id, "heartbeat timeout", 10*time.Second)
+
+	rig.StartWorker("steady", coordtest.Faults{})
+	st := rig.WaitMerged(id, 120*time.Second)
+	if st.Done != 3 || st.Total != 3 {
+		t.Fatalf("final status %+v, want 3/3", st)
+	}
+
+	// Byte-identity against the unsharded run: the invariant everything
+	// else exists to protect.
+	merged := rig.Result(id)
+	want := coordtest.Reference(t, "tailq", testParams())
+	if !bytes.Equal(merged, want) {
+		t.Fatalf("merged output differs from unsharded run (%d vs %d bytes)", len(merged), len(want))
+	}
+
+	// The journal tells the story: the lost worker's attempt, the
+	// heartbeat-timeout fail, the reassignment, the merge.
+	jtext := rawJournal(t, rig, id)
+	for _, marker := range []string{`"event":"plan"`, `"event":"attempt"`, `"event":"fail"`, "heartbeat timeout", `"event":"done"`, `"event":"merged"`} {
+		if !strings.Contains(jtext, marker) {
+			t.Errorf("journal missing %s:\n%s", marker, jtext)
+		}
+	}
+
+	// The SSE stream saw the same run: plan first, a failure, the merge
+	// last, and it terminated on its own.
+	select {
+	case err := <-streamDone:
+		if err != nil {
+			t.Fatalf("event stream: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("event stream did not close after merge")
+	}
+	mu.Lock()
+	kinds := make([]dispatch.ProgressKind, len(events))
+	for i, e := range events {
+		kinds[i] = e.Kind
+	}
+	mu.Unlock()
+	if len(kinds) == 0 || kinds[0] != dispatch.ProgressPlan || kinds[len(kinds)-1] != dispatch.ProgressMerged {
+		t.Fatalf("stream kinds %v: want plan..merged", kinds)
+	}
+	sawFail := false
+	for _, k := range kinds {
+		if k == dispatch.ProgressFailed {
+			sawFail = true
+		}
+	}
+	if !sawFail {
+		t.Fatalf("stream kinds %v: worker loss never streamed", kinds)
+	}
+
+	// Restart leg: a fresh coordinator over the same directory must
+	// resume the run as merged and serve identical bytes.
+	rig.Restart()
+	st2, err := rig.Coordinator().Status(id)
+	if err != nil {
+		t.Fatalf("status after restart: %v", err)
+	}
+	if st2.State != "merged" || st2.MergedCells != st.MergedCells {
+		t.Fatalf("after restart: %+v, want merged with %d cells", st2, st.MergedCells)
+	}
+	if again := rig.Result(id); !bytes.Equal(again, merged) {
+		t.Fatal("restarted coordinator serves different merged bytes")
+	}
+}

@@ -1,0 +1,276 @@
+package coord_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/coord/coordtest"
+	"repro/internal/dispatch"
+)
+
+// The fault matrix: every recovery path the coordinator promises —
+// crashed workers, hung workers, duplicated and delayed pushes, skewed
+// heartbeats, coordinator restart — must end in a merged cover that is
+// byte-identical to the unsharded run, with the failure journaled.
+
+func faultOpts() coord.Options {
+	return coord.Options{
+		HeartbeatTimeout: 300 * time.Millisecond,
+		SweepEvery:       25 * time.Millisecond,
+		MaxAttempts:      10,
+	}
+}
+
+// rawJournal reads the run's journal file as text, for asserting that
+// specific failure notes were recorded.
+func rawJournal(t *testing.T, rig *coordtest.Rig, runID string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(rig.Coordinator().RunDir(runID), dispatch.JournalFileName))
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	return string(data)
+}
+
+// waitJournal polls until the run's journal contains marker.
+func waitJournal(t *testing.T, rig *coordtest.Rig, runID, marker string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if strings.Contains(rawJournal(t, rig, runID), marker) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal never recorded %q; have:\n%s", marker, rawJournal(t, rig, runID))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func assertIdentical(t *testing.T, rig *coordtest.Rig, runID, selection string) {
+	t.Helper()
+	got := rig.Result(runID)
+	want := coordtest.Reference(t, selection, testParams())
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged %s run differs from unsharded reference (%d vs %d bytes)", selection, len(got), len(want))
+	}
+}
+
+// TestFaultHeartbeatTimeout kills a worker mid-unit (crash: compute,
+// heartbeats, everything stops). The sweep must declare it lost,
+// requeue its lease, and a second worker must finish the sweep with a
+// byte-identical merge.
+func TestFaultHeartbeatTimeout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	rig := coordtest.New(t, faultOpts())
+	doomed := rig.StartWorker("doomed", coordtest.Faults{
+		Die: func(unit int) bool { return true },
+	})
+	id := rig.Submit(coord.SubmitRequest{Selection: "fig5", Params: testParams(), Shards: 3})
+	// The lone worker grabs a unit, dies mid-compute, and the sweeper
+	// notices the silence.
+	waitJournal(t, rig, id, "heartbeat timeout", 10*time.Second)
+	<-doomed.Done()
+	rig.StartWorker("steady", coordtest.Faults{})
+	rig.WaitMerged(id, 60*time.Second)
+	assertIdentical(t, rig, id, "fig5")
+	jtext := rawJournal(t, rig, id)
+	if !strings.Contains(jtext, `"event":"fail"`) || !strings.Contains(jtext, `"event":"merged"`) {
+		t.Fatalf("journal missing fail/merged record:\n%s", jtext)
+	}
+}
+
+// TestFaultDuplicatePush delivers every result twice. The second copy
+// must be discarded, counted, and must not disturb the merge.
+func TestFaultDuplicatePush(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	rig := coordtest.New(t, faultOpts())
+	rig.StartWorker("echoey", coordtest.Faults{
+		DoublePush: func(l *coord.Lease) bool { return true },
+	})
+	id := rig.Submit(coord.SubmitRequest{Selection: "fig5", Params: testParams(), Shards: 3})
+	st := rig.WaitMerged(id, 60*time.Second)
+	if st.Duplicates < 1 {
+		t.Fatalf("status %+v: double-pushed every unit but no duplicates counted", st)
+	}
+	if st.Done != 3 {
+		t.Fatalf("status %+v: want 3 done", st)
+	}
+	assertIdentical(t, rig, id, "fig5")
+}
+
+// TestFaultStalePushAfterReassignment delays one unit's push past the
+// lease timeout: the coordinator reassigns it, and whichever completion
+// lands second must be discarded as a duplicate — first-completion-wins
+// keeps the merge deterministic either way.
+func TestFaultStalePushAfterReassignment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	opts := faultOpts()
+	opts.LeaseTimeout = 300 * time.Millisecond
+	rig := coordtest.New(t, opts)
+	rig.StartWorker("slow", coordtest.Faults{
+		PushDelay: func(l *coord.Lease) time.Duration {
+			if l.Unit == 0 && l.Attempt == 1 {
+				return 700 * time.Millisecond
+			}
+			return 0
+		},
+	})
+	id := rig.Submit(coord.SubmitRequest{Selection: "fig5", Params: testParams(), Shards: 3})
+	// The first lease on unit 0 outlives its lease: the coordinator
+	// journals the expiry and requeues before the stale push lands.
+	waitJournal(t, rig, id, "lease expired", 10*time.Second)
+	rig.StartWorker("steady", coordtest.Faults{})
+	rig.WaitMerged(id, 60*time.Second)
+	// The stale push trails the merge by the rest of its delay; wait for
+	// it to land and be counted as a discarded duplicate.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := rig.Coordinator().Status(id)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		if st.Duplicates >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("status %+v: stale push never counted as a duplicate", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	assertIdentical(t, rig, id, "fig5")
+}
+
+// TestFaultHungWorker wedges a worker on unit 0 while its heartbeats
+// keep flowing — only the lease timeout can recover the unit.
+func TestFaultHungWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	opts := faultOpts()
+	opts.LeaseTimeout = 300 * time.Millisecond
+	rig := coordtest.New(t, opts)
+	rig.StartWorker("stuck", coordtest.Faults{
+		Hang: func(unit int) bool { return unit == 0 },
+	})
+	id := rig.Submit(coord.SubmitRequest{Selection: "fig5", Params: testParams(), Shards: 3})
+	waitJournal(t, rig, id, "lease expired", 10*time.Second)
+	rig.StartWorker("steady", coordtest.Faults{})
+	rig.WaitMerged(id, 60*time.Second)
+	assertIdentical(t, rig, id, "fig5")
+	if !strings.Contains(rawJournal(t, rig, id), "lease expired") {
+		t.Fatal("lease expiry not journaled")
+	}
+}
+
+// TestFaultClockSkewedHeartbeat runs a worker whose heartbeat interval
+// exceeds the coordinator's timeout: it looks dead while still
+// computing. Its leases are reassigned, its stale pushes are either
+// first (accepted) or duplicate (discarded), and it transparently
+// re-registers — the merge must still be exact.
+func TestFaultClockSkewedHeartbeat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	opts := faultOpts()
+	opts.HeartbeatTimeout = 250 * time.Millisecond
+	rig := coordtest.New(t, opts)
+	rig.StartWorker("skewed", coordtest.Faults{
+		HeartbeatEvery: 2 * time.Second,
+		PushDelay:      func(l *coord.Lease) time.Duration { return 400 * time.Millisecond },
+	})
+	id := rig.Submit(coord.SubmitRequest{Selection: "fig5", Params: testParams(), Shards: 2})
+	waitJournal(t, rig, id, "heartbeat timeout", 10*time.Second)
+	rig.StartWorker("steady", coordtest.Faults{})
+	rig.WaitMerged(id, 60*time.Second)
+	assertIdentical(t, rig, id, "fig5")
+}
+
+// TestFaultCoordinatorRestart interrupts a run (one unit done, worker
+// then killed), restarts the coordinator over the same directory, and
+// checks the journal alone carries the run: the done unit is resumed,
+// the rest recomputed, and the merge is byte-identical.
+func TestFaultCoordinatorRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	rig := coordtest.New(t, faultOpts())
+	first := rig.StartWorker("first", coordtest.Faults{
+		// Completes unit 0, wedges forever on whatever it leases next.
+		Hang: func(unit int) bool { return unit != 0 },
+	})
+	id := rig.Submit(coord.SubmitRequest{Selection: "fig5", Params: testParams(), Shards: 3})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st, err := rig.Coordinator().Status(id)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		if st.Done == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("unit 0 never completed: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	first.Kill()
+	<-first.Done()
+	rig.Restart()
+	st, err := rig.Coordinator().Status(id)
+	if err != nil {
+		t.Fatalf("status after restart: %v", err)
+	}
+	if st.State != "running" || st.Done != 1 || st.Resumed != 1 {
+		t.Fatalf("after restart: %+v, want running with 1 done, 1 resumed", st)
+	}
+	rig.StartWorker("second", coordtest.Faults{})
+	fin := rig.WaitMerged(id, 60*time.Second)
+	if fin.Resumed != 1 {
+		t.Fatalf("final status %+v: resumed count lost", fin)
+	}
+	assertIdentical(t, rig, id, "fig5")
+	// And the restarted journal still reads as one coherent dispatch run.
+	jst, err := dispatch.ReadJournalDir(rig.Coordinator().RunDir(id))
+	if err != nil {
+		t.Fatalf("ReadJournalDir: %v", err)
+	}
+	if !jst.Merged || jst.DoneCount() != 3 {
+		t.Fatalf("journal after restart+merge: merged=%v done=%d", jst.Merged, jst.DoneCount())
+	}
+}
+
+// TestFaultDropPushExhaustsAttempts drops every push: no result ever
+// arrives, leases expire MaxAttempts times, and the run must land in a
+// clean terminal failure rather than hang.
+func TestFaultDropPushExhaustsAttempts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	opts := faultOpts()
+	opts.LeaseTimeout = 200 * time.Millisecond
+	opts.MaxAttempts = 2
+	rig := coordtest.New(t, opts)
+	rig.StartWorker("void", coordtest.Faults{
+		DropPush: func(l *coord.Lease) bool { return true },
+	})
+	id := rig.Submit(coord.SubmitRequest{Selection: "tailq", Params: testParams(), Shards: 1})
+	st := rig.WaitTerminal(id, 60*time.Second)
+	if st.State != "failed" || st.Failure == "" {
+		t.Fatalf("run ended %+v, want failed with a reason", st)
+	}
+	if !strings.Contains(rawJournal(t, rig, id), `"event":"fail"`) {
+		t.Fatal("terminal failure not journaled")
+	}
+}

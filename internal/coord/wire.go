@@ -1,0 +1,326 @@
+package coord
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/shard"
+)
+
+// WireVersion identifies the coordinator's HTTP message schema. Adding
+// fields or endpoints is backwards-compatible (readers are tolerant);
+// the version is bumped only when a field changes meaning. The normative
+// spec is docs/COORDINATOR.md.
+const WireVersion = 1
+
+// Wire-message size and field limits. Decoders reject anything beyond
+// them, so a single malformed client cannot balloon coordinator memory.
+const (
+	// MaxJSONBody bounds every JSON request body.
+	MaxJSONBody = 1 << 20
+	// maxNameLen bounds worker names and experiment selections.
+	maxNameLen = 128
+	// maxIDLen bounds worker and run identifiers.
+	maxIDLen = 64
+	// maxErrLen bounds reported failure messages (longer ones are
+	// rejected, not truncated — the client truncates).
+	maxErrLen = 16 << 10
+	// maxCellSpecLen bounds a lease's cell spec.
+	maxCellSpecLen = 1 << 20
+	// maxWaitMillis bounds a lease long-poll.
+	maxWaitMillis = 60_000
+	// maxShards bounds a submitted decomposition.
+	maxShards = 1_000_000
+	// maxAttempt bounds attempt numbers in client reports.
+	maxAttempt = 1_000_000
+)
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	// Name is the worker's human-readable label, journaled on every
+	// attempt it makes. Optional; the assigned worker id is used if "".
+	Name string `json:"name,omitempty"`
+}
+
+// RegisterResponse assigns the worker its identity and heartbeat duty.
+type RegisterResponse struct {
+	Wire     int    `json:"wire"`
+	WorkerID string `json:"worker_id"`
+	// HeartbeatMillis is how often the worker must heartbeat. It is a
+	// fraction of the coordinator's timeout, so a worker that follows it
+	// survives a missed beat or two.
+	HeartbeatMillis int64 `json:"heartbeat_ms"`
+}
+
+// HeartbeatRequest keeps a worker's registration alive.
+type HeartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// SubmitRequest submits one sweep: the dispatch spec plus the balance
+// mode, exactly the knobs `ioschedbench dispatch` exposes locally.
+type SubmitRequest struct {
+	Selection string                 `json:"selection,omitempty"`
+	Params    experiment.ShardParams `json:"params"`
+	Shards    int                    `json:"shards"`
+	// Balance picks the decomposition: "" or "roundrobin" for classic
+	// index shards, "cost" for cost-packed cell batches.
+	Balance string `json:"balance,omitempty"`
+}
+
+// SubmitResponse returns the created run's identity.
+type SubmitResponse struct {
+	Wire  int    `json:"wire"`
+	RunID string `json:"run_id"`
+}
+
+// LeaseRequest asks for one unit of work, long-polling up to WaitMillis
+// if none is pending.
+type LeaseRequest struct {
+	WorkerID   string `json:"worker_id"`
+	WaitMillis int64  `json:"wait_ms,omitempty"`
+}
+
+// Lease is one leased unit of work: everything a worker needs to build
+// the equivalent dispatch.Task locally. Cells is empty for a classic
+// round-robin shard (compute shard Index of Shards) and carries the
+// cell spec for a cost-balanced batch (Index is then the batch id).
+type Lease struct {
+	RunID     string                 `json:"run_id"`
+	Unit      int                    `json:"unit"`
+	Attempt   int                    `json:"attempt"`
+	Selection string                 `json:"selection"`
+	Params    experiment.ShardParams `json:"params"`
+	Shards    int                    `json:"shards"`
+	Index     int                    `json:"index"`
+	Cells     string                 `json:"cells,omitempty"`
+}
+
+// LeaseResponse carries the granted lease, or null when the long-poll
+// expired with no work (the worker just asks again).
+type LeaseResponse struct {
+	Wire  int    `json:"wire"`
+	Lease *Lease `json:"lease"`
+}
+
+// FailRequest reports a failed attempt at a leased unit.
+type FailRequest struct {
+	WorkerID string `json:"worker_id"`
+	Attempt  int    `json:"attempt"`
+	Error    string `json:"error"`
+}
+
+// PushResponse acknowledges a pushed result.
+type PushResponse struct {
+	Wire int `json:"wire"`
+	// Accepted reports whether the pushed file became the unit's result.
+	Accepted bool `json:"accepted"`
+	// Duplicate reports a push for a unit that already completed — the
+	// first completion won and this copy was discarded. Not an error:
+	// reassignment and work stealing legitimately race.
+	Duplicate bool `json:"duplicate,omitempty"`
+	// Reason explains a rejection that is not a duplicate (validation
+	// failure); the attempt is journaled failed.
+	Reason string `json:"reason,omitempty"`
+}
+
+// RunStatus is one run's summary as reported by GET /api/v1/runs.
+type RunStatus struct {
+	RunID     string `json:"run_id"`
+	Selection string `json:"selection"`
+	Shards    int    `json:"shards"`
+	Balance   string `json:"balance,omitempty"`
+	// State is "running", "merged" or "failed".
+	State string `json:"state"`
+	// Done and Total count work units (shards or batches).
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Resumed counts units restored from the journal at coordinator
+	// start; Duplicates counts discarded duplicate completions.
+	Resumed    int `json:"resumed,omitempty"`
+	Duplicates int `json:"duplicates,omitempty"`
+	// MergedCells is the merged cover's cell count once State is
+	// "merged".
+	MergedCells int `json:"merged_cells,omitempty"`
+	// Failure is the terminal error once State is "failed".
+	Failure string `json:"failure,omitempty"`
+}
+
+// RunsResponse lists every run the coordinator knows, submission order.
+type RunsResponse struct {
+	Wire int         `json:"wire"`
+	Runs []RunStatus `json:"runs"`
+}
+
+// okName reports whether s is a printable identifier-ish string within
+// limit runes (no control characters, no newlines).
+func okName(s string, limit int) bool {
+	if s == "" || len(s) > limit {
+		return false
+	}
+	for _, r := range s {
+		if r < 0x20 || r == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// okID reports whether s is a well-formed worker/run identifier.
+func okID(s string) bool {
+	if s == "" || len(s) > maxIDLen {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '-' || r == '_' || r == '.' || r == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func decodeJSON(data []byte, v any) error {
+	if len(data) > MaxJSONBody {
+		return fmt.Errorf("coord: message exceeds %d bytes", MaxJSONBody)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("coord: decode: %w", err)
+	}
+	return nil
+}
+
+// DecodeRegister decodes and validates a RegisterRequest.
+func DecodeRegister(data []byte) (*RegisterRequest, error) {
+	var m RegisterRequest
+	if err := decodeJSON(data, &m); err != nil {
+		return nil, err
+	}
+	if m.Name != "" && !okName(m.Name, maxNameLen) {
+		return nil, fmt.Errorf("coord: register: bad worker name")
+	}
+	return &m, nil
+}
+
+// DecodeHeartbeat decodes and validates a HeartbeatRequest.
+func DecodeHeartbeat(data []byte) (*HeartbeatRequest, error) {
+	var m HeartbeatRequest
+	if err := decodeJSON(data, &m); err != nil {
+		return nil, err
+	}
+	if !okID(m.WorkerID) {
+		return nil, fmt.Errorf("coord: heartbeat: bad worker id")
+	}
+	return &m, nil
+}
+
+// DecodeSubmit decodes and validates a SubmitRequest. The selection's
+// existence and the params' coherence are checked by the coordinator
+// against the experiment registry, not here.
+func DecodeSubmit(data []byte) (*SubmitRequest, error) {
+	var m SubmitRequest
+	if err := decodeJSON(data, &m); err != nil {
+		return nil, err
+	}
+	if m.Selection != "" && !okName(m.Selection, maxNameLen) {
+		return nil, fmt.Errorf("coord: submit: bad selection")
+	}
+	if m.Shards < 1 || m.Shards > maxShards {
+		return nil, fmt.Errorf("coord: submit: shards must be in [1,%d]", maxShards)
+	}
+	switch m.Balance {
+	case "", "roundrobin", "cost":
+	default:
+		return nil, fmt.Errorf("coord: submit: unknown balance %q", m.Balance)
+	}
+	return &m, nil
+}
+
+// DecodeLeaseRequest decodes and validates a LeaseRequest.
+func DecodeLeaseRequest(data []byte) (*LeaseRequest, error) {
+	var m LeaseRequest
+	if err := decodeJSON(data, &m); err != nil {
+		return nil, err
+	}
+	if !okID(m.WorkerID) {
+		return nil, fmt.Errorf("coord: lease: bad worker id")
+	}
+	if m.WaitMillis < 0 || m.WaitMillis > maxWaitMillis {
+		return nil, fmt.Errorf("coord: lease: wait_ms must be in [0,%d]", maxWaitMillis)
+	}
+	return &m, nil
+}
+
+// DecodeLease decodes and validates a Lease (the client side of a
+// LeaseResponse's payload).
+func DecodeLease(data []byte) (*Lease, error) {
+	var m Lease
+	if err := decodeJSON(data, &m); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Validate checks a lease's internal coherence.
+func (l *Lease) Validate() error {
+	if !okID(l.RunID) {
+		return fmt.Errorf("coord: lease: bad run id")
+	}
+	if l.Unit < 0 || l.Attempt < 1 || l.Attempt > maxAttempt {
+		return fmt.Errorf("coord: lease: bad unit/attempt")
+	}
+	if !okName(l.Selection, maxNameLen) {
+		return fmt.Errorf("coord: lease: bad selection")
+	}
+	if l.Shards < 1 || l.Shards > maxShards || l.Index < 0 {
+		return fmt.Errorf("coord: lease: bad shards/index")
+	}
+	if l.Cells == "" {
+		if l.Index >= l.Shards {
+			return fmt.Errorf("coord: lease: shard index %d out of range of %d", l.Index, l.Shards)
+		}
+		return nil
+	}
+	if len(l.Cells) > maxCellSpecLen {
+		return fmt.Errorf("coord: lease: cell spec exceeds %d bytes", maxCellSpecLen)
+	}
+	if _, _, err := shard.ParseCellSpec(l.Cells); err != nil {
+		return fmt.Errorf("coord: lease: %w", err)
+	}
+	return nil
+}
+
+// DecodeFail decodes and validates a FailRequest.
+func DecodeFail(data []byte) (*FailRequest, error) {
+	var m FailRequest
+	if err := decodeJSON(data, &m); err != nil {
+		return nil, err
+	}
+	if !okID(m.WorkerID) {
+		return nil, fmt.Errorf("coord: fail: bad worker id")
+	}
+	if m.Attempt < 1 || m.Attempt > maxAttempt {
+		return nil, fmt.Errorf("coord: fail: bad attempt")
+	}
+	if len(m.Error) > maxErrLen || strings.ContainsAny(m.Error, "\x00") {
+		return nil, fmt.Errorf("coord: fail: bad error message")
+	}
+	return &m, nil
+}
+
+// truncateErr clamps a failure message to the wire limit, marking the
+// cut. Clients apply it before reporting; the server rejects oversize.
+func truncateErr(s string) string {
+	const keep = maxErrLen - 20
+	if len(s) <= maxErrLen {
+		return s
+	}
+	return s[:keep] + "...[truncated]"
+}

@@ -1,0 +1,108 @@
+package coord
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDecodeSubmit(t *testing.T) {
+	good := `{"selection":"fig5","params":{"Systems":4},"shards":3,"balance":"cost"}`
+	m, err := DecodeSubmit([]byte(good))
+	if err != nil {
+		t.Fatalf("DecodeSubmit(%q): %v", good, err)
+	}
+	if m.Selection != "fig5" || m.Shards != 3 || m.Balance != "cost" {
+		t.Fatalf("DecodeSubmit(%q) = %+v", good, m)
+	}
+	bad := []string{
+		``,                                // not JSON
+		`{"shards":0}`,                    // shards out of range
+		`{"shards":-1}`,                   // negative
+		`{"shards":2000000}`,              // beyond limit
+		`{"shards":2,"balance":"speed"}`,  // unknown balance
+		`{"shards":2,"selection":"a\nb"}`, // control char in selection
+		`{"shards":2,"selection":"` + strings.Repeat("x", 200) + `"}`, // too long
+	}
+	for _, s := range bad {
+		if _, err := DecodeSubmit([]byte(s)); err == nil {
+			t.Errorf("DecodeSubmit(%q) accepted", s)
+		}
+	}
+}
+
+func TestDecodeLease(t *testing.T) {
+	good := `{"run_id":"run-0001","unit":2,"attempt":1,"selection":"all","shards":3,"index":2}`
+	l, err := DecodeLease([]byte(good))
+	if err != nil {
+		t.Fatalf("DecodeLease(%q): %v", good, err)
+	}
+	if l.Unit != 2 || l.Index != 2 || l.Shards != 3 {
+		t.Fatalf("DecodeLease(%q) = %+v", good, l)
+	}
+	withCells := `{"run_id":"run-0002","unit":0,"attempt":2,"selection":"fig5","shards":2,"index":0,"cells":"fig5=0-4,9"}`
+	if _, err := DecodeLease([]byte(withCells)); err != nil {
+		t.Fatalf("DecodeLease(%q): %v", withCells, err)
+	}
+	bad := []string{
+		`{"run_id":"","unit":0,"attempt":1,"selection":"all","shards":1,"index":0}`,                         // no run id
+		`{"run_id":"run/1","unit":0,"attempt":1,"selection":"all","shards":1,"index":0}`,                    // bad id chars
+		`{"run_id":"run-1","unit":-1,"attempt":1,"selection":"all","shards":1,"index":0}`,                   // bad unit
+		`{"run_id":"run-1","unit":0,"attempt":0,"selection":"all","shards":1,"index":0}`,                    // bad attempt
+		`{"run_id":"run-1","unit":0,"attempt":1,"selection":"all","shards":2,"index":2}`,                    // index out of range
+		`{"run_id":"run-1","unit":0,"attempt":1,"selection":"all","shards":1,"index":0,"cells":"nonsense"}`, // bad spec
+	}
+	for _, s := range bad {
+		if _, err := DecodeLease([]byte(s)); err == nil {
+			t.Errorf("DecodeLease(%q) accepted", s)
+		}
+	}
+}
+
+func TestDecodeWorkerMessages(t *testing.T) {
+	if m, err := DecodeRegister([]byte(`{"name":"w1"}`)); err != nil || m.Name != "w1" {
+		t.Fatalf("DecodeRegister: %+v, %v", m, err)
+	}
+	if _, err := DecodeRegister([]byte(`{"name":"bad\nname"}`)); err == nil {
+		t.Error("DecodeRegister accepted a newline name")
+	}
+	if _, err := DecodeHeartbeat([]byte(`{"worker_id":"w-0001"}`)); err != nil {
+		t.Errorf("DecodeHeartbeat: %v", err)
+	}
+	if _, err := DecodeHeartbeat([]byte(`{"worker_id":"w 1"}`)); err == nil {
+		t.Error("DecodeHeartbeat accepted a space in the id")
+	}
+	if _, err := DecodeLeaseRequest([]byte(`{"worker_id":"w-0001","wait_ms":1000}`)); err != nil {
+		t.Errorf("DecodeLeaseRequest: %v", err)
+	}
+	if _, err := DecodeLeaseRequest([]byte(`{"worker_id":"w-0001","wait_ms":120000}`)); err == nil {
+		t.Error("DecodeLeaseRequest accepted an oversize wait")
+	}
+	if _, err := DecodeFail([]byte(`{"worker_id":"w-0001","attempt":1,"error":"boom"}`)); err != nil {
+		t.Errorf("DecodeFail: %v", err)
+	}
+	if _, err := DecodeFail([]byte(`{"worker_id":"w-0001","attempt":1,"error":"` + strings.Repeat("x", 20<<10) + `"}`)); err == nil {
+		t.Error("DecodeFail accepted an oversize error")
+	}
+}
+
+func TestTruncateErr(t *testing.T) {
+	long := strings.Repeat("e", maxErrLen+100)
+	got := truncateErr(long)
+	if len(got) > maxErrLen {
+		t.Fatalf("truncateErr left %d bytes", len(got))
+	}
+	if !strings.HasSuffix(got, "[truncated]") {
+		t.Fatalf("truncateErr did not mark the cut: ...%s", got[len(got)-20:])
+	}
+	if _, err := DecodeFail([]byte(`{"worker_id":"w-1","attempt":1,"error":` + quote(truncateErr(long)) + `}`)); err != nil {
+		t.Fatalf("truncated error rejected by DecodeFail: %v", err)
+	}
+}
+
+func quote(s string) string {
+	b := strings.Builder{}
+	b.WriteByte('"')
+	b.WriteString(s)
+	b.WriteByte('"')
+	return b.String()
+}

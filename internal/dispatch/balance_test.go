@@ -236,7 +236,7 @@ func TestDispatchStealFirstCompletionWins(t *testing.T) {
 	if stolen == 0 {
 		t.Fatal("journal records no stolen batch")
 	}
-	raw, err := os.ReadFile(filepath.Join(dir, journalFileName))
+	raw, err := os.ReadFile(filepath.Join(dir, JournalFileName))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +350,7 @@ func TestDispatchCostResume(t *testing.T) {
 		t.Fatalf("resumed/cached/ran = %d/%d/%d, want 1/>0/0", res.Resumed, res.Cached, res.Ran)
 	}
 
-	raw, err := os.ReadFile(filepath.Join(dir, journalFileName))
+	raw, err := os.ReadFile(filepath.Join(dir, JournalFileName))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -504,7 +504,7 @@ func TestRefineCosts(t *testing.T) {
 // duration must all surface on the journal state.
 func TestReadJournalBalancedEvents(t *testing.T) {
 	dir := t.TempDir()
-	path := filepath.Join(dir, journalFileName)
+	path := filepath.Join(dir, JournalFileName)
 	lines := []string{
 		`{"event":"plan","v":1,"selection":"fig5","shards":2,"params":{"seed":1},"balance":"cost"}`,
 		`{"event":"batch","shard":0,"kind":"cost","spec":"fig5=0-9","cells":10,"weight":12.5}`,

@@ -89,7 +89,7 @@ func TestDispatchWarmCache(t *testing.T) {
 	if got := js.DoneCount(); got != 3 {
 		t.Fatalf("journal records %d shards done, want 3", got)
 	}
-	raw, err := os.ReadFile(filepath.Join(dir, journalFileName))
+	raw, err := os.ReadFile(filepath.Join(dir, JournalFileName))
 	if err != nil {
 		t.Fatal(err)
 	}

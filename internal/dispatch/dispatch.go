@@ -80,6 +80,15 @@ func (s Spec) normalised() (Spec, []byte, []string, error) {
 	return s, params, runNames, nil
 }
 
+// Normalised returns the spec with every default resolved, its compact
+// canonical params encoding (the bytes the journal plan event records),
+// and the selection's canonical run names. Exported so other drivers of
+// the dispatch protocol (the coordinator service in internal/coord)
+// normalise a run exactly the way Run does.
+func (s Spec) Normalised() (Spec, []byte, []string, error) {
+	return s.normalised()
+}
+
 // baseArgs returns the ioschedbench run flags shared by every worker
 // invocation of the spec — selection and parameters with every default
 // resolved, without any decomposition flags. It returns an error for
@@ -366,7 +375,7 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 		return nil, fmt.Errorf("dispatch: %w", err)
 	}
 
-	jr, done, prior, err := openJournal(filepath.Join(dir, journalFileName), spec, params, balance)
+	jr, done, prior, err := OpenJournal(filepath.Join(dir, JournalFileName), spec, params, balance)
 	if err != nil {
 		return nil, err
 	}
@@ -430,7 +439,7 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 				if vp == "" {
 					vp = paths[i]
 				}
-				if f, verr := validateShardFile(vp, spec, i, params, runNames); verr == nil {
+				if f, verr := ValidateShardFile(vp, spec, i, params, runNames); verr == nil {
 					files[i] = f
 					res.ShardPaths[i] = vp
 					res.Resumed++
@@ -445,7 +454,7 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 			if f := cachedShardFile(opts.Cache, spec, i, paths[i], params, runNames, logf); f != nil {
 				files[i] = f
 				res.Cached++
-				jr.cached(i, paths[i])
+				jr.Cached(i, paths[i])
 				logf("dispatch: shard %d/%d satisfied from the cell cache, not queued", i, spec.Shards)
 				emit(ProgressEvent{Kind: ProgressCached, Shard: i, File: paths[i]})
 				continue
@@ -476,7 +485,7 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 					continue
 				}
 				if sh.State == ShardDone {
-					if f, verr := validateBatchFile(sh.File, spec, nil, params, runNames); verr == nil {
+					if f, verr := ValidateBatchFile(sh.File, spec, nil, params, runNames); verr == nil {
 						resumed = append(resumed, resumedBatch{sh.Index, sh.File, f})
 						for ri, set := range f.Batch.Cells {
 							for _, g := range set {
@@ -490,7 +499,7 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 				}
 				// The batch is owed no longer: a fresh cost-packing over
 				// the still-uncovered cells replaces it.
-				jr.batch(sh.Index, "dropped", -1, sh.Spec, sh.Cells, sh.Weight)
+				jr.Batch(sh.Index, "dropped", -1, sh.Spec, sh.Cells, sh.Weight)
 			}
 		}
 		batches, err := planBatches(plan, costs, covered, spec.Shards, dir, &nextID)
@@ -508,13 +517,13 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 			emit(ProgressEvent{Kind: ProgressResumed, Shard: rb.id, File: rb.path})
 		}
 		for _, b := range batches {
-			jr.batch(b.id, b.kind, -1, b.spec, b.ncells, b.weight)
+			jr.Batch(b.id, b.kind, -1, b.spec, b.ncells, b.weight)
 			emit(ProgressEvent{Kind: ProgressBatch, Shard: b.id, Cells: b.ncells})
 			st := newBatchState(b)
 			if f := cachedBatchFile(opts.Cache, spec, b, params, runNames, logf); f != nil {
 				st.done, st.file, st.filePath = true, f, b.path
 				res.Cached++
-				jr.cached(b.id, b.path)
+				jr.Cached(b.id, b.path)
 				logf("dispatch: batch %d satisfied from the cell cache, not queued", b.id)
 				emit(ProgressEvent{Kind: ProgressCached, Shard: b.id, File: b.path})
 			}
@@ -549,7 +558,7 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 			return nil, err
 		}
 		res.Shards = spec.Shards
-		jr.merged(spec.Shards, merged.CellCount())
+		jr.Merged(spec.Shards, merged.CellCount())
 		logf("dispatch: merged %d shards (%d cells) for %q", spec.Shards, merged.CellCount(), spec.Selection)
 		emit(ProgressEvent{Kind: ProgressMerged, Shards: spec.Shards, Shard: -1, Cells: merged.CellCount()})
 	} else {
@@ -573,7 +582,7 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 		}
 		res.Duplicates += dups
 		res.Shards = len(bfiles)
-		jr.merged(len(bfiles), merged.CellCount())
+		jr.Merged(len(bfiles), merged.CellCount())
 		logf("dispatch: merged %d batches (%d cells) for %q", len(bfiles), merged.CellCount(), spec.Selection)
 		emit(ProgressEvent{Kind: ProgressMerged, Shards: len(bfiles), Shard: -1, Cells: merged.CellCount()})
 	}
@@ -594,13 +603,27 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 	return res, nil
 }
 
-// planBatches cost-packs the selection's not-yet-covered cells into up to
-// parts batches of near-equal predicted cost. Shared-key groups are
-// packed once through their representative (its members copy the
-// assignment), so fig6/fig7's single computation is never priced twice;
-// parts that end up empty are dropped rather than dispatched.
-func planBatches(plan *experiment.RunPlan, costs [][]float64, covered []map[int]bool,
-	parts int, dir string, nextID *int) ([]*batchInfo, error) {
+// PlannedBatch is one unit of a cost-balanced decomposition as produced
+// by PlanCostBatches: a set of grid cells per canonical run, its formatted
+// cell spec, cell count and predicted weight. Exported so other drivers of
+// the dispatch journal schema (the coordinator service in internal/coord)
+// plan batches exactly the way the in-process dispatcher does.
+type PlannedBatch struct {
+	ID     int
+	Cells  [][]int
+	Spec   string
+	NCells int
+	Weight float64
+}
+
+// PlanCostBatches cost-packs the selection's not-yet-covered cells into up
+// to parts batches of near-equal predicted cost, numbering them from
+// startID, and returns the batches plus the next free id. Shared-key
+// groups are packed once through their representative (its members copy
+// the assignment), so fig6/fig7's single computation is never priced
+// twice; parts that end up empty are dropped rather than dispatched.
+func PlanCostBatches(plan *experiment.RunPlan, costs [][]float64, covered []map[int]bool,
+	parts, startID int) ([]PlannedBatch, int, error) {
 	masked := make([][]float64, len(costs))
 	for ri := range costs {
 		masked[ri] = make([]float64, len(costs[ri]))
@@ -615,14 +638,14 @@ func planBatches(plan *experiment.RunPlan, costs [][]float64, covered []map[int]
 	}
 	assign, err := shard.CostPacked{Costs: masked}.Split(plan.Grids, parts)
 	if err != nil {
-		return nil, err
+		return nil, startID, err
 	}
 	for ri := range assign {
 		if plan.Groups[ri] != ri {
 			assign[ri] = assign[plan.Groups[ri]]
 		}
 	}
-	var out []*batchInfo
+	var out []PlannedBatch
 	for p := 0; p < parts; p++ {
 		cells := make([][]int, len(plan.Names))
 		ncells := 0
@@ -644,14 +667,31 @@ func planBatches(plan *experiment.RunPlan, costs [][]float64, covered []map[int]
 		}
 		spec, err := shard.FormatCellSpec(plan.Names, cells)
 		if err != nil {
-			return nil, err
+			return nil, startID, err
 		}
-		id := *nextID
-		*nextID++
+		out = append(out, PlannedBatch{
+			ID: startID, Cells: cells, Spec: spec, NCells: ncells, Weight: weight,
+		})
+		startID++
+	}
+	return out, startID, nil
+}
+
+// planBatches adapts PlanCostBatches to the dispatcher's batchInfo,
+// assigning each batch its output path inside dir.
+func planBatches(plan *experiment.RunPlan, costs [][]float64, covered []map[int]bool,
+	parts int, dir string, nextID *int) ([]*batchInfo, error) {
+	planned, next, err := PlanCostBatches(plan, costs, covered, parts, *nextID)
+	if err != nil {
+		return nil, err
+	}
+	*nextID = next
+	var out []*batchInfo
+	for _, b := range planned {
 		out = append(out, &batchInfo{
-			id: id, kind: "cost", parent: -1,
-			cells: cells, spec: spec, ncells: ncells, weight: weight,
-			path: filepath.Join(dir, fmt.Sprintf("batch%d.json", id)),
+			id: b.ID, kind: "cost", parent: -1,
+			cells: b.Cells, spec: b.Spec, ncells: b.NCells, weight: b.Weight,
+			path: filepath.Join(dir, fmt.Sprintf("batch%d.json", b.ID)),
 		})
 	}
 	return out, nil
@@ -720,7 +760,7 @@ func splitBatch(st *batchState, attempt int, runNames []string, dir string, next
 func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAttempts int,
 	logf func(string, ...any), emit func(ProgressEvent), deposit func(*shard.File),
 	params []byte, runNames []string,
-	jr *journal, dir string, statesAll *[]*batchState, queue []*batchState,
+	jr *Journal, dir string, statesAll *[]*batchState, queue []*batchState,
 	nextID *int, files []*shard.File, res *Result) error {
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -781,11 +821,11 @@ func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAtte
 			// names keep working whatever the race outcome.
 			out = fmt.Sprintf("%s.s%d", st.path, att)
 			res.Steals++
-			jr.steal(st.id, att, name)
+			jr.Steal(st.id, att, name)
 			logf("dispatch: %s %d stolen by idle %s (attempt %d/%d)", st.noun(), st.id, name, att, maxAttempts)
 			emit(ProgressEvent{Kind: ProgressSteal, Shard: st.id, Attempt: att, Worker: name})
 		} else {
-			jr.attempt(st.id, att, name)
+			jr.Attempt(st.id, att, name)
 			logf("dispatch: %s %d attempt %d/%d on %s", st.noun(), st.id, att, maxAttempts, name)
 			emit(ProgressEvent{Kind: ProgressAttempt, Shard: st.id, Attempt: att, Worker: name})
 		}
@@ -896,7 +936,7 @@ func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAtte
 		if path == "" {
 			return
 		}
-		jr.partial(path, present, cells)
+		jr.Partial(path, present, cells)
 		logf("dispatch: partial merge: %d/%d shards (%d cells) written to %s", present, spec.Shards, cells, path)
 		emit(ProgressEvent{Kind: ProgressPartial, Shards: present, Shard: -1, File: path, Cells: cells})
 	}
@@ -941,14 +981,14 @@ func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAtte
 					files[o.b.id] = o.file
 				}
 				deposit(o.file)
-				jr.done(o.b.id, o.attempt, o.worker, o.out, o.file.CellCount())
+				jr.Done(o.b.id, o.attempt, o.worker, o.out, o.file.CellCount())
 				logf("dispatch: %s %d complete (attempt %d on %s)", o.b.noun(), o.b.id, o.attempt, o.worker)
 				emit(ProgressEvent{Kind: ProgressDone, Shard: o.b.id, Attempt: o.attempt, Worker: o.worker, File: o.out, Cells: o.file.CellCount()})
 				remaining--
 				tryAssign()
 				continue
 			}
-			jr.fail(o.b.id, o.attempt, o.worker, o.err)
+			jr.Fail(o.b.id, o.attempt, o.worker, o.err)
 			emit(ProgressEvent{Kind: ProgressFailed, Shard: o.b.id, Attempt: o.attempt, Worker: o.worker, Err: o.err.Error()})
 			st.failedOn[o.workerIdx] = true
 			if st.running > 0 {
@@ -971,7 +1011,7 @@ func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAtte
 				logf("dispatch: batch %d attempt %d on %s failed; re-splitting %d cells into batches %d+%d: %v",
 					st.id, o.attempt, o.worker, st.ncells, children[0].id, children[1].id, o.err)
 				for _, c := range children {
-					jr.batch(c.id, c.kind, c.parent, c.spec, c.ncells, c.weight)
+					jr.Batch(c.id, c.kind, c.parent, c.spec, c.ncells, c.weight)
 					emit(ProgressEvent{Kind: ProgressBatch, Shard: c.id, Cells: c.ncells})
 					byID[c.id] = c
 					*statesAll = append(*statesAll, c)
@@ -1057,7 +1097,7 @@ func cachedShardFile(cache *cellcache.Store, spec Spec, index int, path string,
 	}
 	// The cached file passes the exact gate a worker's file must pass, so
 	// a cache bug is a re-queued shard, never a silently merged one.
-	vf, err := validateShardFile(path, spec, index, params, runNames)
+	vf, err := ValidateShardFile(path, spec, index, params, runNames)
 	if err != nil {
 		logf("dispatch: cached shard %d failed validation (%v); re-running", index, err)
 		return nil
@@ -1085,7 +1125,7 @@ func cachedBatchFile(cache *cellcache.Store, spec Spec, b *batchInfo,
 		logf("dispatch: writing cached batch %d: %v", b.id, err)
 		return nil
 	}
-	vf, err := validateBatchFile(b.path, spec, b.cells, params, runNames)
+	vf, err := ValidateBatchFile(b.path, spec, b.cells, params, runNames)
 	if err != nil {
 		logf("dispatch: cached batch %d failed validation (%v); re-running", b.id, err)
 		return nil
@@ -1112,9 +1152,9 @@ func runAttempt(ctx context.Context, w Worker, spec Spec, t task,
 	err := w.Run(actx, Task{Spec: spec, Index: t.b.id, Cells: t.b.spec, Out: t.out})
 	if err == nil {
 		if t.b.cells != nil {
-			f, err = validateBatchFile(t.out, spec, t.b.cells, params, runNames)
+			f, err = ValidateBatchFile(t.out, spec, t.b.cells, params, runNames)
 		} else {
-			f, err = validateShardFile(t.out, spec, t.b.id, params, runNames)
+			f, err = ValidateShardFile(t.out, spec, t.b.id, params, runNames)
 		}
 	}
 	if err != nil && actx.Err() != nil && ctx.Err() == nil {
@@ -1157,12 +1197,12 @@ func validateRunFile(path string, spec Spec, params []byte, runNames []string) (
 	return f, nil
 }
 
-// validateShardFile accepts a worker's output only if it is a valid
+// ValidateShardFile accepts a worker's output only if it is a valid
 // classic shard file of exactly this run and index with every owned cell
 // present exactly once (File.ValidateCells), and returns the decoded file
 // so the driver never parses a shard twice. Anything else counts as a
 // failed attempt and is retried.
-func validateShardFile(path string, spec Spec, index int, params []byte, runNames []string) (*shard.File, error) {
+func ValidateShardFile(path string, spec Spec, index int, params []byte, runNames []string) (*shard.File, error) {
 	f, err := validateRunFile(path, spec, params, runNames)
 	if err != nil {
 		return nil, err
@@ -1180,12 +1220,12 @@ func validateShardFile(path string, spec Spec, index int, params []byte, runName
 	return f, nil
 }
 
-// validateBatchFile is validateShardFile's counterpart for cell-batch
+// ValidateBatchFile is ValidateShardFile's counterpart for cell-batch
 // files. With cells non-nil the file's batch header must record exactly
 // those per-run sets — a worker that computed the wrong cells is a failed
 // attempt, not a mergeable file; with cells nil the header is accepted as
 // recorded (resume trusts the journaled plan it re-validates against).
-func validateBatchFile(path string, spec Spec, cells [][]int, params []byte, runNames []string) (*shard.File, error) {
+func ValidateBatchFile(path string, spec Spec, cells [][]int, params []byte, runNames []string) (*shard.File, error) {
 	f, err := validateRunFile(path, spec, params, runNames)
 	if err != nil {
 		return nil, err

@@ -9,8 +9,11 @@ import (
 	"time"
 )
 
-// journalFileName is the journal's name inside the dispatch directory.
-const journalFileName = "dispatch.journal"
+// JournalFileName is the journal's name inside the dispatch directory.
+// Exported so other drivers of the same journal schema (the coordinator
+// service in internal/coord) place their journals where the status
+// reader and resume logic expect them.
+const JournalFileName = "dispatch.journal"
 
 // partialFileName is the auto-partial-merge output's name inside the
 // dispatch directory (Options.PartialEvery).
@@ -58,10 +61,12 @@ type journalEvent struct {
 	Cells int `json:"cells,omitempty"`
 }
 
-// journal appends events to the dispatch journal file. Safe for
+// Journal appends events to the dispatch journal file. Safe for
 // concurrent use; write errors are sticky and reported by Close, so a
-// full disk cannot silently disable resumability.
-type journal struct {
+// full disk cannot silently disable resumability. Exported so the
+// coordinator service (internal/coord) writes the same schema through
+// the same code instead of forking it.
+type Journal struct {
 	mu     sync.Mutex
 	f      *os.File
 	enc    *json.Encoder
@@ -69,18 +74,18 @@ type journal struct {
 	err    error
 }
 
-// openJournal opens (or creates) the journal at path for the given run
+// OpenJournal opens (or creates) the journal at path for the given run
 // and returns it with the recorded file path of every shard/batch
 // already journaled done, plus the decoded prior state (nil on a fresh
 // journal) for cost re-planning.
 //
 // An existing journal must carry a plan event matching the run —
 // selection, shard count, compact params and balance — otherwise the
-// directory belongs to a different run and openJournal refuses it rather
+// directory belongs to a different run and OpenJournal refuses it rather
 // than mix shard sets. Decoding is delegated to ReadJournal, the one
 // decoder of the journal schema, so resume and the status reader can
 // never disagree about what a journal says.
-func openJournal(path string, spec Spec, params []byte, balance string) (*journal, map[int]string, *JournalState, error) {
+func OpenJournal(path string, spec Spec, params []byte, balance string) (*Journal, map[int]string, *JournalState, error) {
 	done := make(map[int]string)
 	data, err := os.ReadFile(path)
 	if err != nil && !os.IsNotExist(err) {
@@ -121,7 +126,7 @@ func openJournal(path string, spec Spec, params []byte, balance string) (*journa
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("dispatch: journal: %w", err)
 	}
-	j := &journal{f: f, enc: json.NewEncoder(f)}
+	j := &Journal{f: f, enc: json.NewEncoder(f)}
 	if !resuming {
 		e := journalEvent{Event: "plan", V: JournalVersion, Selection: spec.Selection, Shards: spec.Shards, Params: params}
 		if normalBalance(balance) != BalanceRoundRobin {
@@ -142,7 +147,7 @@ func normalBalance(b string) string {
 	return b
 }
 
-func (j *journal) write(e journalEvent) {
+func (j *Journal) write(e journalEvent) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	e.Time = time.Now().UTC().Format(time.RFC3339Nano)
@@ -151,24 +156,25 @@ func (j *journal) write(e journalEvent) {
 	}
 }
 
-func (j *journal) attempt(shard, attempt int, worker string) {
+// Attempt records the start of an attempt at a shard or batch.
+func (j *Journal) Attempt(shard, attempt int, worker string) {
 	j.write(journalEvent{Event: "attempt", Shard: &shard, Attempt: attempt, Worker: worker})
 }
 
-// steal records a work-stealing attempt: a second concurrent try at a
+// Steal records a work-stealing attempt: a second concurrent try at a
 // straggling batch by an idle worker. A compatible v1 addition — old
 // readers skip it, at worst under-counting attempts.
-func (j *journal) steal(shard, attempt int, worker string) {
+func (j *Journal) Steal(shard, attempt int, worker string) {
 	j.write(journalEvent{Event: "steal", Shard: &shard, Attempt: attempt, Worker: worker})
 }
 
-// batch records one planned cell batch of a balanced dispatch: its id
+// Batch records one planned cell batch of a balanced dispatch: its id
 // (the "shard" field — batches and shards share the id space), kind
 // ("cost" for a planned batch, "split" for a retry's re-split child,
 // "dropped" for a batch a resume re-planned away), parent batch id for
 // splits (-1 = none), cell spec, cell count and predicted weight. A
 // compatible v1 addition.
-func (j *journal) batch(id int, kind string, parent int, spec string, ncells int, weight float64) {
+func (j *Journal) Batch(id int, kind string, parent int, spec string, ncells int, weight float64) {
 	e := journalEvent{Event: "batch", Shard: &id, Kind: kind, Spec: spec, Cells: ncells, Weight: weight}
 	if parent >= 0 {
 		e.Parent = &parent
@@ -176,27 +182,31 @@ func (j *journal) batch(id int, kind string, parent int, spec string, ncells int
 	j.write(e)
 }
 
-func (j *journal) fail(shard, attempt int, worker string, err error) {
+// Fail records a failed attempt.
+func (j *Journal) Fail(shard, attempt int, worker string, err error) {
 	j.write(journalEvent{Event: "fail", Shard: &shard, Attempt: attempt, Worker: worker, Error: err.Error()})
 }
 
-func (j *journal) done(shard, attempt int, worker, file string, cells int) {
+// Done records a completed shard or batch and its validated output file.
+func (j *Journal) Done(shard, attempt int, worker, file string, cells int) {
 	j.write(journalEvent{Event: "done", Shard: &shard, Attempt: attempt, Worker: worker, File: file, Cells: cells})
 }
 
-// cached records a shard satisfied from the cell cache without running.
+// Cached records a shard satisfied from the cell cache without running.
 // It is an additional event type within schema version 1 (the spec allows
 // adding types without a bump; old readers skip it): resume treats it
 // exactly like "done" — the file is on disk and validated.
-func (j *journal) cached(shard int, file string) {
+func (j *Journal) Cached(shard int, file string) {
 	j.write(journalEvent{Event: "cached", Shard: &shard, File: file})
 }
 
-func (j *journal) merged(shards, cells int) {
+// Merged records the final merge of all shards or batches.
+func (j *Journal) Merged(shards, cells int) {
 	j.write(journalEvent{Event: "merged", Shards: shards, Cells: cells})
 }
 
-func (j *journal) partial(file string, present, cells int) {
+// Partial records an auto-partial-merge output covering present shards.
+func (j *Journal) Partial(file string, present, cells int) {
 	j.write(journalEvent{Event: "partial", File: file, Shards: present, Cells: cells})
 }
 
@@ -204,7 +214,7 @@ func (j *journal) partial(file string, present, cells int) {
 // It is idempotent: the driver closes explicitly on its success path (so
 // a failed journal surfaces as a dispatch error) and again via defer on
 // the error paths.
-func (j *journal) Close() error {
+func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if !j.closed {

@@ -86,7 +86,7 @@ type JournalState struct {
 
 // ReadJournalDir reads the journal inside a dispatch directory.
 func ReadJournalDir(dir string) (*JournalState, error) {
-	return ReadJournal(filepath.Join(dir, journalFileName))
+	return ReadJournal(filepath.Join(dir, JournalFileName))
 }
 
 // ReadJournal reads and decodes one dispatch journal. Unparseable lines
@@ -98,6 +98,12 @@ func ReadJournal(path string) (*JournalState, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dispatch: journal: %w", err)
 	}
+	return parseJournal(path, data)
+}
+
+// parseJournal decodes journal bytes; path is used in messages only.
+// Split from ReadJournal so the parser is fuzzable without file IO.
+func parseJournal(path string, data []byte) (*JournalState, error) {
 	st := &JournalState{Path: path}
 	sawPlan := false
 	shardAt := func(i int) *JournalShard {

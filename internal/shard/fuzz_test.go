@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseCellSpec checks the cell-spec grammar's round trip: anything
+// ParseCellSpec accepts must re-format through FormatCellSpec and parse
+// back to the identical names and (strictly ascending) cell sets —
+// the property the dispatch journal and the coordinator wire rely on
+// when they pass batch specs between processes.
+func FuzzParseCellSpec(f *testing.F) {
+	f.Add("fig5=0-4,9;fig6=1,3-17")
+	f.Add("tailq=")
+	f.Add("a=0;b=1-2;c=")
+	f.Add("fig5=0-0")
+	f.Add("=1")
+	f.Add("fig5=9,1")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, spec string) {
+		names, cells, err := ParseCellSpec(spec)
+		if err != nil {
+			return
+		}
+		out, err := FormatCellSpec(names, cells)
+		if err != nil {
+			t.Fatalf("FormatCellSpec rejects ParseCellSpec(%q)'s output: %v", spec, err)
+		}
+		names2, cells2, err := ParseCellSpec(out)
+		if err != nil {
+			t.Fatalf("ParseCellSpec rejects FormatCellSpec's output %q: %v", out, err)
+		}
+		if !reflect.DeepEqual(names, names2) {
+			t.Fatalf("names round trip: %q -> %q: %v != %v", spec, out, names, names2)
+		}
+		if len(cells) != len(cells2) {
+			t.Fatalf("cells round trip: %q -> %q: %d sets != %d", spec, out, len(cells), len(cells2))
+		}
+		for i := range cells {
+			if len(cells[i]) == 0 && len(cells2[i]) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(cells[i], cells2[i]) {
+				t.Fatalf("cells round trip: %q -> %q: set %d %v != %v", spec, out, i, cells[i], cells2[i])
+			}
+		}
+	})
+}
+
+// FuzzParseRanges checks the range grammar alone: accepted inputs parse
+// to strictly ascending sets that round trip through FormatRanges.
+func FuzzParseRanges(f *testing.F) {
+	f.Add("0-4,7,9-12")
+	f.Add("3")
+	f.Add("")
+	f.Add("1-1")
+	f.Add("0,2,4")
+	f.Fuzz(func(t *testing.T, s string) {
+		cells, err := ParseRanges(s)
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(cells); i++ {
+			if cells[i] <= cells[i-1] {
+				t.Fatalf("ParseRanges(%q) not strictly ascending: %v", s, cells)
+			}
+		}
+		out := FormatRanges(cells)
+		cells2, err := ParseRanges(out)
+		if err != nil {
+			t.Fatalf("ParseRanges rejects FormatRanges' output %q: %v", out, err)
+		}
+		if len(cells) == 0 && len(cells2) == 0 {
+			return
+		}
+		if !reflect.DeepEqual(cells, cells2) {
+			t.Fatalf("round trip %q -> %q: %v != %v", s, out, cells, cells2)
+		}
+	})
+}

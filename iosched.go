@@ -107,6 +107,22 @@
 // "ioschedbench merge -partial", "ioschedbench dispatch -progress
 // -partial-every" and "ioschedbench status"; the journal and
 // progress-event schemas are specified in docs/DISPATCH.md.
+//
+// # Coordinator service
+//
+// DispatchShards drives one sweep from one process over a shared
+// filesystem. NewCoordinator lifts the same engine into a long-running
+// network service: workers connect over HTTP (RunCoordinatorWorker
+// wraps any DispatchWorker as a protocol client), lease units, and push
+// result files back over the wire — no shared filesystem. The
+// coordinator multiplexes concurrent sweeps, journals each run in the
+// dispatch journal schema so a restart resumes it, detects lost workers
+// by heartbeat timeout and reassigns their units, and discards
+// duplicate completions first-completion-wins — the merged output stays
+// byte-identical to the unsharded run through every failure mode. The
+// CLI equivalents are "ioschedbench serve", "work" and "submit"; the
+// wire protocol is specified in docs/COORDINATOR.md, and the
+// fault-injection test harness lives in internal/coord/coordtest.
 package iosched
 
 import (
@@ -114,6 +130,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/controller"
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/dispatch"
@@ -603,6 +620,46 @@ func ReadDispatchJournal(dir string) (*DispatchJournalState, error) {
 // CLI equivalent is "ioschedbench dispatch".
 func DispatchShards(ctx context.Context, spec DispatchSpec, workers []DispatchWorker, opts DispatchOptions) (*DispatchResult, error) {
 	return dispatch.Run(ctx, spec, workers, opts)
+}
+
+// Coordinator service: the network-native face of dispatch. A
+// Coordinator owns a state directory of journalled runs; workers
+// connect through CoordinatorClient (or RunCoordinatorWorker), sweep
+// clients submit and observe through the same client. See the package
+// comment's Coordinator section, internal/coord and docs/COORDINATOR.md.
+type (
+	// Coordinator is the long-running sweep coordinator service; serve
+	// its Handler over HTTP and point workers at it.
+	Coordinator = coord.Coordinator
+	// CoordinatorOptions tunes heartbeat and lease timeouts, the attempt
+	// budget and logging.
+	CoordinatorOptions = coord.Options
+	// CoordinatorClient speaks the coordinator's HTTP protocol: submit
+	// and observe runs, or register/lease/push as a worker.
+	CoordinatorClient = coord.Client
+	// CoordinatorLease is one leased unit of work on the wire.
+	CoordinatorLease = coord.Lease
+	// CoordinatorSubmit is a sweep submission.
+	CoordinatorSubmit = coord.SubmitRequest
+	// CoordinatorRunStatus is one run's status as reported over the wire.
+	CoordinatorRunStatus = coord.RunStatus
+	// CoordinatorWorkerOptions configures RunCoordinatorWorker.
+	CoordinatorWorkerOptions = coord.WorkerOptions
+)
+
+// NewCoordinator opens (or resumes) a coordinator over a state
+// directory; every journaled run under it is restored. The CLI
+// equivalent is "ioschedbench serve".
+func NewCoordinator(dir string, opts CoordinatorOptions) (*Coordinator, error) {
+	return coord.New(dir, opts)
+}
+
+// RunCoordinatorWorker serves a coordinator as one worker: register,
+// heartbeat, lease units, compute them through any DispatchWorker, and
+// push the results back. It returns when ctx is cancelled. The CLI
+// equivalent is "ioschedbench work".
+func RunCoordinatorWorker(ctx context.Context, cl *CoordinatorClient, name string, w DispatchWorker, opts CoordinatorWorkerOptions) error {
+	return coord.RunWorker(ctx, cl, name, w, opts)
 }
 
 // Fig5FromCells rebuilds the Figure 5 result from a complete (merged)
