@@ -1,6 +1,8 @@
 package coord
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -134,11 +136,13 @@ type workerState struct {
 type Coordinator struct {
 	dir  string
 	opts Options
+	boot string // random per-process nonce embedded in worker ids
 
 	mu      sync.Mutex
 	wake    chan struct{} // closed+replaced when work may have appeared
 	workers map[string]*workerState
 	wseq    int
+	pseq    int // push temp-file sequence
 	runs    map[string]*run
 	order   []string // run ids, submission order
 	rseq    int
@@ -160,8 +164,13 @@ func New(dir string, opts Options) (*Coordinator, error) {
 	if err := os.MkdirAll(filepath.Join(abs, "runs"), 0o755); err != nil {
 		return nil, fmt.Errorf("coord: %w", err)
 	}
+	nonce := make([]byte, 3)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("coord: %w", err)
+	}
 	c := &Coordinator{
 		dir:     abs,
+		boot:    hex.EncodeToString(nonce),
 		opts:    opts.withDefaults(),
 		wake:    make(chan struct{}),
 		workers: make(map[string]*workerState),
@@ -424,13 +433,35 @@ func (c *Coordinator) loadRun(id string) error {
 		jr.Close()
 		r.jr = nil
 	}
+	// Round-robin units re-derive their per-shard cell counts from the
+	// plan (batches carry theirs in the journal). A plan failure only
+	// degrades the counts; it must not block resuming the journal record.
+	var rrCounts []int
+	if balance == dispatch.BalanceRoundRobin {
+		if plan, perr := experiment.PlanSelection(spec.Selection, spec.Params); perr == nil {
+			if assign, aerr := (shard.RoundRobin{}).Split(plan.Grids, spec.Shards); aerr == nil {
+				rrCounts = make([]int, spec.Shards)
+				for ri := range assign {
+					for _, part := range assign[ri] {
+						rrCounts[part]++
+					}
+				}
+			}
+		}
+	}
 	for _, sh := range prior.ShardStates {
 		if sh.Superseded {
 			continue
 		}
-		u := &unit{id: sh.Index, index: sh.Index, state: dispatch.ShardPending}
+		// Attempts resume from the journal so the MaxAttempts budget
+		// survives restarts: a journaled lease counts whether it failed or
+		// was interrupted, exactly as it counted live.
+		u := &unit{id: sh.Index, index: sh.Index, state: dispatch.ShardPending, attempts: sh.Attempts}
 		if balance == dispatch.BalanceRoundRobin {
 			u.kind = "shard"
+			if sh.Index < len(rrCounts) {
+				u.ncells = rrCounts[sh.Index]
+			}
 			u.path = filepath.Join(dir, fmt.Sprintf("shard%d.json", sh.Index))
 		} else {
 			u.kind = sh.Kind
@@ -525,11 +556,15 @@ func cellsFor(runNames []string, spec string) ([][]int, error) {
 // ---- workers ----
 
 // Register adds a worker and returns its identity plus heartbeat duty.
+// Ids embed a per-process random nonce so an id issued before a
+// coordinator restart can never alias one issued after it: a pre-restart
+// worker's heartbeats get ErrUnknownWorker and it re-registers, instead
+// of silently keeping a reused id alive.
 func (c *Coordinator) Register(name string) RegisterResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.wseq++
-	id := fmt.Sprintf("w-%04d", c.wseq)
+	id := fmt.Sprintf("w-%s-%04d", c.boot, c.wseq)
 	if name == "" {
 		name = id
 	}
@@ -631,26 +666,44 @@ func (c *Coordinator) leaseLocked(w *workerState) *Lease {
 // current lease.
 func (c *Coordinator) Push(runID string, unitID int, workerID string, attempt int, data []byte) (PushResponse, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	r, ok := c.runs[runID]
 	if !ok {
+		c.mu.Unlock()
 		return PushResponse{}, ErrUnknownRun
 	}
 	u := r.unitByID(unitID)
 	if u == nil {
+		c.mu.Unlock()
 		return PushResponse{}, fmt.Errorf("coord: run %s has no unit %d", runID, unitID)
 	}
-	if u.state == dispatch.ShardDone || r.state == runMerged {
-		r.duplicates++
-		c.opts.Logf("coord: run %s: unit %d: duplicate result from %s discarded", runID, unitID, workerID)
-		return PushResponse{Wire: WireVersion, Accepted: false, Duplicate: true}, nil
+	if resp, settled := c.settledPushLocked(r, u, workerID); settled {
+		c.mu.Unlock()
+		return resp, nil
 	}
-	if r.state != runRunning {
-		return PushResponse{Wire: WireVersion, Accepted: false, Reason: "run " + r.state}, nil
-	}
-	tmp := u.path + ".push.tmp"
+	c.pseq++
+	tmp := fmt.Sprintf("%s.push%d.tmp", u.path, c.pseq)
+	c.mu.Unlock()
+
+	// The body may be tens of MiB: write it without holding c.mu so a slow
+	// disk cannot stall heartbeats, leases, the sweeper and SSE fan-out
+	// (or induce the very heartbeat timeouts it would then have to sweep).
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return PushResponse{}, fmt.Errorf("coord: %w", err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-c.closed:
+		os.Remove(tmp)
+		return PushResponse{}, fmt.Errorf("coord: coordinator is shut down")
+	default:
+	}
+	// Re-check: a rival completion, a sweep, or a merge may have settled
+	// the unit or the run while the file was being written.
+	if resp, settled := c.settledPushLocked(r, u, workerID); settled {
+		os.Remove(tmp)
+		return resp, nil
 	}
 	f, verr := c.validateUnitFile(r, u, tmp)
 	if verr != nil {
@@ -685,6 +738,21 @@ func (c *Coordinator) Push(runID string, unitID int, workerID string, attempt in
 		}
 	}
 	return PushResponse{Wire: WireVersion, Accepted: true}, nil
+}
+
+// settledPushLocked reports whether a push for the unit is already moot
+// — a duplicate of a completed unit, or a run no longer running — and
+// the response to acknowledge it with. Caller holds c.mu.
+func (c *Coordinator) settledPushLocked(r *run, u *unit, workerID string) (PushResponse, bool) {
+	if u.state == dispatch.ShardDone || r.state == runMerged {
+		r.duplicates++
+		c.opts.Logf("coord: run %s: unit %d: duplicate result from %s discarded", r.id, u.id, workerID)
+		return PushResponse{Wire: WireVersion, Accepted: false, Duplicate: true}, true
+	}
+	if r.state != runRunning {
+		return PushResponse{Wire: WireVersion, Accepted: false, Reason: "run " + r.state}, true
+	}
+	return PushResponse{}, false
 }
 
 // attempt returns the unit's current attempt number.
@@ -852,10 +920,14 @@ func (c *Coordinator) sweep(now time.Time) {
 	}
 	for _, rid := range c.order {
 		r := c.runs[rid]
-		if r.state != runRunning {
-			continue
-		}
 		for _, u := range r.units {
+			if r.state != runRunning {
+				// failUnitLocked may exhaust a unit's attempt budget and
+				// fail the whole run mid-loop, closing its journal; the
+				// run's remaining expired leases are moot then — touching
+				// them would fail against a nil journal.
+				break
+			}
 			if u.state != dispatch.ShardRunning {
 				continue
 			}

@@ -229,6 +229,121 @@ func TestSubmitRejectsNonsense(t *testing.T) {
 	}
 }
 
+// TestSweepSurvivesRunFailureMidSweep pins the sweeper against the run
+// going terminal mid-sweep: one worker holds two leases and vanishes
+// with MaxAttempts=1, so the first expired lease fails the whole run
+// and closes its journal. The second expired lease of the same run must
+// then be skipped — not journaled against a closed (nil) journal, which
+// used to panic the sweeper goroutine and crash the coordinator.
+func TestSweepSurvivesRunFailureMidSweep(t *testing.T) {
+	c, err := coord.New(t.TempDir(), coord.Options{
+		HeartbeatTimeout: 200 * time.Millisecond,
+		SweepEvery:       25 * time.Millisecond,
+		MaxAttempts:      1,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer c.Close()
+	reg := c.Register("ghost")
+	id, err := c.Submit(coord.SubmitRequest{Selection: "fig5", Params: testParams(), Shards: 2})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		l, lerr := c.Lease(reg.WorkerID, 0)
+		if lerr != nil || l == nil {
+			t.Fatalf("lease %d = %+v, %v", i, l, lerr)
+		}
+	}
+	// The worker never heartbeats again: both leases expire in one sweep.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, serr := c.Status(id)
+		if serr != nil {
+			t.Fatalf("Status: %v", serr)
+		}
+		if st.State == "failed" {
+			if !strings.Contains(st.Failure, "attempts exhausted") {
+				t.Fatalf("run failed with %q, want an attempts-exhausted reason", st.Failure)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("run never failed after losing its worker: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestWorkerIDsUniqueAcrossRestart checks a pre-restart worker id can
+// never alias a post-restart registration: aliasing would let the old
+// worker's heartbeats keep the new id alive, silently breaking
+// heartbeat-timeout reassignment.
+func TestWorkerIDsUniqueAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := coord.New(dir, testOpts())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	id1 := c1.Register("a").WorkerID
+	if err := c1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	c2, err := coord.New(dir, testOpts())
+	if err != nil {
+		t.Fatalf("New after restart: %v", err)
+	}
+	defer c2.Close()
+	if id2 := c2.Register("b").WorkerID; id1 == id2 {
+		t.Fatalf("worker id %q reused across restart", id1)
+	}
+	if err := c2.Heartbeat(id1); err == nil {
+		t.Fatalf("restarted coordinator accepted pre-restart worker id %q", id1)
+	}
+}
+
+// TestRestartRestoresAttemptBudget checks journaled attempts count
+// against MaxAttempts after a coordinator restart — the budget must not
+// silently reset, or a persistently failing unit retries forever across
+// restarts.
+func TestRestartRestoresAttemptBudget(t *testing.T) {
+	dir := t.TempDir()
+	opts := coord.Options{HeartbeatTimeout: time.Minute, MaxAttempts: 3}
+	c1, err := coord.New(dir, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	reg := c1.Register("flaky")
+	id, err := c1.Submit(coord.SubmitRequest{Selection: "fig5", Params: testParams(), Shards: 1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	l, err := c1.Lease(reg.WorkerID, 0)
+	if err != nil || l == nil || l.Attempt != 1 {
+		t.Fatalf("first lease = %+v, %v", l, err)
+	}
+	if err := c1.ReportFail(id, l.Unit, coord.FailRequest{WorkerID: reg.WorkerID, Attempt: 1, Error: "boom"}); err != nil {
+		t.Fatalf("ReportFail: %v", err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	c2, err := coord.New(dir, opts)
+	if err != nil {
+		t.Fatalf("New after restart: %v", err)
+	}
+	defer c2.Close()
+	reg2 := c2.Register("flaky-too")
+	l2, err := c2.Lease(reg2.WorkerID, 0)
+	if err != nil || l2 == nil {
+		t.Fatalf("lease after restart = %+v, %v", l2, err)
+	}
+	if l2.Attempt != 2 {
+		t.Fatalf("lease after restart is attempt %d, want 2: the journaled attempt must count against the budget", l2.Attempt)
+	}
+}
+
 // TestLeaseUnknownWorker checks the protocol's re-register contract: a
 // lease or heartbeat under an unknown id fails with 404.
 func TestLeaseUnknownWorker(t *testing.T) {
