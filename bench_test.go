@@ -160,6 +160,10 @@ func BenchmarkFPSOfflineSimulation(b *testing.B) { benchtraj.FPSOfflineSimulatio
 
 func BenchmarkDispatchPack(b *testing.B) { benchtraj.DispatchPack(b) }
 
+func BenchmarkCodecEncodeBinary(b *testing.B) { benchtraj.CodecEncodeBinary(b) }
+
+func BenchmarkCodecDecodeBinary(b *testing.B) { benchtraj.CodecDecodeBinary(b) }
+
 func BenchmarkFPSOnlineAnalysis(b *testing.B) {
 	cfg := gen.PaperConfig()
 	ts, err := cfg.System(rand.New(rand.NewSource(1)), 0.7)

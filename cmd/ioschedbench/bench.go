@@ -22,17 +22,17 @@ import (
 func runBench(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	var (
-		out       = fs.String("o", "bench/BENCH_0007.json", "trajectory file to write (empty = don't write)")
+		out       = fs.String("o", "bench/BENCH_0009.json", "trajectory file to write (empty = don't write)")
 		compare   = fs.String("compare", "", "baseline trajectory to gate against; regressions make the command fail")
 		tolerance = fs.Float64("tolerance", 0.15, "allowed relative regression before the gate fails")
 		benchtime = fs.String("benchtime", "500ms", "per-benchmark measuring time (test.benchtime syntax, e.g. 2s or 10x)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ioschedbench bench [-o bench/BENCH_0007.json] [-compare baseline.json] [flags]")
+		fmt.Fprintln(os.Stderr, "usage: ioschedbench bench [-o bench/BENCH_0009.json] [-compare baseline.json] [flags]")
 		fmt.Fprintln(os.Stderr, "\nMeasures the tier benchmarks (shared with `go test -bench` via")
 		fmt.Fprintln(os.Stderr, "internal/benchtraj), the Figure 5 serial/parallel speedup, the cell")
-		fmt.Fprintln(os.Stderr, "cache warm hit rate and the dispatch makespan ratio, and writes them")
-		fmt.Fprintln(os.Stderr, "as one trajectory snapshot.")
+		fmt.Fprintln(os.Stderr, "cache warm hit rate, the dispatch makespan ratio and the shard codec")
+		fmt.Fprintln(os.Stderr, "bytes-per-cell sizes, and writes them as one trajectory snapshot.")
 		fmt.Fprintln(os.Stderr)
 		fs.PrintDefaults()
 	}
@@ -105,6 +105,15 @@ func runBench(args []string, w io.Writer) error {
 	}
 	traj.DispatchMakespanRatio = ratio
 	fmt.Fprintf(w, "bench: dispatch makespan roundrobin/cost ratio: %.3fx\n", ratio)
+
+	sizes, err := benchtraj.MeasureCodecSizes()
+	if err != nil {
+		return fmt.Errorf("measuring codec sizes: %w", err)
+	}
+	traj.CodecBytesPerCellV1 = sizes.V1BytesPerCell
+	traj.CodecBytesPerCellV2 = sizes.V2BytesPerCell
+	fmt.Fprintf(w, "bench: codec bytes/cell json %.1f, binary %.1f (ratio %.3f over %d cells)\n",
+		sizes.V1BytesPerCell, sizes.V2BytesPerCell, sizes.Ratio(), sizes.Cells)
 
 	if *out != "" {
 		if dir := filepath.Dir(*out); dir != "." {

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/dispatch"
+	"repro/internal/shard"
 )
 
 // runDispatch drives a whole sharded sweep from one invocation:
@@ -34,6 +35,7 @@ func runDispatch(args []string) error {
 	fs := flag.NewFlagSet("dispatch", flag.ExitOnError)
 	rf := registerRunFlags(fs)
 	cf := registerCacheFlags(fs)
+	codecF := registerCodecFlag(fs)
 	var cmds []string
 	var (
 		workers      = fs.Int("workers", 2, "local worker subprocesses (ignored when -worker is given)")
@@ -76,9 +78,18 @@ func runDispatch(args []string) error {
 	if err != nil {
 		return err
 	}
+	codec, err := shard.ParseEncoding(*codecF)
+	if err != nil {
+		return err
+	}
 	cache, err := cf.open()
 	if err != nil {
 		return err
+	}
+	if cache != nil {
+		if err := cache.SetEncoding(codec); err != nil {
+			return err
+		}
 	}
 
 	var pool []dispatch.Worker
@@ -115,6 +126,11 @@ func runDispatch(args []string) error {
 			// like -parallel — never part of the run identity).
 			extra = append(extra, "-cache-dir", cdir)
 		}
+		if codec != shard.EncodingJSON {
+			// Forward the write encoding to local workers; validation and
+			// merge auto-detect, so this only shrinks the shard files.
+			extra = append(extra, "-codec", codec)
+		}
 		for i := 0; i < *workers; i++ {
 			pool = append(pool, &dispatch.LocalProcWorker{
 				Binary:    bin,
@@ -144,6 +160,7 @@ func runDispatch(args []string) error {
 		Cache:          cache,
 		Balance:        *balance,
 		Steal:          *steal,
+		Codec:          codec,
 	}
 	if *progress {
 		// The live line redraws in place; the per-event log lines would
@@ -176,7 +193,7 @@ func runDispatch(args []string) error {
 			st.Hits, st.Misses, 100*st.HitRate())
 	}
 	if *out != "" {
-		if err := res.Merged.WriteFile(*out); err != nil {
+		if err := res.Merged.WriteFileAs(*out, codec); err != nil {
 			return err
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"repro/internal/experiment"
+	"repro/internal/shard"
 	"repro/internal/textplot"
 )
 
@@ -32,28 +33,38 @@ func runExperiments(args []string, w io.Writer) error {
 	// Grid shapes are configuration-dependent; show them at the default
 	// scale the CLI runs without flags.
 	rc := experiment.ShardParams{Seed: 1}.Context(1)
-	headers := []string{"name", "grid", "cell key", "csv", "description"}
+	headers := []string{"name", "grid", "cell key", "payload", "csv", "description"}
 	var rows [][]string
 	for _, e := range experiment.All() {
 		g, err := e.Grid(rc)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.Name(), err)
 		}
-		grid, key := "-", "-"
-		if e.Codec().New != nil {
+		grid, key, payload := "-", "-", "-"
+		if c := e.Codec(); c.New != nil {
 			grid = fmt.Sprintf("%dx%d", g.Points, g.Systems)
 			key = e.CellKey()
+			// The payload column names the codec version and whether binary
+			// shard files pack this experiment's cells natively (a codec is
+			// registered under the experiment's name and version) or fall
+			// back to the compact-JSON column.
+			payload = fmt.Sprintf("v%d json", c.Version)
+			if _, ok := shard.LookupPayloadCodec(e.Name(), c.Version); ok {
+				payload = fmt.Sprintf("v%d binary", c.Version)
+			}
 		}
 		csvName := e.CSVName()
 		if csvName == "" {
 			csvName = "-"
 		}
-		rows = append(rows, []string{e.Name(), grid, key, csvName, e.Describe()})
+		rows = append(rows, []string{e.Name(), grid, key, payload, csvName, e.Describe()})
 	}
 	fmt.Fprintln(w, "Registered experiments (canonical \"all\" order; grids at the default scale):")
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, textplot.Table(headers, rows))
 	fmt.Fprintln(w, "Experiments sharing a cell key are computed once per run; \"-\" marks a")
-	fmt.Fprintln(w, "closed-form experiment with no grid to shard.")
+	fmt.Fprintln(w, "closed-form experiment with no grid to shard. The payload column is the")
+	fmt.Fprintln(w, "cell payload version and how -codec binary packs it (binary = a native")
+	fmt.Fprintln(w, "columnar codec, json = the compact-JSON fallback column).")
 	return nil
 }

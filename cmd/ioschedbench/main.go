@@ -48,6 +48,13 @@
 // (work stealing computes some cells twice; determinism makes both
 // copies byte-identical). Batches are the unit of balanced dispatch.
 //
+// -codec selects the cell-file container this process writes: json (the
+// human-readable default) or binary, a compact columnar container about
+// a tenth the size at paper scale. Readers always auto-detect per file,
+// so shard sets, caches and dispatch directories may mix encodings and
+// still merge byte-identical to the unsharded run. The layouts are
+// specified in docs/SHARD_FORMAT.md.
+//
 // # Dispatch
 //
 // The dispatch subcommand automates the shard → retry → merge loop: it
@@ -188,6 +195,7 @@ func main() {
 	rf := registerRunFlags(flag.CommandLine)
 	cf := registerCacheFlags(flag.CommandLine)
 	var (
+		codecF     = registerCodecFlag(flag.CommandLine)
 		csvDir     = flag.String("csv", "", "directory to write CSV result files into")
 		parallel   = flag.Int("parallel", 0, "worker goroutines (0 = one per CPU, 1 = serial); never changes results")
 		shards     = flag.Int("shards", 0, "split the experiment grids into this many shards (0 = run unsharded)")
@@ -201,16 +209,25 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	codec, err := shard.ParseEncoding(*codecF)
+	if err != nil {
+		fail(err)
+	}
 	cache, err := cf.open()
 	if err != nil {
 		fail(err)
+	}
+	if cache != nil {
+		if err := cache.SetEncoding(codec); err != nil {
+			fail(err)
+		}
 	}
 
 	if *cellSpec != "" {
 		if *shards > 0 {
 			fail(fmt.Errorf("-cells and -shards are mutually exclusive"))
 		}
-		if err := writeBatch(*rf.which, params, *parallel, *cellSpec, *out, cache); err != nil {
+		if err := writeBatch(*rf.which, params, *parallel, *cellSpec, *out, cache, codec); err != nil {
 			fail(err)
 		}
 		return
@@ -221,7 +238,7 @@ func main() {
 		if n == 0 {
 			n = 1
 		}
-		if err := writeShard(*rf.which, params, *parallel, n, *shardIndex, *out, cache); err != nil {
+		if err := writeShard(*rf.which, params, *parallel, n, *shardIndex, *out, cache, codec); err != nil {
 			fail(err)
 		}
 		return
@@ -264,6 +281,16 @@ func (c *cacheFlags) open() (*cellcache.Store, error) {
 		return nil, nil
 	}
 	return cellcache.Open(dir)
+}
+
+// registerCodecFlag registers the shared -codec flag: which cell-file
+// encoding this process writes (shard files, cell batches, cache
+// entries). It is host-local like -parallel and -cache-dir — readers
+// auto-detect the encoding per file, so any mix of settings across a
+// worker pool merges identically — and is therefore never part of the
+// run params.
+func registerCodecFlag(fs *flag.FlagSet) *string {
+	return fs.String("codec", "", "cell-file encoding to write: json (default) or binary; readers auto-detect either")
 }
 
 // resolvedDir returns the effective cache directory ("" = caching off),
@@ -339,7 +366,7 @@ func fail(err error) {
 // cell file. Progress goes to stderr: stdout stays reserved for rendered
 // results, so sharded runs compose with shells and Makefiles the same way
 // unsharded runs do.
-func writeShard(selection string, p experiment.ShardParams, parallel, shards, index int, out string, cache *cellcache.Store) error {
+func writeShard(selection string, p experiment.ShardParams, parallel, shards, index int, out string, cache *cellcache.Store, codec string) error {
 	if out == "" {
 		return fmt.Errorf("sharded runs need -out <file> for the cell file")
 	}
@@ -347,7 +374,7 @@ func writeShard(selection string, p experiment.ShardParams, parallel, shards, in
 	if err != nil {
 		return err
 	}
-	if err := f.WriteFile(out); err != nil {
+	if err := f.WriteFileAs(out, codec); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "ioschedbench: wrote shard %d/%d of %q (%d cells across %d runs) to %s\n",
@@ -360,7 +387,7 @@ func writeShard(selection string, p experiment.ShardParams, parallel, shards, in
 // dispatch, and usable by hand for surgical re-runs. The spec must name
 // the selection's runs in their canonical order, so a batch file always
 // merges against its siblings without reordering.
-func writeBatch(selection string, p experiment.ShardParams, parallel int, spec, out string, cache *cellcache.Store) error {
+func writeBatch(selection string, p experiment.ShardParams, parallel int, spec, out string, cache *cellcache.Store, codec string) error {
 	if out == "" {
 		return fmt.Errorf("-cells needs -out <file> for the cell-batch file")
 	}
@@ -385,7 +412,7 @@ func writeBatch(selection string, p experiment.ShardParams, parallel int, spec, 
 	if err != nil {
 		return err
 	}
-	if err := f.WriteFile(out); err != nil {
+	if err := f.WriteFileAs(out, codec); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "ioschedbench: wrote cell batch of %q (%d cells across %d runs) to %s\n",
@@ -405,11 +432,16 @@ func runMerge(args []string) error {
 	csvDir := fs.String("csv", "", "directory to write CSV result files into")
 	out := fs.String("out", "", "also write the merged cell file to this path (a valid 1-shard file; with -partial, a partial cover file)")
 	partial := fs.Bool("partial", false, "accept an incomplete shard set and render provisional results with coverage annotations")
+	codecF := registerCodecFlag(fs)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ioschedbench merge [-partial] [-csv dir] [-out merged.json] shard.json ...")
+		fmt.Fprintln(os.Stderr, "usage: ioschedbench merge [-partial] [-codec json|binary] [-csv dir] [-out merged.json] shard.json ...")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	codec, err := shard.ParseEncoding(*codecF)
+	if err != nil {
 		return err
 	}
 	paths := fs.Args()
@@ -447,7 +479,7 @@ func runMerge(args []string) error {
 			fmt.Fprintf(os.Stderr, "ioschedbench: merge: %d duplicate cells discarded (first completion wins)\n", dups)
 		}
 		if *out != "" {
-			if err := merged.WriteFile(*out); err != nil {
+			if err := merged.WriteFileAs(*out, codec); err != nil {
 				return err
 			}
 		}
@@ -459,7 +491,7 @@ func runMerge(args []string) error {
 			return err
 		}
 		if *out != "" {
-			if err := cover.File.WriteFile(*out); err != nil {
+			if err := cover.File.WriteFileAs(*out, codec); err != nil {
 				return err
 			}
 		}
@@ -474,7 +506,7 @@ func runMerge(args []string) error {
 		return err
 	}
 	if *out != "" {
-		if err := merged.WriteFile(*out); err != nil {
+		if err := merged.WriteFileAs(*out, codec); err != nil {
 			return err
 		}
 	}

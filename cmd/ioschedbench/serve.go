@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/coord"
+	"repro/internal/shard"
 )
 
 func runServe(args []string) error {
@@ -32,6 +33,7 @@ func runServe(args []string) error {
 		leaseTimeout = fs.Duration("lease-timeout", 0, "fail and requeue a unit leased longer than this, even if its worker still heartbeats (0 = no bound)")
 		retries      = fs.Int("retries", 2, "retries per unit after its first failed attempt; an exhausted unit fails its run")
 	)
+	codecF := registerCodecFlag(fs)
 	fs.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: ioschedbench serve -dir state/ [-addr host:port]")
 		fmt.Fprintln(os.Stderr, "\nRuns the sweep coordinator: workers connect with \"ioschedbench work\",")
@@ -55,12 +57,18 @@ func runServe(args []string) error {
 		return fmt.Errorf("-retries %d: must be >= 0", *retries)
 	}
 
+	codec, err := shard.ParseEncoding(*codecF)
+	if err != nil {
+		return err
+	}
+
 	logger := log.New(os.Stderr, "ioschedbench: serve: ", 0)
 	c, err := coord.New(*dir, coord.Options{
 		HeartbeatTimeout: *hbTimeout,
 		LeaseTimeout:     *leaseTimeout,
 		MaxAttempts:      *retries + 1,
 		Logf:             logger.Printf,
+		Codec:            codec,
 	})
 	if err != nil {
 		return err

@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/dispatch"
+	"repro/internal/shard"
 	"repro/internal/textplot"
 )
 
@@ -67,21 +68,43 @@ func runStatus(args []string, w io.Writer) error {
 	return printStatus(w, st)
 }
 
-// shardFileExists reports whether a journaled shard file is still on
-// disk. The journal records the path as the dispatch invocation spelled
-// it — often relative to the dispatch's working directory — so when the
-// verbatim path does not resolve (status run from another cwd), the file
-// is also looked for next to the journal itself before being declared
-// missing.
-func shardFileExists(journalPath, file string) bool {
+// resolveShardFile resolves a journaled shard file to the path it lives
+// at now, or "" when it is gone. The journal records the path as the
+// dispatch invocation spelled it — often relative to the dispatch's
+// working directory — so when the verbatim path does not resolve
+// (status run from another cwd), the file is also looked for next to
+// the journal itself before being declared missing.
+func resolveShardFile(journalPath, file string) string {
 	if _, err := os.Stat(file); err == nil {
-		return true
+		return file
 	}
 	if filepath.IsAbs(file) {
-		return false
+		return ""
 	}
-	_, err := os.Stat(filepath.Join(filepath.Dir(journalPath), filepath.Base(file)))
-	return err == nil
+	beside := filepath.Join(filepath.Dir(journalPath), filepath.Base(file))
+	if _, err := os.Stat(beside); err == nil {
+		return beside
+	}
+	return ""
+}
+
+// shardFileDetail renders a done shard's file column: the journaled
+// path, annotated with the on-disk encoding ([json] or [binary] —
+// sniffed from the container magic, the only mark that distinguishes a
+// v2 binary file from a v1 JSON one) or with "(file missing)".
+func shardFileDetail(journalPath, file string) string {
+	if file == "" {
+		return ""
+	}
+	resolved := resolveShardFile(journalPath, file)
+	if resolved == "" {
+		return file + " (file missing)"
+	}
+	enc, err := shard.SniffFileEncoding(resolved)
+	if err != nil {
+		return file
+	}
+	return file + " [" + enc + "]"
 }
 
 // printStatus renders one journal state. Output is deterministic in the
@@ -110,10 +133,7 @@ func printStatus(w io.Writer, st *dispatch.JournalState) error {
 			if sh.Winner != "" {
 				worker = sh.Winner
 			}
-			detail = sh.File
-			if sh.File != "" && !shardFileExists(st.Path, sh.File) {
-				detail += " (file missing)"
-			}
+			detail = shardFileDetail(st.Path, sh.File)
 		case sh.State == dispatch.ShardFailed:
 			detail = truncateDetail(sh.Err)
 		case sh.State == dispatch.ShardRunning:

@@ -19,11 +19,13 @@ import (
 
 	"repro/internal/coord"
 	"repro/internal/dispatch"
+	"repro/internal/shard"
 )
 
 func runWork(args []string) error {
 	fs := flag.NewFlagSet("work", flag.ExitOnError)
 	cf := registerCacheFlags(fs)
+	codecF := registerCodecFlag(fs)
 	var (
 		connect  = fs.String("connect", "", "coordinator base URL, e.g. http://host:8337 (required)")
 		name     = fs.String("name", "", "worker name reported to the coordinator (default: hostname)")
@@ -64,6 +66,10 @@ func runWork(args []string) error {
 		}
 		binary = own
 	}
+	codec, err := shard.ParseEncoding(*codecF)
+	if err != nil {
+		return err
+	}
 	var extra []string
 	if *parallel > 0 {
 		extra = append(extra, "-parallel", strconv.Itoa(*parallel))
@@ -73,6 +79,12 @@ func runWork(args []string) error {
 		// byte-identical to recomputation, so it never changes what is
 		// pushed.
 		extra = append(extra, "-cache-dir", cdir)
+	}
+	if codec != shard.EncodingJSON {
+		// Host-local like the cache: the coordinator stores pushed files
+		// verbatim and decodes either encoding, so this only shrinks what
+		// travels over the wire.
+		extra = append(extra, "-codec", codec)
 	}
 
 	logger := log.New(os.Stderr, "ioschedbench: work: ", 0)
@@ -84,7 +96,7 @@ func runWork(args []string) error {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	err := coord.RunWorker(ctx, &coord.Client{BaseURL: *connect}, *name, w, coord.WorkerOptions{
+	err = coord.RunWorker(ctx, &coord.Client{BaseURL: *connect}, *name, w, coord.WorkerOptions{
 		ScratchDir: *scratch,
 		Logf:       logger.Printf,
 	})

@@ -69,7 +69,15 @@ type Trajectory struct {
 	// (MeasureDispatchMakespan) — deterministic arithmetic, identical on
 	// every machine, so it is gated strictly.
 	DispatchMakespanRatio float64 `json:"dispatch_makespan_ratio,omitempty"`
-	Host                  Host    `json:"host"`
+	// CodecBytesPerCellV1/V2 are the per-cell sizes of the v1 JSON and
+	// v2 binary shard containers over the synthetic paper-scale file
+	// (MeasureCodecSizes) — deterministic on every machine. The gate
+	// additionally holds v2 at or below half of v1: the binary codec's
+	// reason to exist is the size reduction, so losing it is a
+	// regression even if both numbers move together.
+	CodecBytesPerCellV1 float64 `json:"codec_bytes_per_cell_v1,omitempty"`
+	CodecBytesPerCellV2 float64 `json:"codec_bytes_per_cell_v2,omitempty"`
+	Host                Host    `json:"host"`
 }
 
 // WriteFile writes the trajectory as indented JSON.
@@ -144,6 +152,20 @@ func Compare(baseline, current *Trajectory, tolerance float64) []string {
 		current.DispatchMakespanRatio < baseline.DispatchMakespanRatio {
 		regs = append(regs, fmt.Sprintf("dispatch makespan ratio %.3f fell below baseline %.3f",
 			current.DispatchMakespanRatio, baseline.DispatchMakespanRatio))
+	}
+	// Codec sizes are deterministic too. Two rules: the measurement must
+	// not silently disappear once the baseline has it, and the binary
+	// container must keep at least its 2x size advantage on the
+	// paper-scale grid (a hard cap, not a drift tolerance).
+	if baseline.CodecBytesPerCellV2 > 0 {
+		switch {
+		case current.CodecBytesPerCellV2 == 0 || current.CodecBytesPerCellV1 == 0:
+			regs = append(regs, "codec bytes-per-cell: present in baseline but not measured")
+		case current.CodecBytesPerCellV2 > 0.5*current.CodecBytesPerCellV1:
+			regs = append(regs, fmt.Sprintf("codec bytes-per-cell: binary %.1f exceeds half of json %.1f (ratio %.3f, cap 0.5)",
+				current.CodecBytesPerCellV2, current.CodecBytesPerCellV1,
+				current.CodecBytesPerCellV2/current.CodecBytesPerCellV1))
+		}
 	}
 	return regs
 }

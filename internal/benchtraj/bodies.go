@@ -39,6 +39,8 @@ func Tier() []Bench {
 		{"DepgraphBuildDecompose", DepgraphBuildDecompose},
 		{"FPSOfflineSimulation", FPSOfflineSimulation},
 		{"DispatchPack", DispatchPack},
+		{"CodecEncodeBinary", CodecEncodeBinary},
+		{"CodecDecodeBinary", CodecDecodeBinary},
 	}
 }
 

@@ -1,0 +1,61 @@
+package benchtraj
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMeasureCodecSizes pins the size claim the bench gate enforces: on
+// the synthetic paper-scale file the binary container costs at most
+// half the JSON one per cell (the committed baselines record ~1/10).
+func TestMeasureCodecSizes(t *testing.T) {
+	sizes, err := MeasureCodecSizes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sizes.Cells != 20000 {
+		t.Fatalf("bench file has %d cells, want 20000 (fig5 15x1000 + figq 5x1000)", sizes.Cells)
+	}
+	if sizes.V1BytesPerCell <= 0 || sizes.V2BytesPerCell <= 0 {
+		t.Fatalf("degenerate sizes: %+v", sizes)
+	}
+	if r := sizes.Ratio(); r > 0.5 {
+		t.Fatalf("v2/v1 bytes-per-cell ratio %.3f exceeds the 0.5 cap (v1 %.1f, v2 %.1f)",
+			r, sizes.V1BytesPerCell, sizes.V2BytesPerCell)
+	}
+}
+
+func TestCompareCodecSizesGate(t *testing.T) {
+	base := sample()
+	base.CodecBytesPerCellV1 = 300
+	base.CodecBytesPerCellV2 = 30
+
+	// Clean pass: measured, and comfortably under the cap.
+	cur := sample()
+	cur.CodecBytesPerCellV1 = 310
+	cur.CodecBytesPerCellV2 = 32
+	if regs := Compare(base, cur, 0.15); len(regs) != 0 {
+		t.Fatalf("clean codec sizes flagged: %v", regs)
+	}
+
+	// Missing measurement once the baseline has one is a regression.
+	cur = sample()
+	regs := Compare(base, cur, 0.15)
+	if len(regs) != 1 || !strings.Contains(regs[0], "not measured") {
+		t.Fatalf("missing codec measurement not flagged: %v", regs)
+	}
+
+	// Above the hard 0.5x cap is a regression regardless of tolerance.
+	cur = sample()
+	cur.CodecBytesPerCellV1 = 300
+	cur.CodecBytesPerCellV2 = 200
+	regs = Compare(base, cur, 10.0)
+	if len(regs) != 1 || !strings.Contains(regs[0], "cap 0.5") {
+		t.Fatalf("over-cap codec ratio not flagged: %v", regs)
+	}
+
+	// No baseline measurement: nothing to gate.
+	if regs := Compare(sample(), sample(), 0.15); len(regs) != 0 {
+		t.Fatalf("codec gate fired without a baseline: %v", regs)
+	}
+}

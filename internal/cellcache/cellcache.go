@@ -12,14 +12,18 @@
 // Layout: <dir>/<hh>/<hash>/<point>_<system>.json, where hash is the
 // hex SHA-256 of the (cell key, params, payload version) tuple and hh its
 // first two digits (a fan-out level, keeping directories small). Each
-// entry is a JSON envelope carrying the cell's derived seed, the payload
-// bytes and their SHA-256 digest. Reads verify the digest and the
-// expected seed; anything that fails — unreadable file, truncated JSON,
-// digest or seed mismatch — is a miss, never an error: the caller
-// recomputes, and the next Put repairs the entry. Writes go through a
-// temp file and an atomic rename, so concurrent readers and writers
-// (racing dispatch workers, parallel runs sharing one store) see either
-// a complete entry or none.
+// entry is an envelope carrying the cell's derived seed, the payload
+// bytes and their SHA-256 digest — a JSON document by default, or the
+// compact binary form of codec.go when the store is switched with
+// SetEncoding (the file name keeps its .json suffix either way; the
+// envelope magic, not the name, identifies the format). Reads
+// auto-detect the envelope encoding and verify the digest and the
+// expected seed; anything that fails — unreadable file, truncated
+// envelope, digest or seed mismatch — is a miss, never an error: the
+// caller recomputes, and the next Put repairs the entry. Writes go
+// through a temp file and an atomic rename, so concurrent readers and
+// writers (racing dispatch workers, parallel runs sharing one store)
+// see either a complete entry or none.
 package cellcache
 
 import (
@@ -37,9 +41,10 @@ import (
 // stores with Open. A Store is safe for concurrent use by any number of
 // goroutines and processes sharing the directory.
 type Store struct {
-	dir    string
-	hits   atomic.Uint64
-	misses atomic.Uint64
+	dir      string
+	encoding string // what Put writes; reads always auto-detect
+	hits     atomic.Uint64
+	misses   atomic.Uint64
 }
 
 // Open opens (creating if needed) the cache rooted at dir.
@@ -50,11 +55,27 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cellcache: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, encoding: EncodingJSON}, nil
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// SetEncoding selects the envelope encoding Put writes (EncodingJSON or
+// EncodingBinary). Reads are unaffected: Get auto-detects per entry, so
+// a directory written under one setting stays fully readable under the
+// other and mixed directories are fine.
+func (s *Store) SetEncoding(encoding string) error {
+	switch encoding {
+	case "", EncodingJSON:
+		s.encoding = EncodingJSON
+	case EncodingBinary:
+		s.encoding = EncodingBinary
+	default:
+		return fmt.Errorf("cellcache: unknown encoding %q (want %q or %q)", encoding, EncodingJSON, EncodingBinary)
+	}
+	return nil
+}
 
 // Key addresses one run's cell namespace: all cells of one experiment
 // grid under one parameterisation and payload layout share a Key, and
@@ -117,7 +138,14 @@ func (s *Store) Get(k Key, point, system int, seed int64) (json.RawMessage, bool
 	raw, err := os.ReadFile(s.cellPath(k, point, system))
 	if err == nil {
 		var e entry
-		if json.Unmarshal(raw, &e) == nil && e.Seed == seed && e.Sum == digest(e.Data) {
+		if isEnvelope(raw) {
+			if seed2, data, sum, derr := decodeEnvelope(raw); derr == nil {
+				e = entry{Seed: seed2, Sum: sum, Data: data}
+			}
+		} else if json.Unmarshal(raw, &e) != nil {
+			e = entry{}
+		}
+		if e.Data != nil && e.Seed == seed && e.Sum == digest(e.Data) {
 			s.hits.Add(1)
 			return e.Data, true
 		}
@@ -145,9 +173,15 @@ func (s *Store) Put(k Key, point, system int, seed int64, data json.RawMessage) 
 		return fmt.Errorf("cellcache: cell (%d,%d) payload is not JSON: %w", point, system, err)
 	}
 	data = compact.Bytes()
-	raw, err := json.Marshal(entry{Seed: seed, Sum: digest(data), Data: data})
-	if err != nil {
-		return fmt.Errorf("cellcache: encode cell (%d,%d): %w", point, system, err)
+	var raw []byte
+	if s.encoding == EncodingBinary {
+		raw = encodeEnvelope(seed, data)
+	} else {
+		var err error
+		raw, err = json.Marshal(entry{Seed: seed, Sum: digest(data), Data: data})
+		if err != nil {
+			return fmt.Errorf("cellcache: encode cell (%d,%d): %w", point, system, err)
+		}
 	}
 	tmp, err := os.CreateTemp(dir, ".put-*")
 	if err != nil {

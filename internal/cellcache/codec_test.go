@@ -1,0 +1,132 @@
+package cellcache
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+func TestBinaryEnvelopeRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetEncoding(EncodingBinary); err != nil {
+		t.Fatal(err)
+	}
+	k := RunKey("fig5", []byte(`{"seed":1}`), 1)
+	data := json.RawMessage(`{"x":42,"s":"<&>"}`)
+	if err := s.Put(k, 3, 7, -99, data); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.cellPath(k, 3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isEnvelope(raw) {
+		t.Fatalf("binary store wrote a non-envelope entry: %q", raw)
+	}
+	got, ok := s.Get(k, 3, 7, -99)
+	if !ok || string(got) != string(data) {
+		t.Fatalf("Get = %q, %v; want %s", got, ok, data)
+	}
+	// Wrong seed is still a miss.
+	if _, ok := s.Get(k, 3, 7, 99); ok {
+		t.Fatal("binary entry served under a different seed")
+	}
+}
+
+// TestMixedEncodingDirectory: entries written under either encoding are
+// served by a store configured with the other — reads auto-detect per
+// entry, so flipping -codec never invalidates a warm cache.
+func TestMixedEncodingDirectory(t *testing.T) {
+	dir := t.TempDir()
+	jsonStore, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binStore, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := binStore.SetEncoding(EncodingBinary); err != nil {
+		t.Fatal(err)
+	}
+	k := RunKey("fig5", []byte(`{"seed":1}`), 1)
+	if err := jsonStore.Put(k, 0, 0, 1, json.RawMessage(`"via-json"`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := binStore.Put(k, 0, 1, 2, json.RawMessage(`"via-binary"`)); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Store{jsonStore, binStore} {
+		if got, ok := s.Get(k, 0, 0, 1); !ok || string(got) != `"via-json"` {
+			t.Fatalf("json entry via %q store: %q, %v", s.encoding, got, ok)
+		}
+		if got, ok := s.Get(k, 0, 1, 2); !ok || string(got) != `"via-binary"` {
+			t.Fatalf("binary entry via %q store: %q, %v", s.encoding, got, ok)
+		}
+	}
+}
+
+// TestCorruptBinaryEnvelopeIsMiss pins the miss-never-error contract on
+// the binary path.
+func TestCorruptBinaryEnvelopeIsMiss(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetEncoding(EncodingBinary); err != nil {
+		t.Fatal(err)
+	}
+	k := RunKey("fig5", []byte(`{"seed":1}`), 1)
+	if err := s.Put(k, 1, 2, 5, json.RawMessage(`{"payload":"with enough bytes to truncate"}`)); err != nil {
+		t.Fatal(err)
+	}
+	path := s.cellPath(k, 1, 2)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mutate := range map[string]func([]byte) []byte{
+		"truncated":  func(b []byte) []byte { return b[:len(b)/2] },
+		"magic-only": func(b []byte) []byte { return b[:len(envelopeMagic)] },
+		"payload-flip": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)/2] ^= 0x01
+			return c
+		},
+		"digest-flip": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-1] ^= 0x01
+			return c
+		},
+		"trailing": func(b []byte) []byte { return append(append([]byte(nil), b...), 0xff) },
+	} {
+		if err := os.WriteFile(path, mutate(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(k, 1, 2, 5); ok {
+			t.Fatalf("%s binary entry served", name)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Get(k, 1, 2, 5); !ok {
+		t.Fatal("pristine entry no longer served")
+	}
+}
+
+func TestSetEncodingRejectsUnknown(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetEncoding("v3"); err == nil {
+		t.Fatal("unknown encoding accepted")
+	}
+	if err := s.SetEncoding(""); err != nil || s.encoding != EncodingJSON {
+		t.Fatalf("empty encoding: %v, %q", err, s.encoding)
+	}
+}

@@ -36,6 +36,13 @@ type Options struct {
 	SweepEvery time.Duration
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
+	// Codec selects the encoding of the merged result file the
+	// coordinator writes (shard.EncodingJSON when ""). Pushed unit files
+	// are accepted in either encoding regardless — they are stored
+	// verbatim and decoded through the auto-detecting reader. The merged
+	// file keeps the name "merged.json" either way; the container magic,
+	// not the name, identifies the format.
+	Codec string
 }
 
 func (o Options) withDefaults() Options {
@@ -53,6 +60,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
+	}
+	if o.Codec == "" {
+		o.Codec = shard.EncodingJSON
 	}
 	return o
 }
@@ -157,6 +167,9 @@ type Coordinator struct {
 // resuming every journaled run found under dir/runs, and starts the
 // liveness sweeper. Call Close to stop it.
 func New(dir string, opts Options) (*Coordinator, error) {
+	if _, err := shard.ParseEncoding(opts.Codec); err != nil {
+		return nil, fmt.Errorf("coord: %w", err)
+	}
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, fmt.Errorf("coord: %w", err)
@@ -856,7 +869,7 @@ func (c *Coordinator) mergeLocked(r *run) error {
 		c.terminalLocked(r, runFailed, fmt.Sprintf("merge: %v", err))
 		return fmt.Errorf("coord: run %s: merge: %w", r.id, err)
 	}
-	if err := merged.WriteFile(filepath.Join(r.dir, "merged.json")); err != nil {
+	if err := merged.WriteFileAs(filepath.Join(r.dir, "merged.json"), c.opts.Codec); err != nil {
 		c.terminalLocked(r, runFailed, fmt.Sprintf("merge: %v", err))
 		return fmt.Errorf("coord: run %s: %w", r.id, err)
 	}

@@ -199,6 +199,12 @@ type Options struct {
 	// overlapping runs recompute only their frontier. The cached file is
 	// re-validated exactly like a worker's before it is accepted.
 	Cache *cellcache.Store
+	// Codec selects the encoding of the files this driver itself writes —
+	// cache-materialised shard/batch files and the periodic partial cover
+	// (shard.EncodingJSON when ""). It does not constrain the workers:
+	// worker outputs are accepted in either encoding (shard.ReadFile
+	// auto-detects), so a pool can mix -codec settings freely.
+	Codec string
 }
 
 // Attempt records one worker attempt at one shard or batch.
@@ -339,6 +345,11 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 	if err != nil {
 		return nil, err
 	}
+	codec, err := shard.ParseEncoding(opts.Codec)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %w", err)
+	}
+	opts.Codec = codec
 	if len(workers) == 0 {
 		return nil, fmt.Errorf("dispatch: no workers")
 	}
@@ -451,7 +462,7 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 					logf("dispatch: journal marks shard %d done but its file is invalid (%v); re-running", i, verr)
 				}
 			}
-			if f := cachedShardFile(opts.Cache, spec, i, paths[i], params, runNames, logf); f != nil {
+			if f := cachedShardFile(opts.Cache, spec, i, paths[i], params, runNames, opts.Codec, logf); f != nil {
 				files[i] = f
 				res.Cached++
 				jr.Cached(i, paths[i])
@@ -520,7 +531,7 @@ func Run(ctx context.Context, spec Spec, workers []Worker, opts Options) (*Resul
 			jr.Batch(b.id, b.kind, -1, b.spec, b.ncells, b.weight)
 			emit(ProgressEvent{Kind: ProgressBatch, Shard: b.id, Cells: b.ncells})
 			st := newBatchState(b)
-			if f := cachedBatchFile(opts.Cache, spec, b, params, runNames, logf); f != nil {
+			if f := cachedBatchFile(opts.Cache, spec, b, params, runNames, opts.Codec, logf); f != nil {
 				st.done, st.file, st.filePath = true, f, b.path
 				res.Cached++
 				jr.Cached(b.id, b.path)
@@ -921,7 +932,7 @@ func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAtte
 			// only rewrite identical bytes from the coordinator loop.
 			return
 		}
-		path, present, cells, err := writePartial(opts.Dir, files)
+		path, present, cells, err := writePartial(opts.Dir, files, opts.Codec)
 		if err != nil {
 			// A failed provisional write must not kill the sweep it
 			// observes; the next tick retries. It must stay visible even
@@ -1045,7 +1056,7 @@ func run(ctx context.Context, spec Spec, workers []Worker, opts Options, maxAtte
 // count and covered cells. It writes nothing — returning "" — when no
 // shard has completed yet or the cover is already complete (the final
 // merge is about to supersede it).
-func writePartial(dir string, files []*shard.File) (string, int, int, error) {
+func writePartial(dir string, files []*shard.File, codec string) (string, int, int, error) {
 	var have []*shard.File
 	for _, f := range files {
 		if f != nil {
@@ -1064,7 +1075,7 @@ func writePartial(dir string, files []*shard.File) (string, int, int, error) {
 	// truncated in-place rewrite.
 	path := filepath.Join(dir, partialFileName)
 	tmp := path + ".tmp"
-	if err := cover.File.WriteFile(tmp); err != nil {
+	if err := cover.File.WriteFileAs(tmp, codec); err != nil {
 		return "", 0, 0, err
 	}
 	if err := os.Rename(tmp, path); err != nil {
@@ -1079,7 +1090,7 @@ func writePartial(dir string, files []*shard.File) (string, int, int, error) {
 // like a worker's output. Any gap or failure returns nil — the shard is
 // queued normally. A nil cache returns nil immediately.
 func cachedShardFile(cache *cellcache.Store, spec Spec, index int, path string,
-	params []byte, runNames []string, logf func(string, ...any)) *shard.File {
+	params []byte, runNames []string, codec string, logf func(string, ...any)) *shard.File {
 	if cache == nil {
 		return nil
 	}
@@ -1091,7 +1102,7 @@ func cachedShardFile(cache *cellcache.Store, spec Spec, index int, path string,
 	if !ok {
 		return nil
 	}
-	if err := f.WriteFile(path); err != nil {
+	if err := f.WriteFileAs(path, codec); err != nil {
 		logf("dispatch: writing cached shard %d: %v", index, err)
 		return nil
 	}
@@ -1109,7 +1120,7 @@ func cachedShardFile(cache *cellcache.Store, spec Spec, index int, path string,
 // satisfy one planned batch purely from the cell cache and re-validates
 // the written file like any worker output.
 func cachedBatchFile(cache *cellcache.Store, spec Spec, b *batchInfo,
-	params []byte, runNames []string, logf func(string, ...any)) *shard.File {
+	params []byte, runNames []string, codec string, logf func(string, ...any)) *shard.File {
 	if cache == nil {
 		return nil
 	}
@@ -1121,7 +1132,7 @@ func cachedBatchFile(cache *cellcache.Store, spec Spec, b *batchInfo,
 	if !ok {
 		return nil
 	}
-	if err := f.WriteFile(b.path); err != nil {
+	if err := f.WriteFileAs(b.path, codec); err != nil {
 		logf("dispatch: writing cached batch %d: %v", b.id, err)
 		return nil
 	}

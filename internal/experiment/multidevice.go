@@ -58,7 +58,7 @@ func (multiDeviceExperiment) Describe() string {
 func (multiDeviceExperiment) CellKey() string { return ExpMultiDevice }
 func (multiDeviceExperiment) CSVName() string { return "" }
 func (multiDeviceExperiment) Codec() Codec {
-	return Codec{Version: 1, New: func() any { return new(qOutcome) }}
+	return Codec{Version: 1, New: func() any { return new(qOutcome) }, Payload: qPayloadCodec()}
 }
 func (multiDeviceExperiment) Grid(rc RunContext) (shard.Grid, error) {
 	_, counts := rc.Params.ResolvedMultiDevice()

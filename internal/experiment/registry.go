@@ -95,7 +95,20 @@ type Codec struct {
 	Version int
 	// New returns a pointer to a zero payload for decoding one cell.
 	New func() any
+	// Payload, when non-nil, is the experiment's columnar payload codec
+	// for the v2 binary shard container: Register wires it into the shard
+	// layer under (Name, Version), and binary-encoded files then pack the
+	// experiment's payload column with it instead of per-cell JSON. An
+	// experiment without one still shards, caches and dispatches —
+	// binary files just fall back to the compact-JSON payload column.
+	Payload PayloadCodec
 }
+
+// PayloadCodec is the experiment-side spelling of shard.PayloadCodec: a
+// lossless packer from one run's compact-JSON cell payloads to a binary
+// column and back (see payloadcodec.go for the columnCodec helper every
+// built-in experiment uses).
+type PayloadCodec = shard.PayloadCodec
 
 // Result is one experiment's aggregated dataset. Rows is the only
 // required render hook; results may additionally implement Plottable
@@ -199,6 +212,12 @@ func Register(e Experiment) {
 	}
 	registry[name] = e
 	regOrder = append(regOrder, name)
+	// The payload codec registers alongside the experiment, so binary
+	// shard files can pack (and unpack) the experiment's payload column
+	// the moment the experiment exists — no second registration step.
+	if c := e.Codec(); c.Payload != nil {
+		shard.RegisterPayloadCodec(name, c.Version, c.Payload)
+	}
 }
 
 // Lookup returns the registered experiment with the given name.

@@ -1,0 +1,586 @@
+package shard
+
+// The pluggable cell-file codec. A shard file has one logical content —
+// the File struct — and two on-disk encodings:
+//
+//   - v1 ("json"): the indented JSON container shard.go encodes. Human-
+//     readable, diff-able, and the only format older builds read.
+//   - v2 ("binary"): a columnar binary container. Cells are stored
+//     column-wise per run — points, systems, seeds, payloads — with the
+//     payload column either packed by the experiment's registered
+//     PayloadCodec or, for experiments without one, as length-prefixed
+//     compact JSON. An order of magnitude smaller than v1 on the paper-
+//     scale grids, which is what matters once sweeps reach millions of
+//     cells.
+//
+// Readers never choose: Decode auto-detects the encoding from the first
+// bytes (the v2 magic cannot collide with JSON, which must start with
+// '{' whitespace-insensitively), so merges, journals, caches and the
+// coordinator accept any mix of v1 and v2 files. Writers choose with
+// EncodeAs/WriteFileAs; the plain Encode/WriteFile stay v1 JSON so
+// nothing changes behind existing callers.
+//
+// Decoding is defensive end to end: every declared length is validated
+// against the bytes actually present before anything is allocated, so a
+// truncated, flipped-magic or absurd-count file fails with a clean error
+// instead of a panic or an OOM-scale allocation (FuzzDecodeBinary pins
+// this).
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+)
+
+// Encoding names for the two container layouts. The strings are the
+// -codec flag values and what File.Encoding reports after a Decode.
+const (
+	EncodingJSON   = "json"
+	EncodingBinary = "binary"
+)
+
+// binaryMagic opens every v2 file. Modeled on PNG's signature: a
+// non-ASCII first byte (never valid leading JSON, and mangled by any
+// 7-bit transport), the format name and version, and a CRLF that a
+// newline-translating transfer corrupts visibly.
+var binaryMagic = [8]byte{0x89, 'I', 'O', 'S', 'B', '2', '\r', '\n'}
+
+// IsBinary reports whether data opens with the v2 container magic.
+func IsBinary(data []byte) bool {
+	return len(data) >= len(binaryMagic) && bytes.Equal(data[:len(binaryMagic)], binaryMagic[:])
+}
+
+// ParseEncoding resolves a -codec flag value to an encoding name.
+func ParseEncoding(s string) (string, error) {
+	switch s {
+	case "", EncodingJSON:
+		return EncodingJSON, nil
+	case EncodingBinary:
+		return EncodingBinary, nil
+	}
+	return "", fmt.Errorf("shard: unknown codec %q (want %q or %q)", s, EncodingJSON, EncodingBinary)
+}
+
+// SniffFileEncoding reports which encoding the file at path carries, from
+// its leading bytes alone (it never decodes the file).
+func SniffFileEncoding(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("shard: %w", err)
+	}
+	defer f.Close()
+	head := make([]byte, len(binaryMagic))
+	n, _ := f.Read(head)
+	if IsBinary(head[:n]) {
+		return EncodingBinary, nil
+	}
+	return EncodingJSON, nil
+}
+
+// EncodeAs renders the file in the named encoding.
+func (f *File) EncodeAs(encoding string) ([]byte, error) {
+	switch encoding {
+	case EncodingJSON:
+		return f.Encode()
+	case EncodingBinary:
+		return f.EncodeBinary()
+	}
+	return nil, fmt.Errorf("shard: unknown encoding %q", encoding)
+}
+
+// WriteFileAs writes the file to path in the named encoding.
+func (f *File) WriteFileAs(path, encoding string) error {
+	data, err := f.EncodeAs(encoding)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	return nil
+}
+
+// ---- payload codec registry ----
+
+// PayloadCodec packs one run's cell payloads into a binary column and
+// back. Implementations are registered per (experiment, payload version)
+// — bumping the payload version orphans the codec exactly as it orphans
+// cache entries — and must be lossless at the JSON level: DecodeColumn
+// of EncodeColumn's output must reproduce each payload's compact JSON
+// byte for byte (the v2 encoder verifies this on every encode and falls
+// back to the JSON column if it does not hold, so a codec bug can cost
+// compression but never correctness).
+type PayloadCodec interface {
+	// EncodeColumn packs the payloads (each one cell's compact JSON) into
+	// one column. An error is not fatal: the container encoder falls back
+	// to the JSON column (payloads an experiment's current layout cannot
+	// express — foreign fields, wrong types — are legitimate in files
+	// written by other builds).
+	EncodeColumn(payloads []json.RawMessage) ([]byte, error)
+	// DecodeColumn unpacks a column holding exactly n payloads and
+	// returns their compact JSON. It must validate every declared length
+	// against the data actually present — the column comes straight from
+	// an untrusted file.
+	DecodeColumn(data []byte, n int) ([]json.RawMessage, error)
+}
+
+type payloadKey struct {
+	experiment string
+	version    int
+}
+
+var (
+	payloadMu     sync.RWMutex
+	payloadCodecs = map[payloadKey]PayloadCodec{}
+)
+
+// RegisterPayloadCodec adds the codec for one experiment's payload
+// layout version. The experiment registry calls it as experiments
+// register; duplicate registration panics — a wiring bug, not a runtime
+// condition.
+func RegisterPayloadCodec(experiment string, version int, c PayloadCodec) {
+	payloadMu.Lock()
+	defer payloadMu.Unlock()
+	k := payloadKey{experiment, version}
+	if _, dup := payloadCodecs[k]; dup {
+		panic(fmt.Sprintf("shard: payload codec for %q v%d registered twice", experiment, version))
+	}
+	payloadCodecs[k] = c
+}
+
+// LookupPayloadCodec returns the codec registered for the experiment's
+// payload layout version.
+func LookupPayloadCodec(experiment string, version int) (PayloadCodec, bool) {
+	payloadMu.RLock()
+	defer payloadMu.RUnlock()
+	c, ok := payloadCodecs[payloadKey{experiment, version}]
+	return c, ok
+}
+
+// ---- column primitives ----
+
+// ColumnWriter appends the primitive encodings the v2 container and the
+// payload codecs are built from: unsigned and zigzag varints, raw IEEE
+// float bits, single-byte bools and length-prefixed byte strings.
+type ColumnWriter struct {
+	buf []byte
+}
+
+// Bytes returns everything written so far.
+func (w *ColumnWriter) Bytes() []byte { return w.buf }
+
+// Uvarint appends an unsigned varint.
+func (w *ColumnWriter) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Varint appends a zigzag-encoded signed varint.
+func (w *ColumnWriter) Varint(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
+
+// Float64 appends the value's raw IEEE-754 bits (little-endian, 8
+// bytes); the round trip is bit-exact, so re-marshalled JSON numbers
+// come out byte-identical.
+func (w *ColumnWriter) Float64(f float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(f))
+}
+
+// Bool appends one byte, 0 or 1.
+func (w *ColumnWriter) Bool(b bool) {
+	if b {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Byte appends one raw byte.
+func (w *ColumnWriter) Byte(b byte) { w.buf = append(w.buf, b) }
+
+// Blob appends a length-prefixed byte string.
+func (w *ColumnWriter) Blob(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (w *ColumnWriter) String(s string) {
+	w.Uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// ColumnReader consumes ColumnWriter's encodings with every read bounds-
+// checked against the remaining bytes, so a decoder built on it can be
+// handed untrusted data and fail with an error instead of a panic.
+type ColumnReader struct {
+	data []byte
+	off  int
+}
+
+// NewColumnReader reads from data.
+func NewColumnReader(data []byte) *ColumnReader { return &ColumnReader{data: data} }
+
+// Remaining returns the number of unread bytes.
+func (r *ColumnReader) Remaining() int { return len(r.data) - r.off }
+
+// Uvarint reads one unsigned varint.
+func (r *ColumnReader) Uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("shard: truncated or overlong uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// Varint reads one zigzag-encoded signed varint.
+func (r *ColumnReader) Varint() (int64, error) {
+	v, n := binary.Varint(r.data[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("shard: truncated or overlong varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+// Int reads a uvarint that must fit a non-negative int.
+func (r *ColumnReader) Int() (int, error) {
+	v, err := r.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(math.MaxInt) {
+		return 0, fmt.Errorf("shard: value %d overflows int", v)
+	}
+	return int(v), nil
+}
+
+// Float64 reads raw IEEE-754 bits.
+func (r *ColumnReader) Float64() (float64, error) {
+	if r.Remaining() < 8 {
+		return 0, fmt.Errorf("shard: truncated float64 at offset %d", r.off)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.off:]))
+	r.off += 8
+	return v, nil
+}
+
+// Bool reads one byte that must be 0 or 1.
+func (r *ColumnReader) Bool() (bool, error) {
+	b, err := r.Byte()
+	if err != nil {
+		return false, err
+	}
+	if b > 1 {
+		return false, fmt.Errorf("shard: bool byte %d at offset %d", b, r.off-1)
+	}
+	return b == 1, nil
+}
+
+// Byte reads one raw byte.
+func (r *ColumnReader) Byte() (byte, error) {
+	if r.Remaining() < 1 {
+		return 0, fmt.Errorf("shard: truncated byte at offset %d", r.off)
+	}
+	b := r.data[r.off]
+	r.off++
+	return b, nil
+}
+
+// Blob reads a length-prefixed byte string, validating the declared
+// length against the bytes present before touching them. The returned
+// slice aliases the reader's buffer.
+func (r *ColumnReader) Blob() ([]byte, error) {
+	n, err := r.Int()
+	if err != nil {
+		return nil, err
+	}
+	if n > r.Remaining() {
+		return nil, fmt.Errorf("shard: blob declares %d bytes, %d remain", n, r.Remaining())
+	}
+	b := r.data[r.off : r.off+n : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+// String reads a length-prefixed string.
+func (r *ColumnReader) String() (string, error) {
+	b, err := r.Blob()
+	return string(b), err
+}
+
+// ---- v2 container ----
+
+// Column kinds of one run's payload column.
+const (
+	columnJSON   = "json"   // per cell: uvarint length + compact JSON
+	columnNative = "native" // packed by the run's registered PayloadCodec
+)
+
+// binHeader is the v2 container's JSON header: File minus the cells
+// (which follow column-wise) and minus Params (which follows as a
+// verbatim blob, so its bytes survive the round trip untouched by JSON
+// re-escaping).
+type binHeader struct {
+	Version   int          `json:"version"`
+	Selection string       `json:"selection"`
+	Shards    int          `json:"shards"`
+	Index     int          `json:"shard_index"`
+	Partial   *PartialInfo `json:"partial,omitempty"`
+	Batch     *BatchInfo   `json:"batch,omitempty"`
+	Runs      []binRun     `json:"runs"`
+}
+
+// binRun describes one run's columns.
+type binRun struct {
+	Experiment     string `json:"experiment"`
+	Grid           Grid   `json:"grid"`
+	PayloadVersion int    `json:"payload_version,omitempty"`
+	// Cells is the row count of every column that follows.
+	Cells int `json:"cells"`
+	// Column is the payload column's kind: columnJSON or columnNative.
+	Column string `json:"column"`
+}
+
+// EncodeBinary renders the file as a v2 columnar container. Runs whose
+// experiment has a registered PayloadCodec get a packed payload column —
+// after a verification pass proving the codec reproduces each payload's
+// compact JSON exactly; anything else (no codec, codec error, or a
+// verification mismatch) falls back to the length-prefixed JSON column.
+// Like Encode, the output is deterministic in the file's content.
+func (f *File) EncodeBinary() ([]byte, error) {
+	hdr := binHeader{
+		Version:   f.Version,
+		Selection: f.Selection,
+		Shards:    f.Shards,
+		Index:     f.Index,
+		Partial:   f.Partial,
+		Batch:     f.Batch,
+	}
+	columns := make([][]byte, len(f.Runs))
+	for ri, run := range f.Runs {
+		compact, err := compactPayloads(run)
+		if err != nil {
+			return nil, err
+		}
+		kind := columnJSON
+		var col []byte
+		if c, ok := LookupPayloadCodec(run.Experiment, run.PayloadVersion); ok {
+			if packed, err := c.EncodeColumn(compact); err == nil && verifyColumn(c, packed, compact) {
+				kind, col = columnNative, packed
+			}
+		}
+		if kind == columnJSON {
+			w := &ColumnWriter{}
+			for _, p := range compact {
+				w.Blob(p)
+			}
+			col = w.Bytes()
+		}
+		columns[ri] = col
+		hdr.Runs = append(hdr.Runs, binRun{
+			Experiment:     run.Experiment,
+			Grid:           run.Grid,
+			PayloadVersion: run.PayloadVersion,
+			Cells:          len(run.Cells),
+			Column:         kind,
+		})
+	}
+	hdrJSON, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, fmt.Errorf("shard: encode: %w", err)
+	}
+	w := &ColumnWriter{buf: append([]byte(nil), binaryMagic[:]...)}
+	w.Blob(hdrJSON)
+	w.Blob(f.Params)
+	for ri, run := range f.Runs {
+		for _, c := range run.Cells {
+			w.Uvarint(uint64(c.Point))
+		}
+		for _, c := range run.Cells {
+			w.Uvarint(uint64(c.System))
+		}
+		for _, c := range run.Cells {
+			w.Varint(c.Seed)
+		}
+		w.Blob(columns[ri])
+	}
+	return w.Bytes(), nil
+}
+
+// compactPayloads compacts one run's cell payloads. Compact form is the
+// canonical payload spelling across the codec boundary: the JSON column
+// stores it, PayloadCodecs receive and must reproduce it, and v1's
+// MarshalIndent re-normalises whitespace anyway, so a v1→v2→v1 round
+// trip re-renders byte-identically.
+func compactPayloads(run Run) ([]json.RawMessage, error) {
+	out := make([]json.RawMessage, len(run.Cells))
+	for i, c := range run.Cells {
+		data := c.Data
+		if len(data) == 0 {
+			// json.Marshal spells a nil RawMessage "null"; mirror it so the
+			// two encoders agree on every input.
+			data = json.RawMessage("null")
+		}
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, data); err != nil {
+			return nil, fmt.Errorf("shard: run %q cell (%d,%d) payload: %w", run.Experiment, c.Point, c.System, err)
+		}
+		out[i] = buf.Bytes()
+	}
+	return out, nil
+}
+
+// verifyColumn proves a packed column decodes back to exactly the
+// compact payloads it was packed from. Run on every encode: the cost is
+// one decode pass, the payoff is that a lossy or drifted PayloadCodec
+// can never corrupt a file — it just loses its compression.
+func verifyColumn(c PayloadCodec, packed []byte, want []json.RawMessage) bool {
+	got, err := c.DecodeColumn(packed, len(want))
+	if err != nil || len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// decodeBinary parses a v2 container (data starts with the magic). Every
+// declared count and length is validated against the bytes present
+// before it drives an allocation.
+func decodeBinary(data []byte) (*File, error) {
+	r := NewColumnReader(data[len(binaryMagic):])
+	hdrJSON, err := r.Blob()
+	if err != nil {
+		return nil, fmt.Errorf("shard: decode: header: %w", err)
+	}
+	var hdr binHeader
+	if err := json.Unmarshal(hdrJSON, &hdr); err != nil {
+		return nil, fmt.Errorf("shard: decode: header: %w", err)
+	}
+	params, err := r.Blob()
+	if err != nil {
+		return nil, fmt.Errorf("shard: decode: params: %w", err)
+	}
+	f := &File{
+		Version:   hdr.Version,
+		Selection: hdr.Selection,
+		Shards:    hdr.Shards,
+		Index:     hdr.Index,
+		Partial:   hdr.Partial,
+		Batch:     hdr.Batch,
+		Encoding:  EncodingBinary,
+	}
+	if len(params) > 0 {
+		// Params are stored verbatim (never re-escaped), but they must
+		// still be one well-formed JSON value or re-rendering the file as
+		// v1 would fail.
+		if !json.Valid(params) {
+			return nil, fmt.Errorf("shard: decode: params blob is not valid JSON")
+		}
+		f.Params = json.RawMessage(params)
+	}
+	if hdr.Version != FormatVersion {
+		return nil, fmt.Errorf("shard: file format version %d, this build reads %d", hdr.Version, FormatVersion)
+	}
+	for _, br := range hdr.Runs {
+		run := Run{Experiment: br.Experiment, Grid: br.Grid, PayloadVersion: br.PayloadVersion}
+		if err := br.Grid.validate(); err != nil {
+			return nil, fmt.Errorf("shard: run %q: %w", br.Experiment, err)
+		}
+		if br.Cells < 0 || br.Cells > br.Grid.Cells() {
+			return nil, fmt.Errorf("shard: run %q declares %d cells for a %dx%d grid",
+				br.Experiment, br.Cells, br.Grid.Points, br.Grid.Systems)
+		}
+		// Every cell needs at least one byte in each of the three key
+		// columns; a count the remaining bytes cannot possibly hold is
+		// rejected before it sizes an allocation.
+		if br.Cells > r.Remaining() {
+			return nil, fmt.Errorf("shard: run %q declares %d cells, only %d bytes remain",
+				br.Experiment, br.Cells, r.Remaining())
+		}
+		cells := make([]Cell, br.Cells)
+		for i := range cells {
+			if cells[i].Point, err = r.Int(); err != nil {
+				return nil, fmt.Errorf("shard: run %q points column: %w", br.Experiment, err)
+			}
+		}
+		for i := range cells {
+			if cells[i].System, err = r.Int(); err != nil {
+				return nil, fmt.Errorf("shard: run %q systems column: %w", br.Experiment, err)
+			}
+		}
+		for i := range cells {
+			if cells[i].Seed, err = r.Varint(); err != nil {
+				return nil, fmt.Errorf("shard: run %q seeds column: %w", br.Experiment, err)
+			}
+		}
+		col, err := r.Blob()
+		if err != nil {
+			return nil, fmt.Errorf("shard: run %q payload column: %w", br.Experiment, err)
+		}
+		payloads, err := decodePayloadColumn(br, col)
+		if err != nil {
+			return nil, fmt.Errorf("shard: run %q payload column: %w", br.Experiment, err)
+		}
+		for i := range cells {
+			cells[i].Data = payloads[i]
+		}
+		run.Cells = cells
+		f.Runs = append(f.Runs, run)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("shard: decode: %d trailing bytes after the last column", r.Remaining())
+	}
+	if err := f.validateDecoded(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// decodePayloadColumn unpacks one run's payload column by its declared
+// kind.
+func decodePayloadColumn(br binRun, col []byte) ([]json.RawMessage, error) {
+	switch br.Column {
+	case columnJSON:
+		r := NewColumnReader(col)
+		out := make([]json.RawMessage, br.Cells)
+		for i := range out {
+			b, err := r.Blob()
+			if err != nil {
+				return nil, err
+			}
+			// Compacting validates as it canonicalises: a blob that is not
+			// one well-formed JSON value is a corrupt column, and accepting
+			// it would poison every later re-encode of the file.
+			var buf bytes.Buffer
+			if err := json.Compact(&buf, b); err != nil {
+				return nil, fmt.Errorf("shard: payload %d: %w", i, err)
+			}
+			out[i] = json.RawMessage(buf.Bytes())
+		}
+		if r.Remaining() != 0 {
+			return nil, fmt.Errorf("shard: %d trailing bytes", r.Remaining())
+		}
+		return out, nil
+	case columnNative:
+		c, ok := LookupPayloadCodec(br.Experiment, br.PayloadVersion)
+		if !ok {
+			return nil, fmt.Errorf("shard: no payload codec registered for %q v%d (written by a build that had one)",
+				br.Experiment, br.PayloadVersion)
+		}
+		out, err := c.DecodeColumn(col, br.Cells)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != br.Cells {
+			return nil, fmt.Errorf("shard: payload codec returned %d payloads for %d cells", len(out), br.Cells)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("shard: unknown payload column kind %q", br.Column)
+}

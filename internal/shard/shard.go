@@ -115,6 +115,11 @@ type File struct {
 	// memory); ReadFile records it so validation errors can name the
 	// offending file instead of an opaque shard index.
 	Path string `json:"-"`
+	// Encoding is the container layout the file was decoded from
+	// (EncodingJSON or EncodingBinary; "" for files built in memory). An
+	// annotation like Path — it never round-trips through the encoders,
+	// and both encodings decode to the same File.
+	Encoding string `json:"-"`
 }
 
 // label names the file in error messages: its path when known, the
@@ -185,33 +190,50 @@ func (f *File) WriteFile(path string) error {
 	return nil
 }
 
-// Decode parses an encoded file and validates its version and
-// decomposition fields.
+// Decode parses an encoded file — auto-detecting the container layout
+// from its leading bytes (the v2 magic, else v1 JSON) — and validates
+// its version and decomposition fields. Both layouts decode to the same
+// File, so every reader accepts any mix of encodings; Encoding records
+// which one the file carried.
 func Decode(data []byte) (*File, error) {
+	if IsBinary(data) {
+		return decodeBinary(data)
+	}
 	f := &File{}
 	if err := json.Unmarshal(data, f); err != nil {
 		return nil, fmt.Errorf("shard: decode: %w", err)
 	}
+	f.Encoding = EncodingJSON
+	if err := f.validateDecoded(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// validateDecoded holds the structural checks both decoders share:
+// format version, decomposition (batch header or plan indices) and the
+// grid/cell-count sanity of every run.
+func (f *File) validateDecoded() error {
 	if f.Version != FormatVersion {
-		return nil, fmt.Errorf("shard: file format version %d, this build reads %d", f.Version, FormatVersion)
+		return fmt.Errorf("shard: file format version %d, this build reads %d", f.Version, FormatVersion)
 	}
 	if f.Batch != nil {
 		if err := f.validateBatch(); err != nil {
-			return nil, err
+			return err
 		}
 	} else if _, _, err := f.indices(); err != nil {
-		return nil, err
+		return err
 	}
 	for _, r := range f.Runs {
 		if err := r.Grid.validate(); err != nil {
-			return nil, fmt.Errorf("shard: run %q: %w", r.Experiment, err)
+			return fmt.Errorf("shard: run %q: %w", r.Experiment, err)
 		}
 		if len(r.Cells) > r.Grid.Cells() {
-			return nil, fmt.Errorf("shard: run %q holds %d cells for a %dx%d grid",
+			return fmt.Errorf("shard: run %q holds %d cells for a %dx%d grid",
 				r.Experiment, len(r.Cells), r.Grid.Points, r.Grid.Systems)
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // ReadFile reads and decodes one shard file.

@@ -63,9 +63,12 @@
 // files form one complete, disjoint cover of the same run and returns
 // the single-shard equivalent; ExperimentFromCells rebuilds the exact
 // results an unsharded run
-// produces. cmd/ioschedbench exposes the workflow as -shards,
-// -shard-index, -out and the merge subcommand. The shard file format is
-// specified in docs/SHARD_FORMAT.md.
+// produces. Cell files persist as indented JSON (v1) or as the compact
+// binary/columnar container (v2, ShardEncodingBinary) — readers
+// auto-detect per file, so covers may mix encodings freely.
+// cmd/ioschedbench exposes the workflow as -shards,
+// -shard-index, -out, -codec and the merge subcommand. Both shard file
+// formats are specified in docs/SHARD_FORMAT.md.
 //
 // # Dispatch
 //
@@ -471,6 +474,36 @@ func ReadShardFile(path string) (*ShardFile, error) { return shard.ReadFile(path
 // cover of a single run's grids and returns the single-shard equivalent
 // (cells complete, in grid order) ready for the FromCells aggregators.
 func MergeShardFiles(files []*ShardFile) (*ShardFile, error) { return shard.Merge(files) }
+
+// Shard files persist in one of two encodings, chosen per file at write
+// time and auto-detected on every read (ReadShardFile accepts either, so
+// mixed covers merge freely): the indented JSON container (v1) and the
+// compact binary/columnar container (v2, roughly a tenth the bytes per
+// cell at paper scale). ShardFile.WriteFileAs/EncodeAs select one
+// explicitly; WriteFile keeps writing JSON. The CLI equivalent is the
+// -codec flag; the v2 layout is specified in docs/SHARD_FORMAT.md.
+const (
+	// ShardEncodingJSON is the versioned, indented JSON container (v1).
+	ShardEncodingJSON = shard.EncodingJSON
+	// ShardEncodingBinary is the compact binary/columnar container (v2).
+	ShardEncodingBinary = shard.EncodingBinary
+)
+
+// ShardPayloadCodec packs one experiment's cell payloads as a typed
+// column inside the binary container; ExperimentCodec.Payload registers
+// one alongside the experiment. Experiments without one still shard,
+// merge and dispatch in either encoding — their payloads travel as a
+// compact JSON column.
+type ShardPayloadCodec = shard.PayloadCodec
+
+// ParseShardEncoding normalises an encoding name ("" and "json" to
+// ShardEncodingJSON, "binary" to ShardEncodingBinary) and rejects
+// anything else — the validation behind every -codec flag.
+func ParseShardEncoding(s string) (string, error) { return shard.ParseEncoding(s) }
+
+// SniffShardFileEncoding reports which container encoding the file at
+// path uses, without decoding it.
+func SniffShardFileEncoding(path string) (string, error) { return shard.SniffFileEncoding(path) }
 
 // ShardBatchInfo is the header marking a file as a cell batch: an
 // explicit per-run cell set (the unit of cost-balanced dispatch) instead
