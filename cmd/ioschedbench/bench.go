@@ -22,17 +22,18 @@ import (
 func runBench(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	var (
-		out       = fs.String("o", "bench/BENCH_0009.json", "trajectory file to write (empty = don't write)")
+		out       = fs.String("o", "bench/BENCH_0010.json", "trajectory file to write (empty = don't write)")
 		compare   = fs.String("compare", "", "baseline trajectory to gate against; regressions make the command fail")
 		tolerance = fs.Float64("tolerance", 0.15, "allowed relative regression before the gate fails")
 		benchtime = fs.String("benchtime", "500ms", "per-benchmark measuring time (test.benchtime syntax, e.g. 2s or 10x)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ioschedbench bench [-o bench/BENCH_0009.json] [-compare baseline.json] [flags]")
+		fmt.Fprintln(os.Stderr, "usage: ioschedbench bench [-o bench/BENCH_0010.json] [-compare baseline.json] [flags]")
 		fmt.Fprintln(os.Stderr, "\nMeasures the tier benchmarks (shared with `go test -bench` via")
 		fmt.Fprintln(os.Stderr, "internal/benchtraj), the Figure 5 serial/parallel speedup, the cell")
-		fmt.Fprintln(os.Stderr, "cache warm hit rate, the dispatch makespan ratio and the shard codec")
-		fmt.Fprintln(os.Stderr, "bytes-per-cell sizes, and writes them as one trajectory snapshot.")
+		fmt.Fprintln(os.Stderr, "cache warm hit rate, the dispatch makespan ratio, the shard codec")
+		fmt.Fprintln(os.Stderr, "bytes-per-cell sizes and the (ungated) wall-clock replay jitter")
+		fmt.Fprintln(os.Stderr, "baseline, and writes them as one trajectory snapshot.")
 		fmt.Fprintln(os.Stderr)
 		fs.PrintDefaults()
 	}
@@ -114,6 +115,14 @@ func runBench(args []string, w io.Writer) error {
 	traj.CodecBytesPerCellV2 = sizes.V2BytesPerCell
 	fmt.Fprintf(w, "bench: codec bytes/cell json %.1f, binary %.1f (ratio %.3f over %d cells)\n",
 		sizes.V1BytesPerCell, sizes.V2BytesPerCell, sizes.Ratio(), sizes.Cells)
+
+	jitter, err := benchtraj.MeasureReplayJitter()
+	if err != nil {
+		return fmt.Errorf("measuring replay jitter: %w", err)
+	}
+	traj.ReplayJitter = jitter
+	fmt.Fprintf(w, "bench: replay jitter (ungated host baseline): %d dispatches, exact %.2f, missed %.2f, mean %.0fns, p99 %dns, max %dns\n",
+		jitter.Dispatched, jitter.Exact, jitter.Missed, jitter.MeanNs, jitter.P99Ns, jitter.MaxNs)
 
 	if *out != "" {
 		if dir := filepath.Dir(*out); dir != "." {

@@ -33,7 +33,7 @@ func runExperiments(args []string, w io.Writer) error {
 	// Grid shapes are configuration-dependent; show them at the default
 	// scale the CLI runs without flags.
 	rc := experiment.ShardParams{Seed: 1}.Context(1)
-	headers := []string{"name", "grid", "cell key", "payload", "csv", "description"}
+	headers := []string{"name", "grid", "cell key", "payload", "repro", "csv", "description"}
 	var rows [][]string
 	for _, e := range experiment.All() {
 		g, err := e.Grid(rc)
@@ -53,18 +53,27 @@ func runExperiments(args []string, w io.Writer) error {
 				payload = fmt.Sprintf("v%d binary", c.Version)
 			}
 		}
+		repro := "yes"
+		if !experiment.Reproducible(e) {
+			repro = "no (host)"
+		}
 		csvName := e.CSVName()
 		if csvName == "" {
 			csvName = "-"
 		}
-		rows = append(rows, []string{e.Name(), grid, key, payload, csvName, e.Describe()})
+		rows = append(rows, []string{e.Name(), grid, key, payload, repro, csvName, e.Describe()})
 	}
-	fmt.Fprintln(w, "Registered experiments (canonical \"all\" order; grids at the default scale):")
+	fmt.Fprintln(w, "Registered experiments (canonical registry order; grids at the default scale):")
 	fmt.Fprintln(w)
 	fmt.Fprintln(w, textplot.Table(headers, rows))
 	fmt.Fprintln(w, "Experiments sharing a cell key are computed once per run; \"-\" marks a")
 	fmt.Fprintln(w, "closed-form experiment with no grid to shard. The payload column is the")
 	fmt.Fprintln(w, "cell payload version and how -codec binary packs it (binary = a native")
 	fmt.Fprintln(w, "columnar codec, json = the compact-JSON fallback column).")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "repro \"no (host)\" marks a non-reproducible experiment: its payloads measure")
+	fmt.Fprintln(w, "this machine, not the seed, so it runs only when named (excluded from")
+	fmt.Fprintln(w, "-experiment all), is never cell-cached, and its shard files carry a host")
+	fmt.Fprintln(w, "fingerprint. Run it with the replay subcommand: ioschedbench replay.")
 	return nil
 }

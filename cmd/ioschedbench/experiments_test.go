@@ -43,8 +43,11 @@ func TestExperimentsListsRegistry(t *testing.T) {
 	}
 	out := buf.String()
 	last := -1
-	for _, name := range []string{"fig5", "fig6", "fig7", "table1", "motivation", "ablation", "multidevice", "tailq"} {
-		idx := strings.Index(out, name)
+	for _, name := range []string{"fig5", "fig6", "fig7", "table1", "motivation", "ablation", "multidevice", "jitter", "tailq"} {
+		// Match the name at the start of its table row: descriptions may
+		// mention another experiment's name ("jitter" appears in the
+		// motivation study's description).
+		idx := strings.Index(out, "\n"+name+" ")
 		if idx < 0 {
 			t.Fatalf("experiment %q missing from listing:\n%s", name, out)
 		}

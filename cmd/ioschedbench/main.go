@@ -14,6 +14,17 @@
 //	ioschedbench -experiment tailq       # per-job quality tail distribution
 //	ioschedbench -experiment all
 //
+// The replay subcommand measures delivered I/O timing instead of
+// computing it: it replays the static scheduler's output against this
+// machine's clock on pinned executor threads (internal/replay) and
+// reports dispatch-jitter distributions. Its experiments are
+// non-reproducible — the payloads measure the host, not the seed — so
+// they are excluded from "all", never cell-cached, and their shard
+// files carry a host fingerprint. See docs/REPLAY.md:
+//
+//	ioschedbench replay                  # jitter at the default scale
+//	ioschedbench replay -tick 10us -cap 50ms -no-pin -out jitter.json
+//
 // The default configuration is a calibrated scale-down (100 systems per
 // point, GA 60×80); -paperscale switches to the paper's 1000 systems and
 // GA 300×500, which takes hours. All runs are deterministic in -seed:
@@ -169,6 +180,12 @@ func main() {
 		case "bench":
 			if err := runBench(os.Args[2:], os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "ioschedbench: bench: %v\n", err)
+				os.Exit(1)
+			}
+			return
+		case "replay":
+			if err := runReplay(os.Args[2:]); err != nil {
+				fmt.Fprintf(os.Stderr, "ioschedbench: replay: %v\n", err)
 				os.Exit(1)
 			}
 			return
@@ -550,6 +567,12 @@ func render(which string, rc experiment.RunContext, cells func(name string) ([]s
 	for _, e := range experiment.All() {
 		name := e.Name()
 		if which != experiment.ExpAll && which != name {
+			continue
+		}
+		if which == experiment.ExpAll && !experiment.Reproducible(e) {
+			// Non-reproducible experiments (wall-clock measurements) run
+			// only when named, so "all" output stays a pure function of the
+			// seed on every machine.
 			continue
 		}
 		res, err := resultFor(e, rc, cells, liveCache)

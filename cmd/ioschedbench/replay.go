@@ -1,0 +1,88 @@
+package main
+
+// The replay subcommand: the CLI surface of the wall-clock replay
+// harness (internal/replay). It runs a non-reproducible measurement
+// experiment — jitter by default — on this machine: generate the
+// seed-deterministic workloads, schedule them, replay the schedules
+// against the real clock on pinned executor threads, and render the
+// delivered-timing distributions. The run flows through the ordinary
+// shard machinery (RunShardCached → FromCells), so -out writes a valid
+// shard file; it differs from a figure run only in what the registry
+// declares: the payloads measure the host, so the file carries a host
+// fingerprint and the cell cache is bypassed.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/shard"
+)
+
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	var (
+		which   = fs.String("experiment", experiment.ExpJitter, "non-reproducible experiment to replay")
+		seed    = fs.Int64("seed", 1, "random seed for the replayed workloads (the measurement itself is not seeded)")
+		tick    = fs.Duration("tick", 0, "wall-clock duration of one schedule tick (0 = the experiment default)")
+		capF    = fs.Duration("cap", 0, "per-device replay horizon; later entries are skipped (0 = the experiment default)")
+		warmup  = fs.Int("warmup", 0, "synthetic dispatches per device before the measured epoch (0 = the experiment default)")
+		noPin   = fs.Bool("no-pin", false, "do not pin executor threads to CPUs")
+		systems = fs.Int("replay-systems", 0, "systems replayed per utilisation point (0 = the experiment default)")
+		csvDir  = fs.String("csv", "", "directory to write CSV result files into")
+		out     = fs.String("out", "", "also write the measurement as a shard cell file to this path")
+		codecF  = registerCodecFlag(fs)
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ioschedbench replay [-experiment jitter] [-tick 1ms] [-cap 100ms] [-warmup 64] [-no-pin] [-replay-systems 6] [-seed 1] [-csv dir] [-codec json|binary] [-out jitter.json]")
+		fmt.Fprintln(os.Stderr, "\nReplays computed schedules against this machine's clock and reports the")
+		fmt.Fprintln(os.Stderr, "delivered dispatch timing. The result measures the host, not the seed:")
+		fmt.Fprintln(os.Stderr, "the shard file carries a host fingerprint and is never cell-cached.")
+		fmt.Fprintln(os.Stderr, "See docs/REPLAY.md.")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if *tick < 0 || *capF < 0 || *warmup < 0 || *systems < 0 {
+		return fmt.Errorf("-tick, -cap, -warmup and -replay-systems must be >= 0 (0 = default)")
+	}
+	if _, err := experiment.SelectionRuns(*which); err != nil {
+		return err
+	}
+	if experiment.SelectionReproducible(*which) {
+		return fmt.Errorf("-experiment %q is reproducible; replay runs measurement experiments — use the top-level command for figures", *which)
+	}
+	codec, err := shard.ParseEncoding(*codecF)
+	if err != nil {
+		return err
+	}
+	params := experiment.ShardParams{
+		Seed:          *seed,
+		ReplayTickNs:  int64(*tick),
+		ReplayCapNs:   int64(*capF),
+		ReplayWarmup:  *warmup,
+		ReplaySystems: *systems,
+		ReplayNoPin:   *noPin,
+	}
+	// One executor thread per device is the measurement; a worker pool on
+	// top would make executors contend with each other for CPUs, so the
+	// cells run serially (parallelism 1).
+	f, err := experiment.RunShardCached(*which, params, 1, 1, 0, nil)
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := f.WriteFileAs(*out, codec); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ioschedbench: wrote measurement of %q (%d cells, host %q) to %s\n",
+			*which, f.CellCount(), f.Host, *out)
+	}
+	return renderMerged(f, *csvDir)
+}

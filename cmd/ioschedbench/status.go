@@ -14,6 +14,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/dispatch"
+	"repro/internal/experiment"
 	"repro/internal/shard"
 	"repro/internal/textplot"
 )
@@ -115,7 +116,11 @@ func printStatus(w io.Writer, st *dispatch.JournalState) error {
 	if st.Balance != "" {
 		bal = ", balance " + st.Balance
 	}
-	fmt.Fprintf(w, "dispatch run: selection %q, %d shards (journal v%d%s)\n\n", st.Selection, st.Shards, st.Version, bal)
+	fmt.Fprintf(w, "dispatch run: selection %q, %d shards (journal v%d%s)\n", st.Selection, st.Shards, st.Version, bal)
+	if !experiment.SelectionReproducible(st.Selection) {
+		fmt.Fprintln(w, "note: non-reproducible selection — cell payloads measure the worker hosts, not the seed")
+	}
+	fmt.Fprintln(w)
 
 	headers := []string{"shard", "state", "attempts", "steals", "worker", "detail"}
 	var rows [][]string

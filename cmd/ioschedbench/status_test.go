@@ -125,3 +125,26 @@ func TestStatusRejectsBadTargets(t *testing.T) {
 		t.Error("absent journal accepted")
 	}
 }
+
+// TestStatusMarksNonReproducibleSelection: a dispatch of a measurement
+// selection (the jitter experiment) is flagged in the status header —
+// its cell payloads depend on which hosts the workers ran on. The
+// reproducible-selection goldens above prove the note stays absent
+// everywhere else.
+func TestStatusMarksNonReproducibleSelection(t *testing.T) {
+	dir := t.TempDir()
+	journal := `{"event":"plan","v":1,"selection":"jitter","shards":1,"params":{"seed":1}}
+{"event":"attempt","shard":0,"attempt":1,"worker":"w"}
+{"event":"done","shard":0,"attempt":1,"file":"shard0.json"}
+`
+	if err := os.WriteFile(dir+"/dispatch.journal", []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := runStatus([]string{dir}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); !strings.Contains(out, "non-reproducible selection") {
+		t.Errorf("non-reproducible note absent:\n%s", out)
+	}
+}

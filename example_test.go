@@ -103,6 +103,6 @@ func ExampleRunExperiment() {
 	fmt.Printf("tailq: %d columns x %d utilisation points, first column %q\n",
 		len(headers), len(rows), headers[0])
 	// Output:
-	// fig5 fig6 fig7 table1 motivation ablation multidevice tailq
+	// fig5 fig6 fig7 table1 motivation ablation multidevice jitter tailq
 	// tailq: 8 columns x 15 utilisation points, first column "U"
 }

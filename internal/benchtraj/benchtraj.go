@@ -77,7 +77,25 @@ type Trajectory struct {
 	// regression even if both numbers move together.
 	CodecBytesPerCellV1 float64 `json:"codec_bytes_per_cell_v1,omitempty"`
 	CodecBytesPerCellV2 float64 `json:"codec_bytes_per_cell_v2,omitempty"`
-	Host                Host    `json:"host"`
+	// ReplayJitter is the delivered-timing baseline of a tiny wall-clock
+	// replay (MeasureReplayJitter). It is a measurement of the host the
+	// trajectory's fingerprint names — recorded for trend-watching, never
+	// gated: Compare ignores it, because wall-clock jitter on a shared CI
+	// runner is not a property of the code.
+	ReplayJitter *ReplayJitterMeasurement `json:"replay_jitter,omitempty"`
+	Host         Host                     `json:"host"`
+}
+
+// ReplayJitterMeasurement is one recorded replay baseline: the pooled
+// dispatch-deviation distribution of the jitter experiment at a reduced
+// scale.
+type ReplayJitterMeasurement struct {
+	Dispatched int     `json:"dispatched"`
+	Exact      float64 `json:"exact"`
+	Missed     float64 `json:"missed"`
+	MeanNs     float64 `json:"mean_ns"`
+	P99Ns      int64   `json:"p99_ns"`
+	MaxNs      int64   `json:"max_ns"`
 }
 
 // WriteFile writes the trajectory as indented JSON.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/cellcache"
 	"repro/internal/experiment"
@@ -219,6 +220,53 @@ func MeasureDispatchMakespan() (float64, error) {
 		return 0, fmt.Errorf("benchtraj: cost-packed makespan is zero")
 	}
 	return rr / cp, nil
+}
+
+// MeasureReplayJitter runs the jitter experiment at a reduced scale —
+// one system per utilisation point, a short horizon, executors pinned
+// where the platform allows — and pools its points into one delivered-
+// timing baseline. Unlike every other measurement here it is
+// non-reproducible by design: the number is this machine's, which is
+// why the trajectory stores it next to the host fingerprint and the
+// gate never compares it.
+func MeasureReplayJitter() (*ReplayJitterMeasurement, error) {
+	p := experiment.ShardParams{
+		Seed:          1,
+		ReplaySystems: 1,
+		ReplayCapNs:   int64(5 * time.Millisecond),
+		ReplayWarmup:  16,
+	}
+	res, err := experiment.Run(experiment.ExpJitter, p.Context(1))
+	if err != nil {
+		return nil, err
+	}
+	jr, ok := res.(*experiment.JitterResult)
+	if !ok {
+		return nil, fmt.Errorf("benchtraj: jitter returned %T", res)
+	}
+	m := &ReplayJitterMeasurement{}
+	var meanSum float64
+	var exact, missed float64
+	for _, pt := range jr.Points {
+		m.Dispatched += pt.Dispatched
+		n := float64(pt.Dispatched)
+		exact += pt.Exact * n
+		missed += pt.Missed * n
+		meanSum += pt.MeanNs * n
+		if pt.P99Ns > m.P99Ns {
+			m.P99Ns = pt.P99Ns
+		}
+		if pt.MaxNs > m.MaxNs {
+			m.MaxNs = pt.MaxNs
+		}
+	}
+	if m.Dispatched > 0 {
+		n := float64(m.Dispatched)
+		m.Exact = exact / n
+		m.Missed = missed / n
+		m.MeanNs = meanSum / n
+	}
+	return m, nil
 }
 
 // MeasureCacheHitRate runs a small fig5 shard cold into a cell cache

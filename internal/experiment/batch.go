@@ -86,6 +86,9 @@ func RunBatchCached(selection string, p ShardParams, parallelism int, cells [][]
 		Params:    params,
 		Batch:     &shard.BatchInfo{Cells: canon},
 	}
+	if !SelectionReproducible(selection) {
+		f.Host = HostFingerprint()
+	}
 	type computed struct {
 		cells []shard.Cell
 		grid  shard.Grid
@@ -128,6 +131,10 @@ func CachedBatch(cache *cellcache.Store, selection string, p ShardParams, cells 
 	names, err := SelectionRuns(selection)
 	if err != nil {
 		return nil, false, err
+	}
+	if !SelectionReproducible(selection) {
+		// Same refusal as CachedShard: measurements are never cached.
+		return nil, false, nil
 	}
 	p = p.Normalised()
 	rc := p.Context(1)

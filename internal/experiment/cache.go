@@ -33,6 +33,11 @@ func CachedShard(cache *cellcache.Store, selection string, p ShardParams, shards
 	if err != nil {
 		return nil, false, err
 	}
+	if !SelectionReproducible(selection) {
+		// Non-reproducible cells are never cached, so the cache can
+		// never answer for them — a fresh measurement is required.
+		return nil, false, nil
+	}
 	p = p.Normalised()
 	rc := p.Context(1)
 	params, err := json.Marshal(p)
@@ -116,6 +121,12 @@ func DepositFile(cache *cellcache.Store, f *shard.File, p ShardParams) error {
 			return fmt.Errorf("experiment: %w %q in shard file", ErrUnknownExperiment, r.Experiment)
 		}
 		if r.PayloadVersion != e.Codec().Version {
+			continue
+		}
+		if !Reproducible(e) {
+			// Depositing a host measurement would let a later run serve
+			// it as if it were this host's; refuse silently, like the
+			// version skip above.
 			continue
 		}
 		ck := e.CellKey()

@@ -71,7 +71,11 @@ func runCells(e Experiment, rc RunContext, sel CellSelector) ([]shard.Cell, shar
 	if e.Codec().New == nil {
 		return nil, g, fmt.Errorf("experiment: %q is a closed-form model with no cell grid", e.Name())
 	}
-	if rc.Cache != nil {
+	// A non-reproducible experiment's payloads measure the host, so the
+	// cache — whose contract is "a hit's bytes equal a recomputation's"
+	// — can neither serve nor store them: the cache is bypassed, never
+	// poisoned.
+	if rc.Cache != nil && Reproducible(e) {
 		return runCellsCached(e, rc, g, sel)
 	}
 	refs, vals, err := gridSubset(rc.Config.Parallelism, g.Points, g.Systems, sel,

@@ -226,6 +226,81 @@ func tailqPayloadCodec() PayloadCodec {
 	}
 }
 
+// jitterPayloadCodec packs the replay jitter census: a bool byte,
+// varint counts and percentiles, the raw-bits mean, and the histogram
+// as a nil-flagged varint sequence (nil and empty are distinct JSON).
+func jitterPayloadCodec() PayloadCodec {
+	return columnCodec[jitterOutcome]{
+		pack: func(w *shard.ColumnWriter, v *jitterOutcome) {
+			w.Bool(v.OK)
+			w.Varint(int64(v.Dispatched))
+			w.Varint(int64(v.Skipped))
+			w.Varint(int64(v.Exact))
+			w.Varint(int64(v.Missed))
+			w.Varint(int64(v.Devices))
+			w.Varint(int64(v.Pinned))
+			w.Float64(v.MeanNs)
+			w.Varint(v.P50Ns)
+			w.Varint(v.P95Ns)
+			w.Varint(v.P99Ns)
+			w.Varint(v.MaxNs)
+			w.Bool(v.Hist == nil)
+			w.Uvarint(uint64(len(v.Hist)))
+			for _, n := range v.Hist {
+				w.Varint(n)
+			}
+		},
+		unpack: func(r *shard.ColumnReader, v *jitterOutcome) error {
+			ok, err := r.Bool()
+			if err != nil {
+				return err
+			}
+			v.OK = ok
+			for _, p := range [...]*int{&v.Dispatched, &v.Skipped, &v.Exact, &v.Missed, &v.Devices, &v.Pinned} {
+				n, err := r.Varint()
+				if err != nil {
+					return err
+				}
+				*p = int(n)
+			}
+			if v.MeanNs, err = r.Float64(); err != nil {
+				return err
+			}
+			for _, p := range [...]*int64{&v.P50Ns, &v.P95Ns, &v.P99Ns, &v.MaxNs} {
+				if *p, err = r.Varint(); err != nil {
+					return err
+				}
+			}
+			isNil, err := r.Bool()
+			if err != nil {
+				return err
+			}
+			n, err := r.Int()
+			if err != nil {
+				return err
+			}
+			if isNil {
+				if n != 0 {
+					return fmt.Errorf("experiment: nil jitter histogram declares %d buckets", n)
+				}
+				v.Hist = nil
+				return nil
+			}
+			// Each histogram varint is at least one byte.
+			if n > r.Remaining() {
+				return fmt.Errorf("experiment: %d histogram buckets declared, %d bytes remain", n, r.Remaining())
+			}
+			v.Hist = make([]int64, n)
+			for i := range v.Hist {
+				if v.Hist[i], err = r.Varint(); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
 // motivationPayloadCodec packs the simulated accuracy report: nil-ness
 // flags for the report pointer and its event slice, per-event label and
 // cycle varints, and the summary statistics.

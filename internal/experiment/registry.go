@@ -185,6 +185,34 @@ type ParamDefaulter interface {
 	DefaultParams(p ShardParams) ShardParams
 }
 
+// NonReproducible is implemented by experiments whose cell payloads are
+// measurements of the host rather than functions of the seed (the
+// replay jitter experiment). Reproducible() must return false — the
+// interface's presence alone is not the marker, so an implementation
+// can keep the method and flip the value under test doubles.
+//
+// A non-reproducible experiment is exempt from the byte-identical
+// invariant and is treated specially everywhere the invariant is load-
+// bearing: it is excluded from the "all" selection, its cells are never
+// deposited to or served from the cell cache, and shard files holding
+// its runs carry a host fingerprint (shard.File.Host). Everything else
+// — sharding, merge, partial render, dispatch transport — works
+// unchanged, because none of it assumes two computations of the same
+// cell agree.
+type NonReproducible interface {
+	Reproducible() bool
+}
+
+// Reproducible reports whether the experiment keeps the byte-identical
+// invariant. Experiments are reproducible unless they declare
+// otherwise.
+func Reproducible(e Experiment) bool {
+	if nr, ok := e.(NonReproducible); ok {
+		return nr.Reproducible()
+	}
+	return true
+}
+
 // PartialSkipper is implemented by experiments whose provisional result
 // does not exist until their grid is complete: PartialSkipNote explains
 // the gap in place of the result (missingShards is the pre-rendered
@@ -254,6 +282,21 @@ func GridExperiments() []string {
 	var out []string
 	for _, e := range All() {
 		if e.Codec().New != nil {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// ReproducibleGridExperiments lists the grid experiments that keep the
+// byte-identical invariant, in canonical order. This is the "all"
+// selection: non-reproducible experiments (replay jitter) only run when
+// named explicitly, so every byte-identity check over "all" stays
+// exact.
+func ReproducibleGridExperiments() []string {
+	var out []string
+	for _, e := range All() {
+		if e.Codec().New != nil && Reproducible(e) {
 			out = append(out, e.Name())
 		}
 	}

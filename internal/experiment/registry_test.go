@@ -13,17 +13,36 @@ import (
 
 // TestRegistryCanonicalOrder pins the registration order the shard
 // files, the CLI's "all" selection and the listings all follow. The
-// built-ins register from registry.go's init; tailq appends itself from
-// its own file's init (file order within the package), which is exactly
-// the extension contract docs/EXPERIMENTS.md documents.
+// built-ins register from registry.go's init; jitter and tailq append
+// themselves from their own files' inits (file order within the
+// package: replayjitter.go, then tailq.go), which is exactly the
+// extension contract docs/EXPERIMENTS.md documents.
 func TestRegistryCanonicalOrder(t *testing.T) {
-	want := []string{ExpFig5, ExpFig6, ExpFig7, ExpTable1, ExpMotivation, ExpAblation, ExpMultiDevice, ExpTailQ}
+	want := []string{ExpFig5, ExpFig6, ExpFig7, ExpTable1, ExpMotivation, ExpAblation, ExpMultiDevice, ExpJitter, ExpTailQ}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}
-	wantGrid := []string{ExpFig5, ExpFig6, ExpFig7, ExpMotivation, ExpAblation, ExpMultiDevice, ExpTailQ}
+	wantGrid := []string{ExpFig5, ExpFig6, ExpFig7, ExpMotivation, ExpAblation, ExpMultiDevice, ExpJitter, ExpTailQ}
 	if got := GridExperiments(); !reflect.DeepEqual(got, wantGrid) {
 		t.Fatalf("GridExperiments() = %v, want %v", got, wantGrid)
+	}
+	// The "all" selection is the grid list minus the non-reproducible
+	// experiments: jitter only runs when named.
+	wantAll := []string{ExpFig5, ExpFig6, ExpFig7, ExpMotivation, ExpAblation, ExpMultiDevice, ExpTailQ}
+	if got := ReproducibleGridExperiments(); !reflect.DeepEqual(got, wantAll) {
+		t.Fatalf("ReproducibleGridExperiments() = %v, want %v", got, wantAll)
+	}
+	if got, err := SelectionRuns(ExpAll); err != nil || !reflect.DeepEqual(got, wantAll) {
+		t.Fatalf("SelectionRuns(all) = %v, %v, want %v", got, err, wantAll)
+	}
+	for _, name := range want {
+		e, _ := Lookup(name)
+		if got, wantRepro := Reproducible(e), name != ExpJitter; got != wantRepro {
+			t.Errorf("Reproducible(%s) = %v, want %v", name, got, wantRepro)
+		}
+	}
+	if SelectionReproducible(ExpJitter) || !SelectionReproducible(ExpAll) || !SelectionReproducible(ExpTailQ) {
+		t.Error("SelectionReproducible misclassifies a selection")
 	}
 	for _, name := range want {
 		e, ok := Lookup(name)

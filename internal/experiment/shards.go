@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
 
 	"repro/internal/cellcache"
 	"repro/internal/shard"
@@ -41,7 +42,11 @@ const (
 	ExpAblation    = "ablation"
 	ExpMultiDevice = "multidevice"
 	ExpTailQ       = "tailq"
-	// ExpAll selects every experiment.
+	// ExpJitter is the wall-clock replay jitter experiment. It is
+	// non-reproducible (payloads measure the host), so ExpAll excludes
+	// it: it only runs when named explicitly.
+	ExpJitter = "jitter"
+	// ExpAll selects every reproducible experiment.
 	ExpAll = "all"
 )
 
@@ -80,6 +85,17 @@ type ShardParams struct {
 	// MotivationWrites overrides the motivation experiment's write count
 	// (0 = DefaultMotivation's).
 	MotivationWrites int `json:"motivation_writes,omitempty"`
+	// The replay jitter experiment's knobs (0 = the defaults its
+	// ParamDefaulter records; see replayjitter.go). Durations are in
+	// nanoseconds because ShardParams is a wire format.
+	ReplayTickNs  int64 `json:"replay_tick_ns,omitempty"`
+	ReplayCapNs   int64 `json:"replay_cap_ns,omitempty"`
+	ReplayWarmup  int   `json:"replay_warmup,omitempty"`
+	ReplaySystems int   `json:"replay_systems,omitempty"`
+	// ReplayNoPin disables sched-affinity pinning. The polarity is
+	// inverted so the zero value means "pin", matching the harness
+	// default.
+	ReplayNoPin bool `json:"replay_no_pin,omitempty"`
 }
 
 // Config resolves the sweep configuration the params describe, mirroring
@@ -158,6 +174,15 @@ func (p ShardParams) Normalised() ShardParams {
 	return p
 }
 
+// HostFingerprint is the one-line host identity recorded in shard
+// files holding non-reproducible runs: platform, CPU count and Go
+// release — the coordinates a jitter distribution is meaningless
+// without.
+func HostFingerprint() string {
+	return fmt.Sprintf("%s/%s cpus=%d %s",
+		runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), runtime.Version())
+}
+
 // marshalCells encodes subset values as shard cells, recording each
 // cell's derived seed.
 func marshalCells[T any](refs []cellRef, vals []T, seedFor func(o, i int) int64) ([]shard.Cell, error) {
@@ -174,12 +199,15 @@ func marshalCells[T any](refs []cellRef, vals []T, seedFor func(o, i int) int64)
 
 // SelectionRuns expands a CLI selection ("all" or one experiment name)
 // into the grid experiments a shard file for that selection records, in
-// canonical order, resolving names through the registry. It rejects
-// selections with no grid to shard (Table I is a closed-form model) and
-// reports ErrUnknownExperiment for unregistered names.
+// canonical order, resolving names through the registry. "all" expands
+// to the reproducible grid experiments only — a non-reproducible
+// experiment (replay jitter) runs when named explicitly, never as a
+// stowaway that would break the byte-identity of an "all" run. It
+// rejects selections with no grid to shard (Table I is a closed-form
+// model) and reports ErrUnknownExperiment for unregistered names.
 func SelectionRuns(selection string) ([]string, error) {
 	if selection == ExpAll {
-		return GridExperiments(), nil
+		return ReproducibleGridExperiments(), nil
 	}
 	e, ok := Lookup(selection)
 	if !ok {
@@ -189,6 +217,23 @@ func SelectionRuns(selection string) ([]string, error) {
 		return nil, fmt.Errorf("experiment: %q is a closed-form model with no grid to shard; run it directly", selection)
 	}
 	return []string{e.Name()}, nil
+}
+
+// SelectionReproducible reports whether every experiment the selection
+// expands to keeps the byte-identical invariant. Unknown selections
+// report true: the caller's next registry lookup surfaces the real
+// error.
+func SelectionReproducible(selection string) bool {
+	names, err := SelectionRuns(selection)
+	if err != nil {
+		return true
+	}
+	for _, name := range names {
+		if e, ok := Lookup(name); ok && !Reproducible(e) {
+			return false
+		}
+	}
+	return true
 }
 
 // RunShard evaluates shard index of shards for the given selection ("all"
@@ -227,6 +272,12 @@ func RunShardCached(selection string, p ShardParams, parallelism, shards, index 
 		Shards:    shards,
 		Index:     index,
 		Params:    params,
+	}
+	if !SelectionReproducible(selection) {
+		// Non-reproducible payloads are measurements of a host; record
+		// which one, so a reader of the file (or of a merge of files)
+		// knows what produced the numbers.
+		f.Host = HostFingerprint()
 	}
 	type computed struct {
 		cells []shard.Cell

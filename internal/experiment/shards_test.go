@@ -86,7 +86,7 @@ func TestShardMergeEquivalence(t *testing.T) {
 		for _, r := range merged.Runs {
 			byName[r.Experiment] = r
 		}
-		if want := len(GridExperiments()); len(byName) != want {
+		if want := len(ReproducibleGridExperiments()); len(byName) != want {
 			t.Fatalf("N=%d: merged %d runs, want %d: %v", n, len(byName), want, Names())
 		}
 

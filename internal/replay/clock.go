@@ -1,0 +1,127 @@
+package replay
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/timing"
+)
+
+// Clock is the time source a device executor runs against. Instants are
+// durations since the clock's own epoch; callers only ever compare and
+// subtract them, so the epoch is arbitrary as long as it is fixed.
+//
+// The host implementation reads the monotonic clock; SimClock replays
+// the same state machine deterministically. Implementations need not be
+// safe for concurrent use — each executor owns its clock.
+type Clock interface {
+	// Now returns the current instant. Observing the clock may itself
+	// cost time (it does on SimClock, by design): two consecutive calls
+	// need not return the same value.
+	Now() time.Duration
+	// SleepUntil blocks until the clock reaches t. It returns
+	// immediately when t is not in the future. The wake-up may be late
+	// (the OS oversleeps; SimClock can inject lag) — precise arrival is
+	// the spin phase's job, not the sleep's.
+	SleepUntil(t time.Duration)
+}
+
+// hostClock is the real-time Clock: monotonic readings from time.Since
+// against a fixed epoch, sleeps via time.Sleep of the positive
+// remainder. One is created per device executor after its OS thread is
+// locked, so readings never migrate between threads mid-run.
+type hostClock struct {
+	epoch time.Time
+}
+
+func newHostClock() *hostClock { return &hostClock{epoch: time.Now()} }
+
+func (h *hostClock) Now() time.Duration { return time.Since(h.epoch) }
+
+func (h *hostClock) SleepUntil(t time.Duration) {
+	if d := t - h.Now(); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// SimClock is a deterministic Clock backed by a discrete-event
+// sim.Kernel, one kernel cycle per nanosecond. It exists so the replay
+// state machine — entry ordering, cap accounting, deadline slack,
+// histogram bucketing — can be unit-tested with exact expected outputs.
+//
+// Observation costs time: each Now call returns the current instant and
+// then advances the kernel by Poll, so a spin loop makes progress
+// exactly as it would against real hardware, one poll per iteration.
+// With the default 1ns poll and no injected lag, a sleep-then-spin
+// dispatch lands on its target to the nanosecond, which pins the
+// zero-jitter baseline in tests.
+//
+// The zero value is not ready to use; call NewSimClock.
+type SimClock struct {
+	// Poll is the simulated cost of one Now observation, in kernel
+	// cycles (nanoseconds). Always >= 1: a free observation would let a
+	// spin loop run forever without advancing time.
+	Poll timing.Cycle
+	// Lag, when non-nil, is called with the 0-based ordinal of each
+	// SleepUntil wake-up and returns how far past the requested instant
+	// the sleep overshoots — deterministic injected oversleep, for
+	// testing lateness and missed-deadline accounting.
+	Lag func(wake int) time.Duration
+
+	kernel sim.Kernel
+	wakes  int
+}
+
+// NewSimClock returns a SimClock whose Now observations cost poll
+// nanoseconds each (poll < 1 is raised to 1).
+func NewSimClock(poll timing.Cycle) *SimClock {
+	if poll < 1 {
+		poll = 1
+	}
+	return &SimClock{Poll: poll}
+}
+
+// Now returns the current simulated instant, then advances the kernel
+// by the poll cost (firing any events that window covers).
+func (c *SimClock) Now() time.Duration {
+	now := c.kernel.Now()
+	c.kernel.RunUntil(now + c.Poll)
+	return time.Duration(now)
+}
+
+// SleepUntil advances the kernel to t (plus any injected Lag) through a
+// scheduled wake-up event, mirroring a timer interrupt. Requests at or
+// before the current instant return without advancing time or counting
+// as a wake-up.
+func (c *SimClock) SleepUntil(t time.Duration) {
+	target := timing.Cycle(t)
+	if target <= c.kernel.Now() {
+		return
+	}
+	if c.Lag != nil {
+		target += timing.Cycle(c.Lag(c.wakes))
+	}
+	c.wakes++
+	c.kernel.At(target, func() {})
+	c.kernel.RunUntil(target)
+}
+
+// Wakes returns how many SleepUntil calls actually slept.
+func (c *SimClock) Wakes() int { return c.wakes }
+
+// Processed returns the number of kernel events executed — one per
+// wake-up — for auditing that the harness drove the simulator.
+func (c *SimClock) Processed() uint64 { return c.kernel.Processed() }
+
+// spinWait busy-polls c until it reaches target and returns the first
+// observation at or past it — the dispatch timestamp. The caller is
+// expected to have slept to within the spin window already; the loop
+// body is a bare clock read so the final approach is as tight as the
+// clock allows.
+func spinWait(c Clock, target time.Duration) time.Duration {
+	now := c.Now()
+	for now < target {
+		now = c.Now()
+	}
+	return now
+}

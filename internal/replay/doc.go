@@ -1,0 +1,33 @@
+// Package replay executes a computed schedule against a clock and
+// measures delivered dispatch timing — the layer between "scheduled
+// quality" (what the analytic schedulers in internal/sched promise)
+// and "delivered quality" (what a real host actually fires).
+//
+// Run takes any sched.DeviceSchedules and plays each device partition
+// on its own executor: one locked OS thread per device, optionally
+// pinned to a CPU via sched-affinity where the platform supports it
+// (Linux; elsewhere the harness degrades gracefully and reports the
+// thread unpinned). Each sched.Entry is fired at its scaled start
+// instant by a sleep-then-spin timer loop — sleep until shortly before
+// the target, then busy-poll the monotonic clock across the final spin
+// window — and every dispatch records a Sample pairing the intended
+// instant with the observed one, plus the entry's deadline slack at
+// the schedule's own timing scale.
+//
+// Samples reduce to a Stats distribution (exact count, missed-deadline
+// count, mean/p50/p95/p99/max deviation, fixed-bound histogram)
+// through internal/trace's Measure/Percentile machinery, so the
+// hardware-level Ψ definition is shared with the simulated experiments
+// rather than re-derived here.
+//
+// Clock is injectable: the default host clock reads the monotonic
+// wall clock, while SimClock replays the identical state machine
+// against a discrete-event sim.Kernel with a deterministic poll cost
+// and optional injected oversleep. Everything above the Clock —
+// ordering, cap accounting, deadline slack, histogram bucketing — is
+// therefore unit-testable with exact expected outputs; real-clock
+// nondeterminism is confined to the one hostClock leaf. That is also
+// why the jitter experiment built on this package is registered
+// non-reproducible: its payloads are measurements of the host, not
+// functions of the seed. See docs/REPLAY.md.
+package replay

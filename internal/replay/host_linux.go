@@ -1,0 +1,48 @@
+//go:build linux
+
+package replay
+
+import (
+	"fmt"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// affinityMaskCPUs is the widest CPU index the fixed-size affinity mask
+// can express. 1024 matches the kernel's historical CPU_SETSIZE.
+const affinityMaskCPUs = 1024
+
+// pinThread binds the calling OS thread (which the caller must have
+// locked with runtime.LockOSThread) to the single CPU cpu via
+// sched_setaffinity(2) with pid 0. A raw syscall keeps the call on the
+// calling thread itself.
+func pinThread(cpu int) error {
+	if cpu < 0 || cpu >= affinityMaskCPUs {
+		return fmt.Errorf("replay: cpu %d outside affinity mask range [0,%d)", cpu, affinityMaskCPUs)
+	}
+	var mask [affinityMaskCPUs / 64]uint64
+	mask[cpu/64] = 1 << (uint(cpu) % 64)
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return fmt.Errorf("replay: sched_setaffinity(cpu %d): %w", cpu, errno)
+	}
+	return nil
+}
+
+// clockThreadCPUTimeID is CLOCK_THREAD_CPUTIME_ID from <time.h>: the
+// per-thread CPU-time clock of the calling thread.
+const clockThreadCPUTimeID = 3
+
+// threadCPUTime returns the calling thread's consumed CPU time. The
+// boolean is false when the platform cannot read it.
+func threadCPUTime() (time.Duration, bool) {
+	var ts syscall.Timespec
+	_, _, errno := syscall.RawSyscall(syscall.SYS_CLOCK_GETTIME,
+		clockThreadCPUTimeID, uintptr(unsafe.Pointer(&ts)), 0)
+	if errno != 0 {
+		return 0, false
+	}
+	return time.Duration(ts.Sec)*time.Second + time.Duration(ts.Nsec), true
+}

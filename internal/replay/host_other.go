@@ -1,0 +1,17 @@
+//go:build !linux
+
+package replay
+
+import (
+	"errors"
+	"time"
+)
+
+// errPinUnsupported reports that this platform has no sched-affinity
+// call the harness knows how to make. Callers degrade to an unpinned
+// locked thread.
+var errPinUnsupported = errors.New("replay: thread pinning unsupported on this platform")
+
+func pinThread(cpu int) error { return errPinUnsupported }
+
+func threadCPUTime() (time.Duration, bool) { return 0, false }

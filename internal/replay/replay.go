@@ -1,0 +1,345 @@
+package replay
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/taskmodel"
+	"repro/internal/timing"
+	"repro/internal/trace"
+)
+
+// Options configures a replay run. The zero value replays at real time
+// (one scheduling tick = 1µs) with the default spin window, no cap, no
+// warmup, and no pinning.
+type Options struct {
+	// Tick is the real duration of one scheduling tick. The schedule's
+	// native scale is 1µs per tick; a larger Tick slows the replay down
+	// (easier targets, longer wall-clock), a smaller one compresses it.
+	// Zero means 1µs; negative is an error.
+	Tick time.Duration
+	// Cap bounds the replayed horizon per device: entries whose scaled
+	// start instant exceeds Cap are skipped (and counted) rather than
+	// dispatched, so an unattended run cannot burn a hyper-period of
+	// wall-clock. Zero means no cap.
+	Cap time.Duration
+	// Warmup is the number of synthetic sleep-then-spin dispatches each
+	// executor performs before its epoch is taken, so the measured
+	// entries do not pay first-iteration costs (timer arming, paging,
+	// frequency ramp).
+	Warmup int
+	// Pin requests sched-affinity pinning of each executor thread to
+	// one CPU (device index modulo NumCPU). Unsupported platforms and
+	// refused syscalls degrade to an unpinned locked thread, reported
+	// per device — never an error.
+	Pin bool
+	// SpinWindow is how far before each target the executor stops
+	// sleeping and starts busy-polling the clock. Zero means 100µs;
+	// negative is an error.
+	SpinWindow time.Duration
+	// Clock, when non-nil, replaces the per-device host clocks with one
+	// injected clock and switches Run to deterministic mode: devices
+	// replay sequentially in device order on the calling goroutine, no
+	// threads are locked or pinned, and no warmup is performed unless
+	// requested. This is the unit-testing mode; see SimClock.
+	Clock Clock
+}
+
+const (
+	defaultTick       = time.Microsecond
+	defaultSpinWindow = 100 * time.Microsecond
+)
+
+// Sample is one delivered dispatch: the instant the schedule intended
+// (scaled to wall-clock) against the instant the executor observed.
+type Sample struct {
+	Device taskmodel.DeviceID
+	Job    taskmodel.JobID
+	// Intended is the entry's scaled start instant, relative to the
+	// device epoch.
+	Intended time.Duration
+	// Actual is the observed dispatch instant, relative to the same
+	// epoch. Never before Intended: the spin loop returns the first
+	// observation at or past the target.
+	Actual time.Duration
+	// Slack is the scaled distance from the entry's start to the job's
+	// latest feasible start (deadline − C). A dispatch later than
+	// Intended+Slack would miss the job's deadline at this Tick scale.
+	Slack time.Duration
+}
+
+// Offset returns how late (positive) or early (negative) the dispatch
+// fired.
+func (s *Sample) Offset() time.Duration { return s.Actual - s.Intended }
+
+// Missed reports whether the dispatch fired past the job's latest
+// feasible start — a deadline miss at the replay's own timing scale.
+func (s *Sample) Missed() bool { return s.Offset() > s.Slack }
+
+// DeviceReport describes one device executor's run.
+type DeviceReport struct {
+	Device taskmodel.DeviceID
+	// Dispatched and Skipped partition the device's entries: fired
+	// versus dropped by the Cap.
+	Dispatched int
+	Skipped    int
+	// Pinned reports whether sched-affinity pinning succeeded on this
+	// executor's thread. Always false when pinning was not requested,
+	// unsupported, or in deterministic-clock mode.
+	Pinned bool
+	// Wall is the clock time from the device epoch to the last
+	// dispatch observation.
+	Wall time.Duration
+	// CPU is the executor thread's consumed CPU time across the
+	// measured region, when the platform can read it (CPUValid).
+	CPU      time.Duration
+	CPUValid bool
+}
+
+// Stats is the reduced jitter distribution over all samples of a run.
+// Deviations are |Actual − Intended| in nanoseconds, reduced through
+// internal/trace (one trace cycle = 1ns), so Exact is the
+// hardware-level Ψ numerator.
+type Stats struct {
+	Dispatched int
+	Skipped    int
+	// Exact counts zero-deviation dispatches; Missed counts dispatches
+	// past their job's latest feasible start.
+	Exact  int
+	Missed int
+	// MeanNs, percentiles and MaxNs summarise the deviation
+	// distribution (nearest-rank percentiles).
+	MeanNs float64
+	P50Ns  int64
+	P95Ns  int64
+	P99Ns  int64
+	MaxNs  int64
+	// Hist counts deviations per bucket; bucket i spans
+	// (HistBounds[i-1], HistBounds[i]], bucket 0 is exactly zero, and
+	// the final bucket is everything past the last bound.
+	Hist []int64
+}
+
+// Report is the full outcome of one Run.
+type Report struct {
+	// Tick is the resolved tick scale the replay ran at.
+	Tick time.Duration
+	// Samples holds every dispatch in device order, entry order within
+	// a device.
+	Samples []Sample
+	// Devices holds one report per device, in device order.
+	Devices []DeviceReport
+	Stats   Stats
+}
+
+// histBounds are the histogram bucket upper bounds. They are fixed —
+// not derived from the observed range — so histograms from different
+// hosts and runs are structurally comparable (same buckets, different
+// counts), which is what lets the jitter experiment aggregate them by
+// plain elementwise addition.
+var histBounds = [...]time.Duration{
+	0,
+	time.Microsecond,
+	10 * time.Microsecond,
+	100 * time.Microsecond,
+	time.Millisecond,
+	10 * time.Millisecond,
+}
+
+// HistBounds returns the histogram bucket upper bounds. Stats.Hist has
+// len(HistBounds())+1 buckets; the last is the overflow bucket.
+func HistBounds() []time.Duration {
+	out := make([]time.Duration, len(histBounds))
+	copy(out, histBounds[:])
+	return out
+}
+
+// HistLabels returns one short label per Stats.Hist bucket.
+func HistLabels() []string {
+	out := make([]string, len(histBounds)+1)
+	for i, b := range histBounds {
+		if b == 0 {
+			out[i] = "0"
+			continue
+		}
+		out[i] = "≤" + b.String()
+	}
+	out[len(histBounds)] = ">" + histBounds[len(histBounds)-1].String()
+	return out
+}
+
+// histBucket returns the Stats.Hist index for an absolute deviation.
+func histBucket(dev time.Duration) int {
+	for i, b := range histBounds {
+		if dev <= b {
+			return i
+		}
+	}
+	return len(histBounds)
+}
+
+// Run replays every device partition of ds and reduces the delivered
+// dispatch timing. In real-time mode (Options.Clock nil) each device
+// runs on its own locked, optionally pinned OS thread against its own
+// monotonic clock; with an injected Clock the devices replay
+// sequentially and deterministically. Device partitions are
+// independent by construction (the fully-partitioned model), so each
+// device measures against its own epoch.
+func Run(ds sched.DeviceSchedules, opts Options) (*Report, error) {
+	switch {
+	case opts.Tick < 0:
+		return nil, fmt.Errorf("replay: negative tick %v", opts.Tick)
+	case opts.Cap < 0:
+		return nil, fmt.Errorf("replay: negative cap %v", opts.Cap)
+	case opts.Warmup < 0:
+		return nil, fmt.Errorf("replay: negative warmup %d", opts.Warmup)
+	case opts.SpinWindow < 0:
+		return nil, fmt.Errorf("replay: negative spin window %v", opts.SpinWindow)
+	}
+	if opts.Tick == 0 {
+		opts.Tick = defaultTick
+	}
+	if opts.SpinWindow == 0 {
+		opts.SpinWindow = defaultSpinWindow
+	}
+	devs := make([]taskmodel.DeviceID, 0, len(ds))
+	for dev, s := range ds {
+		if s == nil {
+			return nil, fmt.Errorf("replay: device %d has a nil schedule", dev)
+		}
+		devs = append(devs, dev)
+	}
+	sort.Slice(devs, func(a, b int) bool { return devs[a] < devs[b] })
+
+	reports := make([]DeviceReport, len(devs))
+	samples := make([][]Sample, len(devs))
+	if opts.Clock != nil {
+		// Deterministic mode: one shared clock, sequential devices.
+		for i, dev := range devs {
+			reports[i], samples[i] = runDevice(dev, ds[dev], opts, opts.Clock, false)
+		}
+	} else {
+		// Real-time mode: one locked OS thread per device. All
+		// executors lock (and pin) first, then start together, so no
+		// device's measured region overlaps another's thread setup.
+		ready := make(chan struct{})
+		var setup, done sync.WaitGroup
+		setup.Add(len(devs))
+		done.Add(len(devs))
+		for i, dev := range devs {
+			go func(i int, dev taskmodel.DeviceID) {
+				defer done.Done()
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+				pinned := false
+				if opts.Pin {
+					pinned = pinThread(i%runtime.NumCPU()) == nil
+				}
+				setup.Done()
+				<-ready
+				reports[i], samples[i] = runDevice(dev, ds[dev], opts, newHostClock(), pinned)
+			}(i, dev)
+		}
+		setup.Wait()
+		close(ready)
+		done.Wait()
+	}
+
+	rep := &Report{Tick: opts.Tick, Devices: reports}
+	for _, s := range samples {
+		rep.Samples = append(rep.Samples, s...)
+	}
+	st, err := reduce(rep.Samples, reports)
+	if err != nil {
+		return nil, err
+	}
+	rep.Stats = st
+	return rep, nil
+}
+
+// scaleTicks converts a scheduling instant to wall-clock at the given
+// tick scale.
+func scaleTicks(t timing.Time, tick time.Duration) time.Duration {
+	return time.Duration(t.Microseconds()) * tick
+}
+
+// runDevice replays one device partition against one clock: warmup
+// dispatches on synthetic targets, then the real entries, each fired by
+// sleep-until-window followed by a spin to the target. The device epoch
+// is taken after warmup; all sample instants are epoch-relative.
+func runDevice(dev taskmodel.DeviceID, s *sched.Schedule, opts Options, c Clock, pinned bool) (DeviceReport, []Sample) {
+	rep := DeviceReport{Device: dev, Pinned: pinned}
+	lead := opts.SpinWindow + time.Microsecond
+	for i := 0; i < opts.Warmup; i++ {
+		target := c.Now() + lead
+		c.SleepUntil(target - opts.SpinWindow)
+		spinWait(c, target)
+	}
+	cpu0, cpuOK := threadCPUTime()
+	epoch := c.Now()
+	samples := make([]Sample, 0, len(s.Entries))
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		intended := scaleTicks(e.Start, opts.Tick)
+		if opts.Cap > 0 && intended > opts.Cap {
+			rep.Skipped = len(s.Entries) - i
+			break
+		}
+		c.SleepUntil(epoch + intended - opts.SpinWindow)
+		actual := spinWait(c, epoch+intended) - epoch
+		samples = append(samples, Sample{
+			Device:   dev,
+			Job:      e.Job.ID,
+			Intended: intended,
+			Actual:   actual,
+			Slack:    scaleTicks(e.Job.LatestStart()-e.Start, opts.Tick),
+		})
+		rep.Dispatched++
+	}
+	rep.Wall = c.Now() - epoch
+	if cpu1, ok := threadCPUTime(); cpuOK && ok {
+		rep.CPU = cpu1 - cpu0
+		rep.CPUValid = true
+	}
+	return rep, samples
+}
+
+// reduce folds samples into the jitter distribution via internal/trace
+// (one cycle = 1ns).
+func reduce(samples []Sample, devices []DeviceReport) (Stats, error) {
+	st := Stats{Hist: make([]int64, len(histBounds)+1)}
+	expected := make([]timing.Cycle, len(samples))
+	observed := make([]timing.Cycle, len(samples))
+	for i := range samples {
+		s := &samples[i]
+		expected[i] = timing.Cycle(s.Intended)
+		observed[i] = timing.Cycle(s.Actual)
+		if s.Missed() {
+			st.Missed++
+		}
+		dev := s.Offset()
+		if dev < 0 {
+			dev = -dev
+		}
+		st.Hist[histBucket(dev)]++
+	}
+	r, err := trace.Measure(nil, expected, observed)
+	if err != nil {
+		return Stats{}, fmt.Errorf("replay: %w", err)
+	}
+	st.Dispatched = len(samples)
+	for i := range devices {
+		st.Skipped += devices[i].Skipped
+	}
+	st.Exact = r.Exact
+	st.MeanNs = r.MeanDeviation
+	st.P50Ns = int64(r.Percentile(50))
+	st.P95Ns = int64(r.Percentile(95))
+	st.P99Ns = int64(r.Percentile(99))
+	st.MaxNs = int64(r.MaxDeviation)
+	return st, nil
+}

@@ -1,0 +1,296 @@
+package replay
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/taskmodel"
+	"repro/internal/timing"
+)
+
+// testSchedule builds a one-device schedule with entries at the given
+// start ticks. Each job gets slack ticks of room between its start and
+// its latest feasible start.
+func testSchedule(dev taskmodel.DeviceID, starts []timing.Time, slack timing.Time) *sched.Schedule {
+	s := &sched.Schedule{}
+	for i, start := range starts {
+		const c = timing.Time(1)
+		s.Entries = append(s.Entries, sched.Entry{
+			Job: taskmodel.Job{
+				ID:       taskmodel.JobID{Task: int(dev), J: i},
+				Release:  start,
+				Deadline: start + c + slack,
+				Ideal:    start,
+				C:        c,
+				Device:   dev,
+			},
+			Start: start,
+		})
+	}
+	return s
+}
+
+// simOpts are the deterministic-mode options the exact-output tests
+// share: 1ns poll, a 50ns spin window, no warmup, real-time tick.
+func simOpts(c *SimClock) Options {
+	return Options{Tick: time.Microsecond, SpinWindow: 50 * time.Nanosecond, Clock: c}
+}
+
+// TestSimExactDispatch pins the zero-jitter baseline: against a lag-free
+// SimClock every dispatch lands on its target to the nanosecond.
+func TestSimExactDispatch(t *testing.T) {
+	ds := sched.DeviceSchedules{
+		0: testSchedule(0, []timing.Time{10, 20, 30}, 5),
+	}
+	clock := NewSimClock(1)
+	rep, err := Run(ds, simOpts(clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(rep.Samples), 3; got != want {
+		t.Fatalf("samples = %d, want %d", got, want)
+	}
+	for i, s := range rep.Samples {
+		want := time.Duration(10*(i+1)) * time.Microsecond
+		if s.Intended != want || s.Actual != want {
+			t.Errorf("sample %d: intended %v actual %v, want both %v", i, s.Intended, s.Actual, want)
+		}
+		if s.Offset() != 0 || s.Missed() {
+			t.Errorf("sample %d: offset %v missed %v, want exact hit", i, s.Offset(), s.Missed())
+		}
+	}
+	st := rep.Stats
+	if st.Dispatched != 3 || st.Exact != 3 || st.Missed != 0 || st.Skipped != 0 {
+		t.Errorf("stats counts = %+v, want 3 dispatched, all exact", st)
+	}
+	if st.MeanNs != 0 || st.P50Ns != 0 || st.P99Ns != 0 || st.MaxNs != 0 {
+		t.Errorf("stats deviations = %+v, want all zero", st)
+	}
+	if st.Hist[0] != 3 {
+		t.Errorf("hist = %v, want all three in the exact bucket", st.Hist)
+	}
+	if clock.Wakes() != 3 || clock.Processed() != 3 {
+		t.Errorf("wakes %d processed %d, want one kernel event per entry", clock.Wakes(), clock.Processed())
+	}
+}
+
+// TestSimInjectedLag checks lateness accounting with deterministic
+// oversleep: a wake that overshoots by lag lands lag−SpinWindow past
+// the target.
+func TestSimInjectedLag(t *testing.T) {
+	// Slack is 1 tick = 1µs at this scale: the 500ns-late dispatches
+	// hold their deadlines, the 5µs-late one misses.
+	ds := sched.DeviceSchedules{
+		0: testSchedule(0, []timing.Time{10, 20, 30}, 1),
+	}
+	clock := NewSimClock(1)
+	lags := []time.Duration{
+		550 * time.Nanosecond,  // offset 500ns
+		50 * time.Nanosecond,   // offset 0 (lag == spin window)
+		5050 * time.Nanosecond, // offset 5µs > 1µs slack: miss
+	}
+	clock.Lag = func(wake int) time.Duration { return lags[wake] }
+	rep, err := Run(ds, simOpts(clock))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOffsets := []time.Duration{500 * time.Nanosecond, 0, 5 * time.Microsecond}
+	for i, s := range rep.Samples {
+		if s.Offset() != wantOffsets[i] {
+			t.Errorf("sample %d: offset %v, want %v", i, s.Offset(), wantOffsets[i])
+		}
+	}
+	st := rep.Stats
+	if st.Exact != 1 || st.Missed != 1 {
+		t.Errorf("exact %d missed %d, want 1 and 1", st.Exact, st.Missed)
+	}
+	if st.MaxNs != 5000 || st.P50Ns != 500 {
+		t.Errorf("max %dns p50 %dns, want 5000 and 500", st.MaxNs, st.P50Ns)
+	}
+	wantHist := []int64{1, 1, 1, 0, 0, 0, 0}
+	for i, n := range wantHist {
+		if st.Hist[i] != n {
+			t.Fatalf("hist = %v, want %v", st.Hist, wantHist)
+		}
+	}
+}
+
+// TestSimCap checks that entries whose scaled start exceeds the cap are
+// skipped and counted, not dispatched.
+func TestSimCap(t *testing.T) {
+	ds := sched.DeviceSchedules{
+		0: testSchedule(0, []timing.Time{10, 20, 30}, 5),
+	}
+	opts := simOpts(NewSimClock(1))
+	opts.Cap = 15 * time.Microsecond
+	rep, err := Run(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Dispatched != 1 || rep.Stats.Skipped != 2 {
+		t.Errorf("dispatched %d skipped %d, want 1 and 2", rep.Stats.Dispatched, rep.Stats.Skipped)
+	}
+	if d := rep.Devices[0]; d.Dispatched != 1 || d.Skipped != 2 {
+		t.Errorf("device report = %+v, want 1 dispatched 2 skipped", d)
+	}
+}
+
+// TestSimMultiDeviceOrder checks deterministic-mode ordering: devices
+// replay sequentially in device order, each against its own epoch, and
+// the flattened sample order is device-major.
+func TestSimMultiDeviceOrder(t *testing.T) {
+	ds := sched.DeviceSchedules{
+		2: testSchedule(2, []timing.Time{10}, 5),
+		0: testSchedule(0, []timing.Time{10, 20}, 5),
+	}
+	rep, err := Run(ds, simOpts(NewSimClock(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDev := []taskmodel.DeviceID{0, 0, 2}
+	if len(rep.Samples) != len(wantDev) {
+		t.Fatalf("samples = %d, want %d", len(rep.Samples), len(wantDev))
+	}
+	for i, s := range rep.Samples {
+		if s.Device != wantDev[i] || s.Offset() != 0 {
+			t.Errorf("sample %d: device %d offset %v, want device %d exact", i, s.Device, s.Offset(), wantDev[i])
+		}
+	}
+	if len(rep.Devices) != 2 || rep.Devices[0].Device != 0 || rep.Devices[1].Device != 2 {
+		t.Errorf("device reports out of order: %+v", rep.Devices)
+	}
+	for _, d := range rep.Devices {
+		if d.Pinned {
+			t.Errorf("device %d pinned in deterministic mode", d.Device)
+		}
+	}
+}
+
+// TestSimWarmup checks that warmup dispatches run before the epoch and
+// do not contaminate the samples.
+func TestSimWarmup(t *testing.T) {
+	ds := sched.DeviceSchedules{
+		0: testSchedule(0, []timing.Time{10}, 5),
+	}
+	clock := NewSimClock(1)
+	opts := simOpts(clock)
+	opts.Warmup = 3
+	rep, err := Run(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Samples) != 1 || rep.Samples[0].Offset() != 0 {
+		t.Fatalf("samples = %+v, want one exact dispatch", rep.Samples)
+	}
+	if clock.Wakes() != 4 {
+		t.Errorf("wakes = %d, want 3 warmup + 1 entry", clock.Wakes())
+	}
+}
+
+// TestSimTickScaling checks that Tick rescales intended instants and
+// deadline slack together.
+func TestSimTickScaling(t *testing.T) {
+	ds := sched.DeviceSchedules{
+		0: testSchedule(0, []timing.Time{10}, 3),
+	}
+	opts := simOpts(NewSimClock(1))
+	opts.Tick = 10 * time.Microsecond
+	rep, err := Run(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Samples[0]
+	if s.Intended != 100*time.Microsecond {
+		t.Errorf("intended = %v, want 100µs at 10µs/tick", s.Intended)
+	}
+	if s.Slack != 30*time.Microsecond {
+		t.Errorf("slack = %v, want 30µs at 10µs/tick", s.Slack)
+	}
+}
+
+func TestRunOptionErrors(t *testing.T) {
+	ds := sched.DeviceSchedules{0: testSchedule(0, []timing.Time{10}, 5)}
+	for _, opts := range []Options{
+		{Tick: -time.Microsecond},
+		{Cap: -time.Second},
+		{Warmup: -1},
+		{SpinWindow: -time.Nanosecond},
+	} {
+		if _, err := Run(ds, opts); err == nil {
+			t.Errorf("Run(%+v) accepted invalid options", opts)
+		}
+	}
+	if _, err := Run(sched.DeviceSchedules{0: nil}, Options{}); err == nil {
+		t.Error("Run accepted a nil schedule")
+	}
+}
+
+func TestHistBuckets(t *testing.T) {
+	if got, want := len(HistLabels()), len(HistBounds())+1; got != want {
+		t.Fatalf("len(HistLabels) = %d, want %d", got, want)
+	}
+	cases := []struct {
+		dev  time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 1},
+		{time.Microsecond, 1},
+		{time.Microsecond + 1, 2},
+		{10 * time.Microsecond, 2},
+		{100 * time.Microsecond, 3},
+		{time.Millisecond, 4},
+		{10 * time.Millisecond, 5},
+		{10*time.Millisecond + 1, 6},
+		{time.Hour, 6},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.dev); got != c.want {
+			t.Errorf("histBucket(%v) = %d, want %d", c.dev, got, c.want)
+		}
+	}
+}
+
+// TestRealClockSmoke runs the real-time path — locked threads, pinning
+// requested, host clocks — on a short schedule. Assertions are
+// structural and generously bounded: this is a shared machine, not a
+// calibrated rig.
+func TestRealClockSmoke(t *testing.T) {
+	ds := sched.DeviceSchedules{
+		0: testSchedule(0, []timing.Time{100, 300, 500}, 1000),
+		1: testSchedule(1, []timing.Time{200, 400}, 1000),
+	}
+	rep, err := Run(ds, Options{Warmup: 8, Pin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Dispatched != 5 || len(rep.Samples) != 5 {
+		t.Fatalf("dispatched = %d, want all 5 entries", rep.Stats.Dispatched)
+	}
+	for i, s := range rep.Samples {
+		if s.Offset() < 0 {
+			t.Errorf("sample %d dispatched early by %v", i, -s.Offset())
+		}
+		if s.Offset() > 10*time.Second {
+			t.Errorf("sample %d offset %v is implausible", i, s.Offset())
+		}
+	}
+	var total int64
+	for _, n := range rep.Stats.Hist {
+		total += n
+	}
+	if total != 5 {
+		t.Errorf("histogram counts %d samples, want 5", total)
+	}
+	if len(rep.Devices) != 2 {
+		t.Fatalf("device reports = %d, want 2", len(rep.Devices))
+	}
+	for _, d := range rep.Devices {
+		if d.Wall <= 0 {
+			t.Errorf("device %d wall = %v, want positive", d.Device, d.Wall)
+		}
+		// Pinned may be false (no affinity syscall, or it was
+		// refused): graceful degradation, not an error.
+	}
+}

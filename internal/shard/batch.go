@@ -161,6 +161,7 @@ func MergeBatches(files []*File) (*File, int, error) {
 		Shards:    1,
 		Index:     0,
 		Params:    ref.Params,
+		Host:      mergedHost(files),
 	}
 	duplicates := 0
 	for ri, refRun := range ref.Runs {

@@ -327,6 +327,7 @@ type binHeader struct {
 	Selection string       `json:"selection"`
 	Shards    int          `json:"shards"`
 	Index     int          `json:"shard_index"`
+	Host      string       `json:"host,omitempty"`
 	Partial   *PartialInfo `json:"partial,omitempty"`
 	Batch     *BatchInfo   `json:"batch,omitempty"`
 	Runs      []binRun     `json:"runs"`
@@ -355,6 +356,7 @@ func (f *File) EncodeBinary() ([]byte, error) {
 		Selection: f.Selection,
 		Shards:    f.Shards,
 		Index:     f.Index,
+		Host:      f.Host,
 		Partial:   f.Partial,
 		Batch:     f.Batch,
 	}
@@ -471,6 +473,7 @@ func decodeBinary(data []byte) (*File, error) {
 		Selection: hdr.Selection,
 		Shards:    hdr.Shards,
 		Index:     hdr.Index,
+		Host:      hdr.Host,
 		Partial:   hdr.Partial,
 		Batch:     hdr.Batch,
 		Encoding:  EncodingBinary,

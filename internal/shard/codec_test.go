@@ -181,7 +181,8 @@ func TestMixedEncodingMerge(t *testing.T) {
 }
 
 func TestBinaryPreservesHeaders(t *testing.T) {
-	// Partial and batch headers, and nil params, survive the round trip.
+	// Partial and batch headers, host fingerprints and nil params survive
+	// the round trip.
 	partial := &File{
 		Version: FormatVersion, Selection: "all", Shards: 1, Index: 0,
 		Partial: &PartialInfo{Shards: 3, Present: []int{0, 2}},
@@ -194,7 +195,14 @@ func TestBinaryPreservesHeaders(t *testing.T) {
 			{Point: 0, System: 1, Data: json.RawMessage(`2`)},
 		}}},
 	}
-	for _, f := range []*File{partial, batch} {
+	hosted := &File{
+		Version: FormatVersion, Selection: "codectest-a", Shards: 1, Index: 0,
+		Host: "linux/amd64 cpus=8 go1.24.0",
+		Runs: []Run{{Experiment: "codectest-a", Grid: Grid{Points: 1, Systems: 1}, Cells: []Cell{
+			{Point: 0, System: 0, Data: json.RawMessage(`1`)},
+		}}},
+	}
+	for _, f := range []*File{partial, batch, hosted} {
 		bin, err := f.EncodeBinary()
 		if err != nil {
 			t.Fatal(err)

@@ -261,6 +261,7 @@ func MergePartial(files []*File) (*PartialCover, error) {
 			Shards:    1,
 			Index:     0,
 			Params:    ref.Params,
+			Host:      mergedHost(files),
 		},
 	}
 	if len(missing) > 0 {

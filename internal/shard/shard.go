@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 )
 
 // FormatVersion identifies the shard file layout; readers reject files
@@ -97,6 +99,13 @@ type File struct {
 	// files from different runs. The payload is owned by the experiment
 	// layer; shard only compares it for equality.
 	Params json.RawMessage `json:"params"`
+	// Host is the producing host's fingerprint, recorded only for
+	// selections containing a non-reproducible experiment (whose
+	// payloads measure the host rather than derive from the seed; see
+	// experiment.Reproducible). Reproducible runs leave it empty, so
+	// their files carry no host-dependent byte. Merging files from
+	// different hosts joins the distinct fingerprints.
+	Host string `json:"host,omitempty"`
 	// Partial, when set, marks the file as an incomplete cover written by
 	// MergePartial: the union of the recorded present shards of the
 	// original decomposition, not a full run. Complete files never carry
@@ -335,6 +344,26 @@ func canonicalParams(raw json.RawMessage) ([]byte, error) {
 // on selection, run parameters, grid shapes or shard count; if an index
 // is missing or duplicated; if any cell is out of range, duplicated, or
 // not owned by its file's shard index.
+// mergedHost combines the input files' host fingerprints: empty when
+// none records one (every reproducible run), the common value when
+// they agree, and the distinct values sorted and joined with "; " when
+// shards of a non-reproducible run came from different hosts. Sorting
+// keeps the merged value independent of file order, so re-merging a
+// merged file is still the identity.
+func mergedHost(files []*File) string {
+	seen := map[string]bool{}
+	var hosts []string
+	for _, f := range files {
+		if f.Host == "" || seen[f.Host] {
+			continue
+		}
+		seen[f.Host] = true
+		hosts = append(hosts, f.Host)
+	}
+	sort.Strings(hosts)
+	return strings.Join(hosts, "; ")
+}
+
 func Merge(files []*File) (*File, error) {
 	if len(files) == 0 {
 		return nil, fmt.Errorf("shard: merge needs at least one file")
@@ -402,6 +431,7 @@ func Merge(files []*File) (*File, error) {
 		Shards:    1,
 		Index:     0,
 		Params:    ref.Params,
+		Host:      mergedHost(files),
 	}
 	for ri, refRun := range ref.Runs {
 		grid := refRun.Grid

@@ -345,3 +345,66 @@ func TestValidateCells(t *testing.T) {
 		t.Error("negative grid accepted")
 	}
 }
+
+// TestMergeHostConsensus: the merged Host is the distinct worker
+// fingerprints, sorted and joined — order-independent, idempotent under
+// re-merge, and empty when every shard is reproducible (no fingerprint),
+// so byte-identity runs never gain a host field.
+func TestMergeHostConsensus(t *testing.T) {
+	grid := Grid{Points: 2, Systems: 3}
+	mk := func(host string, n, i int) *File {
+		f := mkFile(t, "fig5", grid, n, i, `{"seed":1}`)
+		f.Host = host
+		return f
+	}
+	for _, tc := range []struct {
+		hosts []string
+		want  string
+	}{
+		{[]string{"", "", ""}, ""},
+		{[]string{"b", "a", "b"}, "a; b"},
+		{[]string{"x", "", "x"}, "x"},
+	} {
+		files := make([]*File, len(tc.hosts))
+		for i, h := range tc.hosts {
+			files[i] = mk(h, len(tc.hosts), i)
+		}
+		merged, err := Merge(files)
+		if err != nil {
+			t.Fatalf("hosts %v: %v", tc.hosts, err)
+		}
+		if merged.Host != tc.want {
+			t.Errorf("hosts %v: merged host %q, want %q", tc.hosts, merged.Host, tc.want)
+		}
+		// Idempotent: a merged file re-merges to the same consensus.
+		again, err := Merge([]*File{merged})
+		if err != nil {
+			t.Fatalf("re-merge: %v", err)
+		}
+		if again.Host != tc.want {
+			t.Errorf("hosts %v: re-merged host %q, want %q", tc.hosts, again.Host, tc.want)
+		}
+	}
+}
+
+// TestHostOmittedFromJSONWhenEmpty: reproducible shard files must not
+// change by a byte with the host field's existence — empty Host
+// marshals to nothing.
+func TestHostOmittedFromJSONWhenEmpty(t *testing.T) {
+	f := mkFile(t, "fig5", Grid{Points: 1, Systems: 1}, 1, 0, `{"seed":1}`)
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte(`"host"`)) {
+		t.Errorf("empty host serialised: %s", data)
+	}
+	f.Host = "linux/amd64 cpus=8 go1.24.0"
+	data, err = json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"host":"linux/amd64 cpus=8 go1.24.0"`)) {
+		t.Errorf("host not serialised: %s", data)
+	}
+}

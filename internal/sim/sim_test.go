@@ -157,3 +157,25 @@ func TestOrderProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestRunUntilDeadlineInclusive: an event scheduled exactly at the
+// RunUntil deadline fires, and the clock lands on the deadline — the
+// wake contract the replay SimClock builds its SleepUntil on.
+func TestRunUntilDeadlineInclusive(t *testing.T) {
+	var k Kernel
+	fired := false
+	k.At(100, func() { fired = true })
+	if n := k.RunUntil(100); n != 1 || !fired {
+		t.Fatalf("deadline event: ran %d, fired %v; want 1, true", n, fired)
+	}
+	if k.Now() != 100 {
+		t.Errorf("now = %d, want 100", k.Now())
+	}
+	if k.Processed() != 1 {
+		t.Errorf("processed = %d, want 1", k.Processed())
+	}
+	// The next RunUntil past an empty queue just advances the clock.
+	if n := k.RunUntil(150); n != 0 || k.Now() != 150 {
+		t.Errorf("empty advance: ran %d, now %d; want 0, 150", n, k.Now())
+	}
+}

@@ -91,6 +91,48 @@ func center(s string, w int) string {
 	return strings.Repeat(" ", left) + s
 }
 
+// Histogram renders labelled counts as horizontal bars scaled to width
+// characters. Labels are right-aligned, each bar is followed by its
+// count, and a zero-count bucket draws no bar. All-zero (or empty)
+// counts render bars of zero length rather than dividing by zero.
+func Histogram(title string, labels []string, counts []int64, width int) string {
+	if width < 1 {
+		width = 1
+	}
+	n := len(labels)
+	if len(counts) < n {
+		n = len(counts)
+	}
+	var max int64
+	for i := 0; i < n; i++ {
+		if counts[i] > max {
+			max = counts[i]
+		}
+	}
+	labelW := 0
+	for i := 0; i < n; i++ {
+		if w := len([]rune(labels[i])); w > labelW {
+			labelW = w
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for i := 0; i < n; i++ {
+		bar := 0
+		if max > 0 && counts[i] > 0 {
+			bar = int(float64(counts[i]) / float64(max) * float64(width))
+			// A non-empty bucket always shows at least one mark.
+			if bar == 0 {
+				bar = 1
+			}
+		}
+		pad := labelW - len([]rune(labels[i]))
+		fmt.Fprintf(&b, "%s%s |%s %d\n", strings.Repeat(" ", pad), labels[i],
+			strings.Repeat("#", bar), counts[i])
+	}
+	return b.String()
+}
+
 // Table renders an aligned text table.
 func Table(headers []string, rows [][]string) string {
 	widths := make([]int, len(headers))

@@ -72,3 +72,49 @@ func TestCenter(t *testing.T) {
 		t.Errorf("overlong center = %q", center("abcdefgh", 4))
 	}
 }
+
+func TestHistogramBarsScaleToMax(t *testing.T) {
+	out := Histogram("jitter", []string{"a", "bb", "≤1µs"}, []int64{4, 0, 2}, 8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 || lines[0] != "jitter" {
+		t.Fatalf("unexpected layout:\n%s", out)
+	}
+	// Labels right-align on rune width (the ≤/µ multi-byte labels must
+	// not skew the column), the max bucket fills the width, a zero bucket
+	// draws no bar, and every line ends with its count.
+	if lines[1] != "   a |######## 4" {
+		t.Errorf("max bucket line = %q", lines[1])
+	}
+	if lines[2] != "  bb | 0" {
+		t.Errorf("zero bucket line = %q", lines[2])
+	}
+	if lines[3] != "≤1µs |#### 2" {
+		t.Errorf("half bucket line = %q", lines[3])
+	}
+}
+
+func TestHistogramNonZeroBucketAlwaysMarks(t *testing.T) {
+	// 1-of-1000 rounds to zero width but must still draw one mark: an
+	// outlier bucket that silently vanishes would hide exactly the events
+	// the histogram exists to surface.
+	out := Histogram("t", []string{"big", "tiny"}, []int64{1000, 1}, 10)
+	if !strings.Contains(out, "tiny |# 1") {
+		t.Errorf("tiny bucket lost its mark:\n%s", out)
+	}
+}
+
+func TestHistogramDegenerateInputs(t *testing.T) {
+	if out := Histogram("empty", nil, nil, 40); out != "empty\n" {
+		t.Errorf("empty histogram = %q", out)
+	}
+	// All-zero counts must not divide by zero.
+	out := Histogram("zeros", []string{"a", "b"}, []int64{0, 0}, 40)
+	if !strings.Contains(out, "a | 0") || !strings.Contains(out, "b | 0") {
+		t.Errorf("all-zero histogram = %q", out)
+	}
+	// Mismatched lengths render the common prefix.
+	out = Histogram("mismatch", []string{"a", "b"}, []int64{5}, 4)
+	if !strings.Contains(out, "a |#### 5") || strings.Contains(out, "b |") {
+		t.Errorf("mismatched histogram = %q", out)
+	}
+}

@@ -222,3 +222,33 @@ func TestClockRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: whole-microsecond Times round-trip exactly through
+// time.Duration — the conversion the replay harness leans on when it
+// scales schedule ticks to wall-clock instants.
+func TestDurationRoundTripProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		tm := Time(raw % 10_000_000)
+		return FromDuration(tm.Duration()) == tm
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FromDuration truncates toward zero by less than one
+// microsecond, so Duration(FromDuration(d)) never overshoots d.
+func TestFromDurationTruncates(t *testing.T) {
+	f := func(raw uint32) bool {
+		d := time.Duration(raw) * time.Nanosecond
+		back := FromDuration(d).Duration()
+		return back <= d && d-back < time.Microsecond
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+	// Negative durations truncate toward zero too (Go integer division).
+	if FromDuration(-1500*time.Nanosecond) != -1 {
+		t.Errorf("FromDuration(-1500ns) = %v, want -1", FromDuration(-1500*time.Nanosecond))
+	}
+}

@@ -114,3 +114,50 @@ func TestReportProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPercentileSmallSampleRanks pins the nearest-rank arithmetic on the
+// sample counts the replay harness reduces: a device replaying a handful
+// of dispatches asks for p50/p95/p99 over single-digit event counts, so
+// the rank rounding at those sizes is load-bearing, not a corner case.
+func TestPercentileSmallSampleRanks(t *testing.T) {
+	expected := []timing.Cycle{10, 20, 30}
+	observed := []timing.Cycle{10, 520, 5030} // deviations 0, 500, 5000
+	r, err := Measure(nil, expected, observed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		p    float64
+		want timing.Cycle
+	}{{0, 0}, {50, 500}, {95, 5000}, {99, 5000}, {100, 5000}} {
+		if got := r.Percentile(c.p); got != c.want {
+			t.Errorf("p%g = %d, want %d", c.p, got, c.want)
+		}
+	}
+	// A single event is every percentile.
+	one, err := Measure(nil, []timing.Cycle{5}, []timing.Cycle{12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := one.Percentile(p); got != 7 {
+			t.Errorf("single-event p%g = %d, want 7", p, got)
+		}
+	}
+}
+
+// TestMeasureUnlabelled: nil labels are the replay harness's calling
+// convention — events carry empty labels and everything else still
+// reduces.
+func TestMeasureUnlabelled(t *testing.T) {
+	r, err := Measure(nil, []timing.Cycle{1, 2}, []timing.Cycle{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Events) != 2 || r.Events[0].Label != "" {
+		t.Fatalf("unlabelled events = %+v", r.Events)
+	}
+	if r.Exact != 1 || r.MaxDeviation != 2 || r.MeanDeviation != 1 {
+		t.Errorf("report = %+v", r)
+	}
+}

@@ -126,6 +126,23 @@
 // CLI equivalents are "ioschedbench serve", "work" and "submit"; the
 // wire protocol is specified in docs/COORDINATOR.md, and the
 // fault-injection test harness lives in internal/coord/coordtest.
+//
+// # Wall-clock replay
+//
+// Everything above evaluates schedules analytically. Replay executes
+// one: each device partition gets a locked OS thread (pinned to a CPU
+// where the platform allows), and a sleep-then-spin timer loop fires
+// every schedule entry at its scaled instant against the real clock,
+// recording intended-versus-actual dispatch times. The result is the
+// delivered timing accuracy of this machine — jitter distributions,
+// exact-dispatch counts, missed deadlines — rather than the scheduled
+// quality. Such measurements are deliberately outside the determinism
+// invariant: the jitter experiment registers as non-reproducible
+// (ExperimentReproducible reports false), is excluded from the "all"
+// selection, never enters the cell cache, and its shard files carry a
+// HostFingerprint. ReplaySimClock substitutes a deterministic simulated
+// clock for unit tests. The CLI equivalent is "ioschedbench replay";
+// the harness is specified in docs/REPLAY.md.
 package iosched
 
 import (
@@ -142,6 +159,7 @@ import (
 	"repro/internal/hwcost"
 	"repro/internal/noc"
 	"repro/internal/quality"
+	"repro/internal/replay"
 	"repro/internal/sched"
 	"repro/internal/sched/fps"
 	"repro/internal/sched/ga"
@@ -425,6 +443,51 @@ func ExperimentFromCells(name string, p ShardParams, cells []ShardCell) (Experim
 func ExperimentFromCellsPartial(name string, p ShardParams, cells []ShardCell) (ExperimentResult, ExperimentCoverage, error) {
 	return experiment.FromCellsPartial(name, p.Context(0), cells)
 }
+
+// Wall-clock replay (see the package comment's Wall-clock replay
+// section and docs/REPLAY.md).
+type (
+	// ReplayOptions configures the replay harness: tick scale, horizon
+	// cap, warmup, pinning and an optional injected clock.
+	ReplayOptions = replay.Options
+	// ReplayReport is one replay run's delivered-timing census.
+	ReplayReport = replay.Report
+	// ReplayStats is the reduced jitter distribution of a report.
+	ReplayStats = replay.Stats
+	// ReplaySample is one dispatch's intended-versus-actual record.
+	ReplaySample = replay.Sample
+	// ReplayDeviceReport is one executor thread's summary.
+	ReplayDeviceReport = replay.DeviceReport
+	// ReplayClock is the harness's injectable time source.
+	ReplayClock = replay.Clock
+	// ReplaySimClock is the deterministic simulated clock for tests.
+	ReplaySimClock = replay.SimClock
+)
+
+// Replay executes the schedules in real time — one locked, pinned
+// executor thread per device — and reports the delivered dispatch
+// timing. With ReplayOptions.Clock set it replays deterministically
+// against the injected clock instead.
+func Replay(ds DeviceSchedules, opts ReplayOptions) (*ReplayReport, error) {
+	return replay.Run(ds, opts)
+}
+
+// NewReplaySimClock returns a simulated clock whose Now costs poll
+// cycles of simulated time (1 cycle = 1ns), for exact-expectation
+// replay tests.
+func NewReplaySimClock(poll Cycle) *ReplaySimClock { return replay.NewSimClock(poll) }
+
+// ExperimentReproducible reports whether the experiment's cell payloads
+// are a pure function of the seed (true for every analytic study). A
+// non-reproducible experiment measures the host: it is excluded from
+// the "all" selection, never cell-cached, and its shard files carry a
+// host fingerprint.
+func ExperimentReproducible(e Experiment) bool { return experiment.Reproducible(e) }
+
+// HostFingerprint identifies the measuring machine
+// (GOOS/GOARCH/CPU count/Go version) recorded in non-reproducible
+// shard files.
+func HostFingerprint() string { return experiment.HostFingerprint() }
 
 // Fig5 regenerates Figure 5 (schedulability).
 //
